@@ -1,0 +1,167 @@
+//! Distributed hash table benchmark (paper §V-C, Figure 9).
+//!
+//! "Each image will randomly access and update a sequence of entries in a
+//! distributed hash table. In order to prevent simultaneous updates to the
+//! same entry, some form of atomicity must be employed; this is achieved
+//! using coarray locks."
+//!
+//! The table is a coarray of slots; a key hashes to (home image, slot);
+//! updates take the CAF lock on the home image, read-modify-write the slot,
+//! and release. The final table contents are deterministic given the seed
+//! (sum of keys is order-independent), which the tests exploit.
+
+use caf::{run_caf, Backend, CafConfig};
+use pgas_machine::Platform;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DhtConfig {
+    pub slots_per_image: usize,
+    pub updates_per_image: usize,
+    pub seed: u64,
+    /// Locks per image: 1 = a single lock guarding the whole image's
+    /// partition (the paper's pattern); more reduces false contention.
+    pub locks_per_image: usize,
+}
+
+impl Default for DhtConfig {
+    fn default() -> Self {
+        DhtConfig { slots_per_image: 256, updates_per_image: 64, seed: 0xD47, locks_per_image: 1 }
+    }
+}
+
+/// Benchmark outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct DhtResult {
+    /// Virtual makespan in milliseconds (the paper's y axis).
+    pub time_ms: f64,
+    /// Wrapping sum of all table slots (consistency check).
+    pub checksum: u64,
+    pub updates_total: usize,
+}
+
+/// Wrapping sum of the keys each image generates — the oracle for the final
+/// table checksum.
+pub fn expected_checksum(images: usize, cfg: &DhtConfig) -> u64 {
+    let mut sum = 0u64;
+    for image in 1..=images {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (image as u64).wrapping_mul(0x9E37_79B9));
+        for _ in 0..cfg.updates_per_image {
+            sum = sum.wrapping_add(rng.gen::<u64>());
+        }
+    }
+    sum
+}
+
+/// Run the DHT benchmark on `images` images.
+pub fn run_dht(
+    platform: Platform,
+    backend: Backend,
+    images: usize,
+    cfg: DhtConfig,
+) -> DhtResult {
+    let cores = 16.min(images);
+    let nodes = images.div_ceil(cores);
+    let heap = (cfg.slots_per_image * 8 + (1 << 16)).next_power_of_two();
+    let mcfg = platform.config(nodes, cores).with_heap_bytes(heap);
+    let caf_cfg = CafConfig::new(backend, platform).with_nonsym_bytes(4096);
+    let out = run_caf(mcfg, caf_cfg, move |img| {
+        let n = img.num_images();
+        let table = img.coarray::<u64>(&[cfg.slots_per_image]).unwrap();
+        let locks = img.lock_vars(cfg.locks_per_image);
+        img.sync_all();
+        let me = img.this_image();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (me as u64).wrapping_mul(0x9E37_79B9));
+        let t0 = img.shmem().ctx().pe().now();
+        for _ in 0..cfg.updates_per_image {
+            let key: u64 = rng.gen();
+            let home = (key % n as u64) as usize + 1;
+            let slot = ((key / n as u64) % cfg.slots_per_image as u64) as usize;
+            let lock = &locks[slot % cfg.locks_per_image];
+            img.lock(lock, home);
+            let v = table.get_elem(img, home, &[slot]);
+            table.put_elem(img, home, &[slot], v.wrapping_add(key));
+            img.unlock(lock, home);
+            img.shmem().ctx().pe().compute_ops(20); // hashing + bookkeeping
+        }
+        img.sync_all();
+        let elapsed = img.shmem().ctx().pe().now() - t0;
+        // Deterministic checksum: image 1 folds the whole table.
+        let checksum = if me == 1 {
+            let mut sum = 0u64;
+            for image in 1..=n {
+                for v in table.get_from(img, image) {
+                    sum = sum.wrapping_add(v);
+                }
+            }
+            sum
+        } else {
+            0
+        };
+        img.sync_all();
+        (elapsed, checksum)
+    });
+    DhtResult {
+        time_ms: out.results.iter().map(|r| r.0).max().unwrap_or(0) as f64 / 1e6,
+        checksum: out.results[0].1,
+        updates_total: images * cfg.updates_per_image,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DhtConfig {
+        DhtConfig { slots_per_image: 32, updates_per_image: 25, seed: 7, locks_per_image: 1 }
+    }
+
+    #[test]
+    fn table_checksum_matches_oracle() {
+        for images in [1, 2, 5, 8] {
+            let r = run_dht(Platform::Titan, Backend::Shmem, images, small());
+            assert_eq!(r.checksum, expected_checksum(images, &small()), "images={images}");
+            assert_eq!(r.updates_total, images * 25);
+            assert!(r.time_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn checksum_holds_on_every_backend() {
+        for backend in [Backend::Shmem, Backend::Gasnet, Backend::CrayCaf] {
+            let r = run_dht(Platform::Titan, backend, 6, small());
+            assert_eq!(r.checksum, expected_checksum(6, &small()), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn shmem_backend_is_fastest_like_figure9() {
+        let shmem = run_dht(Platform::Titan, Backend::Shmem, 16, small()).time_ms;
+        let gasnet = run_dht(Platform::Titan, Backend::Gasnet, 16, small()).time_ms;
+        let cray = run_dht(Platform::Titan, Backend::CrayCaf, 16, small()).time_ms;
+        assert!(shmem < gasnet, "SHMEM {shmem:.2} vs GASNet {gasnet:.2}");
+        assert!(shmem < cray, "SHMEM {shmem:.2} vs Cray-CAF {cray:.2}");
+    }
+
+    #[test]
+    fn more_locks_reduce_contention() {
+        let coarse = run_dht(Platform::Titan, Backend::Shmem, 8, small()).time_ms;
+        let fine = run_dht(
+            Platform::Titan,
+            Backend::Shmem,
+            8,
+            DhtConfig { locks_per_image: 8, ..small() },
+        )
+        .time_ms;
+        assert!(fine < coarse, "fine {fine:.2}ms vs coarse {coarse:.2}ms");
+    }
+
+    #[test]
+    fn different_seeds_give_different_tables() {
+        let a = run_dht(Platform::Titan, Backend::Shmem, 2, small());
+        let b = run_dht(Platform::Titan, Backend::Shmem, 2, DhtConfig { seed: 8, ..small() });
+        assert_ne!(a.checksum, b.checksum);
+    }
+}

@@ -1,0 +1,163 @@
+//! A small 1-D heat-diffusion mini-app: the "hello world" of halo exchange,
+//! used by the examples and as an extra end-to-end correctness workload
+//! (explicit finite differences, ring of images, `sync images` with
+//! neighbours only).
+
+use caf::{run_caf, Backend, CafConfig};
+use pgas_machine::Platform;
+
+/// Explicit 1-D heat equation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HeatConfig {
+    /// Global cell count (excluding the two fixed boundary cells).
+    pub cells: usize,
+    pub steps: usize,
+    /// Diffusion number (stable for <= 0.5).
+    pub alpha: f64,
+    /// Fixed boundary temperatures.
+    pub left_t: f64,
+    pub right_t: f64,
+}
+
+impl Default for HeatConfig {
+    fn default() -> Self {
+        HeatConfig { cells: 64, steps: 100, alpha: 0.25, left_t: 1.0, right_t: 0.0 }
+    }
+}
+
+/// Sequential oracle.
+pub fn serial_heat(cfg: &HeatConfig) -> Vec<f64> {
+    let n = cfg.cells;
+    let mut t = vec![0.0f64; n + 2];
+    t[0] = cfg.left_t;
+    t[n + 1] = cfg.right_t;
+    let mut next = t.clone();
+    for _ in 0..cfg.steps {
+        for i in 1..=n {
+            next[i] = t[i] + cfg.alpha * (t[i - 1] - 2.0 * t[i] + t[i + 1]);
+        }
+        t[1..=n].copy_from_slice(&next[1..=n]);
+    }
+    t[1..=n].to_vec()
+}
+
+/// Run the CAF version on `images` images; returns the assembled global
+/// temperature field (gathered on image 1, broadcast to all).
+pub fn parallel_heat(
+    platform: Platform,
+    backend: Backend,
+    images: usize,
+    cfg: HeatConfig,
+) -> Vec<f64> {
+    assert!(cfg.cells.is_multiple_of(images), "cells must divide evenly for this mini-app");
+    let local = cfg.cells / images;
+    let cores = 8.min(images);
+    let nodes = images.div_ceil(cores);
+    let mcfg = platform
+        .config(nodes, cores)
+        .with_heap_bytes(((cfg.cells + local) * 16 + (1 << 16)).next_power_of_two());
+    let out = run_caf(mcfg, CafConfig::new(backend, platform).with_nonsym_bytes(4096), move |img| {
+        let me = img.this_image();
+        let n = img.num_images();
+        // Local field with ghost cells at 0 and local+1.
+        let field = img.coarray::<f64>(&[local + 2]).unwrap();
+        let mut t = vec![0.0f64; local + 2];
+        if me == 1 {
+            t[0] = cfg.left_t;
+        }
+        if me == n {
+            t[local + 1] = cfg.right_t;
+        }
+        field.write_local(img, &t);
+        img.sync_all();
+        let left = (me > 1).then(|| me - 1);
+        let right = (me < n).then(|| me + 1);
+        let mut neighbours: Vec<usize> = left.into_iter().chain(right).collect();
+        neighbours.sort_unstable();
+        for _ in 0..cfg.steps {
+            // Send boundary cells into neighbour ghosts.
+            if let Some(l) = left {
+                field.put_elem(img, l, &[local + 1], t[1]);
+            }
+            if let Some(r) = right {
+                field.put_elem(img, r, &[0], t[local]);
+            }
+            if neighbours.is_empty() {
+                // Single image: nothing to exchange.
+            } else {
+                img.sync_images(&neighbours);
+            }
+            let f = field.read_local(img);
+            if left.is_some() {
+                t[0] = f[0];
+            }
+            if right.is_some() {
+                t[local + 1] = f[local + 1];
+            }
+            let mut next = t.clone();
+            for i in 1..=local {
+                next[i] = t[i] + cfg.alpha * (t[i - 1] - 2.0 * t[i] + t[i + 1]);
+            }
+            t.copy_from_slice(&next);
+            field.write_local(img, &t);
+            img.shmem().ctx().pe().compute_flops(local as f64 * 4.0);
+            if !neighbours.is_empty() {
+                img.sync_images(&neighbours);
+            }
+        }
+        // Assemble: everyone contributes its owned cells to image 1.
+        let global = img.coarray::<f64>(&[cfg.cells]).unwrap();
+        let mut own = vec![0.0f64; local];
+        own.copy_from_slice(&t[1..=local]);
+        let sec = caf::Section::new(vec![caf::DimRange {
+            start: (me - 1) * local,
+            count: local,
+            step: 1,
+        }]);
+        global.put_section(img, 1, &sec, &own);
+        img.sync_all();
+        let mut result = global.get_from(img, 1);
+        img.co_broadcast(&mut result, 1);
+        result
+    });
+    out.results.into_iter().next().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let cfg = HeatConfig { cells: 48, steps: 50, ..Default::default() };
+        let serial = serial_heat(&cfg);
+        for images in [1, 2, 4, 6] {
+            let par = parallel_heat(Platform::GenericSmp, Backend::Shmem, images, cfg);
+            assert_eq!(par.len(), serial.len());
+            for (i, (a, b)) in par.iter().zip(&serial).enumerate() {
+                assert!((a - b).abs() < 1e-12, "images={images} cell {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn heat_flows_from_hot_to_cold() {
+        let cfg = HeatConfig { cells: 32, steps: 400, ..Default::default() };
+        let t = serial_heat(&cfg);
+        assert!(t.windows(2).all(|w| w[1] <= w[0] + 1e-9), "monotone profile: {t:?}");
+        assert!(t[0] > 0.8, "left end near the hot boundary");
+        assert!(*t.last().unwrap() < 0.2, "right end near the cold boundary");
+    }
+
+    #[test]
+    fn works_over_multiple_nodes_and_backends() {
+        let cfg = HeatConfig { cells: 32, steps: 20, ..Default::default() };
+        let serial = serial_heat(&cfg);
+        for backend in [Backend::Shmem, Backend::Gasnet] {
+            let par = parallel_heat(Platform::Titan, backend, 4, cfg);
+            for (a, b) in par.iter().zip(&serial) {
+                assert!((a - b).abs() < 1e-12, "{backend:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! The Himeno benchmark in CAF (paper §V-D, Figure 10).
+//!
+//! Himeno measures an incompressible-fluid pressure solver: Jacobi
+//! iterations of a 19-point stencil for Poisson's equation. The CAF version
+//! decomposes the grid along the second dimension, which makes the halo a
+//! *matrix-oriented* strided section: contiguous pencils along dimension 1,
+//! strided across dimension 3 — exactly the communication pattern whose
+//! interaction with `shmem_iput` §V-D analyzes.
+//!
+//! Performance is reported in MFLOPS with the canonical 34 flops/cell/iter.
+
+use caf::{run_caf, Backend, CafConfig, DimRange, Section, StridedAlgorithm};
+use pgas_machine::Platform;
+
+/// Grid and iteration parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HimenoConfig {
+    pub imax: usize,
+    pub jmax: usize,
+    pub kmax: usize,
+    pub iters: usize,
+}
+
+impl HimenoConfig {
+    /// Himeno size S (65×65×129), the paper's generation of grid sizes.
+    pub fn size_s() -> HimenoConfig {
+        HimenoConfig { imax: 65, jmax: 65, kmax: 129, iters: 8 }
+    }
+
+    /// Himeno size XS (33×33×65) for quick runs and tests.
+    pub fn size_xs() -> HimenoConfig {
+        HimenoConfig { imax: 33, jmax: 33, kmax: 65, iters: 6 }
+    }
+
+    /// A tiny grid for unit tests.
+    pub fn tiny() -> HimenoConfig {
+        HimenoConfig { imax: 9, jmax: 12, kmax: 7, iters: 4 }
+    }
+
+    fn interior_cells(&self) -> f64 {
+        ((self.imax - 2) * (self.jmax - 2) * (self.kmax - 2)) as f64
+    }
+}
+
+/// Benchmark outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct HimenoResult {
+    pub mflops: f64,
+    pub gosa: f64,
+    pub time_ms: f64,
+}
+
+const OMEGA: f32 = 0.8;
+const A3: f32 = 1.0 / 6.0;
+
+/// Sequential oracle: runs the same stencil on one address space and
+/// returns the `gosa` residual of each iteration.
+pub fn serial_gosa(cfg: &HimenoConfig) -> Vec<f64> {
+    let (im, jm, km) = (cfg.imax, cfg.jmax, cfg.kmax);
+    let idx = |i: usize, j: usize, k: usize| i + im * (j + jm * k);
+    let mut p = vec![0.0f32; im * jm * km];
+    for k in 0..km {
+        let v = (k * k) as f32 / ((km - 1) * (km - 1)) as f32;
+        for j in 0..jm {
+            for i in 0..im {
+                p[idx(i, j, k)] = v;
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(cfg.iters);
+    let mut wrk = p.clone();
+    for _ in 0..cfg.iters {
+        let mut gosa = 0.0f64;
+        for k in 1..km - 1 {
+            for j in 1..jm - 1 {
+                for i in 1..im - 1 {
+                    let ss = stencil(&p, idx(i, j, k), 1, im, im * jm);
+                    gosa += (ss as f64) * (ss as f64);
+                    wrk[idx(i, j, k)] = p[idx(i, j, k)] + OMEGA * ss;
+                }
+            }
+        }
+        for k in 1..km - 1 {
+            for j in 1..jm - 1 {
+                for i in 1..im - 1 {
+                    p[idx(i, j, k)] = wrk[idx(i, j, k)];
+                }
+            }
+        }
+        out.push(gosa);
+    }
+    out
+}
+
+/// The 19-point Himeno stencil residual at linear index `c` with the given
+/// unit strides (a=[1,1,1,1/6], b=[0,0,0], c=[1,1,1], bnd=1, wrk1=0).
+#[inline]
+fn stencil(p: &[f32], c: usize, si: usize, sj: usize, sk: usize) -> f32 {
+    let s0 = p[c + si]
+        + p[c + sj]
+        + p[c + sk]
+        + 0.0 * (p[c + si + sj] - p[c + si - sj] - p[c - si + sj] + p[c - si - sj])
+        + 0.0 * (p[c + sj + sk] - p[c - sj + sk] - p[c + sj - sk] + p[c - sj - sk])
+        + 0.0 * (p[c + si + sk] - p[c - si + sk] - p[c + si - sk] + p[c - si - sk])
+        + p[c - si]
+        + p[c - sj]
+        + p[c - sk];
+    (s0 * A3 - p[c]) * 1.0
+}
+
+/// Run the CAF Himeno benchmark on `images` images (requires
+/// `images <= jmax - 2` so every image owns at least one interior plane).
+pub fn run_himeno(
+    platform: Platform,
+    backend: Backend,
+    strided: Option<StridedAlgorithm>,
+    images: usize,
+    cfg: HimenoConfig,
+) -> HimenoResult {
+    assert!(images <= cfg.jmax - 2, "too many images ({images}) for jmax {}", cfg.jmax);
+    let cores = 16.min(images);
+    let nodes = images.div_ceil(cores);
+    let ghost_bytes = cfg.imax * 2 * cfg.kmax * 4;
+    let mcfg = platform
+        .config(nodes, cores)
+        .with_heap_bytes((4 * ghost_bytes + (1 << 16)).next_power_of_two());
+    let mut caf_cfg = CafConfig::new(backend, platform).with_nonsym_bytes(4096);
+    if let Some(a) = strided {
+        caf_cfg = caf_cfg.with_strided(a);
+    }
+    let out = run_caf(mcfg, caf_cfg, move |img| {
+        let (im, jm, km) = (cfg.imax, cfg.jmax, cfg.kmax);
+        let n = img.num_images();
+        let me = img.this_image();
+        // Block distribution of global j columns.
+        let base = jm / n;
+        let extra = jm % n;
+        let j0 = (me - 1) * base + (me - 1).min(extra);
+        let jloc = base + usize::from(me - 1 < extra);
+        let jtot = jloc + 2; // plus ghost planes
+        let idx = |i: usize, j: usize, k: usize| i + im * (j + jtot * k);
+
+        // Ghost-plane coarray: plane 0 = from the left, plane 1 = from the
+        // right neighbour.
+        let ghosts = img.coarray::<f32>(&[im, 2, km]).unwrap();
+        let plane_sec = |t: usize| {
+            Section::new(vec![
+                DimRange::full(im),
+                DimRange { start: t, count: 1, step: 1 },
+                DimRange::full(km),
+            ])
+        };
+
+        // Local pressure grid with ghosts (local j: 0 ghost, 1..=jloc owned,
+        // jloc+1 ghost).
+        let mut p = vec![0.0f32; im * jtot * km];
+        for k in 0..km {
+            let v = (k * k) as f32 / ((km - 1) * (km - 1)) as f32;
+            for jl in 0..jtot {
+                for i in 0..im {
+                    p[idx(i, jl, k)] = v;
+                }
+            }
+        }
+        let mut wrk = p.clone();
+
+        let left = (me > 1).then(|| me - 1);
+        let right = (me < n).then(|| me + 1);
+        let pack_plane = |p: &[f32], jl: usize| {
+            let mut buf = vec![0.0f32; im * km];
+            for k in 0..km {
+                for i in 0..im {
+                    buf[i + im * k] = p[idx(i, jl, k)];
+                }
+            }
+            buf
+        };
+
+        let t0 = img.shmem().ctx().pe().now();
+        let mut gosa_global = 0.0f64;
+        for _ in 0..cfg.iters {
+            // Halo exchange: my first owned plane -> left neighbour's
+            // "from right" ghost; my last owned plane -> right neighbour's
+            // "from left" ghost.
+            if let Some(l) = left {
+                ghosts.put_section(img, l, &plane_sec(1), &pack_plane(&p, 1));
+            }
+            if let Some(r) = right {
+                ghosts.put_section(img, r, &plane_sec(0), &pack_plane(&p, jloc));
+            }
+            img.sync_all();
+            let gdata = ghosts.read_local(img);
+            for k in 0..km {
+                for i in 0..im {
+                    if left.is_some() {
+                        p[idx(i, 0, k)] = gdata[i + im * (2 * k)];
+                    }
+                    if right.is_some() {
+                        p[idx(i, jloc + 1, k)] = gdata[i + im * (1 + 2 * k)];
+                    }
+                }
+            }
+            // Jacobi sweep over owned interior planes.
+            let mut gosa = 0.0f64;
+            let mut cells = 0u64;
+            for k in 1..km - 1 {
+                for jl in 1..=jloc {
+                    let jg = j0 + jl - 1; // global j of this local plane
+                    if jg == 0 || jg == jm - 1 {
+                        continue; // global boundary, fixed
+                    }
+                    for i in 1..im - 1 {
+                        let ss = stencil(&p, idx(i, jl, k), 1, im, im * jtot);
+                        gosa += (ss as f64) * (ss as f64);
+                        wrk[idx(i, jl, k)] = p[idx(i, jl, k)] + OMEGA * ss;
+                        cells += 1;
+                    }
+                }
+            }
+            for k in 1..km - 1 {
+                for jl in 1..=jloc {
+                    let jg = j0 + jl - 1;
+                    if jg == 0 || jg == jm - 1 {
+                        continue;
+                    }
+                    for i in 1..im - 1 {
+                        p[idx(i, jl, k)] = wrk[idx(i, jl, k)];
+                    }
+                }
+            }
+            img.shmem().ctx().pe().compute_flops(cells as f64 * 34.0);
+            let mut g = [gosa];
+            img.co_sum(&mut g, None);
+            gosa_global = g[0];
+        }
+        img.sync_all();
+        (img.shmem().ctx().pe().now() - t0, gosa_global)
+    });
+    let makespan_ns = out.results.iter().map(|r| r.0).max().unwrap_or(1) as f64;
+    let flops = cfg.interior_cells() * 34.0 * cfg.iters as f64;
+    HimenoResult {
+        mflops: flops / (makespan_ns * 1e-9) / 1e6,
+        gosa: out.results[0].1,
+        time_ms: makespan_ns / 1e6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_residual_decreases() {
+        let g = serial_gosa(&HimenoConfig::tiny());
+        assert!(g.windows(2).all(|w| w[1] < w[0]), "gosa must decrease: {g:?}");
+        assert!(g[0] > 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_serial_residual() {
+        let cfg = HimenoConfig::tiny();
+        let serial = *serial_gosa(&cfg).last().unwrap();
+        for images in [1, 2, 3, 5] {
+            let r = run_himeno(Platform::Stampede, Backend::Shmem, None, images, cfg);
+            let rel = (r.gosa - serial).abs() / serial;
+            assert!(rel < 1e-5, "images={images}: {} vs serial {serial} (rel {rel:e})", r.gosa);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_all_backends_and_algorithms() {
+        let cfg = HimenoConfig::tiny();
+        let serial = *serial_gosa(&cfg).last().unwrap();
+        for (platform, backend, strided) in [
+            (Platform::Stampede, Backend::Gasnet, None),
+            (Platform::Stampede, Backend::Gasnet, Some(StridedAlgorithm::AmPacked)),
+            (Platform::Titan, Backend::CrayCaf, None),
+            (Platform::Stampede, Backend::Shmem, Some(StridedAlgorithm::TwoDim)),
+            (Platform::Stampede, Backend::Shmem, Some(StridedAlgorithm::Naive)),
+        ] {
+            let r = run_himeno(platform, backend, strided, 4, cfg);
+            let rel = (r.gosa - serial).abs() / serial;
+            assert!(rel < 1e-5, "{backend:?}/{strided:?}: rel {rel:e}");
+        }
+    }
+
+    #[test]
+    fn mflops_scale_with_images() {
+        // The paper's best Himeno configuration on Stampede: SHMEM with the
+        // naive (pencil-putmem) algorithm.
+        let cfg = HimenoConfig::size_xs();
+        let naive = Some(StridedAlgorithm::Naive);
+        let one = run_himeno(Platform::Stampede, Backend::Shmem, naive, 1, cfg).mflops;
+        let eight = run_himeno(Platform::Stampede, Backend::Shmem, naive, 8, cfg).mflops;
+        assert!(eight > 3.0 * one, "8 images {eight:.0} vs 1 image {one:.0} MFLOPS");
+    }
+
+    #[test]
+    fn shmem_outperforms_gasnet_at_scale() {
+        // §V-D: UHCAF over MVAPICH2-X SHMEM (naive halo) beats UHCAF over
+        // GASNet for >= 16 images (inter-node halo traffic dominates).
+        let cfg = HimenoConfig::size_xs();
+        let naive = Some(StridedAlgorithm::Naive);
+        let shmem = run_himeno(Platform::Stampede, Backend::Shmem, naive, 16, cfg).mflops;
+        let gasnet = run_himeno(Platform::Stampede, Backend::Gasnet, naive, 16, cfg).mflops;
+        assert!(shmem > gasnet, "SHMEM {shmem:.0} vs GASNet {gasnet:.0} MFLOPS");
+    }
+
+    #[test]
+    fn naive_is_not_worse_than_twodim_on_mvapich() {
+        // §V-D: the naive algorithm is the best choice for the
+        // matrix-oriented halo on MVAPICH2-X (iput loops putmem per element,
+        // naive sends one putmem per contiguous pencil).
+        let cfg = HimenoConfig::size_xs();
+        let naive = run_himeno(
+            Platform::Stampede,
+            Backend::Shmem,
+            Some(StridedAlgorithm::Naive),
+            8,
+            cfg,
+        )
+        .mflops;
+        let twodim = run_himeno(
+            Platform::Stampede,
+            Backend::Shmem,
+            Some(StridedAlgorithm::TwoDim),
+            8,
+            cfg,
+        )
+        .mflops;
+        assert!(naive >= twodim * 0.99, "naive {naive:.0} vs 2dim {twodim:.0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too many images")]
+    fn over_decomposition_rejected() {
+        run_himeno(Platform::Stampede, Backend::Shmem, None, 11, HimenoConfig::tiny());
+    }
+}

@@ -1,0 +1,40 @@
+//! # caf-apps — application benchmarks over the CAF runtime
+//!
+//! The two applications of the paper's evaluation plus a halo-exchange
+//! mini-app:
+//!
+//! * [`dht`] — the distributed hash table benchmark (§V-C, Figure 9):
+//!   random locked updates, atomicity via CAF per-image locks.
+//! * [`himeno`] — the Himeno pressure solver (§V-D, Figure 10): 19-point
+//!   Jacobi stencil with matrix-oriented strided halo exchange.
+//! * [`heat`] — a 1-D heat-diffusion mini-app exercising `sync images`
+//!   with neighbour lists and section-based gather.
+
+pub mod dht;
+pub mod heat;
+pub mod himeno;
+pub mod histogram;
+pub mod stencil2d;
+pub mod transpose;
+
+pub use dht::{run_dht, DhtConfig, DhtResult};
+pub use heat::{parallel_heat, serial_heat, HeatConfig};
+pub use himeno::{run_himeno, serial_gosa, HimenoConfig, HimenoResult};
+pub use histogram::{run_histogram, serial_histogram, HistogramConfig, HistogramMethod};
+pub use stencil2d::{parallel_stencil, serial_stencil, StencilConfig};
+pub use transpose::{parallel_transpose, serial_transpose, TransposeConfig};
+
+use pgas_machine::{MachineConfig, Platform};
+
+/// Build a machine for a job of `images` images: 16 cores/node on the paper
+/// platforms (like the paper's runs), a single node on GenericSmp.
+pub(crate) fn job_machine(platform: Platform, images: usize, heap_bytes: usize) -> MachineConfig {
+    let cfg = match platform {
+        Platform::GenericSmp => platform.config(1, images),
+        _ => {
+            let cores = 16.min(images);
+            platform.config(images.div_ceil(cores), cores)
+        }
+    };
+    cfg.with_heap_bytes(heap_bytes.next_power_of_two())
+}

@@ -1,0 +1,146 @@
+//! Distributed matrix transpose — a classic PGAS kernel combining
+//! `alltoall`-style block exchange with strided section writes: each image
+//! owns a block of columns, sends a tile to every other image, and lands its
+//! incoming tiles transposed via co-indexed strided puts.
+
+use caf::{run_caf, Backend, CafConfig, DimRange, Section};
+use pgas_machine::Platform;
+
+/// Configuration: a square `n x n` matrix of `f64`, distributed by columns.
+#[derive(Debug, Clone, Copy)]
+pub struct TransposeConfig {
+    pub n: usize,
+}
+
+/// Sequential oracle.
+pub fn serial_transpose(a: &[f64], n: usize) -> Vec<f64> {
+    let mut t = vec![0.0; n * n];
+    for j in 0..n {
+        for i in 0..n {
+            t[j + n * i] = a[i + n * j];
+        }
+    }
+    t
+}
+
+/// A deterministic test matrix (column-major).
+pub fn test_matrix(n: usize) -> Vec<f64> {
+    (0..n * n).map(|k| (k as f64) * 0.5 + 1.0).collect()
+}
+
+/// Transpose a column-distributed matrix across `images` images; returns the
+/// reassembled transposed matrix (gathered and broadcast so every image's
+/// result is checked).
+pub fn parallel_transpose(
+    platform: Platform,
+    backend: Backend,
+    images: usize,
+    cfg: TransposeConfig,
+) -> Vec<f64> {
+    let n = cfg.n;
+    assert!(n.is_multiple_of(images), "n must divide evenly across images");
+    let cols = n / images; // columns owned per image
+    let cores = 8.min(images);
+    let nodes = images.div_ceil(cores);
+    let heap = (2 * n * cols * 8 + n * n * 8 + (1 << 17)).next_power_of_two();
+    let mcfg = platform.config(nodes, cores).with_heap_bytes(heap);
+    let out = run_caf(mcfg, CafConfig::new(backend, platform).with_nonsym_bytes(4096), move |img| {
+        let me = img.this_image();
+        // My column block of A (n rows x cols columns) and of A^T.
+        let a_block = img.coarray::<f64>(&[n, cols]).unwrap();
+        let t_block = img.coarray::<f64>(&[n, cols]).unwrap();
+        let full = test_matrix(n);
+        let my_cols_start = (me - 1) * cols;
+        let mut mine = Vec::with_capacity(n * cols);
+        for j in 0..cols {
+            for i in 0..n {
+                mine.push(full[i + n * (my_cols_start + j)]);
+            }
+        }
+        a_block.write_local(img, &mine);
+        img.sync_all();
+
+        // For every target image q, the tile A[q's rows, my cols] becomes
+        // A^T[my rows' columns...]: transpose the tile locally, then land it
+        // with a strided section put into q's t_block.
+        for q in 1..=img.num_images() {
+            let q_rows_start = (q - 1) * cols; // rows of A that become q's columns of A^T
+            // Tile is cols x cols: element (r, c) of the tile is
+            // A[q_rows_start + r, my col c].
+            let mut tile_t = vec![0.0f64; cols * cols];
+            for c in 0..cols {
+                for r in 0..cols {
+                    // transposed: tile_t[c, r] = tile[r, c]
+                    tile_t[c + cols * r] = mine[(q_rows_start + r) + n * c];
+                }
+            }
+            // Destination in q's t_block: rows my_cols_start.., columns 0..cols
+            // (t_block column j on q is A^T column q_rows_start + j).
+            let sec = Section::new(vec![
+                DimRange { start: my_cols_start, count: cols, step: 1 },
+                DimRange { start: 0, count: cols, step: 1 },
+            ]);
+            t_block.put_section(img, q, &sec, &tile_t);
+        }
+        img.sync_all();
+
+        // Assemble the global transpose on image 1 and broadcast for checking.
+        let global = img.coarray::<f64>(&[n, n]).unwrap();
+        let sec = Section::new(vec![
+            DimRange { start: 0, count: n, step: 1 },
+            DimRange { start: my_cols_start, count: cols, step: 1 },
+        ]);
+        let t_local = t_block.read_local(img);
+        global.put_section(img, 1, &sec, &t_local);
+        img.sync_all();
+        let mut result = global.get_from(img, 1);
+        img.co_broadcast(&mut result, 1);
+        result
+    });
+    out.results.into_iter().next().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_oracle_is_an_involution() {
+        let n = 6;
+        let a = test_matrix(n);
+        let t = serial_transpose(&a, n);
+        assert_ne!(a, t);
+        assert_eq!(serial_transpose(&t, n), a);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let cfg = TransposeConfig { n: 12 };
+        let expect = serial_transpose(&test_matrix(12), 12);
+        for images in [1usize, 2, 3, 4, 6] {
+            let got = parallel_transpose(Platform::GenericSmp, Backend::Shmem, images, cfg);
+            assert_eq!(got, expect, "images={images}");
+        }
+    }
+
+    #[test]
+    fn works_across_nodes_and_backends() {
+        let cfg = TransposeConfig { n: 8 };
+        let expect = serial_transpose(&test_matrix(8), 8);
+        for backend in [Backend::Shmem, Backend::Gasnet] {
+            let got = parallel_transpose(Platform::CrayXc30, backend, 4, cfg);
+            assert_eq!(got, expect, "{backend:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn uneven_distribution_rejected() {
+        parallel_transpose(
+            Platform::GenericSmp,
+            Backend::Shmem,
+            5,
+            TransposeConfig { n: 12 },
+        );
+    }
+}

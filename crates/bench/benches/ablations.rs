@@ -1,0 +1,10 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//! ABL1 base-dimension selection, ABL2 lock algorithms, EXT1 shmem_ptr.
+
+fn main() {
+    let quick = repro_bench::quick_from_env();
+    let max = repro_bench::max_images_from_env(if quick { 16 } else { 64 });
+    repro_bench::abl1_base_dim(quick).emit();
+    repro_bench::abl2_lock_algorithms(quick, max).emit();
+    repro_bench::ext1_shmem_ptr_fastpath(quick).emit();
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 10 (CAF Himeno on Stampede).
+
+fn main() {
+    let quick = repro_bench::quick_from_env();
+    let max = repro_bench::max_images_from_env(if quick { 16 } else { 127 });
+    repro_bench::fig10_himeno(quick, max).emit();
+}

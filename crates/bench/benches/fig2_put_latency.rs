@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig2 (run: `cargo bench --bench fig2_put_latency`).
+//! Set REPRO_QUICK=1 for a fast smoke run.
+
+fn main() {
+    let quick = repro_bench::quick_from_env();
+    repro_bench::fig2_put_latency(quick).emit();
+}

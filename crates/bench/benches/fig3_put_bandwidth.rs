@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig3 (run: `cargo bench --bench fig3_put_bandwidth`).
+//! Set REPRO_QUICK=1 for a fast smoke run.
+
+fn main() {
+    let quick = repro_bench::quick_from_env();
+    repro_bench::fig3_put_bandwidth(quick).emit();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig6 (run: `cargo bench --bench fig6_xc30_caf`).
+//! Set REPRO_QUICK=1 for a fast smoke run.
+
+fn main() {
+    let quick = repro_bench::quick_from_env();
+    repro_bench::fig6_xc30_caf(quick).emit();
+}

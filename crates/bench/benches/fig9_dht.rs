@@ -1,0 +1,7 @@
+//! Regenerates Figure 9 (distributed hash table on Titan).
+
+fn main() {
+    let quick = repro_bench::quick_from_env();
+    let max = repro_bench::max_images_from_env(if quick { 32 } else { 256 });
+    repro_bench::fig9_dht(quick, max).emit();
+}

@@ -1,0 +1,7 @@
+//! Supplementary point-to-point kernels (get latency/bandwidth,
+//! bidirectional put) — the rest of the PGAS microbenchmark suite.
+
+fn main() {
+    let quick = repro_bench::quick_from_env();
+    repro_bench::supp_pt2pt(quick).emit();
+}

@@ -1,0 +1,10 @@
+//! Regenerates Tables I, II and III.
+
+fn main() {
+    println!("# Table I — CAF implementations and communication layers\n");
+    println!("{}", repro_bench::render_table1());
+    println!("# Table II — CAF / OpenSHMEM feature mapping\n");
+    println!("{}", repro_bench::render_table2());
+    println!("# Table III — machine configurations (platform presets)\n");
+    println!("{}", repro_bench::render_table3());
+}

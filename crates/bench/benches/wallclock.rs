@@ -1,0 +1,81 @@
+//! Criterion wall-clock microbenchmarks for the simulator's own hot paths
+//! (everything else in this workspace reports *virtual* time; these are the
+//! real-time costs that bound how fast reproductions run).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use openshmem::SymAlloc;
+use pgas_machine::heap::Heap;
+
+fn heap_copy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heap_copy");
+    for size in [64usize, 4096, 1 << 20] {
+        let heap = Heap::new(size + 64);
+        let src = vec![0xA5u8; size];
+        let mut dst = vec![0u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("write_{size}"), |b| {
+            b.iter(|| heap.write_bytes(8, std::hint::black_box(&src)))
+        });
+        g.bench_function(format!("read_{size}"), |b| {
+            b.iter(|| heap.read_bytes(8, std::hint::black_box(&mut dst)))
+        });
+    }
+    g.finish();
+}
+
+fn allocator(c: &mut Criterion) {
+    c.bench_function("sym_alloc_churn", |b| {
+        b.iter_batched(
+            || SymAlloc::new(1 << 20),
+            |mut a| {
+                let mut held = Vec::new();
+                for i in 1..=100 {
+                    held.push(a.alloc((i % 13 + 1) * 32).unwrap());
+                    if i % 3 == 0 {
+                        let victim = held.remove(held.len() / 2);
+                        a.free(victim).unwrap();
+                    }
+                }
+                for off in held {
+                    a.free(off).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn section_enumeration(c: &mut Criterion) {
+    use caf::{DimRange, Section};
+    let sec = Section::new(vec![
+        DimRange { start: 0, count: 50, step: 2 },
+        DimRange { start: 0, count: 40, step: 2 },
+        DimRange { start: 0, count: 25, step: 4 },
+    ]);
+    let shape = [100usize, 100, 100];
+    c.bench_function("section_elements_50k", |b| {
+        b.iter(|| std::hint::black_box(sec.elements(&shape)).len())
+    });
+    c.bench_function("section_pencils_1k", |b| {
+        b.iter(|| std::hint::black_box(sec.pencils(&shape, 0)).len())
+    });
+}
+
+fn tiny_simulation(c: &mut Criterion) {
+    use caf::{run_caf, Backend, CafConfig};
+    use pgas_machine::{generic_smp, Platform};
+    c.bench_function("spawn_4_image_job", |b| {
+        b.iter(|| {
+            run_caf(
+                generic_smp(4).with_heap_bytes(1 << 16),
+                CafConfig::new(Backend::Shmem, Platform::GenericSmp).with_nonsym_bytes(1024),
+                |img| img.this_image(),
+            )
+            .results
+            .len()
+        })
+    });
+}
+
+criterion_group!(benches, heap_copy, allocator, section_enumeration, tiny_simulation);
+criterion_main!(benches);

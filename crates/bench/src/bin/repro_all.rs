@@ -1,0 +1,44 @@
+//! Regenerate every table and figure of the paper in one run and write a
+//! combined report to `results/`.
+//!
+//! ```bash
+//! cargo run --release -p repro-bench --bin repro_all            # full
+//! REPRO_QUICK=1 cargo run --release -p repro-bench --bin repro_all  # smoke
+//! ```
+
+use pgas_microbench::Figure;
+
+/// A deferred figure job (name, generator).
+type Job = (&'static str, Box<dyn Fn() -> Figure>);
+
+fn main() {
+    let quick = repro_bench::quick_from_env();
+    let max = repro_bench::max_images_from_env(if quick { 32 } else { 256 });
+    let himeno_max = repro_bench::max_images_from_env(if quick { 16 } else { 127 });
+    let t0 = std::time::Instant::now();
+
+    println!("# Tables\n");
+    println!("## Table I\n\n{}", repro_bench::render_table1());
+    println!("## Table II\n\n{}", repro_bench::render_table2());
+    println!("## Table III\n\n{}", repro_bench::render_table3());
+
+    let jobs: Vec<Job> = vec![
+        ("fig2", Box::new(move || repro_bench::fig2_put_latency(quick))),
+        ("fig3", Box::new(move || repro_bench::fig3_put_bandwidth(quick))),
+        ("fig6", Box::new(move || repro_bench::fig6_xc30_caf(quick))),
+        ("fig7", Box::new(move || repro_bench::fig7_stampede_caf(quick))),
+        ("fig8", Box::new(move || repro_bench::fig8_locks(quick, max))),
+        ("fig9", Box::new(move || repro_bench::fig9_dht(quick, max))),
+        ("fig10", Box::new(move || repro_bench::fig10_himeno(quick, himeno_max))),
+        ("abl1", Box::new(move || repro_bench::abl1_base_dim(quick))),
+        ("abl2", Box::new(move || repro_bench::abl2_lock_algorithms(quick, max.min(64)))),
+        ("ext1", Box::new(move || repro_bench::ext1_shmem_ptr_fastpath(quick))),
+        ("supp", Box::new(move || repro_bench::supp_pt2pt(quick))),
+    ];
+    for (name, job) in jobs {
+        let fig = job();
+        fig.emit();
+        eprintln!("[repro_all] {name} done at {:?}", t0.elapsed());
+    }
+    eprintln!("[repro_all] total wall time {:?}", t0.elapsed());
+}

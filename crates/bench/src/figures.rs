@@ -1,0 +1,486 @@
+//! Figure generators (paper Figures 2, 3, 6, 7, 8, 9, 10 plus ablations).
+
+use caf::{Backend, StridedAlgorithm};
+use caf_apps::{run_dht, run_himeno, DhtConfig, HimenoConfig};
+use pgas_conduit::ConduitProfile;
+use pgas_machine::Platform;
+use pgas_microbench::lock_bench::{image_sweep, naive_spinlock_ms, LockBench};
+use pgas_microbench::rma::{large_sizes, small_sizes};
+use pgas_microbench::{CafPairBench, Figure, PairBench, Panel, Series};
+
+fn library_profiles(platform: Platform) -> Vec<(String, ConduitProfile)> {
+    match platform {
+        Platform::Stampede => vec![
+            ("MVAPICH2-X SHMEM".into(), ConduitProfile::mvapich_shmem()),
+            ("MVAPICH2-X MPI-3.0".into(), ConduitProfile::mpi3(platform)),
+            ("GASNet".into(), ConduitProfile::gasnet(platform)),
+        ],
+        _ => vec![
+            ("Cray SHMEM".into(), ConduitProfile::cray_shmem(platform)),
+            ("Cray MPICH".into(), ConduitProfile::mpi3(platform)),
+            ("GASNet".into(), ConduitProfile::gasnet(platform)),
+        ],
+    }
+}
+
+fn thin(sizes: Vec<usize>, quick: bool) -> Vec<usize> {
+    if quick {
+        sizes.into_iter().step_by(3).collect()
+    } else {
+        sizes
+    }
+}
+
+/// Figure 2: put latency, SHMEM vs MPI-3 vs GASNet, two platforms,
+/// 1 pair and 16 pairs.
+pub fn fig2_put_latency(quick: bool) -> Figure {
+    let mut fig = Figure::new(
+        "fig2_put_latency",
+        "Put latency comparison using two nodes for SHMEM, MPI-3.0 and GASNet",
+    );
+    let iters = if quick { 3 } else { 15 };
+    for platform in [Platform::Stampede, Platform::Titan] {
+        for (pairs, tag) in [(1usize, "1 pair"), (16, "16 pairs")] {
+            for (range, sizes) in [
+                ("small", thin(small_sizes(), quick)),
+                ("large", thin(large_sizes(), quick)),
+            ] {
+                let mut panel = Panel::new(
+                    format!("{}: put {tag}, {range} sizes", platform.name()),
+                    "bytes",
+                    "latency (us)",
+                );
+                for (label, profile) in library_profiles(platform) {
+                    let mut b = PairBench::new(platform, profile, pairs);
+                    b.iters = iters;
+                    let mut s = Series::new(label);
+                    for &size in &sizes {
+                        s.push(size as f64, b.put_latency_us(size));
+                    }
+                    panel.series.push(s);
+                }
+                fig.panels.push(panel);
+            }
+        }
+    }
+    fig
+}
+
+/// Figure 3: put bandwidth for the same configurations.
+pub fn fig3_put_bandwidth(quick: bool) -> Figure {
+    let mut fig = Figure::new(
+        "fig3_put_bandwidth",
+        "Put bandwidth comparison using two nodes for SHMEM, MPI-3.0 and GASNet",
+    );
+    let iters = if quick { 3 } else { 10 };
+    let mut sizes = thin(small_sizes(), quick);
+    sizes.extend(thin(large_sizes(), quick));
+    for platform in [Platform::Stampede, Platform::Titan] {
+        for (pairs, tag) in [(1usize, "1 pair"), (16, "16 pairs")] {
+            let mut panel = Panel::new(
+                format!("{}: put {tag}", platform.name()),
+                "bytes",
+                "bandwidth (MB/s per pair)",
+            );
+            for (label, profile) in library_profiles(platform) {
+                let mut b = PairBench::new(platform, profile, pairs);
+                b.iters = iters;
+                let mut s = Series::new(label);
+                for &size in &sizes {
+                    s.push(size as f64, b.put_bandwidth_mbs(size));
+                }
+                panel.series.push(s);
+            }
+            fig.panels.push(panel);
+        }
+    }
+    fig
+}
+
+fn caf_put_figure(fig_id: &str, platform: Platform, quick: bool) -> Figure {
+    let mut fig = Figure::new(
+        fig_id,
+        format!(
+            "PGAS Microbenchmark tests on {}: put bandwidth and 2-D strided put bandwidth",
+            platform.name()
+        ),
+    );
+    let iters = if quick { 3 } else { 8 };
+    let backends: Vec<Backend> = match platform {
+        Platform::Stampede => vec![Backend::Shmem, Backend::Gasnet],
+        _ => vec![Backend::CrayCaf, Backend::Shmem, Backend::Gasnet],
+    };
+    // (a)/(b): contiguous put bandwidth.
+    let mut sizes = thin(small_sizes(), quick);
+    sizes.extend(thin(large_sizes(), true));
+    for (pairs, tag) in [(1usize, "1 pair"), (16, "16 pairs")] {
+        let mut panel = Panel::new(
+            format!("contiguous put: {tag}"),
+            "bytes",
+            "bandwidth (MB/s per pair)",
+        );
+        for &backend in &backends {
+            let mut b = CafPairBench::new(platform, backend, pairs);
+            b.iters = iters;
+            let mut s = Series::new(backend.label(platform));
+            for &size in &sizes {
+                s.push(size as f64, b.contiguous_put_bw_mbs(size));
+            }
+            panel.series.push(s);
+        }
+        fig.panels.push(panel);
+    }
+    // (c)/(d): 2-D strided put bandwidth.
+    let mut strided_cfgs: Vec<(String, Backend, Option<StridedAlgorithm>)> = Vec::new();
+    if matches!(platform, Platform::CrayXc30 | Platform::Titan) {
+        strided_cfgs.push(("Cray-CAF".into(), Backend::CrayCaf, None));
+    }
+    strided_cfgs.push((
+        format!("{}-naive", Backend::Shmem.label(platform)),
+        Backend::Shmem,
+        Some(StridedAlgorithm::Naive),
+    ));
+    strided_cfgs.push((
+        format!("{}-2dim", Backend::Shmem.label(platform)),
+        Backend::Shmem,
+        Some(StridedAlgorithm::TwoDim),
+    ));
+    strided_cfgs.push(("UHCAF-GASNet".into(), Backend::Gasnet, None));
+    let strides = if quick { vec![2usize, 8] } else { pgas_microbench::caf_rma::stride_sweep() };
+    for (pairs, tag) in [(1usize, "1 pair"), (16, "16 pairs")] {
+        let mut panel = Panel::new(
+            format!("2-D strided put: {tag}"),
+            "stride (# of integers)",
+            "bandwidth (MB/s per pair)",
+        );
+        for (label, backend, strided) in &strided_cfgs {
+            let mut b = CafPairBench::new(platform, *backend, pairs);
+            b.iters = if quick { 2 } else { 5 };
+            if let Some(a) = strided {
+                b = b.with_strided(*a);
+            }
+            let mut s = Series::new(label.clone());
+            for &stride in &strides {
+                s.push(stride as f64, b.strided_put_bw_mbs(stride));
+            }
+            panel.series.push(s);
+        }
+        fig.panels.push(panel);
+    }
+    fig
+}
+
+/// Figure 6: CAF put + strided put bandwidth on the Cray XC30.
+pub fn fig6_xc30_caf(quick: bool) -> Figure {
+    caf_put_figure("fig6_xc30_caf", Platform::CrayXc30, quick)
+}
+
+/// Figure 7: CAF put + strided put bandwidth on Stampede.
+pub fn fig7_stampede_caf(quick: bool) -> Figure {
+    caf_put_figure("fig7_stampede_caf", Platform::Stampede, quick)
+}
+
+/// Figure 8: lock microbenchmark on Titan — all images acquire and release
+/// a lock on image 1.
+pub fn fig8_locks(quick: bool, max_images: usize) -> Figure {
+    let mut fig = Figure::new(
+        "fig8_locks",
+        "Microbenchmark test for locks on Titan: all images lock/unlock on image 1",
+    );
+    let mut panel = Panel::new("lock contention", "images", "time (ms)");
+    let acquires = if quick { 5 } else { 10 };
+    let sweep = image_sweep(max_images);
+    for backend in [Backend::CrayCaf, Backend::Gasnet, Backend::Shmem] {
+        let mut s = Series::new(backend.label(Platform::Titan));
+        for &images in &sweep {
+            let b = LockBench { acquires, ..LockBench::new(Platform::Titan, backend, images) };
+            s.push(images as f64, b.run_ms());
+        }
+        panel.series.push(s);
+    }
+    fig.panels.push(panel);
+    fig
+}
+
+/// Figure 9: the DHT benchmark on Titan.
+pub fn fig9_dht(quick: bool, max_images: usize) -> Figure {
+    let mut fig = Figure::new("fig9_dht", "Distributed Hash Table (Titan)");
+    let mut panel = Panel::new("DHT locked updates", "images", "time (ms)");
+    let cfg = DhtConfig {
+        updates_per_image: if quick { 16 } else { 48 },
+        slots_per_image: 128,
+        ..Default::default()
+    };
+    let sweep = image_sweep(max_images);
+    for backend in [Backend::CrayCaf, Backend::Gasnet, Backend::Shmem] {
+        let mut s = Series::new(backend.label(Platform::Titan));
+        for &images in &sweep {
+            s.push(images as f64, run_dht(Platform::Titan, backend, images, cfg).time_ms);
+        }
+        panel.series.push(s);
+    }
+    fig.panels.push(panel);
+    fig
+}
+
+/// Figure 10: CAF Himeno performance on Stampede.
+pub fn fig10_himeno(quick: bool, max_images: usize) -> Figure {
+    let mut fig = Figure::new("fig10_himeno", "CAF Himeno benchmark performance on Stampede");
+    let mut panel = Panel::new("Himeno Jacobi solver", "images", "MFLOPS");
+    let cfg = if quick { HimenoConfig::size_xs() } else { HimenoConfig::size_s() };
+    let sweep: Vec<usize> =
+        [4usize, 8, 16, 32, 63, 127].into_iter().filter(|&n| n <= max_images.min(cfg.jmax - 2)).collect();
+    let configs: [(&str, Backend, Option<StridedAlgorithm>); 3] = [
+        ("UHCAF-MVAPICH2-X-SHMEM", Backend::Shmem, Some(StridedAlgorithm::Naive)),
+        ("UHCAF-GASNet", Backend::Gasnet, None),
+        ("UHCAF-GASNet-with-AM", Backend::Gasnet, Some(StridedAlgorithm::AmPacked)),
+    ];
+    for (label, backend, strided) in configs {
+        let mut s = Series::new(label);
+        for &images in &sweep {
+            let r = run_himeno(Platform::Stampede, backend, strided, images, cfg);
+            s.push(images as f64, r.mflops);
+        }
+        panel.series.push(s);
+    }
+    fig.panels.push(panel);
+    fig
+}
+
+/// Supplementary (not a paper figure): the PGAS microbenchmark suite's
+/// remaining point-to-point kernels — get latency/bandwidth and
+/// bidirectional put bandwidth — across the same library profiles.
+pub fn supp_pt2pt(quick: bool) -> Figure {
+    let mut fig = Figure::new(
+        "supp_pt2pt",
+        "Supplementary point-to-point kernels: get latency, get bandwidth, bidirectional put",
+    );
+    let iters = if quick { 3 } else { 10 };
+    let sizes = {
+        let mut v = thin(small_sizes(), quick);
+        v.extend(thin(large_sizes(), true));
+        v
+    };
+    for platform in [Platform::Stampede, Platform::Titan] {
+        let mut lat = Panel::new(
+            format!("{}: get latency, 1 pair", platform.name()),
+            "bytes",
+            "latency (us)",
+        );
+        let mut gbw = Panel::new(
+            format!("{}: get bandwidth (nbi window), 1 pair", platform.name()),
+            "bytes",
+            "bandwidth (MB/s)",
+        );
+        let mut bibw = Panel::new(
+            format!("{}: bidirectional put, 1 pair", platform.name()),
+            "bytes",
+            "bandwidth (MB/s per direction)",
+        );
+        for (label, profile) in library_profiles(platform) {
+            let mut b = PairBench::new(platform, profile, 1);
+            b.iters = iters;
+            let mut s_lat = Series::new(label.clone());
+            let mut s_gbw = Series::new(label.clone());
+            let mut s_bi = Series::new(label);
+            for &size in &sizes {
+                s_lat.push(size as f64, b.get_latency_us(size));
+                s_gbw.push(size as f64, b.get_bandwidth_mbs(size));
+                s_bi.push(size as f64, b.bi_bandwidth_mbs(size));
+            }
+            lat.series.push(s_lat);
+            gbw.series.push(s_gbw);
+            bibw.series.push(s_bi);
+        }
+        fig.panels.push(lat);
+        fig.panels.push(gbw);
+        fig.panels.push(bibw);
+    }
+    fig
+}
+
+/// Ablation 1 (§IV-C design choice): base-dimension selection strategies
+/// across section aspect ratios.
+pub fn abl1_base_dim(quick: bool) -> Figure {
+    use caf::{run_caf, CafConfig, DimRange, Section};
+    let mut fig = Figure::new(
+        "abl1_base_dim",
+        "Ablation: base-dimension choice (1dim vs 2dim vs best-of-all) across 3-D section shapes",
+    );
+    let iters = if quick { 2 } else { 5 };
+    // (c0, c1, c2) element counts per dimension; dim strides fixed at 2.
+    let shapes = [(32usize, 8usize, 4usize), (8, 32, 4), (4, 8, 32), (16, 16, 16)];
+    let mut panel = Panel::new(
+        "strided put time by algorithm",
+        "section shape index",
+        "time per statement (us)",
+    );
+    for algo in [
+        StridedAlgorithm::OneDim,
+        StridedAlgorithm::TwoDim,
+        StridedAlgorithm::BestOfAll,
+        StridedAlgorithm::Adaptive,
+    ] {
+        let mut s = Series::new(algo.label());
+        for (ix, &(c0, c1, c2)) in shapes.iter().enumerate() {
+            let shape = [c0 * 2, c1 * 2, c2 * 2];
+            let heap = (shape.iter().product::<usize>() * 4 * 2 + (1 << 16)).next_power_of_two();
+            let mcfg = Platform::CrayXc30.config(2, 1).with_heap_bytes(heap);
+            let ccfg = CafConfig::new(Backend::Shmem, Platform::CrayXc30).with_strided(algo);
+            let out = run_caf(mcfg, ccfg, move |img| {
+                let a = img.coarray::<i32>(&shape).unwrap();
+                let sec = Section::new(vec![
+                    DimRange { start: 0, count: c0, step: 2 },
+                    DimRange { start: 0, count: c1, step: 2 },
+                    DimRange { start: 0, count: c2, step: 2 },
+                ]);
+                let data = vec![1i32; sec.total()];
+                if img.this_image() == 1 {
+                    let t0 = img.shmem().ctx().pe().now();
+                    for _ in 0..iters {
+                        a.put_section(img, 2, &sec, &data);
+                    }
+                    (img.shmem().ctx().pe().now() - t0) as f64 / iters as f64 / 1000.0
+                } else {
+                    0.0
+                }
+            });
+            s.push(ix as f64, out.results[0]);
+        }
+        panel.series.push(s);
+    }
+    fig.panels.push(panel);
+    fig
+}
+
+/// Ablation 2 (§IV-D design choice): MCS vs naive spinlock vs the
+/// OpenSHMEM global lock under contention.
+pub fn abl2_lock_algorithms(quick: bool, max_images: usize) -> Figure {
+    let mut fig = Figure::new(
+        "abl2_lock_algorithms",
+        "Ablation: MCS CAF lock vs naive remote spinlock vs OpenSHMEM global lock",
+    );
+    let mut panel = Panel::new("lock algorithms on Titan", "images", "time (ms)");
+    let acquires = if quick { 4 } else { 10 };
+    let sweep = image_sweep(max_images.min(64));
+    let mut mcs = Series::new("CAF MCS lock (paper)");
+    let mut naive = Series::new("naive remote spinlock");
+    let mut global = Series::new("OpenSHMEM global lock");
+    for &images in &sweep {
+        let b = LockBench { acquires, ..LockBench::new(Platform::Titan, Backend::Shmem, images) };
+        mcs.push(images as f64, b.run_ms());
+        naive.push(
+            images as f64,
+            naive_spinlock_ms(Platform::Titan, Backend::Shmem, images, acquires),
+        );
+        global.push(images as f64, shmem_global_lock_ms(images, acquires));
+    }
+    panel.series.push(mcs);
+    panel.series.push(naive);
+    panel.series.push(global);
+    fig.panels.push(panel);
+    fig
+}
+
+/// Time the OpenSHMEM global lock under the Figure 8 access pattern.
+fn shmem_global_lock_ms(images: usize, acquires: usize) -> f64 {
+    use openshmem::{Shmem, ShmemConfig};
+    let cores = 16.min(images);
+    let nodes = images.div_ceil(cores);
+    let mcfg = Platform::Titan.config(nodes, cores).with_heap_bytes(1 << 16);
+    let out = pgas_machine::run(mcfg, move |pe| {
+        let shmem = Shmem::new(pe, ShmemConfig::new(ConduitProfile::cray_shmem(Platform::Titan)));
+        let lock = shmem.shmalloc::<u64>(1).unwrap();
+        shmem.barrier_all();
+        let t0 = pe.now();
+        for _ in 0..acquires {
+            shmem.set_lock(lock);
+            shmem.clear_lock(lock);
+        }
+        shmem.barrier_all();
+        (pe.now() - t0) as f64 / 1e6
+    });
+    out.results.into_iter().fold(0.0, f64::max)
+}
+
+/// Extension (§VII future work): the `shmem_ptr` direct load/store fast
+/// path for intra-node transfers.
+pub fn ext1_shmem_ptr_fastpath(quick: bool) -> Figure {
+    use caf::{run_caf, CafConfig};
+    let mut fig = Figure::new(
+        "ext1_shmem_ptr_fastpath",
+        "Extension: shmem_ptr intra-node load/store fast path (paper §VII future work)",
+    );
+    let mut panel = Panel::new("intra-node put latency", "bytes", "latency (us)");
+    let iters = if quick { 5 } else { 20 };
+    for (label, fastpath) in [("message path", false), ("shmem_ptr fast path", true)] {
+        let mut s = Series::new(label);
+        for size in [8usize, 64, 512, 4096, 32768] {
+            let mcfg = Platform::Stampede.config(1, 2).with_heap_bytes(1 << 18);
+            let ccfg = CafConfig::new(Backend::Shmem, Platform::Stampede).with_fastpath(fastpath);
+            let elems = size / 4;
+            let out = run_caf(mcfg, ccfg, move |img| {
+                let a = img.coarray::<i32>(&[elems]).unwrap();
+                let data = vec![5i32; elems];
+                img.sync_all();
+                if img.this_image() == 1 {
+                    let t0 = img.shmem().ctx().pe().now();
+                    for _ in 0..iters {
+                        a.put_to(img, 2, &data);
+                    }
+                    (img.shmem().ctx().pe().now() - t0) as f64 / iters as f64 / 1000.0
+                } else {
+                    0.0
+                }
+            });
+            s.push(size as f64, out.results[0]);
+        }
+        panel.series.push(s);
+    }
+    fig.panels.push(panel);
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_shapes_hold() {
+        let fig = fig2_put_latency(true);
+        assert_eq!(fig.panels.len(), 8);
+        // Stampede, 1 pair, small sizes: SHMEM and GASNet below MPI-3.
+        let p = &fig.panels[0];
+        let shmem = p.series("MVAPICH2-X SHMEM").unwrap();
+        let mpi = p.series("MVAPICH2-X MPI-3.0").unwrap();
+        let gasnet = p.series("GASNet").unwrap();
+        assert!(shmem.geomean_ratio_over(mpi) < 1.0, "SHMEM beats MPI-3 (small, 1 pair)");
+        assert!(gasnet.geomean_ratio_over(mpi) < 1.0, "GASNet beats MPI-3 (small, 1 pair)");
+        // Large sizes: SHMEM beats GASNet.
+        let p = &fig.panels[1];
+        assert!(
+            p.series("MVAPICH2-X SHMEM").unwrap().geomean_ratio_over(p.series("GASNet").unwrap())
+                < 1.0
+        );
+    }
+
+    #[test]
+    fn fig8_ordering_holds() {
+        let fig = fig8_locks(true, 16);
+        let p = &fig.panels[0];
+        let shmem = p.series("UHCAF-Cray-SHMEM").unwrap();
+        let gasnet = p.series("UHCAF-GASNet").unwrap();
+        let cray = p.series("Cray-CAF").unwrap();
+        assert!(shmem.geomean_ratio_over(gasnet) < 1.0, "SHMEM locks faster than GASNet");
+        assert!(shmem.geomean_ratio_over(cray) < 1.0, "SHMEM locks faster than Cray CAF");
+    }
+
+    #[test]
+    fn ext1_fastpath_wins() {
+        let fig = ext1_shmem_ptr_fastpath(true);
+        let p = &fig.panels[0];
+        let msg = p.series("message path").unwrap();
+        let fast = p.series("shmem_ptr fast path").unwrap();
+        assert!(fast.geomean_ratio_over(msg) < 0.7, "fast path should cut intra-node latency");
+    }
+}

@@ -1,0 +1,28 @@
+//! # repro-bench — regenerates every table and figure of the paper
+//!
+//! One function per table/figure, returning a [`pgas_microbench::Figure`]
+//! that the bench targets print and archive under `results/`. All numbers
+//! are *virtual-time* measurements from the simulated machines; the
+//! reproduction target is the shape of each figure (who wins, by what
+//! factor, where crossovers fall), not the absolute values of the 2015
+//! testbeds. See EXPERIMENTS.md for the paper-vs-measured record.
+//!
+//! Every generator takes `quick: bool`: quick mode (used by tests and smoke
+//! runs, or `REPRO_QUICK=1`) shrinks sweeps and iteration counts.
+
+pub mod figures;
+pub mod tables;
+
+pub use figures::*;
+pub use tables::*;
+
+/// Read the quick-mode switch from the environment.
+pub fn quick_from_env() -> bool {
+    std::env::var("REPRO_QUICK").map(|v| v != "0").unwrap_or(false)
+}
+
+/// Maximum image count for the scaling figures (8/9/10), overridable with
+/// `REPRO_MAX_IMAGES`.
+pub fn max_images_from_env(default: usize) -> usize {
+    std::env::var("REPRO_MAX_IMAGES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}

@@ -1,0 +1,501 @@
+//! Virtual-time cost model: composes a machine's wire parameters with a
+//! conduit profile and performs NIC reservations.
+//!
+//! Inter-node transfers are pipelined through both endpoint NICs: the
+//! destination reservation is requested at `source begin + wire latency`, so
+//! an uncontended large message costs `latency + size/bandwidth` while k
+//! flows sharing a NIC degrade towards `1/k` of the link — the behaviour the
+//! paper's 1-pair vs 16-pair panels exhibit.
+
+use crate::profile::{AmoSupport, ConduitProfile, StridedSupport};
+use pgas_machine::config::WireParams;
+use pgas_machine::machine::{Machine, PeId};
+
+/// Completion times of a one-sided write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PutTiming {
+    /// When the call returns on the source (source buffer reusable).
+    pub local_complete: u64,
+    /// When the data is globally visible at the target (what `quiet` waits
+    /// for).
+    pub remote_complete: u64,
+}
+
+/// Completion times of a remote atomic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AmoTiming {
+    /// When the call returns on the source (with the fetched value, if any).
+    pub local_complete: u64,
+    /// When the operation has executed at the target.
+    pub remote_complete: u64,
+}
+
+/// Cost model for one (machine, profile) pair.
+#[derive(Clone, Copy)]
+pub struct CostModel<'m> {
+    machine: &'m Machine,
+    profile: ConduitProfile,
+}
+
+impl<'m> CostModel<'m> {
+    pub fn new(machine: &'m Machine, profile: ConduitProfile) -> Self {
+        CostModel { machine, profile }
+    }
+
+    pub fn profile(&self) -> &ConduitProfile {
+        &self.profile
+    }
+
+    #[inline]
+    fn wire(&self) -> &WireParams {
+        &self.machine.config().wire
+    }
+
+    /// NIC occupancy of a message carrying `bytes` of payload.
+    #[inline]
+    fn occupancy_ns(&self, bytes: usize) -> f64 {
+        self.wire().nic_msg_overhead_ns
+            + self.profile.msg_occupancy_ns
+            + bytes as f64 / (self.wire().inter.bytes_per_ns * self.profile.bandwidth_efficiency)
+    }
+
+    /// Occupancy of a control message (no payload).
+    #[inline]
+    fn control_occupancy_ns(&self) -> f64 {
+        self.occupancy_ns(8)
+    }
+
+    /// Public view of the control-message occupancy (used to account for
+    /// polling traffic of spin-based locks).
+    pub fn control_msg_occupancy_ns(&self) -> f64 {
+        self.control_occupancy_ns()
+    }
+
+    /// Pure estimate (no NIC reservations) of an uncontended fetching AMO's
+    /// round-trip time between `src` and `dst`. Used by spin-lock
+    /// implementations to distinguish "the CAS itself" from "waiting for the
+    /// holder" in their virtual elapsed time.
+    pub fn amo_rtt_estimate_ns(&self, src: PeId, dst: PeId) -> f64 {
+        let wire = self.wire();
+        if self.machine.same_node(src, dst) {
+            return self.profile.put_issue_ns + wire.intra.latency_ns * 2.0 + wire.amo_ns;
+        }
+        match self.profile.amo {
+            AmoSupport::Native { extra_ns } => {
+                self.profile.put_issue_ns
+                    + 2.0 * wire.inter.latency_ns
+                    + 2.0 * self.control_occupancy_ns()
+                    + wire.amo_ns
+                    + extra_ns
+            }
+            AmoSupport::AmEmulated { handler_ns } => {
+                self.profile.put_issue_ns
+                    + 2.0 * wire.inter.latency_ns
+                    + 3.0 * self.control_occupancy_ns()
+                    + handler_ns
+            }
+        }
+    }
+
+    #[inline]
+    fn latency(&self) -> u64 {
+        self.wire().inter.latency_ns.round() as u64
+    }
+
+    /// Rendezvous handshake cost paid before large payloads flow.
+    #[inline]
+    fn rendezvous_ns(&self, bytes: usize) -> u64 {
+        if bytes > self.profile.rendezvous_threshold {
+            (2.0 * self.wire().inter.latency_ns + 2.0 * self.control_occupancy_ns()).round() as u64
+        } else {
+            0
+        }
+    }
+
+    /// Timing of a contiguous put of `bytes` from `src` to `dst`, issued at
+    /// virtual time `start` but with data flow not beginning before `floor`
+    /// (used by `fence` to order deliveries).
+    pub fn put(&self, src: PeId, dst: PeId, bytes: usize, start: u64, floor: u64) -> PutTiming {
+        let issue_done = start + self.profile.put_issue_ns.round() as u64;
+        if self.machine.same_node(src, dst) {
+            let t = issue_done.max(floor)
+                + self.wire().intra.latency_ns.round() as u64
+                + self.wire().intra.occupancy_ns(bytes).round() as u64;
+            return PutTiming { local_complete: t, remote_complete: t };
+        }
+        let flow_start = (issue_done + self.rendezvous_ns(bytes)).max(floor);
+        let occ = self.occupancy_ns(bytes).round() as u64;
+        let src_res = self.machine.nic(self.machine.node_of(src)).reserve_tx(flow_start, occ, bytes);
+        let dst_res = self
+            .machine
+            .nic(self.machine.node_of(dst))
+            .reserve_rx(src_res.begin + self.latency(), occ, bytes);
+        PutTiming {
+            local_complete: src_res.end.max(issue_done),
+            remote_complete: dst_res.end,
+        }
+    }
+
+    /// Completion time of a blocking get of `bytes` of `dst`'s memory into
+    /// `src` (the caller), issued at `start`.
+    pub fn get(&self, src: PeId, dst: PeId, bytes: usize, start: u64) -> u64 {
+        let issue_done = start + self.profile.get_issue_ns.round() as u64;
+        if self.machine.same_node(src, dst) {
+            return issue_done
+                + self.wire().intra.latency_ns.round() as u64
+                + self.wire().intra.occupancy_ns(bytes).round() as u64;
+        }
+        let src_node = self.machine.node_of(src);
+        let dst_node = self.machine.node_of(dst);
+        let req_occ = self.control_occupancy_ns().round() as u64;
+        let data_occ = self.occupancy_ns(bytes).round() as u64;
+        // Request message out...
+        let req = self.machine.nic(src_node).reserve_tx(issue_done, req_occ, 8);
+        // ...target NIC streams the payload back...
+        let data = self.machine.nic(dst_node).reserve_tx(req.end + self.latency(), data_occ, bytes);
+        // ...delivered through the source NIC.
+        let recv = self.machine.nic(src_node).reserve_rx(data.begin + self.latency(), data_occ, bytes);
+        recv.end
+    }
+
+    /// Timing of a remote atomic on an 8-byte word of `dst`'s memory.
+    /// `fetching` operations block for the result; non-fetching ones return
+    /// after local completion like a small put.
+    pub fn amo(&self, src: PeId, dst: PeId, fetching: bool, start: u64) -> AmoTiming {
+        let wire = *self.wire();
+        match self.profile.amo {
+            AmoSupport::Native { extra_ns } => {
+                let issue_done = start + self.profile.put_issue_ns.round() as u64;
+                if self.machine.same_node(src, dst) {
+                    let t = issue_done
+                        + (wire.intra.latency_ns + wire.amo_ns + extra_ns).round() as u64;
+                    return AmoTiming { local_complete: t, remote_complete: t };
+                }
+                let occ = (self.control_occupancy_ns() + extra_ns).round() as u64;
+                let out =
+                    self.machine.nic(self.machine.node_of(src)).reserve_tx(issue_done, occ, 8);
+                let at_target = self
+                    .machine
+                    .nic(self.machine.node_of(dst))
+                    .reserve_rx(out.begin + self.latency(), occ, 8);
+                let executed = at_target.end + wire.amo_ns.round() as u64;
+                let local = if fetching {
+                    // Result rides a small reply back.
+                    executed + self.latency() + self.control_occupancy_ns().round() as u64
+                } else {
+                    out.end
+                };
+                AmoTiming { local_complete: local, remote_complete: executed }
+            }
+            AmoSupport::AmEmulated { handler_ns } => {
+                // Request AM -> software handler at target -> reply AM.
+                // Always a full round trip, fetching or not (the handler
+                // must acknowledge to preserve atomicity).
+                let issue_done = start + self.profile.put_issue_ns.round() as u64;
+                if self.machine.same_node(src, dst) {
+                    let t = issue_done
+                        + (2.0 * wire.intra.latency_ns + handler_ns).round() as u64;
+                    return AmoTiming { local_complete: t, remote_complete: t };
+                }
+                let occ = self.control_occupancy_ns().round() as u64;
+                let out =
+                    self.machine.nic(self.machine.node_of(src)).reserve_tx(issue_done, occ, 8);
+                let at_target = self
+                    .machine
+                    .nic(self.machine.node_of(dst))
+                    .reserve_rx(out.begin + self.latency(), occ, 8);
+                let executed = at_target.end + handler_ns.round() as u64;
+                let reply = self
+                    .machine
+                    .nic(self.machine.node_of(src))
+                    .reserve_rx(executed + self.latency(), occ, 8);
+                AmoTiming { local_complete: reply.end, remote_complete: executed }
+            }
+        }
+    }
+
+    /// Timing of a NIC-native 1-D strided put (`shmem_iput` on Cray SHMEM):
+    /// one descriptor, per-element scatter cost at the wire.
+    ///
+    /// Returns `None` when the profile implements strided transfers as a
+    /// software loop — the caller must loop over contiguous puts itself
+    /// (that is the observable behaviour the paper reports for MVAPICH2-X).
+    pub fn strided_put_native(
+        &self,
+        src: PeId,
+        dst: PeId,
+        nelems: usize,
+        elem_bytes: usize,
+        start: u64,
+        floor: u64,
+    ) -> Option<PutTiming> {
+        let StridedSupport::Native { per_elem_ns } = self.profile.strided else {
+            return None;
+        };
+        let bytes = nelems * elem_bytes;
+        let issue_done = start + self.profile.put_issue_ns.round() as u64;
+        let scatter = (per_elem_ns * nelems as f64).round() as u64;
+        if self.machine.same_node(src, dst) {
+            let t = issue_done.max(floor)
+                + self.wire().intra.latency_ns.round() as u64
+                + self.wire().intra.occupancy_ns(bytes).round() as u64
+                + scatter;
+            return Some(PutTiming { local_complete: t, remote_complete: t });
+        }
+        let occ = (self.occupancy_ns(bytes) + per_elem_ns * nelems as f64).round() as u64;
+        let flow_start = issue_done.max(floor);
+        let src_res = self.machine.nic(self.machine.node_of(src)).reserve_tx(flow_start, occ, bytes);
+        let dst_res = self
+            .machine
+            .nic(self.machine.node_of(dst))
+            .reserve_rx(src_res.begin + self.latency(), occ, bytes);
+        Some(PutTiming { local_complete: src_res.end, remote_complete: dst_res.end })
+    }
+
+    /// Like [`Self::strided_put_native`] but for gets.
+    pub fn strided_get_native(
+        &self,
+        src: PeId,
+        dst: PeId,
+        nelems: usize,
+        elem_bytes: usize,
+        start: u64,
+    ) -> Option<u64> {
+        let StridedSupport::Native { per_elem_ns } = self.profile.strided else {
+            return None;
+        };
+        let base = self.get(src, dst, nelems * elem_bytes, start);
+        Some(base + (per_elem_ns * nelems as f64).round() as u64)
+    }
+
+    /// Cost of an AM-packed transfer: the payload travels as one contiguous
+    /// message and a software handler unpacks `nelems` pieces at the target.
+    /// This models GASNet's VIS / "with-AM" strided path.
+    pub fn am_packed_put(
+        &self,
+        src: PeId,
+        dst: PeId,
+        nelems: usize,
+        elem_bytes: usize,
+        start: u64,
+        floor: u64,
+    ) -> PutTiming {
+        let t = self.put(src, dst, nelems * elem_bytes, start, floor);
+        let unpack = (self.profile.am_handler_ns
+            + nelems as f64 * self.machine.config().compute.local_op_ns * 2.0)
+            .round() as u64;
+        PutTiming {
+            local_complete: t.local_complete,
+            remote_complete: t.remote_complete + unpack,
+        }
+    }
+
+    /// Cost of an AM-packed gather-get: one small request, the target's
+    /// handler packs `nelems` pieces, one contiguous reply.
+    pub fn am_packed_get(&self, src: PeId, dst: PeId, nelems: usize, elem_bytes: usize, start: u64) -> u64 {
+        let pack = (self.profile.am_handler_ns
+            + nelems as f64 * self.machine.config().compute.local_op_ns * 2.0)
+            .round() as u64;
+        self.get(src, dst, nelems * elem_bytes, start + pack)
+    }
+
+    /// Cost of a dissemination barrier over `n` PEs.
+    pub fn barrier_ns(&self, n: usize) -> f64 {
+        if n <= 1 {
+            return self.machine.config().compute.local_op_ns;
+        }
+        let rounds = (n as f64).log2().ceil();
+        let link = if self.machine.config().nodes > 1 {
+            self.wire().inter
+        } else {
+            self.wire().intra
+        };
+        rounds * (link.latency_ns + self.control_occupancy_ns() + self.profile.put_issue_ns)
+    }
+
+    /// Direct load/store copy cost on the local node (the `shmem_ptr` fast
+    /// path the paper lists as future work).
+    pub fn local_copy(&self, bytes: usize, start: u64) -> u64 {
+        start + (self.wire().intra.occupancy_ns(bytes)).round() as u64 + 5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgas_machine::{stampede, titan, Machine, Platform};
+
+    fn shmem_on_stampede(nodes: usize) -> (std::sync::Arc<Machine>, ConduitProfile) {
+        (Machine::new(stampede(nodes, 16)), ConduitProfile::mvapich_shmem())
+    }
+
+    #[test]
+    fn put_latency_grows_with_size() {
+        let (m, p) = shmem_on_stampede(2);
+        let cm = CostModel::new(&m, p);
+        let small = cm.put(0, 16, 8, 0, 0);
+        let large = cm.put(0, 16, 1 << 20, small.remote_complete, 0);
+        let small_dur = small.remote_complete;
+        let large_dur = large.remote_complete - small.remote_complete;
+        assert!(large_dur > 10 * small_dur, "1 MiB ({large_dur}) vs 8 B ({small_dur})");
+    }
+
+    #[test]
+    fn large_put_approaches_link_bandwidth() {
+        let (m, p) = shmem_on_stampede(2);
+        let cm = CostModel::new(&m, p);
+        let bytes = 8 << 20;
+        let t = cm.put(0, 16, bytes, 0, 0);
+        let gb_per_s = bytes as f64 / t.remote_complete as f64; // bytes/ns
+        let wire_bw = m.config().wire.inter.bytes_per_ns;
+        assert!(gb_per_s > 0.8 * wire_bw, "sustained {gb_per_s:.2} of wire {wire_bw}");
+        assert!(gb_per_s <= wire_bw);
+    }
+
+    #[test]
+    fn intra_node_put_is_much_faster() {
+        let (m, p) = shmem_on_stampede(2);
+        let cm = CostModel::new(&m, p);
+        let local = cm.put(0, 1, 1024, 0, 0).remote_complete;
+        let remote = cm.put(2, 17, 1024, 0, 0).remote_complete;
+        assert!(local * 3 < remote, "local {local} remote {remote}");
+    }
+
+    #[test]
+    fn put_local_completion_precedes_remote() {
+        let (m, p) = shmem_on_stampede(2);
+        let cm = CostModel::new(&m, p);
+        let t = cm.put(0, 16, 4096, 100, 0);
+        assert!(t.local_complete < t.remote_complete);
+        assert!(t.local_complete > 100);
+    }
+
+    #[test]
+    fn fence_floor_delays_data_flow() {
+        let (m, p) = shmem_on_stampede(2);
+        let cm = CostModel::new(&m, p);
+        let unfenced = cm.put(0, 16, 64, 0, 0);
+        // Fresh machine so NIC state doesn't carry over.
+        let (m2, p2) = shmem_on_stampede(2);
+        let cm2 = CostModel::new(&m2, p2);
+        let fenced = cm2.put(0, 16, 64, 0, 50_000);
+        assert!(fenced.remote_complete >= 50_000);
+        assert!(fenced.remote_complete > unfenced.remote_complete);
+    }
+
+    #[test]
+    fn get_costs_a_round_trip() {
+        let (m, p) = shmem_on_stampede(2);
+        let cm = CostModel::new(&m, p);
+        let put = cm.put(0, 16, 8, 0, 0).remote_complete;
+        let (m2, p2) = shmem_on_stampede(2);
+        let cm2 = CostModel::new(&m2, p2);
+        let get = cm2.get(0, 16, 8, 0);
+        assert!(get > put + m.config().wire.inter.latency_ns as u64, "get {get} put {put}");
+    }
+
+    #[test]
+    fn contention_divides_bandwidth() {
+        // 16 concurrent large puts through one NIC pair vs one alone.
+        let (m, p) = shmem_on_stampede(2);
+        let cm = CostModel::new(&m, p);
+        let bytes = 1 << 20;
+        let mut last = 0;
+        for src in 0..16 {
+            last = last.max(cm.put(src, 16 + src, bytes, 0, 0).remote_complete);
+        }
+        let (m1, p1) = shmem_on_stampede(2);
+        let alone = CostModel::new(&m1, p1).put(0, 16, bytes, 0, 0).remote_complete;
+        let ratio = last as f64 / alone as f64;
+        assert!(ratio > 10.0 && ratio < 20.0, "16-way contention ratio {ratio:.1}");
+    }
+
+    #[test]
+    fn native_amo_beats_am_emulated() {
+        let m = Machine::new(titan(2, 16));
+        let native = CostModel::new(&m, ConduitProfile::cray_shmem(Platform::Titan));
+        let t_native = native.amo(0, 16, true, 0).local_complete;
+        let m2 = Machine::new(titan(2, 16));
+        let emulated = CostModel::new(&m2, ConduitProfile::gasnet(Platform::Titan));
+        let t_am = emulated.amo(0, 16, true, 0).local_complete;
+        assert!(
+            t_am as f64 > 1.2 * t_native as f64,
+            "AM-emulated {t_am} should clearly exceed native {t_native}"
+        );
+    }
+
+    #[test]
+    fn nonfetching_amo_returns_early_on_native() {
+        let m = Machine::new(titan(2, 16));
+        let cm = CostModel::new(&m, ConduitProfile::cray_shmem(Platform::Titan));
+        let t = cm.amo(0, 16, false, 0);
+        assert!(t.local_complete < t.remote_complete);
+        let m2 = Machine::new(titan(2, 16));
+        let cm2 = CostModel::new(&m2, ConduitProfile::cray_shmem(Platform::Titan));
+        let tf = cm2.amo(0, 16, true, 0);
+        assert!(tf.local_complete > tf.remote_complete, "fetch waits for the reply");
+    }
+
+    #[test]
+    fn strided_native_only_on_capable_profiles() {
+        let m = Machine::new(titan(2, 16));
+        let cray = CostModel::new(&m, ConduitProfile::cray_shmem(Platform::Titan));
+        assert!(cray.strided_put_native(0, 16, 100, 8, 0, 0).is_some());
+        let mv = CostModel::new(&m, ConduitProfile::mvapich_shmem());
+        assert!(mv.strided_put_native(0, 16, 100, 8, 0, 0).is_none());
+        assert!(mv.strided_get_native(0, 16, 100, 8, 0).is_none());
+    }
+
+    #[test]
+    fn one_native_strided_beats_elementwise_puts() {
+        let m = Machine::new(titan(2, 16));
+        let cm = CostModel::new(&m, ConduitProfile::cray_shmem(Platform::Titan));
+        let n = 64;
+        let strided = cm.strided_put_native(0, 16, n, 8, 0, 0).unwrap().remote_complete;
+        let m2 = Machine::new(titan(2, 16));
+        let cm2 = CostModel::new(&m2, ConduitProfile::cray_shmem(Platform::Titan));
+        let mut t = 0;
+        let mut clock = 0;
+        for _ in 0..n {
+            let pt = cm2.put(0, 16, 8, clock, 0);
+            clock = pt.local_complete;
+            t = pt.remote_complete;
+        }
+        assert!(strided * 4 < t, "one iput {strided} vs {n} puts {t}");
+    }
+
+    #[test]
+    fn rendezvous_adds_a_round_trip() {
+        let m = Machine::new(stampede(2, 16));
+        let p = ConduitProfile::mpi3(Platform::Stampede); // 8 KiB threshold
+        let cm = CostModel::new(&m, p);
+        let below = cm.put(0, 16, 8 * 1024, 0, 0).remote_complete;
+        let m2 = Machine::new(stampede(2, 16));
+        let cm2 = CostModel::new(&m2, p);
+        let above = cm2.put(0, 16, 8 * 1024 + 1, 0, 0).remote_complete;
+        let delta = above as i64 - below as i64;
+        assert!(delta as f64 > 1.5 * m.config().wire.inter.latency_ns, "delta {delta}");
+    }
+
+    #[test]
+    fn barrier_cost_grows_logarithmically() {
+        let m = Machine::new(stampede(64, 16));
+        let cm = CostModel::new(&m, ConduitProfile::mvapich_shmem());
+        let b2 = cm.barrier_ns(2);
+        let b1024 = cm.barrier_ns(1024);
+        assert!((b1024 / b2 - 10.0).abs() < 0.01, "log2(1024)/log2(2) = 10, got {}", b1024 / b2);
+        assert!(cm.barrier_ns(1) < b2);
+    }
+
+    #[test]
+    fn am_packed_put_charges_unpack_at_target() {
+        let m = Machine::new(stampede(2, 16));
+        let cm = CostModel::new(&m, ConduitProfile::gasnet(Platform::Stampede));
+        let plain = cm.put(0, 16, 800, 0, 0);
+        let m2 = Machine::new(stampede(2, 16));
+        let cm2 = CostModel::new(&m2, ConduitProfile::gasnet(Platform::Stampede));
+        let packed = cm2.am_packed_put(0, 16, 100, 8, 0, 0);
+        assert!(packed.remote_complete > plain.remote_complete);
+        assert_eq!(packed.local_complete, plain.local_complete);
+    }
+}

@@ -1,0 +1,954 @@
+//! The per-PE communication context: issue one-sided operations with real
+//! data movement and virtual-time accounting.
+
+use crate::cost::CostModel;
+use crate::pending::{Hazard, PendingSet};
+use crate::profile::ConduitProfile;
+use pgas_machine::machine::{Machine, Pe, PeId};
+use pgas_machine::stats::Stats;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::Ordering;
+
+/// Behavioural switches of a context.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CtxOptions {
+    /// Panic on ordering hazards instead of only counting them. Used by
+    /// tests that prove the CAF runtime inserts the required `quiet`s.
+    pub strict_ordering: bool,
+    /// Convert same-node transfers into direct load/store copies
+    /// (`shmem_ptr`), bypassing the message path. §VII future work.
+    pub shmem_ptr_fastpath: bool,
+}
+
+/// Remote atomic operations on an 8-byte symmetric word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AmoOp {
+    /// Atomically replace, returning the old value (`shmem_swap`).
+    Swap(u64),
+    /// Replace with `value` iff the current value equals `cond`, returning
+    /// the old value (`shmem_cswap`).
+    CompareSwap { cond: u64, value: u64 },
+    /// Add and return the old value (`shmem_fadd`).
+    FetchAdd(u64),
+    /// Add without fetching (`shmem_add`).
+    Add(u64),
+    /// Atomic read (`shmem_fetch`).
+    Fetch,
+    /// Atomic write (`shmem_set`).
+    Set(u64),
+    /// Bitwise AND without fetching (`shmem_and`).
+    And(u64),
+    /// Bitwise OR without fetching (`shmem_or`).
+    Or(u64),
+    /// Bitwise XOR without fetching (`shmem_xor`).
+    Xor(u64),
+    /// Bitwise AND, returning the old value.
+    FetchAnd(u64),
+    /// Bitwise OR, returning the old value.
+    FetchOr(u64),
+    /// Bitwise XOR, returning the old value.
+    FetchXor(u64),
+}
+
+impl AmoOp {
+    /// Does the caller block for the result?
+    pub fn is_fetching(self) -> bool {
+        matches!(
+            self,
+            AmoOp::Swap(_)
+                | AmoOp::CompareSwap { .. }
+                | AmoOp::FetchAdd(_)
+                | AmoOp::Fetch
+                | AmoOp::FetchAnd(_)
+                | AmoOp::FetchOr(_)
+                | AmoOp::FetchXor(_)
+        )
+    }
+}
+
+/// Per-PE one-sided communication engine. Not `Sync`: each PE thread owns
+/// exactly one.
+pub struct Ctx<'m> {
+    pe: Pe<'m>,
+    cost: CostModel<'m>,
+    pending: RefCell<PendingSet>,
+    opts: CtxOptions,
+    hazards: Cell<u64>,
+}
+
+impl<'m> Ctx<'m> {
+    pub fn new(pe: Pe<'m>, profile: ConduitProfile, opts: CtxOptions) -> Self {
+        Ctx {
+            pe,
+            cost: CostModel::new(pe.machine(), profile),
+            pending: RefCell::new(PendingSet::default()),
+            opts,
+            hazards: Cell::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn pe(&self) -> Pe<'m> {
+        self.pe
+    }
+
+    #[inline]
+    pub fn machine(&self) -> &'m Machine {
+        self.pe.machine()
+    }
+
+    #[inline]
+    pub fn profile(&self) -> &ConduitProfile {
+        self.cost.profile()
+    }
+
+    #[inline]
+    pub fn cost_model(&self) -> &CostModel<'m> {
+        &self.cost
+    }
+
+    #[inline]
+    pub fn options(&self) -> CtxOptions {
+        self.opts
+    }
+
+    /// Hazards detected on this PE so far.
+    pub fn hazard_count(&self) -> u64 {
+        self.hazards.get()
+    }
+
+    fn flag_hazard(&self, h: Hazard) {
+        self.hazards.set(self.hazards.get() + 1);
+        Stats::bump(&self.machine().stats().hazards);
+        if self.opts.strict_ordering {
+            panic!("{h} issued by PE {}", self.pe.id());
+        }
+    }
+
+    /// Record a trace span (no-op unless tracing is enabled).
+    #[inline]
+    fn trace(
+        &self,
+        kind: pgas_machine::trace::SpanKind,
+        begin: u64,
+        peer: Option<PeId>,
+        bytes: usize,
+    ) {
+        let tracer = self.machine().tracer();
+        if tracer.enabled() {
+            tracer.record(pgas_machine::trace::Span {
+                pe: self.pe.id(),
+                kind,
+                begin,
+                end: self.pe.now(),
+                peer,
+                bytes,
+            });
+        }
+    }
+
+    /// Can `dst` be reached with direct loads/stores under the current
+    /// options?
+    #[inline]
+    fn fastpath(&self, dst: PeId) -> bool {
+        self.opts.shmem_ptr_fastpath && self.machine().same_node(self.pe.id(), dst)
+    }
+
+    // ---- contiguous RMA --------------------------------------------------
+
+    /// One-sided write of `src` into `dst`'s heap at `dst_off`
+    /// (`shmem_putmem`). Returns after local completion.
+    pub fn put(&self, dst: PeId, dst_off: usize, src: &[u8]) {
+        let m = self.machine();
+        let t_begin = self.pe.now();
+        Stats::bump(&m.stats().puts);
+        Stats::add(&m.stats().bytes_put, src.len() as u64);
+        if self.fastpath(dst) {
+            Stats::bump(&m.stats().local_fastpath);
+            let t = self.cost.local_copy(src.len(), self.pe.now());
+            m.heap(dst).write_bytes(dst_off, src);
+            m.heap(dst).stamp_range(dst_off, src.len(), t);
+            m.lift_clock(self.pe.id(), t);
+            m.notify_pe(dst);
+            return;
+        }
+        if let Some(h) = self.pending.borrow().check_put(dst, dst_off, src.len()) {
+            self.flag_hazard(h);
+        }
+        let floor = self.pending.borrow().floor_for(dst);
+        let t = self.cost.put(self.pe.id(), dst, src.len(), self.pe.now(), floor);
+        m.heap(dst).write_bytes(dst_off, src);
+        m.heap(dst).stamp_range(dst_off, src.len(), t.remote_complete);
+        m.lift_clock(self.pe.id(), t.local_complete);
+        self.pending.borrow_mut().record_put(dst, dst_off, src.len(), t.remote_complete);
+        m.notify_pe(dst);
+        self.trace(pgas_machine::trace::SpanKind::Put, t_begin, Some(dst), src.len());
+    }
+
+    /// One-sided read of `dst`'s heap at `src_off` into `out`
+    /// (`shmem_getmem`). Blocking.
+    pub fn get(&self, dst: PeId, src_off: usize, out: &mut [u8]) {
+        let m = self.machine();
+        let t_begin = self.pe.now();
+        Stats::bump(&m.stats().gets);
+        Stats::add(&m.stats().bytes_get, out.len() as u64);
+        if self.fastpath(dst) {
+            Stats::bump(&m.stats().local_fastpath);
+            let t = self.cost.local_copy(out.len(), self.pe.now());
+            m.heap(dst).read_bytes(src_off, out);
+            let stamp = m.heap(dst).max_stamp(src_off, out.len());
+            m.lift_clock(self.pe.id(), t.max(stamp));
+            return;
+        }
+        if let Some(h) = self.pending.borrow().check_get(dst, src_off, out.len()) {
+            self.flag_hazard(h);
+        }
+        let done = self.cost.get(self.pe.id(), dst, out.len(), self.pe.now());
+        m.heap(dst).read_bytes(src_off, out);
+        let stamp = m.heap(dst).max_stamp(src_off, out.len());
+        m.lift_clock(self.pe.id(), done.max(stamp));
+        self.trace(pgas_machine::trace::SpanKind::Get, t_begin, Some(dst), out.len());
+    }
+
+    /// Non-blocking put (`shmem_putmem_nbi`): returns after issue; even
+    /// *local* completion (source-buffer reuse) is only guaranteed after
+    /// `quiet`. (We copy eagerly, so buffer reuse is physically safe here —
+    /// the semantics difference shows up purely in the virtual clock.)
+    pub fn put_nbi(&self, dst: PeId, dst_off: usize, src: &[u8]) {
+        let m = self.machine();
+        Stats::bump(&m.stats().puts);
+        Stats::add(&m.stats().bytes_put, src.len() as u64);
+        if self.fastpath(dst) {
+            self.put(dst, dst_off, src);
+            return;
+        }
+        if let Some(h) = self.pending.borrow().check_put(dst, dst_off, src.len()) {
+            self.flag_hazard(h);
+        }
+        let floor = self.pending.borrow().floor_for(dst);
+        let start = self.pe.now();
+        let t = self.cost.put(self.pe.id(), dst, src.len(), start, floor);
+        m.heap(dst).write_bytes(dst_off, src);
+        m.heap(dst).stamp_range(dst_off, src.len(), t.remote_complete);
+        // Only the issue cost lands on the clock; completion waits in the
+        // pending set. (The NIC reservations above still model contention.)
+        self.pe.advance(self.cost.profile().put_issue_ns);
+        self.pending.borrow_mut().record_put(dst, dst_off, src.len(), t.remote_complete);
+        m.notify_pe(dst);
+    }
+
+    /// Non-blocking get (`shmem_getmem_nbi`): the data in `out` is only
+    /// guaranteed valid after `quiet`.
+    pub fn get_nbi(&self, dst: PeId, src_off: usize, out: &mut [u8]) {
+        let m = self.machine();
+        Stats::bump(&m.stats().gets);
+        Stats::add(&m.stats().bytes_get, out.len() as u64);
+        if self.fastpath(dst) {
+            self.get(dst, src_off, out);
+            return;
+        }
+        if let Some(h) = self.pending.borrow().check_get(dst, src_off, out.len()) {
+            self.flag_hazard(h);
+        }
+        let done = self.cost.get(self.pe.id(), dst, out.len(), self.pe.now());
+        m.heap(dst).read_bytes(src_off, out);
+        let stamp = m.heap(dst).max_stamp(src_off, out.len());
+        self.pe.advance(self.cost.profile().get_issue_ns);
+        self.pending.borrow_mut().record_nbi_get(done.max(stamp));
+    }
+
+    // ---- 1-D strided RMA (`shmem_iput` / `shmem_iget`) -------------------
+
+    /// Strided write (`shmem_iput`): element `i` of `src` — elements are
+    /// `elem` bytes, read at a stride of `src_stride` *elements* — is written
+    /// to `dst_off + i * dst_stride * elem` in `dst`'s heap.
+    ///
+    /// On NIC-native profiles (Cray SHMEM) this is one wire descriptor; on
+    /// loop profiles (MVAPICH2-X SHMEM, GASNet, MPI-3) it degenerates to
+    /// `nelems` contiguous puts — exactly the dichotomy §V of the paper
+    /// measures.
+    #[allow(clippy::too_many_arguments)] // mirrors the C shmem_iput signature
+    pub fn iput(
+        &self,
+        dst: PeId,
+        dst_off: usize,
+        dst_stride: usize,
+        src: &[u8],
+        elem: usize,
+        src_stride: usize,
+        nelems: usize,
+    ) {
+        assert!(
+            elem > 0 && dst_stride > 0 && src_stride > 0,
+            "strides and element size must be positive"
+        );
+        if nelems == 0 {
+            return;
+        }
+        assert!(
+            src.len() >= ((nelems - 1) * src_stride + 1) * elem,
+            "source slice too short for iput: need {} have {}",
+            ((nelems - 1) * src_stride + 1) * elem,
+            src.len()
+        );
+        if !self.profile().has_native_strided() || self.fastpath(dst) {
+            for i in 0..nelems {
+                let s = i * src_stride * elem;
+                self.put(dst, dst_off + i * dst_stride * elem, &src[s..s + elem]);
+            }
+            return;
+        }
+        let m = self.machine();
+        Stats::bump(&m.stats().puts);
+        Stats::add(&m.stats().bytes_put, (nelems * elem) as u64);
+        let floor = self.pending.borrow().floor_for(dst);
+        let t = self
+            .cost
+            .strided_put_native(self.pe.id(), dst, nelems, elem, self.pe.now(), floor)
+            .expect("checked native above");
+        for i in 0..nelems {
+            let s = i * src_stride * elem;
+            let d = dst_off + i * dst_stride * elem;
+            m.heap(dst).write_bytes(d, &src[s..s + elem]);
+            m.heap(dst).stamp_range(d, elem, t.remote_complete);
+        }
+        m.lift_clock(self.pe.id(), t.local_complete);
+        // Conservative span for ordering tracking: covers the gaps too. The
+        // CAF runtime quiets after every statement, so false positives from
+        // the gaps cannot accumulate.
+        let span = (nelems - 1) * dst_stride * elem + elem;
+        self.pending.borrow_mut().record_put(dst, dst_off, span, t.remote_complete);
+        m.notify_pe(dst);
+    }
+
+    /// Strided read (`shmem_iget`): the mirror of [`Self::iput`]. Element `i`
+    /// is read from `src_off + i * src_stride * elem` of `dst`'s heap into
+    /// `out[i * out_stride * elem ..]`.
+    #[allow(clippy::too_many_arguments)] // mirrors the C shmem_iput signature
+    pub fn iget(
+        &self,
+        dst: PeId,
+        src_off: usize,
+        src_stride: usize,
+        out: &mut [u8],
+        elem: usize,
+        out_stride: usize,
+        nelems: usize,
+    ) {
+        assert!(
+            elem > 0 && src_stride > 0 && out_stride > 0,
+            "strides and element size must be positive"
+        );
+        if nelems == 0 {
+            return;
+        }
+        assert!(
+            out.len() >= ((nelems - 1) * out_stride + 1) * elem,
+            "output slice too short for iget"
+        );
+        if !self.profile().has_native_strided() || self.fastpath(dst) {
+            for i in 0..nelems {
+                let d = i * out_stride * elem;
+                self.get(dst, src_off + i * src_stride * elem, &mut out[d..d + elem]);
+            }
+            return;
+        }
+        let m = self.machine();
+        Stats::bump(&m.stats().gets);
+        Stats::add(&m.stats().bytes_get, (nelems * elem) as u64);
+        let done = self
+            .cost
+            .strided_get_native(self.pe.id(), dst, nelems, elem, self.pe.now())
+            .expect("checked native above");
+        let mut stamp = 0;
+        for i in 0..nelems {
+            let s = src_off + i * src_stride * elem;
+            let d = i * out_stride * elem;
+            m.heap(dst).read_bytes(s, &mut out[d..d + elem]);
+            stamp = stamp.max(m.heap(dst).max_stamp(s, elem));
+        }
+        m.lift_clock(self.pe.id(), done.max(stamp));
+    }
+
+    /// AM-packed strided put: pack the elements into one contiguous message,
+    /// unpacked by a software handler at the target. Models GASNet's VIS
+    /// path (the "with-AM" legend of the paper's Himeno figure).
+    #[allow(clippy::too_many_arguments)] // mirrors the C shmem_iput signature
+    pub fn am_strided_put(
+        &self,
+        dst: PeId,
+        dst_off: usize,
+        dst_stride: usize,
+        src: &[u8],
+        elem: usize,
+        src_stride: usize,
+        nelems: usize,
+    ) {
+        assert!(
+            elem > 0 && dst_stride > 0 && src_stride > 0,
+            "strides and element size must be positive"
+        );
+        if nelems == 0 {
+            return;
+        }
+        assert!(
+            src.len() >= ((nelems - 1) * src_stride + 1) * elem,
+            "source slice too short for am_strided_put"
+        );
+        let m = self.machine();
+        Stats::bump(&m.stats().puts);
+        Stats::add(&m.stats().bytes_put, (nelems * elem) as u64);
+        let floor = self.pending.borrow().floor_for(dst);
+        let t = self.cost.am_packed_put(self.pe.id(), dst, nelems, elem, self.pe.now(), floor);
+        for i in 0..nelems {
+            let s = i * src_stride * elem;
+            let d = dst_off + i * dst_stride * elem;
+            m.heap(dst).write_bytes(d, &src[s..s + elem]);
+            m.heap(dst).stamp_range(d, elem, t.remote_complete);
+        }
+        m.lift_clock(self.pe.id(), t.local_complete);
+        let span = (nelems - 1) * dst_stride * elem + elem;
+        self.pending.borrow_mut().record_put(dst, dst_off, span, t.remote_complete);
+        m.notify_pe(dst);
+    }
+
+    /// AM-packed scatter-put of arbitrary regions: `payload` travels as one
+    /// contiguous message; a software handler at the target writes each
+    /// `(offset, len)` region in order, consuming the payload front to back.
+    /// Models GASNet's VIS interface for general multi-dimensional sections.
+    pub fn am_put_regions(&self, dst: PeId, regions: &[(usize, usize)], payload: &[u8]) {
+        let total: usize = regions.iter().map(|r| r.1).sum();
+        assert_eq!(total, payload.len(), "payload must exactly cover the regions");
+        if regions.is_empty() {
+            return;
+        }
+        let m = self.machine();
+        Stats::bump(&m.stats().puts);
+        Stats::add(&m.stats().bytes_put, total as u64);
+        let lo = regions.iter().map(|r| r.0).min().unwrap_or(0);
+        let hi = regions.iter().map(|r| r.0 + r.1).max().unwrap_or(0);
+        let floor = self.pending.borrow().floor_for(dst);
+        let avg = (total / regions.len()).max(1);
+        let t = self.cost.am_packed_put(self.pe.id(), dst, regions.len(), avg, self.pe.now(), floor);
+        let mut cursor = 0;
+        for &(off, len) in regions {
+            m.heap(dst).write_bytes(off, &payload[cursor..cursor + len]);
+            m.heap(dst).stamp_range(off, len, t.remote_complete);
+            cursor += len;
+        }
+        m.lift_clock(self.pe.id(), t.local_complete);
+        self.pending.borrow_mut().record_put(dst, lo, hi - lo, t.remote_complete);
+        m.notify_pe(dst);
+    }
+
+    /// AM-packed gather-get of arbitrary regions into `out` (front to back).
+    pub fn am_get_regions(&self, dst: PeId, regions: &[(usize, usize)], out: &mut [u8]) {
+        let total: usize = regions.iter().map(|r| r.1).sum();
+        assert_eq!(total, out.len(), "output must exactly cover the regions");
+        if regions.is_empty() {
+            return;
+        }
+        let m = self.machine();
+        Stats::bump(&m.stats().gets);
+        Stats::add(&m.stats().bytes_get, total as u64);
+        let avg = (total / regions.len()).max(1);
+        let done = self.cost.am_packed_get(self.pe.id(), dst, regions.len(), avg, self.pe.now());
+        let mut cursor = 0;
+        let mut stamp = 0;
+        for &(off, len) in regions {
+            m.heap(dst).read_bytes(off, &mut out[cursor..cursor + len]);
+            stamp = stamp.max(m.heap(dst).max_stamp(off, len));
+            cursor += len;
+        }
+        m.lift_clock(self.pe.id(), done.max(stamp));
+    }
+
+    // ---- remote atomics ----------------------------------------------------
+
+    /// Execute a remote atomic on the 8-byte word at `off` of `dst`'s heap.
+    /// Returns the previous value (meaningful for fetching ops).
+    pub fn amo(&self, dst: PeId, off: usize, op: AmoOp) -> u64 {
+        let m = self.machine();
+        let t_begin = self.pe.now();
+        Stats::bump(&m.stats().amos);
+        let t = self.cost.amo(self.pe.id(), dst, op.is_fetching(), self.pe.now());
+        // Causality: a fetched value cannot be observed before the write
+        // that produced it completed.
+        let prior_stamp = m.heap(dst).max_stamp(off, 8);
+        let word = m.heap(dst).atomic64(off);
+        let old = match op {
+            AmoOp::Swap(v) => word.swap(v, Ordering::AcqRel),
+            AmoOp::CompareSwap { cond, value } => {
+                match word.compare_exchange(cond, value, Ordering::AcqRel, Ordering::Acquire) {
+                    Ok(prev) => prev,
+                    Err(prev) => prev,
+                }
+            }
+            AmoOp::FetchAdd(v) | AmoOp::Add(v) => word.fetch_add(v, Ordering::AcqRel),
+            AmoOp::Fetch => word.load(Ordering::Acquire),
+            AmoOp::Set(v) => word.swap(v, Ordering::AcqRel),
+            AmoOp::And(v) | AmoOp::FetchAnd(v) => word.fetch_and(v, Ordering::AcqRel),
+            AmoOp::Or(v) | AmoOp::FetchOr(v) => word.fetch_or(v, Ordering::AcqRel),
+            AmoOp::Xor(v) | AmoOp::FetchXor(v) => word.fetch_xor(v, Ordering::AcqRel),
+        };
+        m.heap(dst).stamp_range(off, 8, t.remote_complete);
+        if op.is_fetching() {
+            m.lift_clock(self.pe.id(), t.local_complete.max(prior_stamp));
+        } else {
+            m.lift_clock(self.pe.id(), t.local_complete);
+            self.pending.borrow_mut().record_put(dst, off, 8, t.remote_complete);
+        }
+        m.notify_pe(dst);
+        self.trace(pgas_machine::trace::SpanKind::Amo, t_begin, Some(dst), 8);
+        old
+    }
+
+    /// Account for `polls` remote polling messages against `dst`'s NIC
+    /// starting now (without moving this PE's clock).
+    ///
+    /// Spin-based locks poll a remote word while they wait. In this hybrid
+    /// simulator the *number of physical retries* depends on OS scheduling,
+    /// not virtual time, so waiters reconstruct the polls their virtual wait
+    /// implies and charge them here — that contention pressure on the lock
+    /// home's NIC is precisely what queue-based (MCS) locks eliminate.
+    pub fn charge_poll_traffic(&self, dst: PeId, polls: u64) {
+        if polls == 0 || self.machine().same_node(self.pe.id(), dst) {
+            return;
+        }
+        let m = self.machine();
+        Stats::add(&m.stats().amos, polls);
+        let occ = self.cost.control_msg_occupancy_ns().round() as u64;
+        let nic = m.nic(m.node_of(dst));
+        let now = self.pe.now();
+        for _ in 0..polls {
+            nic.reserve_rx(now, occ, 8);
+        }
+    }
+
+    // ---- waiting -----------------------------------------------------------
+
+    /// `shmem_wait_until` on an 8-byte word of this PE's *own* heap: block
+    /// until `pred(value)` holds. The clock is lifted past the satisfying
+    /// writer's completion time.
+    pub fn wait_until(&self, off: usize, mut pred: impl FnMut(u64) -> bool) -> u64 {
+        let m = self.machine();
+        let me = self.pe.id();
+        let word = m.heap(me).atomic64(off);
+        let mut seen = 0;
+        m.wait_on(me, || {
+            seen = word.load(Ordering::Acquire);
+            pred(seen)
+        });
+        let stamp = m.heap(me).max_stamp(off, 8);
+        let poll = self.machine().config().compute.local_op_ns * 2.0;
+        let t_begin = self.pe.now();
+        m.lift_clock(me, stamp);
+        self.pe.advance(poll);
+        self.trace(pgas_machine::trace::SpanKind::WaitUntil, t_begin.min(self.pe.now()), None, 8);
+        seen
+    }
+
+    // ---- completion ------------------------------------------------------
+
+    /// `shmem_quiet`: block until all outstanding remote writes by this PE
+    /// are globally visible.
+    pub fn quiet(&self) {
+        let m = self.machine();
+        let t_begin = self.pe.now();
+        Stats::bump(&m.stats().quiets);
+        let t = self.pending.borrow().max_outstanding();
+        self.pending.borrow_mut().clear();
+        m.lift_clock(self.pe.id(), t);
+        self.pe.advance(self.cost.profile().put_issue_ns * 0.25);
+        self.trace(pgas_machine::trace::SpanKind::Quiet, t_begin, None, 0);
+    }
+
+    /// `shmem_fence`: order deliveries per target without waiting.
+    pub fn fence(&self) {
+        let m = self.machine();
+        Stats::bump(&m.stats().fences);
+        self.pending.borrow_mut().fence();
+        self.pe.advance(self.cost.profile().put_issue_ns * 0.25);
+    }
+
+    /// Outstanding un-quieted puts (diagnostics).
+    pub fn outstanding_puts(&self) -> usize {
+        self.pending.borrow().outstanding()
+    }
+
+    // ---- barriers ---------------------------------------------------------
+
+    /// Full-job barrier (`shmem_barrier_all`): implies quiet.
+    pub fn barrier_all(&self) {
+        self.quiet();
+        let t_begin = self.pe.now();
+        let cost = self.cost.barrier_ns(self.pe.n());
+        self.machine().barrier_all(self.pe.id(), cost);
+        self.trace(pgas_machine::trace::SpanKind::Barrier, t_begin, None, 0);
+    }
+
+    /// Barrier over a sorted subset of PEs containing this PE. Implies quiet.
+    pub fn barrier_group(&self, group: &[PeId]) {
+        self.quiet();
+        let cost = self.cost.barrier_ns(group.len());
+        self.machine().barrier_group(self.pe.id(), group, cost);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgas_machine::{generic_smp, run, stampede, Platform};
+
+    fn two_node_cfg() -> pgas_machine::MachineConfig {
+        stampede(2, 2).with_heap_bytes(1 << 16)
+    }
+
+    fn shmem_ctx(pe: Pe<'_>) -> Ctx<'_> {
+        Ctx::new(pe, ConduitProfile::mvapich_shmem(), CtxOptions::default())
+    }
+
+    #[test]
+    fn put_then_get_roundtrips_data() {
+        let out = run(two_node_cfg(), |pe| {
+            let ctx = shmem_ctx(pe);
+            if pe.id() == 0 {
+                ctx.put(2, 64, b"hello-conduit");
+                ctx.quiet();
+            }
+            ctx.barrier_all();
+            let mut buf = [0u8; 13];
+            ctx.get(2, 64, &mut buf);
+            buf
+        });
+        for r in out.results {
+            assert_eq!(&r, b"hello-conduit");
+        }
+        assert!(out.stats.puts >= 1);
+        assert!(out.stats.gets >= 4);
+    }
+
+    #[test]
+    fn quiet_advances_clock_to_remote_completion() {
+        let out = run(two_node_cfg(), |pe| {
+            let ctx = shmem_ctx(pe);
+            if pe.id() == 0 {
+                ctx.put(2, 0, &[1u8; 4096]);
+                let before = pe.now();
+                ctx.quiet();
+                let after = pe.now();
+                (before, after)
+            } else {
+                (0, 0)
+            }
+        });
+        let (before, after) = out.results[0];
+        assert!(after > before, "quiet must wait for remote completion");
+    }
+
+    #[test]
+    fn get_after_unquieted_put_is_flagged() {
+        let out = run(two_node_cfg(), |pe| {
+            let ctx = shmem_ctx(pe);
+            if pe.id() == 0 {
+                ctx.put(2, 0, &[7u8; 8]);
+                let mut buf = [0u8; 8];
+                ctx.get(2, 0, &mut buf); // same region, no quiet: hazard
+                ctx.hazard_count()
+            } else {
+                0
+            }
+        });
+        assert_eq!(out.results[0], 1);
+        assert_eq!(out.stats.hazards, 1);
+    }
+
+    #[test]
+    fn quiet_suppresses_the_hazard() {
+        let out = run(two_node_cfg(), |pe| {
+            let ctx = shmem_ctx(pe);
+            if pe.id() == 0 {
+                ctx.put(2, 0, &[7u8; 8]);
+                ctx.quiet();
+                let mut buf = [0u8; 8];
+                ctx.get(2, 0, &mut buf);
+                ctx.hazard_count()
+            } else {
+                0
+            }
+        });
+        assert_eq!(out.results[0], 0);
+        assert_eq!(out.stats.hazards, 0);
+    }
+
+    #[test]
+    fn strict_mode_panics_on_hazard() {
+        let err = pgas_machine::run_with_result(two_node_cfg(), |pe| {
+            let ctx = Ctx::new(
+                pe,
+                ConduitProfile::mvapich_shmem(),
+                CtxOptions { strict_ordering: true, ..Default::default() },
+            );
+            if pe.id() == 0 {
+                ctx.put(2, 0, &[7u8; 8]);
+                ctx.put(2, 4, &[9u8; 8]); // overlapping WAW
+            }
+            ctx.barrier_all();
+        })
+        .unwrap_err();
+        assert!(err.message.contains("ordering hazard"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn fetch_add_is_atomic_under_contention() {
+        let out = run(generic_smp(8).with_heap_bytes(4096), |pe| {
+            let ctx = Ctx::new(pe, ConduitProfile::cray_shmem(Platform::GenericSmp), CtxOptions::default());
+            ctx.barrier_all();
+            for _ in 0..100 {
+                ctx.amo(0, 0, AmoOp::FetchAdd(1));
+            }
+            ctx.barrier_all();
+            ctx.amo(0, 0, AmoOp::Fetch)
+        });
+        for r in out.results {
+            assert_eq!(r, 800);
+        }
+    }
+
+    #[test]
+    fn compare_swap_semantics() {
+        let out = run(generic_smp(1).with_heap_bytes(4096), |pe| {
+            let ctx = Ctx::new(pe, ConduitProfile::cray_shmem(Platform::GenericSmp), CtxOptions::default());
+            ctx.amo(0, 8, AmoOp::Set(10));
+            ctx.quiet();
+            let miss = ctx.amo(0, 8, AmoOp::CompareSwap { cond: 99, value: 1 });
+            let hit = ctx.amo(0, 8, AmoOp::CompareSwap { cond: 10, value: 42 });
+            let cur = ctx.amo(0, 8, AmoOp::Fetch);
+            (miss, hit, cur)
+        });
+        assert_eq!(out.results[0], (10, 10, 42));
+    }
+
+    #[test]
+    fn swap_and_bitwise_ops() {
+        let out = run(generic_smp(1).with_heap_bytes(4096), |pe| {
+            let ctx = Ctx::new(pe, ConduitProfile::cray_shmem(Platform::GenericSmp), CtxOptions::default());
+            ctx.amo(0, 0, AmoOp::Set(0b1100));
+            let old = ctx.amo(0, 0, AmoOp::FetchAnd(0b1010));
+            let after_and = ctx.amo(0, 0, AmoOp::Fetch);
+            ctx.amo(0, 0, AmoOp::Or(0b0001));
+            let after_or = ctx.amo(0, 0, AmoOp::Fetch);
+            ctx.amo(0, 0, AmoOp::Xor(0b1111));
+            let after_xor = ctx.amo(0, 0, AmoOp::Fetch);
+            let swapped = ctx.amo(0, 0, AmoOp::Swap(77));
+            (old, after_and, after_or, after_xor, swapped)
+        });
+        assert_eq!(out.results[0], (0b1100, 0b1000, 0b1001, 0b0110, 0b0110));
+    }
+
+    #[test]
+    fn wait_until_synchronizes_and_lifts_clock() {
+        let out = run(two_node_cfg(), |pe| {
+            let ctx = shmem_ctx(pe);
+            if pe.id() == 0 {
+                let v = ctx.wait_until(8, |v| v == 5);
+                (v, pe.now())
+            } else if pe.id() == 2 {
+                pe.advance(50_000.0);
+                ctx.amo(0, 8, AmoOp::Set(5));
+                ctx.quiet();
+                (5, pe.now())
+            } else {
+                (0, 0)
+            }
+        });
+        let (v, waiter_time) = out.results[0];
+        assert_eq!(v, 5);
+        assert!(
+            waiter_time > 50_000,
+            "waiter clock {waiter_time} must exceed writer issue time 50000"
+        );
+    }
+
+    #[test]
+    fn iput_scatters_elements() {
+        let out = run(two_node_cfg(), |pe| {
+            let ctx = shmem_ctx(pe);
+            if pe.id() == 0 {
+                let src: Vec<u8> = (0..40).collect();
+                // Write every other 8-byte element into pe2 with stride 2.
+                ctx.iput(2, 0, 2, &src, 8, 1, 5);
+                ctx.quiet();
+            }
+            ctx.barrier_all();
+            let mut buf = vec![0u8; 80];
+            ctx.get(2, 0, &mut buf);
+            buf
+        });
+        let buf = &out.results[1];
+        for i in 0..5 {
+            let elem: Vec<u8> = (i as u8 * 8..(i as u8 + 1) * 8).collect();
+            assert_eq!(&buf[i * 16..i * 16 + 8], &elem[..], "element {i}");
+            assert_eq!(&buf[i * 16 + 8..i * 16 + 16], &[0u8; 8], "gap {i}");
+        }
+    }
+
+    #[test]
+    fn iget_gathers_elements() {
+        let out = run(two_node_cfg(), |pe| {
+            let ctx = shmem_ctx(pe);
+            if pe.id() == 2 {
+                let src: Vec<u8> = (0..80).collect();
+                ctx.put(2, 0, &src);
+                ctx.quiet();
+            }
+            ctx.barrier_all();
+            let mut out_buf = vec![0u8; 40];
+            // Gather every other 8-byte element from pe2.
+            ctx.iget(2, 0, 2, &mut out_buf, 8, 1, 5);
+            out_buf
+        });
+        for r in &out.results {
+            for i in 0..5usize {
+                let expect: Vec<u8> = (i as u8 * 16..i as u8 * 16 + 8).collect();
+                assert_eq!(&r[i * 8..(i + 1) * 8], &expect[..], "element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn native_iput_issues_one_message_loop_issues_many() {
+        let cray = run(two_node_cfg(), |pe| {
+            let ctx = Ctx::new(pe, ConduitProfile::cray_shmem(Platform::CrayXc30), CtxOptions::default());
+            if pe.id() == 0 {
+                let src = vec![1u8; 800];
+                ctx.iput(2, 0, 2, &src, 8, 1, 100);
+                ctx.quiet();
+            }
+            ctx.barrier_all();
+        });
+        assert_eq!(cray.stats.puts, 1, "native strided: one descriptor");
+
+        let mvapich = run(two_node_cfg(), |pe| {
+            let ctx = shmem_ctx(pe);
+            if pe.id() == 0 {
+                let src = vec![1u8; 800];
+                ctx.iput(2, 0, 2, &src, 8, 1, 100);
+                ctx.quiet();
+            }
+            ctx.barrier_all();
+        });
+        assert_eq!(mvapich.stats.puts, 100, "loop strided: one put per element");
+    }
+
+    #[test]
+    fn am_strided_put_moves_data_in_one_message() {
+        let out = run(two_node_cfg(), |pe| {
+            let ctx = Ctx::new(pe, ConduitProfile::gasnet(Platform::Stampede), CtxOptions::default());
+            if pe.id() == 0 {
+                let src: Vec<u8> = (0..24).collect();
+                ctx.am_strided_put(2, 0, 3, &src, 8, 1, 3);
+                ctx.quiet();
+            }
+            ctx.barrier_all();
+            let mut buf = vec![0u8; 8];
+            ctx.get(2, 48, &mut buf); // element 2 lands at offset 2*3*8 = 48
+            buf
+        });
+        assert_eq!(out.stats.puts, 1);
+        assert_eq!(out.results[0], (16..24).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn fastpath_counts_and_still_moves_data() {
+        let out = run(generic_smp(2).with_heap_bytes(4096), |pe| {
+            let ctx = Ctx::new(
+                pe,
+                ConduitProfile::mvapich_shmem(),
+                CtxOptions { shmem_ptr_fastpath: true, ..Default::default() },
+            );
+            if pe.id() == 0 {
+                ctx.put(1, 0, b"fastpath");
+                ctx.quiet();
+            }
+            ctx.barrier_all();
+            let mut buf = [0u8; 8];
+            ctx.get(1, 0, &mut buf);
+            buf
+        });
+        assert!(out.stats.local_fastpath >= 2);
+        assert_eq!(&out.results[1], b"fastpath");
+    }
+
+    #[test]
+    fn fence_orders_without_completing() {
+        let out = run(two_node_cfg(), |pe| {
+            let ctx = shmem_ctx(pe);
+            if pe.id() == 0 {
+                ctx.put(2, 0, &[1u8; 8]);
+                ctx.fence();
+                ctx.put(2, 0, &[2u8; 8]); // same location: fence makes this OK
+                let pending = ctx.outstanding_puts();
+                let hazards = ctx.hazard_count();
+                ctx.quiet();
+                (pending, hazards)
+            } else {
+                (0, 0)
+            }
+        });
+        let (pending, hazards) = out.results[0];
+        assert_eq!(pending, 2, "fence does not retire obligations");
+        assert_eq!(hazards, 0, "fence suppresses the WAW hazard");
+    }
+
+    #[test]
+    fn tracing_records_operation_spans() {
+        let out = run(two_node_cfg().with_trace(true), |pe| {
+            let ctx = shmem_ctx(pe);
+            if pe.id() == 0 {
+                ctx.put(2, 0, &[1u8; 64]);
+                ctx.quiet();
+                let mut buf = [0u8; 8];
+                ctx.get(2, 0, &mut buf);
+                ctx.amo(2, 8, AmoOp::FetchAdd(1));
+            }
+            ctx.barrier_all();
+        });
+        use pgas_machine::trace::SpanKind;
+        let kinds: Vec<SpanKind> =
+            out.trace.iter().filter(|s| s.pe == 0).map(|s| s.kind).collect();
+        assert!(kinds.contains(&SpanKind::Put));
+        assert!(kinds.contains(&SpanKind::Get));
+        assert!(kinds.contains(&SpanKind::Amo));
+        assert!(kinds.contains(&SpanKind::Quiet));
+        assert!(kinds.contains(&SpanKind::Barrier));
+        for s in &out.trace {
+            assert!(s.end >= s.begin, "span must not be inverted: {s:?}");
+        }
+        // Disabled by default: same program records nothing.
+        let out = run(two_node_cfg(), |pe| {
+            let ctx = shmem_ctx(pe);
+            if pe.id() == 0 {
+                ctx.put(2, 0, &[1u8; 64]);
+            }
+            ctx.barrier_all();
+        });
+        assert!(out.trace.is_empty());
+    }
+
+    #[test]
+    fn barrier_group_subsets_synchronize() {
+        let out = run(generic_smp(4).with_heap_bytes(4096), |pe| {
+            let ctx = Ctx::new(pe, ConduitProfile::mvapich_shmem(), CtxOptions::default());
+            if pe.id() < 2 {
+                pe.advance(1000.0 * (pe.id() + 1) as f64);
+                ctx.barrier_group(&[0, 1]);
+                pe.now()
+            } else {
+                0
+            }
+        });
+        assert_eq!(out.results[0], out.results[1]);
+        assert!(out.results[0] >= 2000);
+    }
+}

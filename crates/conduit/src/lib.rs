@@ -1,0 +1,32 @@
+//! # pgas-conduit — one-sided communication engine with library profiles
+//!
+//! The paper compares several one-sided communication libraries as candidate
+//! runtime substrates for PGAS languages: Cray SHMEM, MVAPICH2-X SHMEM,
+//! GASNet, MPI-3 RMA, and Cray's DMAPP (used directly by the Cray CAF
+//! compiler). On real hardware those libraries differ in software issue
+//! overhead, protocol efficiency, whether remote atomics are offloaded to the
+//! NIC or emulated with active messages, and whether the 1-D strided
+//! `shmem_iput`/`shmem_iget` calls are NIC-native or a software loop of
+//! contiguous puts.
+//!
+//! This crate reproduces exactly those axes: one generic engine
+//! ([`Ctx`]) parameterized by a [`ConduitProfile`]. All profiles share
+//! mechanics (real data movement through `pgas-machine` heaps, virtual-time
+//! costs, NIC contention) and differ only in the published properties the
+//! paper attributes to each library.
+//!
+//! The engine also implements the OpenSHMEM **completion semantics** that
+//! drive §IV-B of the paper: a put returns after *local* completion; *remote*
+//! completion requires `quiet`. Outstanding-put state feeds an ordering
+//! hazard detector used as failure injection: a CAF runtime that forgets to
+//! insert `shmem_quiet` between dependent transfers trips it.
+
+pub mod cost;
+pub mod ctx;
+pub mod pending;
+pub mod profile;
+
+pub use cost::CostModel;
+pub use ctx::{Ctx, CtxOptions};
+pub use pending::{Hazard, HazardKind};
+pub use profile::{AmoSupport, ConduitKind, ConduitProfile, StridedSupport};

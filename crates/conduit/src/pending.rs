@@ -1,0 +1,220 @@
+//! Outstanding-operation tracking: the machinery behind `quiet`, `fence`
+//! and the ordering-hazard detector.
+//!
+//! OpenSHMEM's completion model (§IV-B of the paper): a put returns after
+//! *local* completion only; remote writes may complete out of order with
+//! respect to other remote accesses. Coarray Fortran, in contrast, requires
+//! accesses to the same location from the same image to complete in program
+//! order. The paper's translation therefore inserts `shmem_quiet` after puts
+//! and before gets.
+//!
+//! We track every un-quieted put issued by a PE. When the same PE then reads
+//! or rewrites an overlapping region of the same target without an
+//! intervening quiet, that is exactly the situation where a real OpenSHMEM
+//! implementation could return stale data — we record it as a [`Hazard`]
+//! (and optionally panic, as failure injection for runtime-correctness
+//! tests).
+
+use pgas_machine::machine::PeId;
+use std::collections::HashMap;
+
+/// The kind of ordering violation detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HazardKind {
+    /// A get overlapped an outstanding (un-quieted) put to the same target:
+    /// OpenSHMEM does not guarantee the get observes the put.
+    ReadAfterUnquietedWrite,
+    /// A put overlapped an outstanding put to the same target: deliveries
+    /// may be reordered, leaving the *older* data in memory.
+    WriteAfterUnquietedWrite,
+}
+
+/// A detected ordering violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hazard {
+    pub kind: HazardKind,
+    pub dst: PeId,
+    pub offset: usize,
+    pub len: usize,
+}
+
+impl std::fmt::Display for Hazard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self.kind {
+            HazardKind::ReadAfterUnquietedWrite => "get overlaps un-quieted put",
+            HazardKind::WriteAfterUnquietedWrite => "put overlaps un-quieted put",
+        };
+        write!(
+            f,
+            "ordering hazard: {what} (target PE {}, bytes [{}, {}))",
+            self.dst,
+            self.offset,
+            self.offset + self.len
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingPut {
+    dst: PeId,
+    offset: usize,
+    len: usize,
+    remote_complete: u64,
+}
+
+/// Per-PE outstanding-put set. Owned by one PE's [`crate::Ctx`]; never
+/// shared.
+#[derive(Debug, Default)]
+pub struct PendingSet {
+    puts: Vec<PendingPut>,
+    /// Completion times of outstanding non-blocking gets (`shmem_get_nbi`):
+    /// their data is only guaranteed valid after `quiet`.
+    nbi_gets: Vec<u64>,
+    /// Delivery floors established by `fence`: data to `dst` may not land
+    /// before this virtual time.
+    floors: HashMap<PeId, u64>,
+}
+
+#[inline]
+fn overlaps(a_off: usize, a_len: usize, b_off: usize, b_len: usize) -> bool {
+    a_len > 0 && b_len > 0 && a_off < b_off + b_len && b_off < a_off + a_len
+}
+
+impl PendingSet {
+    /// Record an issued put that remotely completes at `remote_complete`.
+    pub fn record_put(&mut self, dst: PeId, offset: usize, len: usize, remote_complete: u64) {
+        self.puts.push(PendingPut { dst, offset, len, remote_complete });
+    }
+
+    /// Record an issued non-blocking get completing at `complete_at`.
+    pub fn record_nbi_get(&mut self, complete_at: u64) {
+        self.nbi_gets.push(complete_at);
+    }
+
+    /// Latest outstanding remote completion (what `quiet` must wait for).
+    pub fn max_outstanding(&self) -> u64 {
+        self.puts
+            .iter()
+            .map(|p| p.remote_complete)
+            .chain(self.nbi_gets.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of outstanding puts.
+    pub fn outstanding(&self) -> usize {
+        self.puts.len()
+    }
+
+    /// Drop all completion obligations (after `quiet`). Floors are also
+    /// cleared: quiet is strictly stronger than fence.
+    pub fn clear(&mut self) {
+        self.puts.clear();
+        self.nbi_gets.clear();
+        self.floors.clear();
+    }
+
+    /// `fence`: future deliveries to each target must start after everything
+    /// outstanding to that target. Obligations stay outstanding (fence does
+    /// not imply completion).
+    pub fn fence(&mut self) {
+        for p in &self.puts {
+            let f = self.floors.entry(p.dst).or_insert(0);
+            *f = (*f).max(p.remote_complete);
+        }
+    }
+
+    /// The delivery floor currently in force for `dst`.
+    pub fn floor_for(&self, dst: PeId) -> u64 {
+        self.floors.get(&dst).copied().unwrap_or(0)
+    }
+
+    /// Would reading `[offset, offset+len)` of `dst` race an outstanding put?
+    pub fn check_get(&self, dst: PeId, offset: usize, len: usize) -> Option<Hazard> {
+        self.puts
+            .iter()
+            .find(|p| p.dst == dst && overlaps(p.offset, p.len, offset, len))
+            .map(|_| Hazard { kind: HazardKind::ReadAfterUnquietedWrite, dst, offset, len })
+    }
+
+    /// Would writing `[offset, offset+len)` of `dst` race an outstanding put?
+    /// A `fence` suppresses this hazard (deliveries are ordered after it).
+    pub fn check_put(&self, dst: PeId, offset: usize, len: usize) -> Option<Hazard> {
+        let floor = self.floor_for(dst);
+        self.puts
+            .iter()
+            .find(|p| {
+                p.dst == dst && p.remote_complete > floor && overlaps(p.offset, p.len, offset, len)
+            })
+            .map(|_| Hazard { kind: HazardKind::WriteAfterUnquietedWrite, dst, offset, len })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_no_obligations() {
+        let s = PendingSet::default();
+        assert_eq!(s.max_outstanding(), 0);
+        assert_eq!(s.outstanding(), 0);
+        assert!(s.check_get(0, 0, 100).is_none());
+        assert!(s.check_put(0, 0, 100).is_none());
+    }
+
+    #[test]
+    fn quiet_clears_obligations() {
+        let mut s = PendingSet::default();
+        s.record_put(1, 0, 64, 5000);
+        s.record_put(2, 64, 64, 7000);
+        assert_eq!(s.max_outstanding(), 7000);
+        assert_eq!(s.outstanding(), 2);
+        s.clear();
+        assert_eq!(s.max_outstanding(), 0);
+        assert!(s.check_get(1, 0, 64).is_none());
+    }
+
+    #[test]
+    fn get_overlap_is_a_hazard_only_on_same_target() {
+        let mut s = PendingSet::default();
+        s.record_put(3, 100, 50, 1000);
+        let h = s.check_get(3, 120, 8).expect("overlap must be detected");
+        assert_eq!(h.kind, HazardKind::ReadAfterUnquietedWrite);
+        assert!(s.check_get(4, 120, 8).is_none(), "different PE, same range: fine");
+        assert!(s.check_get(3, 150, 8).is_none(), "adjacent, non-overlapping: fine");
+        assert!(s.check_get(3, 92, 8).is_none(), "ends exactly at start: fine");
+    }
+
+    #[test]
+    fn waw_is_a_hazard_until_fence() {
+        let mut s = PendingSet::default();
+        s.record_put(1, 0, 8, 9000);
+        assert_eq!(s.check_put(1, 0, 8).unwrap().kind, HazardKind::WriteAfterUnquietedWrite);
+        s.fence();
+        assert_eq!(s.floor_for(1), 9000);
+        assert!(s.check_put(1, 0, 8).is_none(), "fence orders deliveries");
+        // But the completion obligation is still alive.
+        assert_eq!(s.max_outstanding(), 9000);
+    }
+
+    #[test]
+    fn fence_floor_is_per_target() {
+        let mut s = PendingSet::default();
+        s.record_put(1, 0, 8, 4000);
+        s.record_put(2, 0, 8, 6000);
+        s.fence();
+        assert_eq!(s.floor_for(1), 4000);
+        assert_eq!(s.floor_for(2), 6000);
+        assert_eq!(s.floor_for(3), 0);
+    }
+
+    #[test]
+    fn zero_length_never_overlaps() {
+        let mut s = PendingSet::default();
+        s.record_put(1, 0, 0, 100);
+        assert!(s.check_get(1, 0, 8).is_none());
+        s.record_put(1, 0, 8, 100);
+        assert!(s.check_get(1, 4, 0).is_none());
+    }
+}

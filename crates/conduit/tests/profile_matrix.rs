@@ -1,0 +1,125 @@
+//! Invariants that must hold for EVERY (profile, platform) combination the
+//! harnesses can run: the benchmark figures compare these configurations, so
+//! each one must be individually sane.
+
+use pgas_conduit::{ConduitProfile, Ctx, CtxOptions};
+use pgas_machine::{run, Platform};
+
+fn all_configs() -> Vec<(Platform, ConduitProfile)> {
+    let mut v = Vec::new();
+    for p in [Platform::Stampede, Platform::Titan, Platform::CrayXc30] {
+        v.push((p, ConduitProfile::native_shmem(p)));
+        v.push((p, ConduitProfile::gasnet(p)));
+        v.push((p, ConduitProfile::mpi3(p)));
+    }
+    v.push((Platform::Titan, ConduitProfile::dmapp(Platform::Titan)));
+    v.push((Platform::CrayXc30, ConduitProfile::dmapp(Platform::CrayXc30)));
+    v
+}
+
+#[test]
+fn data_and_ordering_hold_on_every_profile() {
+    for (platform, profile) in all_configs() {
+        let out = run(platform.config(2, 1).with_heap_bytes(1 << 16), move |pe| {
+            let ctx = Ctx::new(pe, profile, CtxOptions::default());
+            let peer = 1 - pe.id();
+            // Put, quiet, verify via get.
+            ctx.put(peer, 0, &[pe.id() as u8 + 1; 32]);
+            ctx.quiet();
+            ctx.barrier_all();
+            let mut buf = [0u8; 32];
+            ctx.get(pe.id(), 0, &mut buf);
+            assert_eq!(buf, [(peer as u8) + 1; 32], "{platform:?}/{}", profile.label());
+            // AMO round trip.
+            let old = ctx.amo(peer, 64, pgas_conduit::ctx::AmoOp::FetchAdd(5));
+            assert_eq!(old % 5, 0);
+            ctx.barrier_all();
+            pe.now()
+        });
+        assert_eq!(out.stats.hazards, 0, "{platform:?}/{}", profile.label());
+        assert!(out.makespan_ns() > 0);
+    }
+}
+
+#[test]
+fn virtual_time_ordering_invariants_per_profile() {
+    // For every profile: put < get (RTT), small put < large put,
+    // intra-node < inter-node.
+    for (platform, profile) in all_configs() {
+        let out = run(platform.config(2, 2).with_heap_bytes(1 << 18), move |pe| {
+            if pe.id() != 0 {
+                return (0, 0, 0, 0, 0);
+            }
+            let ctx = Ctx::new(pe, profile, CtxOptions::default());
+            let time_of = |f: &dyn Fn(&Ctx<'_>)| {
+                let t0 = ctx.pe().now();
+                f(&ctx);
+                ctx.quiet();
+                ctx.pe().now() - t0
+            };
+            let small_put = time_of(&|c| c.put(2, 0, &[1u8; 8]));
+            let large_put = time_of(&|c| c.put(2, 0, &[1u8; 1 << 16]));
+            let get = time_of(&|c| {
+                let mut b = [0u8; 8];
+                c.get(2, 0, &mut b);
+            });
+            let local_put = time_of(&|c| c.put(1, 0, &[1u8; 8]));
+            let amo = time_of(&|c| {
+                c.amo(2, 64, pgas_conduit::ctx::AmoOp::FetchAdd(1));
+            });
+            (small_put, large_put, get, local_put, amo)
+        });
+        let (small_put, large_put, get, local_put, amo) = out.results[0];
+        let tag = format!("{platform:?}/{}", profile.label());
+        assert!(large_put > 2 * small_put, "{tag}: large {large_put} vs small {small_put}");
+        assert!(get > small_put, "{tag}: blocking get {get} vs quieted put {small_put}");
+        assert!(local_put * 2 < small_put, "{tag}: intra {local_put} vs inter {small_put}");
+        assert!(amo > 0, "{tag}");
+    }
+}
+
+#[test]
+fn strided_message_counts_per_profile() {
+    for (platform, profile) in all_configs() {
+        let native = profile.has_native_strided();
+        let out = run(platform.config(2, 1).with_heap_bytes(1 << 16), move |pe| {
+            let ctx = Ctx::new(pe, profile, CtxOptions::default());
+            if pe.id() == 0 {
+                let src = vec![1u8; 400];
+                ctx.iput(1, 0, 2, &src, 8, 1, 50);
+                ctx.quiet();
+            }
+            ctx.barrier_all();
+        });
+        let expected = if native { 1 } else { 50 };
+        assert_eq!(
+            out.stats.puts, expected,
+            "{platform:?}/{}: native={native}",
+            profile.label()
+        );
+    }
+}
+
+#[test]
+fn single_actor_timing_is_deterministic_everywhere() {
+    for (platform, profile) in all_configs() {
+        let run_once = || {
+            run(platform.config(2, 1).with_heap_bytes(1 << 16), move |pe| {
+                let ctx = Ctx::new(pe, profile, CtxOptions::default());
+                if pe.id() == 0 {
+                    for k in 0..10usize {
+                        ctx.put(1, 0, &vec![7u8; 1 << k]);
+                    }
+                    ctx.quiet();
+                    let mut b = [0u8; 64];
+                    ctx.get(1, 0, &mut b);
+                    ctx.amo(1, 64, pgas_conduit::ctx::AmoOp::Swap(9));
+                }
+                ctx.barrier_all();
+                pe.now()
+            })
+            .clocks
+        };
+        assert_eq!(run_once(), run_once(), "{platform:?}/{}", profile.label());
+    }
+}

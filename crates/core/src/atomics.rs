@@ -1,0 +1,185 @@
+//! CAF atomic subroutines (`atomic_define`, `atomic_ref`, `atomic_add`,
+//! `atomic_cas`, bitwise variants) — the direct mappings of the paper's
+//! Table II onto OpenSHMEM atomics.
+
+use crate::image::{Image, ImageId};
+use openshmem::data::SymPtr;
+
+/// A scalar atomic coarray variable (`integer(atomic_int_kind) :: a[*]`).
+#[derive(Debug, Clone, Copy)]
+pub struct AtomicVar {
+    word: SymPtr<i64>,
+}
+
+impl AtomicVar {
+    /// The underlying symmetric word.
+    pub fn ptr(&self) -> SymPtr<i64> {
+        self.word
+    }
+}
+
+impl<'m> Image<'m> {
+    /// Declare an atomic coarray variable, initialized to `init` everywhere.
+    /// Collective.
+    pub fn atomic_var(&self, init: i64) -> AtomicVar {
+        let word =
+            self.shmem().shmalloc::<i64>(1).expect("symmetric heap exhausted for atomic var");
+        self.shmem().write_local(word, &[init]);
+        self.sync_all();
+        AtomicVar { word }
+    }
+
+    /// `call atomic_define(a[image], value)`.
+    pub fn atomic_define(&self, a: &AtomicVar, image: ImageId, value: i64) {
+        self.shmem().atomic_set(a.word, value, self.pe_of(image));
+        self.statement_quiet();
+    }
+
+    /// `call atomic_ref(value, a[image])`.
+    pub fn atomic_ref(&self, a: &AtomicVar, image: ImageId) -> i64 {
+        self.shmem().atomic_fetch(a.word, self.pe_of(image))
+    }
+
+    /// `call atomic_add(a[image], value)` — maps to `shmem_add`.
+    pub fn atomic_add(&self, a: &AtomicVar, image: ImageId, value: i64) {
+        self.shmem().add(a.word, value, self.pe_of(image));
+        self.statement_quiet();
+    }
+
+    /// `call atomic_fetch_add(a[image], value, old)` — maps to `shmem_fadd`.
+    pub fn atomic_fetch_add(&self, a: &AtomicVar, image: ImageId, value: i64) -> i64 {
+        self.shmem().fadd(a.word, value, self.pe_of(image))
+    }
+
+    /// `call atomic_cas(a[image], old, compare, new)` — maps to
+    /// `shmem_cswap`; returns the previous value.
+    pub fn atomic_cas(&self, a: &AtomicVar, image: ImageId, compare: i64, new: i64) -> i64 {
+        self.shmem().cswap(a.word, compare, new, self.pe_of(image))
+    }
+
+    /// `call atomic_and(a[image], value)` / `atomic_fetch_and`.
+    pub fn atomic_and(&self, a: &AtomicVar, image: ImageId, value: i64) {
+        self.shmem().atomic_and(a.word, value, self.pe_of(image));
+        self.statement_quiet();
+    }
+
+    pub fn atomic_fetch_and(&self, a: &AtomicVar, image: ImageId, value: i64) -> i64 {
+        self.shmem().fetch_and(a.word, value, self.pe_of(image))
+    }
+
+    /// `call atomic_or(a[image], value)` / `atomic_fetch_or`.
+    pub fn atomic_or(&self, a: &AtomicVar, image: ImageId, value: i64) {
+        self.shmem().atomic_or(a.word, value, self.pe_of(image));
+        self.statement_quiet();
+    }
+
+    pub fn atomic_fetch_or(&self, a: &AtomicVar, image: ImageId, value: i64) -> i64 {
+        self.shmem().fetch_or(a.word, value, self.pe_of(image))
+    }
+
+    /// `call atomic_xor(a[image], value)` / `atomic_fetch_xor`.
+    pub fn atomic_xor(&self, a: &AtomicVar, image: ImageId, value: i64) {
+        self.shmem().atomic_xor(a.word, value, self.pe_of(image));
+        self.statement_quiet();
+    }
+
+    pub fn atomic_fetch_xor(&self, a: &AtomicVar, image: ImageId, value: i64) -> i64 {
+        self.shmem().fetch_xor(a.word, value, self.pe_of(image))
+    }
+
+    /// `call atomic_swap(a[image], value, old)` (OpenUH extension) — maps to
+    /// `shmem_swap`, the fetch-and-store the MCS lock relies on.
+    pub fn atomic_swap(&self, a: &AtomicVar, image: ImageId, value: i64) -> i64 {
+        self.shmem().swap(a.word, value, self.pe_of(image))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::config::{Backend, CafConfig};
+    use crate::runtime::run_caf;
+    use pgas_machine::{generic_smp, Platform};
+
+    fn cfg() -> CafConfig {
+        CafConfig::new(Backend::Shmem, Platform::GenericSmp)
+    }
+
+    fn mcfg(n: usize) -> pgas_machine::MachineConfig {
+        generic_smp(n).with_heap_bytes(1 << 17)
+    }
+
+    #[test]
+    fn define_and_ref_across_images() {
+        let out = run_caf(mcfg(3), cfg(), |img| {
+            let a = img.atomic_var(0);
+            if img.this_image() == 1 {
+                for target in 1..=3 {
+                    img.atomic_define(&a, target, target as i64 * 11);
+                }
+            }
+            img.sync_all();
+            img.atomic_ref(&a, img.this_image())
+        });
+        assert_eq!(out.results, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn concurrent_fetch_add_is_linearizable() {
+        let out = run_caf(mcfg(8), cfg(), |img| {
+            let a = img.atomic_var(0);
+            let mut seen = Vec::new();
+            for _ in 0..50 {
+                seen.push(img.atomic_fetch_add(&a, 1, 1));
+            }
+            img.sync_all();
+            (seen, img.atomic_ref(&a, 1))
+        });
+        let mut all: Vec<i64> = Vec::new();
+        for (seen, total) in out.results {
+            assert_eq!(total, 400);
+            all.extend(seen);
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..400).collect::<Vec<i64>>(), "every ticket exactly once");
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let out = run_caf(mcfg(1), cfg(), |img| {
+            let a = img.atomic_var(5);
+            let miss = img.atomic_cas(&a, 1, 4, 9);
+            let hit = img.atomic_cas(&a, 1, 5, 9);
+            (miss, hit, img.atomic_ref(&a, 1))
+        });
+        assert_eq!(out.results[0], (5, 5, 9));
+    }
+
+    #[test]
+    fn bitwise_ops_and_swap() {
+        let out = run_caf(mcfg(1), cfg(), |img| {
+            let a = img.atomic_var(0b1111);
+            img.atomic_and(&a, 1, 0b1010);
+            let x = img.atomic_fetch_or(&a, 1, 0b0100);
+            img.atomic_xor(&a, 1, 0b0001);
+            let old = img.atomic_swap(&a, 1, -7);
+            (x, old, img.atomic_ref(&a, 1))
+        });
+        assert_eq!(out.results[0], (0b1010, 0b1111, -7));
+    }
+
+    #[test]
+    fn negative_values_roundtrip() {
+        let out = run_caf(mcfg(2), cfg(), |img| {
+            let a = img.atomic_var(-100);
+            if img.this_image() == 2 {
+                img.atomic_add(&a, 1, -28);
+            }
+            img.sync_all();
+            img.atomic_ref(&a, 1)
+        });
+        for r in out.results {
+            assert_eq!(r, -128);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Cartesian image grids: helpers for decomposing a domain across images
+//! (the bookkeeping every halo-exchange application reinvents).
+
+use crate::image::ImageId;
+
+/// A Cartesian arrangement of images, e.g. a 3×4 grid of 12 images.
+/// Dimension 0 varies fastest (column-major, consistent with coarray
+/// cosubscripts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageGrid {
+    dims: Vec<usize>,
+}
+
+impl ImageGrid {
+    /// Grid with explicit extents; their product must equal the image count
+    /// it is used with.
+    pub fn from_dims(dims: &[usize]) -> ImageGrid {
+        assert!(!dims.is_empty() && dims.iter().all(|&d| d > 0), "grid extents must be positive");
+        ImageGrid { dims: dims.to_vec() }
+    }
+
+    /// Most-square 2-D factorization of `images` (like `MPI_Dims_create`).
+    pub fn balanced_2d(images: usize) -> ImageGrid {
+        assert!(images > 0);
+        let mut best = (1, images);
+        let mut d = 1;
+        while d * d <= images {
+            if images.is_multiple_of(d) {
+                best = (d, images / d);
+            }
+            d += 1;
+        }
+        ImageGrid { dims: vec![best.0, best.1] }
+    }
+
+    /// Extents per grid dimension.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total images the grid describes.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True for a degenerate empty grid (never constructed by the public
+    /// API; present for completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// 0-based grid coordinates of a 1-based image.
+    pub fn coords_of(&self, image: ImageId) -> Vec<usize> {
+        assert!((1..=self.len()).contains(&image), "image {image} outside the grid");
+        let mut rem = image - 1;
+        self.dims
+            .iter()
+            .map(|&d| {
+                let c = rem % d;
+                rem /= d;
+                c
+            })
+            .collect()
+    }
+
+    /// 1-based image at 0-based grid coordinates.
+    pub fn image_at(&self, coords: &[usize]) -> ImageId {
+        assert_eq!(coords.len(), self.dims.len(), "coordinate rank mismatch");
+        let mut image = 0;
+        let mut stride = 1;
+        for (&c, &d) in coords.iter().zip(&self.dims) {
+            assert!(c < d, "coordinate {c} outside extent {d}");
+            image += c * stride;
+            stride *= d;
+        }
+        image + 1
+    }
+
+    /// Neighbouring image one step along `dim` (`delta` = ±1). `None` at a
+    /// non-periodic boundary; wraps when `periodic`.
+    pub fn neighbor(
+        &self,
+        image: ImageId,
+        dim: usize,
+        delta: isize,
+        periodic: bool,
+    ) -> Option<ImageId> {
+        assert!(dim < self.dims.len());
+        assert!(delta == 1 || delta == -1, "one step at a time");
+        let mut coords = self.coords_of(image);
+        let d = self.dims[dim] as isize;
+        let next = coords[dim] as isize + delta;
+        let wrapped = if periodic {
+            next.rem_euclid(d)
+        } else if (0..d).contains(&next) {
+            next
+        } else {
+            return None;
+        };
+        coords[dim] = wrapped as usize;
+        Some(self.image_at(&coords))
+    }
+
+    /// Block distribution of a global extent along `dim`: the (start, len)
+    /// owned by `image`, with remainders spread over the leading blocks.
+    pub fn block_range(&self, image: ImageId, dim: usize, extent: usize) -> (usize, usize) {
+        let coords = self.coords_of(image);
+        let parts = self.dims[dim];
+        let c = coords[dim];
+        let base = extent / parts;
+        let extra = extent % parts;
+        let start = c * base + c.min(extra);
+        let len = base + usize::from(c < extra);
+        (start, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_factorizations() {
+        assert_eq!(ImageGrid::balanced_2d(12).dims(), &[3, 4]);
+        assert_eq!(ImageGrid::balanced_2d(16).dims(), &[4, 4]);
+        assert_eq!(ImageGrid::balanced_2d(7).dims(), &[1, 7]);
+        assert_eq!(ImageGrid::balanced_2d(1).dims(), &[1, 1]);
+        assert_eq!(ImageGrid::balanced_2d(36).dims(), &[6, 6]);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let g = ImageGrid::from_dims(&[3, 4]);
+        for image in 1..=12 {
+            assert_eq!(g.image_at(&g.coords_of(image)), image);
+        }
+        assert_eq!(g.coords_of(1), vec![0, 0]);
+        assert_eq!(g.coords_of(2), vec![1, 0]);
+        assert_eq!(g.coords_of(4), vec![0, 1]);
+    }
+
+    #[test]
+    fn neighbors_respect_boundaries() {
+        let g = ImageGrid::from_dims(&[3, 2]);
+        // Image 1 is at (0,0).
+        assert_eq!(g.neighbor(1, 0, -1, false), None);
+        assert_eq!(g.neighbor(1, 0, 1, false), Some(2));
+        assert_eq!(g.neighbor(1, 1, 1, false), Some(4));
+        // Periodic wrap.
+        assert_eq!(g.neighbor(1, 0, -1, true), Some(3));
+        assert_eq!(g.neighbor(4, 1, 1, true), Some(1));
+        // Image 6 at (2,1): right edge.
+        assert_eq!(g.neighbor(6, 0, 1, false), None);
+        assert_eq!(g.neighbor(6, 0, 1, true), Some(4));
+    }
+
+    #[test]
+    fn block_ranges_cover_the_extent() {
+        let g = ImageGrid::from_dims(&[4]);
+        let extent = 10; // 3,3,2,2
+        let mut covered = Vec::new();
+        for image in 1..=4 {
+            let (s, l) = g.block_range(image, 0, extent);
+            covered.extend(s..s + l);
+        }
+        assert_eq!(covered, (0..10).collect::<Vec<_>>());
+        assert_eq!(g.block_range(1, 0, extent), (0, 3));
+        assert_eq!(g.block_range(4, 0, extent), (8, 2));
+    }
+
+    #[test]
+    fn block_ranges_2d() {
+        let g = ImageGrid::from_dims(&[2, 3]);
+        // Image 5 is at coords (0, 2).
+        assert_eq!(g.block_range(5, 0, 8), (0, 4));
+        assert_eq!(g.block_range(5, 1, 9), (6, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the grid")]
+    fn coords_bounds_checked() {
+        ImageGrid::from_dims(&[2, 2]).coords_of(5);
+    }
+}

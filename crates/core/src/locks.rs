@@ -1,0 +1,430 @@
+//! CAF per-image locks: the paper's adaptation of the MCS queue lock
+//! (§IV-D).
+//!
+//! CAF locks are coarrays: `type(lock_type) :: lck[*]` declares one lock
+//! *variable per image*, and `lock(lck[j])` acquires the instance living on
+//! image `j`. OpenSHMEM's own locks are global entities, unusable here; the
+//! naive alternative (an N-element array per lock) wastes space. Instead:
+//!
+//! * Each lock instance is one symmetric 8-byte **tail** word on its home
+//!   image, holding a packed [`RemotePtr`] to the last queue node.
+//! * Each contender allocates a 16-byte **qnode** (`locked`, `next` words)
+//!   from its non-symmetric remotely-accessible buffer space.
+//! * `lock`: fetch-and-store (swap) the tail with a pointer to your qnode;
+//!   if there was a predecessor, point its `next` at you and spin on your
+//!   *local* `locked` word (no remote polling — the MCS property).
+//! * `unlock`: compare-and-swap the tail from yourself to NIL; if someone
+//!   queued behind you, wait for your `next` to be set and reset the
+//!   successor's `locked` word.
+//! * A per-image hash table keyed by (lock variable, home image) finds the
+//!   qnode of a held lock at `unlock` (an image may hold up to M locks plus
+//!   one it is waiting on).
+
+use crate::image::{Image, ImageId};
+use crate::remote_ptr::{RemotePtr, NIL};
+use openshmem::data::SymPtr;
+use openshmem::shmem::Cmp;
+
+/// Size of a queue node in the non-symmetric buffer: `locked` + `next`.
+const QNODE_BYTES: usize = 16;
+
+/// A CAF lock variable: one lockable instance per image.
+#[derive(Debug, Clone, Copy)]
+pub struct CafLock {
+    tail: SymPtr<u64>,
+}
+
+impl CafLock {
+    pub(crate) fn from_raw(tail: SymPtr<u64>) -> CafLock {
+        CafLock { tail }
+    }
+
+    /// The symmetric tail word.
+    pub fn tail_ptr(&self) -> SymPtr<u64> {
+        self.tail
+    }
+}
+
+impl<'m> Image<'m> {
+    /// Declare a lock coarray (`type(lock_type) :: lck[*]`). Collective;
+    /// returns with every image's instance initialized to unlocked.
+    pub fn lock_var(&self) -> CafLock {
+        let tail = self.shmem().shmalloc::<u64>(1).expect("symmetric heap exhausted for lock");
+        self.shmem().write_local(tail, &[NIL]);
+        self.sync_all();
+        CafLock { tail }
+    }
+
+    /// An array of lock variables (`type(lock_type) :: lck(n)[*]`).
+    pub fn lock_vars(&self, n: usize) -> Vec<CafLock> {
+        let tails = self.shmem().shmalloc::<u64>(n).expect("symmetric heap exhausted for locks");
+        self.shmem().write_local(tails, &vec![NIL; n]);
+        self.sync_all();
+        (0..n).map(|i| CafLock { tail: tails.slice(i, 1) }).collect()
+    }
+
+    fn qnode_ptrs(&self, offset: usize) -> (SymPtr<u64>, SymPtr<u64>) {
+        let abs = self.nonsym_abs(offset);
+        (SymPtr::from_raw_parts(abs, 1), SymPtr::from_raw_parts(abs + 8, 1))
+    }
+
+    /// The Cray CAF runtime's lock path performs a remote state check
+    /// (an extra fetch of the lock word) before mutating it — one reason the
+    /// paper measures UHCAF-over-SHMEM locks ~22% faster than Cray CAF's.
+    /// We model that behaviour when running as the Cray-CAF baseline.
+    fn vendor_lock_overhead(&self, lck: &CafLock, home: usize) {
+        if matches!(self.config().backend, crate::config::Backend::CrayCaf) {
+            let _ = self.shmem().atomic_fetch(lck.tail, home);
+        }
+    }
+
+    /// `lock(lck[image])`: acquire the lock instance on `image` (1-based).
+    pub fn lock(&self, lck: &CafLock, image: ImageId) {
+        let home = self.pe_of(image);
+        let key = (lck.tail.offset(), home);
+        assert!(
+            !self.lock_table.borrow().contains_key(&key),
+            "image {} already holds lock {:?} on image {image} (STAT_LOCKED)",
+            self.this_image(),
+            lck.tail
+        );
+        self.vendor_lock_overhead(lck, home);
+        let q = self
+            .alloc_nonsym(QNODE_BYTES)
+            .expect("non-symmetric buffer exhausted allocating a lock qnode");
+        let (locked, next) = self.qnode_ptrs(q.offset);
+        self.shmem().write_local(locked, &[1]);
+        self.shmem().write_local(next, &[NIL]);
+        let me = RemotePtr::new(self.this_image() - 1, q.offset).pack();
+        let prev = self.shmem().swap(lck.tail, me, home);
+        if let Some(pred) = RemotePtr::unpack(prev) {
+            // Chain behind the predecessor and spin locally.
+            let pred_next = SymPtr::from_raw_parts(self.nonsym_abs(pred.offset) + 8, 1);
+            self.shmem().atomic_set(pred_next, me, pred.image);
+            self.shmem().quiet();
+            self.shmem().wait_until(locked, Cmp::Eq, 0);
+        }
+        self.lock_table.borrow_mut().insert(key, q.offset);
+    }
+
+    /// `lock(lck[image], acquired_lock=ok)`: non-blocking attempt; returns
+    /// whether the lock was acquired.
+    pub fn try_lock(&self, lck: &CafLock, image: ImageId) -> bool {
+        let home = self.pe_of(image);
+        let key = (lck.tail.offset(), home);
+        if self.lock_table.borrow().contains_key(&key) {
+            // Fortran: acquired_lock=.false. if this image already holds it.
+            return false;
+        }
+        let q = self
+            .alloc_nonsym(QNODE_BYTES)
+            .expect("non-symmetric buffer exhausted allocating a lock qnode");
+        let (locked, next) = self.qnode_ptrs(q.offset);
+        self.shmem().write_local(locked, &[0]);
+        self.shmem().write_local(next, &[NIL]);
+        let me = RemotePtr::new(self.this_image() - 1, q.offset).pack();
+        if self.shmem().cswap(lck.tail, NIL, me, home) == NIL {
+            self.lock_table.borrow_mut().insert(key, q.offset);
+            true
+        } else {
+            self.free_nonsym(q).expect("qnode free");
+            false
+        }
+    }
+
+    /// `unlock(lck[image])`.
+    pub fn unlock(&self, lck: &CafLock, image: ImageId) {
+        let home = self.pe_of(image);
+        let key = (lck.tail.offset(), home);
+        let q_off = self
+            .lock_table
+            .borrow_mut()
+            .remove(&key)
+            .unwrap_or_else(|| {
+                panic!(
+                    "image {} does not hold lock {:?} on image {image} (STAT_UNLOCKED)",
+                    self.this_image(),
+                    lck.tail
+                )
+            });
+        self.vendor_lock_overhead(lck, home);
+        let (_, next) = self.qnode_ptrs(q_off);
+        let me = RemotePtr::new(self.this_image() - 1, q_off).pack();
+        let old = self.shmem().cswap(lck.tail, me, NIL, home);
+        if old != me {
+            // A successor swapped the tail: wait for it to link itself,
+            // then hand the lock over by clearing its local spin word.
+            let next_val = self.shmem().wait_until(next, Cmp::Ne, NIL);
+            let succ = RemotePtr::unpack(next_val).expect("corrupt qnode next pointer");
+            let succ_locked = SymPtr::from_raw_parts(self.nonsym_abs(succ.offset), 1);
+            self.shmem().atomic_set(succ_locked, 0u64, succ.image);
+            self.shmem().quiet();
+        }
+        self.free_nonsym(crate::image::NonSymHandle { offset: q_off, len: QNODE_BYTES })
+            .expect("qnode free");
+    }
+
+    /// Does this image currently hold `lck[image]`?
+    pub fn holds_lock(&self, lck: &CafLock, image: ImageId) -> bool {
+        let home = self.pe_of(image);
+        self.lock_table.borrow().contains_key(&(lck.tail.offset(), home))
+    }
+
+    /// `lock(lck[image], stat=s)`: like [`Self::lock`] but reporting the
+    /// Fortran error condition instead of panicking when this image already
+    /// holds the lock.
+    pub fn lock_stat(&self, lck: &CafLock, image: ImageId) -> Result<(), LockStat> {
+        if self.holds_lock(lck, image) {
+            return Err(LockStat::StatLocked);
+        }
+        self.lock(lck, image);
+        Ok(())
+    }
+
+    /// `unlock(lck[image], stat=s)`: error-reporting unlock.
+    pub fn unlock_stat(&self, lck: &CafLock, image: ImageId) -> Result<(), LockStat> {
+        if !self.holds_lock(lck, image) {
+            return Err(LockStat::StatUnlocked);
+        }
+        self.unlock(lck, image);
+        Ok(())
+    }
+}
+
+/// Fortran lock statement error conditions (ISO_FORTRAN_ENV's STAT_LOCKED /
+/// STAT_UNLOCKED).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockStat {
+    /// The image already holds this lock (lock statement).
+    StatLocked,
+    /// The image does not hold this lock (unlock statement).
+    StatUnlocked,
+}
+
+impl std::fmt::Display for LockStat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockStat::StatLocked => write!(f, "STAT_LOCKED: image already holds the lock"),
+            LockStat::StatUnlocked => write!(f, "STAT_UNLOCKED: image does not hold the lock"),
+        }
+    }
+}
+
+impl std::error::Error for LockStat {}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::config::{Backend, CafConfig};
+    use crate::runtime::{run_caf, run_caf_result};
+    use pgas_machine::{generic_smp, titan, Platform};
+
+    fn cfg() -> CafConfig {
+        CafConfig::new(Backend::Shmem, Platform::GenericSmp)
+    }
+
+    fn mcfg(n: usize) -> pgas_machine::MachineConfig {
+        generic_smp(n).with_heap_bytes(1 << 18)
+    }
+
+    #[test]
+    fn mutual_exclusion_counter_torture() {
+        let iters = 100;
+        let out = run_caf(mcfg(8), cfg(), |img| {
+            let lck = img.lock_var();
+            let c = img.coarray::<i64>(&[1]).unwrap();
+            img.sync_all();
+            for _ in 0..iters {
+                img.lock(&lck, 1);
+                // Unprotected RMW on image 1 — only correct under the lock.
+                let v = c.get_elem(img, 1, &[0]);
+                c.put_elem(img, 1, &[0], v + 1);
+                img.unlock(&lck, 1);
+            }
+            img.sync_all();
+            c.get_elem(img, 1, &[0])
+        });
+        for r in out.results {
+            assert_eq!(r, 8 * iters);
+        }
+    }
+
+    #[test]
+    fn per_image_instances_are_independent() {
+        // Image 1 holds lck[1]; image 2 can still take lck[2] without
+        // blocking — the property OpenSHMEM's global locks lack.
+        let out = run_caf(mcfg(2), cfg(), |img| {
+            let lck = img.lock_var();
+            img.sync_all();
+            let mine = img.this_image();
+            img.lock(&lck, mine);
+            img.sync_all(); // both hold simultaneously: no deadlock
+            let held = img.holds_lock(&lck, mine);
+            img.unlock(&lck, mine);
+            img.sync_all();
+            held
+        });
+        assert_eq!(out.results, vec![true, true]);
+    }
+
+    #[test]
+    fn one_image_can_hold_many_locks() {
+        run_caf(mcfg(3), cfg(), |img| {
+            let locks = img.lock_vars(5);
+            if img.this_image() == 1 {
+                for (i, l) in locks.iter().enumerate() {
+                    img.lock(l, i % 3 + 1);
+                }
+                // M held locks -> M live qnodes.
+                assert_eq!(img.nonsym_in_use(), 5 * 16);
+                for (i, l) in locks.iter().enumerate() {
+                    img.unlock(l, i % 3 + 1);
+                }
+                assert_eq!(img.nonsym_in_use(), 0);
+            }
+            img.sync_all();
+        });
+    }
+
+    #[test]
+    fn try_lock_contention() {
+        let out = run_caf(mcfg(4), cfg(), |img| {
+            let lck = img.lock_var();
+            img.sync_all();
+            let got = img.try_lock(&lck, 1);
+            img.sync_all();
+            let held_count_probe = got; // collect per-image outcome
+            if got {
+                img.unlock(&lck, 1);
+            }
+            img.sync_all();
+            // After release, try again: exactly one winner per round.
+            let second = img.try_lock(&lck, 1);
+            img.sync_all();
+            if second {
+                img.unlock(&lck, 1);
+            }
+            img.sync_all();
+            (held_count_probe, second)
+        });
+        assert_eq!(out.results.iter().filter(|r| r.0).count(), 1, "one first-round winner");
+        assert_eq!(out.results.iter().filter(|r| r.1).count(), 1, "one second-round winner");
+    }
+
+    #[test]
+    fn try_lock_on_held_lock_by_self_is_false() {
+        run_caf(mcfg(1), cfg(), |img| {
+            let lck = img.lock_var();
+            assert!(img.try_lock(&lck, 1));
+            assert!(!img.try_lock(&lck, 1), "re-acquire by holder must fail");
+            img.unlock(&lck, 1);
+            assert!(img.try_lock(&lck, 1));
+            img.unlock(&lck, 1);
+        });
+    }
+
+    #[test]
+    fn relock_already_held_is_an_error() {
+        let err = run_caf_result(mcfg(1), cfg(), |img| {
+            let lck = img.lock_var();
+            img.lock(&lck, 1);
+            img.lock(&lck, 1);
+        })
+        .unwrap_err();
+        assert!(err.message.contains("STAT_LOCKED"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn unlock_without_holding_is_an_error() {
+        let err = run_caf_result(mcfg(1), cfg(), |img| {
+            let lck = img.lock_var();
+            img.unlock(&lck, 1);
+        })
+        .unwrap_err();
+        assert!(err.message.contains("STAT_UNLOCKED"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn fifo_handoff_under_queueing() {
+        // With everyone queued before the holder releases, MCS hands the
+        // lock over in queue order; we verify every image got the lock
+        // exactly once per round (fairness proxy: the counter never skips).
+        let out = run_caf(mcfg(6), cfg(), |img| {
+            let lck = img.lock_var();
+            let c = img.coarray::<i64>(&[1]).unwrap();
+            img.sync_all();
+            let mut observed = Vec::new();
+            for _ in 0..10 {
+                img.lock(&lck, 1);
+                let v = c.get_elem(img, 1, &[0]);
+                observed.push(v);
+                c.put_elem(img, 1, &[0], v + 1);
+                img.unlock(&lck, 1);
+            }
+            img.sync_all();
+            (observed, c.get_elem(img, 1, &[0]))
+        });
+        for (obs, total) in out.results {
+            assert_eq!(total, 60);
+            // Each image's observations are strictly increasing.
+            assert!(obs.windows(2).all(|w| w[1] > w[0]), "lock handoffs went backwards: {obs:?}");
+        }
+    }
+
+    #[test]
+    fn locks_on_remote_home_images_work_across_nodes() {
+        let out = run_caf(
+            titan(2, 2).with_heap_bytes(1 << 18),
+            CafConfig::new(Backend::Shmem, Platform::Titan),
+            |img| {
+                let lck = img.lock_var();
+                let c = img.coarray::<i64>(&[1]).unwrap();
+                img.sync_all();
+                // Everyone locks the instance on the *last* image (other node).
+                let home = img.num_images();
+                for _ in 0..20 {
+                    img.lock(&lck, home);
+                    let v = c.get_elem(img, home, &[0]);
+                    c.put_elem(img, home, &[0], v + 1);
+                    img.unlock(&lck, home);
+                }
+                img.sync_all();
+                c.get_elem(img, home, &[0])
+            },
+        );
+        for r in out.results {
+            assert_eq!(r, 80);
+        }
+    }
+
+    #[test]
+    fn lock_stat_reports_error_conditions() {
+        run_caf(mcfg(2), cfg(), |img| {
+            let lck = img.lock_var();
+            img.sync_all();
+            assert_eq!(img.unlock_stat(&lck, 1), Err(super::LockStat::StatUnlocked));
+            assert_eq!(img.lock_stat(&lck, img.this_image()), Ok(()));
+            assert_eq!(
+                img.lock_stat(&lck, img.this_image()),
+                Err(super::LockStat::StatLocked)
+            );
+            assert_eq!(img.unlock_stat(&lck, img.this_image()), Ok(()));
+            img.sync_all();
+        });
+    }
+
+    #[test]
+    fn qnodes_come_from_nonsym_space_and_are_recycled() {
+        run_caf(mcfg(2), cfg(), |img| {
+            let lck = img.lock_var();
+            img.sync_all();
+            let before = img.nonsym_in_use();
+            for _ in 0..100 {
+                img.lock(&lck, 2);
+                img.unlock(&lck, 2);
+            }
+            assert_eq!(img.nonsym_in_use(), before, "qnode leak");
+            img.sync_all();
+        });
+    }
+}

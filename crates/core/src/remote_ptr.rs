@@ -1,0 +1,130 @@
+//! Packed remote pointers for lock queue nodes.
+//!
+//! The paper (§IV-D): "The tail and next fields, functioning as pointers to
+//! qnodes belonging to a remote image, are represented using 20 bits for the
+//! image index, 36 bits for the offset of the qnode within the
+//! remote-accessible buffer space, and the final 8 bits reserved for other
+//! flags. By packing this remote pointer within a 64-bit representation, we
+//! can utilize support for 8-byte remote atomics provided by OpenSHMEM."
+//!
+//! Layout (most significant first): `[ image:20 | offset:36 | flags:8 ]`.
+//! Flag bit 0 marks a valid pointer, so the all-zero word can serve as NIL
+//! even when image 0 holds a qnode at offset 0.
+
+/// Number of bits for each field.
+pub const IMAGE_BITS: u32 = 20;
+pub const OFFSET_BITS: u32 = 36;
+pub const FLAG_BITS: u32 = 8;
+
+/// Flag bit marking a live pointer (distinguishes packed 0/0 from NIL).
+pub const FLAG_VALID: u8 = 0b1;
+
+/// The null remote pointer.
+pub const NIL: u64 = 0;
+
+/// A decoded remote pointer: a qnode location in another image's
+/// remotely-accessible buffer space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemotePtr {
+    /// 0-based image (PE) index, < 2^20.
+    pub image: usize,
+    /// Byte offset within the non-symmetric buffer space, < 2^36.
+    pub offset: usize,
+    /// Spare flag bits (bit 0 is the validity mark and is managed by
+    /// `pack`/`unpack`).
+    pub flags: u8,
+}
+
+impl RemotePtr {
+    /// Encode into the 64-bit on-wire representation.
+    pub fn pack(self) -> u64 {
+        assert!(self.image < (1 << IMAGE_BITS), "image {} exceeds 20 bits", self.image);
+        assert!(
+            self.offset < (1usize << OFFSET_BITS),
+            "offset {} exceeds 36 bits",
+            self.offset
+        );
+        ((self.image as u64) << (OFFSET_BITS + FLAG_BITS))
+            | ((self.offset as u64) << FLAG_BITS)
+            | u64::from(self.flags | FLAG_VALID)
+    }
+
+    /// Decode a packed pointer; `None` for NIL / invalid words.
+    pub fn unpack(word: u64) -> Option<RemotePtr> {
+        if word & u64::from(FLAG_VALID) == 0 {
+            return None;
+        }
+        Some(RemotePtr {
+            image: (word >> (OFFSET_BITS + FLAG_BITS)) as usize,
+            offset: ((word >> FLAG_BITS) & ((1u64 << OFFSET_BITS) - 1)) as usize,
+            flags: (word & 0xFF) as u8,
+        })
+    }
+
+    /// Convenience constructor with no extra flags.
+    pub fn new(image: usize, offset: usize) -> RemotePtr {
+        RemotePtr { image, offset, flags: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_basic() {
+        let p = RemotePtr::new(12, 4096);
+        let w = p.pack();
+        let q = RemotePtr::unpack(w).unwrap();
+        assert_eq!(q.image, 12);
+        assert_eq!(q.offset, 4096);
+        assert_eq!(q.flags & FLAG_VALID, FLAG_VALID);
+    }
+
+    #[test]
+    fn zero_zero_is_distinguishable_from_nil() {
+        let w = RemotePtr::new(0, 0).pack();
+        assert_ne!(w, NIL);
+        assert!(RemotePtr::unpack(w).is_some());
+        assert!(RemotePtr::unpack(NIL).is_none());
+    }
+
+    #[test]
+    fn extreme_values_fit() {
+        let p = RemotePtr::new((1 << 20) - 1, (1usize << 36) - 1);
+        let q = RemotePtr::unpack(p.pack()).unwrap();
+        assert_eq!(q.image, (1 << 20) - 1);
+        assert_eq!(q.offset, (1usize << 36) - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "20 bits")]
+    fn image_overflow_rejected() {
+        RemotePtr::new(1 << 20, 0).pack();
+    }
+
+    #[test]
+    #[should_panic(expected = "36 bits")]
+    fn offset_overflow_rejected() {
+        RemotePtr::new(0, 1usize << 36).pack();
+    }
+
+    #[test]
+    fn flags_survive() {
+        let p = RemotePtr { image: 3, offset: 16, flags: 0b1010_0000 };
+        let q = RemotePtr::unpack(p.pack()).unwrap();
+        assert_eq!(q.flags & 0b1010_0000, 0b1010_0000);
+    }
+
+    #[test]
+    fn fields_do_not_bleed() {
+        // Neighbouring extreme fields must not corrupt each other.
+        let p = RemotePtr { image: 0xFFFFF, offset: 0, flags: 0 };
+        let q = RemotePtr::unpack(p.pack()).unwrap();
+        assert_eq!(q.offset, 0);
+        let p = RemotePtr { image: 0, offset: 0xF_FFFF_FFFF, flags: 0 };
+        let q = RemotePtr::unpack(p.pack()).unwrap();
+        assert_eq!(q.image, 0);
+        assert_eq!(q.offset, 0xF_FFFF_FFFF);
+    }
+}

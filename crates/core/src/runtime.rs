@@ -1,0 +1,78 @@
+//! SPMD entry points for CAF programs.
+
+use crate::config::CafConfig;
+use crate::image::Image;
+use pgas_machine::config::MachineConfig;
+use pgas_machine::launch::{SimError, SimOutcome};
+
+/// Launch a CAF program: one image per simulated core, each running `f`.
+/// Panics if any image fails.
+pub fn run_caf<R, F>(machine: MachineConfig, caf: CafConfig, f: F) -> SimOutcome<R>
+where
+    F: Fn(&Image<'_>) -> R + Send + Sync,
+    R: Send,
+{
+    pgas_machine::run(machine, move |pe| {
+        let img = Image::new(pe, caf);
+        f(&img)
+    })
+}
+
+/// Like [`run_caf`] but reporting failures as values (used by tests that
+/// expect runtime errors such as STAT_LOCKED).
+pub fn run_caf_result<R, F>(
+    machine: MachineConfig,
+    caf: CafConfig,
+    f: F,
+) -> Result<SimOutcome<R>, SimError>
+where
+    F: Fn(&Image<'_>) -> R + Send + Sync,
+    R: Send,
+{
+    pgas_machine::run_with_result(machine, move |pe| {
+        let img = Image::new(pe, caf);
+        f(&img)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Backend;
+    use pgas_machine::{generic_smp, Platform};
+
+    #[test]
+    fn run_caf_returns_per_image_results_and_stats() {
+        let out = run_caf(
+            generic_smp(3).with_heap_bytes(1 << 17),
+            CafConfig::new(Backend::Shmem, Platform::GenericSmp),
+            |img| {
+                let a = img.coarray::<i64>(&[2]).unwrap();
+                img.sync_all();
+                a.put_to(img, img.this_image() % img.num_images() + 1, &[1, 2]);
+                img.sync_all();
+                img.this_image()
+            },
+        );
+        assert_eq!(out.results, vec![1, 2, 3]);
+        assert_eq!(out.stats.puts, 3);
+        assert!(out.stats.barriers >= 2);
+    }
+
+    #[test]
+    fn failures_propagate_with_image_context() {
+        let err = run_caf_result(
+            generic_smp(2).with_heap_bytes(1 << 17),
+            CafConfig::new(Backend::Shmem, Platform::GenericSmp),
+            |img| {
+                if img.this_image() == 2 {
+                    panic!("image 2 exploded");
+                }
+                img.sync_all();
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.pe, 1);
+        assert!(err.message.contains("exploded"));
+    }
+}

@@ -1,0 +1,241 @@
+//! Fortran 2008 coarray semantics, tested against the runtime: the
+//! behaviours a CAF program may rely on per the standard (and which the
+//! paper's translation must preserve on top of OpenSHMEM's weaker model).
+
+use caf::{run_caf, run_caf_result, Backend, CafConfig, CoDims, DimRange, Section};
+use pgas_machine::{generic_smp, Platform};
+
+fn cfg() -> CafConfig {
+    CafConfig::new(Backend::Shmem, Platform::GenericSmp)
+}
+
+fn mcfg(n: usize) -> pgas_machine::MachineConfig {
+    generic_smp(n).with_heap_bytes(1 << 18)
+}
+
+/// Fortran 8.5.2: `sync all` — all images execute it, and statements before
+/// it on any image precede statements after it on every image.
+#[test]
+fn sync_all_orders_segments() {
+    let out = run_caf(mcfg(4), cfg(), |img| {
+        let a = img.coarray::<i64>(&[4]).unwrap();
+        // Segment 1: everyone writes its slot on image 1.
+        a.put_elem(img, 1, &[img.this_image() - 1], img.this_image() as i64);
+        img.sync_all();
+        // Segment 2: everyone must observe all four writes.
+        a.get_from(img, 1)
+    });
+    for r in out.results {
+        assert_eq!(r, vec![1, 2, 3, 4]);
+    }
+}
+
+/// Fortran 8.5.3: `sync images` is pairwise — a third image is NOT
+/// synchronized and may proceed independently.
+#[test]
+fn sync_images_does_not_block_non_members() {
+    let out = run_caf(mcfg(3), cfg(), |img| {
+        match img.this_image() {
+            1 => {
+                img.sync_images(&[2]);
+                "synced"
+            }
+            2 => {
+                img.sync_images(&[1]);
+                "synced"
+            }
+            _ => "free", // image 3 never syncs and must terminate fine
+        }
+    });
+    assert_eq!(out.results, vec!["synced", "synced", "free"]);
+}
+
+/// Fortran 8.5.1: allocate/deallocate of coarrays are collective with
+/// implicit synchronization; remote access right after allocate is safe.
+#[test]
+fn allocate_implies_synchronization() {
+    let out = run_caf(mcfg(2), cfg(), |img| {
+        // Without the implicit sync, image 1's put could race image 2's
+        // zero-initialization. Run many rounds to give a race every chance.
+        let mut ok = true;
+        for round in 0..20i64 {
+            let a = img.coarray::<i64>(&[1]).unwrap();
+            if img.this_image() == 1 {
+                a.put_to(img, 2, &[round]);
+            }
+            img.sync_all();
+            if img.this_image() == 2 {
+                ok &= a.read_local(img)[0] == round;
+            }
+            img.free_coarray(a).unwrap();
+        }
+        ok
+    });
+    assert!(out.results.iter().all(|&b| b));
+}
+
+/// Fortran 13.7.{19,20}: `lcobound`/`ucobound` and `image_index` are
+/// consistent: every valid cosubscript tuple maps to an image and back.
+#[test]
+fn cobounds_and_image_index_agree() {
+    let cd = CoDims::new(&[2, 3]);
+    let images = 12;
+    let mut seen = std::collections::HashSet::new();
+    for c3 in 1..=cd.ucobound(2, images) {
+        for c2 in 1..=cd.ucobound(1, images) {
+            for c1 in 1..=cd.ucobound(0, images) {
+                let img = cd.image_of(&[c1, c2, c3]);
+                if img <= images {
+                    assert_eq!(cd.cosubscripts_of(img), vec![c1, c2, c3]);
+                    assert!(seen.insert(img), "image {img} mapped twice");
+                }
+            }
+        }
+    }
+    assert_eq!(seen.len(), images);
+}
+
+/// Fortran 6.6: array sections with vector-free triplets — the co-indexed
+/// section write touches exactly the selected elements.
+#[test]
+fn section_write_touches_only_selected_elements() {
+    let shape = [8usize, 8];
+    let sec = Section::new(vec![DimRange::triplet(2, 6, 2), DimRange::triplet(1, 7, 3)]);
+    let sec_inner = sec.clone();
+    let out = run_caf(mcfg(2), cfg(), move |img| {
+        let a = img.coarray_filled::<i32>(&shape, -1).unwrap();
+        if img.this_image() == 1 {
+            a.put_section(img, 2, &sec_inner, &vec![9; sec_inner.total()]);
+        }
+        img.sync_all();
+        a.read_local(img)
+    });
+    let selected: std::collections::HashSet<usize> =
+        sec.elements(&shape).iter().map(|&(a, _)| a).collect();
+    for (i, v) in out.results[1].iter().enumerate() {
+        if selected.contains(&i) {
+            assert_eq!(*v, 9, "element {i} selected");
+        } else {
+            assert_eq!(*v, -1, "element {i} untouched");
+        }
+    }
+}
+
+/// Fortran 8.5.6: `lock`/`unlock` with the same lock variable on different
+/// images are independent instances; with `stat=` re-acquisition reports
+/// STAT_LOCKED instead of deadlocking.
+#[test]
+fn lock_stat_instead_of_deadlock() {
+    let out = run_caf(mcfg(2), cfg(), |img| {
+        let lck = img.lock_var();
+        img.sync_all();
+        img.lock(&lck, 1);
+        let again = img.lock_stat(&lck, 1);
+        let other = img.lock_stat(&lck, 2);
+        if other.is_ok() {
+            img.unlock(&lck, 2);
+        }
+        img.unlock(&lck, 1);
+        img.sync_all();
+        (again.is_err(), other.is_ok())
+    });
+    // Both images acquire lck[1] in turn (the MCS queue serializes them);
+    // the re-acquisition errors with STAT_LOCKED while lck[2] stays free.
+    for (again_err, other_ok) in out.results {
+        assert!(again_err, "STAT_LOCKED on re-acquisition");
+        assert!(other_ok, "the other image's instance is independent");
+    }
+}
+
+/// Fortran 13.1: image numbering is 1-based everywhere; 0 and n+1 are
+/// runtime errors.
+#[test]
+fn image_zero_is_invalid() {
+    let err = run_caf_result(mcfg(2), cfg(), |img| {
+        let a = img.coarray::<i64>(&[1]).unwrap();
+        let _ = a.get_from(img, 0);
+    })
+    .unwrap_err();
+    assert!(err.message.contains("out of range"));
+}
+
+/// Atomic subroutines act on single variables without requiring any
+/// synchronization for their own consistency (Fortran 13.5.4).
+#[test]
+fn atomics_are_coherent_without_sync() {
+    let out = run_caf(mcfg(6), cfg(), |img| {
+        let a = img.atomic_var(0);
+        for _ in 0..25 {
+            img.atomic_add(&a, 1, 1);
+        }
+        img.sync_all();
+        img.atomic_ref(&a, 1)
+    });
+    for r in out.results {
+        assert_eq!(r, 150);
+    }
+}
+
+/// `critical` sections are mutually exclusive across all images and may be
+/// entered repeatedly (Fortran 8.1.5).
+#[test]
+fn critical_repeated_entry() {
+    let out = run_caf(mcfg(4), cfg(), |img| {
+        let c = img.coarray::<i64>(&[1]).unwrap();
+        img.sync_all();
+        for _ in 0..15 {
+            img.critical(|| {
+                let v = c.get_elem(img, 1, &[0]);
+                c.put_elem(img, 1, &[0], v + 1);
+            });
+        }
+        img.sync_all();
+        c.get_elem(img, 1, &[0])
+    });
+    for r in out.results {
+        assert_eq!(r, 60);
+    }
+}
+
+/// Events accumulate counts and `event_query` never consumes
+/// (Fortran 2018 16.9.72, as prefigured by the OpenUH extension).
+#[test]
+fn event_query_is_nondestructive() {
+    let out = run_caf(mcfg(2), cfg(), |img| {
+        let ev = img.event_var();
+        img.sync_all();
+        if img.this_image() == 2 {
+            for _ in 0..4 {
+                img.event_post(&ev, 1);
+            }
+        }
+        img.sync_all();
+        if img.this_image() == 1 {
+            let q1 = img.event_query(&ev);
+            let q2 = img.event_query(&ev);
+            img.event_wait(&ev, 4);
+            (q1, q2, img.event_query(&ev))
+        } else {
+            (0, 0, 0)
+        }
+    });
+    assert_eq!(out.results[0], (4, 4, 0));
+}
+
+/// The hybrid model (§I of the paper): raw OpenSHMEM calls interoperate
+/// with coarray accesses on the same symmetric heap.
+#[test]
+fn hybrid_shmem_calls_see_coarray_data() {
+    let out = run_caf(mcfg(2), cfg(), |img| {
+        let a = img.coarray::<i64>(&[2]).unwrap();
+        a.write_local(img, &[41, 42]);
+        img.sync_all();
+        // Read image 1's coarray via a raw SHMEM get on its SymPtr.
+        let mut got = [0i64; 2];
+        img.shmem().get(a.ptr(), &mut got, 0);
+        got
+    });
+    for r in out.results {
+        assert_eq!(r, [41, 42]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Stress and interaction tests of the CAF runtime: many features active at
+//! once, repeated allocation cycles, mixed synchronization.
+
+use caf::{run_caf, Backend, CafConfig, DimRange, Section};
+use pgas_machine::{titan, Platform};
+
+#[test]
+fn kitchen_sink_under_one_job() {
+    // Coarrays + sections + locks + events + atomics + collectives +
+    // sync images, all interleaved across 8 images on 2 nodes, repeated.
+    let out = run_caf(
+        titan(2, 4).with_heap_bytes(1 << 18),
+        CafConfig::new(Backend::Shmem, Platform::Titan),
+        |img| {
+            let n = img.num_images();
+            let me = img.this_image();
+            let grid = img.coarray::<f64>(&[6, 6]).unwrap();
+            let lck = img.lock_var();
+            let ev = img.event_var();
+            let acc = img.atomic_var(0);
+            let mut checks = 0u32;
+
+            for round in 0..5i64 {
+                // Strided section write to the next image.
+                let next = me % n + 1;
+                let sec = Section::new(vec![
+                    DimRange { start: 0, count: 3, step: 2 },
+                    DimRange { start: 1, count: 2, step: 2 },
+                ]);
+                let data: Vec<f64> = (0..6).map(|k| (round * 100 + k) as f64).collect();
+                grid.put_section(img, next, &sec, &data);
+                img.sync_all();
+                // Verify what the previous image sent us.
+                let got = grid.get_section(img, me, &sec);
+                assert_eq!(got, data);
+                checks += 1;
+
+                // Locked update on image 1 + event signal + atomic count.
+                img.lock(&lck, 1);
+                let v = grid.get_elem(img, 1, &[5, 5]);
+                grid.put_elem(img, 1, &[5, 5], v + 1.0);
+                img.unlock(&lck, 1);
+                img.atomic_add(&acc, 1, 1);
+                img.event_post(&ev, next);
+                img.event_wait(&ev, 1);
+                checks += 1;
+
+                // Collective check.
+                let mut s = [1i64];
+                img.co_sum(&mut s, None);
+                assert_eq!(s[0], n as i64);
+                checks += 1;
+
+                // Pairwise sync with both neighbours.
+                let prev = (me + n - 2) % n + 1;
+                let mut partners = vec![prev, next];
+                partners.sort_unstable();
+                partners.dedup();
+                img.sync_images(&partners);
+                checks += 1;
+            }
+            img.sync_all();
+            let total_locked = grid.get_elem(img, 1, &[5, 5]);
+            let total_atomic = img.atomic_ref(&acc, 1);
+            (checks, total_locked, total_atomic)
+        },
+    );
+    for (checks, locked, atomic) in &out.results {
+        assert_eq!(*checks, 20);
+        assert_eq!(*locked, 40.0, "8 images x 5 locked increments");
+        assert_eq!(*atomic, 40);
+    }
+    assert_eq!(out.stats.hazards, 0);
+}
+
+#[test]
+fn allocation_churn_stays_symmetric() {
+    run_caf(
+        pgas_machine::generic_smp(4).with_heap_bytes(1 << 18),
+        CafConfig::new(Backend::Shmem, Platform::GenericSmp),
+        |img| {
+            let mut live = Vec::new();
+            for round in 1..=12usize {
+                let c = img.coarray::<i32>(&[round * 4]).unwrap();
+                // Everyone writes to everyone else's fresh coarray.
+                for target in 1..=img.num_images() {
+                    c.put_elem(img, target, &[0], img.this_image() as i32);
+                }
+                img.sync_all();
+                live.push(c);
+                if round % 2 == 0 {
+                    let victim = live.remove(0);
+                    img.free_coarray(victim).unwrap();
+                }
+            }
+            for c in live.drain(..) {
+                img.free_coarray(c).unwrap();
+            }
+        },
+    );
+}
+
+#[test]
+fn many_locks_many_homes() {
+    // 16 lock variables, each exercised on every image as home, from every
+    // image — a cross product of lock instances.
+    let out = run_caf(
+        titan(2, 3).with_heap_bytes(1 << 17),
+        CafConfig::new(Backend::Shmem, Platform::Titan).with_nonsym_bytes(8192),
+        |img| {
+            let n = img.num_images();
+            let locks = img.lock_vars(4);
+            let counters = img.coarray::<i64>(&[4]).unwrap();
+            img.sync_all();
+            for (li, l) in locks.iter().enumerate() {
+                for home in 1..=n {
+                    img.lock(l, home);
+                    let v = counters.get_elem(img, home, &[li]);
+                    counters.put_elem(img, home, &[li], v + 1);
+                    img.unlock(l, home);
+                }
+            }
+            img.sync_all();
+            // Every (lock, home) pair was incremented once per image.
+            let mine = counters.read_local(img);
+            assert_eq!(mine, vec![n as i64; 4]);
+            img.nonsym_in_use()
+        },
+    );
+    for used in out.results {
+        assert_eq!(used, 0, "all qnodes recycled");
+    }
+}
+
+#[test]
+fn deep_event_chains() {
+    // A long dependency chain: image i waits for i-1's post, 1 <- n wraps.
+    let out = run_caf(
+        pgas_machine::generic_smp(6).with_heap_bytes(1 << 17),
+        CafConfig::new(Backend::Shmem, Platform::GenericSmp).with_nonsym_bytes(4096),
+        |img| {
+            let ev = img.event_var();
+            let me = img.this_image();
+            let n = img.num_images();
+            let token = img.coarray::<i64>(&[1]).unwrap();
+            img.sync_all();
+            if me == 1 {
+                token.put_to(img, 2, &[1]);
+                img.event_post(&ev, 2);
+                img.event_wait(&ev, 1); // token came all the way around
+                token.read_local(img)[0]
+            } else {
+                img.event_wait(&ev, 1);
+                let v = token.read_local(img)[0];
+                let next = me % n + 1;
+                token.put_to(img, next, &[v + 1]);
+                img.event_post(&ev, next);
+                v
+            }
+        },
+    );
+    assert_eq!(out.results, vec![6, 1, 2, 3, 4, 5]);
+}

@@ -1,0 +1,181 @@
+//! Machine description: topology, wire parameters, compute speed.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one class of link (inter-node wire or intra-node memory bus).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// One-way wire latency in nanoseconds (time of flight, not occupancy).
+    pub latency_ns: f64,
+    /// Sustained bandwidth in bytes per nanosecond (1 byte/ns == ~0.93 GiB/s).
+    pub bytes_per_ns: f64,
+}
+
+impl LinkParams {
+    /// Pure serialization time for `bytes` on this link (no latency term).
+    #[inline]
+    pub fn occupancy_ns(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.bytes_per_ns
+    }
+}
+
+/// Wire-level parameters of the interconnect and the intra-node fabric.
+///
+/// These are raw hardware numbers; per-library software overheads (issue cost,
+/// completion cost, active-message processing) belong to conduit profiles in
+/// `pgas-conduit`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WireParams {
+    /// Inter-node link (InfiniBand / Gemini / Aries ...).
+    pub inter: LinkParams,
+    /// Intra-node transfers (shared memory bus).
+    pub intra: LinkParams,
+    /// Fixed NIC processing time charged per message that crosses it, ns.
+    pub nic_msg_overhead_ns: f64,
+    /// Hardware time for a remote atomic at the target NIC/memory controller.
+    pub amo_ns: f64,
+}
+
+/// Compute-speed parameters used by application kernels (Himeno, DHT) to
+/// charge local computation to the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeParams {
+    /// Sustained floating-point rate of one core, in flops per nanosecond
+    /// (i.e. GFLOP/s).
+    pub core_gflops: f64,
+    /// Fixed cost of a local function call / loop iteration bookkeeping, ns.
+    pub local_op_ns: f64,
+}
+
+/// Full description of a simulated machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Human-readable platform name ("stampede", "titan", ...).
+    pub name: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Cores (= PEs) per node.
+    pub cores_per_node: usize,
+    /// Symmetric heap size per PE, in bytes (rounded up to 8).
+    pub heap_bytes: usize,
+    pub wire: WireParams,
+    pub compute: ComputeParams,
+    /// Stack size for PE threads, bytes.
+    pub stack_bytes: usize,
+    /// Record a virtual-time execution trace (see `crate::trace`).
+    #[serde(default)]
+    pub trace: bool,
+}
+
+impl MachineConfig {
+    /// Total number of PEs.
+    pub fn total_pes(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// Override the number of nodes (keeps other parameters).
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Override cores per node.
+    pub fn with_cores_per_node(mut self, cores: usize) -> Self {
+        self.cores_per_node = cores;
+        self
+    }
+
+    /// Override the per-PE symmetric heap size.
+    pub fn with_heap_bytes(mut self, bytes: usize) -> Self {
+        self.heap_bytes = bytes;
+        self
+    }
+
+    /// Enable virtual-time execution tracing.
+    pub fn with_trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Validate the configuration, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("machine must have at least one node".into());
+        }
+        if self.cores_per_node == 0 {
+            return Err("machine must have at least one core per node".into());
+        }
+        if self.heap_bytes < 64 {
+            return Err("per-PE heap must be at least 64 bytes".into());
+        }
+        if !(self.wire.inter.latency_ns > 0.0 && self.wire.inter.bytes_per_ns > 0.0) {
+            return Err("inter-node link parameters must be positive".into());
+        }
+        if !(self.wire.intra.latency_ns > 0.0 && self.wire.intra.bytes_per_ns > 0.0) {
+            return Err("intra-node link parameters must be positive".into());
+        }
+        if self.total_pes() > crate::machine::MAX_PES {
+            return Err(format!(
+                "{} PEs exceeds the supported maximum of {}",
+                self.total_pes(),
+                crate::machine::MAX_PES
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platforms;
+
+    #[test]
+    fn occupancy_scales_linearly() {
+        let link = LinkParams { latency_ns: 1000.0, bytes_per_ns: 2.0 };
+        assert_eq!(link.occupancy_ns(0), 0.0);
+        assert_eq!(link.occupancy_ns(4096), 2048.0);
+        assert_eq!(link.occupancy_ns(8192), 2.0 * link.occupancy_ns(4096));
+    }
+
+    #[test]
+    fn presets_validate() {
+        for cfg in [
+            platforms::stampede(2, 16),
+            platforms::titan(64, 16),
+            platforms::cray_xc30(2, 16),
+            platforms::generic_smp(8),
+        ] {
+            cfg.validate().unwrap_or_else(|e| panic!("{}: {}", cfg.name, e));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let mut cfg = platforms::generic_smp(4);
+        cfg.nodes = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = platforms::generic_smp(4);
+        cfg.cores_per_node = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = platforms::generic_smp(4);
+        cfg.heap_bytes = 8;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = platforms::generic_smp(4);
+        cfg.wire.inter.latency_ns = 0.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let cfg = platforms::titan(4, 8).with_nodes(9).with_cores_per_node(3).with_heap_bytes(4096);
+        assert_eq!(cfg.nodes, 9);
+        assert_eq!(cfg.cores_per_node, 3);
+        assert_eq!(cfg.heap_bytes, 4096);
+        assert_eq!(cfg.total_pes(), 27);
+    }
+}

@@ -1,0 +1,279 @@
+//! Per-PE remotely accessible memory ("symmetric heap" storage).
+//!
+//! Any PE may read or write any other PE's heap at any time — that is the
+//! whole point of a PGAS machine — so the backing store must tolerate
+//! concurrent conflicting access without undefined behaviour. We store the
+//! heap as a slice of `AtomicU64` words and perform all byte-granularity
+//! access through word-level atomics (plain loads/stores for covered words,
+//! CAS-merge for partial words). Racy PGAS programs thus map onto well-defined
+//! relaxed-atomic races instead of UB.
+//!
+//! Alongside the data, every word carries a **shadow timestamp**: the maximum
+//! virtual completion time of remote writes that touched it. Readers take the
+//! max over the region they read and fold it into their own clock, which
+//! propagates causality through memory (Lamport clocks through the heap).
+//!
+//! Out-of-bounds access panics: it is the simulator's analogue of a segfault
+//! from a bad remote address.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Remotely accessible memory of one PE plus shadow timestamps.
+pub struct Heap {
+    words: Box<[AtomicU64]>,
+    stamps: Box<[AtomicU64]>,
+    len_bytes: usize,
+}
+
+impl Heap {
+    /// Allocate a zeroed heap of at least `len_bytes` (rounded up to 8).
+    pub fn new(len_bytes: usize) -> Self {
+        let words = len_bytes.div_ceil(8);
+        Heap {
+            words: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            stamps: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            len_bytes: words * 8,
+        }
+    }
+
+    /// Usable size in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len_bytes
+    }
+
+    /// True when the heap has zero capacity.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len_bytes == 0
+    }
+
+    #[inline]
+    fn check(&self, off: usize, len: usize, what: &str) {
+        assert!(
+            off.checked_add(len).is_some_and(|end| end <= self.len_bytes),
+            "remote {what} out of bounds: offset {off} + len {len} > heap size {}",
+            self.len_bytes
+        );
+    }
+
+    /// Copy `src` into the heap at byte offset `off`.
+    pub fn write_bytes(&self, off: usize, src: &[u8]) {
+        self.check(off, src.len(), "write");
+        let mut pos = off;
+        let mut rest = src;
+        // Leading partial word.
+        if !pos.is_multiple_of(8) {
+            let in_word = pos % 8;
+            let take = rest.len().min(8 - in_word);
+            merge_word(&self.words[pos / 8], in_word, &rest[..take]);
+            pos += take;
+            rest = &rest[take..];
+        }
+        // Full words.
+        let mut chunks = rest.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(chunk);
+            self.words[pos / 8].store(u64::from_ne_bytes(b), Ordering::Release);
+            pos += 8;
+        }
+        // Trailing partial word.
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            merge_word(&self.words[pos / 8], 0, tail);
+        }
+    }
+
+    /// Copy heap bytes at offset `off` into `dst`.
+    pub fn read_bytes(&self, off: usize, dst: &mut [u8]) {
+        self.check(off, dst.len(), "read");
+        let mut pos = off;
+        let mut rest = &mut dst[..];
+        if !pos.is_multiple_of(8) {
+            let in_word = pos % 8;
+            let take = rest.len().min(8 - in_word);
+            let w = self.words[pos / 8].load(Ordering::Acquire).to_ne_bytes();
+            rest[..take].copy_from_slice(&w[in_word..in_word + take]);
+            pos += take;
+            rest = &mut rest[take..];
+        }
+        let mut chunks = rest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.words[pos / 8].load(Ordering::Acquire).to_ne_bytes());
+            pos += 8;
+        }
+        let tail = chunks.into_remainder();
+        if !tail.is_empty() {
+            let w = self.words[pos / 8].load(Ordering::Acquire).to_ne_bytes();
+            let n = tail.len();
+            tail.copy_from_slice(&w[..n]);
+        }
+    }
+
+    /// Direct access to the 8-byte atomic word at byte offset `off`
+    /// (must be 8-aligned). This is the substrate for remote atomics and
+    /// `wait_until`.
+    #[inline]
+    pub fn atomic64(&self, off: usize) -> &AtomicU64 {
+        self.check(off, 8, "atomic");
+        assert!(off.is_multiple_of(8), "atomic access requires 8-byte alignment, got offset {off}");
+        &self.words[off / 8]
+    }
+
+    /// Record that a remote write covering `[off, off+len)` completed at
+    /// virtual time `t`.
+    pub fn stamp_range(&self, off: usize, len: usize, t: u64) {
+        if len == 0 {
+            return;
+        }
+        self.check(off, len, "stamp");
+        for w in &self.stamps[off / 8..(off + len).div_ceil(8)] {
+            w.fetch_max(t, Ordering::AcqRel);
+        }
+    }
+
+    /// Maximum remote-write completion time over `[off, off+len)`.
+    pub fn max_stamp(&self, off: usize, len: usize) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        self.check(off, len, "stamp read");
+        self.stamps[off / 8..(off + len).div_ceil(8)]
+            .iter()
+            .map(|w| w.load(Ordering::Acquire))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// CAS-merge `src` into `word` starting at byte `in_word`.
+fn merge_word(word: &AtomicU64, in_word: usize, src: &[u8]) {
+    debug_assert!(in_word + src.len() <= 8);
+    let mut cur = word.load(Ordering::Acquire);
+    loop {
+        let mut b = cur.to_ne_bytes();
+        b[in_word..in_word + src.len()].copy_from_slice(src);
+        match word.compare_exchange_weak(
+            cur,
+            u64::from_ne_bytes(b),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_aligned() {
+        let h = Heap::new(64);
+        let data: Vec<u8> = (0..32).collect();
+        h.write_bytes(8, &data);
+        let mut out = vec![0u8; 32];
+        h.read_bytes(8, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn roundtrip_unaligned_offsets_and_lengths() {
+        let h = Heap::new(128);
+        for off in 0..16 {
+            for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 23, 40] {
+                let data: Vec<u8> = (0..len as u8).map(|b| b.wrapping_mul(37).wrapping_add(off as u8)).collect();
+                h.write_bytes(off, &data);
+                let mut out = vec![0xAAu8; len];
+                h.read_bytes(off, &mut out);
+                assert_eq!(out, data, "off={off} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_write_preserves_neighbours() {
+        let h = Heap::new(32);
+        h.write_bytes(0, &[0xFF; 24]);
+        h.write_bytes(5, &[1, 2, 3, 4, 5, 6]); // crosses a word boundary
+        let mut out = [0u8; 24];
+        h.read_bytes(0, &mut out);
+        assert_eq!(&out[..5], &[0xFF; 5]);
+        assert_eq!(&out[5..11], &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(&out[11..], &[0xFF; 13]);
+    }
+
+    #[test]
+    fn atomic_word_shares_storage_with_bytes() {
+        let h = Heap::new(64);
+        h.atomic64(16).store(u64::from_ne_bytes(*b"ABCDEFGH"), Ordering::Release);
+        let mut out = [0u8; 8];
+        h.read_bytes(16, &mut out);
+        assert_eq!(&out, b"ABCDEFGH");
+    }
+
+    #[test]
+    fn stamps_take_max_over_region() {
+        let h = Heap::new(64);
+        assert_eq!(h.max_stamp(0, 64), 0);
+        h.stamp_range(0, 8, 100);
+        h.stamp_range(8, 8, 250);
+        h.stamp_range(8, 8, 200); // older write must not regress the stamp
+        assert_eq!(h.max_stamp(0, 8), 100);
+        assert_eq!(h.max_stamp(8, 8), 250);
+        assert_eq!(h.max_stamp(0, 16), 250);
+        assert_eq!(h.max_stamp(16, 48), 0);
+        // Unaligned span covering a stamped word sees its stamp.
+        assert_eq!(h.max_stamp(7, 2), 250);
+    }
+
+    #[test]
+    fn len_rounds_up_to_words() {
+        assert_eq!(Heap::new(1).len(), 8);
+        assert_eq!(Heap::new(8).len(), 8);
+        assert_eq!(Heap::new(9).len(), 16);
+        assert!(!Heap::new(1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_write_panics() {
+        Heap::new(16).write_bytes(12, &[0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "8-byte alignment")]
+    fn misaligned_atomic_panics() {
+        Heap::new(16).atomic64(4);
+    }
+
+    #[test]
+    fn concurrent_adjacent_byte_writes_do_not_tear() {
+        // Two threads hammer adjacent bytes within one word; both values
+        // must survive (the CAS merge must not lose either).
+        use std::sync::Arc;
+        let h = Arc::new(Heap::new(8));
+        let h1 = h.clone();
+        let h2 = h.clone();
+        let t1 = std::thread::spawn(move || {
+            for i in 0..10_000u32 {
+                h1.write_bytes(1, &[(i % 251) as u8]);
+            }
+        });
+        let t2 = std::thread::spawn(move || {
+            for i in 0..10_000u32 {
+                h2.write_bytes(2, &[(i % 241) as u8]);
+            }
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+        let mut out = [0u8; 3];
+        h.read_bytes(0, &mut out);
+        assert_eq!(out[0], 0);
+        assert_eq!(out[1], (9_999 % 251) as u8);
+        assert_eq!(out[2], (9_999 % 241) as u8);
+    }
+}

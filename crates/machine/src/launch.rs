@@ -1,0 +1,262 @@
+//! SPMD launcher: spawn one OS thread per PE, run the program closure on
+//! each, propagate panics without deadlocking the rest of the job.
+
+use crate::config::MachineConfig;
+use crate::machine::{Machine, Pe};
+use crate::stats::StatsSnapshot;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+/// Per-NIC traffic summary reported with a simulation outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NicSnapshot {
+    pub messages: u64,
+    pub bytes: u64,
+    pub busy_ns: u64,
+}
+
+/// Everything a finished simulation reports.
+#[derive(Debug)]
+pub struct SimOutcome<R> {
+    /// Per-PE return values, indexed by PE id.
+    pub results: Vec<R>,
+    /// Final virtual clock of each PE, ns.
+    pub clocks: Vec<u64>,
+    /// Machine-wide operation counters.
+    pub stats: StatsSnapshot,
+    /// Per-node NIC traffic, indexed by node.
+    pub nics: Vec<NicSnapshot>,
+    /// Execution trace (empty unless `MachineConfig::trace` was set).
+    pub trace: Vec<crate::trace::Span>,
+    /// Platform name the job ran on.
+    pub machine: String,
+}
+
+impl<R> SimOutcome<R> {
+    /// Virtual makespan of the job: the latest final clock, ns.
+    pub fn makespan_ns(&self) -> u64 {
+        self.clocks.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// A simulation failure: some PE panicked.
+#[derive(Debug)]
+pub struct SimError {
+    /// PE whose panic was captured first.
+    pub pe: usize,
+    /// Rendered panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PE {} panicked: {}", self.pe, self.message)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Run `f` as an SPMD program on a fresh machine built from `cfg`,
+/// returning per-PE results or the first captured failure.
+///
+/// `f` is shared by all PE threads; per-PE state should live inside the
+/// closure body (or in the machine's heaps).
+pub fn run_with_result<F, R>(cfg: MachineConfig, f: F) -> Result<SimOutcome<R>, SimError>
+where
+    F: Fn(Pe<'_>) -> R + Send + Sync,
+    R: Send,
+{
+    let machine: Arc<Machine> = Machine::new(cfg);
+    let n = machine.num_pes();
+    let name = machine.config().name.clone();
+    let stack = machine.config().stack_bytes;
+
+    let mut slots: Vec<Result<R, SimError>> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for id in 0..n {
+            let machine = &machine;
+            let f = &f;
+            let builder = std::thread::Builder::new()
+                .name(format!("pe-{id}"))
+                .stack_size(stack);
+            let handle = builder
+                .spawn_scoped(scope, move || {
+                    let pe = Pe::new(id, machine);
+                    let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(pe)));
+                    if out.is_err() {
+                        // Unblock everyone else before reporting.
+                        machine.poison().poison();
+                        machine.interrupt_all();
+                    }
+                    out
+                })
+                .expect("failed to spawn PE thread");
+            handles.push(handle);
+        }
+        for (id, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(Ok(r)) => slots.push(Ok(r)),
+                Ok(Err(payload)) => {
+                    slots.push(Err(SimError { pe: id, message: panic_message(payload.as_ref()) }))
+                }
+                Err(payload) => {
+                    slots.push(Err(SimError { pe: id, message: panic_message(payload.as_ref()) }))
+                }
+            }
+        }
+    });
+
+    // Prefer reporting a "real" failure over the poison-propagation panics of
+    // the other PEs.
+    let mut first_err: Option<SimError> = None;
+    for s in &slots {
+        if let Err(e) = s {
+            let is_propagated = e.message.contains("simulation poisoned");
+            match &first_err {
+                None => first_err = Some(SimError { pe: e.pe, message: e.message.clone() }),
+                Some(cur) if cur.message.contains("simulation poisoned") && !is_propagated => {
+                    first_err = Some(SimError { pe: e.pe, message: e.message.clone() })
+                }
+                _ => {}
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+
+    let results: Vec<R> = slots.into_iter().map(|s| s.unwrap()).collect();
+    Ok(SimOutcome {
+        clocks: (0..n).map(|p| machine.clock(p)).collect(),
+        stats: machine.stats().snapshot(),
+        nics: (0..machine.config().nodes)
+            .map(|node| {
+                let nic = machine.nic(node);
+                NicSnapshot { messages: nic.messages(), bytes: nic.bytes(), busy_ns: nic.busy_ns() }
+            })
+            .collect(),
+        trace: machine.tracer().drain(),
+        machine: name,
+        results,
+    })
+}
+
+/// Like [`run_with_result`] but panics on failure. The common entry point
+/// for examples and benchmarks.
+pub fn run<F, R>(cfg: MachineConfig, f: F) -> SimOutcome<R>
+where
+    F: Fn(Pe<'_>) -> R + Send + Sync,
+    R: Send,
+{
+    match run_with_result(cfg, f) {
+        Ok(o) => o,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platforms::generic_smp;
+
+    #[test]
+    fn runs_all_pes_and_collects_results() {
+        let out = run(generic_smp(8), |pe| pe.id() * 10);
+        assert_eq!(out.results, (0..8).map(|i| i * 10).collect::<Vec<_>>());
+        assert_eq!(out.clocks, vec![0; 8]);
+        assert_eq!(out.machine, "generic-smp");
+    }
+
+    #[test]
+    fn nic_snapshots_reflect_traffic() {
+        let out = run(crate::platforms::stampede(2, 1), |pe| {
+            if pe.id() == 0 {
+                let m = pe.machine();
+                let occ = 500;
+                m.nic(0).reserve_tx(0, occ, 4096);
+                m.nic(1).reserve_rx(700, occ, 4096);
+            }
+        });
+        assert_eq!(out.nics.len(), 2);
+        assert_eq!(out.nics[0], super::NicSnapshot { messages: 1, bytes: 4096, busy_ns: 500 });
+        assert_eq!(out.nics[1].messages, 1);
+    }
+
+    #[test]
+    fn makespan_is_max_clock() {
+        let out = run(generic_smp(4), |pe| {
+            pe.advance(100.0 * (pe.id() as f64 + 1.0));
+        });
+        assert_eq!(out.makespan_ns(), 400);
+    }
+
+    #[test]
+    fn panic_on_one_pe_is_reported_not_hung() {
+        let err = run_with_result(generic_smp(4), |pe| {
+            if pe.id() == 2 {
+                panic!("boom on pe 2");
+            }
+            // Everyone else blocks on a barrier that can never complete;
+            // poison must release them.
+            pe.machine().barrier_all(pe.id(), 0.0);
+        })
+        .unwrap_err();
+        assert_eq!(err.pe, 2);
+        assert!(err.message.contains("boom"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn barrier_all_aligns_clocks() {
+        let out = run(generic_smp(4), |pe| {
+            pe.advance(pe.id() as f64 * 50.0);
+            pe.machine().barrier_all(pe.id(), 7.0)
+        });
+        for r in out.results {
+            assert_eq!(r, 150 + 7);
+        }
+    }
+
+    #[test]
+    fn group_barrier_only_involves_members() {
+        let out = run(generic_smp(4), |pe| {
+            if pe.id() < 2 {
+                pe.advance(100.0 * (pe.id() + 1) as f64);
+                pe.machine().barrier_group(pe.id(), &[0, 1], 0.0)
+            } else {
+                pe.now()
+            }
+        });
+        assert_eq!(out.results[0], 200);
+        assert_eq!(out.results[1], 200);
+        assert_eq!(out.results[2], 0);
+        assert_eq!(out.results[3], 0);
+    }
+
+    #[test]
+    fn wait_on_sees_remote_heap_write() {
+        use std::sync::atomic::Ordering;
+        let out = run(generic_smp(2), |pe| {
+            let m = pe.machine();
+            if pe.id() == 0 {
+                m.wait_on(0, || m.heap(0).atomic64(0).load(Ordering::Acquire) == 42);
+                m.heap(0).atomic64(0).load(Ordering::Acquire)
+            } else {
+                m.heap(0).atomic64(0).store(42, Ordering::Release);
+                m.notify_pe(0);
+                42
+            }
+        });
+        assert_eq!(out.results, vec![42, 42]);
+    }
+}

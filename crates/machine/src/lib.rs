@@ -1,0 +1,41 @@
+//! # pgas-machine — a simulated multi-node PGAS cluster
+//!
+//! This crate is the hardware substrate for the CAF-over-OpenSHMEM
+//! reproduction. It stands in for the physical clusters used in the paper
+//! (Stampede, Titan, Cray XC30): processing elements (PEs) are OS threads,
+//! each node has a NIC that is a shared, serializing resource, and every PE
+//! carries a **virtual clock** measured in nanoseconds.
+//!
+//! Two things happen on every remote operation:
+//!
+//! 1. **Real data movement** — bytes are copied into the target PE's heap
+//!    through per-word atomics, so all synchronization built on top (locks,
+//!    barriers, events) is exercised for real.
+//! 2. **Virtual timing** — the operation's cost is charged to the issuing
+//!    PE's clock and to the NICs it crosses, so latency, bandwidth and
+//!    contention emerge from a LogGP-style model instead of wall time.
+//!
+//! Causality is propagated Lamport-style: every 8-byte word of every heap
+//! carries a shadow timestamp holding the virtual completion time of the last
+//! remote write, and reads/waits advance the reader's clock past it. This is
+//! what makes, e.g., MCS lock handoff latency an *emergent* quantity.
+//!
+//! The crate deliberately knows nothing about OpenSHMEM or CAF; it exposes
+//! heaps, clocks, NICs, barriers and a SPMD launcher. Communication-library
+//! semantics live in `pgas-conduit` and above.
+
+pub mod config;
+pub mod heap;
+pub mod launch;
+pub mod machine;
+pub mod nic;
+pub mod platforms;
+pub mod stats;
+pub mod sync;
+pub mod trace;
+
+pub use config::{ComputeParams, LinkParams, MachineConfig, WireParams};
+pub use launch::{run, run_with_result, NicSnapshot, SimError, SimOutcome};
+pub use machine::{Machine, PeId};
+pub use platforms::{cray_xc30, generic_smp, stampede, titan, Platform};
+pub use stats::StatsSnapshot;

@@ -1,0 +1,326 @@
+//! The machine proper: PE state, clocks, heaps, NICs, barriers.
+
+use crate::config::MachineConfig;
+use crate::heap::Heap;
+use crate::nic::Nic;
+use crate::stats::Stats;
+use crate::sync::{ClockBarrier, NotifyCell, Poison};
+use crate::trace::Tracer;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Index of a processing element, `0..total_pes`.
+pub type PeId = usize;
+
+/// Hard cap on PE count (the CAF lock pointer encoding reserves 20 bits for
+/// the image index, see the paper §IV-D; we stay within it).
+pub const MAX_PES: usize = 1 << 20;
+
+/// State owned by one PE.
+struct PeState {
+    heap: Heap,
+    clock: AtomicU64,
+    notify: NotifyCell,
+}
+
+/// The simulated machine. Shared (via reference) by every PE thread.
+pub struct Machine {
+    cfg: MachineConfig,
+    pes: Vec<PeState>,
+    nics: Vec<Nic>,
+    stats: Stats,
+    tracer: Tracer,
+    poison: Poison,
+    global_barrier: ClockBarrier,
+    subset_barriers: Mutex<HashMap<Vec<PeId>, Arc<ClockBarrier>>>,
+}
+
+impl Machine {
+    /// Build a machine from a validated configuration.
+    pub fn new(cfg: MachineConfig) -> Arc<Machine> {
+        cfg.validate().expect("invalid machine configuration");
+        let n = cfg.total_pes();
+        Arc::new(Machine {
+            pes: (0..n)
+                .map(|_| PeState {
+                    heap: Heap::new(cfg.heap_bytes),
+                    clock: AtomicU64::new(0),
+                    notify: NotifyCell::default(),
+                })
+                .collect(),
+            nics: (0..cfg.nodes).map(|_| Nic::new()).collect(),
+            global_barrier: ClockBarrier::new(n),
+            subset_barriers: Mutex::new(HashMap::new()),
+            stats: Stats::default(),
+            tracer: Tracer::new(cfg.trace),
+            poison: Poison::default(),
+            cfg,
+        })
+    }
+
+    /// The configuration this machine was built from.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Total number of PEs.
+    pub fn num_pes(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// Node hosting `pe` (PEs are laid out blockwise across nodes, matching
+    /// the usual `mpirun`-style placement).
+    #[inline]
+    pub fn node_of(&self, pe: PeId) -> usize {
+        pe / self.cfg.cores_per_node
+    }
+
+    /// Do `a` and `b` share a node (and hence a memory fabric and a NIC)?
+    #[inline]
+    pub fn same_node(&self, a: PeId, b: PeId) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// The heap of `pe`.
+    #[inline]
+    pub fn heap(&self, pe: PeId) -> &Heap {
+        &self.pes[pe].heap
+    }
+
+    /// NIC of `node`.
+    #[inline]
+    pub fn nic(&self, node: usize) -> &Nic {
+        &self.nics[node]
+    }
+
+    /// Machine-wide operation counters.
+    #[inline]
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The execution tracer (no-op unless enabled in the configuration).
+    #[inline]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The poison flag (set when any PE panics).
+    #[inline]
+    pub fn poison(&self) -> &Poison {
+        &self.poison
+    }
+
+    // ---- virtual clocks ------------------------------------------------
+
+    /// Current virtual time of `pe`, ns.
+    #[inline]
+    pub fn clock(&self, pe: PeId) -> u64 {
+        self.pes[pe].clock.load(Ordering::Acquire)
+    }
+
+    /// Advance `pe`'s clock by `ns` (fractional costs round half-up) and
+    /// return the new time. Must only be called from the thread running `pe`.
+    #[inline]
+    pub fn advance(&self, pe: PeId, ns: f64) -> u64 {
+        debug_assert!(ns >= 0.0, "cannot advance a clock by a negative amount");
+        let prev = self.pes[pe].clock.load(Ordering::Acquire);
+        let next = prev + ns.round() as u64;
+        self.pes[pe].clock.store(next, Ordering::Release);
+        next
+    }
+
+    /// Set `pe`'s clock to `max(current, t)` and return the new time.
+    #[inline]
+    pub fn lift_clock(&self, pe: PeId, t: u64) -> u64 {
+        let prev = self.pes[pe].clock.load(Ordering::Acquire);
+        let next = prev.max(t);
+        self.pes[pe].clock.store(next, Ordering::Release);
+        next
+    }
+
+    // ---- notification / waiting ----------------------------------------
+
+    /// Wake anything waiting on `pe`'s memory (call after remotely writing
+    /// that PE's heap).
+    #[inline]
+    pub fn notify_pe(&self, pe: PeId) {
+        self.pes[pe].notify.notify();
+    }
+
+    /// Block the calling thread (which must be running `pe`) until `pred()`
+    /// holds. Poison-aware; periodically re-checks.
+    pub fn wait_on(&self, pe: PeId, pred: impl FnMut() -> bool) {
+        self.pes[pe].notify.wait_until(&self.poison, pred);
+    }
+
+    /// Interrupt all waiting threads so they observe poison.
+    pub fn interrupt_all(&self) {
+        self.global_barrier.interrupt();
+        for pe in &self.pes {
+            pe.notify.interrupt();
+        }
+        for (_, b) in self.subset_barriers.lock().iter() {
+            b.interrupt();
+        }
+    }
+
+    // ---- barriers -------------------------------------------------------
+
+    /// Rendezvous all PEs; afterwards every clock equals
+    /// `max(arrival clocks) + extra_ns`. Every PE must pass the same
+    /// `extra_ns` (the communication layer computes it from the barrier
+    /// algorithm it models). Returns the new clock.
+    pub fn barrier_all(&self, pe: PeId, extra_ns: f64) -> u64 {
+        Stats::bump(&self.stats.barriers);
+        let max = self.global_barrier.arrive(self.clock(pe), &self.poison);
+        let t = max + extra_ns.round() as u64;
+        self.pes[pe].clock.store(t, Ordering::Release);
+        t
+    }
+
+    /// Rendezvous a subset of PEs (each member passes the same sorted
+    /// `group`, which must contain `pe`). Clock rule as in `barrier_all`.
+    pub fn barrier_group(&self, pe: PeId, group: &[PeId], extra_ns: f64) -> u64 {
+        debug_assert!(group.windows(2).all(|w| w[0] < w[1]), "group must be sorted and unique");
+        debug_assert!(group.contains(&pe), "barrier group must contain the calling PE");
+        Stats::bump(&self.stats.barriers);
+        let barrier = {
+            let mut map = self.subset_barriers.lock();
+            map.entry(group.to_vec())
+                .or_insert_with(|| Arc::new(ClockBarrier::new(group.len())))
+                .clone()
+        };
+        let max = barrier.arrive(self.clock(pe), &self.poison);
+        let t = max + extra_ns.round() as u64;
+        self.pes[pe].clock.store(t, Ordering::Release);
+        t
+    }
+
+    // ---- compute model ---------------------------------------------------
+
+    /// Charge `flops` floating-point operations of local compute to `pe`.
+    pub fn compute_flops(&self, pe: PeId, flops: f64) -> u64 {
+        self.advance(pe, flops / self.cfg.compute.core_gflops)
+    }
+
+    /// Charge `n` generic local operations (loop iterations, hash probes...).
+    pub fn compute_ops(&self, pe: PeId, n: u64) -> u64 {
+        self.advance(pe, n as f64 * self.cfg.compute.local_op_ns)
+    }
+}
+
+/// Handle given to the SPMD closure: one per PE thread.
+///
+/// `Pe` is `Copy`-cheap to pass around; all state lives in the [`Machine`].
+#[derive(Clone, Copy)]
+pub struct Pe<'m> {
+    id: PeId,
+    machine: &'m Machine,
+}
+
+impl<'m> Pe<'m> {
+    pub(crate) fn new(id: PeId, machine: &'m Machine) -> Self {
+        Pe { id, machine }
+    }
+
+    /// This PE's index, `0..n`.
+    #[inline]
+    pub fn id(&self) -> PeId {
+        self.id
+    }
+
+    /// Total PEs in the job.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.machine.num_pes()
+    }
+
+    /// The machine this PE runs on.
+    #[inline]
+    pub fn machine(&self) -> &'m Machine {
+        self.machine
+    }
+
+    /// Node hosting this PE.
+    #[inline]
+    pub fn node(&self) -> usize {
+        self.machine.node_of(self.id)
+    }
+
+    /// Current virtual time, ns.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.machine.clock(self.id)
+    }
+
+    /// Advance this PE's virtual clock by `ns`.
+    #[inline]
+    pub fn advance(&self, ns: f64) -> u64 {
+        self.machine.advance(self.id, ns)
+    }
+
+    /// Charge local floating-point work to the clock.
+    #[inline]
+    pub fn compute_flops(&self, flops: f64) -> u64 {
+        self.machine.compute_flops(self.id, flops)
+    }
+
+    /// Charge generic local operations to the clock.
+    #[inline]
+    pub fn compute_ops(&self, n: u64) -> u64 {
+        self.machine.compute_ops(self.id, n)
+    }
+}
+
+impl std::fmt::Debug for Pe<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Pe({}/{})", self.id, self.n())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platforms::generic_smp;
+
+    #[test]
+    fn node_layout_is_blockwise() {
+        let m = Machine::new(crate::platforms::stampede(4, 16));
+        assert_eq!(m.node_of(0), 0);
+        assert_eq!(m.node_of(15), 0);
+        assert_eq!(m.node_of(16), 1);
+        assert_eq!(m.node_of(63), 3);
+        assert!(m.same_node(0, 15));
+        assert!(!m.same_node(15, 16));
+    }
+
+    #[test]
+    fn clock_advance_and_lift() {
+        let m = Machine::new(generic_smp(2));
+        assert_eq!(m.clock(0), 0);
+        assert_eq!(m.advance(0, 10.4), 10);
+        assert_eq!(m.advance(0, 10.6), 21);
+        assert_eq!(m.lift_clock(0, 5), 21, "lift below current is a no-op");
+        assert_eq!(m.lift_clock(0, 100), 100);
+        assert_eq!(m.clock(1), 0, "other PEs unaffected");
+    }
+
+    #[test]
+    fn compute_charges_by_gflops() {
+        let m = Machine::new(generic_smp(1)); // 2.5 GF/s core
+        m.compute_flops(0, 2500.0);
+        assert_eq!(m.clock(0), 1000);
+    }
+
+    #[test]
+    fn heaps_are_independent() {
+        let m = Machine::new(generic_smp(2));
+        m.heap(0).write_bytes(0, b"abcdefgh");
+        let mut out = [0u8; 8];
+        m.heap(1).read_bytes(0, &mut out);
+        assert_eq!(out, [0u8; 8]);
+    }
+}

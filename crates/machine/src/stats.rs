@@ -1,0 +1,109 @@
+//! Machine-wide operation counters.
+//!
+//! The counters are deliberately coarse: they exist so benchmarks and tests
+//! can assert *how* a result was achieved (e.g. "the 2dim_strided algorithm
+//! issued 1000 messages where the naive one issued 50000"), not to be a
+//! profiler.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters, incremented by the communication layers.
+#[derive(Debug, Default)]
+pub struct Stats {
+    pub puts: AtomicU64,
+    pub gets: AtomicU64,
+    pub amos: AtomicU64,
+    pub bytes_put: AtomicU64,
+    pub bytes_get: AtomicU64,
+    pub barriers: AtomicU64,
+    pub quiets: AtomicU64,
+    pub fences: AtomicU64,
+    pub collectives: AtomicU64,
+    /// Ordering hazards flagged by the conduit's consistency checker.
+    pub hazards: AtomicU64,
+    /// Transfers that used a direct load/store fast path (`shmem_ptr`).
+    pub local_fastpath: AtomicU64,
+}
+
+impl Stats {
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            puts: self.puts.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            amos: self.amos.load(Ordering::Relaxed),
+            bytes_put: self.bytes_put.load(Ordering::Relaxed),
+            bytes_get: self.bytes_get.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+            quiets: self.quiets.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+            collectives: self.collectives.load(Ordering::Relaxed),
+            hazards: self.hazards.load(Ordering::Relaxed),
+            local_fastpath: self.local_fastpath.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+}
+
+/// Frozen copy of [`Stats`] returned with a simulation outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub puts: u64,
+    pub gets: u64,
+    pub amos: u64,
+    pub bytes_put: u64,
+    pub bytes_get: u64,
+    pub barriers: u64,
+    pub quiets: u64,
+    pub fences: u64,
+    pub collectives: u64,
+    pub hazards: u64,
+    pub local_fastpath: u64,
+}
+
+impl StatsSnapshot {
+    /// Total one-sided data operations.
+    pub fn rma_ops(&self) -> u64 {
+        self.puts + self.gets
+    }
+
+    /// Total payload bytes moved by one-sided data operations.
+    pub fn rma_bytes(&self) -> u64 {
+        self.bytes_put + self.bytes_get
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_increments() {
+        let s = Stats::default();
+        Stats::bump(&s.puts);
+        Stats::bump(&s.puts);
+        Stats::add(&s.bytes_put, 128);
+        Stats::bump(&s.gets);
+        Stats::add(&s.bytes_get, 64);
+        Stats::bump(&s.hazards);
+        let snap = s.snapshot();
+        assert_eq!(snap.puts, 2);
+        assert_eq!(snap.gets, 1);
+        assert_eq!(snap.rma_ops(), 3);
+        assert_eq!(snap.rma_bytes(), 192);
+        assert_eq!(snap.hazards, 1);
+    }
+
+    #[test]
+    fn default_snapshot_is_zero() {
+        assert_eq!(Stats::default().snapshot(), StatsSnapshot::default());
+    }
+}

@@ -1,0 +1,246 @@
+//! Rendezvous primitives that combine *real* thread synchronization with
+//! *virtual* clock agreement.
+//!
+//! A machine barrier does two jobs at once: it blocks the participating OS
+//! threads until all have arrived (real synchronization, so programs are
+//! actually correct), and it advances every participant's virtual clock to
+//! `max(arrival clocks) + cost`, where the cost is supplied by the caller
+//! (the communication layer knows what a dissemination barrier costs on its
+//! conduit).
+//!
+//! All waits are poison-aware: if any PE thread panics, the launcher poisons
+//! the machine and every blocked wait panics out instead of hanging.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Polling period for condvar waits. Waits re-check their predicate and the
+/// poison flag at least this often, so a missed notification can never hang
+/// the simulation.
+pub(crate) const WAIT_TICK: Duration = Duration::from_millis(20);
+
+/// Shared poison flag: set when any PE panics.
+#[derive(Debug, Default)]
+pub struct Poison {
+    flag: AtomicBool,
+}
+
+impl Poison {
+    pub fn poison(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    pub fn is_poisoned(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Panic (propagating simulation shutdown) if poisoned.
+    pub fn check(&self) {
+        if self.is_poisoned() {
+            panic!("simulation poisoned: another PE panicked");
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BarrierInner {
+    count: usize,
+    generation: u64,
+    max_clock: u64,
+    /// `max_clock` of the round that most recently completed.
+    result: u64,
+}
+
+/// A reusable clock-combining barrier for a fixed group size.
+#[derive(Debug)]
+pub struct ClockBarrier {
+    inner: Mutex<BarrierInner>,
+    cv: Condvar,
+    n: usize,
+}
+
+impl ClockBarrier {
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "barrier group must be non-empty");
+        ClockBarrier {
+            inner: Mutex::new(BarrierInner { count: 0, generation: 0, max_clock: 0, result: 0 }),
+            cv: Condvar::new(),
+            n,
+        }
+    }
+
+    /// Number of participants.
+    pub fn group_size(&self) -> usize {
+        self.n
+    }
+
+    /// Arrive with the caller's current virtual clock; returns the maximum
+    /// clock across the group for this round.
+    pub fn arrive(&self, my_clock: u64, poison: &Poison) -> u64 {
+        let mut inner = self.inner.lock();
+        inner.max_clock = inner.max_clock.max(my_clock);
+        inner.count += 1;
+        if inner.count == self.n {
+            let result = inner.max_clock;
+            inner.result = result;
+            inner.count = 0;
+            inner.max_clock = 0;
+            inner.generation = inner.generation.wrapping_add(1);
+            self.cv.notify_all();
+            result
+        } else {
+            let gen = inner.generation;
+            while inner.generation == gen {
+                poison.check();
+                self.cv.wait_for(&mut inner, WAIT_TICK);
+            }
+            inner.result
+        }
+    }
+
+    /// Wake all waiters so they observe poison. Called by the launcher on
+    /// failure.
+    pub fn interrupt(&self) {
+        self.cv.notify_all();
+    }
+}
+
+/// Per-PE notification cell used by `wait_until`-style operations: remote
+/// writers bump the generation after touching a PE's heap; waiters re-check
+/// their predicate on every bump (or timeout tick).
+#[derive(Debug, Default)]
+pub struct NotifyCell {
+    gen: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl NotifyCell {
+    /// Signal that the associated PE's memory may have changed.
+    pub fn notify(&self) {
+        let mut g = self.gen.lock();
+        *g = g.wrapping_add(1);
+        self.cv.notify_all();
+    }
+
+    /// Block until `pred()` is true. The predicate is evaluated under no
+    /// lock; the generation counter only bounds how long we sleep between
+    /// re-checks.
+    pub fn wait_until(&self, poison: &Poison, mut pred: impl FnMut() -> bool) {
+        loop {
+            if pred() {
+                return;
+            }
+            poison.check();
+            let mut g = self.gen.lock();
+            let seen = *g;
+            // Re-check with the lock held so a notify between our check and
+            // our sleep is not lost.
+            if pred() {
+                return;
+            }
+            if *g == seen {
+                self.cv.wait_for(&mut g, WAIT_TICK);
+            }
+        }
+    }
+
+    /// Wake all waiters (used on poison).
+    pub fn interrupt(&self) {
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn barrier_returns_max_clock() {
+        let b = Arc::new(ClockBarrier::new(4));
+        let poison = Arc::new(Poison::default());
+        let mut handles = Vec::new();
+        for (i, clock) in [10u64, 500, 30, 40].iter().enumerate() {
+            let b = b.clone();
+            let p = poison.clone();
+            let clock = *clock;
+            handles.push(std::thread::spawn(move || {
+                // Stagger arrivals a little.
+                std::thread::sleep(Duration::from_millis(5 * i as u64));
+                b.arrive(clock, &p)
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 500);
+        }
+    }
+
+    #[test]
+    fn barrier_rounds_are_independent() {
+        let b = Arc::new(ClockBarrier::new(2));
+        let poison = Arc::new(Poison::default());
+        let b2 = b.clone();
+        let p2 = poison.clone();
+        let t = std::thread::spawn(move || {
+            let r1 = b2.arrive(100, &p2);
+            let r2 = b2.arrive(r1 + 1, &p2);
+            (r1, r2)
+        });
+        let r1 = b.arrive(50, &poison);
+        let r2 = b.arrive(700, &poison);
+        assert_eq!(r1, 100);
+        assert_eq!(r2, 700);
+        assert_eq!(t.join().unwrap(), (100, 700));
+    }
+
+    #[test]
+    fn poisoned_barrier_does_not_hang() {
+        let b = Arc::new(ClockBarrier::new(2));
+        let poison = Arc::new(Poison::default());
+        let b2 = b.clone();
+        let p2 = poison.clone();
+        let t = std::thread::spawn(move || {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                b2.arrive(0, &p2);
+            }));
+            r.is_err()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        poison.poison();
+        b.interrupt();
+        assert!(t.join().unwrap(), "waiter should have panicked out of the barrier");
+    }
+
+    #[test]
+    fn notify_cell_wakes_waiter() {
+        let cell = Arc::new(NotifyCell::default());
+        let flag = Arc::new(AtomicU64::new(0));
+        let poison = Arc::new(Poison::default());
+        let (c2, f2, p2) = (cell.clone(), flag.clone(), poison.clone());
+        let t = std::thread::spawn(move || {
+            c2.wait_until(&p2, || f2.load(Ordering::Acquire) == 7);
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        flag.store(7, Ordering::Release);
+        cell.notify();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_until_with_true_predicate_returns_immediately() {
+        let cell = NotifyCell::default();
+        let poison = Poison::default();
+        cell.wait_until(&poison, || true);
+    }
+
+    #[test]
+    #[should_panic(expected = "poisoned")]
+    fn wait_until_panics_when_poisoned() {
+        let cell = NotifyCell::default();
+        let poison = Poison::default();
+        poison.poison();
+        cell.wait_until(&poison, || false);
+    }
+}

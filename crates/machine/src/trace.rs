@@ -1,0 +1,165 @@
+//! Virtual-time execution tracing.
+//!
+//! When enabled in [`crate::MachineConfig`], the communication layers record
+//! a span for every operation (puts, gets, atomics, barriers, waits...) with
+//! begin/end in virtual nanoseconds. The result can be exported in the
+//! Chrome trace-event format (`chrome://tracing`, Perfetto) with one row per
+//! PE, grouped by node — a timeline of what the simulated job did and where
+//! its virtual time went.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+/// What a span represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SpanKind {
+    Put,
+    Get,
+    Amo,
+    Quiet,
+    Barrier,
+    WaitUntil,
+    Compute,
+    Collective,
+}
+
+impl SpanKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Put => "put",
+            SpanKind::Get => "get",
+            SpanKind::Amo => "amo",
+            SpanKind::Quiet => "quiet",
+            SpanKind::Barrier => "barrier",
+            SpanKind::WaitUntil => "wait_until",
+            SpanKind::Compute => "compute",
+            SpanKind::Collective => "collective",
+        }
+    }
+}
+
+/// One traced operation.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Span {
+    pub pe: usize,
+    pub kind: SpanKind,
+    /// Virtual begin/end, ns.
+    pub begin: u64,
+    pub end: u64,
+    /// Communication peer, if any.
+    pub peer: Option<usize>,
+    /// Payload bytes, if any.
+    pub bytes: usize,
+}
+
+/// Trace sink shared by all PEs of a machine.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    enabled: bool,
+    spans: Mutex<Vec<Span>>,
+}
+
+impl Tracer {
+    pub fn new(enabled: bool) -> Tracer {
+        Tracer { enabled, spans: Mutex::new(Vec::new()) }
+    }
+
+    /// Is tracing active? (Callers may skip span construction otherwise.)
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one span (no-op when disabled).
+    #[inline]
+    pub fn record(&self, span: Span) {
+        if self.enabled {
+            self.spans.lock().push(span);
+        }
+    }
+
+    /// Take all recorded spans, sorted by begin time.
+    pub fn drain(&self) -> Vec<Span> {
+        let mut spans = std::mem::take(&mut *self.spans.lock());
+        spans.sort_by_key(|s| (s.begin, s.pe));
+        spans
+    }
+}
+
+/// Render spans in the Chrome trace-event JSON format: `pid` = node,
+/// `tid` = PE, timestamps in microseconds ("complete" events).
+pub fn chrome_trace_json(spans: &[Span], cores_per_node: usize) -> String {
+    #[derive(Serialize)]
+    struct Event<'a> {
+        name: &'a str,
+        ph: &'a str,
+        pid: usize,
+        tid: usize,
+        ts: f64,
+        dur: f64,
+        args: Args,
+    }
+    #[derive(Serialize)]
+    struct Args {
+        peer: Option<usize>,
+        bytes: usize,
+    }
+    let events: Vec<Event> = spans
+        .iter()
+        .map(|s| Event {
+            name: s.kind.label(),
+            ph: "X",
+            pid: s.pe / cores_per_node.max(1),
+            tid: s.pe,
+            ts: s.begin as f64 / 1000.0,
+            dur: (s.end.saturating_sub(s.begin)) as f64 / 1000.0,
+            args: Args { peer: s.peer, bytes: s.bytes },
+        })
+        .collect();
+    serde_json::to_string_pretty(&events).expect("trace serialization")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(pe: usize, kind: SpanKind, begin: u64, end: u64) -> Span {
+        Span { pe, kind, begin, end, peer: Some(1), bytes: 64 }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new(false);
+        assert!(!t.enabled());
+        t.record(span(0, SpanKind::Put, 0, 10));
+        assert!(t.drain().is_empty());
+    }
+
+    #[test]
+    fn drain_sorts_by_begin() {
+        let t = Tracer::new(true);
+        t.record(span(1, SpanKind::Get, 50, 70));
+        t.record(span(0, SpanKind::Put, 10, 30));
+        t.record(span(2, SpanKind::Amo, 20, 25));
+        let spans = t.drain();
+        assert_eq!(spans.len(), 3);
+        assert!(spans.windows(2).all(|w| w[0].begin <= w[1].begin));
+        assert!(t.drain().is_empty(), "drain empties the sink");
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let spans =
+            vec![span(0, SpanKind::Put, 1000, 3000), span(17, SpanKind::Barrier, 5000, 9000)];
+        let json = chrome_trace_json(&spans, 16);
+        assert!(json.contains("\"name\": \"put\""));
+        assert!(json.contains("\"name\": \"barrier\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        // PE 17 with 16 cores/node lives on node 1.
+        assert!(json.contains("\"pid\": 1"));
+        // 1000 ns -> 1.0 us.
+        assert!(json.contains("\"ts\": 1.0"));
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.as_array().unwrap().len(), 2);
+    }
+}

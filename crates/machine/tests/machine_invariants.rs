@@ -1,0 +1,95 @@
+//! Property-style invariants of the machine substrate: clock monotonicity,
+//! barrier agreement under arbitrary arrival clocks, NIC conservation.
+
+use pgas_machine::{generic_smp, run, stampede};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn clocks_are_monotone_under_random_local_ops(seed in any::<u64>()) {
+        let out = run(generic_smp(4).with_heap_bytes(1 << 14), move |pe| {
+            let mut rng = SmallRng::seed_from_u64(seed ^ pe.id() as u64);
+            let mut last = pe.now();
+            for _ in 0..200 {
+                match rng.gen_range(0..4) {
+                    0 => { pe.advance(rng.gen_range(0.0..100.0)); }
+                    1 => { pe.compute_flops(rng.gen_range(0.0..5000.0)); }
+                    2 => { pe.compute_ops(rng.gen_range(0..50)); }
+                    _ => { pe.machine().lift_clock(pe.id(), rng.gen_range(0..200)); }
+                }
+                let now = pe.now();
+                assert!(now >= last, "clock went backwards: {now} < {last}");
+                last = now;
+            }
+            last
+        });
+        prop_assert!(out.results.iter().all(|&t| t > 0));
+    }
+
+    #[test]
+    fn barrier_agrees_on_max_for_random_arrivals(clocks in prop::collection::vec(0u64..1_000_000, 2..8)) {
+        let n = clocks.len();
+        let clocks2 = clocks.clone();
+        let out = run(generic_smp(n).with_heap_bytes(1 << 14), move |pe| {
+            pe.machine().lift_clock(pe.id(), clocks2[pe.id()]);
+            pe.machine().barrier_all(pe.id(), 5.0)
+        });
+        let expect = clocks.iter().max().unwrap() + 5;
+        prop_assert!(out.results.iter().all(|&t| t == expect), "{:?} vs {expect}", out.results);
+    }
+}
+
+#[test]
+fn nic_byte_accounting_is_conserved() {
+    // Two nodes, one put of known size: the source TX and destination RX
+    // must both have seen exactly the payload once.
+    let bytes = 4096;
+    let out = run(stampede(2, 1).with_heap_bytes(1 << 14), move |pe| {
+        if pe.id() == 0 {
+            let m = pe.machine();
+            m.nic(0).reserve_tx(0, 100, bytes);
+            m.nic(1).reserve_rx(900, 100, bytes);
+        }
+    });
+    assert_eq!(out.nics[0].bytes, bytes as u64);
+    assert_eq!(out.nics[1].bytes, bytes as u64);
+    assert_eq!(out.nics[0].messages + out.nics[1].messages, 2);
+}
+
+#[test]
+fn concurrent_distinct_group_barriers_do_not_interfere() {
+    let out = run(generic_smp(6).with_heap_bytes(1 << 14), |pe| {
+        let m = pe.machine();
+        let id = pe.id();
+        // Two independent groups barrier in parallel, several rounds.
+        let group: Vec<usize> = if id < 3 { vec![0, 1, 2] } else { vec![3, 4, 5] };
+        for round in 1..=10u64 {
+            m.lift_clock(id, round * 100 + id as u64);
+            m.barrier_group(id, &group, 1.0);
+        }
+        pe.now()
+    });
+    // Within each group, final clocks agree; across groups they may differ.
+    assert_eq!(out.results[0], out.results[1]);
+    assert_eq!(out.results[1], out.results[2]);
+    assert_eq!(out.results[3], out.results[4]);
+    assert_eq!(out.results[4], out.results[5]);
+}
+
+#[test]
+fn poison_reaches_group_barrier_waiters() {
+    let err = pgas_machine::run_with_result(generic_smp(4).with_heap_bytes(1 << 14), |pe| {
+        if pe.id() == 3 {
+            panic!("fault injection");
+        }
+        // The survivors block on a group barrier that includes the dead PE;
+        // poison must release them instead of hanging the test.
+        pe.machine().barrier_group(pe.id(), &[0, 1, 2, 3], 0.0);
+    })
+    .unwrap_err();
+    assert!(err.message.contains("fault injection"), "got: {}", err.message);
+}

@@ -1,0 +1,108 @@
+//! OpenSHMEM 1.x active sets: `(PE_start, logPE_stride, PE_size)` triples
+//! describing the group of PEs participating in a collective.
+
+use pgas_machine::machine::PeId;
+
+/// An active set — the OpenSHMEM 1.x way of naming a PE subgroup: PEs
+/// `PE_start + k * 2^logPE_stride` for `k in 0..PE_size`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ActiveSet {
+    pub pe_start: PeId,
+    pub log_pe_stride: u32,
+    pub pe_size: usize,
+}
+
+impl ActiveSet {
+    /// The set containing every PE of an `n`-PE job.
+    pub fn world(n: usize) -> ActiveSet {
+        ActiveSet { pe_start: 0, log_pe_stride: 0, pe_size: n }
+    }
+
+    /// Construct from the C API's triple.
+    pub fn new(pe_start: PeId, log_pe_stride: u32, pe_size: usize) -> ActiveSet {
+        assert!(pe_size > 0, "active set must be non-empty");
+        ActiveSet { pe_start, log_pe_stride, pe_size }
+    }
+
+    /// Stride in PEs.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        1usize << self.log_pe_stride
+    }
+
+    /// Number of participants.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pe_size
+    }
+
+    /// True when the set has a single member.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pe_size == 0
+    }
+
+    /// The `k`-th member.
+    #[inline]
+    pub fn member(&self, k: usize) -> PeId {
+        debug_assert!(k < self.pe_size);
+        self.pe_start + k * self.stride()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, pe: PeId) -> bool {
+        pe >= self.pe_start
+            && (pe - self.pe_start).is_multiple_of(self.stride())
+            && (pe - self.pe_start) / self.stride() < self.pe_size
+    }
+
+    /// Rank of `pe` within the set, if a member.
+    pub fn index_of(&self, pe: PeId) -> Option<usize> {
+        self.contains(pe).then(|| (pe - self.pe_start) / self.stride())
+    }
+
+    /// All members in ascending PE order.
+    pub fn members(&self) -> Vec<PeId> {
+        (0..self.pe_size).map(|k| self.member(k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_covers_all() {
+        let s = ActiveSet::world(8);
+        assert_eq!(s.members(), (0..8).collect::<Vec<_>>());
+        for pe in 0..8 {
+            assert_eq!(s.index_of(pe), Some(pe));
+        }
+        assert!(!s.contains(8));
+    }
+
+    #[test]
+    fn strided_set() {
+        // PEs 2, 6, 10, 14.
+        let s = ActiveSet::new(2, 2, 4);
+        assert_eq!(s.members(), vec![2, 6, 10, 14]);
+        assert_eq!(s.index_of(10), Some(2));
+        assert_eq!(s.index_of(4), None, "stride mismatch");
+        assert_eq!(s.index_of(1), None, "below start");
+        assert_eq!(s.index_of(18), None, "beyond size");
+    }
+
+    #[test]
+    fn member_and_index_are_inverse() {
+        let s = ActiveSet::new(3, 1, 5);
+        for k in 0..s.len() {
+            assert_eq!(s.index_of(s.member(k)), Some(k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_set_rejected() {
+        ActiveSet::new(0, 0, 0);
+    }
+}

@@ -1,0 +1,863 @@
+//! The per-PE OpenSHMEM context: symmetric allocation, RMA, atomics,
+//! point-to-point synchronization, and memory ordering.
+
+use crate::active_set::ActiveSet;
+use crate::alloc::{AllocError, SymAlloc};
+use crate::data::{from_bytes, to_bytes, Scalar, SymPtr};
+use pgas_conduit::ctx::AmoOp;
+use pgas_conduit::{ConduitProfile, Ctx, CtxOptions};
+use pgas_machine::machine::{Machine, Pe, PeId};
+use std::cell::RefCell;
+
+/// Flag words reserved for collective protocols (enough for jobs up to
+/// 2^20 PEs with separate broadcast/reduce/ancillary regions).
+pub(crate) const PSYNC_WORDS: usize = 64;
+pub(crate) const BCAST_FLAG_BASE: usize = 0;
+pub(crate) const REDUCE_FLAG_BASE: usize = 21;
+pub(crate) const COLLECT_FLAG_BASE: usize = 42;
+
+/// Configuration of a SHMEM context.
+#[derive(Debug, Clone, Copy)]
+pub struct ShmemConfig {
+    pub profile: ConduitProfile,
+    pub options: CtxOptions,
+    /// Symmetric scratch for reduction partials (`pWrk`), bytes.
+    pub pwrk_bytes: usize,
+}
+
+impl ShmemConfig {
+    pub fn new(profile: ConduitProfile) -> Self {
+        ShmemConfig { profile, options: CtxOptions::default(), pwrk_bytes: 16 * 1024 }
+    }
+
+    pub fn with_options(mut self, options: CtxOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    pub fn with_pwrk_bytes(mut self, bytes: usize) -> Self {
+        self.pwrk_bytes = bytes;
+        self
+    }
+}
+
+/// Comparison operators for `wait_until` (`SHMEM_CMP_*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    Eq,
+    Ne,
+    Gt,
+    Ge,
+    Lt,
+    Le,
+}
+
+impl Cmp {
+    pub fn eval<T: PartialOrd>(self, lhs: T, rhs: T) -> bool {
+        match self {
+            Cmp::Eq => lhs == rhs,
+            Cmp::Ne => lhs != rhs,
+            Cmp::Gt => lhs > rhs,
+            Cmp::Ge => lhs >= rhs,
+            Cmp::Lt => lhs < rhs,
+            Cmp::Le => lhs <= rhs,
+        }
+    }
+}
+
+/// An 8-byte scalar usable with remote atomics.
+pub trait AtomicWord: Scalar + PartialOrd {
+    fn to_word(self) -> u64;
+    fn from_word(w: u64) -> Self;
+}
+
+impl AtomicWord for u64 {
+    #[inline]
+    fn to_word(self) -> u64 {
+        self
+    }
+    #[inline]
+    fn from_word(w: u64) -> Self {
+        w
+    }
+}
+
+impl AtomicWord for i64 {
+    #[inline]
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_word(w: u64) -> Self {
+        w as i64
+    }
+}
+
+/// The per-PE OpenSHMEM library handle.
+///
+/// One per PE thread; created inside the SPMD closure:
+///
+/// ```
+/// use openshmem::{Shmem, ShmemConfig};
+/// use pgas_conduit::ConduitProfile;
+/// use pgas_machine::{generic_smp, run, Platform};
+///
+/// let out = run(generic_smp(4), |pe| {
+///     let shmem = Shmem::new(pe, ShmemConfig::new(ConduitProfile::native_shmem(Platform::GenericSmp)));
+///     let x = shmem.shmalloc::<i64>(1).unwrap();
+///     shmem.p(x, (shmem.my_pe() + 1) as i64, (shmem.my_pe() + 1) % shmem.n_pes());
+///     shmem.barrier_all();
+///     shmem.g(x, shmem.my_pe())
+/// });
+/// assert_eq!(out.results, vec![4, 1, 2, 3]);
+/// ```
+pub struct Shmem<'m> {
+    ctx: Ctx<'m>,
+    alloc: RefCell<SymAlloc>,
+    psync: SymPtr<u64>,
+    pwrk: SymPtr<u8>,
+}
+
+impl<'m> Shmem<'m> {
+    /// Initialize the library on this PE (`start_pes`). Collective in the
+    /// sense that every PE must construct with identical configuration.
+    pub fn new(pe: Pe<'m>, cfg: ShmemConfig) -> Shmem<'m> {
+        let heap_bytes = pe.machine().config().heap_bytes;
+        let mut alloc = SymAlloc::new(heap_bytes);
+        let psync_off = alloc
+            .alloc(PSYNC_WORDS * 8)
+            .expect("symmetric heap too small for collective flags");
+        let pwrk_bytes = cfg.pwrk_bytes.min(heap_bytes / 4).max(256);
+        let pwrk_off =
+            alloc.alloc(pwrk_bytes).expect("symmetric heap too small for pWrk scratch");
+        Shmem {
+            ctx: Ctx::new(pe, cfg.profile, cfg.options),
+            alloc: RefCell::new(alloc),
+            psync: SymPtr::new(psync_off, PSYNC_WORDS),
+            pwrk: SymPtr::new(pwrk_off, pwrk_bytes),
+        }
+    }
+
+    /// This PE's index (`my_pe` / `_my_pe`).
+    #[inline]
+    pub fn my_pe(&self) -> PeId {
+        self.ctx.pe().id()
+    }
+
+    /// Total PEs (`num_pes`).
+    #[inline]
+    pub fn n_pes(&self) -> usize {
+        self.ctx.pe().n()
+    }
+
+    /// The underlying machine.
+    #[inline]
+    pub fn machine(&self) -> &'m Machine {
+        self.ctx.machine()
+    }
+
+    /// The underlying conduit context.
+    #[inline]
+    pub fn ctx(&self) -> &Ctx<'m> {
+        &self.ctx
+    }
+
+    /// The conduit profile in use.
+    #[inline]
+    pub fn profile(&self) -> &ConduitProfile {
+        self.ctx.profile()
+    }
+
+    /// The active set containing every PE.
+    pub fn world(&self) -> ActiveSet {
+        ActiveSet::world(self.n_pes())
+    }
+
+    pub(crate) fn psync(&self) -> SymPtr<u64> {
+        self.psync
+    }
+
+    pub(crate) fn pwrk(&self) -> SymPtr<u8> {
+        self.pwrk
+    }
+
+    // ---- symmetric allocation -------------------------------------------
+
+    /// Allocate `count` elements of `T` symmetrically (`shmalloc`). All PEs
+    /// must call in the same order with the same arguments.
+    pub fn shmalloc<T: Scalar>(&self, count: usize) -> Result<SymPtr<T>, AllocError> {
+        let off = self.alloc.borrow_mut().alloc(count * T::BYTES)?;
+        Ok(SymPtr::new(off, count))
+    }
+
+    /// Aligned symmetric allocation (`shmemalign`).
+    pub fn shmalloc_aligned<T: Scalar>(
+        &self,
+        count: usize,
+        align: usize,
+    ) -> Result<SymPtr<T>, AllocError> {
+        let off = self.alloc.borrow_mut().alloc_aligned(count * T::BYTES, align)?;
+        Ok(SymPtr::new(off, count))
+    }
+
+    /// Release a symmetric allocation (`shfree`). Must be called
+    /// symmetrically, with a handle returned by `shmalloc` (not a sub-slice).
+    pub fn shfree<T: Scalar>(&self, ptr: SymPtr<T>) -> Result<(), AllocError> {
+        self.alloc.borrow_mut().free(ptr.offset())
+    }
+
+    /// Bytes currently allocated on the symmetric heap.
+    pub fn symmetric_in_use(&self) -> usize {
+        self.alloc.borrow().in_use()
+    }
+
+    /// Verify (collectively) that `ptr` refers to the same offset on every
+    /// PE. Debugging aid for the symmetric-allocation discipline.
+    pub fn debug_assert_symmetric<T: Scalar>(&self, ptr: SymPtr<T>) {
+        let slot = self.psync.at(COLLECT_FLAG_BASE + 2);
+        // Everyone writes their offset+1 into PE 0's slot; a mismatch on any
+        // PE trips the check on PE 0.
+        let mine = (ptr.offset() + 1) as u64;
+        if self.my_pe() == 0 {
+            self.write_local_u64(slot.offset(), mine);
+        } else {
+            let prev = self.amo(0, slot, AmoOp::Swap(mine));
+            assert!(
+                prev == 0 || prev == mine,
+                "allocation is not symmetric: PE {} has offset {}, another PE had {}",
+                self.my_pe(),
+                mine - 1,
+                prev - 1,
+            );
+        }
+        self.barrier_all();
+        if self.my_pe() == 0 {
+            let seen = self.read_local_u64(slot.offset());
+            assert!(
+                seen == mine,
+                "allocation is not symmetric: PE 0 has offset {}, another PE had {}",
+                mine - 1,
+                seen - 1
+            );
+            self.write_local_u64(slot.offset(), 0);
+        }
+        self.barrier_all();
+    }
+
+    // ---- contiguous RMA ---------------------------------------------------
+
+    /// Write `src` into `dest`'s copy of `dst` (`shmem_put`).
+    pub fn put<T: Scalar>(&self, dst: SymPtr<T>, src: &[T], dest_pe: PeId) {
+        assert!(src.len() <= dst.count(), "put of {} elements into {}", src.len(), dst.count());
+        self.ctx.put(dest_pe, dst.offset(), &to_bytes(src));
+    }
+
+    /// Read `out.len()` elements of `src` from `src_pe` (`shmem_get`).
+    pub fn get<T: Scalar>(&self, src: SymPtr<T>, out: &mut [T], src_pe: PeId) {
+        assert!(out.len() <= src.count(), "get of {} elements from {}", out.len(), src.count());
+        let mut buf = vec![0u8; out.len() * T::BYTES];
+        self.ctx.get(src_pe, src.offset(), &mut buf);
+        from_bytes(&buf, out);
+    }
+
+    /// Non-blocking put (`shmem_put_nbi`): returns after issue; completion
+    /// (local and remote) requires [`Self::quiet`].
+    pub fn put_nbi<T: Scalar>(&self, dst: SymPtr<T>, src: &[T], dest_pe: PeId) {
+        assert!(src.len() <= dst.count(), "put_nbi of {} elements into {}", src.len(), dst.count());
+        self.ctx.put_nbi(dest_pe, dst.offset(), &to_bytes(src));
+    }
+
+    /// Non-blocking get (`shmem_get_nbi`): `out` is only guaranteed valid
+    /// after [`Self::quiet`].
+    pub fn get_nbi<T: Scalar>(&self, src: SymPtr<T>, out: &mut [T], src_pe: PeId) {
+        assert!(out.len() <= src.count(), "get_nbi of {} elements from {}", out.len(), src.count());
+        let mut buf = vec![0u8; out.len() * T::BYTES];
+        self.ctx.get_nbi(src_pe, src.offset(), &mut buf);
+        from_bytes(&buf, out);
+    }
+
+    /// Single-element put (`shmem_p`).
+    pub fn p<T: Scalar>(&self, dst: SymPtr<T>, value: T, dest_pe: PeId) {
+        self.put(dst, &[value], dest_pe);
+    }
+
+    /// Single-element get (`shmem_g`).
+    pub fn g<T: Scalar>(&self, src: SymPtr<T>, src_pe: PeId) -> T {
+        let mut out = [src_default::<T>()];
+        self.get(src, &mut out, src_pe);
+        out[0]
+    }
+
+    // ---- 1-D strided RMA ---------------------------------------------------
+
+    /// `shmem_iput`: write `nelems` elements taken from `src` at stride
+    /// `sst` (in elements) to `dest_pe`'s `dst` at stride `tst`.
+    pub fn iput<T: Scalar>(
+        &self,
+        dst: SymPtr<T>,
+        tst: usize,
+        src: &[T],
+        sst: usize,
+        nelems: usize,
+        dest_pe: PeId,
+    ) {
+        if nelems == 0 {
+            return;
+        }
+        assert!(
+            (nelems - 1) * tst < dst.count(),
+            "iput overruns destination: {} elements at stride {tst} into {}",
+            nelems,
+            dst.count()
+        );
+        let bytes = to_bytes(src);
+        self.ctx.iput(dest_pe, dst.offset(), tst, &bytes, T::BYTES, sst, nelems);
+    }
+
+    /// `shmem_iget`: gather `nelems` elements of `src_pe`'s `src` at stride
+    /// `sst` into `out` at stride `tst`.
+    pub fn iget<T: Scalar>(
+        &self,
+        src: SymPtr<T>,
+        sst: usize,
+        out: &mut [T],
+        tst: usize,
+        nelems: usize,
+        src_pe: PeId,
+    ) {
+        if nelems == 0 {
+            return;
+        }
+        assert!((nelems - 1) * sst < src.count(), "iget overruns source");
+        let mut buf = to_bytes(out);
+        self.ctx.iget(src_pe, src.offset(), sst, &mut buf, T::BYTES, tst, nelems);
+        from_bytes(&buf, out);
+    }
+
+    // ---- local heap access (this PE's own symmetric memory) ---------------
+
+    /// Read this PE's own copy of `src` without a communication call
+    /// (legal in OpenSHMEM: local symmetric objects are ordinary memory).
+    pub fn read_local<T: Scalar>(&self, src: SymPtr<T>, out: &mut [T]) {
+        let me = self.my_pe();
+        let mut buf = vec![0u8; out.len() * T::BYTES];
+        let heap = self.machine().heap(me);
+        heap.read_bytes(src.offset(), &mut buf);
+        let stamp = heap.max_stamp(src.offset(), buf.len());
+        self.machine().lift_clock(me, stamp);
+        from_bytes(&buf, out);
+    }
+
+    /// Write this PE's own copy of `dst` directly.
+    pub fn write_local<T: Scalar>(&self, dst: SymPtr<T>, src: &[T]) {
+        assert!(src.len() <= dst.count());
+        self.machine().heap(self.my_pe()).write_bytes(dst.offset(), &to_bytes(src));
+    }
+
+    /// Convenience: read one local element.
+    pub fn read_local_one<T: Scalar>(&self, src: SymPtr<T>) -> T {
+        let mut out = [src_default::<T>()];
+        self.read_local(src, &mut out);
+        out[0]
+    }
+
+    pub(crate) fn read_local_u64(&self, off: usize) -> u64 {
+        use std::sync::atomic::Ordering;
+        self.machine().heap(self.my_pe()).atomic64(off).load(Ordering::Acquire)
+    }
+
+    pub(crate) fn write_local_u64(&self, off: usize, v: u64) {
+        use std::sync::atomic::Ordering;
+        self.machine().heap(self.my_pe()).atomic64(off).store(v, Ordering::Release);
+    }
+
+    // ---- shmem_ptr ------------------------------------------------------------
+
+    /// `shmem_ptr`: direct load/store access to `pe`'s copy of a symmetric
+    /// object, available only when `pe` shares this PE's node (on real
+    /// hardware: the same shared-memory segment). Returns `None` for remote
+    /// PEs, like the C API returning a null pointer.
+    ///
+    /// Reads and writes through the view charge only intra-node memory
+    /// costs — the fast path §VII of the paper proposes.
+    pub fn local_view<T: Scalar>(&self, ptr: SymPtr<T>, pe: PeId) -> Option<LocalView<'m, T>> {
+        if !self.machine().same_node(self.my_pe(), pe) {
+            return None;
+        }
+        Some(LocalView { machine: self.machine(), me: self.my_pe(), pe, ptr })
+    }
+
+    // ---- atomics ------------------------------------------------------------
+
+    /// Raw AMO access used by higher layers (CAF locks).
+    pub fn amo<T: AtomicWord>(&self, dest_pe: PeId, ptr: SymPtr<T>, op: AmoOp) -> T {
+        T::from_word(self.ctx.amo(dest_pe, ptr.offset(), op))
+    }
+
+    /// `shmem_swap`: atomically replace, returning the old value.
+    pub fn swap<T: AtomicWord>(&self, ptr: SymPtr<T>, value: T, dest_pe: PeId) -> T {
+        self.amo(dest_pe, ptr, AmoOp::Swap(value.to_word()))
+    }
+
+    /// `shmem_cswap`: conditional swap; returns the old value.
+    pub fn cswap<T: AtomicWord>(&self, ptr: SymPtr<T>, cond: T, value: T, dest_pe: PeId) -> T {
+        self.amo(dest_pe, ptr, AmoOp::CompareSwap { cond: cond.to_word(), value: value.to_word() })
+    }
+
+    /// `shmem_fadd`: fetch-and-add.
+    pub fn fadd<T: AtomicWord>(&self, ptr: SymPtr<T>, value: T, dest_pe: PeId) -> T {
+        self.amo(dest_pe, ptr, AmoOp::FetchAdd(value.to_word()))
+    }
+
+    /// `shmem_add`: non-fetching add.
+    pub fn add<T: AtomicWord>(&self, ptr: SymPtr<T>, value: T, dest_pe: PeId) {
+        self.amo(dest_pe, ptr, AmoOp::Add(value.to_word()));
+    }
+
+    /// `shmem_finc` / `shmem_inc`.
+    pub fn finc<T: AtomicWord>(&self, ptr: SymPtr<T>, dest_pe: PeId) -> T {
+        self.amo(dest_pe, ptr, AmoOp::FetchAdd(1))
+    }
+
+    pub fn inc<T: AtomicWord>(&self, ptr: SymPtr<T>, dest_pe: PeId) {
+        self.amo(dest_pe, ptr, AmoOp::Add(1));
+    }
+
+    /// `shmem_fetch`: atomic read.
+    pub fn atomic_fetch<T: AtomicWord>(&self, ptr: SymPtr<T>, dest_pe: PeId) -> T {
+        self.amo(dest_pe, ptr, AmoOp::Fetch)
+    }
+
+    /// `shmem_set`: atomic write.
+    pub fn atomic_set<T: AtomicWord>(&self, ptr: SymPtr<T>, value: T, dest_pe: PeId) {
+        self.amo(dest_pe, ptr, AmoOp::Set(value.to_word()));
+    }
+
+    /// `shmem_and` (non-fetching) — paper Table II's atomic AND.
+    pub fn atomic_and<T: AtomicWord>(&self, ptr: SymPtr<T>, value: T, dest_pe: PeId) {
+        self.amo(dest_pe, ptr, AmoOp::And(value.to_word()));
+    }
+
+    /// `shmem_or`.
+    pub fn atomic_or<T: AtomicWord>(&self, ptr: SymPtr<T>, value: T, dest_pe: PeId) {
+        self.amo(dest_pe, ptr, AmoOp::Or(value.to_word()));
+    }
+
+    /// `shmem_xor`.
+    pub fn atomic_xor<T: AtomicWord>(&self, ptr: SymPtr<T>, value: T, dest_pe: PeId) {
+        self.amo(dest_pe, ptr, AmoOp::Xor(value.to_word()));
+    }
+
+    /// Fetching bitwise variants.
+    pub fn fetch_and<T: AtomicWord>(&self, ptr: SymPtr<T>, value: T, dest_pe: PeId) -> T {
+        self.amo(dest_pe, ptr, AmoOp::FetchAnd(value.to_word()))
+    }
+
+    pub fn fetch_or<T: AtomicWord>(&self, ptr: SymPtr<T>, value: T, dest_pe: PeId) -> T {
+        self.amo(dest_pe, ptr, AmoOp::FetchOr(value.to_word()))
+    }
+
+    pub fn fetch_xor<T: AtomicWord>(&self, ptr: SymPtr<T>, value: T, dest_pe: PeId) -> T {
+        self.amo(dest_pe, ptr, AmoOp::FetchXor(value.to_word()))
+    }
+
+    // ---- point-to-point synchronization -------------------------------------
+
+    /// `shmem_wait_until` on this PE's own copy of `ptr` (an 8-byte word):
+    /// block until `current <cmp> value`, returning the satisfying value.
+    pub fn wait_until<T: AtomicWord>(&self, ptr: SymPtr<T>, cmp: Cmp, value: T) -> T {
+        let w = self.ctx.wait_until(ptr.offset(), |w| cmp.eval(T::from_word(w), value));
+        T::from_word(w)
+    }
+
+    // ---- ordering -------------------------------------------------------------
+
+    /// `shmem_quiet`: wait for remote completion of all outstanding puts.
+    pub fn quiet(&self) {
+        self.ctx.quiet();
+    }
+
+    /// `shmem_fence`: order puts per destination.
+    pub fn fence(&self) {
+        self.ctx.fence();
+    }
+
+    /// `shmem_barrier_all`.
+    pub fn barrier_all(&self) {
+        self.ctx.barrier_all();
+    }
+
+    /// `shmem_barrier` over an active set.
+    pub fn barrier(&self, set: &ActiveSet) {
+        debug_assert!(set.contains(self.my_pe()), "barrier on a set excluding the caller");
+        self.ctx.barrier_group(&set.members());
+    }
+}
+
+/// Direct load/store window into a same-node PE's symmetric object
+/// (the result of [`Shmem::local_view`], i.e. `shmem_ptr`).
+pub struct LocalView<'m, T: Scalar> {
+    machine: &'m Machine,
+    me: PeId,
+    pe: PeId,
+    ptr: SymPtr<T>,
+}
+
+impl<'m, T: Scalar> LocalView<'m, T> {
+    /// Element count of the viewed object.
+    pub fn len(&self) -> usize {
+        self.ptr.count()
+    }
+
+    /// True when the viewed object has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.ptr.count() == 0
+    }
+
+    /// Load element `i` (a direct memory access: ~one cache transaction of
+    /// virtual time).
+    pub fn read(&self, i: usize) -> T {
+        assert!(i < self.ptr.count(), "index {i} out of bounds");
+        let off = self.ptr.offset() + i * T::BYTES;
+        let mut buf = vec![0u8; T::BYTES];
+        let heap = self.machine.heap(self.pe);
+        heap.read_bytes(off, &mut buf);
+        let stamp = heap.max_stamp(off, T::BYTES);
+        self.machine.lift_clock(self.me, stamp);
+        self.machine.advance(self.me, self.machine.config().wire.intra.latency_ns * 0.1);
+        T::load(&buf)
+    }
+
+    /// Store element `i` directly.
+    pub fn write(&self, i: usize, v: T) {
+        assert!(i < self.ptr.count(), "index {i} out of bounds");
+        let off = self.ptr.offset() + i * T::BYTES;
+        let mut buf = vec![0u8; T::BYTES];
+        v.store(&mut buf);
+        self.machine.heap(self.pe).write_bytes(off, &buf);
+        let t = self.machine.advance(self.me, self.machine.config().wire.intra.latency_ns * 0.1);
+        self.machine.heap(self.pe).stamp_range(off, T::BYTES, t);
+        self.machine.notify_pe(self.pe);
+    }
+}
+
+#[inline]
+fn src_default<T: Scalar>() -> T {
+    T::load(&vec![0u8; T::BYTES])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgas_machine::{generic_smp, run, stampede, Platform};
+
+    fn cfg() -> pgas_machine::MachineConfig {
+        generic_smp(4).with_heap_bytes(1 << 17)
+    }
+
+    fn mk(pe: Pe<'_>) -> Shmem<'_> {
+        Shmem::new(pe, ShmemConfig::new(ConduitProfile::native_shmem(Platform::GenericSmp)))
+    }
+
+    #[test]
+    fn figure1_example_program() {
+        // The paper's Figure 1: coarray_y(2) = coarray_x(3)[4];
+        // coarray_x(1)[4] = coarray_y(2), expressed in SHMEM form.
+        let out = run(cfg(), |pe| {
+            let shmem = mk(pe);
+            let x = shmem.shmalloc::<i32>(4).unwrap();
+            let y = shmem.shmalloc::<i32>(4).unwrap();
+            let me = shmem.my_pe() as i32 + 1; // 1-based like CAF images
+            shmem.write_local(x, &[me; 4]);
+            shmem.write_local(y, &[0; 4]);
+            shmem.barrier_all();
+            // y(2) = x(3)[4]  -- image 4 is PE 3.
+            let v = shmem.g(x.at(2), 3);
+            shmem.write_local(y.at(1), &[v]);
+            // x(1)[4] = y(2)
+            shmem.p(x.at(0), shmem.read_local_one(y.at(1)), 3);
+            shmem.quiet();
+            shmem.barrier_all();
+            (shmem.read_local_one(y.at(1)), shmem.g(x.at(0), 3))
+        });
+        for (y2, x1_on_4) in out.results {
+            assert_eq!(y2, 4, "everyone read image 4's x(3)");
+            assert_eq!(x1_on_4, 4);
+        }
+    }
+
+    #[test]
+    fn put_get_slices() {
+        let out = run(cfg(), |pe| {
+            let shmem = mk(pe);
+            let buf = shmem.shmalloc::<f64>(8).unwrap();
+            shmem.barrier_all();
+            if shmem.my_pe() == 0 {
+                let data: Vec<f64> = (0..8).map(|i| i as f64 * 1.5).collect();
+                for pe_id in 0..shmem.n_pes() {
+                    shmem.put(buf, &data, pe_id);
+                }
+                shmem.quiet();
+            }
+            shmem.barrier_all();
+            let mut out_buf = [0.0f64; 8];
+            shmem.get(buf, &mut out_buf, shmem.my_pe());
+            out_buf
+        });
+        for r in out.results {
+            assert_eq!(r, [0.0, 1.5, 3.0, 4.5, 6.0, 7.5, 9.0, 10.5]);
+        }
+    }
+
+    #[test]
+    fn shmalloc_is_symmetric_across_pes() {
+        run(cfg(), |pe| {
+            let shmem = mk(pe);
+            let a = shmem.shmalloc::<u64>(16).unwrap();
+            let b = shmem.shmalloc::<u8>(100).unwrap();
+            shmem.debug_assert_symmetric(a);
+            shmem.debug_assert_symmetric(b);
+            shmem.shfree(a).unwrap();
+            let c = shmem.shmalloc::<u64>(4).unwrap();
+            shmem.debug_assert_symmetric(c);
+        });
+    }
+
+    #[test]
+    fn typed_iput_iget() {
+        let out = run(cfg(), |pe| {
+            let shmem = mk(pe);
+            let arr = shmem.shmalloc::<i32>(16).unwrap();
+            shmem.write_local(arr, &[0; 16]);
+            shmem.barrier_all();
+            if shmem.my_pe() == 0 {
+                // Every 3rd source element to every 2nd target slot on PE 1.
+                let src: Vec<i32> = (0..12).collect();
+                shmem.iput(arr, 2, &src, 3, 4, 1);
+                shmem.quiet();
+            }
+            shmem.barrier_all();
+            let mut got = [0i32; 4];
+            shmem.iget(arr, 2, &mut got, 1, 4, 1);
+            got
+        });
+        for r in out.results {
+            assert_eq!(r, [0, 3, 6, 9]);
+        }
+    }
+
+    #[test]
+    fn atomics_signed_values() {
+        let out = run(cfg(), |pe| {
+            let shmem = mk(pe);
+            let x = shmem.shmalloc::<i64>(1).unwrap();
+            shmem.write_local(x, &[0]);
+            shmem.barrier_all();
+            // Everyone adds a negative number to PE 0's word.
+            shmem.fadd(x, -5i64, 0);
+            shmem.barrier_all();
+            shmem.atomic_fetch(x, 0)
+        });
+        for r in out.results {
+            assert_eq!(r, -20);
+        }
+    }
+
+    #[test]
+    fn wait_until_cmp_variants() {
+        for (cmp, target, write) in [
+            (Cmp::Eq, 7i64, 7i64),
+            (Cmp::Ne, 0, 3),
+            (Cmp::Gt, 5, 6),
+            (Cmp::Ge, 5, 5),
+            (Cmp::Lt, 0, -2),
+            (Cmp::Le, -1, -1),
+        ] {
+            let out = run(generic_smp(2).with_heap_bytes(1 << 16), |pe| {
+                let shmem = mk(pe);
+                let flag = shmem.shmalloc::<i64>(1).unwrap();
+                shmem.write_local(flag, &[0]);
+                shmem.barrier_all();
+                if shmem.my_pe() == 0 {
+                    shmem.wait_until(flag, cmp, target)
+                } else {
+                    shmem.atomic_set(flag, write, 0);
+                    write
+                }
+            });
+            assert_eq!(out.results[0], write, "{cmp:?}");
+        }
+    }
+
+    #[test]
+    fn strict_mode_catches_missing_quiet_between_put_and_get() {
+        let err = pgas_machine::run_with_result(
+            stampede(2, 1).with_heap_bytes(1 << 16),
+            |pe| {
+                let shmem = Shmem::new(
+                    pe,
+                    ShmemConfig::new(ConduitProfile::mvapich_shmem()).with_options(CtxOptions {
+                        strict_ordering: true,
+                        ..Default::default()
+                    }),
+                );
+                let x = shmem.shmalloc::<i64>(1).unwrap();
+                shmem.barrier_all();
+                if shmem.my_pe() == 0 {
+                    shmem.p(x, 1, 1);
+                    let _ = shmem.g(x, 1); // missing quiet
+                }
+                shmem.barrier_all();
+            },
+        )
+        .unwrap_err();
+        assert!(err.message.contains("ordering hazard"));
+    }
+
+    #[test]
+    fn put_nbi_returns_at_issue_and_completes_at_quiet() {
+        let out = run(stampede(2, 1).with_heap_bytes(1 << 18), |pe| {
+            let shmem = Shmem::new(pe, ShmemConfig::new(ConduitProfile::mvapich_shmem()));
+            let buf = shmem.shmalloc::<u8>(1 << 15).unwrap();
+            let data = vec![0xCDu8; 1 << 15];
+            shmem.barrier_all();
+            if shmem.my_pe() == 0 {
+                let t0 = pe.now();
+                for _ in 0..8 {
+                    shmem.put_nbi(buf, &data, 1);
+                }
+                let issued = pe.now() - t0;
+                shmem.quiet();
+                let completed = pe.now() - t0;
+                (issued, completed)
+            } else {
+                (0, 0)
+            }
+        });
+        let (issued, completed) = out.results[0];
+        assert!(issued < 2_000, "8 nbi issues should cost ~8 issue overheads, got {issued}");
+        assert!(
+            completed > 20 * issued,
+            "quiet must absorb the transfer time: issued {issued}, completed {completed}"
+        );
+    }
+
+    #[test]
+    fn get_nbi_data_valid_after_quiet() {
+        let out = run(stampede(2, 1).with_heap_bytes(1 << 16), |pe| {
+            let shmem = Shmem::new(pe, ShmemConfig::new(ConduitProfile::mvapich_shmem()));
+            let buf = shmem.shmalloc::<i64>(4).unwrap();
+            shmem.write_local(buf, &[10, 20, 30, 40]);
+            shmem.barrier_all();
+            let mut got = [0i64; 4];
+            let peer = 1 - shmem.my_pe();
+            let t0 = pe.now();
+            shmem.get_nbi(buf, &mut got, peer);
+            let issued = pe.now() - t0;
+            shmem.quiet();
+            let completed = pe.now() - t0;
+            shmem.barrier_all();
+            (got, issued, completed)
+        });
+        for (got, issued, completed) in out.results {
+            assert_eq!(got, [10, 20, 30, 40]);
+            assert!(completed > issued, "quiet pays the round trip");
+        }
+    }
+
+    #[test]
+    fn nbi_operations_still_feed_the_hazard_detector() {
+        let out = run(stampede(2, 1).with_heap_bytes(1 << 16), |pe| {
+            let shmem = Shmem::new(pe, ShmemConfig::new(ConduitProfile::mvapich_shmem()));
+            let buf = shmem.shmalloc::<i64>(1).unwrap();
+            shmem.barrier_all();
+            if shmem.my_pe() == 0 {
+                shmem.put_nbi(buf, &[7], 1);
+                let mut out_v = [0i64];
+                shmem.get_nbi(buf, &mut out_v, 1); // no quiet in between
+            }
+            shmem.barrier_all();
+        });
+        assert_eq!(out.stats.hazards, 1);
+    }
+
+    #[test]
+    fn local_view_works_within_a_node_only() {
+        let out = run(stampede(2, 2).with_heap_bytes(1 << 16), |pe| {
+            let shmem = Shmem::new(pe, ShmemConfig::new(ConduitProfile::mvapich_shmem()));
+            let x = shmem.shmalloc::<i64>(4).unwrap();
+            shmem.write_local(x, &[10, 20, 30, 40]);
+            shmem.barrier_all();
+            let same_node_peer = shmem.my_pe() ^ 1;
+            let cross_node_peer = (shmem.my_pe() + 2) % 4;
+            let view = shmem.local_view(x, same_node_peer);
+            let remote_view_is_none = shmem.local_view(x, cross_node_peer).is_none();
+            let v = view.as_ref().map(|w| w.read(2));
+            if let Some(w) = &view {
+                w.write(3, shmem.my_pe() as i64 + 100);
+            }
+            shmem.barrier_all();
+            (v, remote_view_is_none, shmem.read_local_one(x.at(3)))
+        });
+        for (pe, (v, remote_none, slot3)) in out.results.iter().enumerate() {
+            assert_eq!(*v, Some(30), "PE {pe} reads its neighbour directly");
+            assert!(remote_none, "cross-node shmem_ptr must be null");
+            assert_eq!(*slot3 as usize, (pe ^ 1) + 100, "neighbour wrote my slot 3");
+        }
+    }
+
+    #[test]
+    fn local_view_is_cheaper_than_message_path() {
+        let out = run(generic_smp(2).with_heap_bytes(1 << 16), |pe| {
+            let shmem = mk(pe);
+            let x = shmem.shmalloc::<i64>(1).unwrap();
+            shmem.barrier_all();
+            if shmem.my_pe() == 0 {
+                let t0 = pe.now();
+                for _ in 0..100 {
+                    let _ = shmem.g(x, 1);
+                }
+                let msg = pe.now() - t0;
+                let view = shmem.local_view(x, 1).unwrap();
+                let t1 = pe.now();
+                for _ in 0..100 {
+                    let _ = view.read(0);
+                }
+                let direct = pe.now() - t1;
+                (msg, direct)
+            } else {
+                (0, 0)
+            }
+        });
+        let (msg, direct) = out.results[0];
+        assert!(direct * 5 < msg, "direct {direct} vs message {msg}");
+    }
+
+    #[test]
+    fn oom_is_reported_not_panicked() {
+        run(generic_smp(1).with_heap_bytes(4096), |pe| {
+            let shmem = Shmem::new(
+                pe,
+                ShmemConfig::new(ConduitProfile::mvapich_shmem()).with_pwrk_bytes(256),
+            );
+            assert!(shmem.shmalloc::<u64>(10_000).is_err());
+            assert!(shmem.shmalloc::<u64>(8).is_ok());
+        });
+    }
+
+    #[test]
+    fn local_read_write_do_not_communicate() {
+        let out = run(cfg(), |pe| {
+            let shmem = mk(pe);
+            let x = shmem.shmalloc::<u32>(4).unwrap();
+            shmem.write_local(x, &[9, 8, 7, 6]);
+            let mut buf = [0u32; 4];
+            shmem.read_local(x, &mut buf);
+            buf
+        });
+        assert_eq!(out.stats.rma_ops(), 0);
+        for r in out.results {
+            assert_eq!(r, [9, 8, 7, 6]);
+        }
+    }
+}

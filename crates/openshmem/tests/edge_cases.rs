@@ -1,0 +1,155 @@
+//! Edge cases of the OpenSHMEM layer: zero-length operations, minimal
+//! active sets, allocator exhaustion under collective pressure, and
+//! degenerate jobs.
+
+use openshmem::{ActiveSet, Shmem, ShmemConfig};
+use pgas_conduit::ConduitProfile;
+use pgas_machine::machine::Pe;
+use pgas_machine::{generic_smp, run, Platform};
+
+fn mk(pe: Pe<'_>) -> Shmem<'_> {
+    Shmem::new(pe, ShmemConfig::new(ConduitProfile::native_shmem(Platform::GenericSmp)))
+}
+
+#[test]
+fn single_pe_job_supports_the_full_api() {
+    run(generic_smp(1).with_heap_bytes(1 << 16), |pe| {
+        let shmem = mk(pe);
+        let x = shmem.shmalloc::<i64>(8).unwrap();
+        shmem.put(x, &[1, 2, 3, 4, 5, 6, 7, 8], 0);
+        shmem.quiet();
+        shmem.barrier_all();
+        let mut out = [0i64; 8];
+        shmem.get(x, &mut out, 0);
+        assert_eq!(out, [1, 2, 3, 4, 5, 6, 7, 8]);
+        // Collectives over a singleton world.
+        let d = shmem.shmalloc::<i64>(8).unwrap();
+        shmem.sum_to_all(d, x, 8, &shmem.world());
+        let mut sums = [0i64; 8];
+        shmem.read_local(d, &mut sums);
+        assert_eq!(sums, out);
+        shmem.broadcast(d, x, 8, 0, &shmem.world());
+        // Locks degenerate but work.
+        let l = shmem.shmalloc::<u64>(1).unwrap();
+        shmem.set_lock(l);
+        shmem.clear_lock(l);
+        assert_eq!(shmem.fadd(x.slice(0, 1), 5i64, 0), 1);
+    });
+}
+
+#[test]
+fn zero_length_transfers_are_noops() {
+    let out = run(generic_smp(2).with_heap_bytes(1 << 16), |pe| {
+        let shmem = mk(pe);
+        let x = shmem.shmalloc::<u8>(16).unwrap();
+        shmem.write_local(x, &[9u8; 16]);
+        shmem.barrier_all();
+        shmem.put(x, &[], 1 - shmem.my_pe());
+        let mut empty: [u8; 0] = [];
+        shmem.get(x, &mut empty, 1 - shmem.my_pe());
+        shmem.iput(x, 2, &[], 1, 0, 1 - shmem.my_pe());
+        shmem.quiet();
+        shmem.barrier_all();
+        shmem.read_local_one(x)
+    });
+    for r in out.results {
+        assert_eq!(r, 9, "zero-length ops must not disturb memory");
+    }
+}
+
+#[test]
+fn two_member_collectives() {
+    let out = run(generic_smp(2).with_heap_bytes(1 << 16), |pe| {
+        let shmem = mk(pe);
+        let src = shmem.shmalloc::<f64>(3).unwrap();
+        let dst = shmem.shmalloc::<f64>(3).unwrap();
+        shmem.write_local(src, &[1.0 + shmem.my_pe() as f64; 3]);
+        shmem.barrier_all();
+        let w = shmem.world();
+        shmem.sum_to_all(dst, src, 3, &w);
+        shmem.broadcast(dst, src, 2, 1, &w); // partial-length broadcast
+        let mut d = [0.0f64; 3];
+        shmem.read_local(dst, &mut d);
+        d
+    });
+    // PE 0 got [2, 2, 3]: first two from the broadcast of PE 1's src,
+    // the last survives from the sum. PE 1 (root) keeps the full sum.
+    assert_eq!(out.results[0], [2.0, 2.0, 3.0]);
+    assert_eq!(out.results[1], [3.0, 3.0, 3.0]);
+}
+
+#[test]
+fn collect_with_some_empty_contributions() {
+    let out = run(generic_smp(4).with_heap_bytes(1 << 16), |pe| {
+        let shmem = mk(pe);
+        let dest = shmem.shmalloc::<i32>(16).unwrap();
+        shmem.barrier_all();
+        // Only even PEs contribute.
+        let src: Vec<i32> = if shmem.my_pe() % 2 == 0 {
+            vec![shmem.my_pe() as i32; 2]
+        } else {
+            Vec::new()
+        };
+        let total = shmem.collect(dest, &src, &shmem.world());
+        let mut d = vec![0i32; total];
+        shmem.read_local(dest.slice(0, total), &mut d);
+        d
+    });
+    for r in out.results {
+        assert_eq!(r, vec![0, 0, 2, 2]);
+    }
+}
+
+#[test]
+fn allocator_survives_interleaved_collective_scratch() {
+    // Alternating user allocations and collectives (which allocate no
+    // scratch at the shmem level, but CAF's co_* would) must keep the
+    // symmetric allocator in lockstep across PEs.
+    run(generic_smp(3).with_heap_bytes(1 << 16), |pe| {
+        let shmem = mk(pe);
+        let mut live = Vec::new();
+        for round in 1..=10usize {
+            let a = shmem.shmalloc::<u64>(round * 3).unwrap();
+            shmem.debug_assert_symmetric(a);
+            live.push(a);
+            if round % 3 == 0 {
+                let victim = live.remove(0);
+                shmem.shfree(victim).unwrap();
+            }
+            let d = shmem.shmalloc::<i64>(1).unwrap();
+            let s = shmem.shmalloc::<i64>(1).unwrap();
+            shmem.write_local(s, &[1]);
+            shmem.sum_to_all(d, s, 1, &shmem.world());
+            assert_eq!(shmem.read_local_one(d), 3);
+            shmem.shfree(s).unwrap();
+            shmem.shfree(d).unwrap();
+        }
+    });
+}
+
+#[test]
+fn pairwise_active_set_barrier_chain() {
+    // Chain of 2-member barriers across the job: (0,1), (1,2), (2,3).
+    // Each link synchronizes only its two members.
+    let out = run(generic_smp(4).with_heap_bytes(1 << 16), |pe| {
+        let shmem = mk(pe);
+        let me = shmem.my_pe();
+        if me <= 1 {
+            if me == 0 {
+                pe.advance(10_000.0);
+            }
+            shmem.barrier(&ActiveSet::new(0, 0, 2));
+        }
+        if (1..=2).contains(&me) {
+            shmem.barrier(&ActiveSet::new(1, 0, 2));
+        }
+        if me >= 2 {
+            shmem.barrier(&ActiveSet::new(2, 0, 2));
+        }
+        pe.now()
+    });
+    // The 10 us head start on PE 0 propagates down the chain.
+    assert!(out.results[1] >= 10_000);
+    assert!(out.results[2] >= out.results[1]);
+    assert!(out.results[3] >= out.results[2]);
+}

@@ -1,0 +1,268 @@
+//! OpenSHMEM specification-semantics suite: small, pointed tests of the
+//! behaviours the spec pins down (and that the CAF translation relies on).
+
+use openshmem::{ActiveSet, Cmp, Shmem, ShmemConfig, SymPtr};
+use pgas_conduit::ConduitProfile;
+use pgas_machine::machine::Pe;
+use pgas_machine::{generic_smp, run, stampede, titan, Platform};
+
+fn mk(pe: Pe<'_>) -> Shmem<'_> {
+    Shmem::new(pe, ShmemConfig::new(ConduitProfile::native_shmem(Platform::GenericSmp)))
+}
+
+fn cfg(n: usize) -> pgas_machine::MachineConfig {
+    generic_smp(n).with_heap_bytes(1 << 17)
+}
+
+#[test]
+fn put_to_self_is_legal() {
+    let out = run(cfg(2), |pe| {
+        let shmem = mk(pe);
+        let x = shmem.shmalloc::<i64>(4).unwrap();
+        shmem.put(x, &[1, 2, 3, 4], shmem.my_pe());
+        shmem.quiet();
+        let mut got = [0i64; 4];
+        shmem.get(x, &mut got, shmem.my_pe());
+        got
+    });
+    for r in out.results {
+        assert_eq!(r, [1, 2, 3, 4]);
+    }
+}
+
+#[test]
+fn every_scalar_width_moves_correctly() {
+    // One put/get round trip per supported element type.
+    run(cfg(2), |pe| {
+        let shmem = mk(pe);
+        macro_rules! roundtrip {
+            ($t:ty, $vals:expr) => {{
+                let ptr = shmem.shmalloc::<$t>(4).unwrap();
+                shmem.barrier_all();
+                let vals: [$t; 4] = $vals;
+                if shmem.my_pe() == 0 {
+                    shmem.put(ptr, &vals, 1);
+                    shmem.quiet();
+                }
+                shmem.barrier_all();
+                if shmem.my_pe() == 1 {
+                    let mut got: [$t; 4] = Default::default();
+                    shmem.read_local(ptr, &mut got);
+                    assert_eq!(got, vals, stringify!($t));
+                }
+                shmem.barrier_all();
+            }};
+        }
+        roundtrip!(u8, [1, 2, 3, 255]);
+        roundtrip!(i8, [-1, 2, -3, 127]);
+        roundtrip!(u16, [1, 500, 3, 65535]);
+        roundtrip!(i16, [-1, 500, -3, 32767]);
+        roundtrip!(u32, [1, 5, 3, u32::MAX]);
+        roundtrip!(i32, [-1, 5, -3, i32::MIN]);
+        roundtrip!(u64, [1, 5, 3, u64::MAX]);
+        roundtrip!(i64, [-1, 5, -3, i64::MIN]);
+        roundtrip!(f32, [1.5, -2.5, 0.0, f32::MAX]);
+        roundtrip!(f64, [1.5, -2.5, 0.0, f64::MIN_POSITIVE]);
+    });
+}
+
+#[test]
+fn barrier_on_strided_active_set_excludes_others() {
+    // PEs 0,2,4 barrier among themselves while 1,3 do not participate.
+    let out = run(cfg(5), |pe| {
+        let shmem = mk(pe);
+        if shmem.my_pe().is_multiple_of(2) {
+            pe.advance(1000.0 * (shmem.my_pe() + 1) as f64);
+            shmem.barrier(&ActiveSet::new(0, 1, 3));
+            pe.now()
+        } else {
+            pe.now()
+        }
+    });
+    assert_eq!(out.results[0], out.results[2]);
+    assert_eq!(out.results[2], out.results[4]);
+    assert_eq!(out.results[1], 0);
+    assert_eq!(out.results[3], 0);
+}
+
+#[test]
+fn fence_then_put_preserves_target_order() {
+    // Write A to x, fence, write B to x: B must be the final value even
+    // though neither write was quieted.
+    let out = run(stampede(2, 1).with_heap_bytes(1 << 16), |pe| {
+        let shmem = Shmem::new(pe, ShmemConfig::new(ConduitProfile::mvapich_shmem()));
+        let x = shmem.shmalloc::<i64>(1).unwrap();
+        shmem.barrier_all();
+        if shmem.my_pe() == 0 {
+            shmem.put(x, &[1], 1);
+            shmem.fence();
+            shmem.put(x, &[2], 1);
+        }
+        shmem.barrier_all();
+        shmem.read_local_one(x)
+    });
+    assert_eq!(out.results[1], 2);
+    assert_eq!(out.stats.hazards, 0, "fence makes the overlapping puts legal");
+}
+
+#[test]
+fn wait_until_on_negative_thresholds() {
+    let out = run(cfg(2), |pe| {
+        let shmem = mk(pe);
+        let flag = shmem.shmalloc::<i64>(1).unwrap();
+        shmem.write_local(flag, &[100]);
+        shmem.barrier_all();
+        if shmem.my_pe() == 0 {
+            shmem.wait_until(flag, Cmp::Lt, -5)
+        } else {
+            shmem.atomic_set(flag, -10i64, 0);
+            -10
+        }
+    });
+    assert_eq!(out.results[0], -10);
+}
+
+#[test]
+fn finc_and_inc_match_add_semantics() {
+    let out = run(cfg(3), |pe| {
+        let shmem = mk(pe);
+        let c = shmem.shmalloc::<u64>(1).unwrap();
+        shmem.barrier_all();
+        shmem.inc(c, 0);
+        let seen = shmem.finc(c, 0);
+        shmem.barrier_all();
+        (seen, shmem.atomic_fetch(c, 0))
+    });
+    // 3 incs + 3 fincs = 6 total; each finc saw a value in 0..6.
+    for (seen, total) in &out.results {
+        assert_eq!(*total, 6);
+        assert!(*seen < 6);
+    }
+}
+
+#[test]
+fn symptr_is_shippable_between_pes() {
+    // A SymPtr<u64> received from another PE (as raw offset) addresses the
+    // same object — the property the CAF lock qnode pointers rely on.
+    let out = run(cfg(2), |pe| {
+        let shmem = mk(pe);
+        let a = shmem.shmalloc::<u64>(4).unwrap();
+        let mailbox = shmem.shmalloc::<u64>(1).unwrap();
+        shmem.write_local(a, &[7, 8, 9, 10]);
+        shmem.barrier_all();
+        if shmem.my_pe() == 0 {
+            // Ship the offset of `a` to PE 1.
+            shmem.p(mailbox, a.offset() as u64, 1);
+            shmem.quiet();
+            shmem.barrier_all();
+            0
+        } else {
+            shmem.barrier_all();
+            let off = shmem.read_local_one(mailbox) as usize;
+            let remote: SymPtr<u64> = SymPtr::from_raw_parts(off, 4);
+            shmem.g(remote.at(2), 0)
+        }
+    });
+    assert_eq!(out.results[1], 9);
+}
+
+#[test]
+fn quiet_without_outstanding_ops_is_cheap_and_safe() {
+    let out = run(cfg(1), |pe| {
+        let shmem = mk(pe);
+        let before = pe.now();
+        for _ in 0..100 {
+            shmem.quiet();
+            shmem.fence();
+        }
+        pe.now() - before
+    });
+    assert!(out.results[0] < 100_000, "no-op quiets must not accumulate large costs");
+}
+
+#[test]
+fn reductions_of_every_numeric_type() {
+    run(cfg(4), |pe| {
+        let shmem = mk(pe);
+        let w = shmem.world();
+        macro_rules! sums {
+            ($t:ty) => {{
+                let src = shmem.shmalloc::<$t>(2).unwrap();
+                let dst = shmem.shmalloc::<$t>(2).unwrap();
+                shmem.write_local(src, &[shmem.my_pe() as $t + 1 as $t, 2 as $t]);
+                shmem.barrier_all();
+                shmem.sum_to_all(dst, src, 2, &w);
+                let mut out: [$t; 2] = Default::default();
+                shmem.read_local(dst, &mut out);
+                assert_eq!(out[0], 10 as $t, stringify!($t)); // 1+2+3+4
+                assert_eq!(out[1], 8 as $t, stringify!($t));
+            }};
+        }
+        sums!(i32);
+        sums!(i64);
+        sums!(u32);
+        sums!(u64);
+        sums!(f32);
+        sums!(f64);
+    });
+}
+
+#[test]
+fn global_lock_serializes_across_nodes() {
+    let iters = 20;
+    let out = run(titan(2, 4).with_heap_bytes(1 << 16), |pe| {
+        let shmem = Shmem::new(pe, ShmemConfig::new(ConduitProfile::cray_shmem(Platform::Titan)));
+        let lock = shmem.shmalloc::<u64>(1).unwrap();
+        let counter = shmem.shmalloc::<i64>(1).unwrap();
+        shmem.barrier_all();
+        for _ in 0..iters {
+            shmem.set_lock(lock);
+            let v = shmem.g(counter, 0);
+            shmem.p(counter, v + 1, 0);
+            shmem.quiet();
+            shmem.clear_lock(lock);
+        }
+        shmem.barrier_all();
+        shmem.g(counter, 0)
+    });
+    for r in out.results {
+        assert_eq!(r, 8 * iters);
+    }
+}
+
+#[test]
+fn alltoall_on_a_subset() {
+    let out = run(cfg(6), |pe| {
+        let shmem = mk(pe);
+        // PEs 1, 3, 5 exchange; others idle.
+        let set = ActiveSet::new(1, 1, 3);
+        let dest = shmem.shmalloc::<i32>(3).unwrap();
+        shmem.barrier_all();
+        if set.contains(shmem.my_pe()) {
+            let me = shmem.my_pe() as i32;
+            let src: Vec<i32> = (0..3).map(|j| me * 10 + j).collect();
+            shmem.alltoall(dest, &src, 1, &set);
+        }
+        shmem.barrier_all();
+        let mut d = [0i32; 3];
+        shmem.read_local(dest, &mut d);
+        d
+    });
+    // Member k of {1,3,5} receives block k from each member i: value i*10+k.
+    assert_eq!(out.results[1], [10, 30, 50]);
+    assert_eq!(out.results[3], [11, 31, 51]);
+    assert_eq!(out.results[5], [12, 32, 52]);
+    assert_eq!(out.results[0], [0, 0, 0]);
+}
+
+#[test]
+fn shmalloc_zero_elements_is_distinct() {
+    run(cfg(1), |pe| {
+        let shmem = mk(pe);
+        let a = shmem.shmalloc::<u64>(0).unwrap();
+        let b = shmem.shmalloc::<u64>(0).unwrap();
+        assert_ne!(a.offset(), b.offset());
+        shmem.shfree(a).unwrap();
+        shmem.shfree(b).unwrap();
+    });
+}

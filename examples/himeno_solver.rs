@@ -1,0 +1,33 @@
+//! The Himeno pressure solver (the paper's §V-D workload): 19-point Jacobi
+//! stencil with matrix-oriented strided halo exchange, on the two runtime
+//! backends the paper compares on Stampede.
+//!
+//! Run with: `cargo run --release --example himeno_solver`
+
+use caf::{Backend, StridedAlgorithm};
+use caf_apps::himeno::{run_himeno, serial_gosa, HimenoConfig};
+use pgas_machine::Platform;
+
+fn main() {
+    let cfg = HimenoConfig::size_xs();
+    let images = 8;
+    println!(
+        "Himeno XS ({}x{}x{}), {} iterations, {} images on simulated Stampede\n",
+        cfg.imax, cfg.jmax, cfg.kmax, cfg.iters, images
+    );
+
+    let serial = *serial_gosa(&cfg).last().unwrap();
+    println!("{:<42} {:>10} {:>14} {:>12}", "configuration", "MFLOPS", "residual", "vs serial");
+    for (label, backend, strided) in [
+        ("UHCAF over MVAPICH2-X SHMEM (naive halo)", Backend::Shmem, Some(StridedAlgorithm::Naive)),
+        ("UHCAF over MVAPICH2-X SHMEM (2dim halo)", Backend::Shmem, Some(StridedAlgorithm::TwoDim)),
+        ("UHCAF over GASNet", Backend::Gasnet, None),
+        ("UHCAF over GASNet with AM packing", Backend::Gasnet, Some(StridedAlgorithm::AmPacked)),
+    ] {
+        let r = run_himeno(Platform::Stampede, backend, strided, images, cfg);
+        let rel = (r.gosa - serial).abs() / serial;
+        println!("{label:<42} {:>10.0} {:>14.6e} {:>11.1e}", r.mflops, r.gosa, rel);
+        assert!(rel < 1e-5, "parallel residual must match the sequential solver");
+    }
+    println!("\n(residuals match the sequential solver; MFLOPS are virtual-time)");
+}

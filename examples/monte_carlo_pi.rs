@@ -1,0 +1,38 @@
+//! Monte-Carlo estimation of pi: embarrassingly parallel sampling with a
+//! single `co_sum` reduction at the end — the smallest possible "real" CAF
+//! program, and a check that collectives compose with per-image RNG streams.
+//!
+//! Run with: `cargo run --release --example monte_carlo_pi`
+
+use caf::{run_caf, Backend, CafConfig};
+use pgas_machine::Platform;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let samples_per_image = 200_000u64;
+    let out = run_caf(
+        Platform::Stampede.config(2, 8).with_heap_bytes(1 << 17),
+        CafConfig::new(Backend::Shmem, Platform::Stampede).with_nonsym_bytes(4096),
+        move |img| {
+            let mut rng = SmallRng::seed_from_u64(0x9e3779b97f4a7c15u64 ^ img.this_image() as u64);
+            let mut hits = 0u64;
+            for _ in 0..samples_per_image {
+                let x: f64 = rng.gen();
+                let y: f64 = rng.gen();
+                if x * x + y * y <= 1.0 {
+                    hits += 1;
+                }
+            }
+            img.shmem().ctx().pe().compute_flops(samples_per_image as f64 * 4.0);
+            let mut totals = [hits as i64, samples_per_image as i64];
+            img.co_sum(&mut totals, None);
+            4.0 * totals[0] as f64 / totals[1] as f64
+        },
+    );
+    let pi = out.results[0];
+    println!("pi ≈ {pi:.5} from {} samples on {} images", 200_000 * 16, 16);
+    println!("virtual time: {:.3} ms", out.makespan_ns() as f64 / 1e6);
+    assert!((pi - std::f64::consts::PI).abs() < 0.01);
+    assert!(out.results.iter().all(|&r| r == pi), "co_sum gave every image the same estimate");
+}

@@ -1,0 +1,57 @@
+//! Quickstart: the paper's Figure 1 program, in this library's API.
+//!
+//! ```fortran
+//! integer :: coarray_x(4)[*]
+//! integer, allocatable :: coarray_y(:)[:]
+//! allocate(coarray_y(4)[*])
+//! coarray_x = this_image();  coarray_y = 0
+//! coarray_y(2) = coarray_x(3)[4]
+//! coarray_x(1)[4] = coarray_y(2)
+//! sync all
+//! ```
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use caf::{run_caf, Backend, CafConfig};
+use pgas_machine::{generic_smp, Platform};
+
+fn main() {
+    let machine = generic_smp(4);
+    let config = CafConfig::new(Backend::Shmem, Platform::GenericSmp);
+
+    let out = run_caf(machine, config, |img| {
+        // integer :: coarray_x(4)[*]   (a "save" coarray)
+        let x = img.coarray::<i32>(&[4]).unwrap();
+        // integer, allocatable :: coarray_y(:)[:]; allocate(coarray_y(4)[*])
+        let y = img.coarray::<i32>(&[4]).unwrap();
+
+        let me = img.this_image() as i32;
+        x.write_local(img, &[me; 4]); // coarray_x = this_image()
+        y.write_local(img, &[0; 4]); // coarray_y = 0
+        img.sync_all();
+
+        // coarray_y(2) = coarray_x(3)[4]  — read image 4's x(3)
+        let v = x.get_elem(img, 4, &[2]);
+        y.set_local_elem(img, &[1], v);
+
+        // coarray_x(1)[4] = coarray_y(2)  — write image 4's x(1)
+        x.put_elem(img, 4, &[0], y.local_elem(img, &[1]));
+
+        img.sync_all();
+        (img.this_image(), y.local_elem(img, &[1]), x.read_local(img))
+    });
+
+    println!("image | y(2) | local x after the exchange");
+    for (image, y2, xs) in &out.results {
+        println!("{image:>5} | {y2:>4} | {xs:?}");
+    }
+    println!();
+    println!(
+        "virtual makespan: {:.2} us on simulated '{}' ({} puts, {} gets)",
+        out.makespan_ns() as f64 / 1000.0,
+        out.machine,
+        out.stats.puts,
+        out.stats.gets
+    );
+    assert!(out.results.iter().all(|(_, y2, _)| *y2 == 4), "everyone read image 4's value");
+}

@@ -1,0 +1,44 @@
+//! Execution tracing: run a small CAF program with the machine's
+//! virtual-time tracer enabled and export a Chrome trace (`chrome://tracing`
+//! or https://ui.perfetto.dev) showing every put, get, atomic, wait and
+//! barrier of every image on its virtual timeline.
+//!
+//! Run with: `cargo run --release --example trace_timeline`
+//! Then load `results/trace_timeline.json` in Perfetto.
+
+use caf::{run_caf, Backend, CafConfig};
+use pgas_machine::trace::chrome_trace_json;
+use pgas_machine::Platform;
+
+fn main() {
+    let cores_per_node = 2;
+    let mcfg = Platform::CrayXc30.config(2, cores_per_node).with_heap_bytes(1 << 17).with_trace(true);
+    let out = run_caf(mcfg, CafConfig::new(Backend::Shmem, Platform::CrayXc30), |img| {
+        let a = img.coarray::<f64>(&[256]).unwrap();
+        let lck = img.lock_var();
+        let next = img.this_image() % img.num_images() + 1;
+        a.put_to(img, next, &vec![1.0; 256]);
+        img.sync_all();
+        let _ = a.get_from(img, next);
+        img.lock(&lck, 1);
+        img.unlock(&lck, 1);
+        let mut v = [img.this_image() as f64];
+        img.co_sum(&mut v, None);
+        img.sync_all();
+    });
+
+    println!("captured {} spans over {} ns of virtual time", out.trace.len(), out.makespan_ns());
+    let mut by_kind = std::collections::BTreeMap::new();
+    for s in &out.trace {
+        *by_kind.entry(s.kind.label()).or_insert(0usize) += 1;
+    }
+    println!("\nspans by kind:");
+    for (k, n) in &by_kind {
+        println!("  {k:<12} {n}");
+    }
+    let json = chrome_trace_json(&out.trace, cores_per_node);
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/trace_timeline.json", &json).expect("write trace");
+    println!("\nwrote results/trace_timeline.json — load it in chrome://tracing or Perfetto");
+    assert!(by_kind.contains_key("put") && by_kind.contains_key("barrier"));
+}

@@ -1,0 +1,148 @@
+//! Failure-injection tests for §IV-B of the paper: CAF requires program-order
+//! completion of remote accesses; OpenSHMEM does not. The runtime must insert
+//! `shmem_quiet` — these tests prove both directions:
+//! with quiet insertion the stack is hazard-free, and with it disabled the
+//! conduit's ordering checker catches the violation.
+
+use caf::{run_caf, run_caf_result, Backend, CafConfig};
+use pgas_machine::Platform;
+
+fn base_cfg() -> CafConfig {
+    CafConfig::new(Backend::Shmem, Platform::Stampede)
+}
+
+fn machine() -> pgas_machine::MachineConfig {
+    Platform::Stampede.config(2, 1).with_heap_bytes(1 << 17)
+}
+
+/// The paper's Figure 4 sequence: `coarray_a(:)[2] = coarray_b(:)` followed
+/// by `coarray_c(:) = coarray_a(:)[2]` — erroneous in raw OpenSHMEM without
+/// a quiet between the transfers.
+fn figure4_sequence(img: &caf::Image<'_>) -> Vec<i64> {
+    let a = img.coarray::<i64>(&[4]).unwrap();
+    if img.this_image() == 1 {
+        a.put_to(img, 2, &[11, 22, 33, 44]);
+        a.get_from(img, 2)
+    } else {
+        Vec::new()
+    }
+}
+
+#[test]
+fn quiet_insertion_makes_figure4_safe() {
+    let out = run_caf(machine(), base_cfg().with_strict_ordering(true), |img| {
+        let r = figure4_sequence(img);
+        img.sync_all();
+        r
+    });
+    assert_eq!(out.results[0], vec![11, 22, 33, 44]);
+    assert_eq!(out.stats.hazards, 0);
+}
+
+#[test]
+fn disabling_quiet_is_detected_as_a_hazard() {
+    let err = run_caf_result(
+        machine(),
+        base_cfg().with_insert_quiet(false).with_strict_ordering(true),
+        |img| {
+            let r = figure4_sequence(img);
+            img.sync_all();
+            r
+        },
+    )
+    .unwrap_err();
+    assert!(err.message.contains("ordering hazard"), "got: {}", err.message);
+}
+
+#[test]
+fn disabling_quiet_without_strict_mode_counts_hazards() {
+    let out = run_caf(machine(), base_cfg().with_insert_quiet(false), |img| {
+        figure4_sequence(img);
+        img.sync_all();
+    });
+    assert!(out.stats.hazards >= 1, "the checker must flag the RAW conflict");
+}
+
+#[test]
+fn overlapping_puts_also_hazard_without_quiet() {
+    let out = run_caf(machine(), base_cfg().with_insert_quiet(false), |img| {
+        let a = img.coarray::<i64>(&[4]).unwrap();
+        if img.this_image() == 1 {
+            a.put_to(img, 2, &[1, 1, 1, 1]);
+            a.put_to(img, 2, &[2, 2, 2, 2]); // WAW to the same location
+        }
+        img.sync_all();
+    });
+    assert!(out.stats.hazards >= 1);
+}
+
+#[test]
+fn every_synchronization_primitive_orders_memory() {
+    // After sync_all / sync_images / events / locks, a reader must observe
+    // the writer's data: run each primitive in a loop and verify.
+    for mode in ["sync_all", "sync_images", "event", "lock"] {
+        let out = run_caf(machine(), base_cfg().with_strict_ordering(true), move |img| {
+            let c = img.coarray::<i64>(&[1]).unwrap();
+            let ev = img.event_var();
+            let lck = img.lock_var();
+            img.sync_all();
+            let mut seen = Vec::new();
+            for round in 0..5i64 {
+                match mode {
+                    "sync_all" => {
+                        if img.this_image() == 1 {
+                            c.put_to(img, 2, &[round]);
+                        }
+                        img.sync_all();
+                        if img.this_image() == 2 {
+                            seen.push(c.read_local(img)[0]);
+                        }
+                        img.sync_all();
+                    }
+                    "sync_images" => {
+                        let partner = if img.this_image() == 1 { 2 } else { 1 };
+                        if img.this_image() == 1 {
+                            c.put_to(img, 2, &[round]);
+                        }
+                        img.sync_images(&[partner]);
+                        if img.this_image() == 2 {
+                            seen.push(c.read_local(img)[0]);
+                        }
+                        img.sync_images(&[partner]);
+                    }
+                    "event" => {
+                        if img.this_image() == 1 {
+                            c.put_to(img, 2, &[round]);
+                            img.event_post(&ev, 2);
+                            img.event_wait(&ev, 1); // ack from 2
+                        } else {
+                            img.event_wait(&ev, 1);
+                            seen.push(c.read_local(img)[0]);
+                            img.event_post(&ev, 1);
+                        }
+                    }
+                    "lock" => {
+                        // Image 1 writes under the lock; image 2 polls under
+                        // the lock until it sees the round value.
+                        if img.this_image() == 1 {
+                            img.lock(&lck, 1);
+                            c.put_to(img, 2, &[round]);
+                            img.unlock(&lck, 1);
+                            img.sync_all(); // publish
+                        } else {
+                            img.sync_all(); // wait for the write
+                            img.lock(&lck, 1);
+                            seen.push(c.read_local(img)[0]);
+                            img.unlock(&lck, 1);
+                        }
+                        img.sync_all(); // round complete
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            seen
+        });
+        assert_eq!(out.results[1], vec![0, 1, 2, 3, 4], "mode {mode}");
+        assert_eq!(out.stats.hazards, 0, "mode {mode}");
+    }
+}
