@@ -56,70 +56,71 @@ pub fn parallel_heat(
     let mcfg = platform
         .config(nodes, cores)
         .with_heap_bytes(((cfg.cells + local) * 16 + (1 << 16)).next_power_of_two());
-    let out = run_caf(mcfg, CafConfig::new(backend, platform).with_nonsym_bytes(4096), move |img| {
-        let me = img.this_image();
-        let n = img.num_images();
-        // Local field with ghost cells at 0 and local+1.
-        let field = img.coarray::<f64>(&[local + 2]).unwrap();
-        let mut t = vec![0.0f64; local + 2];
-        if me == 1 {
-            t[0] = cfg.left_t;
-        }
-        if me == n {
-            t[local + 1] = cfg.right_t;
-        }
-        field.write_local(img, &t);
-        img.sync_all();
-        let left = (me > 1).then(|| me - 1);
-        let right = (me < n).then(|| me + 1);
-        let mut neighbours: Vec<usize> = left.into_iter().chain(right).collect();
-        neighbours.sort_unstable();
-        for _ in 0..cfg.steps {
-            // Send boundary cells into neighbour ghosts.
-            if let Some(l) = left {
-                field.put_elem(img, l, &[local + 1], t[1]);
+    let out =
+        run_caf(mcfg, CafConfig::new(backend, platform).with_nonsym_bytes(4096), move |img| {
+            let me = img.this_image();
+            let n = img.num_images();
+            // Local field with ghost cells at 0 and local+1.
+            let field = img.coarray::<f64>(&[local + 2]).unwrap();
+            let mut t = vec![0.0f64; local + 2];
+            if me == 1 {
+                t[0] = cfg.left_t;
             }
-            if let Some(r) = right {
-                field.put_elem(img, r, &[0], t[local]);
+            if me == n {
+                t[local + 1] = cfg.right_t;
             }
-            if neighbours.is_empty() {
-                // Single image: nothing to exchange.
-            } else {
-                img.sync_images(&neighbours);
-            }
-            let f = field.read_local(img);
-            if left.is_some() {
-                t[0] = f[0];
-            }
-            if right.is_some() {
-                t[local + 1] = f[local + 1];
-            }
-            let mut next = t.clone();
-            for i in 1..=local {
-                next[i] = t[i] + cfg.alpha * (t[i - 1] - 2.0 * t[i] + t[i + 1]);
-            }
-            t.copy_from_slice(&next);
             field.write_local(img, &t);
-            img.shmem().ctx().pe().compute_flops(local as f64 * 4.0);
-            if !neighbours.is_empty() {
-                img.sync_images(&neighbours);
+            img.sync_all();
+            let left = (me > 1).then(|| me - 1);
+            let right = (me < n).then(|| me + 1);
+            let mut neighbours: Vec<usize> = left.into_iter().chain(right).collect();
+            neighbours.sort_unstable();
+            for _ in 0..cfg.steps {
+                // Send boundary cells into neighbour ghosts.
+                if let Some(l) = left {
+                    field.put_elem(img, l, &[local + 1], t[1]);
+                }
+                if let Some(r) = right {
+                    field.put_elem(img, r, &[0], t[local]);
+                }
+                if neighbours.is_empty() {
+                    // Single image: nothing to exchange.
+                } else {
+                    img.sync_images(&neighbours);
+                }
+                let f = field.read_local(img);
+                if left.is_some() {
+                    t[0] = f[0];
+                }
+                if right.is_some() {
+                    t[local + 1] = f[local + 1];
+                }
+                let mut next = t.clone();
+                for i in 1..=local {
+                    next[i] = t[i] + cfg.alpha * (t[i - 1] - 2.0 * t[i] + t[i + 1]);
+                }
+                t.copy_from_slice(&next);
+                field.write_local(img, &t);
+                img.shmem().ctx().pe().compute_flops(local as f64 * 4.0);
+                if !neighbours.is_empty() {
+                    img.sync_images(&neighbours);
+                }
             }
-        }
-        // Assemble: everyone contributes its owned cells to image 1.
-        let global = img.coarray::<f64>(&[cfg.cells]).unwrap();
-        let mut own = vec![0.0f64; local];
-        own.copy_from_slice(&t[1..=local]);
-        let sec = caf::Section::new(vec![caf::DimRange {
-            start: (me - 1) * local,
-            count: local,
-            step: 1,
-        }]);
-        global.put_section(img, 1, &sec, &own);
-        img.sync_all();
-        let mut result = global.get_from(img, 1);
-        img.co_broadcast(&mut result, 1);
-        result
-    });
+            // Assemble: everyone contributes its owned cells to image 1.
+            let global = img.coarray::<f64>(&[cfg.cells]).unwrap();
+            let mut own = vec![0.0f64; local];
+            own.copy_from_slice(&t[1..=local]);
+            let sec = caf::Section::new(vec![caf::DimRange {
+                start: (me - 1) * local,
+                count: local,
+                step: 1,
+            }]);
+            global.put_section(img, 1, &sec, &own);
+            img.sync_all();
+            let mut result = global.get_from(img, 1);
+            img.co_broadcast(&mut result, 1);
+            result
+        });
     out.results.into_iter().next().unwrap()
 }
 

@@ -312,22 +312,12 @@ mod tests {
         // matrix-oriented halo on MVAPICH2-X (iput loops putmem per element,
         // naive sends one putmem per contiguous pencil).
         let cfg = HimenoConfig::size_xs();
-        let naive = run_himeno(
-            Platform::Stampede,
-            Backend::Shmem,
-            Some(StridedAlgorithm::Naive),
-            8,
-            cfg,
-        )
-        .mflops;
-        let twodim = run_himeno(
-            Platform::Stampede,
-            Backend::Shmem,
-            Some(StridedAlgorithm::TwoDim),
-            8,
-            cfg,
-        )
-        .mflops;
+        let naive =
+            run_himeno(Platform::Stampede, Backend::Shmem, Some(StridedAlgorithm::Naive), 8, cfg)
+                .mflops;
+        let twodim =
+            run_himeno(Platform::Stampede, Backend::Shmem, Some(StridedAlgorithm::TwoDim), 8, cfg)
+                .mflops;
         assert!(naive >= twodim * 0.99, "naive {naive:.0} vs 2dim {twodim:.0}");
     }
 

@@ -133,7 +133,8 @@ mod tests {
 
     #[test]
     fn distribution_is_skewed_as_designed() {
-        let bins = serial_histogram(4, &HistogramConfig { bins: 8, samples_per_image: 500, seed: 3 });
+        let bins =
+            serial_histogram(4, &HistogramConfig { bins: 8, samples_per_image: 500, seed: 3 });
         assert!(bins[0] > bins[7], "low bins are hotter: {bins:?}");
     }
 }

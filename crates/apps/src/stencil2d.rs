@@ -33,8 +33,8 @@ pub fn serial_stencil(cfg: &StencilConfig) -> Vec<f64> {
     for _ in 0..cfg.steps {
         for j in 1..=n {
             for i in 1..=n {
-                next[idx(i, j)] =
-                    0.25 * (u[idx(i - 1, j)] + u[idx(i + 1, j)] + u[idx(i, j - 1)] + u[idx(i, j + 1)]);
+                next[idx(i, j)] = 0.25
+                    * (u[idx(i - 1, j)] + u[idx(i + 1, j)] + u[idx(i, j - 1)] + u[idx(i, j + 1)]);
             }
         }
         std::mem::swap(&mut u, &mut next);
@@ -111,9 +111,8 @@ pub fn parallel_stencil(
                     DimRange { start: 1, count: lj, step: 1 },
                 ])
             };
-            let pack_col = |u: &[f64], i: usize| -> Vec<f64> {
-                (1..=lj).map(|j| u[idx(i, j)]).collect()
-            };
+            let pack_col =
+                |u: &[f64], i: usize| -> Vec<f64> { (1..=lj).map(|j| u[idx(i, j)]).collect() };
             if let Some(l) = left {
                 // Neighbour has the same block shape only if the grid splits
                 // evenly; we require that below.
@@ -129,9 +128,8 @@ pub fn parallel_stencil(
                     DimRange { start: j, count: 1, step: 1 },
                 ])
             };
-            let pack_row = |u: &[f64], j: usize| -> Vec<f64> {
-                (1..=li).map(|i| u[idx(i, j)]).collect()
-            };
+            let pack_row =
+                |u: &[f64], j: usize| -> Vec<f64> { (1..=li).map(|i| u[idx(i, j)]).collect() };
             if let Some(d) = down {
                 block.put_section(img, d, &row(wj - 1), &pack_row(&u, 1));
             }
@@ -160,8 +158,11 @@ pub fn parallel_stencil(
             // Jacobi sweep.
             for j in 1..=lj {
                 for i in 1..=li {
-                    next[idx(i, j)] =
-                        0.25 * (u[idx(i - 1, j)] + u[idx(i + 1, j)] + u[idx(i, j - 1)] + u[idx(i, j + 1)]);
+                    next[idx(i, j)] = 0.25
+                        * (u[idx(i - 1, j)]
+                            + u[idx(i + 1, j)]
+                            + u[idx(i, j - 1)]
+                            + u[idx(i, j + 1)]);
                 }
             }
             std::mem::swap(&mut u, &mut next);
@@ -229,8 +230,7 @@ mod tests {
         let serial = serial_stencil(&cfg);
         for algo in [StridedAlgorithm::Naive, StridedAlgorithm::TwoDim, StridedAlgorithm::Adaptive]
         {
-            let got =
-                parallel_stencil(Platform::CrayXc30, Backend::Shmem, Some(algo), 4, cfg);
+            let got = parallel_stencil(Platform::CrayXc30, Backend::Shmem, Some(algo), 4, cfg);
             assert_eq!(got, serial, "{algo:?}");
         }
     }

@@ -44,59 +44,60 @@ pub fn parallel_transpose(
     let nodes = images.div_ceil(cores);
     let heap = (2 * n * cols * 8 + n * n * 8 + (1 << 17)).next_power_of_two();
     let mcfg = platform.config(nodes, cores).with_heap_bytes(heap);
-    let out = run_caf(mcfg, CafConfig::new(backend, platform).with_nonsym_bytes(4096), move |img| {
-        let me = img.this_image();
-        // My column block of A (n rows x cols columns) and of A^T.
-        let a_block = img.coarray::<f64>(&[n, cols]).unwrap();
-        let t_block = img.coarray::<f64>(&[n, cols]).unwrap();
-        let full = test_matrix(n);
-        let my_cols_start = (me - 1) * cols;
-        let mut mine = Vec::with_capacity(n * cols);
-        for j in 0..cols {
-            for i in 0..n {
-                mine.push(full[i + n * (my_cols_start + j)]);
-            }
-        }
-        a_block.write_local(img, &mine);
-        img.sync_all();
-
-        // For every target image q, the tile A[q's rows, my cols] becomes
-        // A^T[my rows' columns...]: transpose the tile locally, then land it
-        // with a strided section put into q's t_block.
-        for q in 1..=img.num_images() {
-            let q_rows_start = (q - 1) * cols; // rows of A that become q's columns of A^T
-            // Tile is cols x cols: element (r, c) of the tile is
-            // A[q_rows_start + r, my col c].
-            let mut tile_t = vec![0.0f64; cols * cols];
-            for c in 0..cols {
-                for r in 0..cols {
-                    // transposed: tile_t[c, r] = tile[r, c]
-                    tile_t[c + cols * r] = mine[(q_rows_start + r) + n * c];
+    let out =
+        run_caf(mcfg, CafConfig::new(backend, platform).with_nonsym_bytes(4096), move |img| {
+            let me = img.this_image();
+            // My column block of A (n rows x cols columns) and of A^T.
+            let a_block = img.coarray::<f64>(&[n, cols]).unwrap();
+            let t_block = img.coarray::<f64>(&[n, cols]).unwrap();
+            let full = test_matrix(n);
+            let my_cols_start = (me - 1) * cols;
+            let mut mine = Vec::with_capacity(n * cols);
+            for j in 0..cols {
+                for i in 0..n {
+                    mine.push(full[i + n * (my_cols_start + j)]);
                 }
             }
-            // Destination in q's t_block: rows my_cols_start.., columns 0..cols
-            // (t_block column j on q is A^T column q_rows_start + j).
-            let sec = Section::new(vec![
-                DimRange { start: my_cols_start, count: cols, step: 1 },
-                DimRange { start: 0, count: cols, step: 1 },
-            ]);
-            t_block.put_section(img, q, &sec, &tile_t);
-        }
-        img.sync_all();
+            a_block.write_local(img, &mine);
+            img.sync_all();
 
-        // Assemble the global transpose on image 1 and broadcast for checking.
-        let global = img.coarray::<f64>(&[n, n]).unwrap();
-        let sec = Section::new(vec![
-            DimRange { start: 0, count: n, step: 1 },
-            DimRange { start: my_cols_start, count: cols, step: 1 },
-        ]);
-        let t_local = t_block.read_local(img);
-        global.put_section(img, 1, &sec, &t_local);
-        img.sync_all();
-        let mut result = global.get_from(img, 1);
-        img.co_broadcast(&mut result, 1);
-        result
-    });
+            // For every target image q, the tile A[q's rows, my cols] becomes
+            // A^T[my rows' columns...]: transpose the tile locally, then land it
+            // with a strided section put into q's t_block.
+            for q in 1..=img.num_images() {
+                let q_rows_start = (q - 1) * cols; // rows of A that become q's columns of A^T
+                                                   // Tile is cols x cols: element (r, c) of the tile is
+                                                   // A[q_rows_start + r, my col c].
+                let mut tile_t = vec![0.0f64; cols * cols];
+                for c in 0..cols {
+                    for r in 0..cols {
+                        // transposed: tile_t[c, r] = tile[r, c]
+                        tile_t[c + cols * r] = mine[(q_rows_start + r) + n * c];
+                    }
+                }
+                // Destination in q's t_block: rows my_cols_start.., columns 0..cols
+                // (t_block column j on q is A^T column q_rows_start + j).
+                let sec = Section::new(vec![
+                    DimRange { start: my_cols_start, count: cols, step: 1 },
+                    DimRange { start: 0, count: cols, step: 1 },
+                ]);
+                t_block.put_section(img, q, &sec, &tile_t);
+            }
+            img.sync_all();
+
+            // Assemble the global transpose on image 1 and broadcast for checking.
+            let global = img.coarray::<f64>(&[n, n]).unwrap();
+            let sec = Section::new(vec![
+                DimRange { start: 0, count: n, step: 1 },
+                DimRange { start: my_cols_start, count: cols, step: 1 },
+            ]);
+            let t_local = t_block.read_local(img);
+            global.put_section(img, 1, &sec, &t_local);
+            img.sync_all();
+            let mut result = global.get_from(img, 1);
+            img.co_broadcast(&mut result, 1);
+            result
+        });
     out.results.into_iter().next().unwrap()
 }
 
@@ -136,11 +137,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "divide evenly")]
     fn uneven_distribution_rejected() {
-        parallel_transpose(
-            Platform::GenericSmp,
-            Backend::Shmem,
-            5,
-            TransposeConfig { n: 12 },
-        );
+        parallel_transpose(Platform::GenericSmp, Backend::Shmem, 5, TransposeConfig { n: 12 });
     }
 }

@@ -1,51 +1,79 @@
-//! Criterion wall-clock microbenchmarks for the simulator's own hot paths
+//! Wall-clock microbenchmarks for the simulator's own hot paths
 //! (everything else in this workspace reports *virtual* time; these are the
 //! real-time costs that bound how fast reproductions run).
+//!
+//! A self-contained harness (no external bench framework): each benchmark
+//! is warmed up, then timed over enough iterations to fill a fixed
+//! measurement budget, reporting ns/iter and throughput where applicable.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use openshmem::SymAlloc;
-use pgas_machine::heap::Heap;
+use std::time::{Duration, Instant};
 
-fn heap_copy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("heap_copy");
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(200);
+
+/// Time `f` (called once per iteration) and report its mean cost.
+fn bench(name: &str, bytes_per_iter: Option<u64>, mut f: impl FnMut()) {
+    // Warm up and estimate the per-iteration cost.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < WARMUP {
+        f();
+        warm_iters += 1;
+    }
+    let est = WARMUP.as_nanos() as u64 / warm_iters.max(1);
+    let iters = (MEASURE.as_nanos() as u64 / est.max(1)).clamp(10, 10_000_000);
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    match bytes_per_iter {
+        Some(b) => {
+            let gib_s = b as f64 / ns_per_iter * 1e9 / (1u64 << 30) as f64;
+            println!("{name:<28} {ns_per_iter:>12.1} ns/iter {gib_s:>10.2} GiB/s ({iters} iters)");
+        }
+        None => {
+            println!("{name:<28} {ns_per_iter:>12.1} ns/iter {:>16} ({iters} iters)", "");
+        }
+    }
+}
+
+fn heap_copy() {
+    use pgas_machine::heap::Heap;
     for size in [64usize, 4096, 1 << 20] {
         let heap = Heap::new(size + 64);
         let src = vec![0xA5u8; size];
         let mut dst = vec![0u8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("write_{size}"), |b| {
-            b.iter(|| heap.write_bytes(8, std::hint::black_box(&src)))
+        bench(&format!("heap_write_{size}"), Some(size as u64), || {
+            heap.write_bytes(8, std::hint::black_box(&src))
         });
-        g.bench_function(format!("read_{size}"), |b| {
-            b.iter(|| heap.read_bytes(8, std::hint::black_box(&mut dst)))
+        bench(&format!("heap_read_{size}"), Some(size as u64), || {
+            heap.read_bytes(8, std::hint::black_box(&mut dst))
         });
     }
-    g.finish();
 }
 
-fn allocator(c: &mut Criterion) {
-    c.bench_function("sym_alloc_churn", |b| {
-        b.iter_batched(
-            || SymAlloc::new(1 << 20),
-            |mut a| {
-                let mut held = Vec::new();
-                for i in 1..=100 {
-                    held.push(a.alloc((i % 13 + 1) * 32).unwrap());
-                    if i % 3 == 0 {
-                        let victim = held.remove(held.len() / 2);
-                        a.free(victim).unwrap();
-                    }
-                }
-                for off in held {
-                    a.free(off).unwrap();
-                }
-            },
-            BatchSize::SmallInput,
-        )
+fn allocator() {
+    use openshmem::SymAlloc;
+    bench("sym_alloc_churn", None, || {
+        let mut a = SymAlloc::new(1 << 20);
+        let mut held = Vec::new();
+        for i in 1..=100 {
+            held.push(a.alloc((i % 13 + 1) * 32).unwrap());
+            if i % 3 == 0 {
+                let victim = held.remove(held.len() / 2);
+                a.free(victim).unwrap();
+            }
+        }
+        for off in held {
+            a.free(off).unwrap();
+        }
     });
 }
 
-fn section_enumeration(c: &mut Criterion) {
+fn section_enumeration() {
     use caf::{DimRange, Section};
     let sec = Section::new(vec![
         DimRange { start: 0, count: 50, step: 2 },
@@ -53,29 +81,31 @@ fn section_enumeration(c: &mut Criterion) {
         DimRange { start: 0, count: 25, step: 4 },
     ]);
     let shape = [100usize, 100, 100];
-    c.bench_function("section_elements_50k", |b| {
-        b.iter(|| std::hint::black_box(sec.elements(&shape)).len())
+    bench("section_elements_50k", None, || {
+        std::hint::black_box(sec.elements(&shape));
     });
-    c.bench_function("section_pencils_1k", |b| {
-        b.iter(|| std::hint::black_box(sec.pencils(&shape, 0)).len())
+    bench("section_pencils_1k", None, || {
+        std::hint::black_box(sec.pencils(&shape, 0));
     });
 }
 
-fn tiny_simulation(c: &mut Criterion) {
+fn tiny_simulation() {
     use caf::{run_caf, Backend, CafConfig};
     use pgas_machine::{generic_smp, Platform};
-    c.bench_function("spawn_4_image_job", |b| {
-        b.iter(|| {
-            run_caf(
-                generic_smp(4).with_heap_bytes(1 << 16),
-                CafConfig::new(Backend::Shmem, Platform::GenericSmp).with_nonsym_bytes(1024),
-                |img| img.this_image(),
-            )
-            .results
-            .len()
-        })
+    bench("spawn_4_image_job", None, || {
+        let out = run_caf(
+            generic_smp(4).with_heap_bytes(1 << 16),
+            CafConfig::new(Backend::Shmem, Platform::GenericSmp).with_nonsym_bytes(1024),
+            |img| img.this_image(),
+        );
+        assert_eq!(out.results.len(), 4);
     });
 }
 
-criterion_group!(benches, heap_copy, allocator, section_enumeration, tiny_simulation);
-criterion_main!(benches);
+fn main() {
+    println!("{:<28} {:>12} {:>16}", "benchmark", "mean", "throughput");
+    heap_copy();
+    allocator();
+    section_enumeration();
+    tiny_simulation();
+}

@@ -41,10 +41,9 @@ pub fn fig2_put_latency(quick: bool) -> Figure {
     let iters = if quick { 3 } else { 15 };
     for platform in [Platform::Stampede, Platform::Titan] {
         for (pairs, tag) in [(1usize, "1 pair"), (16, "16 pairs")] {
-            for (range, sizes) in [
-                ("small", thin(small_sizes(), quick)),
-                ("large", thin(large_sizes(), quick)),
-            ] {
+            for (range, sizes) in
+                [("small", thin(small_sizes(), quick)), ("large", thin(large_sizes(), quick))]
+            {
                 let mut panel = Panel::new(
                     format!("{}: put {tag}, {range} sizes", platform.name()),
                     "bytes",
@@ -114,11 +113,8 @@ fn caf_put_figure(fig_id: &str, platform: Platform, quick: bool) -> Figure {
     let mut sizes = thin(small_sizes(), quick);
     sizes.extend(thin(large_sizes(), true));
     for (pairs, tag) in [(1usize, "1 pair"), (16, "16 pairs")] {
-        let mut panel = Panel::new(
-            format!("contiguous put: {tag}"),
-            "bytes",
-            "bandwidth (MB/s per pair)",
-        );
+        let mut panel =
+            Panel::new(format!("contiguous put: {tag}"), "bytes", "bandwidth (MB/s per pair)");
         for &backend in &backends {
             let mut b = CafPairBench::new(platform, backend, pairs);
             b.iters = iters;
@@ -228,8 +224,10 @@ pub fn fig10_himeno(quick: bool, max_images: usize) -> Figure {
     let mut fig = Figure::new("fig10_himeno", "CAF Himeno benchmark performance on Stampede");
     let mut panel = Panel::new("Himeno Jacobi solver", "images", "MFLOPS");
     let cfg = if quick { HimenoConfig::size_xs() } else { HimenoConfig::size_s() };
-    let sweep: Vec<usize> =
-        [4usize, 8, 16, 32, 63, 127].into_iter().filter(|&n| n <= max_images.min(cfg.jmax - 2)).collect();
+    let sweep: Vec<usize> = [4usize, 8, 16, 32, 63, 127]
+        .into_iter()
+        .filter(|&n| n <= max_images.min(cfg.jmax - 2))
+        .collect();
     let configs: [(&str, Backend, Option<StridedAlgorithm>); 3] = [
         ("UHCAF-MVAPICH2-X-SHMEM", Backend::Shmem, Some(StridedAlgorithm::Naive)),
         ("UHCAF-GASNet", Backend::Gasnet, None),

@@ -15,7 +15,10 @@ pub fn render_table1() -> String {
         ("caf (this repo)", "Rust library", "openshmem crate over pgas-conduit profiles"),
     ];
     let mut out = String::new();
-    out.push_str(&format!("{:<18} {:<14} {}\n", "Implementation", "Compiler", "Communication Layer"));
+    out.push_str(&format!(
+        "{:<18} {:<14} {}\n",
+        "Implementation", "Compiler", "Communication Layer"
+    ));
     out.push_str(&"-".repeat(80));
     out.push('\n');
     for (a, b, c) in rows {

@@ -125,15 +125,14 @@ impl<'m> CostModel<'m> {
         }
         let flow_start = (issue_done + self.rendezvous_ns(bytes)).max(floor);
         let occ = self.occupancy_ns(bytes).round() as u64;
-        let src_res = self.machine.nic(self.machine.node_of(src)).reserve_tx(flow_start, occ, bytes);
-        let dst_res = self
-            .machine
-            .nic(self.machine.node_of(dst))
-            .reserve_rx(src_res.begin + self.latency(), occ, bytes);
-        PutTiming {
-            local_complete: src_res.end.max(issue_done),
-            remote_complete: dst_res.end,
-        }
+        let src_res =
+            self.machine.nic(self.machine.node_of(src)).reserve_tx(flow_start, occ, bytes);
+        let dst_res = self.machine.nic(self.machine.node_of(dst)).reserve_rx(
+            src_res.begin + self.latency(),
+            occ,
+            bytes,
+        );
+        PutTiming { local_complete: src_res.end.max(issue_done), remote_complete: dst_res.end }
     }
 
     /// Completion time of a blocking get of `bytes` of `dst`'s memory into
@@ -154,7 +153,8 @@ impl<'m> CostModel<'m> {
         // ...target NIC streams the payload back...
         let data = self.machine.nic(dst_node).reserve_tx(req.end + self.latency(), data_occ, bytes);
         // ...delivered through the source NIC.
-        let recv = self.machine.nic(src_node).reserve_rx(data.begin + self.latency(), data_occ, bytes);
+        let recv =
+            self.machine.nic(src_node).reserve_rx(data.begin + self.latency(), data_occ, bytes);
         recv.end
     }
 
@@ -174,10 +174,11 @@ impl<'m> CostModel<'m> {
                 let occ = (self.control_occupancy_ns() + extra_ns).round() as u64;
                 let out =
                     self.machine.nic(self.machine.node_of(src)).reserve_tx(issue_done, occ, 8);
-                let at_target = self
-                    .machine
-                    .nic(self.machine.node_of(dst))
-                    .reserve_rx(out.begin + self.latency(), occ, 8);
+                let at_target = self.machine.nic(self.machine.node_of(dst)).reserve_rx(
+                    out.begin + self.latency(),
+                    occ,
+                    8,
+                );
                 let executed = at_target.end + wire.amo_ns.round() as u64;
                 let local = if fetching {
                     // Result rides a small reply back.
@@ -193,22 +194,23 @@ impl<'m> CostModel<'m> {
                 // must acknowledge to preserve atomicity).
                 let issue_done = start + self.profile.put_issue_ns.round() as u64;
                 if self.machine.same_node(src, dst) {
-                    let t = issue_done
-                        + (2.0 * wire.intra.latency_ns + handler_ns).round() as u64;
+                    let t = issue_done + (2.0 * wire.intra.latency_ns + handler_ns).round() as u64;
                     return AmoTiming { local_complete: t, remote_complete: t };
                 }
                 let occ = self.control_occupancy_ns().round() as u64;
                 let out =
                     self.machine.nic(self.machine.node_of(src)).reserve_tx(issue_done, occ, 8);
-                let at_target = self
-                    .machine
-                    .nic(self.machine.node_of(dst))
-                    .reserve_rx(out.begin + self.latency(), occ, 8);
+                let at_target = self.machine.nic(self.machine.node_of(dst)).reserve_rx(
+                    out.begin + self.latency(),
+                    occ,
+                    8,
+                );
                 let executed = at_target.end + handler_ns.round() as u64;
-                let reply = self
-                    .machine
-                    .nic(self.machine.node_of(src))
-                    .reserve_rx(executed + self.latency(), occ, 8);
+                let reply = self.machine.nic(self.machine.node_of(src)).reserve_rx(
+                    executed + self.latency(),
+                    occ,
+                    8,
+                );
                 AmoTiming { local_complete: reply.end, remote_complete: executed }
             }
         }
@@ -244,11 +246,13 @@ impl<'m> CostModel<'m> {
         }
         let occ = (self.occupancy_ns(bytes) + per_elem_ns * nelems as f64).round() as u64;
         let flow_start = issue_done.max(floor);
-        let src_res = self.machine.nic(self.machine.node_of(src)).reserve_tx(flow_start, occ, bytes);
-        let dst_res = self
-            .machine
-            .nic(self.machine.node_of(dst))
-            .reserve_rx(src_res.begin + self.latency(), occ, bytes);
+        let src_res =
+            self.machine.nic(self.machine.node_of(src)).reserve_tx(flow_start, occ, bytes);
+        let dst_res = self.machine.nic(self.machine.node_of(dst)).reserve_rx(
+            src_res.begin + self.latency(),
+            occ,
+            bytes,
+        );
         Some(PutTiming { local_complete: src_res.end, remote_complete: dst_res.end })
     }
 
@@ -284,15 +288,19 @@ impl<'m> CostModel<'m> {
         let unpack = (self.profile.am_handler_ns
             + nelems as f64 * self.machine.config().compute.local_op_ns * 2.0)
             .round() as u64;
-        PutTiming {
-            local_complete: t.local_complete,
-            remote_complete: t.remote_complete + unpack,
-        }
+        PutTiming { local_complete: t.local_complete, remote_complete: t.remote_complete + unpack }
     }
 
     /// Cost of an AM-packed gather-get: one small request, the target's
     /// handler packs `nelems` pieces, one contiguous reply.
-    pub fn am_packed_get(&self, src: PeId, dst: PeId, nelems: usize, elem_bytes: usize, start: u64) -> u64 {
+    pub fn am_packed_get(
+        &self,
+        src: PeId,
+        dst: PeId,
+        nelems: usize,
+        elem_bytes: usize,
+        start: u64,
+    ) -> u64 {
         let pack = (self.profile.am_handler_ns
             + nelems as f64 * self.machine.config().compute.local_op_ns * 2.0)
             .round() as u64;
@@ -305,11 +313,8 @@ impl<'m> CostModel<'m> {
             return self.machine.config().compute.local_op_ns;
         }
         let rounds = (n as f64).log2().ceil();
-        let link = if self.machine.config().nodes > 1 {
-            self.wire().inter
-        } else {
-            self.wire().intra
-        };
+        let link =
+            if self.machine.config().nodes > 1 { self.wire().inter } else { self.wire().intra };
         rounds * (link.latency_ns + self.control_occupancy_ns() + self.profile.put_issue_ns)
     }
 

@@ -2,9 +2,10 @@
 //! data movement and virtual-time accounting.
 
 use crate::cost::CostModel;
-use crate::pending::{Hazard, PendingSet};
+use crate::pending::{Hazard, HazardKind, PendingSet};
 use crate::profile::ConduitProfile;
 use pgas_machine::machine::{Machine, Pe, PeId};
+use pgas_machine::sanitizer::{HazardKind as SanKind, HazardReport};
 use pgas_machine::stats::Stats;
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::Ordering;
@@ -119,7 +120,29 @@ impl<'m> Ctx<'m> {
 
     fn flag_hazard(&self, h: Hazard) {
         self.hazards.set(self.hazards.get() + 1);
-        Stats::bump(&self.machine().stats().hazards);
+        let m = self.machine();
+        Stats::bump(&m.stats().hazards);
+        if m.san_on() {
+            // Mirror the hazard into the sanitizer's structured report sink,
+            // classified: a partial overlap can tear, a full overlap is
+            // stale-but-whole (quiet missing).
+            let op = match h.kind {
+                HazardKind::ReadAfterUnquietedWrite => "get",
+                HazardKind::WriteAfterUnquietedWrite => "put",
+                HazardKind::AmoOverUnquietedWrite => "amo",
+            };
+            m.san_report(HazardReport {
+                kind: if h.torn { SanKind::TornTransfer } else { SanKind::MissingQuiet },
+                op,
+                accessor: self.pe.id(),
+                target: h.dst,
+                conflict_pe: self.pe.id(),
+                offset: h.offset,
+                len: h.len,
+                t_conflict: h.pending_complete,
+                t_known: self.pe.now(),
+            });
+        }
         if self.opts.strict_ordering {
             panic!("{h} issued by PE {}", self.pe.id());
         }
@@ -168,6 +191,7 @@ impl<'m> Ctx<'m> {
             let t = self.cost.local_copy(src.len(), self.pe.now());
             m.heap(dst).write_bytes(dst_off, src);
             m.heap(dst).stamp_range(dst_off, src.len(), t);
+            m.san_record_write(dst, dst_off, src.len(), self.pe.id(), t, false, "put");
             m.lift_clock(self.pe.id(), t);
             m.notify_pe(dst);
             return;
@@ -179,6 +203,7 @@ impl<'m> Ctx<'m> {
         let t = self.cost.put(self.pe.id(), dst, src.len(), self.pe.now(), floor);
         m.heap(dst).write_bytes(dst_off, src);
         m.heap(dst).stamp_range(dst_off, src.len(), t.remote_complete);
+        m.san_record_write(dst, dst_off, src.len(), self.pe.id(), t.remote_complete, false, "put");
         m.lift_clock(self.pe.id(), t.local_complete);
         self.pending.borrow_mut().record_put(dst, dst_off, src.len(), t.remote_complete);
         m.notify_pe(dst);
@@ -197,6 +222,7 @@ impl<'m> Ctx<'m> {
             let t = self.cost.local_copy(out.len(), self.pe.now());
             m.heap(dst).read_bytes(src_off, out);
             let stamp = m.heap(dst).max_stamp(src_off, out.len());
+            m.san_check_read(dst, src_off, out.len(), self.pe.id(), "get");
             m.lift_clock(self.pe.id(), t.max(stamp));
             return;
         }
@@ -206,6 +232,7 @@ impl<'m> Ctx<'m> {
         let done = self.cost.get(self.pe.id(), dst, out.len(), self.pe.now());
         m.heap(dst).read_bytes(src_off, out);
         let stamp = m.heap(dst).max_stamp(src_off, out.len());
+        m.san_check_read(dst, src_off, out.len(), self.pe.id(), "get");
         m.lift_clock(self.pe.id(), done.max(stamp));
         self.trace(pgas_machine::trace::SpanKind::Get, t_begin, Some(dst), out.len());
     }
@@ -230,6 +257,7 @@ impl<'m> Ctx<'m> {
         let t = self.cost.put(self.pe.id(), dst, src.len(), start, floor);
         m.heap(dst).write_bytes(dst_off, src);
         m.heap(dst).stamp_range(dst_off, src.len(), t.remote_complete);
+        m.san_record_write(dst, dst_off, src.len(), self.pe.id(), t.remote_complete, false, "put");
         // Only the issue cost lands on the clock; completion waits in the
         // pending set. (The NIC reservations above still model contention.)
         self.pe.advance(self.cost.profile().put_issue_ns);
@@ -253,6 +281,7 @@ impl<'m> Ctx<'m> {
         let done = self.cost.get(self.pe.id(), dst, out.len(), self.pe.now());
         m.heap(dst).read_bytes(src_off, out);
         let stamp = m.heap(dst).max_stamp(src_off, out.len());
+        m.san_check_read(dst, src_off, out.len(), self.pe.id(), "get");
         self.pe.advance(self.cost.profile().get_issue_ns);
         self.pending.borrow_mut().record_nbi_get(done.max(stamp));
     }
@@ -311,6 +340,7 @@ impl<'m> Ctx<'m> {
             let d = dst_off + i * dst_stride * elem;
             m.heap(dst).write_bytes(d, &src[s..s + elem]);
             m.heap(dst).stamp_range(d, elem, t.remote_complete);
+            m.san_record_write(dst, d, elem, self.pe.id(), t.remote_complete, false, "iput");
         }
         m.lift_clock(self.pe.id(), t.local_complete);
         // Conservative span for ordering tracking: covers the gaps too. The
@@ -366,6 +396,7 @@ impl<'m> Ctx<'m> {
             let d = i * out_stride * elem;
             m.heap(dst).read_bytes(s, &mut out[d..d + elem]);
             stamp = stamp.max(m.heap(dst).max_stamp(s, elem));
+            m.san_check_read(dst, s, elem, self.pe.id(), "iget");
         }
         m.lift_clock(self.pe.id(), done.max(stamp));
     }
@@ -405,6 +436,7 @@ impl<'m> Ctx<'m> {
             let d = dst_off + i * dst_stride * elem;
             m.heap(dst).write_bytes(d, &src[s..s + elem]);
             m.heap(dst).stamp_range(d, elem, t.remote_complete);
+            m.san_record_write(dst, d, elem, self.pe.id(), t.remote_complete, false, "am put");
         }
         m.lift_clock(self.pe.id(), t.local_complete);
         let span = (nelems - 1) * dst_stride * elem + elem;
@@ -429,11 +461,13 @@ impl<'m> Ctx<'m> {
         let hi = regions.iter().map(|r| r.0 + r.1).max().unwrap_or(0);
         let floor = self.pending.borrow().floor_for(dst);
         let avg = (total / regions.len()).max(1);
-        let t = self.cost.am_packed_put(self.pe.id(), dst, regions.len(), avg, self.pe.now(), floor);
+        let t =
+            self.cost.am_packed_put(self.pe.id(), dst, regions.len(), avg, self.pe.now(), floor);
         let mut cursor = 0;
         for &(off, len) in regions {
             m.heap(dst).write_bytes(off, &payload[cursor..cursor + len]);
             m.heap(dst).stamp_range(off, len, t.remote_complete);
+            m.san_record_write(dst, off, len, self.pe.id(), t.remote_complete, false, "am put");
             cursor += len;
         }
         m.lift_clock(self.pe.id(), t.local_complete);
@@ -458,6 +492,7 @@ impl<'m> Ctx<'m> {
         for &(off, len) in regions {
             m.heap(dst).read_bytes(off, &mut out[cursor..cursor + len]);
             stamp = stamp.max(m.heap(dst).max_stamp(off, len));
+            m.san_check_read(dst, off, len, self.pe.id(), "am get");
             cursor += len;
         }
         m.lift_clock(self.pe.id(), done.max(stamp));
@@ -471,6 +506,14 @@ impl<'m> Ctx<'m> {
         let m = self.machine();
         let t_begin = self.pe.now();
         Stats::bump(&m.stats().amos);
+        if let Some(h) = self.pending.borrow().check_amo(dst, off) {
+            self.flag_hazard(h);
+        }
+        // A fetching atomic observes the last writer of the word — that is
+        // the happens-before edge lock handoffs are built on.
+        if op.is_fetching() {
+            m.san_sync_edge(self.pe.id(), dst, off);
+        }
         let t = self.cost.amo(self.pe.id(), dst, op.is_fetching(), self.pe.now());
         // Causality: a fetched value cannot be observed before the write
         // that produced it completed.
@@ -492,11 +535,14 @@ impl<'m> Ctx<'m> {
             AmoOp::Xor(v) | AmoOp::FetchXor(v) => word.fetch_xor(v, Ordering::AcqRel),
         };
         m.heap(dst).stamp_range(off, 8, t.remote_complete);
+        if !matches!(op, AmoOp::Fetch) {
+            m.san_record_write(dst, off, 8, self.pe.id(), t.remote_complete, true, "amo");
+        }
         if op.is_fetching() {
             m.lift_clock(self.pe.id(), t.local_complete.max(prior_stamp));
         } else {
             m.lift_clock(self.pe.id(), t.local_complete);
-            self.pending.borrow_mut().record_put(dst, off, 8, t.remote_complete);
+            self.pending.borrow_mut().record_amo(dst, off, t.remote_complete);
         }
         m.notify_pe(dst);
         self.trace(pgas_machine::trace::SpanKind::Amo, t_begin, Some(dst), 8);
@@ -533,12 +579,19 @@ impl<'m> Ctx<'m> {
     pub fn wait_until(&self, off: usize, mut pred: impl FnMut(u64) -> bool) -> u64 {
         let m = self.machine();
         let me = self.pe.id();
+        // Waiting on a word this PE has an un-quieted loopback put to is a
+        // self-satisfying wait: the wait can complete on our own in-flight
+        // data instead of the remote event it is meant to observe.
+        if let Some(h) = self.pending.borrow().check_get(me, off, 8) {
+            self.flag_hazard(h);
+        }
         let word = m.heap(me).atomic64(off);
         let mut seen = 0;
         m.wait_on(me, || {
             seen = word.load(Ordering::Acquire);
             pred(seen)
         });
+        m.san_sync_edge(me, me, off);
         let stamp = m.heap(me).max_stamp(off, 8);
         let poll = self.machine().config().compute.local_op_ns * 2.0;
         let t_begin = self.pe.now();
@@ -702,7 +755,11 @@ mod tests {
     #[test]
     fn fetch_add_is_atomic_under_contention() {
         let out = run(generic_smp(8).with_heap_bytes(4096), |pe| {
-            let ctx = Ctx::new(pe, ConduitProfile::cray_shmem(Platform::GenericSmp), CtxOptions::default());
+            let ctx = Ctx::new(
+                pe,
+                ConduitProfile::cray_shmem(Platform::GenericSmp),
+                CtxOptions::default(),
+            );
             ctx.barrier_all();
             for _ in 0..100 {
                 ctx.amo(0, 0, AmoOp::FetchAdd(1));
@@ -718,7 +775,11 @@ mod tests {
     #[test]
     fn compare_swap_semantics() {
         let out = run(generic_smp(1).with_heap_bytes(4096), |pe| {
-            let ctx = Ctx::new(pe, ConduitProfile::cray_shmem(Platform::GenericSmp), CtxOptions::default());
+            let ctx = Ctx::new(
+                pe,
+                ConduitProfile::cray_shmem(Platform::GenericSmp),
+                CtxOptions::default(),
+            );
             ctx.amo(0, 8, AmoOp::Set(10));
             ctx.quiet();
             let miss = ctx.amo(0, 8, AmoOp::CompareSwap { cond: 99, value: 1 });
@@ -732,7 +793,11 @@ mod tests {
     #[test]
     fn swap_and_bitwise_ops() {
         let out = run(generic_smp(1).with_heap_bytes(4096), |pe| {
-            let ctx = Ctx::new(pe, ConduitProfile::cray_shmem(Platform::GenericSmp), CtxOptions::default());
+            let ctx = Ctx::new(
+                pe,
+                ConduitProfile::cray_shmem(Platform::GenericSmp),
+                CtxOptions::default(),
+            );
             ctx.amo(0, 0, AmoOp::Set(0b1100));
             let old = ctx.amo(0, 0, AmoOp::FetchAnd(0b1010));
             let after_and = ctx.amo(0, 0, AmoOp::Fetch);
@@ -819,7 +884,8 @@ mod tests {
     #[test]
     fn native_iput_issues_one_message_loop_issues_many() {
         let cray = run(two_node_cfg(), |pe| {
-            let ctx = Ctx::new(pe, ConduitProfile::cray_shmem(Platform::CrayXc30), CtxOptions::default());
+            let ctx =
+                Ctx::new(pe, ConduitProfile::cray_shmem(Platform::CrayXc30), CtxOptions::default());
             if pe.id() == 0 {
                 let src = vec![1u8; 800];
                 ctx.iput(2, 0, 2, &src, 8, 1, 100);
@@ -844,7 +910,8 @@ mod tests {
     #[test]
     fn am_strided_put_moves_data_in_one_message() {
         let out = run(two_node_cfg(), |pe| {
-            let ctx = Ctx::new(pe, ConduitProfile::gasnet(Platform::Stampede), CtxOptions::default());
+            let ctx =
+                Ctx::new(pe, ConduitProfile::gasnet(Platform::Stampede), CtxOptions::default());
             if pe.id() == 0 {
                 let src: Vec<u8> = (0..24).collect();
                 ctx.am_strided_put(2, 0, 3, &src, 8, 1, 3);
@@ -915,8 +982,7 @@ mod tests {
             ctx.barrier_all();
         });
         use pgas_machine::trace::SpanKind;
-        let kinds: Vec<SpanKind> =
-            out.trace.iter().filter(|s| s.pe == 0).map(|s| s.kind).collect();
+        let kinds: Vec<SpanKind> = out.trace.iter().filter(|s| s.pe == 0).map(|s| s.kind).collect();
         assert!(kinds.contains(&SpanKind::Put));
         assert!(kinds.contains(&SpanKind::Get));
         assert!(kinds.contains(&SpanKind::Amo));

@@ -27,6 +27,10 @@ pub enum HazardKind {
     /// A put overlapped an outstanding put to the same target: deliveries
     /// may be reordered, leaving the *older* data in memory.
     WriteAfterUnquietedWrite,
+    /// An atomic overlapped an outstanding (non-atomic) put: the atomic may
+    /// execute on the pre-put value. Atomics racing other *atomics* are
+    /// fine — the network serializes them — so only puts are conflicting.
+    AmoOverUnquietedWrite,
 }
 
 /// A detected ordering violation.
@@ -36,6 +40,12 @@ pub struct Hazard {
     pub dst: PeId,
     pub offset: usize,
     pub len: usize,
+    /// The ranges overlap but neither contains the other, so the access can
+    /// observe a mix of old and new bytes (a torn transfer), not merely a
+    /// stale-but-whole value.
+    pub torn: bool,
+    /// Remote completion time of the conflicting outstanding put.
+    pub pending_complete: u64,
 }
 
 impl std::fmt::Display for Hazard {
@@ -43,10 +53,12 @@ impl std::fmt::Display for Hazard {
         let what = match self.kind {
             HazardKind::ReadAfterUnquietedWrite => "get overlaps un-quieted put",
             HazardKind::WriteAfterUnquietedWrite => "put overlaps un-quieted put",
+            HazardKind::AmoOverUnquietedWrite => "atomic overlaps un-quieted put",
         };
+        let class = if self.torn { ", partial overlap: torn transfer" } else { "" };
         write!(
             f,
-            "ordering hazard: {what} (target PE {}, bytes [{}, {}))",
+            "ordering hazard: {what} (target PE {}, bytes [{}, {}){class})",
             self.dst,
             self.offset,
             self.offset + self.len
@@ -60,6 +72,8 @@ struct PendingPut {
     offset: usize,
     len: usize,
     remote_complete: u64,
+    /// Was this obligation created by a (non-fetching) atomic?
+    amo: bool,
 }
 
 /// Per-PE outstanding-put set. Owned by one PE's [`crate::Ctx`]; never
@@ -83,7 +97,13 @@ fn overlaps(a_off: usize, a_len: usize, b_off: usize, b_len: usize) -> bool {
 impl PendingSet {
     /// Record an issued put that remotely completes at `remote_complete`.
     pub fn record_put(&mut self, dst: PeId, offset: usize, len: usize, remote_complete: u64) {
-        self.puts.push(PendingPut { dst, offset, len, remote_complete });
+        self.puts.push(PendingPut { dst, offset, len, remote_complete, amo: false });
+    }
+
+    /// Record an issued non-fetching atomic (an 8-byte completion
+    /// obligation that other atomics may legally race).
+    pub fn record_amo(&mut self, dst: PeId, offset: usize, remote_complete: u64) {
+        self.puts.push(PendingPut { dst, offset, len: 8, remote_complete, amo: true });
     }
 
     /// Record an issued non-blocking get completing at `complete_at`.
@@ -129,12 +149,31 @@ impl PendingSet {
         self.floors.get(&dst).copied().unwrap_or(0)
     }
 
+    /// Is `[offset, offset+len)` a strict partial overlap of the pending
+    /// put (neither range contains the other)?
+    fn is_torn(p: &PendingPut, offset: usize, len: usize) -> bool {
+        let covers_new = p.offset <= offset && offset + len <= p.offset + p.len;
+        let covered_by_new = offset <= p.offset && p.offset + p.len <= offset + len;
+        !(covers_new || covered_by_new)
+    }
+
+    fn hazard(kind: HazardKind, p: &PendingPut, offset: usize, len: usize) -> Hazard {
+        Hazard {
+            kind,
+            dst: p.dst,
+            offset,
+            len,
+            torn: Self::is_torn(p, offset, len),
+            pending_complete: p.remote_complete,
+        }
+    }
+
     /// Would reading `[offset, offset+len)` of `dst` race an outstanding put?
     pub fn check_get(&self, dst: PeId, offset: usize, len: usize) -> Option<Hazard> {
         self.puts
             .iter()
             .find(|p| p.dst == dst && overlaps(p.offset, p.len, offset, len))
-            .map(|_| Hazard { kind: HazardKind::ReadAfterUnquietedWrite, dst, offset, len })
+            .map(|p| Self::hazard(HazardKind::ReadAfterUnquietedWrite, p, offset, len))
     }
 
     /// Would writing `[offset, offset+len)` of `dst` race an outstanding put?
@@ -146,7 +185,23 @@ impl PendingSet {
             .find(|p| {
                 p.dst == dst && p.remote_complete > floor && overlaps(p.offset, p.len, offset, len)
             })
-            .map(|_| Hazard { kind: HazardKind::WriteAfterUnquietedWrite, dst, offset, len })
+            .map(|p| Self::hazard(HazardKind::WriteAfterUnquietedWrite, p, offset, len))
+    }
+
+    /// Would an atomic on the word at `offset` of `dst` race an outstanding
+    /// *non-atomic* put? (Atomics racing pending atomics are legal — the
+    /// target serializes them.) Fence floors apply as for puts.
+    pub fn check_amo(&self, dst: PeId, offset: usize) -> Option<Hazard> {
+        let floor = self.floor_for(dst);
+        self.puts
+            .iter()
+            .find(|p| {
+                p.dst == dst
+                    && !p.amo
+                    && p.remote_complete > floor
+                    && overlaps(p.offset, p.len, offset, 8)
+            })
+            .map(|p| Self::hazard(HazardKind::AmoOverUnquietedWrite, p, offset, 8))
     }
 }
 
@@ -216,5 +271,34 @@ mod tests {
         assert!(s.check_get(1, 0, 8).is_none());
         s.record_put(1, 0, 8, 100);
         assert!(s.check_get(1, 4, 0).is_none());
+    }
+
+    #[test]
+    fn amo_over_pending_put_is_a_hazard_but_amo_over_amo_is_not() {
+        let mut s = PendingSet::default();
+        s.record_amo(1, 0, 500);
+        assert!(s.check_amo(1, 0).is_none(), "the target serializes atomics");
+        s.record_put(1, 0, 8, 900);
+        let h = s.check_amo(1, 0).expect("amo over pending non-atomic put");
+        assert_eq!(h.kind, HazardKind::AmoOverUnquietedWrite);
+        assert_eq!(h.pending_complete, 900);
+        // Fence floors apply as for puts.
+        s.fence();
+        assert!(s.check_amo(1, 0).is_none());
+    }
+
+    #[test]
+    fn strict_partial_overlap_is_classified_torn() {
+        let mut s = PendingSet::default();
+        s.record_put(1, 0, 16, 700);
+        // Contained in the pending range: stale but whole.
+        assert!(!s.check_get(1, 4, 8).unwrap().torn);
+        // Containing the pending range: also whole.
+        assert!(!s.check_put(1, 0, 32).unwrap().torn);
+        // Straddling one edge: a mix of old and new bytes is possible.
+        let h = s.check_put(1, 8, 16).unwrap();
+        assert!(h.torn);
+        assert!(h.to_string().contains("torn transfer"), "got: {h}");
+        assert_eq!(h.pending_complete, 700);
     }
 }

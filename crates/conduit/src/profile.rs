@@ -7,11 +7,10 @@
 //! SHMEM existing only on Gemini/Aries, ...).
 
 use pgas_machine::Platform;
-use serde::Serialize;
 
 /// Which library a profile models. Used for reporting and to pick
 /// legend-compatible names in the figure harnesses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ConduitKind {
     /// Cray SHMEM over DMAPP (Titan / XC30).
     CrayShmem,
@@ -38,7 +37,7 @@ impl ConduitKind {
 }
 
 /// How a library implements remote atomic operations.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AmoSupport {
     /// NIC-offloaded atomics (Cray DMAPP, IB verbs): one wire traversal plus
     /// a hardware execution cost at the target.
@@ -60,7 +59,7 @@ pub enum AmoSupport {
 /// `2dim_strided` algorithm only pays off when `shmem_iput` is NIC-native
 /// (Cray SHMEM over DMAPP); MVAPICH2-X implements it as a software loop of
 /// contiguous puts, making the naive and 2dim algorithms indistinguishable.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum StridedSupport {
     /// The NIC scatters/gathers elements: one message descriptor covers the
     /// whole vector, paying `per_elem_ns` of wire occupancy per element.
@@ -70,7 +69,7 @@ pub enum StridedSupport {
 }
 
 /// Complete description of a communication library's cost behaviour.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConduitProfile {
     pub kind: ConduitKind,
     /// CPU cost to issue a one-sided write, ns.
@@ -97,7 +96,10 @@ impl ConduitProfile {
     /// Cray SHMEM: thin layer over DMAPP. Lowest issue overheads, NIC-native
     /// atomics and strided transfers. Only meaningful on Gemini/Aries.
     pub fn cray_shmem(platform: Platform) -> ConduitProfile {
-        debug_assert!(matches!(platform, Platform::Titan | Platform::CrayXc30 | Platform::GenericSmp));
+        debug_assert!(matches!(
+            platform,
+            Platform::Titan | Platform::CrayXc30 | Platform::GenericSmp
+        ));
         ConduitProfile {
             kind: ConduitKind::CrayShmem,
             put_issue_ns: 80.0,
@@ -183,7 +185,10 @@ impl ConduitProfile {
     /// more per-call software than Cray SHMEM's fast path (the compiler's
     /// generalized runtime), same hardware capabilities.
     pub fn dmapp(platform: Platform) -> ConduitProfile {
-        debug_assert!(matches!(platform, Platform::Titan | Platform::CrayXc30 | Platform::GenericSmp));
+        debug_assert!(matches!(
+            platform,
+            Platform::Titan | Platform::CrayXc30 | Platform::GenericSmp
+        ));
         ConduitProfile {
             kind: ConduitKind::Dmapp,
             put_issue_ns: 110.0,
@@ -255,11 +260,7 @@ mod tests {
         for p in [Platform::Stampede, Platform::Titan, Platform::CrayXc30] {
             let shmem = ConduitProfile::native_shmem(p);
             let gasnet = ConduitProfile::gasnet(p);
-            assert!(
-                shmem.bandwidth_efficiency > gasnet.bandwidth_efficiency,
-                "on {:?}",
-                p
-            );
+            assert!(shmem.bandwidth_efficiency > gasnet.bandwidth_efficiency, "on {:?}", p);
         }
     }
 

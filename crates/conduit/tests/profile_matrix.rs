@@ -92,11 +92,7 @@ fn strided_message_counts_per_profile() {
             ctx.barrier_all();
         });
         let expected = if native { 1 } else { 50 };
-        assert_eq!(
-            out.stats.puts, expected,
-            "{platform:?}/{}: native={native}",
-            profile.label()
-        );
+        assert_eq!(out.stats.puts, expected, "{platform:?}/{}: native={native}", profile.label());
     }
 }
 

@@ -331,10 +331,8 @@ mod tests {
             let out = run_caf(mcfg(2), cfg().with_strided(algo), |img| {
                 let a = img.coarray::<i32>(&[10, 8]).unwrap();
                 img.sync_all();
-                let sec = Section::new(vec![
-                    DimRange::triplet(1, 9, 2),
-                    DimRange::triplet(0, 7, 3),
-                ]);
+                let sec =
+                    Section::new(vec![DimRange::triplet(1, 9, 2), DimRange::triplet(0, 7, 3)]);
                 if img.this_image() == 1 {
                     let data: Vec<i32> = (0..sec.total() as i32).collect();
                     a.put_section(img, 2, &sec, &data);

@@ -37,9 +37,15 @@ pub struct Image<'m> {
     sync_counters: SymPtr<u64>,
     sync_expected: RefCell<Vec<u64>>,
     /// Locks currently held (or being acquired) by this image:
-    /// (lock variable offset, target image 0-based) → qnode offset.
-    /// The hash-table lookup of §IV-D.
-    pub(crate) lock_table: RefCell<HashMap<(usize, usize), usize>>,
+    /// (lock variable offset, allocation generation, target image 0-based)
+    /// → qnode offset. The hash-table lookup of §IV-D. The generation
+    /// component keeps a stale entry from aliasing a *different* lock
+    /// variable whose tail word was later allocated at the same symmetric
+    /// offset (shmem_free + shmalloc reuse).
+    pub(crate) lock_table: RefCell<HashMap<(usize, u64, usize), usize>>,
+    /// Allocation generations handed out to lock variables; see
+    /// `lock_table`.
+    pub(crate) lock_gen: std::cell::Cell<u64>,
     /// The hidden lock variable backing `critical` sections.
     critical_lock: SymPtr<u64>,
 }
@@ -64,6 +70,7 @@ impl<'m> Image<'m> {
             sync_counters,
             sync_expected: RefCell::new(vec![0; n]),
             lock_table: RefCell::new(HashMap::new()),
+            lock_gen: std::cell::Cell::new(0),
             critical_lock,
             shmem,
             cfg,
@@ -190,11 +197,7 @@ impl<'m> Image<'m> {
 
     // ---- collectives (Table II: co_op -> shmem_op_to_all) --------------------
 
-    fn with_scratch<T: Scalar, R>(
-        &self,
-        n: usize,
-        f: impl FnOnce(SymPtr<T>, SymPtr<T>) -> R,
-    ) -> R {
+    fn with_scratch<T: Scalar, R>(&self, n: usize, f: impl FnOnce(SymPtr<T>, SymPtr<T>) -> R) -> R {
         let src = self.shmem.shmalloc::<T>(n).expect("co_* scratch allocation failed");
         let dst = self.shmem.shmalloc::<T>(n).expect("co_* scratch allocation failed");
         let r = f(src, dst);

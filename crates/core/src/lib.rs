@@ -72,6 +72,7 @@ pub use grid::ImageGrid;
 pub use image::{Image, ImageId, NonSymHandle};
 pub use locks::{CafLock, LockStat};
 pub use nonsym::NonSymArray;
+pub use pgas_machine::sanitizer::{HazardKind, HazardReport, SanitizerMode};
 pub use remote_ptr::RemotePtr;
 pub use runtime::{run_caf, run_caf_result};
 pub use section::{DimRange, Section};

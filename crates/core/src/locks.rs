@@ -32,16 +32,29 @@ const QNODE_BYTES: usize = 16;
 #[derive(Debug, Clone, Copy)]
 pub struct CafLock {
     tail: SymPtr<u64>,
+    /// Allocation generation. Symmetric-heap offsets are recycled by
+    /// `shmem_free`, so the tail offset alone cannot identify a lock
+    /// variable for the lifetime of an image: a held-lock table entry made
+    /// against one variable would alias a different variable allocated
+    /// later at the same offset. The generation — unique per `lock_var`
+    /// call on each image — disambiguates (0 is reserved for the hidden
+    /// `critical` lock, which is allocated once and never freed).
+    gen: u64,
 }
 
 impl CafLock {
     pub(crate) fn from_raw(tail: SymPtr<u64>) -> CafLock {
-        CafLock { tail }
+        CafLock { tail, gen: 0 }
     }
 
     /// The symmetric tail word.
     pub fn tail_ptr(&self) -> SymPtr<u64> {
         self.tail
+    }
+
+    /// Table key for the instance on PE `home`.
+    fn key(&self, home: usize) -> (usize, u64, usize) {
+        (self.tail.offset(), self.gen, home)
     }
 }
 
@@ -52,7 +65,7 @@ impl<'m> Image<'m> {
         let tail = self.shmem().shmalloc::<u64>(1).expect("symmetric heap exhausted for lock");
         self.shmem().write_local(tail, &[NIL]);
         self.sync_all();
-        CafLock { tail }
+        CafLock { tail, gen: self.next_lock_gen() }
     }
 
     /// An array of lock variables (`type(lock_type) :: lck(n)[*]`).
@@ -60,7 +73,13 @@ impl<'m> Image<'m> {
         let tails = self.shmem().shmalloc::<u64>(n).expect("symmetric heap exhausted for locks");
         self.shmem().write_local(tails, &vec![NIL; n]);
         self.sync_all();
-        (0..n).map(|i| CafLock { tail: tails.slice(i, 1) }).collect()
+        (0..n).map(|i| CafLock { tail: tails.slice(i, 1), gen: self.next_lock_gen() }).collect()
+    }
+
+    fn next_lock_gen(&self) -> u64 {
+        let g = self.lock_gen.get() + 1;
+        self.lock_gen.set(g);
+        g
     }
 
     fn qnode_ptrs(&self, offset: usize) -> (SymPtr<u64>, SymPtr<u64>) {
@@ -81,7 +100,7 @@ impl<'m> Image<'m> {
     /// `lock(lck[image])`: acquire the lock instance on `image` (1-based).
     pub fn lock(&self, lck: &CafLock, image: ImageId) {
         let home = self.pe_of(image);
-        let key = (lck.tail.offset(), home);
+        let key = lck.key(home);
         assert!(
             !self.lock_table.borrow().contains_key(&key),
             "image {} already holds lock {:?} on image {image} (STAT_LOCKED)",
@@ -111,7 +130,7 @@ impl<'m> Image<'m> {
     /// whether the lock was acquired.
     pub fn try_lock(&self, lck: &CafLock, image: ImageId) -> bool {
         let home = self.pe_of(image);
-        let key = (lck.tail.offset(), home);
+        let key = lck.key(home);
         if self.lock_table.borrow().contains_key(&key) {
             // Fortran: acquired_lock=.false. if this image already holds it.
             return false;
@@ -135,18 +154,14 @@ impl<'m> Image<'m> {
     /// `unlock(lck[image])`.
     pub fn unlock(&self, lck: &CafLock, image: ImageId) {
         let home = self.pe_of(image);
-        let key = (lck.tail.offset(), home);
-        let q_off = self
-            .lock_table
-            .borrow_mut()
-            .remove(&key)
-            .unwrap_or_else(|| {
-                panic!(
-                    "image {} does not hold lock {:?} on image {image} (STAT_UNLOCKED)",
-                    self.this_image(),
-                    lck.tail
-                )
-            });
+        let key = lck.key(home);
+        let q_off = self.lock_table.borrow_mut().remove(&key).unwrap_or_else(|| {
+            panic!(
+                "image {} does not hold lock {:?} on image {image} (STAT_UNLOCKED)",
+                self.this_image(),
+                lck.tail
+            )
+        });
         self.vendor_lock_overhead(lck, home);
         let (_, next) = self.qnode_ptrs(q_off);
         let me = RemotePtr::new(self.this_image() - 1, q_off).pack();
@@ -167,7 +182,7 @@ impl<'m> Image<'m> {
     /// Does this image currently hold `lck[image]`?
     pub fn holds_lock(&self, lck: &CafLock, image: ImageId) -> bool {
         let home = self.pe_of(image);
-        self.lock_table.borrow().contains_key(&(lck.tail.offset(), home))
+        self.lock_table.borrow().contains_key(&lck.key(home))
     }
 
     /// `lock(lck[image], stat=s)`: like [`Self::lock`] but reporting the
@@ -404,11 +419,42 @@ mod tests {
             img.sync_all();
             assert_eq!(img.unlock_stat(&lck, 1), Err(super::LockStat::StatUnlocked));
             assert_eq!(img.lock_stat(&lck, img.this_image()), Ok(()));
-            assert_eq!(
-                img.lock_stat(&lck, img.this_image()),
-                Err(super::LockStat::StatLocked)
-            );
+            assert_eq!(img.lock_stat(&lck, img.this_image()), Err(super::LockStat::StatLocked));
             assert_eq!(img.unlock_stat(&lck, img.this_image()), Ok(()));
+            img.sync_all();
+        });
+    }
+
+    #[test]
+    fn freed_and_reallocated_lock_slot_does_not_alias_held_entry() {
+        // Deallocating a held lock variable is a program error per the
+        // Fortran standard, but it must not corrupt *other* lock
+        // variables: when the symmetric allocator recycles the freed tail
+        // word for a new lock variable, the stale held-lock table entry
+        // must not make the new lock appear held. Before the generation
+        // key, the table was keyed by (offset, home) alone, so the new
+        // variable aliased the old entry and `lock` died with a false
+        // STAT_LOCKED.
+        run_caf(mcfg(2), cfg(), |img| {
+            let lck1 = img.lock_var();
+            if img.this_image() == 1 {
+                img.lock(&lck1, 1);
+            }
+            img.sync_all();
+            // Erroneously deallocate while image 1 still holds it, then
+            // allocate afresh: the allocator reuses the slot.
+            img.shmem().shfree(lck1.tail_ptr()).unwrap();
+            let lck2 = img.lock_var();
+            assert_eq!(
+                lck2.tail_ptr().offset(),
+                lck1.tail_ptr().offset(),
+                "repro requires the allocator to recycle the tail slot"
+            );
+            assert!(!img.holds_lock(&lck2, 1), "new lock variable must start unheld");
+            if img.this_image() == 1 {
+                img.lock(&lck2, 1);
+                img.unlock(&lck2, 1);
+            }
             img.sync_all();
         });
     }

@@ -173,10 +173,7 @@ pub const TABLE2: &[MappingRow] = &[
 /// Render the table as aligned text (the `table2_mapping` binary's output).
 pub fn render_table2() -> String {
     let mut out = String::new();
-    out.push_str(&format!(
-        "{:<34} {:<38} {:<48} {}\n",
-        "Property", "CAF", "OpenSHMEM", "Mapping"
-    ));
+    out.push_str(&format!("{:<34} {:<38} {:<48} {}\n", "Property", "CAF", "OpenSHMEM", "Mapping"));
     out.push_str(&"-".repeat(140));
     out.push('\n');
     for row in TABLE2 {

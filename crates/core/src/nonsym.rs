@@ -51,10 +51,7 @@ impl<'m> Image<'m> {
     /// elements of component data on this image (may differ per image;
     /// zero means "component not allocated here"). Implies `sync all`, like
     /// any coarray allocation.
-    pub fn nonsym_array<T: Scalar>(
-        &self,
-        local_len: usize,
-    ) -> Result<NonSymArray<T>, AllocError> {
+    pub fn nonsym_array<T: Scalar>(&self, local_len: usize) -> Result<NonSymArray<T>, AllocError> {
         let descriptor = self.shmem().shmalloc::<u64>(2)?;
         let local = if local_len > 0 {
             let h = self.alloc_nonsym(local_len * T::BYTES)?;
@@ -143,10 +140,7 @@ impl<'m> Image<'m> {
 
     /// Collectively deallocate (frees the local payload and the symmetric
     /// descriptor). Implies `sync all`.
-    pub fn free_nonsym_array<T: Scalar>(
-        &self,
-        arr: NonSymArray<T>,
-    ) -> Result<(), AllocError> {
+    pub fn free_nonsym_array<T: Scalar>(&self, arr: NonSymArray<T>) -> Result<(), AllocError> {
         self.sync_all();
         if let Some((h, _)) = arr.local {
             self.free_nonsym(h)?;
@@ -175,7 +169,8 @@ mod tests {
             // Image i allocates i*3 elements (image 4: none).
             let len = if img.this_image() == 4 { 0 } else { img.this_image() * 3 };
             let arr = img.nonsym_array::<i64>(len).unwrap();
-            let mine: Vec<i64> = (0..len as i64).map(|k| img.this_image() as i64 * 100 + k).collect();
+            let mine: Vec<i64> =
+                (0..len as i64).map(|k| img.this_image() as i64 * 100 + k).collect();
             if len > 0 {
                 img.nonsym_write_local(&arr, &mine);
             }

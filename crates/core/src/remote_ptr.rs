@@ -39,11 +39,7 @@ impl RemotePtr {
     /// Encode into the 64-bit on-wire representation.
     pub fn pack(self) -> u64 {
         assert!(self.image < (1 << IMAGE_BITS), "image {} exceeds 20 bits", self.image);
-        assert!(
-            self.offset < (1usize << OFFSET_BITS),
-            "offset {} exceeds 36 bits",
-            self.offset
-        );
+        assert!(self.offset < (1usize << OFFSET_BITS), "offset {} exceeds 36 bits", self.offset);
         ((self.image as u64) << (OFFSET_BITS + FLAG_BITS))
             | ((self.offset as u64) << FLAG_BITS)
             | u64::from(self.flags | FLAG_VALID)

@@ -124,11 +124,7 @@ impl Section {
 
     /// Linear element offset of the section's first element.
     pub fn base_linear(&self, shape: &[usize]) -> usize {
-        self.dims
-            .iter()
-            .zip(fortran_strides(shape))
-            .map(|(d, s)| d.start * s)
-            .sum()
+        self.dims.iter().zip(fortran_strides(shape)).map(|(d, s)| d.start * s).sum()
     }
 
     /// For each "pencil" along `base_dim` (i.e. each combination of the other
@@ -277,10 +273,7 @@ mod tests {
         let sec = Section::new(vec![DimRange::triplet(1, 3, 2), DimRange::full(3)]);
         let elems = sec.elements(&shape);
         // Column-major: (1,0)=1, (3,0)=3, (1,1)=5, (3,1)=7, (1,2)=9, (3,2)=11.
-        assert_eq!(
-            elems,
-            vec![(1, 0), (3, 1), (5, 2), (7, 3), (9, 4), (11, 5)]
-        );
+        assert_eq!(elems, vec![(1, 0), (3, 1), (5, 2), (7, 3), (9, 4), (11, 5)]);
     }
 
     #[test]

@@ -32,7 +32,13 @@ pub enum Plan {
     Packed,
 }
 
-fn plan_of(shmem: &Shmem<'_>, algo: StridedAlgorithm, sec: &Section, shape: &[usize], elem: usize) -> Plan {
+fn plan_of(
+    shmem: &Shmem<'_>,
+    algo: StridedAlgorithm,
+    sec: &Section,
+    shape: &[usize],
+    elem: usize,
+) -> Plan {
     match algo {
         StridedAlgorithm::Naive => Plan::Runs,
         StridedAlgorithm::OneDim => Plan::BaseDim(0),
@@ -75,16 +81,28 @@ pub fn adaptive_plan(shmem: &Shmem<'_>, sec: &Section, shape: &[usize], elem: us
     let n_runs = call_count(StridedAlgorithm::Naive, sec) as f64;
     let mut best = (Plan::Runs, n_runs * per_call + payload);
 
-    // Plan B: one iput per pencil along each candidate dimension.
-    if let StridedSupport::Native { per_elem_ns } = profile.strided {
-        for d in 0..sec.rank() {
-            let calls = (sec.total() / sec.dims()[d].count) as f64;
-            let cost = calls * per_call
-                + payload
-                + total * (per_elem_ns + locality_penalty(sec.array_stride(shape, d)));
-            if cost < best.1 {
-                best = (Plan::BaseDim(d), cost);
+    // Plan B: one 1-D strided call per pencil along each candidate
+    // dimension. Costed on *every* profile so the candidate set covers
+    // every non-adaptive arm of `plan_of` (Naive/OneDim/TwoDim/BestOfAll):
+    // on native-iput conduits a pencil is one NIC descriptor; on
+    // emulated-iput conduits (MVAPICH2-X) the library loops, issuing one
+    // putmem per element — the modeled Cray-compiler behaviour — so every
+    // element pays the full per-call overhead and the pencil structure
+    // buys nothing. The strict `<` below then guarantees the planner never
+    // prefers such a loop over `Runs` (which issues at most as many
+    // calls), i.e. Adaptive is never worse than Naive or TwoDim.
+    for d in 0..sec.rank() {
+        let pencils = (sec.total() / sec.dims()[d].count) as f64;
+        let cost = match profile.strided {
+            StridedSupport::Native { per_elem_ns } => {
+                pencils * per_call
+                    + payload
+                    + total * (per_elem_ns + locality_penalty(sec.array_stride(shape, d)))
             }
+            StridedSupport::LoopContiguous => total * per_call + payload,
+        };
+        if cost < best.1 {
+            best = (Plan::BaseDim(d), cost);
         }
     }
 
@@ -391,7 +409,8 @@ mod tests {
                 CafConfig::new(Backend::Shmem, Platform::GenericSmp).with_strided(algo),
                 |img| {
                     let a = img.coarray::<i32>(&shape).unwrap();
-                    let mine: Vec<i32> = (0..36).map(|k| k + 100 * img.this_image() as i32).collect();
+                    let mine: Vec<i32> =
+                        (0..36).map(|k| k + 100 * img.this_image() as i32).collect();
                     a.write_local(img, &mine);
                     img.sync_all();
                     a.get_section(img, 2, &sec)
@@ -429,7 +448,12 @@ mod tests {
         };
         // Cray SHMEM, all-strided: use native iput along the dominant dim.
         assert_eq!(
-            plan_on(Platform::CrayXc30, Backend::Shmem, strided_sec.clone(), strided_shape.to_vec()),
+            plan_on(
+                Platform::CrayXc30,
+                Backend::Shmem,
+                strided_sec.clone(),
+                strided_shape.to_vec()
+            ),
             Plan::BaseDim(1)
         );
         // MVAPICH2-X (iput = loop): contiguous runs are the only sane plan.
@@ -459,19 +483,28 @@ mod tests {
             (
                 Platform::CrayXc30,
                 Backend::Shmem,
-                vec![DimRange { start: 0, count: 8, step: 2 }, DimRange { start: 0, count: 32, step: 2 }],
+                vec![
+                    DimRange { start: 0, count: 8, step: 2 },
+                    DimRange { start: 0, count: 32, step: 2 },
+                ],
                 vec![16, 64],
             ),
             (
                 Platform::Stampede,
                 Backend::Shmem,
-                vec![DimRange { start: 0, count: 32, step: 1 }, DimRange { start: 0, count: 8, step: 3 }],
+                vec![
+                    DimRange { start: 0, count: 32, step: 1 },
+                    DimRange { start: 0, count: 8, step: 3 },
+                ],
                 vec![32, 24],
             ),
             (
                 Platform::Stampede,
                 Backend::Gasnet,
-                vec![DimRange { start: 0, count: 16, step: 3 }, DimRange { start: 0, count: 16, step: 3 }],
+                vec![
+                    DimRange { start: 0, count: 16, step: 3 },
+                    DimRange { start: 0, count: 16, step: 3 },
+                ],
                 vec![48, 48],
             ),
         ];
@@ -510,6 +543,83 @@ mod tests {
                 adaptive as f64 <= fixed_best as f64 * 1.10,
                 "{platform:?}/{backend:?}: adaptive {adaptive} vs best fixed {fixed_best}"
             );
+        }
+    }
+
+    #[test]
+    fn adaptive_ablation_never_worse_than_naive_or_twodim() {
+        // The planner's candidate set must cover every non-adaptive arm of
+        // `plan_of` on *every* profile — including emulated-iput conduits
+        // (mvapich-shmem), where BaseDim plans degenerate to a putmem
+        // loop. Assert the virtual time of Adaptive never exceeds Naive or
+        // TwoDim for any platform/backend combination, on both a
+        // contiguous-rows section and an all-strided one.
+        let sections: Vec<(Vec<DimRange>, Vec<usize>)> = vec![
+            // Matrix-oriented: contiguous rows, strided columns.
+            (
+                vec![
+                    DimRange { start: 0, count: 32, step: 1 },
+                    DimRange { start: 0, count: 8, step: 3 },
+                ],
+                vec![32, 24],
+            ),
+            // All-strided, dim1 dominant: pencil plans are at their best.
+            (
+                vec![
+                    DimRange { start: 0, count: 8, step: 2 },
+                    DimRange { start: 0, count: 32, step: 2 },
+                ],
+                vec![16, 64],
+            ),
+        ];
+        let combos = [
+            (Platform::Stampede, Backend::Shmem), // emulated iput (loop)
+            (Platform::Stampede, Backend::Gasnet),
+            (Platform::Titan, Backend::Shmem), // native iput
+            (Platform::CrayXc30, Backend::Shmem),
+            (Platform::CrayXc30, Backend::CrayCaf),
+            (Platform::GenericSmp, Backend::Shmem),
+        ];
+        for (dims, shape) in &sections {
+            for (platform, backend) in combos {
+                let time_with = |algo: StridedAlgorithm| {
+                    let sec = Section::new(dims.clone());
+                    let shape = shape.clone();
+                    let cfg = match platform {
+                        Platform::GenericSmp => generic_smp(2),
+                        _ => platform.config(2, 1),
+                    };
+                    let out = run_caf(
+                        cfg.with_heap_bytes(1 << 20),
+                        CafConfig::new(backend, platform).with_strided(algo),
+                        move |img| {
+                            let a = img.coarray::<i32>(&shape).unwrap();
+                            if img.this_image() == 1 {
+                                let data = vec![1i32; sec.total()];
+                                let t0 = img.shmem().ctx().pe().now();
+                                for _ in 0..3 {
+                                    a.put_section(img, 2, &sec, &data);
+                                }
+                                img.shmem().ctx().pe().now() - t0
+                            } else {
+                                0
+                            }
+                        },
+                    );
+                    out.results[0]
+                };
+                let adaptive = time_with(Adaptive);
+                let naive = time_with(Naive);
+                let twodim = time_with(TwoDim);
+                assert!(
+                    adaptive <= naive,
+                    "{platform:?}/{backend:?} {dims:?}: adaptive {adaptive} > naive {naive}"
+                );
+                assert!(
+                    adaptive <= twodim,
+                    "{platform:?}/{backend:?} {dims:?}: adaptive {adaptive} > twodim {twodim}"
+                );
+            }
         }
     }
 

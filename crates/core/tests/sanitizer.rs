@@ -1,0 +1,210 @@
+//! End-to-end tests of the PGAS sanitizer: deliberately buggy programs
+//! must trip it with the right classification, and correctly synchronized
+//! programs must come out clean.
+
+use caf::{run_caf, run_caf_result, Backend, CafConfig, HazardKind, SanitizerMode};
+use pgas_machine::{titan, Platform};
+
+fn caf_cfg() -> CafConfig {
+    CafConfig::new(Backend::Shmem, Platform::Titan)
+}
+
+fn mcfg() -> pgas_machine::MachineConfig {
+    // Two nodes so transfers actually cross the network (no local
+    // fastpath shortcuts).
+    titan(2, 1).with_heap_bytes(1 << 18).with_sanitizer(SanitizerMode::Record)
+}
+
+#[test]
+fn quietless_strided_put_is_flagged_missing_quiet() {
+    // An iput followed by an overlapping get with no intervening quiet:
+    // OpenSHMEM gives no ordering between them, so the get can observe
+    // stale bytes. The conduit's pending-put checker catches it and the
+    // sanitizer classifies it as a missing quiet (the get covers a whole
+    // outstanding transfer).
+    let out = run_caf(mcfg(), caf_cfg(), |img| {
+        let p = img.shmem().shmalloc::<i64>(16).unwrap();
+        img.sync_all();
+        if img.this_image() == 1 {
+            let data: Vec<i64> = (0..8).collect();
+            // Every other element of image 2's array.
+            img.shmem().iput(p, 2, &data, 1, 8, 1);
+            // BUG: no quiet before reading the same range back.
+            let mut back = vec![0i64; 16];
+            img.shmem().get(p, &mut back, 1);
+        }
+        img.sync_all();
+    });
+    let r = out.expect_hazard(HazardKind::MissingQuiet);
+    assert_eq!(r.accessor, 0, "image 1 (PE 0) issued the unordered get");
+    assert_eq!(r.target, 1);
+    assert_eq!(r.op, "get");
+    assert!(out.stats.hazards >= 1, "conduit checker counts it too");
+}
+
+#[test]
+fn partially_overlapping_quietless_puts_are_flagged_torn() {
+    // Two puts that strictly partially overlap with no quiet in between:
+    // the overlap region may end up with a mix of bytes from both
+    // transfers — a torn transfer, worse than merely stale data.
+    let out = run_caf(mcfg(), caf_cfg(), |img| {
+        let p = img.shmem().shmalloc::<u64>(8).unwrap();
+        img.sync_all();
+        if img.this_image() == 1 {
+            img.shmem().put(p, &[1, 1, 1, 1], 1); // words [0, 4)
+                                                  // BUG: overlaps words [2, 6) while [0, 4) is outstanding.
+            img.shmem().put(p.slice(2, 4), &[2, 2, 2, 2], 1);
+            img.shmem().quiet();
+        }
+        img.sync_all();
+    });
+    let r = out.expect_hazard(HazardKind::TornTransfer);
+    assert_eq!(r.op, "put");
+    assert_eq!(r.target, 1);
+}
+
+#[test]
+fn syncless_producer_consumer_is_flagged_missing_sync() {
+    // Image 1 produces into image 2's heap and "signals" through a raw
+    // machine flag the PGAS model knows nothing about (standing in for a
+    // program that simply forgot to synchronize). Image 2's read of the
+    // produced data has no happens-before edge from the put: a data race.
+    use std::sync::atomic::Ordering;
+    let out = run_caf(mcfg(), caf_cfg(), |img| {
+        let data = img.shmem().shmalloc::<u64>(4).unwrap();
+        let flag = img.shmem().shmalloc::<u64>(1).unwrap();
+        img.sync_all();
+        let m = img.shmem().ctx().pe().machine();
+        if img.this_image() == 1 {
+            img.shmem().put(data, &[7, 7, 7, 7], 1);
+            img.shmem().quiet(); // ordered, but never *synchronized*
+            m.heap(1).atomic64(flag.offset()).store(1, Ordering::Release);
+            m.notify_pe(1);
+            0
+        } else {
+            m.wait_on(1, || m.heap(1).atomic64(flag.offset()).load(Ordering::Acquire) == 1);
+            let mut v = [0u64; 4];
+            // BUG: no sync statement between the remote put and this read.
+            img.shmem().read_local(data, &mut v);
+            v[0]
+        }
+    });
+    assert_eq!(out.results[1], 7, "data did arrive — the bug is ordering, not delivery");
+    let r = out.expect_hazard(HazardKind::MissingSync);
+    assert_eq!(r.accessor, 1, "image 2 (PE 1) read without synchronizing");
+    assert_eq!(r.conflict_pe, 0, "the racing writer is image 1 (PE 0)");
+    assert_eq!(r.op, "local read");
+    assert_eq!(out.stats.races, 1);
+}
+
+#[test]
+fn synchronized_producer_consumer_is_clean() {
+    // The same producer/consumer with the race fixed by `sync all` must
+    // produce zero reports.
+    let out = run_caf(mcfg(), caf_cfg(), |img| {
+        let data = img.shmem().shmalloc::<u64>(4).unwrap();
+        img.sync_all();
+        if img.this_image() == 1 {
+            img.shmem().put(data, &[7, 7, 7, 7], 1);
+            img.shmem().quiet();
+        }
+        img.sync_all();
+        if img.this_image() == 2 {
+            let mut v = [0u64; 4];
+            img.shmem().read_local(data, &mut v);
+            v[0]
+        } else {
+            0
+        }
+    });
+    assert_eq!(out.results[1], 7);
+    out.expect_hazard_free();
+    assert_eq!(out.stats.races, 0);
+}
+
+#[test]
+fn wait_until_edge_makes_flag_protocols_clean() {
+    // The canonical CAF event pattern: produce, quiet, set a flag with an
+    // atomic, consumer waits on the flag. `wait_until` must create the
+    // happens-before edge that keeps this clean.
+    let out = run_caf(mcfg(), caf_cfg(), |img| {
+        let data = img.shmem().shmalloc::<u64>(4).unwrap();
+        let flag = img.shmem().shmalloc::<u64>(1).unwrap();
+        img.sync_all();
+        if img.this_image() == 1 {
+            img.shmem().put(data, &[9, 9, 9, 9], 1);
+            img.shmem().quiet();
+            img.shmem().atomic_set(flag, 1, 1);
+            img.shmem().quiet();
+            0
+        } else {
+            img.shmem().wait_until(flag, openshmem::shmem::Cmp::Eq, 1);
+            let mut v = [0u64; 4];
+            img.shmem().read_local(data, &mut v);
+            v[0]
+        }
+    });
+    assert_eq!(out.results[1], 9);
+    out.expect_hazard_free();
+}
+
+#[test]
+fn panic_mode_fails_the_job_with_the_diagnostic() {
+    let err = run_caf_result(
+        titan(2, 1).with_heap_bytes(1 << 18).with_sanitizer(SanitizerMode::Panic),
+        caf_cfg(),
+        |img| {
+            let p = img.shmem().shmalloc::<u64>(8).unwrap();
+            img.sync_all();
+            if img.this_image() == 1 {
+                img.shmem().put(p, &[1; 8], 1);
+                let mut back = [0u64; 8];
+                img.shmem().get(p, &mut back, 1); // no quiet
+            }
+            img.sync_all();
+        },
+    )
+    .unwrap_err();
+    assert!(
+        err.message.contains("missing-quiet hazard"),
+        "panic message should carry the structured diagnostic, got: {}",
+        err.message
+    );
+}
+
+#[test]
+fn forced_mode_overrides_an_off_config() {
+    // `with_forced_mode` is what the apps' clean-run tests rely on: it must
+    // engage the sanitizer even when the machine config leaves it Off.
+    let err = pgas_machine::with_forced_mode(SanitizerMode::Panic, || {
+        run_caf_result(titan(2, 1).with_heap_bytes(1 << 18), caf_cfg(), |img| {
+            let p = img.shmem().shmalloc::<u64>(8).unwrap();
+            img.sync_all();
+            if img.this_image() == 1 {
+                img.shmem().put(p, &[1; 8], 1);
+                let mut back = [0u64; 8];
+                img.shmem().get(p, &mut back, 1); // no quiet
+            }
+            img.sync_all();
+        })
+    })
+    .unwrap_err();
+    assert!(err.message.contains("missing-quiet hazard"), "got: {}", err.message);
+}
+
+#[test]
+fn caf_coindexed_assignment_is_clean_under_sanitizer() {
+    // The runtime's own translation (put + quiet, barriers) of a plain
+    // coarray exchange must be hazard-free — the sanitizer checks the
+    // program, not the runtime's internals.
+    let out = run_caf(mcfg(), caf_cfg(), |img| {
+        let a = img.coarray::<i64>(&[8]).unwrap();
+        img.sync_all();
+        let next = img.this_image() % img.num_images() + 1;
+        a.put_to(img, next, &[img.this_image() as i64; 8]);
+        img.sync_all();
+        a.read_local(img)[0]
+    });
+    assert_eq!(out.results, vec![2, 1]);
+    out.expect_hazard_free();
+}

@@ -1,9 +1,9 @@
 //! Machine description: topology, wire parameters, compute speed.
 
-use serde::{Deserialize, Serialize};
+use crate::sanitizer::SanitizerMode;
 
 /// Parameters of one class of link (inter-node wire or intra-node memory bus).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkParams {
     /// One-way wire latency in nanoseconds (time of flight, not occupancy).
     pub latency_ns: f64,
@@ -24,7 +24,7 @@ impl LinkParams {
 /// These are raw hardware numbers; per-library software overheads (issue cost,
 /// completion cost, active-message processing) belong to conduit profiles in
 /// `pgas-conduit`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WireParams {
     /// Inter-node link (InfiniBand / Gemini / Aries ...).
     pub inter: LinkParams,
@@ -38,7 +38,7 @@ pub struct WireParams {
 
 /// Compute-speed parameters used by application kernels (Himeno, DHT) to
 /// charge local computation to the virtual clock.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComputeParams {
     /// Sustained floating-point rate of one core, in flops per nanosecond
     /// (i.e. GFLOP/s).
@@ -48,7 +48,7 @@ pub struct ComputeParams {
 }
 
 /// Full description of a simulated machine.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MachineConfig {
     /// Human-readable platform name ("stampede", "titan", ...).
     pub name: String,
@@ -63,8 +63,9 @@ pub struct MachineConfig {
     /// Stack size for PE threads, bytes.
     pub stack_bytes: usize,
     /// Record a virtual-time execution trace (see `crate::trace`).
-    #[serde(default)]
     pub trace: bool,
+    /// Race & sync sanitizer mode (see `crate::sanitizer`). Off by default.
+    pub sanitizer: SanitizerMode,
 }
 
 impl MachineConfig {
@@ -94,6 +95,12 @@ impl MachineConfig {
     /// Enable virtual-time execution tracing.
     pub fn with_trace(mut self, on: bool) -> Self {
         self.trace = on;
+        self
+    }
+
+    /// Set the race & sync sanitizer mode.
+    pub fn with_sanitizer(mut self, mode: SanitizerMode) -> Self {
+        self.sanitizer = mode;
         self
     }
 

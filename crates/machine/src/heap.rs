@@ -185,7 +185,8 @@ mod tests {
         let h = Heap::new(128);
         for off in 0..16 {
             for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 23, 40] {
-                let data: Vec<u8> = (0..len as u8).map(|b| b.wrapping_mul(37).wrapping_add(off as u8)).collect();
+                let data: Vec<u8> =
+                    (0..len as u8).map(|b| b.wrapping_mul(37).wrapping_add(off as u8)).collect();
                 h.write_bytes(off, &data);
                 let mut out = vec![0xAAu8; len];
                 h.read_bytes(off, &mut out);

@@ -3,6 +3,7 @@
 
 use crate::config::MachineConfig;
 use crate::machine::{Machine, Pe};
+use crate::sanitizer::{HazardKind, HazardReport};
 use crate::stats::StatsSnapshot;
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
@@ -28,6 +29,9 @@ pub struct SimOutcome<R> {
     pub nics: Vec<NicSnapshot>,
     /// Execution trace (empty unless `MachineConfig::trace` was set).
     pub trace: Vec<crate::trace::Span>,
+    /// Sanitizer diagnostics (empty unless `MachineConfig::sanitizer` was
+    /// `Record` — in `Panic` mode the job fails at the first hazard).
+    pub hazard_reports: Vec<HazardReport>,
     /// Platform name the job ran on.
     pub machine: String,
 }
@@ -36,6 +40,34 @@ impl<R> SimOutcome<R> {
     /// Virtual makespan of the job: the latest final clock, ns.
     pub fn makespan_ns(&self) -> u64 {
         self.clocks.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Assert the sanitizer found nothing; panics with every report
+    /// otherwise. (Only meaningful when the job ran with the sanitizer in
+    /// `Record` mode.)
+    pub fn expect_hazard_free(&self) {
+        if self.hazard_reports.is_empty() {
+            return;
+        }
+        let mut msg = format!("sanitizer found {} hazard(s):", self.hazard_reports.len());
+        for r in &self.hazard_reports {
+            msg.push_str("\n  - ");
+            msg.push_str(&r.to_string());
+        }
+        panic!("{msg}");
+    }
+
+    /// Assert the sanitizer flagged at least one hazard of `kind` and
+    /// return the first such report; panics (listing what *was* found)
+    /// otherwise.
+    pub fn expect_hazard(&self, kind: HazardKind) -> &HazardReport {
+        self.hazard_reports.iter().find(|r| r.kind == kind).unwrap_or_else(|| {
+            panic!(
+                "expected a {} but the sanitizer recorded {:?}",
+                kind.label(),
+                self.hazard_reports
+            )
+        })
     }
 }
 
@@ -87,9 +119,7 @@ where
         for id in 0..n {
             let machine = &machine;
             let f = &f;
-            let builder = std::thread::Builder::new()
-                .name(format!("pe-{id}"))
-                .stack_size(stack);
+            let builder = std::thread::Builder::new().name(format!("pe-{id}")).stack_size(stack);
             let handle = builder
                 .spawn_scoped(scope, move || {
                     let pe = Pe::new(id, machine);
@@ -147,6 +177,7 @@ where
             })
             .collect(),
         trace: machine.tracer().drain(),
+        hazard_reports: machine.sanitizer().take_reports(),
         machine: name,
         results,
     })

@@ -26,10 +26,12 @@
 
 pub mod config;
 pub mod heap;
+pub mod json;
 pub mod launch;
 pub mod machine;
 pub mod nic;
 pub mod platforms;
+pub mod sanitizer;
 pub mod stats;
 pub mod sync;
 pub mod trace;
@@ -38,4 +40,5 @@ pub use config::{ComputeParams, LinkParams, MachineConfig, WireParams};
 pub use launch::{run, run_with_result, NicSnapshot, SimError, SimOutcome};
 pub use machine::{Machine, PeId};
 pub use platforms::{cray_xc30, generic_smp, stampede, titan, Platform};
+pub use sanitizer::{with_forced_mode, HazardKind, HazardReport, SanitizerMode};
 pub use stats::StatsSnapshot;

@@ -3,6 +3,7 @@
 use crate::config::MachineConfig;
 use crate::heap::Heap;
 use crate::nic::Nic;
+use crate::sanitizer::{HazardReport, Sanitizer, SanitizerMode};
 use crate::stats::Stats;
 use crate::sync::{ClockBarrier, NotifyCell, Poison};
 use crate::trace::Tracer;
@@ -32,6 +33,7 @@ pub struct Machine {
     nics: Vec<Nic>,
     stats: Stats,
     tracer: Tracer,
+    sanitizer: Sanitizer,
     poison: Poison,
     global_barrier: ClockBarrier,
     subset_barriers: Mutex<HashMap<Vec<PeId>, Arc<ClockBarrier>>>,
@@ -55,6 +57,11 @@ impl Machine {
             subset_barriers: Mutex::new(HashMap::new()),
             stats: Stats::default(),
             tracer: Tracer::new(cfg.trace),
+            sanitizer: Sanitizer::new(
+                crate::sanitizer::forced_mode().unwrap_or(cfg.sanitizer),
+                n,
+                cfg.heap_bytes,
+            ),
             poison: Poison::default(),
             cfg,
         })
@@ -111,6 +118,99 @@ impl Machine {
     #[inline]
     pub fn poison(&self) -> &Poison {
         &self.poison
+    }
+
+    // ---- race & sync sanitizer ------------------------------------------
+
+    /// Is the sanitizer active?
+    #[inline]
+    pub fn san_on(&self) -> bool {
+        self.sanitizer.is_on()
+    }
+
+    /// The sanitizer itself (for report draining).
+    #[inline]
+    pub fn sanitizer(&self) -> &Sanitizer {
+        &self.sanitizer
+    }
+
+    /// Deliver a sanitizer report: count it, record it, and panic the
+    /// calling PE in `Panic` mode.
+    fn san_deliver(&self, report: HazardReport) {
+        Stats::bump(&self.stats.races);
+        let panic_mode = self.sanitizer.mode() == SanitizerMode::Panic;
+        let msg = if panic_mode { report.to_string() } else { String::new() };
+        self.sanitizer.push(report);
+        if panic_mode {
+            panic!("{msg}");
+        }
+    }
+
+    /// Sanitizer hook: a write by `writer` to `owner`'s heap completing at
+    /// virtual time `time`. No-op when the sanitizer is off.
+    #[allow(clippy::too_many_arguments)]
+    pub fn san_record_write(
+        &self,
+        owner: PeId,
+        off: usize,
+        len: usize,
+        writer: PeId,
+        time: u64,
+        atomic: bool,
+        op: &'static str,
+    ) {
+        if let Some(r) = self.sanitizer.record_write(owner, off, len, writer, time, atomic, op) {
+            self.san_deliver(r);
+        }
+    }
+
+    /// Sanitizer hook: a read by `reader` of `owner`'s heap.
+    pub fn san_check_read(
+        &self,
+        owner: PeId,
+        off: usize,
+        len: usize,
+        reader: PeId,
+        op: &'static str,
+    ) {
+        let now = self.clock(reader);
+        if let Some(r) = self.sanitizer.check_read(owner, off, len, reader, now, op) {
+            self.san_deliver(r);
+        }
+    }
+
+    /// Sanitizer hook: `observer` synchronized with whoever last wrote the
+    /// word at `off` in `owner`'s heap (a completed `wait_until` or a
+    /// fetching atomic). Creates the happens-before edge reader-side checks
+    /// rely on.
+    pub fn san_sync_edge(&self, observer: PeId, owner: PeId, off: usize) {
+        let Some((w, wtime)) = self.sanitizer.last_writer(owner, off) else {
+            return;
+        };
+        if w == observer {
+            return;
+        }
+        self.sanitizer.join_rows(observer, w);
+        // The writer's live clock bounds the completion time of everything
+        // it issued *and then quieted* before setting this word; the word's
+        // own stamp covers the direct write.
+        self.sanitizer.raise(observer, w, wtime.max(self.clock(w)));
+    }
+
+    /// Sanitizer hook: a structured hazard found by a higher layer (the
+    /// conduit's pending-put checker). Recorded and, in `Panic` mode,
+    /// escalated — but *not* counted in `stats.races`, since the conduit
+    /// already counts it in `stats.hazards`.
+    pub fn san_report(&self, report: HazardReport) {
+        if !self.sanitizer.is_on() {
+            return;
+        }
+        let panic_mode = self.sanitizer.mode() == SanitizerMode::Panic;
+        let msg = if panic_mode { report.to_string() } else { String::new() };
+        self.sanitizer.push(report);
+        if panic_mode {
+            panic!("{msg}");
+        }
     }
 
     // ---- virtual clocks ------------------------------------------------
@@ -178,6 +278,7 @@ impl Machine {
         let max = self.global_barrier.arrive(self.clock(pe), &self.poison);
         let t = max + extra_ns.round() as u64;
         self.pes[pe].clock.store(t, Ordering::Release);
+        self.sanitizer.barrier_join(pe, 0..self.num_pes(), t);
         t
     }
 
@@ -196,6 +297,7 @@ impl Machine {
         let max = barrier.arrive(self.clock(pe), &self.poison);
         let t = max + extra_ns.round() as u64;
         self.pes[pe].clock.store(t, Ordering::Release);
+        self.sanitizer.barrier_join(pe, group.iter().copied(), t);
         t
     }
 

@@ -15,6 +15,7 @@
 //! conduit profiles in `pgas-conduit`.
 
 use crate::config::{ComputeParams, LinkParams, MachineConfig, WireParams};
+use crate::sanitizer::SanitizerMode;
 
 /// Identifier for a paper platform, used by benchmark harnesses to pick both
 /// a `MachineConfig` and the set of conduit profiles evaluated on it.
@@ -76,6 +77,7 @@ pub fn stampede(nodes: usize, cores_per_node: usize) -> MachineConfig {
         compute: ComputeParams { core_gflops: 2.0, local_op_ns: 1.0 },
         stack_bytes: DEFAULT_STACK,
         trace: false,
+        sanitizer: SanitizerMode::Off,
     }
 }
 
@@ -96,6 +98,7 @@ pub fn titan(nodes: usize, cores_per_node: usize) -> MachineConfig {
         compute: ComputeParams { core_gflops: 1.2, local_op_ns: 1.2 },
         stack_bytes: DEFAULT_STACK,
         trace: false,
+        sanitizer: SanitizerMode::Off,
     }
 }
 
@@ -116,6 +119,7 @@ pub fn cray_xc30(nodes: usize, cores_per_node: usize) -> MachineConfig {
         compute: ComputeParams { core_gflops: 2.0, local_op_ns: 1.0 },
         stack_bytes: DEFAULT_STACK,
         trace: false,
+        sanitizer: SanitizerMode::Off,
     }
 }
 
@@ -136,6 +140,7 @@ pub fn generic_smp(cores: usize) -> MachineConfig {
         compute: ComputeParams { core_gflops: 2.5, local_op_ns: 0.8 },
         stack_bytes: DEFAULT_STACK,
         trace: false,
+        sanitizer: SanitizerMode::Off,
     }
 }
 

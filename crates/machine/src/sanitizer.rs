@@ -1,0 +1,540 @@
+//! PGAS race & synchronization sanitizer.
+//!
+//! When enabled via [`crate::MachineConfig::sanitizer`], the machine keeps a
+//! FastTrack-style shadow of every symmetric heap — per 8-byte word: the last
+//! writer PE, its completion time, whether the access was atomic, and the
+//! byte mask it touched, plus the analogous last-reader record — together
+//! with one vector clock per PE. Happens-before edges come from the places a
+//! CAF/OpenSHMEM program is *allowed* to synchronize:
+//!
+//! * barriers (`sync all` / `sync images` via `barrier_all`/`barrier_group`),
+//! * `wait_until` observing a word (edge from the word's last writer),
+//! * fetching atomics (edge from the fetched word's last writer — this is
+//!   what makes an MCS lock handoff through `swap`/`compare_swap` visible).
+//!
+//! A non-atomic access that conflicts with a non-atomic access by another PE
+//! *without* such an edge is a data race (`MissingSync`). Ordering hazards
+//! found by the conduit's pending-put checker are funneled into the same
+//! report sink, classified as `MissingQuiet` (stale but whole) or
+//! `TornTransfer` (partial overlap with an outstanding put, so a mix of old
+//! and new bytes may be observed).
+//!
+//! Precision notes, deliberate and documented:
+//!
+//! * Shadow granularity is one record per 8-byte word; the byte mask makes
+//!   sub-word *disjoint* writes (e.g. two PEs filling adjacent `i32` slots of
+//!   one word) conflict-free, but the shadow only remembers the most recent
+//!   writer per word, so a third access can miss a conflict with the
+//!   overwritten record. Under-detection only — never a false positive.
+//! * The `wait_until`/fetching-atomic edge joins with the writer's *live*
+//!   clock row, which may be slightly ahead of the moment the flag was set.
+//!   Again: can only suppress reports, never invent them.
+//! * Accesses where either side is atomic are exempt from conflict checks
+//!   (Fortran atomics carry no ordering obligation), but still create shadow
+//!   records so sync edges can be derived from them.
+
+use crate::machine::PeId;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How the sanitizer behaves, set in [`crate::MachineConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SanitizerMode {
+    /// No shadow state, no checks, no overhead. The default.
+    #[default]
+    Off,
+    /// Record every hazard in the simulation outcome; never panic.
+    Record,
+    /// Panic on the PE that triggers the first hazard (poisons the job, so
+    /// `run_with_result` reports it as a `SimError`).
+    Panic,
+}
+
+thread_local! {
+    static FORCED_MODE: std::cell::Cell<Option<SanitizerMode>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Run `f` with every machine built *on this thread* forced to sanitizer
+/// `mode`, regardless of what its `MachineConfig` says. This lets existing
+/// harnesses (the apps, the benchmark drivers) be re-run under the
+/// sanitizer without plumbing a mode parameter through their entry points.
+/// The previous override is restored on exit, including on unwind.
+pub fn with_forced_mode<R>(mode: SanitizerMode, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<SanitizerMode>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCED_MODE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(FORCED_MODE.with(|c| c.replace(Some(mode))));
+    f()
+}
+
+/// The mode forced by [`with_forced_mode`] on the current thread, if any.
+pub(crate) fn forced_mode() -> Option<SanitizerMode> {
+    FORCED_MODE.with(|c| c.get())
+}
+
+/// Classification of a detected hazard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HazardKind {
+    /// Same-PE ordering bug: an access overlapped the PE's own un-quieted
+    /// put covering the same bytes — a `shmem_quiet` (or `sync memory`) is
+    /// missing between issue and reuse.
+    MissingQuiet,
+    /// An access *partially* overlapped an outstanding put, so it can
+    /// observe a mix of old and new bytes even on a machine that delivers
+    /// puts atomically at word grain.
+    TornTransfer,
+    /// Cross-PE data race: two non-atomic accesses from different PEs touch
+    /// the same bytes with no happens-before edge (barrier, `wait_until`,
+    /// or fetching atomic) between them.
+    MissingSync,
+}
+
+impl HazardKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            HazardKind::MissingQuiet => "missing-quiet hazard",
+            HazardKind::TornTransfer => "torn-transfer hazard",
+            HazardKind::MissingSync => "missing-sync hazard",
+        }
+    }
+}
+
+/// One structured diagnostic from the sanitizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HazardReport {
+    pub kind: HazardKind,
+    /// Operation that tripped the check ("put", "get", "amo", "local read",
+    /// ...).
+    pub op: &'static str,
+    /// PE performing the access.
+    pub accessor: PeId,
+    /// PE whose symmetric heap holds the conflicting bytes.
+    pub target: PeId,
+    /// PE on the other side of the conflict (for `MissingQuiet` /
+    /// `TornTransfer` this is the accessor itself).
+    pub conflict_pe: PeId,
+    /// Byte range of the triggering access within the target heap.
+    pub offset: usize,
+    pub len: usize,
+    /// Virtual time of the conflicting earlier access.
+    pub t_conflict: u64,
+    /// Latest time of `conflict_pe` the accessor had synchronized with
+    /// (0 = never).
+    pub t_known: u64,
+}
+
+impl std::fmt::Display for HazardReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} by PE {} on PE {}'s heap bytes [{}, {}) conflicts with an \
+             access by PE {} at t={} (synchronized with PE {} only up to t={})",
+            self.kind.label(),
+            self.op,
+            self.accessor,
+            self.target,
+            self.offset,
+            self.offset + self.len,
+            self.conflict_pe,
+            self.t_conflict,
+            self.conflict_pe,
+            self.t_known,
+        )
+    }
+}
+
+// Shadow-word packing. Writer: `(pe + 1) << 9 | atomic << 8 | byte_mask`;
+// reader: `(pe + 1) << 9 | byte_mask`. Zero = no record.
+const MASK_BITS: u64 = 0xFF;
+const ATOMIC_BIT: u64 = 1 << 8;
+const PE_SHIFT: u32 = 9;
+
+#[derive(Debug, Clone, Copy)]
+struct ShadowRec {
+    pe: PeId,
+    atomic: bool,
+    mask: u8,
+}
+
+fn unpack(word: u64) -> Option<ShadowRec> {
+    if word == 0 {
+        return None;
+    }
+    Some(ShadowRec {
+        pe: (word >> PE_SHIFT) as PeId - 1,
+        atomic: word & ATOMIC_BIT != 0,
+        mask: (word & MASK_BITS) as u8,
+    })
+}
+
+fn pack(pe: PeId, atomic: bool, mask: u8) -> u64 {
+    ((pe as u64 + 1) << PE_SHIFT) | if atomic { ATOMIC_BIT } else { 0 } | mask as u64
+}
+
+/// Byte mask of `[off, off+len)` restricted to word `w` (bit i = byte
+/// `w * 8 + i`).
+fn word_mask(off: usize, len: usize, w: usize) -> u8 {
+    let lo = (w * 8).max(off) - w * 8;
+    let hi = ((w * 8 + 8).min(off + len)).saturating_sub(w * 8);
+    if hi <= lo {
+        return 0;
+    }
+    (((1u16 << hi) - (1u16 << lo)) & 0xFF) as u8
+}
+
+/// Per-PE-heap shadow arrays.
+struct HeapShadow {
+    writers: Box<[AtomicU64]>,
+    wtimes: Box<[AtomicU64]>,
+    readers: Box<[AtomicU64]>,
+    rtimes: Box<[AtomicU64]>,
+}
+
+/// The sanitizer proper: shadow memory + vector clocks + report sink.
+///
+/// All checking methods are no-ops when the mode is `Off`; the shadow
+/// arrays are not even allocated then.
+pub struct Sanitizer {
+    mode: SanitizerMode,
+    n_pes: usize,
+    shadows: Vec<HeapShadow>,
+    /// `vc[p][q]`: latest virtual time of PE `q` that PE `p` has
+    /// synchronized with. Row `p` is only written from PE `p`'s thread.
+    vc: Vec<Box<[AtomicU64]>>,
+    reports: Mutex<Vec<HazardReport>>,
+}
+
+fn zeroed(n: usize) -> Box<[AtomicU64]> {
+    (0..n).map(|_| AtomicU64::new(0)).collect()
+}
+
+impl Sanitizer {
+    pub fn new(mode: SanitizerMode, n_pes: usize, heap_bytes: usize) -> Sanitizer {
+        let (shadows, vc) = if mode == SanitizerMode::Off {
+            (Vec::new(), Vec::new())
+        } else {
+            let words = heap_bytes.div_ceil(8);
+            (
+                (0..n_pes)
+                    .map(|_| HeapShadow {
+                        writers: zeroed(words),
+                        wtimes: zeroed(words),
+                        readers: zeroed(words),
+                        rtimes: zeroed(words),
+                    })
+                    .collect(),
+                (0..n_pes).map(|_| zeroed(n_pes)).collect(),
+            )
+        };
+        Sanitizer { mode, n_pes, shadows, vc, reports: Mutex::new(Vec::new()) }
+    }
+
+    #[inline]
+    pub fn mode(&self) -> SanitizerMode {
+        self.mode
+    }
+
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.mode != SanitizerMode::Off
+    }
+
+    /// Latest time of `other` that `me` has synchronized with.
+    fn known(&self, me: PeId, other: PeId) -> u64 {
+        self.vc[me][other].load(Ordering::Acquire)
+    }
+
+    /// Check a write by `writer` to `[off, off+len)` of `owner`'s heap
+    /// against the existing shadow, then install the new write record.
+    /// `time` is the write's completion time in virtual ns. Returns the
+    /// first conflict found, if any.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_write(
+        &self,
+        owner: PeId,
+        off: usize,
+        len: usize,
+        writer: PeId,
+        time: u64,
+        atomic: bool,
+        op: &'static str,
+    ) -> Option<HazardReport> {
+        if !self.is_on() || len == 0 {
+            return None;
+        }
+        let sh = &self.shadows[owner];
+        let mut conflict: Option<HazardReport> = None;
+        for w in off / 8..(off + len).div_ceil(8) {
+            if w >= sh.writers.len() {
+                break;
+            }
+            let mask = word_mask(off, len, w);
+            if conflict.is_none() && !atomic {
+                // Write/write conflict with a different, non-atomic writer.
+                if let Some(prev) = unpack(sh.writers[w].load(Ordering::Acquire)) {
+                    let t_prev = sh.wtimes[w].load(Ordering::Acquire);
+                    if prev.pe != writer
+                        && !prev.atomic
+                        && prev.mask & mask != 0
+                        && t_prev > self.known(writer, prev.pe)
+                    {
+                        conflict = Some(HazardReport {
+                            kind: HazardKind::MissingSync,
+                            op,
+                            accessor: writer,
+                            target: owner,
+                            conflict_pe: prev.pe,
+                            offset: off,
+                            len,
+                            t_conflict: t_prev,
+                            t_known: self.known(writer, prev.pe),
+                        });
+                    }
+                }
+                // Write over an unsynchronized non-atomic read.
+                if conflict.is_none() {
+                    if let Some(prev) = unpack(sh.readers[w].load(Ordering::Acquire)) {
+                        let t_prev = sh.rtimes[w].load(Ordering::Acquire);
+                        if prev.pe != writer
+                            && prev.mask & mask != 0
+                            && t_prev > self.known(writer, prev.pe)
+                        {
+                            conflict = Some(HazardReport {
+                                kind: HazardKind::MissingSync,
+                                op,
+                                accessor: writer,
+                                target: owner,
+                                conflict_pe: prev.pe,
+                                offset: off,
+                                len,
+                                t_conflict: t_prev,
+                                t_known: self.known(writer, prev.pe),
+                            });
+                        }
+                    }
+                }
+            }
+            // Install the new record. Same writer extending within a word
+            // merges the mask; a different writer replaces the record.
+            let packed = pack(writer, atomic, mask);
+            let prev = sh.writers[w].load(Ordering::Acquire);
+            let merged = match unpack(prev) {
+                Some(p) if p.pe == writer && p.atomic == atomic => {
+                    pack(writer, atomic, p.mask | mask)
+                }
+                _ => packed,
+            };
+            sh.writers[w].store(merged, Ordering::Release);
+            sh.wtimes[w].fetch_max(time, Ordering::AcqRel);
+        }
+        conflict
+    }
+
+    /// Check a read by `reader` of `[off, off+len)` of `owner`'s heap
+    /// against the write shadow, then install the read record (`now` is the
+    /// reader's current virtual time).
+    pub fn check_read(
+        &self,
+        owner: PeId,
+        off: usize,
+        len: usize,
+        reader: PeId,
+        now: u64,
+        op: &'static str,
+    ) -> Option<HazardReport> {
+        if !self.is_on() || len == 0 {
+            return None;
+        }
+        let sh = &self.shadows[owner];
+        let mut conflict: Option<HazardReport> = None;
+        for w in off / 8..(off + len).div_ceil(8) {
+            if w >= sh.writers.len() {
+                break;
+            }
+            let mask = word_mask(off, len, w);
+            if conflict.is_none() {
+                if let Some(prev) = unpack(sh.writers[w].load(Ordering::Acquire)) {
+                    let t_prev = sh.wtimes[w].load(Ordering::Acquire);
+                    if prev.pe != reader
+                        && !prev.atomic
+                        && prev.mask & mask != 0
+                        && t_prev > self.known(reader, prev.pe)
+                    {
+                        conflict = Some(HazardReport {
+                            kind: HazardKind::MissingSync,
+                            op,
+                            accessor: reader,
+                            target: owner,
+                            conflict_pe: prev.pe,
+                            offset: off,
+                            len,
+                            t_conflict: t_prev,
+                            t_known: self.known(reader, prev.pe),
+                        });
+                    }
+                }
+            }
+            let prev = sh.readers[w].load(Ordering::Acquire);
+            let merged = match unpack(prev) {
+                Some(p) if p.pe == reader => pack(reader, false, p.mask | mask),
+                _ => pack(reader, false, mask),
+            };
+            sh.readers[w].store(merged, Ordering::Release);
+            sh.rtimes[w].fetch_max(now, Ordering::AcqRel);
+        }
+        conflict
+    }
+
+    /// Last writer of the word holding `off` in `owner`'s heap, with its
+    /// completion time.
+    pub fn last_writer(&self, owner: PeId, off: usize) -> Option<(PeId, u64)> {
+        if !self.is_on() {
+            return None;
+        }
+        let sh = &self.shadows[owner];
+        let w = off / 8;
+        if w >= sh.writers.len() {
+            return None;
+        }
+        let rec = unpack(sh.writers[w].load(Ordering::Acquire))?;
+        Some((rec.pe, sh.wtimes[w].load(Ordering::Acquire)))
+    }
+
+    /// Join `me`'s vector clock with `other`'s row (element-wise max). Both
+    /// rows may be read concurrently; only `me`'s is written, from `me`'s
+    /// thread.
+    pub fn join_rows(&self, me: PeId, other: PeId) {
+        if !self.is_on() || me == other {
+            return;
+        }
+        for q in 0..self.n_pes {
+            let v = self.vc[other][q].load(Ordering::Acquire);
+            self.vc[me][q].fetch_max(v, Ordering::AcqRel);
+        }
+    }
+
+    /// Raise `me`'s knowledge of `other` to at least `t`.
+    pub fn raise(&self, me: PeId, other: PeId, t: u64) {
+        if !self.is_on() {
+            return;
+        }
+        self.vc[me][other].fetch_max(t, Ordering::AcqRel);
+    }
+
+    /// Record a barrier among `group` completing at virtual time `t`, from
+    /// the perspective of member `me`: afterwards `me` knows every member up
+    /// to `t` and inherits everything each member knew.
+    pub fn barrier_join(&self, me: PeId, group: impl Iterator<Item = PeId>, t: u64) {
+        if !self.is_on() {
+            return;
+        }
+        for q in group {
+            self.raise(me, q, t);
+            self.join_rows(me, q);
+        }
+    }
+
+    /// Append a report to the sink.
+    pub fn push(&self, report: HazardReport) {
+        self.reports.lock().push(report);
+    }
+
+    /// Drain every accumulated report (ordered by detection).
+    pub fn take_reports(&self) -> Vec<HazardReport> {
+        std::mem::take(&mut *self.reports.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_mask_covers_partial_words() {
+        assert_eq!(word_mask(0, 8, 0), 0xFF);
+        assert_eq!(word_mask(0, 4, 0), 0x0F);
+        assert_eq!(word_mask(4, 4, 0), 0xF0);
+        assert_eq!(word_mask(6, 4, 0), 0xC0);
+        assert_eq!(word_mask(6, 4, 1), 0x03);
+        assert_eq!(word_mask(8, 8, 0), 0x00);
+    }
+
+    #[test]
+    fn off_mode_allocates_nothing_and_reports_nothing() {
+        let s = Sanitizer::new(SanitizerMode::Off, 4, 1 << 20);
+        assert!(!s.is_on());
+        assert!(s.record_write(0, 0, 64, 1, 100, false, "put").is_none());
+        assert!(s.check_read(0, 0, 64, 2, 50, "get").is_none());
+        assert!(s.take_reports().is_empty());
+    }
+
+    #[test]
+    fn unsynchronized_read_after_remote_write_races() {
+        let s = Sanitizer::new(SanitizerMode::Record, 4, 4096);
+        assert!(s.record_write(0, 64, 16, 1, 500, false, "put").is_none());
+        let r = s.check_read(0, 64, 16, 2, 400, "get").expect("race detected");
+        assert_eq!(r.kind, HazardKind::MissingSync);
+        assert_eq!(r.conflict_pe, 1);
+        assert_eq!(r.t_conflict, 500);
+        assert_eq!(r.t_known, 0);
+    }
+
+    #[test]
+    fn barrier_edge_suppresses_the_race() {
+        let s = Sanitizer::new(SanitizerMode::Record, 4, 4096);
+        s.record_write(0, 64, 16, 1, 500, false, "put");
+        s.barrier_join(2, 0..4, 600);
+        assert!(s.check_read(0, 64, 16, 2, 700, "get").is_none());
+    }
+
+    #[test]
+    fn owner_reading_its_own_write_is_fine() {
+        let s = Sanitizer::new(SanitizerMode::Record, 2, 4096);
+        s.record_write(0, 0, 8, 0, 10, false, "local write");
+        assert!(s.check_read(0, 0, 8, 0, 20, "local read").is_none());
+    }
+
+    #[test]
+    fn atomic_accesses_are_exempt_but_still_recorded() {
+        let s = Sanitizer::new(SanitizerMode::Record, 4, 4096);
+        s.record_write(0, 0, 8, 1, 500, true, "amo");
+        assert!(s.check_read(0, 0, 8, 2, 100, "get").is_none(), "atomic writer is exempt");
+        assert_eq!(s.last_writer(0, 0), Some((1, 500)));
+    }
+
+    #[test]
+    fn disjoint_subword_writes_do_not_conflict() {
+        let s = Sanitizer::new(SanitizerMode::Record, 4, 4096);
+        // PE 1 writes bytes [0, 4), PE 2 writes bytes [4, 8) of word 0.
+        assert!(s.record_write(0, 0, 4, 1, 500, false, "put").is_none());
+        assert!(s.record_write(0, 4, 4, 2, 600, false, "put").is_none());
+        // But an overlapping third write does conflict (with PE 2, the
+        // surviving record).
+        let r = s.record_write(0, 4, 4, 3, 700, false, "put").expect("conflict");
+        assert_eq!(r.conflict_pe, 2);
+    }
+
+    #[test]
+    fn write_over_unsynchronized_read_races() {
+        let s = Sanitizer::new(SanitizerMode::Record, 4, 4096);
+        assert!(s.check_read(0, 0, 8, 2, 300, "get").is_none());
+        let r = s.record_write(0, 0, 8, 1, 400, false, "put").expect("race");
+        assert_eq!(r.kind, HazardKind::MissingSync);
+        assert_eq!(r.conflict_pe, 2);
+        assert_eq!(r.t_conflict, 300);
+    }
+
+    #[test]
+    fn wait_edge_via_last_writer_suppresses() {
+        let s = Sanitizer::new(SanitizerMode::Record, 4, 4096);
+        s.record_write(0, 128, 8, 3, 900, false, "put");
+        let (w, t) = s.last_writer(0, 128).unwrap();
+        s.raise(0, w, t);
+        s.join_rows(0, w);
+        assert!(s.check_read(0, 128, 8, 0, 950, "local read").is_none());
+    }
+}

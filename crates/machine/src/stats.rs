@@ -21,6 +21,9 @@ pub struct Stats {
     pub collectives: AtomicU64,
     /// Ordering hazards flagged by the conduit's consistency checker.
     pub hazards: AtomicU64,
+    /// Cross-PE data races flagged by the machine's sanitizer
+    /// (see `crate::sanitizer`).
+    pub races: AtomicU64,
     /// Transfers that used a direct load/store fast path (`shmem_ptr`).
     pub local_fastpath: AtomicU64,
 }
@@ -38,6 +41,7 @@ impl Stats {
             fences: self.fences.load(Ordering::Relaxed),
             collectives: self.collectives.load(Ordering::Relaxed),
             hazards: self.hazards.load(Ordering::Relaxed),
+            races: self.races.load(Ordering::Relaxed),
             local_fastpath: self.local_fastpath.load(Ordering::Relaxed),
         }
     }
@@ -66,6 +70,7 @@ pub struct StatsSnapshot {
     pub fences: u64,
     pub collectives: u64,
     pub hazards: u64,
+    pub races: u64,
     pub local_fastpath: u64,
 }
 

@@ -7,11 +7,11 @@
 //! PE, grouped by node — a timeline of what the simulated job did and where
 //! its virtual time went.
 
+use crate::json::Json;
 use parking_lot::Mutex;
-use serde::Serialize;
 
 /// What a span represents.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpanKind {
     Put,
     Get,
@@ -39,7 +39,7 @@ impl SpanKind {
 }
 
 /// One traced operation.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Span {
     pub pe: usize,
     pub kind: SpanKind,
@@ -89,34 +89,27 @@ impl Tracer {
 /// Render spans in the Chrome trace-event JSON format: `pid` = node,
 /// `tid` = PE, timestamps in microseconds ("complete" events).
 pub fn chrome_trace_json(spans: &[Span], cores_per_node: usize) -> String {
-    #[derive(Serialize)]
-    struct Event<'a> {
-        name: &'a str,
-        ph: &'a str,
-        pid: usize,
-        tid: usize,
-        ts: f64,
-        dur: f64,
-        args: Args,
-    }
-    #[derive(Serialize)]
-    struct Args {
-        peer: Option<usize>,
-        bytes: usize,
-    }
-    let events: Vec<Event> = spans
+    let events: Vec<Json> = spans
         .iter()
-        .map(|s| Event {
-            name: s.kind.label(),
-            ph: "X",
-            pid: s.pe / cores_per_node.max(1),
-            tid: s.pe,
-            ts: s.begin as f64 / 1000.0,
-            dur: (s.end.saturating_sub(s.begin)) as f64 / 1000.0,
-            args: Args { peer: s.peer, bytes: s.bytes },
+        .map(|s| {
+            Json::Object(vec![
+                ("name".into(), Json::str(s.kind.label())),
+                ("ph".into(), Json::str("X")),
+                ("pid".into(), Json::uint(s.pe / cores_per_node.max(1))),
+                ("tid".into(), Json::uint(s.pe)),
+                ("ts".into(), Json::float(s.begin as f64 / 1000.0)),
+                ("dur".into(), Json::float(s.end.saturating_sub(s.begin) as f64 / 1000.0)),
+                (
+                    "args".into(),
+                    Json::Object(vec![
+                        ("peer".into(), Json::opt_uint(s.peer)),
+                        ("bytes".into(), Json::uint(s.bytes)),
+                    ]),
+                ),
+            ])
         })
         .collect();
-    serde_json::to_string_pretty(&events).expect("trace serialization")
+    Json::Array(events).pretty()
 }
 
 #[cfg(test)]
@@ -159,7 +152,7 @@ mod tests {
         assert!(json.contains("\"pid\": 1"));
         // 1000 ns -> 1.0 us.
         assert!(json.contains("\"ts\": 1.0"));
-        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let parsed = crate::json::parse(&json).unwrap();
         assert_eq!(parsed.as_array().unwrap().len(), 2);
     }
 }

@@ -25,10 +25,7 @@ impl LockBench {
         let acquires = self.acquires;
         let cores = self.cores_per_node.min(self.images);
         let nodes = self.images.div_ceil(cores);
-        let mcfg = self
-            .platform
-            .config(nodes, cores)
-            .with_heap_bytes(1 << 16);
+        let mcfg = self.platform.config(nodes, cores).with_heap_bytes(1 << 16);
         let caf_cfg = CafConfig::new(self.backend, self.platform).with_nonsym_bytes(4096);
         let out = run_caf(mcfg, caf_cfg, move |img| {
             let lck = img.lock_var();
@@ -114,9 +111,11 @@ mod tests {
         // §V-B3: UHCAF over Cray SHMEM ~11% faster than over GASNet; the
         // gap comes from native vs AM-emulated atomics.
         let shmem =
-            LockBench { acquires: 5, ..LockBench::new(Platform::Titan, Backend::Shmem, 16) }.run_ms();
+            LockBench { acquires: 5, ..LockBench::new(Platform::Titan, Backend::Shmem, 16) }
+                .run_ms();
         let gasnet =
-            LockBench { acquires: 5, ..LockBench::new(Platform::Titan, Backend::Gasnet, 16) }.run_ms();
+            LockBench { acquires: 5, ..LockBench::new(Platform::Titan, Backend::Gasnet, 16) }
+                .run_ms();
         assert!(gasnet > shmem, "GASNet {gasnet:.2}ms vs SHMEM {shmem:.2}ms");
     }
 
@@ -124,16 +123,18 @@ mod tests {
     fn shmem_locks_beat_cray_caf_locks() {
         // §V-B3: ~22% faster than the Cray CAF implementation.
         let shmem =
-            LockBench { acquires: 5, ..LockBench::new(Platform::Titan, Backend::Shmem, 16) }.run_ms();
+            LockBench { acquires: 5, ..LockBench::new(Platform::Titan, Backend::Shmem, 16) }
+                .run_ms();
         let cray =
-            LockBench { acquires: 5, ..LockBench::new(Platform::Titan, Backend::CrayCaf, 16) }.run_ms();
+            LockBench { acquires: 5, ..LockBench::new(Platform::Titan, Backend::CrayCaf, 16) }
+                .run_ms();
         assert!(cray > shmem, "Cray-CAF {cray:.2}ms vs SHMEM {shmem:.2}ms");
     }
 
     #[test]
     fn mcs_beats_naive_spinlock_under_contention() {
-        let mcs =
-            LockBench { acquires: 5, ..LockBench::new(Platform::Titan, Backend::Shmem, 24) }.run_ms();
+        let mcs = LockBench { acquires: 5, ..LockBench::new(Platform::Titan, Backend::Shmem, 24) }
+            .run_ms();
         let naive = naive_spinlock_ms(Platform::Titan, Backend::Shmem, 24, 5);
         assert!(naive > mcs, "naive {naive:.2}ms vs MCS {mcs:.2}ms");
     }

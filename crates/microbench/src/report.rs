@@ -1,9 +1,9 @@
 //! Result containers and rendering for the reproduction harnesses.
 
-use serde::Serialize;
+use pgas_machine::json::Json;
 
 /// One line on a figure panel: a labelled series of (x, y) points.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     pub label: String,
     pub points: Vec<(f64, f64)>,
@@ -42,7 +42,7 @@ impl Series {
 }
 
 /// One panel of a figure (e.g. "Put 1-pair, small sizes").
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Panel {
     pub title: String,
     pub xlabel: String,
@@ -56,7 +56,12 @@ impl Panel {
         xlabel: impl Into<String>,
         ylabel: impl Into<String>,
     ) -> Panel {
-        Panel { title: title.into(), xlabel: xlabel.into(), ylabel: ylabel.into(), series: Vec::new() }
+        Panel {
+            title: title.into(),
+            xlabel: xlabel.into(),
+            ylabel: ylabel.into(),
+            series: Vec::new(),
+        }
     }
 
     pub fn series(&self, label: &str) -> Option<&Series> {
@@ -67,7 +72,8 @@ impl Panel {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("## {}\n", self.title));
-        let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+        let mut xs: Vec<f64> =
+            self.series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
         xs.sort_by(f64::total_cmp);
         xs.dedup();
         out.push_str(&format!("{:>14}", self.xlabel));
@@ -90,7 +96,7 @@ impl Panel {
 }
 
 /// A whole figure: several panels plus identification.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     pub id: String,
     pub caption: String,
@@ -113,7 +119,39 @@ impl Figure {
 
     /// Serialize to JSON for archival under `results/`.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("figure serialization")
+        let panels = self
+            .panels
+            .iter()
+            .map(|p| {
+                let series = p
+                    .series
+                    .iter()
+                    .map(|s| {
+                        let points = s
+                            .points
+                            .iter()
+                            .map(|&(x, y)| Json::Array(vec![Json::float(x), Json::float(y)]))
+                            .collect();
+                        Json::Object(vec![
+                            ("label".into(), Json::str(s.label.as_str())),
+                            ("points".into(), Json::Array(points)),
+                        ])
+                    })
+                    .collect();
+                Json::Object(vec![
+                    ("title".into(), Json::str(p.title.as_str())),
+                    ("xlabel".into(), Json::str(p.xlabel.as_str())),
+                    ("ylabel".into(), Json::str(p.ylabel.as_str())),
+                    ("series".into(), Json::Array(series)),
+                ])
+            })
+            .collect();
+        Json::Object(vec![
+            ("id".into(), Json::str(self.id.as_str())),
+            ("caption".into(), Json::str(self.caption.as_str())),
+            ("panels".into(), Json::Array(panels)),
+        ])
+        .pretty()
     }
 
     /// Print to stdout and persist under the workspace's `results/<id>.json`
@@ -193,6 +231,9 @@ mod tests {
         let j = fig.to_json();
         assert!(j.contains("\"figX\""));
         assert!(j.contains("panels"));
+        let parsed = pgas_machine::json::parse(&j).expect("emitted JSON is well-formed");
+        assert_eq!(parsed.get("id").and_then(|v| v.as_str()), Some("figX"));
+        assert_eq!(parsed.get("panels").and_then(|v| v.as_array()).map(|a| a.len()), Some(1));
     }
 
     #[test]

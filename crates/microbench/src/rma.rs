@@ -23,9 +23,7 @@ impl PairBench {
     }
 
     fn machine(&self, size: usize) -> pgas_machine::MachineConfig {
-        self.platform
-            .config(2, self.pairs)
-            .with_heap_bytes((4 * size + 65536).next_power_of_two())
+        self.platform.config(2, self.pairs).with_heap_bytes((4 * size + 65536).next_power_of_two())
     }
 
     /// Run the pair pattern: each sender calls `f(shmem, buf, peer, data)`

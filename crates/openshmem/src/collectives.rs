@@ -15,7 +15,7 @@
 
 use crate::active_set::ActiveSet;
 use crate::data::{from_bytes, to_bytes, Scalar, SymPtr};
-use crate::shmem::{Shmem, Cmp, BCAST_FLAG_BASE, COLLECT_FLAG_BASE, REDUCE_FLAG_BASE};
+use crate::shmem::{Cmp, Shmem, BCAST_FLAG_BASE, COLLECT_FLAG_BASE, REDUCE_FLAG_BASE};
 use pgas_machine::stats::Stats;
 
 fn ceil_log2(n: usize) -> usize {
@@ -101,7 +101,10 @@ impl<'m> Shmem<'m> {
         pe_root: usize,
         set: &ActiveSet,
     ) {
-        assert!(nelems <= dest.count() && nelems <= src.count(), "broadcast length overruns buffers");
+        assert!(
+            nelems <= dest.count() && nelems <= src.count(),
+            "broadcast length overruns buffers"
+        );
         assert!(pe_root < set.len(), "root rank {} outside active set of {}", pe_root, set.len());
         Stats::bump(&self.machine().stats().collectives);
         self.quiet();
@@ -413,7 +416,8 @@ mod tests {
                 let shmem = mk(pe);
                 let src = shmem.shmalloc::<i64>(5).unwrap();
                 let dest = shmem.shmalloc::<i64>(5).unwrap();
-                let mine: Vec<i64> = (0..5).map(|i| (shmem.my_pe() + 1) as i64 * (i + 1) as i64).collect();
+                let mine: Vec<i64> =
+                    (0..5).map(|i| (shmem.my_pe() + 1) as i64 * (i + 1) as i64).collect();
                 shmem.write_local(src, &mine);
                 shmem.barrier_all();
                 shmem.sum_to_all(dest, src, 5, &shmem.world());
@@ -593,10 +597,12 @@ mod tests {
             d
         });
         for (j, r) in out.results.iter().enumerate() {
-            let expect: Vec<i64> = (0..3).flat_map(|i| {
-                let v = (i * 10 + j) as i64;
-                [v, v]
-            }).collect();
+            let expect: Vec<i64> = (0..3)
+                .flat_map(|i| {
+                    let v = (i * 10 + j) as i64;
+                    [v, v]
+                })
+                .collect();
             assert_eq!(&r[..], &expect[..], "PE {j}");
         }
     }
@@ -670,7 +676,10 @@ mod repeated_reduction_tests {
     #[test]
     fn two_sums_in_a_row() {
         let out = run(generic_smp(4).with_heap_bytes(1 << 17), |pe| {
-            let shmem = Shmem::new(pe, ShmemConfig::new(ConduitProfile::native_shmem(Platform::GenericSmp)));
+            let shmem = Shmem::new(
+                pe,
+                ShmemConfig::new(ConduitProfile::native_shmem(Platform::GenericSmp)),
+            );
             let src = shmem.shmalloc::<i64>(1).unwrap();
             let dest = shmem.shmalloc::<i64>(1).unwrap();
             shmem.barrier_all();

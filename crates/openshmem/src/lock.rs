@@ -78,7 +78,8 @@ impl<'m> Shmem<'m> {
         let me = self.my_pe() as u64 + 1;
         let prev = self.cswap(lock, me, 0u64, LOCK_HOME);
         assert_eq!(
-            prev, me,
+            prev,
+            me,
             "shmem_clear_lock by PE {} which does not hold the lock (holder word: {prev})",
             self.my_pe()
         );

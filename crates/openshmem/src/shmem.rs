@@ -124,12 +124,10 @@ impl<'m> Shmem<'m> {
     pub fn new(pe: Pe<'m>, cfg: ShmemConfig) -> Shmem<'m> {
         let heap_bytes = pe.machine().config().heap_bytes;
         let mut alloc = SymAlloc::new(heap_bytes);
-        let psync_off = alloc
-            .alloc(PSYNC_WORDS * 8)
-            .expect("symmetric heap too small for collective flags");
+        let psync_off =
+            alloc.alloc(PSYNC_WORDS * 8).expect("symmetric heap too small for collective flags");
         let pwrk_bytes = cfg.pwrk_bytes.min(heap_bytes / 4).max(256);
-        let pwrk_off =
-            alloc.alloc(pwrk_bytes).expect("symmetric heap too small for pWrk scratch");
+        let pwrk_off = alloc.alloc(pwrk_bytes).expect("symmetric heap too small for pWrk scratch");
         Shmem {
             ctx: Ctx::new(pe, cfg.profile, cfg.options),
             alloc: RefCell::new(alloc),
@@ -344,6 +342,7 @@ impl<'m> Shmem<'m> {
         let heap = self.machine().heap(me);
         heap.read_bytes(src.offset(), &mut buf);
         let stamp = heap.max_stamp(src.offset(), buf.len());
+        self.machine().san_check_read(me, src.offset(), buf.len(), me, "local read");
         self.machine().lift_clock(me, stamp);
         from_bytes(&buf, out);
     }
@@ -351,7 +350,19 @@ impl<'m> Shmem<'m> {
     /// Write this PE's own copy of `dst` directly.
     pub fn write_local<T: Scalar>(&self, dst: SymPtr<T>, src: &[T]) {
         assert!(src.len() <= dst.count());
-        self.machine().heap(self.my_pe()).write_bytes(dst.offset(), &to_bytes(src));
+        let me = self.my_pe();
+        let bytes = to_bytes(src);
+        self.machine().heap(me).write_bytes(dst.offset(), &bytes);
+        let now = self.machine().clock(me);
+        self.machine().san_record_write(
+            me,
+            dst.offset(),
+            bytes.len(),
+            me,
+            now,
+            false,
+            "local write",
+        );
     }
 
     /// Convenience: read one local element.
@@ -523,6 +534,7 @@ impl<'m, T: Scalar> LocalView<'m, T> {
         let heap = self.machine.heap(self.pe);
         heap.read_bytes(off, &mut buf);
         let stamp = heap.max_stamp(off, T::BYTES);
+        self.machine.san_check_read(self.pe, off, T::BYTES, self.me, "shmem_ptr read");
         self.machine.lift_clock(self.me, stamp);
         self.machine.advance(self.me, self.machine.config().wire.intra.latency_ns * 0.1);
         T::load(&buf)
@@ -537,6 +549,7 @@ impl<'m, T: Scalar> LocalView<'m, T> {
         self.machine.heap(self.pe).write_bytes(off, &buf);
         let t = self.machine.advance(self.me, self.machine.config().wire.intra.latency_ns * 0.1);
         self.machine.heap(self.pe).stamp_range(off, T::BYTES, t);
+        self.machine.san_record_write(self.pe, off, T::BYTES, self.me, t, false, "shmem_ptr write");
         self.machine.notify_pe(self.pe);
     }
 }
@@ -691,25 +704,20 @@ mod tests {
 
     #[test]
     fn strict_mode_catches_missing_quiet_between_put_and_get() {
-        let err = pgas_machine::run_with_result(
-            stampede(2, 1).with_heap_bytes(1 << 16),
-            |pe| {
-                let shmem = Shmem::new(
-                    pe,
-                    ShmemConfig::new(ConduitProfile::mvapich_shmem()).with_options(CtxOptions {
-                        strict_ordering: true,
-                        ..Default::default()
-                    }),
-                );
-                let x = shmem.shmalloc::<i64>(1).unwrap();
-                shmem.barrier_all();
-                if shmem.my_pe() == 0 {
-                    shmem.p(x, 1, 1);
-                    let _ = shmem.g(x, 1); // missing quiet
-                }
-                shmem.barrier_all();
-            },
-        )
+        let err = pgas_machine::run_with_result(stampede(2, 1).with_heap_bytes(1 << 16), |pe| {
+            let shmem = Shmem::new(
+                pe,
+                ShmemConfig::new(ConduitProfile::mvapich_shmem())
+                    .with_options(CtxOptions { strict_ordering: true, ..Default::default() }),
+            );
+            let x = shmem.shmalloc::<i64>(1).unwrap();
+            shmem.barrier_all();
+            if shmem.my_pe() == 0 {
+                shmem.p(x, 1, 1);
+                let _ = shmem.g(x, 1); // missing quiet
+            }
+            shmem.barrier_all();
+        })
         .unwrap_err();
         assert!(err.message.contains("ordering hazard"));
     }

@@ -85,7 +85,7 @@ fn collect_with_some_empty_contributions() {
         let dest = shmem.shmalloc::<i32>(16).unwrap();
         shmem.barrier_all();
         // Only even PEs contribute.
-        let src: Vec<i32> = if shmem.my_pe() % 2 == 0 {
+        let src: Vec<i32> = if shmem.my_pe().is_multiple_of(2) {
             vec![shmem.my_pe() as i32; 2]
         } else {
             Vec::new()

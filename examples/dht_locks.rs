@@ -10,7 +10,8 @@ use caf_apps::dht::{expected_checksum, run_dht, DhtConfig};
 use pgas_machine::Platform;
 
 fn main() {
-    let cfg = DhtConfig { slots_per_image: 128, updates_per_image: 40, seed: 42, locks_per_image: 1 };
+    let cfg =
+        DhtConfig { slots_per_image: 128, updates_per_image: 40, seed: 42, locks_per_image: 1 };
     let images = 16;
     println!(
         "DHT: {} images x {} locked updates, {} slots/image, simulated Titan\n",

@@ -5,23 +5,22 @@
 //!
 //! Run with: `cargo run --release --example heat_diffusion`
 
-use caf_apps::heat::{parallel_heat, serial_heat, HeatConfig};
 use caf::Backend;
+use caf_apps::heat::{parallel_heat, serial_heat, HeatConfig};
 use pgas_machine::Platform;
 
 fn main() {
     let cfg = HeatConfig { cells: 64, steps: 600, alpha: 0.25, left_t: 1.0, right_t: 0.0 };
     let images = 8;
 
-    println!("1-D heat equation: {} cells, {} steps, {} images on simulated Titan", cfg.cells, cfg.steps, images);
+    println!(
+        "1-D heat equation: {} cells, {} steps, {} images on simulated Titan",
+        cfg.cells, cfg.steps, images
+    );
     let parallel = parallel_heat(Platform::Titan, Backend::Shmem, images, cfg);
     let serial = serial_heat(&cfg);
 
-    let max_err = parallel
-        .iter()
-        .zip(&serial)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let max_err = parallel.iter().zip(&serial).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     println!("max |parallel - serial| = {max_err:.3e}");
     assert!(max_err < 1e-12, "decomposition must not change the physics");
 

@@ -15,18 +15,18 @@ use pgas_machine::Platform;
 fn main() {
     let shape = [100usize, 100, 100];
     let sec = Section::new(vec![
-        DimRange::triplet(0, 99, 2),  // 1:100:2 -> 50 elements
-        DimRange::triplet(0, 79, 2),  // 1:80:2  -> 40 elements
-        DimRange::triplet(0, 99, 4),  // 1:100:4 -> 25 elements
+        DimRange::triplet(0, 99, 2), // 1:100:2 -> 50 elements
+        DimRange::triplet(0, 79, 2), // 1:80:2  -> 40 elements
+        DimRange::triplet(0, 99, 4), // 1:100:4 -> 25 elements
     ]);
     println!(
         "section {}x{}x{} = {} elements of a (100,100,100) coarray\n",
-        50, 40, 25, sec.total()
+        50,
+        40,
+        25,
+        sec.total()
     );
-    println!(
-        "{:<14} {:>10} {:>14} {:>16}",
-        "algorithm", "messages", "time (ms)", "bandwidth MB/s"
-    );
+    println!("{:<14} {:>10} {:>14} {:>16}", "algorithm", "messages", "time (ms)", "bandwidth MB/s");
 
     let mut reference: Option<Vec<i32>> = None;
     for algo in [

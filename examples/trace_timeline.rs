@@ -12,7 +12,8 @@ use pgas_machine::Platform;
 
 fn main() {
     let cores_per_node = 2;
-    let mcfg = Platform::CrayXc30.config(2, cores_per_node).with_heap_bytes(1 << 17).with_trace(true);
+    let mcfg =
+        Platform::CrayXc30.config(2, cores_per_node).with_heap_bytes(1 << 17).with_trace(true);
     let out = run_caf(mcfg, CafConfig::new(Backend::Shmem, Platform::CrayXc30), |img| {
         let a = img.coarray::<f64>(&[256]).unwrap();
         let lck = img.lock_var();

@@ -54,14 +54,8 @@ fn claim_strided_speedups_on_cray() {
     let cray = mk(Backend::CrayCaf, None).strided_put_bw_mbs(8);
     let vs_cray = two / cray;
     let vs_naive = two / naive;
-    assert!(
-        (1.5..8.0).contains(&vs_cray),
-        "2dim vs Cray-CAF: {vs_cray:.1}x (paper: ~3x)"
-    );
-    assert!(
-        (4.0..20.0).contains(&vs_naive),
-        "2dim vs naive: {vs_naive:.1}x (paper: ~9x)"
-    );
+    assert!((1.5..8.0).contains(&vs_cray), "2dim vs Cray-CAF: {vs_cray:.1}x (paper: ~3x)");
+    assert!((4.0..20.0).contains(&vs_naive), "2dim vs naive: {vs_naive:.1}x (paper: ~9x)");
 }
 
 /// §V-B2 / §V-D: on MVAPICH2-X, `shmem_iput` is a loop of contiguous puts,
@@ -69,8 +63,7 @@ fn claim_strided_speedups_on_cray() {
 #[test]
 fn claim_naive_equals_twodim_on_stampede() {
     let mk = |algo| {
-        let mut b =
-            CafPairBench::new(Platform::Stampede, Backend::Shmem, 1).with_strided(algo);
+        let mut b = CafPairBench::new(Platform::Stampede, Backend::Shmem, 1).with_strided(algo);
         b.iters = 3;
         b
     };

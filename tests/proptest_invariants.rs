@@ -20,7 +20,8 @@ enum AllocOp {
 fn alloc_ops() -> impl Strategy<Value = Vec<AllocOp>> {
     prop::collection::vec(
         prop_oneof![
-            (1usize..2048, 3u32..9).prop_map(|(size, align_pow)| AllocOp::Alloc { size, align_pow }),
+            (1usize..2048, 3u32..9)
+                .prop_map(|(size, align_pow)| AllocOp::Alloc { size, align_pow }),
             (0usize..64).prop_map(AllocOp::FreeNth),
         ],
         1..80,
@@ -75,7 +76,7 @@ proptest! {
     // ---------- remote pointer packing ---------------------------------------
 
     #[test]
-    fn remote_ptr_roundtrips(image in 0usize..(1 << 20), offset in 0usize..(1usize << 36), flags: u8) {
+    fn remote_ptr_roundtrips(image in 0usize..(1 << 20), offset in 0usize..(1usize << 36), flags in any::<u8>()) {
         let p = RemotePtr { image, offset, flags };
         let w = p.pack();
         let q = RemotePtr::unpack(w).expect("packed pointers are valid");
@@ -153,8 +154,10 @@ fn strided_algorithms_agree_on_random_sections() {
                 step: rng.gen_range(1..4),
             })
             .collect();
-        let shape: Vec<usize> =
-            dims.iter().map(|d| d.start + (d.count - 1) * d.step + 1 + rng.gen_range(0..2)).collect();
+        let shape: Vec<usize> = dims
+            .iter()
+            .map(|d| d.start + (d.count - 1) * d.step + 1 + rng.gen_range(0..2))
+            .collect();
         let sec = Section::new(dims);
         let total = sec.total();
         let mut landed: Vec<Vec<i32>> = Vec::new();
@@ -198,8 +201,7 @@ fn reductions_match_serial_fold_on_random_inputs() {
         let len = rng.gen_range(1..=17);
         let inputs: Vec<Vec<i64>> =
             (0..n_images).map(|_| (0..len).map(|_| rng.gen_range(-1000..1000)).collect()).collect();
-        let expect_sum: Vec<i64> =
-            (0..len).map(|i| inputs.iter().map(|v| v[i]).sum()).collect();
+        let expect_sum: Vec<i64> = (0..len).map(|i| inputs.iter().map(|v| v[i]).sum()).collect();
         let expect_max: Vec<i64> =
             (0..len).map(|i| inputs.iter().map(|v| v[i]).max().unwrap()).collect();
         let inputs2 = inputs.clone();
