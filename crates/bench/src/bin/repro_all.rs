@@ -6,15 +6,13 @@
 //! REPRO_QUICK=1 cargo run --release -p repro-bench --bin repro_all  # smoke
 //! ```
 
-use pgas_microbench::Figure;
-
-/// A deferred figure job (name, generator).
-type Job = (&'static str, Box<dyn Fn() -> Figure>);
+use repro_bench::FigureJob;
 
 fn main() {
     let quick = repro_bench::quick_from_env();
     let max = repro_bench::max_images_from_env(if quick { 32 } else { 256 });
     let himeno_max = repro_bench::max_images_from_env(if quick { 16 } else { 127 });
+    let workers = repro_bench::figure_jobs_from_env(3);
     let t0 = std::time::Instant::now();
 
     println!("# Tables\n");
@@ -22,7 +20,7 @@ fn main() {
     println!("## Table II\n\n{}", repro_bench::render_table2());
     println!("## Table III\n\n{}", repro_bench::render_table3());
 
-    let jobs: Vec<Job> = vec![
+    let jobs: Vec<FigureJob> = vec![
         ("fig2", Box::new(move || repro_bench::fig2_put_latency(quick))),
         ("fig3", Box::new(move || repro_bench::fig3_put_bandwidth(quick))),
         ("fig6", Box::new(move || repro_bench::fig6_xc30_caf(quick))),
@@ -35,8 +33,10 @@ fn main() {
         ("ext1", Box::new(move || repro_bench::ext1_shmem_ptr_fastpath(quick))),
         ("supp", Box::new(move || repro_bench::supp_pt2pt(quick))),
     ];
-    for (name, job) in jobs {
-        let fig = job();
+    // Generators run sharded across worker threads (REPRO_JOBS, default 3);
+    // emission stays serial and in job order so results/ is deterministic.
+    eprintln!("[repro_all] sharding {} figures across {workers} workers", jobs.len());
+    for (name, fig) in repro_bench::run_figure_jobs(jobs, workers) {
         fig.emit();
         eprintln!("[repro_all] {name} done at {:?}", t0.elapsed());
     }

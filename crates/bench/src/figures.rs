@@ -303,7 +303,7 @@ pub fn abl1_base_dim(quick: bool) -> Figure {
     use caf::{run_caf, CafConfig, DimRange, Section};
     let mut fig = Figure::new(
         "abl1_base_dim",
-        "Ablation: base-dimension choice (1dim vs 2dim vs best-of-all) across 3-D section shapes",
+        "Ablation: base-dimension choice (1dim vs 2dim vs best-of-all vs planners) across 3-D section shapes",
     );
     let iters = if quick { 2 } else { 5 };
     // (c0, c1, c2) element counts per dimension; dim strides fixed at 2.
@@ -318,6 +318,7 @@ pub fn abl1_base_dim(quick: bool) -> Figure {
         StridedAlgorithm::TwoDim,
         StridedAlgorithm::BestOfAll,
         StridedAlgorithm::Adaptive,
+        StridedAlgorithm::Tuned,
     ] {
         let mut s = Series::new(algo.label());
         for (ix, &(c0, c1, c2)) in shapes.iter().enumerate() {
@@ -471,6 +472,27 @@ mod tests {
         let cray = p.series("Cray-CAF").unwrap();
         assert!(shmem.geomean_ratio_over(gasnet) < 1.0, "SHMEM locks faster than GASNet");
         assert!(shmem.geomean_ratio_over(cray) < 1.0, "SHMEM locks faster than Cray CAF");
+    }
+
+    #[test]
+    fn abl1_tuned_never_worse_than_heuristic() {
+        let fig = abl1_base_dim(true);
+        let p = &fig.panels[0];
+        let tuned = p.series("tuned").unwrap();
+        let adaptive = p.series("adaptive").unwrap();
+        assert!(
+            tuned.geomean_ratio_over(adaptive) <= 1.0001,
+            "calibrated planner must not regress on the heuristic's sweep"
+        );
+        for (t, a) in tuned.points.iter().zip(&adaptive.points) {
+            assert!(
+                t.1 <= a.1 * 1.0001,
+                "shape {} regressed: tuned {} vs adaptive {}",
+                t.0,
+                t.1,
+                a.1
+            );
+        }
     }
 
     #[test]

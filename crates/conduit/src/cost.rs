@@ -46,6 +46,10 @@ impl<'m> CostModel<'m> {
         &self.profile
     }
 
+    pub fn machine(&self) -> &'m Machine {
+        self.machine
+    }
+
     #[inline]
     fn wire(&self) -> &WireParams {
         &self.machine.config().wire
@@ -307,6 +311,93 @@ impl<'m> CostModel<'m> {
         self.get(src, dst, nelems * elem_bytes, start + pack)
     }
 
+    // ---- pure probe estimators (no NIC reservations) ------------------------
+    //
+    // The reserving entry points above mutate the shared NIC timelines, so a
+    // planner that wants to *compare* candidate transfer shapes cannot call
+    // them without perturbing the simulation. The estimators below mirror
+    // their arithmetic — same formulas, same `u64` rounding — under the
+    // assumption of an idle NIC pair (every reservation granted at its
+    // requested begin) and report completion times relative to the issue
+    // instant. This is the same contract as [`Self::amo_rtt_estimate_ns`].
+
+    /// Pure estimate of an uncontended contiguous put of `bytes` from `src`
+    /// to `dst`: the [`PutTiming`] the reserving [`Self::put`] would return
+    /// for `start = 0, floor = 0` on idle NICs.
+    pub fn put_estimate(&self, src: PeId, dst: PeId, bytes: usize) -> PutTiming {
+        let issue_done = self.profile.put_issue_ns.round() as u64;
+        if self.machine.same_node(src, dst) {
+            let t = issue_done
+                + self.wire().intra.latency_ns.round() as u64
+                + self.wire().intra.occupancy_ns(bytes).round() as u64;
+            return PutTiming { local_complete: t, remote_complete: t };
+        }
+        let flow_start = issue_done + self.rendezvous_ns(bytes);
+        let occ = self.occupancy_ns(bytes).round() as u64;
+        PutTiming {
+            local_complete: flow_start + occ,
+            remote_complete: flow_start + self.latency() + occ,
+        }
+    }
+
+    /// Pure estimate of an uncontended blocking get of `bytes`, mirroring
+    /// [`Self::get`] at `start = 0` on idle NICs.
+    pub fn get_estimate_ns(&self, src: PeId, dst: PeId, bytes: usize) -> u64 {
+        let issue_done = self.profile.get_issue_ns.round() as u64;
+        if self.machine.same_node(src, dst) {
+            return issue_done
+                + self.wire().intra.latency_ns.round() as u64
+                + self.wire().intra.occupancy_ns(bytes).round() as u64;
+        }
+        let req_occ = self.control_occupancy_ns().round() as u64;
+        let data_occ = self.occupancy_ns(bytes).round() as u64;
+        issue_done + req_occ + 2 * self.latency() + data_occ
+    }
+
+    /// Pure estimate of an uncontended NIC-native 1-D strided put, mirroring
+    /// [`Self::strided_put_native`] (`None` on software-loop profiles).
+    pub fn strided_put_estimate(
+        &self,
+        src: PeId,
+        dst: PeId,
+        nelems: usize,
+        elem_bytes: usize,
+    ) -> Option<PutTiming> {
+        let StridedSupport::Native { per_elem_ns } = self.profile.strided else {
+            return None;
+        };
+        let bytes = nelems * elem_bytes;
+        let issue_done = self.profile.put_issue_ns.round() as u64;
+        if self.machine.same_node(src, dst) {
+            let t = issue_done
+                + self.wire().intra.latency_ns.round() as u64
+                + self.wire().intra.occupancy_ns(bytes).round() as u64
+                + (per_elem_ns * nelems as f64).round() as u64;
+            return Some(PutTiming { local_complete: t, remote_complete: t });
+        }
+        let occ = (self.occupancy_ns(bytes) + per_elem_ns * nelems as f64).round() as u64;
+        Some(PutTiming {
+            local_complete: issue_done + occ,
+            remote_complete: issue_done + self.latency() + occ,
+        })
+    }
+
+    /// Pure estimate of an uncontended AM-packed put, mirroring
+    /// [`Self::am_packed_put`].
+    pub fn am_packed_put_estimate(
+        &self,
+        src: PeId,
+        dst: PeId,
+        nelems: usize,
+        elem_bytes: usize,
+    ) -> PutTiming {
+        let t = self.put_estimate(src, dst, nelems * elem_bytes);
+        let unpack = (self.profile.am_handler_ns
+            + nelems as f64 * self.machine.config().compute.local_op_ns * 2.0)
+            .round() as u64;
+        PutTiming { local_complete: t.local_complete, remote_complete: t.remote_complete + unpack }
+    }
+
     /// Cost of a dissemination barrier over `n` PEs.
     pub fn barrier_ns(&self, n: usize) -> f64 {
         if n <= 1 {
@@ -502,5 +593,67 @@ mod tests {
         let packed = cm2.am_packed_put(0, 16, 100, 8, 0, 0);
         assert!(packed.remote_complete > plain.remote_complete);
         assert_eq!(packed.local_complete, plain.local_complete);
+    }
+
+    #[test]
+    fn estimates_match_real_calls_on_idle_nics() {
+        // Every estimator must equal the corresponding reserving call issued
+        // at start = 0 on a fresh machine, for every profile family and for
+        // both intra- and inter-node pairs.
+        type Cfg = fn() -> pgas_machine::MachineConfig;
+        let cases: [(ConduitProfile, Cfg); 4] = [
+            (ConduitProfile::cray_shmem(Platform::Titan), || titan(2, 16)),
+            (ConduitProfile::mvapich_shmem(), || stampede(2, 16)),
+            (ConduitProfile::gasnet(Platform::Stampede), || stampede(2, 16)),
+            (ConduitProfile::mpi3(Platform::Stampede), || stampede(2, 16)),
+        ];
+        for (p, cfg) in cases {
+            for (src, dst) in [(0usize, 1usize), (0, 16)] {
+                for bytes in [8usize, 800, 64 * 1024, 1 << 20] {
+                    let m = Machine::new(cfg());
+                    let est = CostModel::new(&m, p).put_estimate(src, dst, bytes);
+                    let m2 = Machine::new(cfg());
+                    let real = CostModel::new(&m2, p).put(src, dst, bytes, 0, 0);
+                    assert_eq!(est, real, "put {bytes}B {src}->{dst} on {}", p.label());
+
+                    let m3 = Machine::new(cfg());
+                    let gest = CostModel::new(&m3, p).get_estimate_ns(src, dst, bytes);
+                    let m4 = Machine::new(cfg());
+                    let greal = CostModel::new(&m4, p).get(src, dst, bytes, 0);
+                    assert_eq!(gest, greal, "get {bytes}B {src}->{dst} on {}", p.label());
+                }
+                for nelems in [8usize, 100, 1024] {
+                    let m = Machine::new(cfg());
+                    let est = CostModel::new(&m, p).strided_put_estimate(src, dst, nelems, 8);
+                    let m2 = Machine::new(cfg());
+                    let real = CostModel::new(&m2, p).strided_put_native(src, dst, nelems, 8, 0, 0);
+                    assert_eq!(est, real, "iput n={nelems} {src}->{dst} on {}", p.label());
+
+                    let m3 = Machine::new(cfg());
+                    let aest = CostModel::new(&m3, p).am_packed_put_estimate(src, dst, nelems, 8);
+                    let m4 = Machine::new(cfg());
+                    let areal = CostModel::new(&m4, p).am_packed_put(src, dst, nelems, 8, 0, 0);
+                    assert_eq!(aest, areal, "am n={nelems} {src}->{dst} on {}", p.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn estimates_do_not_reserve_nic_time() {
+        // Probing must leave the shared timelines untouched: a real call after
+        // a barrage of estimates sees the same timing as on a fresh machine.
+        let m = Machine::new(stampede(2, 16));
+        let cm = CostModel::new(&m, ConduitProfile::mvapich_shmem());
+        for bytes in [8usize, 4096, 1 << 20] {
+            let _ = cm.put_estimate(0, 16, bytes);
+            let _ = cm.get_estimate_ns(0, 16, bytes);
+            let _ = cm.strided_put_estimate(0, 16, bytes / 8, 8);
+            let _ = cm.am_packed_put_estimate(0, 16, bytes / 8, 8);
+        }
+        let after_probes = cm.put(0, 16, 1 << 20, 0, 0);
+        let m2 = Machine::new(stampede(2, 16));
+        let fresh = CostModel::new(&m2, ConduitProfile::mvapich_shmem()).put(0, 16, 1 << 20, 0, 0);
+        assert_eq!(after_probes, fresh);
     }
 }

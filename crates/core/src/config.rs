@@ -81,9 +81,25 @@ pub enum StridedAlgorithm {
     /// length vs cache lines) and the conduit's actual `iput` capability,
     /// then execute the cheapest.
     Adaptive,
+    /// Like [`Self::Adaptive`] but scored by the `TunedPlanner`, whose
+    /// coefficients are calibrated against the live `CostModel` by micro-probe
+    /// transfers at image construction (and cached per platform/profile)
+    /// instead of being hard-coded.
+    Tuned,
 }
 
 impl StridedAlgorithm {
+    /// Every selectable algorithm, in presentation order.
+    pub const ALL: [StridedAlgorithm; 7] = [
+        StridedAlgorithm::Naive,
+        StridedAlgorithm::OneDim,
+        StridedAlgorithm::TwoDim,
+        StridedAlgorithm::BestOfAll,
+        StridedAlgorithm::AmPacked,
+        StridedAlgorithm::Adaptive,
+        StridedAlgorithm::Tuned,
+    ];
+
     pub fn label(self) -> &'static str {
         match self {
             StridedAlgorithm::Naive => "naive",
@@ -92,7 +108,14 @@ impl StridedAlgorithm {
             StridedAlgorithm::BestOfAll => "best-of-all",
             StridedAlgorithm::AmPacked => "with-AM",
             StridedAlgorithm::Adaptive => "adaptive",
+            StridedAlgorithm::Tuned => "tuned",
         }
+    }
+
+    /// Look an algorithm up by its [`Self::label`] name, so apps and bench
+    /// harnesses can select one from a CLI flag or environment string.
+    pub fn from_name(name: &str) -> Option<StridedAlgorithm> {
+        StridedAlgorithm::ALL.into_iter().find(|a| a.label() == name.trim())
     }
 }
 
@@ -190,6 +213,16 @@ mod tests {
         assert_eq!(Backend::Shmem.label(Platform::Stampede), "UHCAF-MVAPICH2-X-SHMEM");
         assert_eq!(Backend::Gasnet.label(Platform::Titan), "UHCAF-GASNet");
         assert_eq!(Backend::CrayCaf.label(Platform::CrayXc30), "Cray-CAF");
+    }
+
+    #[test]
+    fn from_name_round_trips_every_label() {
+        for algo in StridedAlgorithm::ALL {
+            assert_eq!(StridedAlgorithm::from_name(algo.label()), Some(algo));
+        }
+        assert_eq!(StridedAlgorithm::from_name("tuned"), Some(StridedAlgorithm::Tuned));
+        assert_eq!(StridedAlgorithm::from_name(" adaptive "), Some(StridedAlgorithm::Adaptive));
+        assert_eq!(StridedAlgorithm::from_name("3dim"), None);
     }
 
     #[test]

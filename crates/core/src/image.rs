@@ -56,6 +56,12 @@ impl<'m> Image<'m> {
     pub fn new(pe: Pe<'m>, cfg: CafConfig) -> Image<'m> {
         let profile = cfg.backend.profile(cfg.platform);
         let shmem = Shmem::new(pe, ShmemConfig::new(profile).with_options(cfg.ctx_options()));
+        if matches!(cfg.strided_algorithm(), crate::config::StridedAlgorithm::Tuned) {
+            // Warm the per-(platform, profile) calibration memo so transfer
+            // calls only pay a map lookup. Costs no virtual time: the
+            // planner probes the cost model's pure estimators.
+            let _ = crate::planner::TunedPlanner::for_shmem(&shmem);
+        }
         let n = shmem.n_pes();
         let nonsym_base = shmem
             .shmalloc::<u8>(cfg.nonsym_bytes)
@@ -281,6 +287,42 @@ impl<'m> Image<'m> {
     }
 }
 
+impl Drop for Image<'_> {
+    /// Image teardown: surface locks still held (a `lock` without a matching
+    /// `unlock` — each leaks a qnode in the non-symmetric buffer, previously
+    /// visible only as a residual `nonsym_in_use` count). Always counted in
+    /// the machine stats; reported on stderr in debug builds, and never on
+    /// panicking threads (tests that assert on deadlock or hazard panics
+    /// legitimately unwind while holding locks).
+    fn drop(&mut self) {
+        let table = self.lock_table.borrow();
+        if table.is_empty() {
+            return;
+        }
+        let stats = self.shmem.machine().stats();
+        pgas_machine::stats::Stats::add(&stats.lock_leaks, table.len() as u64);
+        if cfg!(debug_assertions) && !std::thread::panicking() {
+            let mut lines: Vec<String> = table
+                .iter()
+                .map(|(&(tail, generation, home), &qnode)| {
+                    format!(
+                        "  lock tail offset {tail} (gen {generation}) on image {} -> qnode offset {qnode}",
+                        home + 1
+                    )
+                })
+                .collect();
+            lines.sort();
+            eprintln!(
+                "image {}: {} lock(s) still held at teardown ({} qnode bytes leaked):\n{}",
+                self.this_image(),
+                table.len(),
+                table.len() * crate::locks::QNODE_BYTES,
+                lines.join("\n")
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,6 +470,31 @@ mod tests {
         for r in out.results {
             assert_eq!(r, 40);
         }
+    }
+
+    #[test]
+    fn held_lock_at_teardown_is_counted_as_leak() {
+        let out = run_caf(mcfg(2), cfg(), |img| {
+            let lock = img.lock_var();
+            img.sync_all();
+            if img.this_image() == 1 {
+                img.lock(&lock, 2); // never unlocked
+            }
+            img.sync_all();
+        });
+        assert_eq!(out.stats.lock_leaks, 1, "exactly image 1's held lock leaks");
+    }
+
+    #[test]
+    fn balanced_lock_use_leaks_nothing() {
+        let out = run_caf(mcfg(2), cfg(), |img| {
+            let lock = img.lock_var();
+            img.sync_all();
+            img.lock(&lock, 1);
+            img.unlock(&lock, 1);
+            img.sync_all();
+        });
+        assert_eq!(out.stats.lock_leaks, 0);
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod image;
 pub mod locks;
 pub mod mapping;
 pub mod nonsym;
+pub mod planner;
 pub mod remote_ptr;
 pub mod runtime;
 pub mod section;
@@ -73,6 +74,10 @@ pub use image::{Image, ImageId, NonSymHandle};
 pub use locks::{CafLock, LockStat};
 pub use nonsym::NonSymArray;
 pub use pgas_machine::sanitizer::{HazardKind, HazardReport, SanitizerMode};
+pub use pgas_machine::stats::PlanDecision;
+pub use planner::{
+    Coefficients, HeuristicPlanner, LinkFit, PlanChoice, StridedPlanner, TunedPlanner,
+};
 pub use remote_ptr::RemotePtr;
 pub use runtime::{run_caf, run_caf_result};
 pub use section::{DimRange, Section};

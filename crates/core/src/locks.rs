@@ -26,7 +26,7 @@ use openshmem::data::SymPtr;
 use openshmem::shmem::Cmp;
 
 /// Size of a queue node in the non-symmetric buffer: `locked` + `next`.
-const QNODE_BYTES: usize = 16;
+pub(crate) const QNODE_BYTES: usize = 16;
 
 /// A CAF lock variable: one lockable instance per image.
 #[derive(Debug, Clone, Copy)]

@@ -17,6 +17,7 @@
 //! * **AmPacked** — pack everything into one active message (GASNet VIS).
 
 use crate::config::StridedAlgorithm;
+use crate::planner::{HeuristicPlanner, StridedPlanner, TunedPlanner};
 use crate::section::Section;
 use openshmem::data::{from_bytes, to_bytes, Scalar, SymPtr};
 use openshmem::Shmem;
@@ -32,9 +33,41 @@ pub enum Plan {
     Packed,
 }
 
+/// Label a concrete plan for the decision log ("runs", "dim1", "packed").
+pub fn plan_label(plan: Plan) -> String {
+    match plan {
+        Plan::Runs => "runs".into(),
+        Plan::BaseDim(d) => format!("dim{d}"),
+        Plan::Packed => "packed".into(),
+    }
+}
+
+/// Run a [`StridedPlanner`] and record its decision (chosen plan, predicted
+/// cost, every candidate cost) in the machine's stats, so figures can
+/// contrast predictions against measured virtual time.
+fn plan_and_record(
+    planner: &dyn StridedPlanner,
+    shmem: &Shmem<'_>,
+    target_pe: usize,
+    sec: &Section,
+    shape: &[usize],
+    elem: usize,
+) -> Plan {
+    let choice = planner.plan(shmem, target_pe, sec, shape, elem);
+    shmem.machine().stats().record_plan(pgas_machine::stats::PlanDecision {
+        pe: shmem.my_pe(),
+        planner: planner.name(),
+        chosen: plan_label(choice.plan),
+        predicted_ns: choice.predicted_ns,
+        candidates: choice.candidates.iter().map(|&(p, c)| (plan_label(p), c)).collect(),
+    });
+    choice.plan
+}
+
 fn plan_of(
     shmem: &Shmem<'_>,
     algo: StridedAlgorithm,
+    target_pe: usize,
     sec: &Section,
     shape: &[usize],
     elem: usize,
@@ -45,79 +78,26 @@ fn plan_of(
         StridedAlgorithm::TwoDim => Plan::BaseDim(sec.best_dim(2)),
         StridedAlgorithm::BestOfAll => Plan::BaseDim(sec.best_dim(usize::MAX)),
         StridedAlgorithm::AmPacked => Plan::Packed,
-        StridedAlgorithm::Adaptive => adaptive_plan(shmem, sec, shape, elem),
+        StridedAlgorithm::Adaptive => {
+            plan_and_record(&HeuristicPlanner, shmem, target_pe, sec, shape, elem)
+        }
+        StridedAlgorithm::Tuned => {
+            let planner = TunedPlanner::for_shmem(shmem);
+            plan_and_record(&planner, shmem, target_pe, sec, shape, elem)
+        }
     }
 }
-
-/// Cache-line size assumed by the locality term of the adaptive planner.
-const CACHE_LINE: f64 = 64.0;
 
 /// The §VII extension: pick the cheapest plan under a per-conduit cost
 /// heuristic that accounts for per-call overhead, payload bandwidth, the
 /// conduit's `iput` capability, and target-side locality (elements whose
 /// stride spans many cache lines are charged a penalty).
+///
+/// Kept as a thin shim over [`HeuristicPlanner`] for callers that only want
+/// the plan; new code should use the [`crate::planner::StridedPlanner`]
+/// trait, which also reports predicted and candidate costs.
 pub fn adaptive_plan(shmem: &Shmem<'_>, sec: &Section, shape: &[usize], elem: usize) -> Plan {
-    use pgas_conduit::StridedSupport;
-    let profile = shmem.profile();
-    let wire = &shmem.machine().config().wire;
-    let per_call = profile.put_issue_ns + wire.nic_msg_overhead_ns + profile.msg_occupancy_ns;
-    let per_byte = 1.0 / (wire.inter.bytes_per_ns * profile.bandwidth_efficiency);
-    let total = sec.total() as f64;
-    let total_bytes = total * elem as f64;
-    let payload = total_bytes * per_byte;
-
-    let locality_penalty = |stride_elems: usize| -> f64 {
-        let stride_bytes = (stride_elems * elem) as f64;
-        if stride_bytes <= CACHE_LINE {
-            0.0
-        } else {
-            // Each element lands on its own cache line; deeper strides cost
-            // progressively more of the target's memory system.
-            8.0 * (stride_bytes / CACHE_LINE).log2()
-        }
-    };
-
-    // Plan A: contiguous runs.
-    let n_runs = call_count(StridedAlgorithm::Naive, sec) as f64;
-    let mut best = (Plan::Runs, n_runs * per_call + payload);
-
-    // Plan B: one 1-D strided call per pencil along each candidate
-    // dimension. Costed on *every* profile so the candidate set covers
-    // every non-adaptive arm of `plan_of` (Naive/OneDim/TwoDim/BestOfAll):
-    // on native-iput conduits a pencil is one NIC descriptor; on
-    // emulated-iput conduits (MVAPICH2-X) the library loops, issuing one
-    // putmem per element — the modeled Cray-compiler behaviour — so every
-    // element pays the full per-call overhead and the pencil structure
-    // buys nothing. The strict `<` below then guarantees the planner never
-    // prefers such a loop over `Runs` (which issues at most as many
-    // calls), i.e. Adaptive is never worse than Naive or TwoDim.
-    for d in 0..sec.rank() {
-        let pencils = (sec.total() / sec.dims()[d].count) as f64;
-        let cost = match profile.strided {
-            StridedSupport::Native { per_elem_ns } => {
-                pencils * per_call
-                    + payload
-                    + total * (per_elem_ns + locality_penalty(sec.array_stride(shape, d)))
-            }
-            StridedSupport::LoopContiguous => total * per_call + payload,
-        };
-        if cost < best.1 {
-            best = (Plan::BaseDim(d), cost);
-        }
-    }
-
-    // Plan C: AM packing — only where an active-message layer exists
-    // (GASNet); SHMEM conduits have no handler to unpack at the target.
-    if matches!(profile.amo, pgas_conduit::AmoSupport::AmEmulated { .. }) {
-        let cost = per_call
-            + payload
-            + profile.am_handler_ns
-            + total * 2.0 * shmem.machine().config().compute.local_op_ns;
-        if cost < best.1 {
-            best = (Plan::Packed, cost);
-        }
-    }
-    best.0
+    HeuristicPlanner.plan(shmem, 0, sec, shape, elem).plan
 }
 
 /// Byte regions (offset, len) of the section's stride-1 runs, in packed
@@ -156,7 +136,7 @@ pub fn put_section<T: Scalar>(
         shmem.put(ptr, data, target_pe);
         return;
     }
-    match plan_of(shmem, algo, sec, shape, T::BYTES) {
+    match plan_of(shmem, algo, target_pe, sec, shape, T::BYTES) {
         Plan::Runs => {
             let contiguous = sec.dims()[0].step == 1;
             if contiguous {
@@ -202,7 +182,7 @@ pub fn get_section<T: Scalar>(
         shmem.get(ptr, &mut out, target_pe);
         return out;
     }
-    match plan_of(shmem, algo, sec, shape, T::BYTES) {
+    match plan_of(shmem, algo, target_pe, sec, shape, T::BYTES) {
         Plan::Runs => {
             let contiguous = sec.dims()[0].step == 1;
             if contiguous {
@@ -246,8 +226,8 @@ pub fn call_count(algo: StridedAlgorithm, sec: &Section) -> usize {
         StridedAlgorithm::TwoDim => Plan::BaseDim(sec.best_dim(2)),
         StridedAlgorithm::BestOfAll => Plan::BaseDim(sec.best_dim(usize::MAX)),
         StridedAlgorithm::AmPacked => Plan::Packed,
-        StridedAlgorithm::Adaptive => {
-            panic!("call_count(Adaptive) is conduit-dependent; use adaptive_plan + plan_call_count")
+        StridedAlgorithm::Adaptive | StridedAlgorithm::Tuned => {
+            panic!("call_count({algo:?}) is conduit-dependent; use a planner + plan_call_count")
         }
     };
     plan_call_count(plan, sec)

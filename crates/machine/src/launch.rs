@@ -4,7 +4,7 @@
 use crate::config::MachineConfig;
 use crate::machine::{Machine, Pe};
 use crate::sanitizer::{HazardKind, HazardReport};
-use crate::stats::StatsSnapshot;
+use crate::stats::{PlanDecision, StatsSnapshot};
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 
@@ -32,6 +32,9 @@ pub struct SimOutcome<R> {
     /// Sanitizer diagnostics (empty unless `MachineConfig::sanitizer` was
     /// `Record` — in `Panic` mode the job fails at the first hazard).
     pub hazard_reports: Vec<HazardReport>,
+    /// Every strided-plan selection made during the job, in recording order
+    /// (empty unless a `StridedPlanner`-backed algorithm ran).
+    pub plan_decisions: Vec<PlanDecision>,
     /// Platform name the job ran on.
     pub machine: String,
 }
@@ -178,6 +181,7 @@ where
             .collect(),
         trace: machine.tracer().drain(),
         hazard_reports: machine.sanitizer().take_reports(),
+        plan_decisions: machine.stats().drain_plans(),
         machine: name,
         results,
     })

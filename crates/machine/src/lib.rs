@@ -41,4 +41,4 @@ pub use launch::{run, run_with_result, NicSnapshot, SimError, SimOutcome};
 pub use machine::{Machine, PeId};
 pub use platforms::{cray_xc30, generic_smp, stampede, titan, Platform};
 pub use sanitizer::{with_forced_mode, HazardKind, HazardReport, SanitizerMode};
-pub use stats::StatsSnapshot;
+pub use stats::{PlanDecision, StatsSnapshot};

@@ -58,7 +58,7 @@ impl Machine {
             stats: Stats::default(),
             tracer: Tracer::new(cfg.trace),
             sanitizer: Sanitizer::new(
-                crate::sanitizer::forced_mode().unwrap_or(cfg.sanitizer),
+                crate::sanitizer::forced_mode().unwrap_or_else(|| cfg.sanitizer_mode()),
                 n,
                 cfg.heap_bytes,
             ),

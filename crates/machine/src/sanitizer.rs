@@ -50,15 +50,41 @@ pub enum SanitizerMode {
     Panic,
 }
 
+impl SanitizerMode {
+    /// Parse a mode name as accepted by the `PGAS_SANITIZER` environment
+    /// variable: `off`, `record`, or `panic` (case-insensitive, trimmed).
+    pub fn parse(s: &str) -> Option<SanitizerMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" => Some(SanitizerMode::Off),
+            "record" => Some(SanitizerMode::Record),
+            "panic" => Some(SanitizerMode::Panic),
+            _ => None,
+        }
+    }
+}
+
+/// The process-wide default mode from `PGAS_SANITIZER`, read exactly once
+/// (so later `set_var` games or parallel test threads can't observe
+/// different defaults for different machines). An unset or unparsable
+/// variable yields `None` and the config's own mode stands.
+pub(crate) fn env_default() -> Option<SanitizerMode> {
+    static ENV_DEFAULT: std::sync::OnceLock<Option<SanitizerMode>> = std::sync::OnceLock::new();
+    *ENV_DEFAULT.get_or_init(|| {
+        std::env::var("PGAS_SANITIZER").ok().as_deref().and_then(SanitizerMode::parse)
+    })
+}
+
 thread_local! {
     static FORCED_MODE: std::cell::Cell<Option<SanitizerMode>> =
         const { std::cell::Cell::new(None) };
 }
 
 /// Run `f` with every machine built *on this thread* forced to sanitizer
-/// `mode`, regardless of what its `MachineConfig` says. This lets existing
-/// harnesses (the apps, the benchmark drivers) be re-run under the
-/// sanitizer without plumbing a mode parameter through their entry points.
+/// `mode`, regardless of what its `MachineConfig` says. Retained as a thin
+/// shim for harnesses that need a scoped override; the preferred way to turn
+/// the sanitizer on without code changes is the process-wide `PGAS_SANITIZER`
+/// environment variable (see [`crate::MachineConfig::sanitizer_mode`]),
+/// which this override still beats when both are present.
 /// The previous override is restored on exit, including on unwind.
 pub fn with_forced_mode<R>(mode: SanitizerMode, f: impl FnOnce() -> R) -> R {
     struct Restore(Option<SanitizerMode>);

@@ -6,6 +6,24 @@
 //! profiler.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One strided-plan selection made by a `StridedPlanner`, recorded so
+/// EXPERIMENTS figures can contrast predicted against measured costs and
+/// show mispredictions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanDecision {
+    /// PE that made the decision.
+    pub pe: usize,
+    /// Planner name ("heuristic", "tuned", ...).
+    pub planner: &'static str,
+    /// Label of the chosen plan ("runs", "dim1", "packed", ...).
+    pub chosen: String,
+    /// The planner's predicted cost for the chosen plan, ns.
+    pub predicted_ns: f64,
+    /// Every candidate the planner costed, as (plan label, predicted ns).
+    pub candidates: Vec<(String, f64)>,
+}
 
 /// Live counters, incremented by the communication layers.
 #[derive(Debug, Default)]
@@ -26,6 +44,11 @@ pub struct Stats {
     pub races: AtomicU64,
     /// Transfers that used a direct load/store fast path (`shmem_ptr`).
     pub local_fastpath: AtomicU64,
+    /// Strided-plan decisions recorded (see [`PlanDecision`]).
+    pub plans: AtomicU64,
+    /// Lock-table entries still held when an image was torn down.
+    pub lock_leaks: AtomicU64,
+    plan_log: Mutex<Vec<PlanDecision>>,
 }
 
 impl Stats {
@@ -43,6 +66,8 @@ impl Stats {
             hazards: self.hazards.load(Ordering::Relaxed),
             races: self.races.load(Ordering::Relaxed),
             local_fastpath: self.local_fastpath.load(Ordering::Relaxed),
+            plans: self.plans.load(Ordering::Relaxed),
+            lock_leaks: self.lock_leaks.load(Ordering::Relaxed),
         }
     }
 
@@ -54,6 +79,18 @@ impl Stats {
     #[inline]
     pub fn add(counter: &AtomicU64, v: u64) {
         counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Append a strided-plan decision to the log and bump the counter.
+    pub fn record_plan(&self, decision: PlanDecision) {
+        Stats::bump(&self.plans);
+        self.plan_log.lock().unwrap().push(decision);
+    }
+
+    /// Take the accumulated plan decisions, leaving the log empty (the
+    /// counter keeps its total). Called once when a simulation finishes.
+    pub fn drain_plans(&self) -> Vec<PlanDecision> {
+        std::mem::take(&mut *self.plan_log.lock().unwrap())
     }
 }
 
@@ -72,6 +109,8 @@ pub struct StatsSnapshot {
     pub hazards: u64,
     pub races: u64,
     pub local_fastpath: u64,
+    pub plans: u64,
+    pub lock_leaks: u64,
 }
 
 impl StatsSnapshot {
@@ -110,5 +149,30 @@ mod tests {
     #[test]
     fn default_snapshot_is_zero() {
         assert_eq!(Stats::default().snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn plan_log_drains_once_and_counts_forever() {
+        let s = Stats::default();
+        s.record_plan(PlanDecision {
+            pe: 0,
+            planner: "heuristic",
+            chosen: "dim1".into(),
+            predicted_ns: 1200.0,
+            candidates: vec![("runs".into(), 2000.0), ("dim1".into(), 1200.0)],
+        });
+        s.record_plan(PlanDecision {
+            pe: 1,
+            planner: "tuned",
+            chosen: "runs".into(),
+            predicted_ns: 900.0,
+            candidates: vec![("runs".into(), 900.0)],
+        });
+        let drained = s.drain_plans();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].chosen, "dim1");
+        assert_eq!(drained[1].planner, "tuned");
+        assert!(s.drain_plans().is_empty(), "second drain sees an empty log");
+        assert_eq!(s.snapshot().plans, 2, "counter survives the drain");
     }
 }
