@@ -11,6 +11,7 @@
 //! (sum of keys is order-independent), which the tests exploit.
 
 use caf::{run_caf, Backend, CafConfig};
+use pgas_machine::stats::StatsSnapshot;
 use pgas_machine::Platform;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -40,6 +41,8 @@ pub struct DhtResult {
     /// Wrapping sum of all table slots (consistency check).
     pub checksum: u64,
     pub updates_total: usize,
+    /// Machine counters for the whole job (fault/retry totals, lock leaks).
+    pub stats: StatsSnapshot,
 }
 
 /// Wrapping sum of the keys each image generates — the oracle for the final
@@ -76,8 +79,11 @@ pub fn run_dht(platform: Platform, backend: Backend, images: usize, cfg: DhtConf
             let slot = ((key / n as u64) % cfg.slots_per_image as u64) as usize;
             let lock = &locks[slot % cfg.locks_per_image];
             img.lock(lock, home);
-            let v = table.get_elem(img, home, &[slot]);
-            table.put_elem(img, home, &[slot], v.wrapping_add(key));
+            // The stat-bearing accessors: on a healthy run they are the plain
+            // ops; under an injected fault plan they surface exhausted
+            // retries or a dead home image instead of panicking.
+            let v = table.get_elem_stat(img, home, &[slot]).expect("dht get");
+            table.put_elem_stat(img, home, &[slot], v.wrapping_add(key)).expect("dht put");
             img.unlock(lock, home);
             img.shmem().ctx().pe().compute_ops(20); // hashing + bookkeeping
         }
@@ -102,6 +108,7 @@ pub fn run_dht(platform: Platform, backend: Backend, images: usize, cfg: DhtConf
         time_ms: out.results.iter().map(|r| r.0).max().unwrap_or(0) as f64 / 1e6,
         checksum: out.results[0].1,
         updates_total: images * cfg.updates_per_image,
+        stats: out.stats,
     }
 }
 

@@ -10,6 +10,7 @@
 //! Performance is reported in MFLOPS with the canonical 34 flops/cell/iter.
 
 use caf::{run_caf, Backend, CafConfig, DimRange, Section, StridedAlgorithm};
+use pgas_machine::stats::StatsSnapshot;
 use pgas_machine::Platform;
 
 /// Grid and iteration parameters.
@@ -48,6 +49,8 @@ pub struct HimenoResult {
     pub mflops: f64,
     pub gosa: f64,
     pub time_ms: f64,
+    /// Machine counters for the whole job (fault/retry totals, lock leaks).
+    pub stats: StatsSnapshot,
 }
 
 const OMEGA: f32 = 0.8;
@@ -242,6 +245,7 @@ pub fn run_himeno(
         mflops: flops / (makespan_ns * 1e-9) / 1e6,
         gosa: out.results[0].1,
         time_ms: makespan_ns / 1e6,
+        stats: out.stats,
     }
 }
 

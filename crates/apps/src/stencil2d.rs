@@ -58,6 +58,18 @@ pub fn parallel_stencil(
     images: usize,
     cfg: StencilConfig,
 ) -> Vec<f64> {
+    parallel_stencil_with_stats(platform, backend, strided, images, cfg).0
+}
+
+/// [`parallel_stencil`], also returning the job's machine counters so
+/// callers can audit fault/retry totals and lock hygiene.
+pub fn parallel_stencil_with_stats(
+    platform: Platform,
+    backend: Backend,
+    strided: Option<StridedAlgorithm>,
+    images: usize,
+    cfg: StencilConfig,
+) -> (Vec<f64>, pgas_machine::stats::StatsSnapshot) {
     let n = cfg.n;
     let grid = ImageGrid::balanced_2d(images);
     // Halo puts index the *neighbour's* block with this image's local shape,
@@ -186,7 +198,8 @@ pub fn parallel_stencil(
         img.co_broadcast(&mut result, 1);
         result
     });
-    out.results.into_iter().next().unwrap()
+    let stats = out.stats;
+    (out.results.into_iter().next().unwrap(), stats)
 }
 
 #[cfg(test)]

@@ -1,0 +1,88 @@
+//! Every application must *survive* a lossy interconnect: under a canned
+//! 1% transient-drop plan the conduit's retry/backoff layer absorbs the
+//! faults, the answers stay correct, and no lock is leaked. The plan is
+//! forced through the same thread-local override the `PGAS_FAULT_PLAN`
+//! CI job uses, so this is the in-tree mirror of the `test-faulted` run.
+
+use caf::{Backend, SanitizerMode, StridedAlgorithm};
+use caf_apps::*;
+use pgas_machine::{with_forced_mode, with_forced_plan, FaultPlan, Platform};
+
+/// The canned plan: the same 1% drop rate as `PGAS_FAULT_PLAN=drop1`, with
+/// a test-local seed so failures reproduce from the test name alone.
+fn drop1(seed: u64) -> FaultPlan {
+    FaultPlan::transient_drops(seed, 0.01)
+}
+
+#[test]
+fn dht_survives_a_lossy_interconnect() {
+    with_forced_plan(drop1(0x0D47), || {
+        let cfg = DhtConfig { slots_per_image: 32, updates_per_image: 25, ..Default::default() };
+        let r = run_dht(Platform::Titan, Backend::Shmem, 8, cfg);
+        assert_eq!(r.checksum, dht::expected_checksum(8, &cfg), "checksum under drops");
+        assert!(r.stats.faults_injected > 0, "the plan actually fired: {:?}", r.stats);
+        assert_eq!(r.stats.retries_exhausted, 0, "1% drops never exhaust the backoff");
+        assert_eq!(r.stats.lock_leaks, 0, "every lock released despite retried AMOs");
+        assert_eq!(r.stats.pe_failures, 0);
+    });
+}
+
+#[test]
+fn himeno_survives_a_lossy_interconnect() {
+    with_forced_plan(drop1(0x0417), || {
+        let cfg = HimenoConfig::tiny();
+        let serial = *serial_gosa(&cfg).last().unwrap();
+        let r = run_himeno(Platform::Stampede, Backend::Shmem, None, 4, cfg);
+        let rel = (r.gosa - serial).abs() / serial;
+        assert!(rel < 1e-5, "residual under drops: {} vs {serial} (rel {rel:e})", r.gosa);
+        assert!(r.stats.faults_injected > 0, "the plan actually fired: {:?}", r.stats);
+        assert_eq!(r.stats.retries_exhausted, 0);
+        assert_eq!(r.stats.lock_leaks, 0);
+    });
+}
+
+#[test]
+fn stencil2d_survives_a_lossy_interconnect() {
+    with_forced_plan(drop1(0x57E4), || {
+        let cfg = StencilConfig { n: 12, steps: 8 };
+        let serial = serial_stencil(&cfg);
+        let (got, stats) =
+            parallel_stencil_with_stats(Platform::GenericSmp, Backend::Shmem, None, 4, cfg);
+        assert_eq!(got, serial, "bitwise answer under drops");
+        assert!(stats.faults_injected > 0, "the plan actually fired: {stats:?}");
+        assert_eq!(stats.retries_exhausted, 0);
+        assert_eq!(stats.lock_leaks, 0);
+    });
+}
+
+/// The strided fast paths retry too: the adaptive planner's `iput`
+/// decomposition must deliver every pencil even when individual puts drop.
+#[test]
+fn himeno_strided_algorithms_survive_drops() {
+    with_forced_plan(drop1(0x2D13), || {
+        let cfg = HimenoConfig::tiny();
+        let serial = *serial_gosa(&cfg).last().unwrap();
+        for algo in [StridedAlgorithm::Naive, StridedAlgorithm::TwoDim, StridedAlgorithm::Adaptive]
+        {
+            let r = run_himeno(Platform::Stampede, Backend::Shmem, Some(algo), 4, cfg);
+            let rel = (r.gosa - serial).abs() / serial;
+            assert!(rel < 1e-5, "{algo:?} under drops: rel {rel:e}");
+            assert_eq!(r.stats.lock_leaks, 0, "{algo:?}");
+        }
+    });
+}
+
+/// Faults and the sanitizer compose: a lossy-but-correct run stays
+/// hazard-free, so retries do not manufacture phantom races.
+#[test]
+fn lossy_runs_stay_hazard_free() {
+    with_forced_mode(SanitizerMode::Panic, || {
+        with_forced_plan(drop1(0xC0DE), || {
+            let cfg = StencilConfig { n: 12, steps: 6 };
+            let (got, stats) =
+                parallel_stencil_with_stats(Platform::GenericSmp, Backend::Shmem, None, 4, cfg);
+            assert_eq!(got, serial_stencil(&cfg));
+            assert!(stats.faults_injected > 0, "{stats:?}");
+        });
+    });
+}

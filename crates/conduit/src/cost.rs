@@ -69,6 +69,23 @@ impl<'m> CostModel<'m> {
         self.occupancy_ns(8)
     }
 
+    /// Stretch a payload occupancy by the fault plan's NIC-degradation
+    /// factor for a reservation on `node` beginning around `begin_ns`.
+    /// Identity (and branch-free past one comparison) on machines without
+    /// an active fault plan, so fault-free timings are unchanged.
+    ///
+    /// The factor is sampled at the requested begin instant; a window is a
+    /// coarse model of a sick NIC, not a cycle-accurate rate limiter.
+    #[inline]
+    fn degraded_occ(&self, node: usize, begin_ns: u64, occ: u64) -> u64 {
+        let f = self.machine.degradation_factor(node, begin_ns);
+        if f >= 1.0 {
+            occ
+        } else {
+            (occ as f64 / f).round() as u64
+        }
+    }
+
     /// Public view of the control-message occupancy (used to account for
     /// polling traffic of spin-based locks).
     pub fn control_msg_occupancy_ns(&self) -> f64 {
@@ -129,11 +146,17 @@ impl<'m> CostModel<'m> {
         }
         let flow_start = (issue_done + self.rendezvous_ns(bytes)).max(floor);
         let occ = self.occupancy_ns(bytes).round() as u64;
-        let src_res =
-            self.machine.nic(self.machine.node_of(src)).reserve_tx(flow_start, occ, bytes);
-        let dst_res = self.machine.nic(self.machine.node_of(dst)).reserve_rx(
-            src_res.begin + self.latency(),
-            occ,
+        let src_node = self.machine.node_of(src);
+        let dst_node = self.machine.node_of(dst);
+        let src_res = self.machine.nic(src_node).reserve_tx(
+            flow_start,
+            self.degraded_occ(src_node, flow_start, occ),
+            bytes,
+        );
+        let rx_start = src_res.begin + self.latency();
+        let dst_res = self.machine.nic(dst_node).reserve_rx(
+            rx_start,
+            self.degraded_occ(dst_node, rx_start, occ),
             bytes,
         );
         PutTiming { local_complete: src_res.end.max(issue_done), remote_complete: dst_res.end }
@@ -155,10 +178,19 @@ impl<'m> CostModel<'m> {
         // Request message out...
         let req = self.machine.nic(src_node).reserve_tx(issue_done, req_occ, 8);
         // ...target NIC streams the payload back...
-        let data = self.machine.nic(dst_node).reserve_tx(req.end + self.latency(), data_occ, bytes);
+        let data_start = req.end + self.latency();
+        let data = self.machine.nic(dst_node).reserve_tx(
+            data_start,
+            self.degraded_occ(dst_node, data_start, data_occ),
+            bytes,
+        );
         // ...delivered through the source NIC.
-        let recv =
-            self.machine.nic(src_node).reserve_rx(data.begin + self.latency(), data_occ, bytes);
+        let recv_start = data.begin + self.latency();
+        let recv = self.machine.nic(src_node).reserve_rx(
+            recv_start,
+            self.degraded_occ(src_node, recv_start, data_occ),
+            bytes,
+        );
         recv.end
     }
 
@@ -250,11 +282,17 @@ impl<'m> CostModel<'m> {
         }
         let occ = (self.occupancy_ns(bytes) + per_elem_ns * nelems as f64).round() as u64;
         let flow_start = issue_done.max(floor);
-        let src_res =
-            self.machine.nic(self.machine.node_of(src)).reserve_tx(flow_start, occ, bytes);
-        let dst_res = self.machine.nic(self.machine.node_of(dst)).reserve_rx(
-            src_res.begin + self.latency(),
-            occ,
+        let src_node = self.machine.node_of(src);
+        let dst_node = self.machine.node_of(dst);
+        let src_res = self.machine.nic(src_node).reserve_tx(
+            flow_start,
+            self.degraded_occ(src_node, flow_start, occ),
+            bytes,
+        );
+        let rx_start = src_res.begin + self.latency();
+        let dst_res = self.machine.nic(dst_node).reserve_rx(
+            rx_start,
+            self.degraded_occ(dst_node, rx_start, occ),
             bytes,
         );
         Some(PutTiming { local_complete: src_res.end, remote_complete: dst_res.end })
@@ -637,6 +675,34 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn degradation_window_stretches_transfers() {
+        use pgas_machine::{DegradedWindow, FaultPlan};
+        let plan = FaultPlan::new(5).with_degraded_window(DegradedWindow {
+            node: 1,
+            begin_ns: 0,
+            end_ns: u64::MAX,
+            bandwidth_factor: 0.25,
+        });
+        let m = Machine::new(stampede(2, 16).with_faults(plan));
+        let cm = CostModel::new(&m, ConduitProfile::mvapich_shmem());
+        let slow = cm.put(0, 16, 1 << 20, 0, 0).remote_complete;
+        let m2 = Machine::new(stampede(2, 16).with_faults(FaultPlan::none()));
+        let fast = CostModel::new(&m2, ConduitProfile::mvapich_shmem())
+            .put(0, 16, 1 << 20, 0, 0)
+            .remote_complete;
+        assert!(slow > 2 * fast, "degraded rx {slow} vs nominal {fast}");
+
+        // Outside the window (different node) nothing changes.
+        let m3 = Machine::new(stampede(2, 16).with_faults(FaultPlan::new(5).with_degraded_window(
+            DegradedWindow { node: 0, begin_ns: 1 << 60, end_ns: 1 << 61, bandwidth_factor: 0.25 },
+        )));
+        let unaffected = CostModel::new(&m3, ConduitProfile::mvapich_shmem())
+            .put(0, 16, 1 << 20, 0, 0)
+            .remote_complete;
+        assert_eq!(unaffected, fast);
     }
 
     #[test]

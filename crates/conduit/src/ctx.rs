@@ -6,7 +6,7 @@ use crate::pending::{Hazard, HazardKind, PendingSet};
 use crate::profile::ConduitProfile;
 use pgas_machine::machine::{Machine, Pe, PeId};
 use pgas_machine::sanitizer::{HazardKind as SanKind, HazardReport};
-use pgas_machine::stats::Stats;
+use pgas_machine::stats::{FaultEvent, Stats};
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::Ordering;
 
@@ -66,6 +66,36 @@ impl AmoOp {
         )
     }
 }
+
+/// Why a fallible one-sided operation could not be delivered.
+///
+/// Only produced when the machine runs under a [fault
+/// plan](pgas_machine::FaultPlan); on a fault-free machine every operation
+/// succeeds and the infallible entry points never panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConduitError {
+    /// The target PE was marked dead (scheduled PE failure). Layers above
+    /// map this onto Fortran 2018 `STAT_FAILED_IMAGE`.
+    TargetFailed { op: &'static str, target: PeId },
+    /// The operation kept hitting transient faults and ran out of retry
+    /// attempts (see [`pgas_machine::RetryPolicy`]).
+    RetriesExhausted { op: &'static str, target: PeId, attempts: u32 },
+}
+
+impl std::fmt::Display for ConduitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConduitError::TargetFailed { op, target } => {
+                write!(f, "{op} to PE {target} failed: target PE is dead")
+            }
+            ConduitError::RetriesExhausted { op, target, attempts } => {
+                write!(f, "{op} to PE {target} gave up after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConduitError {}
 
 /// Per-PE one-sided communication engine. Not `Sync`: each PE thread owns
 /// exactly one.
@@ -177,12 +207,104 @@ impl<'m> Ctx<'m> {
         self.opts.shmem_ptr_fastpath && self.machine().same_node(self.pe.id(), dst)
     }
 
+    // ---- fault injection -------------------------------------------------
+
+    /// Admission gate every message-path operation passes before touching
+    /// memory or NICs. On a fault-free machine this is one branch.
+    ///
+    /// Under a fault plan it rolls the issuing PE's deterministic stream
+    /// once per message attempt: a clean draw admits the operation, a
+    /// drop/corrupt draw charges the loss-detection timeout plus exponential
+    /// backoff to the issuer's *virtual* clock and tries again. The data
+    /// movement below the gate happens once, for the attempt that finally
+    /// gets through — retries of lost messages cost time, not duplicated
+    /// state. Attempts are capped by the plan's [`RetryPolicy`]; exhaustion
+    /// and dead targets surface as [`ConduitError`] instead of hanging.
+    ///
+    /// [`RetryPolicy`]: pgas_machine::RetryPolicy
+    fn fault_gate(&self, op: &'static str, target: PeId) -> Result<(), ConduitError> {
+        let m = self.machine();
+        if !m.faults_active() {
+            return Ok(());
+        }
+        if m.pe_failed(target) {
+            return Err(ConduitError::TargetFailed { op, target });
+        }
+        let max = m.fault_plan().map_or(u32::MAX, |p| p.retry.max_attempts);
+        let me = self.pe.id();
+        let stats = m.stats();
+        for attempt in 1..=max {
+            let Some(kind) = m.fault_draw(me) else {
+                return Ok(());
+            };
+            Stats::bump(&stats.faults_injected);
+            let begin = self.pe.now();
+            let delay = m.fault_backoff_ns(me, attempt);
+            stats.record_fault(FaultEvent {
+                pe: me,
+                op,
+                target,
+                kind: kind.label(),
+                attempt,
+                delay_ns: delay,
+                at_ns: begin,
+            });
+            // The sender pays the detection timeout whether it retries or
+            // gives up — a lost message is only known lost after the wait.
+            self.pe.advance(delay as f64);
+            self.trace(pgas_machine::trace::SpanKind::Retry, begin, Some(target), 0);
+            if attempt == max {
+                Stats::bump(&stats.retries_exhausted);
+                stats.record_fault(FaultEvent {
+                    pe: me,
+                    op,
+                    target,
+                    kind: "exhausted",
+                    attempt,
+                    delay_ns: 0,
+                    at_ns: self.pe.now(),
+                });
+                return Err(ConduitError::RetriesExhausted { op, target, attempts: max });
+            }
+            Stats::bump(&stats.retries);
+            if m.pe_failed(target) {
+                return Err(ConduitError::TargetFailed { op, target });
+            }
+        }
+        Ok(())
+    }
+
+    /// Like [`Self::fault_gate`] for the infallible entry points: retry
+    /// exhaustion is a hard failure there (callers that need to survive it
+    /// use the `try_` variants, as the CAF stat-bearing interfaces do).
+    #[inline]
+    fn fault_gate_or_panic(&self, op: &'static str, target: PeId) {
+        if let Err(e) = self.fault_gate(op, target) {
+            panic!("{e}; use the fallible conduit/CAF interfaces to handle injected faults");
+        }
+    }
+
     // ---- contiguous RMA --------------------------------------------------
 
     /// One-sided write of `src` into `dst`'s heap at `dst_off`
-    /// (`shmem_putmem`). Returns after local completion.
+    /// (`shmem_putmem`). Returns after local completion. Panics if a fault
+    /// plan kills the delivery; use [`Self::try_put`] to handle that.
     pub fn put(&self, dst: PeId, dst_off: usize, src: &[u8]) {
+        if let Err(e) = self.try_put(dst, dst_off, src) {
+            panic!("{e}; use the fallible conduit/CAF interfaces to handle injected faults");
+        }
+    }
+
+    /// Fallible [`Self::put`]: surfaces dead targets and retry exhaustion
+    /// instead of panicking. `Ok` means the data landed (possibly after
+    /// fault-injected retries charged to this PE's virtual clock).
+    pub fn try_put(&self, dst: PeId, dst_off: usize, src: &[u8]) -> Result<(), ConduitError> {
         let m = self.machine();
+        if !self.fastpath(dst) {
+            // Direct loads/stores cannot be dropped; only the message path
+            // passes the gate.
+            self.fault_gate("put", dst)?;
+        }
         let t_begin = self.pe.now();
         Stats::bump(&m.stats().puts);
         Stats::add(&m.stats().bytes_put, src.len() as u64);
@@ -194,7 +316,7 @@ impl<'m> Ctx<'m> {
             m.san_record_write(dst, dst_off, src.len(), self.pe.id(), t, false, "put");
             m.lift_clock(self.pe.id(), t);
             m.notify_pe(dst);
-            return;
+            return Ok(());
         }
         if let Some(h) = self.pending.borrow().check_put(dst, dst_off, src.len()) {
             self.flag_hazard(h);
@@ -208,12 +330,25 @@ impl<'m> Ctx<'m> {
         self.pending.borrow_mut().record_put(dst, dst_off, src.len(), t.remote_complete);
         m.notify_pe(dst);
         self.trace(pgas_machine::trace::SpanKind::Put, t_begin, Some(dst), src.len());
+        Ok(())
     }
 
     /// One-sided read of `dst`'s heap at `src_off` into `out`
-    /// (`shmem_getmem`). Blocking.
+    /// (`shmem_getmem`). Blocking. Panics if a fault plan kills the
+    /// delivery; use [`Self::try_get`] to handle that.
     pub fn get(&self, dst: PeId, src_off: usize, out: &mut [u8]) {
+        if let Err(e) = self.try_get(dst, src_off, out) {
+            panic!("{e}; use the fallible conduit/CAF interfaces to handle injected faults");
+        }
+    }
+
+    /// Fallible [`Self::get`]: surfaces dead targets and retry exhaustion
+    /// instead of panicking. On `Err`, `out` is untouched.
+    pub fn try_get(&self, dst: PeId, src_off: usize, out: &mut [u8]) -> Result<(), ConduitError> {
         let m = self.machine();
+        if !self.fastpath(dst) {
+            self.fault_gate("get", dst)?;
+        }
         let t_begin = self.pe.now();
         Stats::bump(&m.stats().gets);
         Stats::add(&m.stats().bytes_get, out.len() as u64);
@@ -224,7 +359,7 @@ impl<'m> Ctx<'m> {
             let stamp = m.heap(dst).max_stamp(src_off, out.len());
             m.san_check_read(dst, src_off, out.len(), self.pe.id(), "get");
             m.lift_clock(self.pe.id(), t.max(stamp));
-            return;
+            return Ok(());
         }
         if let Some(h) = self.pending.borrow().check_get(dst, src_off, out.len()) {
             self.flag_hazard(h);
@@ -235,6 +370,7 @@ impl<'m> Ctx<'m> {
         m.san_check_read(dst, src_off, out.len(), self.pe.id(), "get");
         m.lift_clock(self.pe.id(), done.max(stamp));
         self.trace(pgas_machine::trace::SpanKind::Get, t_begin, Some(dst), out.len());
+        Ok(())
     }
 
     /// Non-blocking put (`shmem_putmem_nbi`): returns after issue; even
@@ -243,12 +379,16 @@ impl<'m> Ctx<'m> {
     /// the semantics difference shows up purely in the virtual clock.)
     pub fn put_nbi(&self, dst: PeId, dst_off: usize, src: &[u8]) {
         let m = self.machine();
-        Stats::bump(&m.stats().puts);
-        Stats::add(&m.stats().bytes_put, src.len() as u64);
         if self.fastpath(dst) {
             self.put(dst, dst_off, src);
             return;
         }
+        // Simplification: an nbi operation's injected faults are detected
+        // and retried at issue time (synchronously, in virtual time) rather
+        // than at the closing `quiet` — same total cost, deterministic.
+        self.fault_gate_or_panic("put", dst);
+        Stats::bump(&m.stats().puts);
+        Stats::add(&m.stats().bytes_put, src.len() as u64);
         if let Some(h) = self.pending.borrow().check_put(dst, dst_off, src.len()) {
             self.flag_hazard(h);
         }
@@ -269,12 +409,13 @@ impl<'m> Ctx<'m> {
     /// guaranteed valid after `quiet`.
     pub fn get_nbi(&self, dst: PeId, src_off: usize, out: &mut [u8]) {
         let m = self.machine();
-        Stats::bump(&m.stats().gets);
-        Stats::add(&m.stats().bytes_get, out.len() as u64);
         if self.fastpath(dst) {
             self.get(dst, src_off, out);
             return;
         }
+        self.fault_gate_or_panic("get", dst);
+        Stats::bump(&m.stats().gets);
+        Stats::add(&m.stats().bytes_get, out.len() as u64);
         if let Some(h) = self.pending.borrow().check_get(dst, src_off, out.len()) {
             self.flag_hazard(h);
         }
@@ -328,6 +469,7 @@ impl<'m> Ctx<'m> {
             return;
         }
         let m = self.machine();
+        self.fault_gate_or_panic("iput", dst);
         Stats::bump(&m.stats().puts);
         Stats::add(&m.stats().bytes_put, (nelems * elem) as u64);
         let floor = self.pending.borrow().floor_for(dst);
@@ -384,6 +526,7 @@ impl<'m> Ctx<'m> {
             return;
         }
         let m = self.machine();
+        self.fault_gate_or_panic("iget", dst);
         Stats::bump(&m.stats().gets);
         Stats::add(&m.stats().bytes_get, (nelems * elem) as u64);
         let done = self
@@ -427,6 +570,7 @@ impl<'m> Ctx<'m> {
             "source slice too short for am_strided_put"
         );
         let m = self.machine();
+        self.fault_gate_or_panic("am put", dst);
         Stats::bump(&m.stats().puts);
         Stats::add(&m.stats().bytes_put, (nelems * elem) as u64);
         let floor = self.pending.borrow().floor_for(dst);
@@ -455,6 +599,7 @@ impl<'m> Ctx<'m> {
             return;
         }
         let m = self.machine();
+        self.fault_gate_or_panic("am put", dst);
         Stats::bump(&m.stats().puts);
         Stats::add(&m.stats().bytes_put, total as u64);
         let lo = regions.iter().map(|r| r.0).min().unwrap_or(0);
@@ -483,6 +628,7 @@ impl<'m> Ctx<'m> {
             return;
         }
         let m = self.machine();
+        self.fault_gate_or_panic("am get", dst);
         Stats::bump(&m.stats().gets);
         Stats::add(&m.stats().bytes_get, total as u64);
         let avg = (total / regions.len()).max(1);
@@ -501,9 +647,23 @@ impl<'m> Ctx<'m> {
     // ---- remote atomics ----------------------------------------------------
 
     /// Execute a remote atomic on the 8-byte word at `off` of `dst`'s heap.
-    /// Returns the previous value (meaningful for fetching ops).
+    /// Returns the previous value (meaningful for fetching ops). Panics if
+    /// a fault plan kills the delivery; use [`Self::try_amo`] to handle
+    /// that.
     pub fn amo(&self, dst: PeId, off: usize, op: AmoOp) -> u64 {
+        match self.try_amo(dst, off, op) {
+            Ok(v) => v,
+            Err(e) => {
+                panic!("{e}; use the fallible conduit/CAF interfaces to handle injected faults")
+            }
+        }
+    }
+
+    /// Fallible [`Self::amo`]: surfaces dead targets and retry exhaustion
+    /// instead of panicking. On `Err` the word was not touched.
+    pub fn try_amo(&self, dst: PeId, off: usize, op: AmoOp) -> Result<u64, ConduitError> {
         let m = self.machine();
+        self.fault_gate("amo", dst)?;
         let t_begin = self.pe.now();
         Stats::bump(&m.stats().amos);
         if let Some(h) = self.pending.borrow().check_amo(dst, off) {
@@ -546,7 +706,7 @@ impl<'m> Ctx<'m> {
         }
         m.notify_pe(dst);
         self.trace(pgas_machine::trace::SpanKind::Amo, t_begin, Some(dst), 8);
-        old
+        Ok(old)
     }
 
     /// Account for `polls` remote polling messages against `dst`'s NIC
@@ -1000,6 +1160,114 @@ mod tests {
             ctx.barrier_all();
         });
         assert!(out.trace.is_empty());
+    }
+
+    #[test]
+    fn injected_drops_retry_and_charge_virtual_time() {
+        use pgas_machine::FaultPlan;
+        let cfg =
+            two_node_cfg().with_trace(true).with_faults(FaultPlan::transient_drops(0xBEEF, 0.1));
+        let out = run(cfg, |pe| {
+            let ctx = shmem_ctx(pe);
+            if pe.id() == 0 {
+                for i in 0..64usize {
+                    ctx.put(2, 64 + i * 8, &[i as u8; 8]);
+                }
+                ctx.quiet();
+            }
+            ctx.barrier_all();
+            let mut buf = [0u8; 8];
+            ctx.get(2, 64 + 63 * 8, &mut buf);
+            buf
+        });
+        for r in out.results {
+            assert_eq!(r, [63u8; 8], "data still lands intact under drops");
+        }
+        assert!(out.stats.faults_injected > 0, "0.1 drop rate over 64 puts must hit");
+        assert!(out.stats.retries > 0);
+        assert_eq!(out.stats.retries_exhausted, 0, "8 attempts at 10% loss never exhaust here");
+        assert_eq!(out.stats.faults_injected, out.fault_events.len() as u64);
+        for e in &out.fault_events {
+            assert_eq!(e.kind, "drop");
+            assert!(e.delay_ns > 0);
+        }
+        use pgas_machine::trace::SpanKind;
+        assert!(out.trace.iter().any(|s| s.kind == SpanKind::Retry), "retries leave trace spans");
+    }
+
+    #[test]
+    fn same_seed_same_faults_different_seed_differs() {
+        use pgas_machine::FaultPlan;
+        let go = |seed: u64| {
+            run(two_node_cfg().with_faults(FaultPlan::transient_drops(seed, 0.2)), |pe| {
+                let ctx = shmem_ctx(pe);
+                if pe.id() == 0 {
+                    for i in 0..96usize {
+                        ctx.put(2, i * 8, &[1u8; 8]);
+                    }
+                    ctx.quiet();
+                }
+                ctx.barrier_all();
+            })
+        };
+        let a = go(11);
+        let b = go(11);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.fault_events, b.fault_events);
+        assert_eq!(a.clocks, b.clocks);
+        let c = go(12);
+        assert_ne!(
+            a.fault_events, c.fault_events,
+            "a different seed must perturb the fault schedule"
+        );
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_an_error() {
+        use pgas_machine::{FaultPlan, RetryPolicy};
+        let plan = FaultPlan::transient_drops(7, 0.9)
+            .with_retry(RetryPolicy { max_attempts: 2, ..Default::default() });
+        let out = run(two_node_cfg().with_faults(plan), |pe| {
+            let ctx = shmem_ctx(pe);
+            if pe.id() == 0 {
+                (0..50).find_map(|_| ctx.try_put(2, 0, &[1u8; 8]).err())
+            } else {
+                None
+            }
+        });
+        let err = out.results[0].expect("90% drops with 2 attempts must exhaust");
+        assert_eq!(err, ConduitError::RetriesExhausted { op: "put", target: 2, attempts: 2 });
+        assert!(out.stats.retries_exhausted >= 1);
+        assert!(out.fault_events.iter().any(|e| e.kind == "exhausted"));
+    }
+
+    #[test]
+    fn operations_on_a_dead_target_fail_fast() {
+        use pgas_machine::FaultPlan;
+        let plan = FaultPlan::new(1).with_pe_failure(2, 1_000);
+        let out = run(two_node_cfg().with_faults(plan), |pe| {
+            let ctx = shmem_ctx(pe);
+            let m = pe.machine();
+            if pe.id() == 2 {
+                pe.advance(2_000.0); // crosses the scheduled deadline
+                None
+            } else if pe.id() == 0 {
+                m.wait_on(0, || m.pe_failed(2));
+                let put = ctx.try_put(2, 0, &[1u8; 8]);
+                let mut buf = [0u8; 8];
+                let get = ctx.try_get(2, 0, &mut buf);
+                let amo = ctx.try_amo(2, 0, AmoOp::FetchAdd(1)).err();
+                Some((put, get, amo))
+            } else {
+                None
+            }
+        });
+        let (put, get, amo) = out.results[0].unwrap();
+        assert_eq!(put, Err(ConduitError::TargetFailed { op: "put", target: 2 }));
+        assert_eq!(get, Err(ConduitError::TargetFailed { op: "get", target: 2 }));
+        assert_eq!(amo, Some(ConduitError::TargetFailed { op: "amo", target: 2 }));
+        assert_eq!(out.failed_pes, vec![2]);
+        assert_eq!(out.stats.pe_failures, 1);
     }
 
     #[test]

@@ -27,6 +27,6 @@ pub mod pending;
 pub mod profile;
 
 pub use cost::CostModel;
-pub use ctx::{Ctx, CtxOptions};
+pub use ctx::{ConduitError, Ctx, CtxOptions};
 pub use pending::{Hazard, HazardKind};
 pub use profile::{AmoSupport, ConduitKind, ConduitProfile, StridedSupport};

@@ -1,5 +1,6 @@
 //! Coarrays: symmetric, remotely accessible arrays with co-indexed access.
 
+use crate::failure::CafStat;
 use crate::image::{Image, ImageId};
 use crate::section::Section;
 use openshmem::alloc::AllocError;
@@ -103,6 +104,53 @@ impl<T: Scalar> Coarray<T> {
     pub fn get_elem(&self, img: &Image<'_>, image: ImageId, idx: &[usize]) -> T {
         img.statement_quiet();
         img.shmem().g(self.ptr.at(self.linear(idx)), img.pe_of(image))
+    }
+
+    // ---- stat-bearing co-indexed access (Fortran 2018 stat= on the
+    // ---- assignment's image selector) ----------------------------------------
+
+    /// `a(:)[image] = data (stat=s)`: fallible contiguous put. Reports
+    /// STAT_FAILED_IMAGE for a dead target and a communication failure when
+    /// the conduit's retry budget runs out.
+    pub fn put_to_stat(&self, img: &Image<'_>, image: ImageId, data: &[T]) -> Result<(), CafStat> {
+        assert!(data.len() <= self.len());
+        img.shmem().try_put(self.ptr, data, img.pe_of(image))?;
+        img.statement_quiet();
+        Ok(())
+    }
+
+    /// `data = a(:)[image] (stat=s)`: fallible contiguous get.
+    pub fn get_from_stat(&self, img: &Image<'_>, image: ImageId) -> Result<Vec<T>, CafStat> {
+        let mut out = vec![zero::<T>(); self.len()];
+        img.statement_quiet();
+        img.shmem().try_get(self.ptr, &mut out, img.pe_of(image))?;
+        Ok(out)
+    }
+
+    /// `a(idx)[image] = v (stat=s)`.
+    pub fn put_elem_stat(
+        &self,
+        img: &Image<'_>,
+        image: ImageId,
+        idx: &[usize],
+        v: T,
+    ) -> Result<(), CafStat> {
+        img.shmem().try_put(self.ptr.at(self.linear(idx)), &[v], img.pe_of(image))?;
+        img.statement_quiet();
+        Ok(())
+    }
+
+    /// `v = a(idx)[image] (stat=s)`.
+    pub fn get_elem_stat(
+        &self,
+        img: &Image<'_>,
+        image: ImageId,
+        idx: &[usize],
+    ) -> Result<T, CafStat> {
+        let mut out = [zero::<T>()];
+        img.statement_quiet();
+        img.shmem().try_get(self.ptr.at(self.linear(idx)), &mut out, img.pe_of(image))?;
+        Ok(out[0])
     }
 
     // ---- co-indexed section access (strided RMA, §IV-C) -----------------------

@@ -7,9 +7,11 @@
 //! increment, `wait` spins locally (via `shmem_wait_until`) and then
 //! consumes the requested count.
 
+use crate::failure::CafStat;
 use crate::image::{Image, ImageId};
 use openshmem::data::SymPtr;
 use openshmem::shmem::Cmp;
+use std::sync::atomic::Ordering;
 
 /// An event coarray variable (`type(event_type) :: ev[*]`).
 #[derive(Debug, Clone, Copy)]
@@ -48,6 +50,41 @@ impl<'m> Image<'m> {
         let target = consumed + until_count;
         self.shmem().wait_until(ev.count, Cmp::Ge, target);
         self.shmem().write_local(ev.consumed, &[target]);
+    }
+
+    /// `event wait(ev, until_count, stat=s)`: failure-aware wait on this
+    /// image's event variable. `poster` (1-based) is the image expected to
+    /// supply the missing posts; if it dies before enough arrive, the wait
+    /// abandons and reports STAT_FAILED_IMAGE instead of hanging. Posts
+    /// that did arrive stay un-consumed.
+    pub fn event_wait_stat(
+        &self,
+        ev: &EventVar,
+        until_count: u64,
+        poster: ImageId,
+    ) -> Result<(), CafStat> {
+        assert!(until_count > 0, "event wait needs a positive count");
+        let m = self.machine();
+        if !m.faults_active() {
+            self.event_wait(ev, until_count);
+            return Ok(());
+        }
+        let me0 = self.this_image() - 1;
+        if m.pe_failed(me0) {
+            return Err(CafStat::FailedImage { image: me0 + 1 });
+        }
+        let pe = self.pe_of(poster);
+        let consumed = self.shmem().read_local_one(ev.consumed);
+        let target = consumed + until_count;
+        let word = m.heap(me0).atomic64(ev.count.offset());
+        m.wait_on(me0, || word.load(Ordering::Acquire) >= target || m.pe_failed(pe));
+        if word.load(Ordering::Acquire) < target {
+            return Err(CafStat::FailedImage { image: poster });
+        }
+        // Charge the wait and take the sync edge through the ordinary path.
+        self.shmem().wait_until(ev.count, Cmp::Ge, target);
+        self.shmem().write_local(ev.consumed, &[target]);
+        Ok(())
     }
 
     /// `call event_query(ev, count)`: un-consumed posts on this image's

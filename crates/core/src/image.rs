@@ -33,9 +33,10 @@ pub struct Image<'m> {
     /// non-symmetric ... data allocations out of this buffer."
     nonsym_base: SymPtr<u8>,
     nonsym_alloc: RefCell<SymAlloc>,
-    /// Per-source-image arrival counters for `sync images`.
-    sync_counters: SymPtr<u64>,
-    sync_expected: RefCell<Vec<u64>>,
+    /// Per-source-image arrival counters for `sync images` (also used by
+    /// the failure-aware waits in `crate::failure`).
+    pub(crate) sync_counters: SymPtr<u64>,
+    pub(crate) sync_expected: RefCell<Vec<u64>>,
     /// Locks currently held (or being acquired) by this image:
     /// (lock variable offset, allocation generation, target image 0-based)
     /// → qnode offset. The hash-table lookup of §IV-D. The generation
@@ -46,7 +47,14 @@ pub struct Image<'m> {
     /// Allocation generations handed out to lock variables; see
     /// `lock_table`.
     pub(crate) lock_gen: std::cell::Cell<u64>,
-    /// The hidden lock variable backing `critical` sections.
+    /// Current occupant of each lock-variable tail offset this image has
+    /// created: tail offset → (generation, symmetric block base). The
+    /// teardown audit compares held `lock_table` entries against this to
+    /// catch lock variables deallocated (or recycled) while still held —
+    /// the stale-lock hazard.
+    pub(crate) lock_offsets: RefCell<HashMap<usize, (u64, usize)>>,
+    /// The hidden lock variable backing `critical` sections (a 2-word
+    /// [tail, holder] block, like every lock variable).
     critical_lock: SymPtr<u64>,
 }
 
@@ -69,7 +77,7 @@ impl<'m> Image<'m> {
         let sync_counters =
             shmem.shmalloc::<u64>(n).expect("symmetric heap too small for sync-images counters");
         let critical_lock =
-            shmem.shmalloc::<u64>(1).expect("symmetric heap too small for the critical lock");
+            shmem.shmalloc::<u64>(2).expect("symmetric heap too small for the critical lock");
         Image {
             nonsym_alloc: RefCell::new(SymAlloc::new(cfg.nonsym_bytes)),
             nonsym_base,
@@ -77,6 +85,7 @@ impl<'m> Image<'m> {
             sync_expected: RefCell::new(vec![0; n]),
             lock_table: RefCell::new(HashMap::new()),
             lock_gen: std::cell::Cell::new(0),
+            lock_offsets: RefCell::new(HashMap::new()),
             critical_lock,
             shmem,
             cfg,
@@ -224,6 +233,13 @@ impl<'m> Image<'m> {
         result_image: Option<ImageId>,
         op: impl Fn(T, T) -> T + Copy,
     ) {
+        if self.machine().any_pe_failed() {
+            // The reduction tree would wait forever on dead ranks; run the
+            // survivor fallback instead (stat discarded — use
+            // `co_reduce_stat` to observe it).
+            let _ = self.co_reduce_survivors(data, result_image, op);
+            return;
+        }
         let n = data.len();
         self.with_scratch::<T, ()>(n, |src, dst| {
             self.shmem.write_local(src, data);
@@ -260,6 +276,10 @@ impl<'m> Image<'m> {
 
     /// `co_broadcast`: replicate `data` from `source_image` to all images.
     pub fn co_broadcast<T: Scalar>(&self, data: &mut [T], source_image: ImageId) {
+        if self.machine().any_pe_failed() {
+            let _ = self.co_broadcast_survivors(data, source_image);
+            return;
+        }
         let n = data.len();
         let root_pe = self.pe_of(source_image);
         self.with_scratch::<T, ()>(n, |src, dst| {
@@ -299,8 +319,42 @@ impl Drop for Image<'_> {
         if table.is_empty() {
             return;
         }
-        let stats = self.shmem.machine().stats();
+        let machine = self.shmem.machine();
+        let stats = machine.stats();
         pgas_machine::stats::Stats::add(&stats.lock_leaks, table.len() as u64);
+        if machine.san_on() && !std::thread::panicking() {
+            // Stale-lock audit: a held entry whose lock variable was
+            // deallocated — or recycled by a later `lock_var` at the same
+            // offset — can no longer be released safely; the unlock this
+            // image owes would target memory belonging to nobody (or to a
+            // *different* lock). The generation in `lock_offsets` tracks
+            // the current occupant of each tail offset this image created.
+            let offsets = self.lock_offsets.borrow();
+            let me = self.this_image() - 1;
+            for &(tail, generation, home) in table.keys() {
+                let stale = match offsets.get(&tail) {
+                    Some(&(current_gen, block)) => {
+                        current_gen != generation || !self.shmem.symmetric_block_live(block)
+                    }
+                    // No record: a lock this image did not create (e.g. the
+                    // hidden critical lock, never freed) — not auditable.
+                    None => false,
+                };
+                if stale {
+                    machine.san_report(pgas_machine::sanitizer::HazardReport {
+                        kind: pgas_machine::sanitizer::HazardKind::StaleLock,
+                        op: "teardown audit",
+                        accessor: me,
+                        target: home,
+                        conflict_pe: home,
+                        offset: tail,
+                        len: 8,
+                        t_conflict: machine.clock(me),
+                        t_known: machine.clock(me),
+                    });
+                }
+            }
+        }
         if cfg!(debug_assertions) && !std::thread::panicking() {
             let mut lines: Vec<String> = table
                 .iter()

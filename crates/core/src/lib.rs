@@ -54,6 +54,7 @@ pub mod atomics;
 pub mod coarray;
 pub mod config;
 pub mod events;
+pub mod failure;
 pub mod grid;
 pub mod image;
 pub mod locks;
@@ -69,6 +70,7 @@ pub use atomics::AtomicVar;
 pub use coarray::{CoDims, Coarray};
 pub use config::{Backend, CafConfig, StridedAlgorithm};
 pub use events::EventVar;
+pub use failure::CafStat;
 pub use grid::ImageGrid;
 pub use image::{Image, ImageId, NonSymHandle};
 pub use locks::{CafLock, LockStat};

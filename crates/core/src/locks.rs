@@ -6,8 +6,14 @@
 //! image `j`. OpenSHMEM's own locks are global entities, unusable here; the
 //! naive alternative (an N-element array per lock) wastes space. Instead:
 //!
-//! * Each lock instance is one symmetric 8-byte **tail** word on its home
-//!   image, holding a packed [`RemotePtr`] to the last queue node.
+//! * Each lock instance is a symmetric 2-word block on its home image: a
+//!   **tail** word holding a packed [`RemotePtr`] to the last queue node,
+//!   and a **holder** word (1-based image of the current owner; 0 = none)
+//!   that is only maintained while a fault plan is active — it lets a
+//!   waiter behind a *failed* image distinguish a dead lock holder (evict
+//!   it and take over: a lock repair) from a dead queued waiter (whose
+//!   thread, still running under the cooperative death model, will pass
+//!   the lock along normally).
 //! * Each contender allocates a 16-byte **qnode** (`locked`, `next` words)
 //!   from its non-symmetric remotely-accessible buffer space.
 //! * `lock`: fetch-and-store (swap) the tail with a pointer to your qnode;
@@ -24,14 +30,27 @@ use crate::image::{Image, ImageId};
 use crate::remote_ptr::{RemotePtr, NIL};
 use openshmem::data::SymPtr;
 use openshmem::shmem::Cmp;
+use pgas_conduit::ctx::AmoOp;
+use pgas_conduit::ConduitError;
+use std::sync::atomic::Ordering;
 
 /// Size of a queue node in the non-symmetric buffer: `locked` + `next`.
 pub(crate) const QNODE_BYTES: usize = 16;
+
+/// Virtual time charged per re-poll while a waiter sits behind a dead
+/// queued (non-holder) image, waiting for the handoff chain upstream of it
+/// to drain.
+const REPAIR_POLL_NS: f64 = 200.0;
 
 /// A CAF lock variable: one lockable instance per image.
 #[derive(Debug, Clone, Copy)]
 pub struct CafLock {
     tail: SymPtr<u64>,
+    /// 1-based image currently holding this instance (0 = none). Written
+    /// only when a fault plan is active, by whoever transfers ownership:
+    /// the acquirer on an uncontended acquire / `try_lock` win / repair
+    /// steal, the releaser on unlock and handoff.
+    holder: SymPtr<u64>,
     /// Allocation generation. Symmetric-heap offsets are recycled by
     /// `shmem_free`, so the tail offset alone cannot identify a lock
     /// variable for the lifetime of an image: a held-lock table entry made
@@ -43,8 +62,10 @@ pub struct CafLock {
 }
 
 impl CafLock {
-    pub(crate) fn from_raw(tail: SymPtr<u64>) -> CafLock {
-        CafLock { tail, gen: 0 }
+    /// Wrap a pre-allocated 2-word `[tail, holder]` block (the hidden
+    /// `critical` lock).
+    pub(crate) fn from_raw(words: SymPtr<u64>) -> CafLock {
+        CafLock { tail: words.slice(0, 1), holder: words.slice(1, 1), gen: 0 }
     }
 
     /// The symmetric tail word.
@@ -62,18 +83,35 @@ impl<'m> Image<'m> {
     /// Declare a lock coarray (`type(lock_type) :: lck[*]`). Collective;
     /// returns with every image's instance initialized to unlocked.
     pub fn lock_var(&self) -> CafLock {
-        let tail = self.shmem().shmalloc::<u64>(1).expect("symmetric heap exhausted for lock");
-        self.shmem().write_local(tail, &[NIL]);
+        let words = self.shmem().shmalloc::<u64>(2).expect("symmetric heap exhausted for lock");
+        self.shmem().write_local(words, &[NIL, 0]);
         self.sync_all();
-        CafLock { tail, gen: self.next_lock_gen() }
+        let lck = CafLock {
+            tail: words.slice(0, 1),
+            holder: words.slice(1, 1),
+            gen: self.next_lock_gen(),
+        };
+        self.lock_offsets.borrow_mut().insert(lck.tail.offset(), (lck.gen, words.offset()));
+        lck
     }
 
     /// An array of lock variables (`type(lock_type) :: lck(n)[*]`).
     pub fn lock_vars(&self, n: usize) -> Vec<CafLock> {
-        let tails = self.shmem().shmalloc::<u64>(n).expect("symmetric heap exhausted for locks");
-        self.shmem().write_local(tails, &vec![NIL; n]);
+        let words =
+            self.shmem().shmalloc::<u64>(2 * n).expect("symmetric heap exhausted for locks");
+        self.shmem().write_local(words, &vec![NIL; 2 * n]);
         self.sync_all();
-        (0..n).map(|i| CafLock { tail: tails.slice(i, 1), gen: self.next_lock_gen() }).collect()
+        (0..n)
+            .map(|i| {
+                let lck = CafLock {
+                    tail: words.slice(2 * i, 1),
+                    holder: words.slice(2 * i + 1, 1),
+                    gen: self.next_lock_gen(),
+                };
+                self.lock_offsets.borrow_mut().insert(lck.tail.offset(), (lck.gen, words.offset()));
+                lck
+            })
+            .collect()
     }
 
     fn next_lock_gen(&self) -> u64 {
@@ -116,14 +154,88 @@ impl<'m> Image<'m> {
         self.shmem().write_local(next, &[NIL]);
         let me = RemotePtr::new(self.this_image() - 1, q.offset).pack();
         let prev = self.shmem().swap(lck.tail, me, home);
-        if let Some(pred) = RemotePtr::unpack(prev) {
-            // Chain behind the predecessor and spin locally.
-            let pred_next = SymPtr::from_raw_parts(self.nonsym_abs(pred.offset) + 8, 1);
-            self.shmem().atomic_set(pred_next, me, pred.image);
-            self.shmem().quiet();
-            self.shmem().wait_until(locked, Cmp::Eq, 0);
+        match RemotePtr::unpack(prev) {
+            Some(pred) => {
+                // Chain behind the predecessor and spin locally.
+                let pred_next = SymPtr::from_raw_parts(self.nonsym_abs(pred.offset) + 8, 1);
+                if self.machine().faults_active() {
+                    // The predecessor may already be marked dead (it can
+                    // still be the lock holder): the link write is then
+                    // undeliverable and unneeded — the repair path observes
+                    // ownership through the holder word instead.
+                    match self.shmem().try_amo::<u64>(pred.image, pred_next, AmoOp::Set(me)) {
+                        Ok(_) | Err(ConduitError::TargetFailed { .. }) => {}
+                        Err(e) => panic!("lock chain write to image {}: {e}", pred.image + 1),
+                    }
+                    self.shmem().quiet();
+                    self.wait_or_repair(lck, home, locked, pred);
+                } else {
+                    self.shmem().atomic_set(pred_next, me, pred.image);
+                    self.shmem().quiet();
+                    self.shmem().wait_until(locked, Cmp::Eq, 0);
+                }
+            }
+            None => {
+                // Uncontended: we are the holder; publish that (fault runs
+                // only) so a successor can tell a dead holder from a dead
+                // queued waiter.
+                if self.machine().faults_active() {
+                    self.shmem().atomic_set(lck.holder, self.this_image() as u64, home);
+                }
+            }
         }
         self.lock_table.borrow_mut().insert(key, q.offset);
+    }
+
+    /// Failure-aware MCS spin: wait for the handoff that clears our local
+    /// `locked` word, but also wake when the predecessor dies. A dead
+    /// predecessor named by the lock's holder word is evicted and the lock
+    /// taken over (a *lock repair*, counted and logged); a dead predecessor
+    /// that was merely queued keeps its place — under the cooperative death
+    /// model its thread still runs and will pass the lock along — so we
+    /// re-poll after a charged delay until the chain upstream drains.
+    fn wait_or_repair(&self, lck: &CafLock, home: usize, locked: SymPtr<u64>, pred: RemotePtr) {
+        let m = self.machine();
+        let me0 = self.this_image() - 1;
+        let word = m.heap(me0).atomic64(locked.offset());
+        loop {
+            m.wait_on(me0, || {
+                word.load(Ordering::Acquire) == 0 || m.pe_failed(pred.image) || m.pe_failed(me0)
+            });
+            if m.pe_failed(me0) && word.load(Ordering::Acquire) != 0 {
+                // This image itself has failed while queued: stop waiting so
+                // its thread can observe the death and return. The table
+                // entry it keeps is the expected leak of a failed image.
+                return;
+            }
+            if word.load(Ordering::Acquire) == 0 {
+                // Normal handoff arrived: charge the wait through the
+                // ordinary path (clock lift + sanitizer sync edge).
+                self.shmem().wait_until(locked, Cmp::Eq, 0);
+                return;
+            }
+            let holder = self.shmem().atomic_fetch(lck.holder, home);
+            if holder == pred.image as u64 + 1 {
+                // The dead predecessor owns the lock: evict it.
+                self.shmem().atomic_set(lck.holder, me0 as u64 + 1, home);
+                self.shmem().quiet();
+                let stats = m.stats();
+                pgas_machine::stats::Stats::bump(&stats.lock_repairs);
+                stats.record_fault(pgas_machine::stats::FaultEvent {
+                    pe: me0,
+                    op: "lock",
+                    target: pred.image,
+                    kind: "lock-repair",
+                    attempt: 0,
+                    delay_ns: 0,
+                    at_ns: m.clock(me0),
+                });
+                return;
+            }
+            // The dead predecessor was only queued; the handoff is still
+            // somewhere upstream. Charge a poll interval and re-check.
+            m.advance(me0, REPAIR_POLL_NS);
+        }
     }
 
     /// `lock(lck[image], acquired_lock=ok)`: non-blocking attempt; returns
@@ -143,6 +255,9 @@ impl<'m> Image<'m> {
         self.shmem().write_local(next, &[NIL]);
         let me = RemotePtr::new(self.this_image() - 1, q.offset).pack();
         if self.shmem().cswap(lck.tail, NIL, me, home) == NIL {
+            if self.machine().faults_active() {
+                self.shmem().atomic_set(lck.holder, self.this_image() as u64, home);
+            }
             self.lock_table.borrow_mut().insert(key, q.offset);
             true
         } else {
@@ -165,14 +280,38 @@ impl<'m> Image<'m> {
         self.vendor_lock_overhead(lck, home);
         let (_, next) = self.qnode_ptrs(q_off);
         let me = RemotePtr::new(self.this_image() - 1, q_off).pack();
+        let faults = self.machine().faults_active();
+        if faults {
+            // Renounce ownership *before* releasing the tail: between the
+            // clear and the next owner's claim the holder word reads 0,
+            // which the repair path treats as "no eviction" — safe on both
+            // sides of the window.
+            self.shmem().atomic_set(lck.holder, 0u64, home);
+            self.shmem().quiet();
+        }
         let old = self.shmem().cswap(lck.tail, me, NIL, home);
         if old != me {
             // A successor swapped the tail: wait for it to link itself,
             // then hand the lock over by clearing its local spin word.
             let next_val = self.shmem().wait_until(next, Cmp::Ne, NIL);
             let succ = RemotePtr::unpack(next_val).expect("corrupt qnode next pointer");
+            if faults {
+                // Transfer ownership before waking the successor so the
+                // holder word never lags the actual owner.
+                self.shmem().atomic_set(lck.holder, succ.image as u64 + 1, home);
+            }
             let succ_locked = SymPtr::from_raw_parts(self.nonsym_abs(succ.offset), 1);
-            self.shmem().atomic_set(succ_locked, 0u64, succ.image);
+            if faults {
+                // A successor that died while queued cannot be woken; the
+                // holder word (set to it above) already publishes the
+                // transfer, so a live waiter behind it can repair.
+                match self.shmem().try_amo::<u64>(succ.image, succ_locked, AmoOp::Set(0)) {
+                    Ok(_) | Err(ConduitError::TargetFailed { .. }) => {}
+                    Err(e) => panic!("lock handoff to image {}: {e}", succ.image + 1),
+                }
+            } else {
+                self.shmem().atomic_set(succ_locked, 0u64, succ.image);
+            }
             self.shmem().quiet();
         }
         self.free_nonsym(crate::image::NonSymHandle { offset: q_off, len: QNODE_BYTES })
@@ -189,6 +328,9 @@ impl<'m> Image<'m> {
     /// Fortran error condition instead of panicking when this image already
     /// holds the lock.
     pub fn lock_stat(&self, lck: &CafLock, image: ImageId) -> Result<(), LockStat> {
+        if self.machine().pe_failed(self.pe_of(image)) {
+            return Err(LockStat::StatFailedImage);
+        }
         if self.holds_lock(lck, image) {
             return Err(LockStat::StatLocked);
         }
@@ -196,8 +338,13 @@ impl<'m> Image<'m> {
         Ok(())
     }
 
-    /// `unlock(lck[image], stat=s)`: error-reporting unlock.
+    /// `unlock(lck[image], stat=s)`: error-reporting unlock. A lock homed
+    /// on a failed image cannot be released; the held-table entry remains
+    /// (and is counted as a leak at teardown).
     pub fn unlock_stat(&self, lck: &CafLock, image: ImageId) -> Result<(), LockStat> {
+        if self.machine().pe_failed(self.pe_of(image)) {
+            return Err(LockStat::StatFailedImage);
+        }
         if !self.holds_lock(lck, image) {
             return Err(LockStat::StatUnlocked);
         }
@@ -214,6 +361,8 @@ pub enum LockStat {
     StatLocked,
     /// The image does not hold this lock (unlock statement).
     StatUnlocked,
+    /// The lock's home image has failed (Fortran 2018 STAT_FAILED_IMAGE).
+    StatFailedImage,
 }
 
 impl std::fmt::Display for LockStat {
@@ -221,6 +370,9 @@ impl std::fmt::Display for LockStat {
         match self {
             LockStat::StatLocked => write!(f, "STAT_LOCKED: image already holds the lock"),
             LockStat::StatUnlocked => write!(f, "STAT_UNLOCKED: image does not hold the lock"),
+            LockStat::StatFailedImage => {
+                write!(f, "STAT_FAILED_IMAGE: the lock's home image has failed")
+            }
         }
     }
 }

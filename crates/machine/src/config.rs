@@ -1,5 +1,6 @@
 //! Machine description: topology, wire parameters, compute speed.
 
+use crate::fault::FaultPlan;
 use crate::sanitizer::SanitizerMode;
 
 /// Parameters of one class of link (inter-node wire or intra-node memory bus).
@@ -66,6 +67,9 @@ pub struct MachineConfig {
     pub trace: bool,
     /// Race & sync sanitizer mode (see `crate::sanitizer`). Off by default.
     pub sanitizer: SanitizerMode,
+    /// Deterministic fault schedule (see `crate::fault`). `None` by default;
+    /// a zero plan behaves identically to `None`.
+    pub faults: Option<FaultPlan>,
 }
 
 impl MachineConfig {
@@ -104,6 +108,13 @@ impl MachineConfig {
         self
     }
 
+    /// Attach a deterministic fault schedule. An explicit plan — even
+    /// [`FaultPlan::none`] — beats the `PGAS_FAULT_PLAN` environment default.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// The sanitizer mode a machine built from this config will run with.
     ///
     /// An explicit [`Self::with_sanitizer`] choice always stands; when the
@@ -116,6 +127,17 @@ impl MachineConfig {
             SanitizerMode::Off => crate::sanitizer::env_default().unwrap_or(SanitizerMode::Off),
             explicit => explicit,
         }
+    }
+
+    /// The fault plan a machine built from this config will run with.
+    ///
+    /// An explicit [`Self::with_faults`] choice always stands (including an
+    /// explicit zero plan, which disables faults); when the config carries no
+    /// plan, the process-wide `PGAS_FAULT_PLAN` environment variable (read
+    /// once, at first use) supplies the default. A `with_forced_plan` thread
+    /// override beats both, but that is applied by `Machine::new`, not here.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.faults.clone().or_else(crate::fault::env_default)
     }
 
     /// Validate the configuration, returning a description of the first
@@ -142,6 +164,9 @@ impl MachineConfig {
                 self.total_pes(),
                 crate::machine::MAX_PES
             ));
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate(self.total_pes(), self.nodes)?;
         }
         Ok(())
     }
@@ -225,6 +250,40 @@ mod tests {
         let cfg = platforms::generic_smp(2);
         assert_eq!(cfg.sanitizer, SanitizerMode::Off, "presets default to Off");
         assert_eq!(cfg.sanitizer_mode(), expected);
+    }
+
+    #[test]
+    fn explicit_fault_plan_beats_env_default() {
+        // An explicit plan — including an explicit zero plan — must stand no
+        // matter what PGAS_FAULT_PLAN says: timing-exact tests rely on
+        // with_faults(FaultPlan::none()) to opt out of the env-driven plan.
+        let cfg = platforms::generic_smp(2).with_faults(FaultPlan::none());
+        assert!(cfg.fault_plan().unwrap().is_zero());
+        let cfg = platforms::generic_smp(2).with_faults(FaultPlan::transient_drops(9, 0.25));
+        assert_eq!(cfg.fault_plan().unwrap().drop_prob, 0.25);
+    }
+
+    #[test]
+    fn env_fault_plan_applies_when_config_has_none() {
+        // Race-free env proof, mirroring the sanitizer test above: read the
+        // variable (never write it) and assert the config resolves to exactly
+        // what it says. Locally the variable is normally unset -> None; in
+        // the PGAS_FAULT_PLAN CI job this asserts the env-driven plan reaches
+        // the config with no code changes.
+        let expected = std::env::var("PGAS_FAULT_PLAN").ok().as_deref().and_then(FaultPlan::parse);
+        let cfg = platforms::generic_smp(2);
+        assert!(cfg.faults.is_none(), "presets default to no plan");
+        assert_eq!(cfg.fault_plan(), expected);
+    }
+
+    #[test]
+    fn validate_checks_fault_plan() {
+        let cfg = platforms::generic_smp(4).with_faults(FaultPlan::transient_drops(1, 2.0));
+        assert!(cfg.validate().is_err());
+        let cfg = platforms::generic_smp(4).with_faults(FaultPlan::new(1).with_pe_failure(7, 10));
+        assert!(cfg.validate().is_err(), "failure of a PE the machine does not have");
+        let cfg = platforms::generic_smp(4).with_faults(FaultPlan::transient_drops(1, 0.01));
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use crate::config::MachineConfig;
 use crate::machine::{Machine, Pe};
 use crate::sanitizer::{HazardKind, HazardReport};
-use crate::stats::{PlanDecision, StatsSnapshot};
+use crate::stats::{FaultEvent, PlanDecision, StatsSnapshot};
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 
@@ -35,6 +35,11 @@ pub struct SimOutcome<R> {
     /// Every strided-plan selection made during the job, in recording order
     /// (empty unless a `StridedPlanner`-backed algorithm ran).
     pub plan_decisions: Vec<PlanDecision>,
+    /// Every injected fault, retry exhaustion, and PE death (empty unless a
+    /// fault plan was active), ordered by (pe, issue order) for determinism.
+    pub fault_events: Vec<FaultEvent>,
+    /// PEs dead at the end of the job, ascending.
+    pub failed_pes: Vec<usize>,
     /// Platform name the job ran on.
     pub machine: String,
 }
@@ -182,6 +187,15 @@ where
         trace: machine.tracer().drain(),
         hazard_reports: machine.sanitizer().take_reports(),
         plan_decisions: machine.stats().drain_plans(),
+        fault_events: {
+            // Per-PE order is the PE's own program order (deterministic);
+            // the cross-PE interleaving in the log is scheduling noise, so
+            // sort it away. at_ns breaks ties within a PE monotonically.
+            let mut events = machine.stats().drain_faults();
+            events.sort_by_key(|e| (e.pe, e.at_ns, e.attempt));
+            events
+        },
+        failed_pes: machine.failed_pes(),
         machine: name,
         results,
     })

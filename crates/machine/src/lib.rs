@@ -25,6 +25,7 @@
 //! semantics live in `pgas-conduit` and above.
 
 pub mod config;
+pub mod fault;
 pub mod heap;
 pub mod json;
 pub mod launch;
@@ -37,8 +38,9 @@ pub mod sync;
 pub mod trace;
 
 pub use config::{ComputeParams, LinkParams, MachineConfig, WireParams};
+pub use fault::{with_forced_plan, DegradedWindow, FaultKind, FaultPlan, PeFailure, RetryPolicy};
 pub use launch::{run, run_with_result, NicSnapshot, SimError, SimOutcome};
 pub use machine::{Machine, PeId};
 pub use platforms::{cray_xc30, generic_smp, stampede, titan, Platform};
 pub use sanitizer::{with_forced_mode, HazardKind, HazardReport, SanitizerMode};
-pub use stats::{PlanDecision, StatsSnapshot};
+pub use stats::{FaultEvent, PlanDecision, StatsSnapshot};

@@ -1,12 +1,13 @@
 //! The machine proper: PE state, clocks, heaps, NICs, barriers.
 
 use crate::config::MachineConfig;
+use crate::fault::{FaultKind, FaultPlan, FaultState};
 use crate::heap::Heap;
 use crate::nic::Nic;
 use crate::sanitizer::{HazardReport, Sanitizer, SanitizerMode};
-use crate::stats::Stats;
+use crate::stats::{FaultEvent, Stats};
 use crate::sync::{ClockBarrier, NotifyCell, Poison};
-use crate::trace::Tracer;
+use crate::trace::{Span, SpanKind, Tracer};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -37,6 +38,9 @@ pub struct Machine {
     poison: Poison,
     global_barrier: ClockBarrier,
     subset_barriers: Mutex<HashMap<Vec<PeId>, Arc<ClockBarrier>>>,
+    /// Fault-injection state; `None` unless a non-zero plan was resolved, so
+    /// the zero-fault path costs one branch per hook.
+    faults: Option<FaultState>,
 }
 
 impl Machine {
@@ -44,7 +48,18 @@ impl Machine {
     pub fn new(cfg: MachineConfig) -> Arc<Machine> {
         cfg.validate().expect("invalid machine configuration");
         let n = cfg.total_pes();
+        // Resolution mirrors the sanitizer: thread-forced plan beats explicit
+        // config, which beats the PGAS_FAULT_PLAN environment default. A zero
+        // plan builds no state at all.
+        let faults = crate::fault::forced_plan()
+            .or_else(|| cfg.fault_plan())
+            .filter(|plan| !plan.is_zero())
+            .map(|plan| {
+                plan.validate(n, cfg.nodes).expect("invalid fault plan");
+                FaultState::new(plan, n)
+            });
         Arc::new(Machine {
+            faults,
             pes: (0..n)
                 .map(|_| PeState {
                     heap: Heap::new(cfg.heap_bytes),
@@ -213,6 +228,113 @@ impl Machine {
         }
     }
 
+    // ---- fault injection -------------------------------------------------
+
+    /// Is a non-zero fault plan active on this machine?
+    #[inline]
+    pub fn faults_active(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| f.plan())
+    }
+
+    /// Roll one message attempt by `pe` against the plan's transient-fault
+    /// probabilities. `None` when no plan is active or the dice came up
+    /// clean. Deterministic: stream `pe` advances only on `pe`'s own ops.
+    #[inline]
+    pub fn fault_draw(&self, pe: PeId) -> Option<FaultKind> {
+        self.faults.as_ref()?.draw(pe)
+    }
+
+    /// Detection-timeout + backoff delay (with deterministic jitter) for
+    /// retry number `attempt` (1-based) by `pe`. Zero when no plan is active.
+    pub fn fault_backoff_ns(&self, pe: PeId, attempt: u32) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.backoff_ns(pe, attempt))
+    }
+
+    /// Fraction of nominal NIC bandwidth available on `node` for a
+    /// reservation beginning at `t_ns` (1.0 unless a degradation window of
+    /// the active plan covers that instant).
+    #[inline]
+    pub fn degradation_factor(&self, node: usize, t_ns: u64) -> f64 {
+        match &self.faults {
+            Some(f) => f.bandwidth_factor(node, t_ns),
+            None => 1.0,
+        }
+    }
+
+    /// Has `pe` been marked dead by a scheduled failure?
+    #[inline]
+    pub fn pe_failed(&self, pe: PeId) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.is_failed(pe))
+    }
+
+    /// Every PE marked dead so far, ascending.
+    pub fn failed_pes(&self) -> Vec<PeId> {
+        self.faults.as_ref().map_or_else(Vec::new, |f| f.failed_list())
+    }
+
+    /// Has any PE been marked dead?
+    pub fn any_pe_failed(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.any_failed())
+    }
+
+    /// Mark `pe` dead: count it, log it, detach it from every barrier it
+    /// belongs to (pending rounds complete among the survivors), and wake
+    /// all waiters so failure-aware predicates re-evaluate.
+    #[cold]
+    fn fail_pe(&self, pe: PeId, now: u64) {
+        let Some(fs) = &self.faults else { return };
+        // The subset-barrier lock orders marking against concurrent barrier
+        // creation: a group barrier created after this point sees the death
+        // and shrinks itself, one created before is shrunk here.
+        let subsets = self.subset_barriers.lock();
+        if !fs.mark_failed(pe) {
+            return;
+        }
+        Stats::bump(&self.stats.pe_failures);
+        self.stats.record_fault(FaultEvent {
+            pe,
+            op: "pe-failure",
+            target: pe,
+            kind: "pe-failure",
+            attempt: 0,
+            delay_ns: 0,
+            at_ns: now,
+        });
+        self.tracer.record(Span {
+            pe,
+            kind: SpanKind::Fault,
+            begin: now,
+            end: now,
+            peer: None,
+            bytes: 0,
+        });
+        self.global_barrier.leave();
+        for (group, b) in subsets.iter() {
+            if group.binary_search(&pe).is_ok() {
+                b.leave();
+            }
+        }
+        drop(subsets);
+        for p in &self.pes {
+            p.notify.notify();
+        }
+    }
+
+    /// Check `pe` against its scheduled death instant at clock value `now`.
+    #[inline]
+    fn poll_failure(&self, pe: PeId, now: u64) {
+        if let Some(fs) = &self.faults {
+            if now >= fs.deadline(pe) && !fs.is_failed(pe) {
+                self.fail_pe(pe, now);
+            }
+        }
+    }
+
     // ---- virtual clocks ------------------------------------------------
 
     /// Current virtual time of `pe`, ns.
@@ -229,6 +351,7 @@ impl Machine {
         let prev = self.pes[pe].clock.load(Ordering::Acquire);
         let next = prev + ns.round() as u64;
         self.pes[pe].clock.store(next, Ordering::Release);
+        self.poll_failure(pe, next);
         next
     }
 
@@ -238,6 +361,7 @@ impl Machine {
         let prev = self.pes[pe].clock.load(Ordering::Acquire);
         let next = prev.max(t);
         self.pes[pe].clock.store(next, Ordering::Release);
+        self.poll_failure(pe, next);
         next
     }
 
@@ -274,6 +398,11 @@ impl Machine {
     /// `extra_ns` (the communication layer computes it from the barrier
     /// algorithm it models). Returns the new clock.
     pub fn barrier_all(&self, pe: PeId, extra_ns: f64) -> u64 {
+        self.poll_failure(pe, self.clock(pe));
+        if self.pe_failed(pe) {
+            // A dead PE must not rendezvous: it already left the group.
+            return self.clock(pe);
+        }
         Stats::bump(&self.stats.barriers);
         let max = self.global_barrier.arrive(self.clock(pe), &self.poison);
         let t = max + extra_ns.round() as u64;
@@ -287,11 +416,26 @@ impl Machine {
     pub fn barrier_group(&self, pe: PeId, group: &[PeId], extra_ns: f64) -> u64 {
         debug_assert!(group.windows(2).all(|w| w[0] < w[1]), "group must be sorted and unique");
         debug_assert!(group.contains(&pe), "barrier group must contain the calling PE");
+        self.poll_failure(pe, self.clock(pe));
+        if self.pe_failed(pe) {
+            return self.clock(pe);
+        }
         Stats::bump(&self.stats.barriers);
         let barrier = {
             let mut map = self.subset_barriers.lock();
             map.entry(group.to_vec())
-                .or_insert_with(|| Arc::new(ClockBarrier::new(group.len())))
+                .or_insert_with(|| {
+                    let b = ClockBarrier::new(group.len());
+                    // Members already dead at creation never arrive.
+                    if let Some(fs) = &self.faults {
+                        for &g in group {
+                            if fs.is_failed(g) {
+                                b.leave();
+                            }
+                        }
+                    }
+                    Arc::new(b)
+                })
                 .clone()
         };
         let max = barrier.arrive(self.clock(pe), &self.poison);
@@ -415,6 +559,51 @@ mod tests {
         let m = Machine::new(generic_smp(1)); // 2.5 GF/s core
         m.compute_flops(0, 2500.0);
         assert_eq!(m.clock(0), 1000);
+    }
+
+    #[test]
+    fn fault_hooks_are_inert_without_a_plan() {
+        // Force the no-plan state: a PGAS_FAULT_PLAN env default (the CI
+        // test-faulted job) would otherwise reach this machine.
+        crate::fault::with_forced_plan(crate::fault::FaultPlan::none(), || {
+            let m = Machine::new(generic_smp(2));
+            assert!(!m.faults_active());
+            assert!(m.fault_plan().is_none());
+            assert!(m.fault_draw(0).is_none());
+            assert_eq!(m.fault_backoff_ns(0, 1), 0);
+            assert_eq!(m.degradation_factor(0, 12345), 1.0);
+            assert!(!m.pe_failed(0));
+            assert!(m.failed_pes().is_empty());
+            assert!(!m.any_pe_failed());
+        });
+    }
+
+    #[test]
+    fn zero_plan_builds_no_fault_state() {
+        use crate::fault::FaultPlan;
+        let m = Machine::new(generic_smp(2).with_faults(FaultPlan::none()));
+        assert!(!m.faults_active());
+    }
+
+    #[test]
+    fn scheduled_failure_trips_when_clock_crosses_deadline() {
+        use crate::fault::FaultPlan;
+        let m = Machine::new(generic_smp(2).with_faults(FaultPlan::new(1).with_pe_failure(1, 100)));
+        assert!(m.faults_active());
+        m.advance(1, 99.0);
+        assert!(!m.pe_failed(1), "deadline not reached yet");
+        m.advance(1, 1.0);
+        assert!(m.pe_failed(1));
+        assert_eq!(m.failed_pes(), vec![1]);
+        assert_eq!(m.stats().snapshot().pe_failures, 1);
+        let events = m.stats().drain_faults();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "pe-failure");
+        assert_eq!(events[0].at_ns, 100);
+        // The survivor's barrier completes alone; the dead PE's is a no-op.
+        assert_eq!(m.barrier_all(0, 5.0), m.clock(0));
+        let dead_clock = m.clock(1);
+        assert_eq!(m.barrier_all(1, 5.0), dead_clock, "dead PE does not rendezvous");
     }
 
     #[test]

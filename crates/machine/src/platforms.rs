@@ -78,6 +78,7 @@ pub fn stampede(nodes: usize, cores_per_node: usize) -> MachineConfig {
         stack_bytes: DEFAULT_STACK,
         trace: false,
         sanitizer: SanitizerMode::Off,
+        faults: None,
     }
 }
 
@@ -99,6 +100,7 @@ pub fn titan(nodes: usize, cores_per_node: usize) -> MachineConfig {
         stack_bytes: DEFAULT_STACK,
         trace: false,
         sanitizer: SanitizerMode::Off,
+        faults: None,
     }
 }
 
@@ -120,6 +122,7 @@ pub fn cray_xc30(nodes: usize, cores_per_node: usize) -> MachineConfig {
         stack_bytes: DEFAULT_STACK,
         trace: false,
         sanitizer: SanitizerMode::Off,
+        faults: None,
     }
 }
 
@@ -141,6 +144,7 @@ pub fn generic_smp(cores: usize) -> MachineConfig {
         stack_bytes: DEFAULT_STACK,
         trace: false,
         sanitizer: SanitizerMode::Off,
+        faults: None,
     }
 }
 

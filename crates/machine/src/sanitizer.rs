@@ -117,6 +117,11 @@ pub enum HazardKind {
     /// the same bytes with no happens-before edge (barrier, `wait_until`,
     /// or fetching atomic) between them.
     MissingSync,
+    /// A lock-table entry outlived its lock variable: the symmetric words
+    /// backing a *held* lock were deallocated (or reallocated to a new lock)
+    /// before the holder released it, so the eventual unlock targets memory
+    /// that no longer belongs to that lock.
+    StaleLock,
 }
 
 impl HazardKind {
@@ -125,6 +130,7 @@ impl HazardKind {
             HazardKind::MissingQuiet => "missing-quiet hazard",
             HazardKind::TornTransfer => "torn-transfer hazard",
             HazardKind::MissingSync => "missing-sync hazard",
+            HazardKind::StaleLock => "stale-lock hazard",
         }
     }
 }
@@ -155,6 +161,19 @@ pub struct HazardReport {
 
 impl std::fmt::Display for HazardReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.kind == HazardKind::StaleLock {
+            return write!(
+                f,
+                "{}: lock held by PE {} at PE {}'s heap bytes [{}, {}) was \
+                 deallocated or reallocated before release (acquired at t={})",
+                self.kind.label(),
+                self.accessor,
+                self.target,
+                self.offset,
+                self.offset + self.len,
+                self.t_conflict,
+            );
+        }
         write!(
             f,
             "{}: {} by PE {} on PE {}'s heap bytes [{}, {}) conflicts with an \

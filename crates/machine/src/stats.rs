@@ -25,6 +25,27 @@ pub struct PlanDecision {
     pub candidates: Vec<(String, f64)>,
 }
 
+/// One injected fault (or retry-budget exhaustion, or PE death) as observed
+/// by the layer that handled it — the fault-side analogue of
+/// [`PlanDecision`], surfaced on `SimOutcome::fault_events`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// PE whose operation was hit (or the PE that died).
+    pub pe: usize,
+    /// Operation label ("put", "get", "amo", ... or "pe-failure").
+    pub op: &'static str,
+    /// Communication target of the faulted operation (== `pe` for deaths).
+    pub target: usize,
+    /// What happened: "drop", "corrupt", "exhausted", "pe-failure".
+    pub kind: &'static str,
+    /// Attempt number that faulted (1-based; 0 for deaths).
+    pub attempt: u32,
+    /// Virtual time charged for detection + backoff, ns.
+    pub delay_ns: u64,
+    /// Issuer's virtual clock when the fault was observed, ns.
+    pub at_ns: u64,
+}
+
 /// Live counters, incremented by the communication layers.
 #[derive(Debug, Default)]
 pub struct Stats {
@@ -48,7 +69,18 @@ pub struct Stats {
     pub plans: AtomicU64,
     /// Lock-table entries still held when an image was torn down.
     pub lock_leaks: AtomicU64,
+    /// Transient faults injected into message attempts (drops + corruptions).
+    pub faults_injected: AtomicU64,
+    /// Retry attempts performed after an injected fault.
+    pub retries: AtomicU64,
+    /// Operations that exhausted their retry budget.
+    pub retries_exhausted: AtomicU64,
+    /// PEs marked dead by a scheduled failure.
+    pub pe_failures: AtomicU64,
+    /// MCS locks whose dead holder was evicted by a waiting PE.
+    pub lock_repairs: AtomicU64,
     plan_log: Mutex<Vec<PlanDecision>>,
+    fault_log: Mutex<Vec<FaultEvent>>,
 }
 
 impl Stats {
@@ -68,6 +100,11 @@ impl Stats {
             local_fastpath: self.local_fastpath.load(Ordering::Relaxed),
             plans: self.plans.load(Ordering::Relaxed),
             lock_leaks: self.lock_leaks.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            retries_exhausted: self.retries_exhausted.load(Ordering::Relaxed),
+            pe_failures: self.pe_failures.load(Ordering::Relaxed),
+            lock_repairs: self.lock_repairs.load(Ordering::Relaxed),
         }
     }
 
@@ -92,6 +129,18 @@ impl Stats {
     pub fn drain_plans(&self) -> Vec<PlanDecision> {
         std::mem::take(&mut *self.plan_log.lock().unwrap())
     }
+
+    /// Append a fault event to the log (the caller bumps whichever counters
+    /// apply — drops and deaths count differently).
+    pub fn record_fault(&self, event: FaultEvent) {
+        self.fault_log.lock().unwrap().push(event);
+    }
+
+    /// Take the accumulated fault events, leaving the log empty. Called once
+    /// when a simulation finishes.
+    pub fn drain_faults(&self) -> Vec<FaultEvent> {
+        std::mem::take(&mut *self.fault_log.lock().unwrap())
+    }
 }
 
 /// Frozen copy of [`Stats`] returned with a simulation outcome.
@@ -111,6 +160,11 @@ pub struct StatsSnapshot {
     pub local_fastpath: u64,
     pub plans: u64,
     pub lock_leaks: u64,
+    pub faults_injected: u64,
+    pub retries: u64,
+    pub retries_exhausted: u64,
+    pub pe_failures: u64,
+    pub lock_repairs: u64,
 }
 
 impl StatsSnapshot {
@@ -149,6 +203,34 @@ mod tests {
     #[test]
     fn default_snapshot_is_zero() {
         assert_eq!(Stats::default().snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn fault_log_drains_once() {
+        let s = Stats::default();
+        s.record_fault(FaultEvent {
+            pe: 1,
+            op: "put",
+            target: 3,
+            kind: "drop",
+            attempt: 1,
+            delay_ns: 2500,
+            at_ns: 100,
+        });
+        s.record_fault(FaultEvent {
+            pe: 2,
+            op: "pe-failure",
+            target: 2,
+            kind: "pe-failure",
+            attempt: 0,
+            delay_ns: 0,
+            at_ns: 900,
+        });
+        let drained = s.drain_faults();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].kind, "drop");
+        assert_eq!(drained[1].op, "pe-failure");
+        assert!(s.drain_faults().is_empty(), "second drain sees an empty log");
     }
 
     #[test]

@@ -50,9 +50,16 @@ struct BarrierInner {
     max_clock: u64,
     /// `max_clock` of the round that most recently completed.
     result: u64,
+    /// Arrivals needed to complete a round. Starts at the group size and
+    /// shrinks when a member permanently departs (PE failure).
+    expected: usize,
 }
 
 /// A reusable clock-combining barrier for a fixed group size.
+///
+/// Members can permanently [`ClockBarrier::leave`] the group (scheduled PE
+/// failures do); the remaining members then complete rounds among themselves
+/// instead of hanging.
 #[derive(Debug)]
 pub struct ClockBarrier {
     inner: Mutex<BarrierInner>,
@@ -64,15 +71,33 @@ impl ClockBarrier {
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "barrier group must be non-empty");
         ClockBarrier {
-            inner: Mutex::new(BarrierInner { count: 0, generation: 0, max_clock: 0, result: 0 }),
+            inner: Mutex::new(BarrierInner {
+                count: 0,
+                generation: 0,
+                max_clock: 0,
+                result: 0,
+                expected: n,
+            }),
             cv: Condvar::new(),
             n,
         }
     }
 
-    /// Number of participants.
+    /// Number of participants at construction (departures not subtracted).
     pub fn group_size(&self) -> usize {
         self.n
+    }
+
+    /// Complete the current round: publish the combined clock and wake the
+    /// waiters. Caller holds the lock and has checked `count == expected`.
+    fn finish_round(&self, inner: &mut BarrierInner) -> u64 {
+        let result = inner.max_clock;
+        inner.result = result;
+        inner.count = 0;
+        inner.max_clock = 0;
+        inner.generation = inner.generation.wrapping_add(1);
+        self.cv.notify_all();
+        result
     }
 
     /// Arrive with the caller's current virtual clock; returns the maximum
@@ -81,14 +106,9 @@ impl ClockBarrier {
         let mut inner = self.inner.lock();
         inner.max_clock = inner.max_clock.max(my_clock);
         inner.count += 1;
-        if inner.count == self.n {
-            let result = inner.max_clock;
-            inner.result = result;
-            inner.count = 0;
-            inner.max_clock = 0;
-            inner.generation = inner.generation.wrapping_add(1);
-            self.cv.notify_all();
-            result
+        debug_assert!(inner.count <= inner.expected, "more arrivals than live members");
+        if inner.count == inner.expected {
+            self.finish_round(&mut inner)
         } else {
             let gen = inner.generation;
             while inner.generation == gen {
@@ -96,6 +116,18 @@ impl ClockBarrier {
                 self.cv.wait_for(&mut inner, WAIT_TICK);
             }
             inner.result
+        }
+    }
+
+    /// Permanently remove one member (a failed PE) from the group. If the
+    /// remaining members have all already arrived, the pending round
+    /// completes immediately instead of waiting for the dead member.
+    pub fn leave(&self) {
+        let mut inner = self.inner.lock();
+        assert!(inner.expected > 0, "leave() on an empty barrier group");
+        inner.expected -= 1;
+        if inner.count > 0 && inner.count == inner.expected {
+            self.finish_round(&mut inner);
         }
     }
 
@@ -211,6 +243,40 @@ mod tests {
         poison.poison();
         b.interrupt();
         assert!(t.join().unwrap(), "waiter should have panicked out of the barrier");
+    }
+
+    #[test]
+    fn leave_completes_a_pending_round() {
+        // Two of three arrive, then the third departs instead of arriving:
+        // the waiters must complete the round among themselves.
+        let b = Arc::new(ClockBarrier::new(3));
+        let poison = Arc::new(Poison::default());
+        let mut handles = Vec::new();
+        for clock in [100u64, 250] {
+            let b = b.clone();
+            let p = poison.clone();
+            handles.push(std::thread::spawn(move || b.arrive(clock, &p)));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        b.leave();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 250);
+        }
+        // Subsequent rounds need only the two remaining members.
+        let b2 = b.clone();
+        let p2 = poison.clone();
+        let t = std::thread::spawn(move || b2.arrive(7, &p2));
+        assert_eq!(b.arrive(9, &poison), 9);
+        assert_eq!(t.join().unwrap(), 9);
+    }
+
+    #[test]
+    fn leave_before_any_arrival_shrinks_future_rounds() {
+        let b = ClockBarrier::new(2);
+        let poison = Poison::default();
+        b.leave();
+        // A solo arrival now completes instantly.
+        assert_eq!(b.arrive(42, &poison), 42);
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub enum SpanKind {
     WaitUntil,
     Compute,
     Collective,
+    /// Detection timeout + backoff charged after an injected transient fault.
+    Retry,
+    /// A fault event itself (PE death); zero-length marker span.
+    Fault,
 }
 
 impl SpanKind {
@@ -34,6 +38,8 @@ impl SpanKind {
             SpanKind::WaitUntil => "wait_until",
             SpanKind::Compute => "compute",
             SpanKind::Collective => "collective",
+            SpanKind::Retry => "retry",
+            SpanKind::Fault => "fault",
         }
     }
 }

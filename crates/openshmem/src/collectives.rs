@@ -69,9 +69,7 @@ impl<'m> Shmem<'m> {
         };
         // Forward to rel + 2^j for every j with 2^j > rel.
         let mut payload = vec![0u8; len];
-        let heap = self.machine().heap(self.my_pe());
-        heap.read_bytes(my_read_off, &mut payload);
-        self.machine().lift_clock(self.my_pe(), heap.max_stamp(my_read_off, len));
+        self.read_local_bytes(my_read_off, &mut payload, "broadcast read");
         for j in 0..rounds {
             if rel < (1 << j) && rel + (1 << j) < n {
                 let tgt_rel = (rel + (1 << j) + root_rel) % n;
@@ -164,9 +162,7 @@ impl<'m> Shmem<'m> {
                     self.wait_flag_at_least(REDUCE_FLAG_BASE + k, seq);
                     let slot_off = self.pwrk().offset() + k * slot_bytes;
                     let mut buf = vec![0u8; len * T::BYTES];
-                    let heap = self.machine().heap(self.my_pe());
-                    heap.read_bytes(slot_off, &mut buf);
-                    self.machine().lift_clock(self.my_pe(), heap.max_stamp(slot_off, buf.len()));
+                    self.read_local_bytes(slot_off, &mut buf, "reduce read");
                     let mut partial = acc.clone();
                     from_bytes(&buf, &mut partial);
                     for (a, p) in acc.iter_mut().zip(partial) {
@@ -309,13 +305,14 @@ impl<'m> Shmem<'m> {
             self.ctx().put(tgt, sizes_base + rel * 8, &bytes);
         }
         self.barrier(set);
-        let heap = self.machine().heap(self.my_pe());
-        let mut sizes = vec![0usize; n];
-        for (k, s) in sizes.iter_mut().enumerate() {
-            let mut b = [0u8; 8];
-            heap.read_bytes(sizes_base + k * 8, &mut b);
-            *s = u64::from_ne_bytes(b) as usize;
-        }
+        // One checked read of the whole size table (this also lifts the
+        // clock past the peers' size puts, which the old raw read skipped).
+        let mut size_bytes = vec![0u8; n * 8];
+        self.read_local_bytes(sizes_base, &mut size_bytes, "collect read");
+        let sizes: Vec<usize> = size_bytes
+            .chunks_exact(8)
+            .map(|b| u64::from_ne_bytes(b.try_into().unwrap()) as usize)
+            .collect();
         let total: usize = sizes.iter().sum();
         assert!(total <= dest.count(), "collect needs {total} elements, dest has {}", dest.count());
         let my_off: usize = sizes[..rel].iter().sum();

@@ -5,7 +5,7 @@ use crate::active_set::ActiveSet;
 use crate::alloc::{AllocError, SymAlloc};
 use crate::data::{from_bytes, to_bytes, Scalar, SymPtr};
 use pgas_conduit::ctx::AmoOp;
-use pgas_conduit::{ConduitProfile, Ctx, CtxOptions};
+use pgas_conduit::{ConduitError, ConduitProfile, Ctx, CtxOptions};
 use pgas_machine::machine::{Machine, Pe, PeId};
 use std::cell::RefCell;
 
@@ -209,6 +209,13 @@ impl<'m> Shmem<'m> {
         self.alloc.borrow().in_use()
     }
 
+    /// Is there a live symmetric allocation starting at byte `offset`?
+    /// Used by teardown audits (e.g. CAF's stale-lock check) to tell whether
+    /// an object a long-lived handle points at has since been `shfree`d.
+    pub fn symmetric_block_live(&self, offset: usize) -> bool {
+        self.alloc.borrow().block_len(offset).is_some()
+    }
+
     /// Verify (collectively) that `ptr` refers to the same offset on every
     /// PE. Debugging aid for the symmetric-allocation discipline.
     pub fn debug_assert_symmetric<T: Scalar>(&self, ptr: SymPtr<T>) {
@@ -256,6 +263,34 @@ impl<'m> Shmem<'m> {
         let mut buf = vec![0u8; out.len() * T::BYTES];
         self.ctx.get(src_pe, src.offset(), &mut buf);
         from_bytes(&buf, out);
+    }
+
+    /// Fallible [`Self::put`]: under an active fault plan, retry exhaustion
+    /// or a failed target surfaces as a [`ConduitError`] instead of a panic.
+    /// Higher layers (CAF's stat-bearing co-indexed assignments) build their
+    /// `STAT_FAILED_IMAGE` semantics on these.
+    pub fn try_put<T: Scalar>(
+        &self,
+        dst: SymPtr<T>,
+        src: &[T],
+        dest_pe: PeId,
+    ) -> Result<(), ConduitError> {
+        assert!(src.len() <= dst.count(), "put of {} elements into {}", src.len(), dst.count());
+        self.ctx.try_put(dest_pe, dst.offset(), &to_bytes(src))
+    }
+
+    /// Fallible [`Self::get`]; on `Err`, `out` is untouched.
+    pub fn try_get<T: Scalar>(
+        &self,
+        src: SymPtr<T>,
+        out: &mut [T],
+        src_pe: PeId,
+    ) -> Result<(), ConduitError> {
+        assert!(out.len() <= src.count(), "get of {} elements from {}", out.len(), src.count());
+        let mut buf = vec![0u8; out.len() * T::BYTES];
+        self.ctx.try_get(src_pe, src.offset(), &mut buf)?;
+        from_bytes(&buf, out);
+        Ok(())
     }
 
     /// Non-blocking put (`shmem_put_nbi`): returns after issue; completion
@@ -365,6 +400,20 @@ impl<'m> Shmem<'m> {
         );
     }
 
+    /// Sanitizer-checked raw-byte read of this PE's own heap: picks up the
+    /// bytes, runs the race check, and lifts the clock past the region's
+    /// shadow stamps. The collectives' payload/partial pickups route through
+    /// here so a mis-synchronized collective trips the sanitizer exactly
+    /// like any other local read.
+    pub(crate) fn read_local_bytes(&self, off: usize, out: &mut [u8], op: &'static str) {
+        let me = self.my_pe();
+        let heap = self.machine().heap(me);
+        heap.read_bytes(off, out);
+        let stamp = heap.max_stamp(off, out.len());
+        self.machine().san_check_read(me, off, out.len(), me, op);
+        self.machine().lift_clock(me, stamp);
+    }
+
     /// Convenience: read one local element.
     pub fn read_local_one<T: Scalar>(&self, src: SymPtr<T>) -> T {
         let mut out = [src_default::<T>()];
@@ -403,6 +452,27 @@ impl<'m> Shmem<'m> {
     /// Raw AMO access used by higher layers (CAF locks).
     pub fn amo<T: AtomicWord>(&self, dest_pe: PeId, ptr: SymPtr<T>, op: AmoOp) -> T {
         T::from_word(self.ctx.amo(dest_pe, ptr.offset(), op))
+    }
+
+    /// Fallible [`Self::amo`]: surfaces injected-fault conditions as a
+    /// [`ConduitError`] instead of panicking (see [`Self::try_put`]).
+    pub fn try_amo<T: AtomicWord>(
+        &self,
+        dest_pe: PeId,
+        ptr: SymPtr<T>,
+        op: AmoOp,
+    ) -> Result<T, ConduitError> {
+        self.ctx.try_amo(dest_pe, ptr.offset(), op).map(T::from_word)
+    }
+
+    /// Fallible `shmem_add` (used by CAF's stat-bearing `sync images`).
+    pub fn try_add<T: AtomicWord>(
+        &self,
+        ptr: SymPtr<T>,
+        value: T,
+        dest_pe: PeId,
+    ) -> Result<(), ConduitError> {
+        self.try_amo(dest_pe, ptr, AmoOp::Add(value.to_word())).map(|_: T| ())
     }
 
     /// `shmem_swap`: atomically replace, returning the old value.
