@@ -120,6 +120,19 @@ pub fn run_himeno(
     images: usize,
     cfg: HimenoConfig,
 ) -> HimenoResult {
+    run_himeno_outcome(platform, backend, strided, images, cfg).0
+}
+
+/// Like [`run_himeno`], also returning the full simulation outcome (trace,
+/// metrics, per-PE clocks) for observability tooling such as the
+/// `pgas_top` critical-path profiler example.
+pub fn run_himeno_outcome(
+    platform: Platform,
+    backend: Backend,
+    strided: Option<StridedAlgorithm>,
+    images: usize,
+    cfg: HimenoConfig,
+) -> (HimenoResult, pgas_machine::SimOutcome<(u64, f64)>) {
     assert!(images <= cfg.jmax - 2, "too many images ({images}) for jmax {}", cfg.jmax);
     let cores = 16.min(images);
     let nodes = images.div_ceil(cores);
@@ -241,12 +254,13 @@ pub fn run_himeno(
     });
     let makespan_ns = out.results.iter().map(|r| r.0).max().unwrap_or(1) as f64;
     let flops = cfg.interior_cells() * 34.0 * cfg.iters as f64;
-    HimenoResult {
+    let result = HimenoResult {
         mflops: flops / (makespan_ns * 1e-9) / 1e6,
         gosa: out.results[0].1,
         time_ms: makespan_ns / 1e6,
         stats: out.stats,
-    }
+    };
+    (result, out)
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@ pub mod transpose;
 
 pub use dht::{run_dht, DhtConfig, DhtResult};
 pub use heat::{parallel_heat, serial_heat, HeatConfig};
-pub use himeno::{run_himeno, serial_gosa, HimenoConfig, HimenoResult};
+pub use himeno::{run_himeno, run_himeno_outcome, serial_gosa, HimenoConfig, HimenoResult};
 pub use histogram::{run_histogram, serial_histogram, HistogramConfig, HistogramMethod};
 pub use stencil2d::{parallel_stencil, parallel_stencil_with_stats, serial_stencil, StencilConfig};
 pub use transpose::{parallel_transpose, serial_transpose, TransposeConfig};

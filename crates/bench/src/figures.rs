@@ -1,12 +1,113 @@
 //! Figure generators (paper Figures 2, 3, 6, 7, 8, 9, 10 plus ablations).
+//!
+//! Every figure carries a critical-path sidecar: a small traced probe of the
+//! figure's dominant communication pattern whose per-category time
+//! attribution is written next to the figure JSON
+//! (`results/<id>.critpath.json`), so a regression in a later PR is
+//! explainable from the archived artifacts alone.
 
 use caf::{Backend, StridedAlgorithm};
-use caf_apps::{run_dht, run_himeno, DhtConfig, HimenoConfig};
+use caf_apps::{run_dht, run_himeno, run_himeno_outcome, DhtConfig, HimenoConfig};
 use pgas_conduit::ConduitProfile;
-use pgas_machine::Platform;
+use pgas_machine::json::Json;
+use pgas_machine::{with_forced_tracing, Platform};
 use pgas_microbench::lock_bench::{image_sweep, naive_spinlock_ms, LockBench};
 use pgas_microbench::rma::{large_sizes, small_sizes};
 use pgas_microbench::{CafPairBench, Figure, PairBench, Panel, Series};
+
+/// Run `f` with tracing forced on and distill its outcome into a
+/// critical-path report (as JSON) for a figure sidecar.
+fn critpath_json<R: Send>(f: impl FnOnce() -> pgas_machine::SimOutcome<R>) -> Json {
+    let out = with_forced_tracing(true, f);
+    out.critical_path().to_json()
+}
+
+/// Probe for the put latency/bandwidth figures: `pairs` senders on node 0
+/// stream nbi puts to partners on node 1, then quiet — the 16-pair variant
+/// reproduces the NIC contention the paper's Figure 3 measures.
+fn put_pairs_probe(platform: Platform, pairs: usize, bytes: usize) -> Json {
+    use pgas_conduit::{Ctx, CtxOptions};
+    let profile = match platform {
+        Platform::Stampede => ConduitProfile::mvapich_shmem(),
+        _ => ConduitProfile::cray_shmem(platform),
+    };
+    let heap = (bytes * 2 + (1 << 14)).next_power_of_two();
+    let mcfg = platform.config(2, pairs).with_heap_bytes(heap);
+    critpath_json(|| {
+        pgas_machine::run(mcfg, move |pe| {
+            let ctx = Ctx::new(pe, profile, CtxOptions::default());
+            let n = pe.n();
+            ctx.barrier_all();
+            if pe.id() < n / 2 {
+                let dst = pe.id() + n / 2;
+                let data = vec![1u8; bytes];
+                for _ in 0..4 {
+                    ctx.put_nbi(dst, 0, &data);
+                }
+                ctx.quiet();
+            }
+            ctx.barrier_all();
+        })
+    })
+}
+
+/// Probe for the strided-section figures: a 2-D strided put between nodes.
+fn strided_probe(platform: Platform) -> Json {
+    use caf::{run_caf, CafConfig, DimRange, Section};
+    let mcfg = platform.config(2, 1).with_heap_bytes(1 << 17);
+    let ccfg = CafConfig::new(Backend::Shmem, platform).with_strided(StridedAlgorithm::TwoDim);
+    critpath_json(|| {
+        run_caf(mcfg, ccfg, |img| {
+            let shape = [32usize, 32];
+            let a = img.coarray::<i32>(&shape).unwrap();
+            let sec = Section::new(vec![
+                DimRange { start: 0, count: 16, step: 2 },
+                DimRange { start: 0, count: 16, step: 2 },
+            ]);
+            let data = vec![1i32; sec.total()];
+            img.sync_all();
+            if img.this_image() == 1 {
+                a.put_section(img, 2, &sec, &data);
+            }
+            img.sync_all();
+        })
+    })
+}
+
+/// Probe for the lock figures: every image acquires/releases a lock homed
+/// on image 1 (the Figure 8 access pattern).
+fn lock_probe(platform: Platform, images: usize) -> Json {
+    use caf::{run_caf, CafConfig};
+    let cores = 16.min(images);
+    let nodes = images.div_ceil(cores);
+    let mcfg = platform.config(nodes, cores).with_heap_bytes(1 << 16);
+    let ccfg = CafConfig::new(Backend::Shmem, platform).with_nonsym_bytes(4096);
+    critpath_json(|| {
+        run_caf(mcfg, ccfg, |img| {
+            let lck = img.lock_var();
+            img.sync_all();
+            for _ in 0..3 {
+                img.lock(&lck, 1);
+                img.unlock(&lck, 1);
+            }
+            img.sync_all();
+        })
+    })
+}
+
+/// Probe for the Himeno figure: a traced 8-image run of the real solver.
+fn himeno_probe() -> Json {
+    critpath_json(|| {
+        run_himeno_outcome(
+            Platform::Stampede,
+            Backend::Shmem,
+            Some(StridedAlgorithm::Naive),
+            8,
+            HimenoConfig::size_xs(),
+        )
+        .1
+    })
+}
 
 fn library_profiles(platform: Platform) -> Vec<(String, ConduitProfile)> {
     match platform {
@@ -62,7 +163,7 @@ pub fn fig2_put_latency(quick: bool) -> Figure {
             }
         }
     }
-    fig
+    fig.with_critpath(put_pairs_probe(Platform::Stampede, 1, 4096))
 }
 
 /// Figure 3: put bandwidth for the same configurations.
@@ -93,7 +194,8 @@ pub fn fig3_put_bandwidth(quick: bool) -> Figure {
             fig.panels.push(panel);
         }
     }
-    fig
+    // The 16-pair contention point is the one EXPERIMENTS.md walks through.
+    fig.with_critpath(put_pairs_probe(Platform::Stampede, 16, 65536))
 }
 
 fn caf_put_figure(fig_id: &str, platform: Platform, quick: bool) -> Figure {
@@ -163,7 +265,7 @@ fn caf_put_figure(fig_id: &str, platform: Platform, quick: bool) -> Figure {
         }
         fig.panels.push(panel);
     }
-    fig
+    fig.with_critpath(strided_probe(platform))
 }
 
 /// Figure 6: CAF put + strided put bandwidth on the Cray XC30.
@@ -195,7 +297,7 @@ pub fn fig8_locks(quick: bool, max_images: usize) -> Figure {
         panel.series.push(s);
     }
     fig.panels.push(panel);
-    fig
+    fig.with_critpath(lock_probe(Platform::Titan, 8))
 }
 
 /// Figure 9: the DHT benchmark on Titan.
@@ -216,7 +318,7 @@ pub fn fig9_dht(quick: bool, max_images: usize) -> Figure {
         panel.series.push(s);
     }
     fig.panels.push(panel);
-    fig
+    fig.with_critpath(lock_probe(Platform::Titan, 8))
 }
 
 /// Figure 10: CAF Himeno performance on Stampede.
@@ -242,7 +344,7 @@ pub fn fig10_himeno(quick: bool, max_images: usize) -> Figure {
         panel.series.push(s);
     }
     fig.panels.push(panel);
-    fig
+    fig.with_critpath(himeno_probe())
 }
 
 /// Supplementary (not a paper figure): the PGAS microbenchmark suite's
@@ -294,7 +396,7 @@ pub fn supp_pt2pt(quick: bool) -> Figure {
         fig.panels.push(gbw);
         fig.panels.push(bibw);
     }
-    fig
+    fig.with_critpath(put_pairs_probe(Platform::Titan, 1, 65536))
 }
 
 /// Ablation 1 (§IV-C design choice): base-dimension selection strategies
@@ -349,7 +451,7 @@ pub fn abl1_base_dim(quick: bool) -> Figure {
         panel.series.push(s);
     }
     fig.panels.push(panel);
-    fig
+    fig.with_critpath(strided_probe(Platform::CrayXc30))
 }
 
 /// Ablation 2 (§IV-D design choice): MCS vs naive spinlock vs the
@@ -378,7 +480,7 @@ pub fn abl2_lock_algorithms(quick: bool, max_images: usize) -> Figure {
     panel.series.push(naive);
     panel.series.push(global);
     fig.panels.push(panel);
-    fig
+    fig.with_critpath(lock_probe(Platform::Titan, 8))
 }
 
 /// Time the OpenSHMEM global lock under the Figure 8 access pattern.
@@ -437,7 +539,7 @@ pub fn ext1_shmem_ptr_fastpath(quick: bool) -> Figure {
         panel.series.push(s);
     }
     fig.panels.push(panel);
-    fig
+    fig.with_critpath(put_pairs_probe(Platform::Stampede, 1, 4096))
 }
 
 #[cfg(test)]

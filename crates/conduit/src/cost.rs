@@ -30,6 +30,29 @@ pub struct AmoTiming {
     pub remote_complete: u64,
 }
 
+/// Observability breakdown of one transfer, computed from the same NIC
+/// reservations the timing comes from.
+///
+/// This rides alongside [`PutTiming`]/[`AmoTiming`] (never inside them — the
+/// timing structs are compared bit-for-bit against the pure estimators) and
+/// costs nothing to produce: every field is arithmetic on reservation values
+/// the cost model already holds. The `*_with_detail` methods return it; the
+/// plain methods delegate to them and drop it, so traced and untraced runs
+/// perform the identical reservation sequence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowDetail {
+    /// Total time the transfer waited in NIC queues behind earlier traffic
+    /// (reservation `begin - requested start`, summed over the lanes hit).
+    pub queue_ns: u64,
+    /// Total time the transfer occupied NIC lanes (service time).
+    pub service_ns: u64,
+    /// Delivery window at the remote side, virtual ns. `remote_end` equals
+    /// the operation's remote completion; both are 0 if nothing remote
+    /// happened.
+    pub remote_begin: u64,
+    pub remote_end: u64,
+}
+
 /// Cost model for one (machine, profile) pair.
 #[derive(Clone, Copy)]
 pub struct CostModel<'m> {
@@ -137,12 +160,26 @@ impl<'m> CostModel<'m> {
     /// virtual time `start` but with data flow not beginning before `floor`
     /// (used by `fence` to order deliveries).
     pub fn put(&self, src: PeId, dst: PeId, bytes: usize, start: u64, floor: u64) -> PutTiming {
+        self.put_with_detail(src, dst, bytes, start, floor).0
+    }
+
+    /// Like [`Self::put`], also reporting the queue/service/delivery
+    /// breakdown. Performs the identical NIC reservation sequence.
+    pub fn put_with_detail(
+        &self,
+        src: PeId,
+        dst: PeId,
+        bytes: usize,
+        start: u64,
+        floor: u64,
+    ) -> (PutTiming, FlowDetail) {
         let issue_done = start + self.profile.put_issue_ns.round() as u64;
         if self.machine.same_node(src, dst) {
-            let t = issue_done.max(floor)
-                + self.wire().intra.latency_ns.round() as u64
-                + self.wire().intra.occupancy_ns(bytes).round() as u64;
-            return PutTiming { local_complete: t, remote_complete: t };
+            let occ = self.wire().intra.occupancy_ns(bytes).round() as u64;
+            let t = issue_done.max(floor) + self.wire().intra.latency_ns.round() as u64 + occ;
+            let detail =
+                FlowDetail { queue_ns: 0, service_ns: occ, remote_begin: t - occ, remote_end: t };
+            return (PutTiming { local_complete: t, remote_complete: t }, detail);
         }
         let flow_start = (issue_done + self.rendezvous_ns(bytes)).max(floor);
         let occ = self.occupancy_ns(bytes).round() as u64;
@@ -159,17 +196,41 @@ impl<'m> CostModel<'m> {
             self.degraded_occ(dst_node, rx_start, occ),
             bytes,
         );
-        PutTiming { local_complete: src_res.end.max(issue_done), remote_complete: dst_res.end }
+        let detail = FlowDetail {
+            queue_ns: (src_res.begin - flow_start) + (dst_res.begin - rx_start),
+            service_ns: (src_res.end - src_res.begin) + (dst_res.end - dst_res.begin),
+            remote_begin: dst_res.begin,
+            remote_end: dst_res.end,
+        };
+        (
+            PutTiming { local_complete: src_res.end.max(issue_done), remote_complete: dst_res.end },
+            detail,
+        )
     }
 
     /// Completion time of a blocking get of `bytes` of `dst`'s memory into
     /// `src` (the caller), issued at `start`.
     pub fn get(&self, src: PeId, dst: PeId, bytes: usize, start: u64) -> u64 {
+        self.get_with_detail(src, dst, bytes, start).0
+    }
+
+    /// Like [`Self::get`], also reporting the queue/service breakdown.
+    /// The delivery window is the target NIC streaming the payload back.
+    pub fn get_with_detail(
+        &self,
+        src: PeId,
+        dst: PeId,
+        bytes: usize,
+        start: u64,
+    ) -> (u64, FlowDetail) {
         let issue_done = start + self.profile.get_issue_ns.round() as u64;
         if self.machine.same_node(src, dst) {
-            return issue_done
-                + self.wire().intra.latency_ns.round() as u64
-                + self.wire().intra.occupancy_ns(bytes).round() as u64;
+            let occ = self.wire().intra.occupancy_ns(bytes).round() as u64;
+            let t = issue_done + self.wire().intra.latency_ns.round() as u64 + occ;
+            return (
+                t,
+                FlowDetail { queue_ns: 0, service_ns: occ, remote_begin: t - occ, remote_end: t },
+            );
         }
         let src_node = self.machine.node_of(src);
         let dst_node = self.machine.node_of(dst);
@@ -191,13 +252,32 @@ impl<'m> CostModel<'m> {
             self.degraded_occ(src_node, recv_start, data_occ),
             bytes,
         );
-        recv.end
+        let detail = FlowDetail {
+            queue_ns: (req.begin - issue_done)
+                + (data.begin - data_start)
+                + (recv.begin - recv_start),
+            service_ns: (req.end - req.begin) + (data.end - data.begin) + (recv.end - recv.begin),
+            remote_begin: data.begin,
+            remote_end: data.end,
+        };
+        (recv.end, detail)
     }
 
     /// Timing of a remote atomic on an 8-byte word of `dst`'s memory.
     /// `fetching` operations block for the result; non-fetching ones return
     /// after local completion like a small put.
     pub fn amo(&self, src: PeId, dst: PeId, fetching: bool, start: u64) -> AmoTiming {
+        self.amo_with_detail(src, dst, fetching, start).0
+    }
+
+    /// Like [`Self::amo`], also reporting the queue/service breakdown.
+    pub fn amo_with_detail(
+        &self,
+        src: PeId,
+        dst: PeId,
+        fetching: bool,
+        start: u64,
+    ) -> (AmoTiming, FlowDetail) {
         let wire = *self.wire();
         match self.profile.amo {
             AmoSupport::Native { extra_ns } => {
@@ -205,16 +285,18 @@ impl<'m> CostModel<'m> {
                 if self.machine.same_node(src, dst) {
                     let t = issue_done
                         + (wire.intra.latency_ns + wire.amo_ns + extra_ns).round() as u64;
-                    return AmoTiming { local_complete: t, remote_complete: t };
+                    let timing = AmoTiming { local_complete: t, remote_complete: t };
+                    return (
+                        timing,
+                        FlowDetail { remote_begin: t, remote_end: t, ..Default::default() },
+                    );
                 }
                 let occ = (self.control_occupancy_ns() + extra_ns).round() as u64;
                 let out =
                     self.machine.nic(self.machine.node_of(src)).reserve_tx(issue_done, occ, 8);
-                let at_target = self.machine.nic(self.machine.node_of(dst)).reserve_rx(
-                    out.begin + self.latency(),
-                    occ,
-                    8,
-                );
+                let rx_start = out.begin + self.latency();
+                let at_target =
+                    self.machine.nic(self.machine.node_of(dst)).reserve_rx(rx_start, occ, 8);
                 let executed = at_target.end + wire.amo_ns.round() as u64;
                 let local = if fetching {
                     // Result rides a small reply back.
@@ -222,7 +304,13 @@ impl<'m> CostModel<'m> {
                 } else {
                     out.end
                 };
-                AmoTiming { local_complete: local, remote_complete: executed }
+                let detail = FlowDetail {
+                    queue_ns: (out.begin - issue_done) + (at_target.begin - rx_start),
+                    service_ns: (out.end - out.begin) + (at_target.end - at_target.begin),
+                    remote_begin: at_target.begin,
+                    remote_end: executed,
+                };
+                (AmoTiming { local_complete: local, remote_complete: executed }, detail)
             }
             AmoSupport::AmEmulated { handler_ns } => {
                 // Request AM -> software handler at target -> reply AM.
@@ -231,23 +319,33 @@ impl<'m> CostModel<'m> {
                 let issue_done = start + self.profile.put_issue_ns.round() as u64;
                 if self.machine.same_node(src, dst) {
                     let t = issue_done + (2.0 * wire.intra.latency_ns + handler_ns).round() as u64;
-                    return AmoTiming { local_complete: t, remote_complete: t };
+                    let timing = AmoTiming { local_complete: t, remote_complete: t };
+                    return (
+                        timing,
+                        FlowDetail { remote_begin: t, remote_end: t, ..Default::default() },
+                    );
                 }
                 let occ = self.control_occupancy_ns().round() as u64;
                 let out =
                     self.machine.nic(self.machine.node_of(src)).reserve_tx(issue_done, occ, 8);
-                let at_target = self.machine.nic(self.machine.node_of(dst)).reserve_rx(
-                    out.begin + self.latency(),
-                    occ,
-                    8,
-                );
+                let rx_start = out.begin + self.latency();
+                let at_target =
+                    self.machine.nic(self.machine.node_of(dst)).reserve_rx(rx_start, occ, 8);
                 let executed = at_target.end + handler_ns.round() as u64;
-                let reply = self.machine.nic(self.machine.node_of(src)).reserve_rx(
-                    executed + self.latency(),
-                    occ,
-                    8,
-                );
-                AmoTiming { local_complete: reply.end, remote_complete: executed }
+                let reply_start = executed + self.latency();
+                let reply =
+                    self.machine.nic(self.machine.node_of(src)).reserve_rx(reply_start, occ, 8);
+                let detail = FlowDetail {
+                    queue_ns: (out.begin - issue_done)
+                        + (at_target.begin - rx_start)
+                        + (reply.begin - reply_start),
+                    service_ns: (out.end - out.begin)
+                        + (at_target.end - at_target.begin)
+                        + (reply.end - reply.begin),
+                    remote_begin: at_target.begin,
+                    remote_end: executed,
+                };
+                (AmoTiming { local_complete: reply.end, remote_complete: executed }, detail)
             }
         }
     }
@@ -267,6 +365,20 @@ impl<'m> CostModel<'m> {
         start: u64,
         floor: u64,
     ) -> Option<PutTiming> {
+        self.strided_put_native_with_detail(src, dst, nelems, elem_bytes, start, floor)
+            .map(|(t, _)| t)
+    }
+
+    /// Like [`Self::strided_put_native`], also reporting the breakdown.
+    pub fn strided_put_native_with_detail(
+        &self,
+        src: PeId,
+        dst: PeId,
+        nelems: usize,
+        elem_bytes: usize,
+        start: u64,
+        floor: u64,
+    ) -> Option<(PutTiming, FlowDetail)> {
         let StridedSupport::Native { per_elem_ns } = self.profile.strided else {
             return None;
         };
@@ -274,11 +386,11 @@ impl<'m> CostModel<'m> {
         let issue_done = start + self.profile.put_issue_ns.round() as u64;
         let scatter = (per_elem_ns * nelems as f64).round() as u64;
         if self.machine.same_node(src, dst) {
-            let t = issue_done.max(floor)
-                + self.wire().intra.latency_ns.round() as u64
-                + self.wire().intra.occupancy_ns(bytes).round() as u64
-                + scatter;
-            return Some(PutTiming { local_complete: t, remote_complete: t });
+            let occ = self.wire().intra.occupancy_ns(bytes).round() as u64 + scatter;
+            let t = issue_done.max(floor) + self.wire().intra.latency_ns.round() as u64 + occ;
+            let detail =
+                FlowDetail { queue_ns: 0, service_ns: occ, remote_begin: t - occ, remote_end: t };
+            return Some((PutTiming { local_complete: t, remote_complete: t }, detail));
         }
         let occ = (self.occupancy_ns(bytes) + per_elem_ns * nelems as f64).round() as u64;
         let flow_start = issue_done.max(floor);
@@ -295,7 +407,13 @@ impl<'m> CostModel<'m> {
             self.degraded_occ(dst_node, rx_start, occ),
             bytes,
         );
-        Some(PutTiming { local_complete: src_res.end, remote_complete: dst_res.end })
+        let detail = FlowDetail {
+            queue_ns: (src_res.begin - flow_start) + (dst_res.begin - rx_start),
+            service_ns: (src_res.end - src_res.begin) + (dst_res.end - dst_res.begin),
+            remote_begin: dst_res.begin,
+            remote_end: dst_res.end,
+        };
+        Some((PutTiming { local_complete: src_res.end, remote_complete: dst_res.end }, detail))
     }
 
     /// Like [`Self::strided_put_native`] but for gets.
@@ -326,11 +444,32 @@ impl<'m> CostModel<'m> {
         start: u64,
         floor: u64,
     ) -> PutTiming {
-        let t = self.put(src, dst, nelems * elem_bytes, start, floor);
+        self.am_packed_put_with_detail(src, dst, nelems, elem_bytes, start, floor).0
+    }
+
+    /// Like [`Self::am_packed_put`], also reporting the breakdown (the
+    /// unpack handler extends the delivery window at the target).
+    pub fn am_packed_put_with_detail(
+        &self,
+        src: PeId,
+        dst: PeId,
+        nelems: usize,
+        elem_bytes: usize,
+        start: u64,
+        floor: u64,
+    ) -> (PutTiming, FlowDetail) {
+        let (t, mut detail) = self.put_with_detail(src, dst, nelems * elem_bytes, start, floor);
         let unpack = (self.profile.am_handler_ns
             + nelems as f64 * self.machine.config().compute.local_op_ns * 2.0)
             .round() as u64;
-        PutTiming { local_complete: t.local_complete, remote_complete: t.remote_complete + unpack }
+        detail.remote_end = t.remote_complete + unpack;
+        (
+            PutTiming {
+                local_complete: t.local_complete,
+                remote_complete: t.remote_complete + unpack,
+            },
+            detail,
+        )
     }
 
     /// Cost of an AM-packed gather-get: one small request, the target's

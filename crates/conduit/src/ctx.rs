@@ -1,14 +1,32 @@
 //! The per-PE communication context: issue one-sided operations with real
 //! data movement and virtual-time accounting.
 
-use crate::cost::CostModel;
+use crate::cost::{CostModel, FlowDetail};
 use crate::pending::{Hazard, HazardKind, PendingSet};
 use crate::profile::ConduitProfile;
 use pgas_machine::machine::{Machine, Pe, PeId};
 use pgas_machine::sanitizer::{HazardKind as SanKind, HazardReport};
 use pgas_machine::stats::{FaultEvent, Stats};
+use pgas_machine::trace::{Span, SpanKind};
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::Ordering;
+
+/// Histogram name for an op kind's end-to-end latency (metrics registry
+/// keys are `&'static str`, so the mapping is a static table).
+fn latency_metric(kind: SpanKind) -> &'static str {
+    match kind {
+        SpanKind::Put => "put_ns",
+        SpanKind::Get => "get_ns",
+        SpanKind::Amo => "amo_ns",
+        SpanKind::Quiet => "quiet_ns",
+        SpanKind::Barrier => "barrier_ns",
+        SpanKind::WaitUntil => "wait_until_ns",
+        SpanKind::Compute => "compute_ns",
+        SpanKind::Collective => "collective_ns",
+        SpanKind::Retry => "retry_ns",
+        SpanKind::Fault => "fault_ns",
+    }
+}
 
 /// Behavioural switches of a context.
 #[derive(Debug, Clone, Copy, Default)]
@@ -152,6 +170,9 @@ impl<'m> Ctx<'m> {
         self.hazards.set(self.hazards.get() + 1);
         let m = self.machine();
         Stats::bump(&m.stats().hazards);
+        if m.metrics().enabled() {
+            m.metrics().count(self.pe.id(), "hazard", Some(m.node_of(h.dst)), 1);
+        }
         if m.san_on() {
             // Mirror the hazard into the sanitizer's structured report sink,
             // classified: a partial overlap can tear, a full overlap is
@@ -178,26 +199,49 @@ impl<'m> Ctx<'m> {
         }
     }
 
-    /// Record a trace span (no-op unless tracing is enabled).
-    #[inline]
-    fn trace(
+    /// Record a completed operation into the tracer (as a span carrying the
+    /// flow breakdown) and the metrics registry (counter + latency/queue
+    /// histograms keyed by peer node). Both sinks are branch-only no-ops
+    /// when their subsystem is disabled.
+    fn record_op(
         &self,
-        kind: pgas_machine::trace::SpanKind,
+        kind: SpanKind,
         begin: u64,
         peer: Option<PeId>,
         bytes: usize,
+        detail: FlowDetail,
     ) {
-        let tracer = self.machine().tracer();
+        let m = self.machine();
+        let end = self.pe.now();
+        let tracer = m.tracer();
         if tracer.enabled() {
-            tracer.record(pgas_machine::trace::Span {
-                pe: self.pe.id(),
-                kind,
-                begin,
-                end: self.pe.now(),
-                peer,
-                bytes,
-            });
+            let mut s = Span::op(self.pe.id(), kind, begin, end, peer, bytes);
+            s.queue_ns = detail.queue_ns;
+            s.service_ns = detail.service_ns;
+            s.remote_begin = detail.remote_begin;
+            s.remote_end = detail.remote_end;
+            tracer.record(s);
         }
+        let metrics = m.metrics();
+        if metrics.enabled() {
+            let me = self.pe.id();
+            let peer_node = peer.map(|p| m.node_of(p));
+            metrics.count(me, kind.label(), peer_node, 1);
+            if bytes > 0 {
+                metrics.count(me, "op_bytes", peer_node, bytes as u64);
+            }
+            metrics.observe(me, latency_metric(kind), peer_node, end.saturating_sub(begin));
+            if detail.queue_ns > 0 {
+                metrics.observe(me, "nic_queue_ns", peer_node, detail.queue_ns);
+            }
+        }
+    }
+
+    /// [`Self::record_op`] without a flow breakdown (synchronization and
+    /// local ops).
+    #[inline]
+    fn trace(&self, kind: SpanKind, begin: u64, peer: Option<PeId>, bytes: usize) {
+        self.record_op(kind, begin, peer, bytes, FlowDetail::default());
     }
 
     /// Can `dst` be reached with direct loads/stores under the current
@@ -252,7 +296,7 @@ impl<'m> Ctx<'m> {
             // The sender pays the detection timeout whether it retries or
             // gives up — a lost message is only known lost after the wait.
             self.pe.advance(delay as f64);
-            self.trace(pgas_machine::trace::SpanKind::Retry, begin, Some(target), 0);
+            self.trace(SpanKind::Retry, begin, Some(target), 0);
             if attempt == max {
                 Stats::bump(&stats.retries_exhausted);
                 stats.record_fault(FaultEvent {
@@ -316,20 +360,22 @@ impl<'m> Ctx<'m> {
             m.san_record_write(dst, dst_off, src.len(), self.pe.id(), t, false, "put");
             m.lift_clock(self.pe.id(), t);
             m.notify_pe(dst);
+            self.trace(SpanKind::Put, t_begin, Some(dst), src.len());
             return Ok(());
         }
         if let Some(h) = self.pending.borrow().check_put(dst, dst_off, src.len()) {
             self.flag_hazard(h);
         }
         let floor = self.pending.borrow().floor_for(dst);
-        let t = self.cost.put(self.pe.id(), dst, src.len(), self.pe.now(), floor);
+        let (t, detail) =
+            self.cost.put_with_detail(self.pe.id(), dst, src.len(), self.pe.now(), floor);
         m.heap(dst).write_bytes(dst_off, src);
         m.heap(dst).stamp_range(dst_off, src.len(), t.remote_complete);
         m.san_record_write(dst, dst_off, src.len(), self.pe.id(), t.remote_complete, false, "put");
         m.lift_clock(self.pe.id(), t.local_complete);
         self.pending.borrow_mut().record_put(dst, dst_off, src.len(), t.remote_complete);
         m.notify_pe(dst);
-        self.trace(pgas_machine::trace::SpanKind::Put, t_begin, Some(dst), src.len());
+        self.record_op(SpanKind::Put, t_begin, Some(dst), src.len(), detail);
         Ok(())
     }
 
@@ -359,17 +405,18 @@ impl<'m> Ctx<'m> {
             let stamp = m.heap(dst).max_stamp(src_off, out.len());
             m.san_check_read(dst, src_off, out.len(), self.pe.id(), "get");
             m.lift_clock(self.pe.id(), t.max(stamp));
+            self.trace(SpanKind::Get, t_begin, Some(dst), out.len());
             return Ok(());
         }
         if let Some(h) = self.pending.borrow().check_get(dst, src_off, out.len()) {
             self.flag_hazard(h);
         }
-        let done = self.cost.get(self.pe.id(), dst, out.len(), self.pe.now());
+        let (done, detail) = self.cost.get_with_detail(self.pe.id(), dst, out.len(), self.pe.now());
         m.heap(dst).read_bytes(src_off, out);
         let stamp = m.heap(dst).max_stamp(src_off, out.len());
         m.san_check_read(dst, src_off, out.len(), self.pe.id(), "get");
         m.lift_clock(self.pe.id(), done.max(stamp));
-        self.trace(pgas_machine::trace::SpanKind::Get, t_begin, Some(dst), out.len());
+        self.record_op(SpanKind::Get, t_begin, Some(dst), out.len(), detail);
         Ok(())
     }
 
@@ -394,7 +441,7 @@ impl<'m> Ctx<'m> {
         }
         let floor = self.pending.borrow().floor_for(dst);
         let start = self.pe.now();
-        let t = self.cost.put(self.pe.id(), dst, src.len(), start, floor);
+        let (t, detail) = self.cost.put_with_detail(self.pe.id(), dst, src.len(), start, floor);
         m.heap(dst).write_bytes(dst_off, src);
         m.heap(dst).stamp_range(dst_off, src.len(), t.remote_complete);
         m.san_record_write(dst, dst_off, src.len(), self.pe.id(), t.remote_complete, false, "put");
@@ -403,6 +450,7 @@ impl<'m> Ctx<'m> {
         self.pe.advance(self.cost.profile().put_issue_ns);
         self.pending.borrow_mut().record_put(dst, dst_off, src.len(), t.remote_complete);
         m.notify_pe(dst);
+        self.record_op(SpanKind::Put, start, Some(dst), src.len(), detail);
     }
 
     /// Non-blocking get (`shmem_getmem_nbi`): the data in `out` is only
@@ -419,12 +467,14 @@ impl<'m> Ctx<'m> {
         if let Some(h) = self.pending.borrow().check_get(dst, src_off, out.len()) {
             self.flag_hazard(h);
         }
-        let done = self.cost.get(self.pe.id(), dst, out.len(), self.pe.now());
+        let start = self.pe.now();
+        let (done, detail) = self.cost.get_with_detail(self.pe.id(), dst, out.len(), start);
         m.heap(dst).read_bytes(src_off, out);
         let stamp = m.heap(dst).max_stamp(src_off, out.len());
         m.san_check_read(dst, src_off, out.len(), self.pe.id(), "get");
         self.pe.advance(self.cost.profile().get_issue_ns);
         self.pending.borrow_mut().record_nbi_get(done.max(stamp));
+        self.record_op(SpanKind::Get, start, Some(dst), out.len(), detail);
     }
 
     // ---- 1-D strided RMA (`shmem_iput` / `shmem_iget`) -------------------
@@ -473,9 +523,10 @@ impl<'m> Ctx<'m> {
         Stats::bump(&m.stats().puts);
         Stats::add(&m.stats().bytes_put, (nelems * elem) as u64);
         let floor = self.pending.borrow().floor_for(dst);
-        let t = self
+        let t_begin = self.pe.now();
+        let (t, detail) = self
             .cost
-            .strided_put_native(self.pe.id(), dst, nelems, elem, self.pe.now(), floor)
+            .strided_put_native_with_detail(self.pe.id(), dst, nelems, elem, t_begin, floor)
             .expect("checked native above");
         for i in 0..nelems {
             let s = i * src_stride * elem;
@@ -485,6 +536,7 @@ impl<'m> Ctx<'m> {
             m.san_record_write(dst, d, elem, self.pe.id(), t.remote_complete, false, "iput");
         }
         m.lift_clock(self.pe.id(), t.local_complete);
+        self.record_op(SpanKind::Put, t_begin, Some(dst), nelems * elem, detail);
         // Conservative span for ordering tracking: covers the gaps too. The
         // CAF runtime quiets after every statement, so false positives from
         // the gaps cannot accumulate.
@@ -529,9 +581,10 @@ impl<'m> Ctx<'m> {
         self.fault_gate_or_panic("iget", dst);
         Stats::bump(&m.stats().gets);
         Stats::add(&m.stats().bytes_get, (nelems * elem) as u64);
+        let t_begin = self.pe.now();
         let done = self
             .cost
-            .strided_get_native(self.pe.id(), dst, nelems, elem, self.pe.now())
+            .strided_get_native(self.pe.id(), dst, nelems, elem, t_begin)
             .expect("checked native above");
         let mut stamp = 0;
         for i in 0..nelems {
@@ -542,6 +595,7 @@ impl<'m> Ctx<'m> {
             m.san_check_read(dst, s, elem, self.pe.id(), "iget");
         }
         m.lift_clock(self.pe.id(), done.max(stamp));
+        self.trace(SpanKind::Get, t_begin, Some(dst), nelems * elem);
     }
 
     /// AM-packed strided put: pack the elements into one contiguous message,
@@ -574,7 +628,9 @@ impl<'m> Ctx<'m> {
         Stats::bump(&m.stats().puts);
         Stats::add(&m.stats().bytes_put, (nelems * elem) as u64);
         let floor = self.pending.borrow().floor_for(dst);
-        let t = self.cost.am_packed_put(self.pe.id(), dst, nelems, elem, self.pe.now(), floor);
+        let t_begin = self.pe.now();
+        let (t, detail) =
+            self.cost.am_packed_put_with_detail(self.pe.id(), dst, nelems, elem, t_begin, floor);
         for i in 0..nelems {
             let s = i * src_stride * elem;
             let d = dst_off + i * dst_stride * elem;
@@ -586,6 +642,7 @@ impl<'m> Ctx<'m> {
         let span = (nelems - 1) * dst_stride * elem + elem;
         self.pending.borrow_mut().record_put(dst, dst_off, span, t.remote_complete);
         m.notify_pe(dst);
+        self.record_op(SpanKind::Put, t_begin, Some(dst), nelems * elem, detail);
     }
 
     /// AM-packed scatter-put of arbitrary regions: `payload` travels as one
@@ -606,8 +663,15 @@ impl<'m> Ctx<'m> {
         let hi = regions.iter().map(|r| r.0 + r.1).max().unwrap_or(0);
         let floor = self.pending.borrow().floor_for(dst);
         let avg = (total / regions.len()).max(1);
-        let t =
-            self.cost.am_packed_put(self.pe.id(), dst, regions.len(), avg, self.pe.now(), floor);
+        let t_begin = self.pe.now();
+        let (t, detail) = self.cost.am_packed_put_with_detail(
+            self.pe.id(),
+            dst,
+            regions.len(),
+            avg,
+            t_begin,
+            floor,
+        );
         let mut cursor = 0;
         for &(off, len) in regions {
             m.heap(dst).write_bytes(off, &payload[cursor..cursor + len]);
@@ -618,6 +682,7 @@ impl<'m> Ctx<'m> {
         m.lift_clock(self.pe.id(), t.local_complete);
         self.pending.borrow_mut().record_put(dst, lo, hi - lo, t.remote_complete);
         m.notify_pe(dst);
+        self.record_op(SpanKind::Put, t_begin, Some(dst), total, detail);
     }
 
     /// AM-packed gather-get of arbitrary regions into `out` (front to back).
@@ -632,7 +697,8 @@ impl<'m> Ctx<'m> {
         Stats::bump(&m.stats().gets);
         Stats::add(&m.stats().bytes_get, total as u64);
         let avg = (total / regions.len()).max(1);
-        let done = self.cost.am_packed_get(self.pe.id(), dst, regions.len(), avg, self.pe.now());
+        let t_begin = self.pe.now();
+        let done = self.cost.am_packed_get(self.pe.id(), dst, regions.len(), avg, t_begin);
         let mut cursor = 0;
         let mut stamp = 0;
         for &(off, len) in regions {
@@ -642,6 +708,7 @@ impl<'m> Ctx<'m> {
             cursor += len;
         }
         m.lift_clock(self.pe.id(), done.max(stamp));
+        self.trace(SpanKind::Get, t_begin, Some(dst), total);
     }
 
     // ---- remote atomics ----------------------------------------------------
@@ -674,7 +741,8 @@ impl<'m> Ctx<'m> {
         if op.is_fetching() {
             m.san_sync_edge(self.pe.id(), dst, off);
         }
-        let t = self.cost.amo(self.pe.id(), dst, op.is_fetching(), self.pe.now());
+        let (t, detail) =
+            self.cost.amo_with_detail(self.pe.id(), dst, op.is_fetching(), self.pe.now());
         // Causality: a fetched value cannot be observed before the write
         // that produced it completed.
         let prior_stamp = m.heap(dst).max_stamp(off, 8);
@@ -705,7 +773,7 @@ impl<'m> Ctx<'m> {
             self.pending.borrow_mut().record_amo(dst, off, t.remote_complete);
         }
         m.notify_pe(dst);
-        self.trace(pgas_machine::trace::SpanKind::Amo, t_begin, Some(dst), 8);
+        self.record_op(SpanKind::Amo, t_begin, Some(dst), 8, detail);
         Ok(old)
     }
 
@@ -723,6 +791,9 @@ impl<'m> Ctx<'m> {
         }
         let m = self.machine();
         Stats::add(&m.stats().amos, polls);
+        if m.metrics().enabled() {
+            m.metrics().count(self.pe.id(), "lock_poll", Some(m.node_of(dst)), polls);
+        }
         let occ = self.cost.control_msg_occupancy_ns().round() as u64;
         let nic = m.nic(m.node_of(dst));
         let now = self.pe.now();
@@ -757,7 +828,7 @@ impl<'m> Ctx<'m> {
         let t_begin = self.pe.now();
         m.lift_clock(me, stamp);
         self.pe.advance(poll);
-        self.trace(pgas_machine::trace::SpanKind::WaitUntil, t_begin.min(self.pe.now()), None, 8);
+        self.trace(SpanKind::WaitUntil, t_begin.min(self.pe.now()), None, 8);
         seen
     }
 
@@ -773,7 +844,15 @@ impl<'m> Ctx<'m> {
         self.pending.borrow_mut().clear();
         m.lift_clock(self.pe.id(), t);
         self.pe.advance(self.cost.profile().put_issue_ns * 0.25);
-        self.trace(pgas_machine::trace::SpanKind::Quiet, t_begin, None, 0);
+        // The completion target rides in `remote_end` so the critical-path
+        // profiler can pair this quiet with the transfer it waited on.
+        self.record_op(
+            SpanKind::Quiet,
+            t_begin,
+            None,
+            0,
+            FlowDetail { remote_end: t, ..FlowDetail::default() },
+        );
     }
 
     /// `shmem_fence`: order deliveries per target without waiting.
@@ -797,14 +876,16 @@ impl<'m> Ctx<'m> {
         let t_begin = self.pe.now();
         let cost = self.cost.barrier_ns(self.pe.n());
         self.machine().barrier_all(self.pe.id(), cost);
-        self.trace(pgas_machine::trace::SpanKind::Barrier, t_begin, None, 0);
+        self.trace(SpanKind::Barrier, t_begin, None, 0);
     }
 
     /// Barrier over a sorted subset of PEs containing this PE. Implies quiet.
     pub fn barrier_group(&self, group: &[PeId]) {
         self.quiet();
+        let t_begin = self.pe.now();
         let cost = self.cost.barrier_ns(group.len());
         self.machine().barrier_group(self.pe.id(), group, cost);
+        self.trace(SpanKind::Barrier, t_begin, None, 0);
     }
 }
 
@@ -1151,13 +1232,16 @@ mod tests {
         for s in &out.trace {
             assert!(s.end >= s.begin, "span must not be inverted: {s:?}");
         }
-        // Disabled by default: same program records nothing.
-        let out = run(two_node_cfg(), |pe| {
-            let ctx = shmem_ctx(pe);
-            if pe.id() == 0 {
-                ctx.put(2, 0, &[1u8; 64]);
-            }
-            ctx.barrier_all();
+        // Disabled by default: same program records nothing. (Forced off so
+        // a PGAS_TRACE=1 environment cannot turn it back on.)
+        let out = pgas_machine::with_forced_tracing(false, || {
+            run(two_node_cfg(), |pe| {
+                let ctx = shmem_ctx(pe);
+                if pe.id() == 0 {
+                    ctx.put(2, 0, &[1u8; 64]);
+                }
+                ctx.barrier_all();
+            })
         });
         assert!(out.trace.is_empty());
     }

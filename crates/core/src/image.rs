@@ -322,6 +322,9 @@ impl Drop for Image<'_> {
         let machine = self.shmem.machine();
         let stats = machine.stats();
         pgas_machine::stats::Stats::add(&stats.lock_leaks, table.len() as u64);
+        if machine.metrics().enabled() {
+            machine.metrics().count(self.this_image() - 1, "lock_leak", None, table.len() as u64);
+        }
         if machine.san_on() && !std::thread::panicking() {
             // Stale-lock audit: a held entry whose lock variable was
             // deallocated — or recycled by a later `lock_var` at the same

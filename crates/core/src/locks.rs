@@ -221,6 +221,9 @@ impl<'m> Image<'m> {
                 self.shmem().quiet();
                 let stats = m.stats();
                 pgas_machine::stats::Stats::bump(&stats.lock_repairs);
+                if m.metrics().enabled() {
+                    m.metrics().count(me0, "lock_repair", Some(m.node_of(home)), 1);
+                }
                 stats.record_fault(pgas_machine::stats::FaultEvent {
                     pe: me0,
                     op: "lock",

@@ -52,7 +52,7 @@ fn plan_and_record(
     sec: &Section,
     shape: &[usize],
     elem: usize,
-) -> Plan {
+) -> (Plan, Option<f64>) {
     let choice = planner.plan(shmem, target_pe, sec, shape, elem);
     shmem.machine().stats().record_plan(pgas_machine::stats::PlanDecision {
         pe: shmem.my_pe(),
@@ -61,9 +61,11 @@ fn plan_and_record(
         predicted_ns: choice.predicted_ns,
         candidates: choice.candidates.iter().map(|&(p, c)| (plan_label(p), c)).collect(),
     });
-    choice.plan
+    (choice.plan, Some(choice.predicted_ns))
 }
 
+/// Choose a plan; for planner-backed algorithms also return the predicted
+/// cost so callers can compare it against measured virtual time.
 fn plan_of(
     shmem: &Shmem<'_>,
     algo: StridedAlgorithm,
@@ -71,13 +73,13 @@ fn plan_of(
     sec: &Section,
     shape: &[usize],
     elem: usize,
-) -> Plan {
+) -> (Plan, Option<f64>) {
     match algo {
-        StridedAlgorithm::Naive => Plan::Runs,
-        StridedAlgorithm::OneDim => Plan::BaseDim(0),
-        StridedAlgorithm::TwoDim => Plan::BaseDim(sec.best_dim(2)),
-        StridedAlgorithm::BestOfAll => Plan::BaseDim(sec.best_dim(usize::MAX)),
-        StridedAlgorithm::AmPacked => Plan::Packed,
+        StridedAlgorithm::Naive => (Plan::Runs, None),
+        StridedAlgorithm::OneDim => (Plan::BaseDim(0), None),
+        StridedAlgorithm::TwoDim => (Plan::BaseDim(sec.best_dim(2)), None),
+        StridedAlgorithm::BestOfAll => (Plan::BaseDim(sec.best_dim(usize::MAX)), None),
+        StridedAlgorithm::AmPacked => (Plan::Packed, None),
         StridedAlgorithm::Adaptive => {
             plan_and_record(&HeuristicPlanner, shmem, target_pe, sec, shape, elem)
         }
@@ -86,6 +88,25 @@ fn plan_of(
             plan_and_record(&planner, shmem, target_pe, sec, shape, elem)
         }
     }
+}
+
+/// Surface a planner misprediction as a metric: the measured issue-side
+/// virtual time of the transfer over the planner's predicted cost, as an
+/// integer percentage (100 = perfect, 200 = twice as slow as predicted).
+fn record_misprediction(shmem: &Shmem<'_>, target_pe: usize, predicted_ns: Option<f64>, t0: u64) {
+    let Some(pred) = predicted_ns else { return };
+    let m = shmem.machine();
+    if !m.metrics().enabled() || pred <= 0.0 {
+        return;
+    }
+    let actual = shmem.ctx().pe().now().saturating_sub(t0);
+    let ratio_pct = ((actual as f64 / pred) * 100.0).round() as u64;
+    m.metrics().observe(
+        shmem.my_pe(),
+        "plan_cost_ratio_pct",
+        Some(m.node_of(target_pe)),
+        ratio_pct,
+    );
 }
 
 /// The §VII extension: pick the cheapest plan under a per-conduit cost
@@ -136,7 +157,9 @@ pub fn put_section<T: Scalar>(
         shmem.put(ptr, data, target_pe);
         return;
     }
-    match plan_of(shmem, algo, target_pe, sec, shape, T::BYTES) {
+    let (plan, predicted) = plan_of(shmem, algo, target_pe, sec, shape, T::BYTES);
+    let t0 = shmem.ctx().pe().now();
+    match plan {
         Plan::Runs => {
             let contiguous = sec.dims()[0].step == 1;
             if contiguous {
@@ -163,6 +186,7 @@ pub fn put_section<T: Scalar>(
             shmem.ctx().am_put_regions(target_pe, &regions, &to_bytes(data));
         }
     }
+    record_misprediction(shmem, target_pe, predicted, t0);
 }
 
 /// Read the section of `target_pe`'s copy of the array into a packed vector.
@@ -182,7 +206,9 @@ pub fn get_section<T: Scalar>(
         shmem.get(ptr, &mut out, target_pe);
         return out;
     }
-    match plan_of(shmem, algo, target_pe, sec, shape, T::BYTES) {
+    let (plan, predicted) = plan_of(shmem, algo, target_pe, sec, shape, T::BYTES);
+    let t0 = shmem.ctx().pe().now();
+    match plan {
         Plan::Runs => {
             let contiguous = sec.dims()[0].step == 1;
             if contiguous {
@@ -212,6 +238,7 @@ pub fn get_section<T: Scalar>(
             from_bytes(&buf, &mut out);
         }
     }
+    record_misprediction(shmem, target_pe, predicted, t0);
     out
 }
 

@@ -5,7 +5,10 @@
 
 use caf::{run_caf, Backend, CafConfig};
 use pgas_machine::stats::StatsSnapshot;
-use pgas_machine::{generic_smp, FaultEvent, FaultPlan, SanitizerMode};
+use pgas_machine::{
+    generic_smp, with_forced_metrics, with_forced_tracing, FaultEvent, FaultPlan, MetricsSnapshot,
+    SanitizerMode,
+};
 use proptest::prelude::*;
 
 fn cfg() -> CafConfig {
@@ -19,10 +22,25 @@ fn cfg() -> CafConfig {
 /// the host scheduler, not virtual time, so a bit-identical-clock property
 /// can only be stated over race-free programs — exactly like the machine
 /// crate's own determinism suite.
-fn workload(plan: FaultPlan) -> (StatsSnapshot, Vec<FaultEvent>, Vec<u64>) {
+fn workload(
+    plan: FaultPlan,
+) -> (StatsSnapshot, Vec<FaultEvent>, Vec<u64>, MetricsSnapshot, String) {
     // Pin the sanitizer off so an inherited PGAS_SANITIZER setting cannot
-    // perturb the timing this test compares bit-for-bit.
-    pgas_machine::with_forced_mode(SanitizerMode::Off, || {
+    // perturb the timing this test compares bit-for-bit; pin tracing and
+    // metrics *on* so the observability layer is part of the determinism
+    // contract (same seed => bit-identical MetricsSnapshot and rendered
+    // critical-path report).
+    with_forced_tracing(true, || {
+        with_forced_metrics(true, || {
+            pgas_machine::with_forced_mode(SanitizerMode::Off, workload_inner(plan))
+        })
+    })
+}
+
+fn workload_inner(
+    plan: FaultPlan,
+) -> impl FnOnce() -> (StatsSnapshot, Vec<FaultEvent>, Vec<u64>, MetricsSnapshot, String) {
+    move || {
         let out =
             run_caf(generic_smp(4).with_heap_bytes(1 << 18).with_faults(plan), cfg(), |img| {
                 let ring = img.coarray::<i64>(&[8]).unwrap();
@@ -54,8 +72,14 @@ fn workload(plan: FaultPlan) -> (StatsSnapshot, Vec<FaultEvent>, Vec<u64>) {
         for r in &out.results {
             assert_eq!(*r, 10, "workload correctness under faults");
         }
-        (out.stats, out.fault_events, out.clocks)
-    })
+        let report = out.critical_path();
+        assert_eq!(
+            report.total_ns(),
+            out.makespan_ns(),
+            "critical-path components must sum to the makespan"
+        );
+        (out.stats, out.fault_events, out.clocks, out.metrics.clone(), report.render())
+    }
 }
 
 proptest! {
@@ -70,6 +94,8 @@ proptest! {
         prop_assert_eq!(a.0, b.0);
         prop_assert_eq!(a.1, b.1);
         prop_assert_eq!(a.2, b.2);
+        prop_assert_eq!(a.3, b.3, "metrics snapshots must be bit-identical");
+        prop_assert_eq!(a.4, b.4, "critical-path reports must be bit-identical");
     }
 
     /// Different seeds perturb the fault stream: a lossy plan draws its

@@ -65,6 +65,8 @@ pub struct MachineConfig {
     pub stack_bytes: usize,
     /// Record a virtual-time execution trace (see `crate::trace`).
     pub trace: bool,
+    /// Record per-op metrics (see `crate::metrics`). Off by default.
+    pub metrics: bool,
     /// Race & sync sanitizer mode (see `crate::sanitizer`). Off by default.
     pub sanitizer: SanitizerMode,
     /// Deterministic fault schedule (see `crate::fault`). `None` by default;
@@ -102,6 +104,12 @@ impl MachineConfig {
         self
     }
 
+    /// Enable the per-op metrics registry.
+    pub fn with_metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
+    }
+
     /// Set the race & sync sanitizer mode.
     pub fn with_sanitizer(mut self, mode: SanitizerMode) -> Self {
         self.sanitizer = mode;
@@ -127,6 +135,25 @@ impl MachineConfig {
             SanitizerMode::Off => crate::sanitizer::env_default().unwrap_or(SanitizerMode::Off),
             explicit => explicit,
         }
+    }
+
+    /// Whether a machine built from this config will record a trace.
+    ///
+    /// `with_trace(true)` always enables; when the config is at the `false`
+    /// default, the process-wide `PGAS_TRACE` environment variable (read
+    /// once, at first use) supplies the default. A `with_forced_tracing`
+    /// thread override beats both, but that is applied by `Machine::new`,
+    /// not here.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace || crate::trace::env_default().unwrap_or(false)
+    }
+
+    /// Whether a machine built from this config will record metrics.
+    ///
+    /// Resolution mirrors [`Self::trace_enabled`], with the `PGAS_METRICS`
+    /// environment variable and the `with_forced_metrics` thread override.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics || crate::metrics::env_default().unwrap_or(false)
     }
 
     /// The fault plan a machine built from this config will run with.
@@ -284,6 +311,33 @@ mod tests {
         assert!(cfg.validate().is_err(), "failure of a PE the machine does not have");
         let cfg = platforms::generic_smp(4).with_faults(FaultPlan::transient_drops(1, 0.01));
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn env_trace_and_metrics_apply_when_config_is_off() {
+        // Race-free env proof, mirroring the sanitizer/fault tests: read the
+        // variables (never write them) and assert the config resolves to
+        // exactly what they say. Locally both are normally unset -> false;
+        // in the PGAS_TRACE/PGAS_METRICS CI job this asserts the env-driven
+        // defaults reach the config with no code changes.
+        let parse = |var: &str| {
+            std::env::var(var)
+                .ok()
+                .and_then(|v| match v.trim().to_ascii_lowercase().as_str() {
+                    "1" | "true" | "on" | "yes" => Some(true),
+                    "0" | "false" | "off" | "no" => Some(false),
+                    _ => None,
+                })
+                .unwrap_or(false)
+        };
+        let cfg = platforms::generic_smp(2);
+        assert!(!cfg.trace, "presets default to untraced");
+        assert!(!cfg.metrics, "presets default to no metrics");
+        assert_eq!(cfg.trace_enabled(), parse("PGAS_TRACE"));
+        assert_eq!(cfg.metrics_enabled(), parse("PGAS_METRICS"));
+        // An explicit true always stands.
+        assert!(platforms::generic_smp(2).with_trace(true).trace_enabled());
+        assert!(platforms::generic_smp(2).with_metrics(true).metrics_enabled());
     }
 
     #[test]

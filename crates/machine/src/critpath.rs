@@ -1,0 +1,495 @@
+//! Critical-path profiler: where did the makespan actually go?
+//!
+//! Given the completed span/flow graph of a run ([`crate::trace::Span`]) and
+//! the final per-PE clocks, this module extracts the *blocking chain* that
+//! determined the final virtual time and attributes every nanosecond of it
+//! to one of five categories:
+//!
+//! - **compute** — the PE on the chain was executing (or idle between spans);
+//! - **wire** — latency + serialization of payloads on the chain;
+//! - **nic contention** — time a chain operation sat in a NIC queue behind
+//!   earlier traffic (the `queue_ns` breakdown from the NIC model);
+//! - **synchronization** — barrier/wait time after the last arriver showed
+//!   up, and waits on remote flags;
+//! - **fault delay** — injected-fault detection timeouts and retry backoff.
+//!
+//! The walk runs **backwards** from the PE that finished last. At a barrier
+//! it hops to the *last arriver* (the PE that actually gated the barrier); at
+//! a quiet it pairs the wait with the flow whose remote completion bounded it
+//! and splits that flow's queue time out as NIC contention. The emitted
+//! segments tile `[0, makespan]` exactly — by construction the category
+//! totals sum to the run's total virtual time, which is the invariant the
+//! acceptance tests check.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::trace::{Span, SpanKind};
+
+/// Attribution category for a slice of the critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PathCategory {
+    Compute,
+    Wire,
+    NicContention,
+    Synchronization,
+    FaultDelay,
+}
+
+/// All categories, in display order.
+pub const CATEGORIES: [PathCategory; 5] = [
+    PathCategory::Compute,
+    PathCategory::Wire,
+    PathCategory::NicContention,
+    PathCategory::Synchronization,
+    PathCategory::FaultDelay,
+];
+
+impl PathCategory {
+    pub fn label(self) -> &'static str {
+        match self {
+            PathCategory::Compute => "compute",
+            PathCategory::Wire => "wire",
+            PathCategory::NicContention => "nic_contention",
+            PathCategory::Synchronization => "synchronization",
+            PathCategory::FaultDelay => "fault_delay",
+        }
+    }
+}
+
+/// One slice of the blocking chain. Segments are chronological and tile
+/// `[0, makespan]` with no gaps or overlaps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathSegment {
+    /// The PE the chain ran through during this slice.
+    pub pe: usize,
+    pub category: PathCategory,
+    /// Virtual-time window, ns.
+    pub begin: u64,
+    pub end: u64,
+    /// The span kind (or "idle") this slice was attributed from.
+    pub what: &'static str,
+}
+
+impl PathSegment {
+    pub fn duration_ns(&self) -> u64 {
+        self.end - self.begin
+    }
+}
+
+/// The extracted critical path of one run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CriticalPathReport {
+    pub makespan_ns: u64,
+    /// Chronological slices tiling `[0, makespan]`.
+    pub segments: Vec<PathSegment>,
+}
+
+impl CriticalPathReport {
+    /// Total attributed time per category, in [`CATEGORIES`] order.
+    /// The values sum to [`CriticalPathReport::makespan_ns`].
+    pub fn totals_ns(&self) -> [(PathCategory, u64); 5] {
+        let mut totals = CATEGORIES.map(|c| (c, 0u64));
+        for seg in &self.segments {
+            let slot = totals.iter_mut().find(|(c, _)| *c == seg.category).unwrap();
+            slot.1 += seg.duration_ns();
+        }
+        totals
+    }
+
+    /// Sum of all segment durations; equals the makespan by construction.
+    pub fn total_ns(&self) -> u64 {
+        self.segments.iter().map(|s| s.duration_ns()).sum()
+    }
+
+    /// Human-readable breakdown.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "critical path: {} ns total across {} segments\n",
+            self.makespan_ns,
+            self.segments.len()
+        );
+        for (cat, ns) in self.totals_ns() {
+            let pct = if self.makespan_ns > 0 {
+                100.0 * ns as f64 / self.makespan_ns as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!("  {:<16} {:>14} ns  {:>5.1}%\n", cat.label(), ns, pct));
+        }
+        out
+    }
+
+    /// JSON export (stable field order).
+    pub fn to_json(&self) -> Json {
+        let totals = self
+            .totals_ns()
+            .iter()
+            .map(|&(c, ns)| (c.label().to_string(), Json::uint(ns as usize)))
+            .collect();
+        let segments = self
+            .segments
+            .iter()
+            .map(|s| {
+                Json::Object(vec![
+                    ("pe".to_string(), Json::uint(s.pe)),
+                    ("category".to_string(), Json::str(s.category.label())),
+                    ("begin_ns".to_string(), Json::uint(s.begin as usize)),
+                    ("end_ns".to_string(), Json::uint(s.end as usize)),
+                    ("what".to_string(), Json::str(s.what)),
+                ])
+            })
+            .collect();
+        Json::Object(vec![
+            ("makespan_ns".to_string(), Json::uint(self.makespan_ns as usize)),
+            ("totals_ns".to_string(), Json::Object(totals)),
+            ("segments".to_string(), Json::Array(segments)),
+        ])
+    }
+}
+
+struct PeSpans {
+    /// Sorted by `(begin, id)`.
+    spans: Vec<Span>,
+    /// `prefix_max_end[i]` = max end over `spans[0..=i]`.
+    prefix_max_end: Vec<u64>,
+}
+
+/// Extract the critical path from a run's spans and final clocks.
+///
+/// With tracing disabled (no spans) the whole makespan is attributed to
+/// compute on the last-finishing PE — the profiler degrades gracefully
+/// rather than failing.
+pub fn critical_path(spans: &[Span], clocks: &[u64]) -> CriticalPathReport {
+    let makespan = clocks.iter().copied().max().unwrap_or(0);
+    if makespan == 0 {
+        return CriticalPathReport { makespan_ns: 0, segments: Vec::new() };
+    }
+    let num_pes = clocks.len();
+    let mut per_pe: Vec<Vec<Span>> = vec![Vec::new(); num_pes];
+    // Barrier end time -> arrivals (begin, pe), for last-arriver hops.
+    let mut barrier_arrivals: BTreeMap<u64, Vec<(u64, usize)>> = BTreeMap::new();
+    // (pe, remote_end) -> flow span index info for quiet pairing.
+    let mut flows: BTreeMap<(usize, u64), Span> = BTreeMap::new();
+    for s in spans {
+        if s.pe >= num_pes {
+            continue;
+        }
+        per_pe[s.pe].push(*s);
+        if s.kind == SpanKind::Barrier {
+            barrier_arrivals.entry(s.end).or_default().push((s.begin, s.pe));
+        }
+        if matches!(s.kind, SpanKind::Put | SpanKind::Get | SpanKind::Amo) && s.remote_end > 0 {
+            flows.insert((s.pe, s.remote_end), *s);
+        }
+    }
+    let per_pe: Vec<PeSpans> = per_pe
+        .into_iter()
+        .map(|mut spans| {
+            spans.sort_by_key(|s| (s.begin, s.id));
+            let mut prefix_max_end = Vec::with_capacity(spans.len());
+            let mut m = 0u64;
+            for s in &spans {
+                m = m.max(s.end);
+                prefix_max_end.push(m);
+            }
+            PeSpans { spans, prefix_max_end }
+        })
+        .collect();
+
+    // Start on the PE that finished last (lowest index wins ties).
+    let mut pe = clocks.iter().position(|&c| c == makespan).unwrap_or(0);
+    let mut cursor = makespan;
+    let mut segments: Vec<PathSegment> = Vec::new();
+    let push = |segments: &mut Vec<PathSegment>,
+                pe: usize,
+                category: PathCategory,
+                begin: u64,
+                end: u64,
+                what: &'static str| {
+        if end > begin {
+            segments.push(PathSegment { pe, category, begin, end, what });
+        }
+    };
+
+    while cursor > 0 {
+        let buf = &per_pe[pe];
+        // Last span on this PE beginning strictly before the cursor.
+        let idx = buf.spans.partition_point(|s| s.begin < cursor);
+        if idx == 0 {
+            // Nothing earlier: the PE ran (or sat) from time 0.
+            push(&mut segments, pe, PathCategory::Compute, 0, cursor, "idle");
+            cursor = 0;
+            continue;
+        }
+        let idx = idx - 1;
+        if buf.prefix_max_end[idx] < cursor {
+            // Gap between the last op and the cursor: the PE was computing.
+            let prev_end = buf.prefix_max_end[idx];
+            push(&mut segments, pe, PathCategory::Compute, prev_end, cursor, "idle");
+            cursor = prev_end;
+            continue;
+        }
+        // Innermost span covering the cursor: scan back for the latest begin
+        // whose end reaches the cursor (children begin after parents, so the
+        // first hit is the innermost).
+        let mut i = idx;
+        while buf.spans[i].end < cursor {
+            i -= 1;
+        }
+        let s = buf.spans[i];
+        let seg_begin = s.begin;
+        match s.kind {
+            SpanKind::Barrier => {
+                // The barrier was gated by its last arriver; hop to it.
+                let arrivals = barrier_arrivals.get(&s.end);
+                let last = arrivals
+                    .and_then(|a| {
+                        a.iter().copied().max_by_key(|&(begin, pe)| (begin, usize::MAX - pe))
+                    })
+                    .unwrap_or((seg_begin, pe));
+                if last.0 < cursor {
+                    push(
+                        &mut segments,
+                        pe,
+                        PathCategory::Synchronization,
+                        last.0,
+                        cursor,
+                        s.kind.label(),
+                    );
+                    pe = last.1;
+                    cursor = last.0;
+                } else {
+                    push(
+                        &mut segments,
+                        pe,
+                        PathCategory::Synchronization,
+                        seg_begin,
+                        cursor,
+                        s.kind.label(),
+                    );
+                    cursor = seg_begin;
+                }
+            }
+            SpanKind::Quiet => {
+                // Pair with the flow whose remote completion bounded the
+                // quiet (ctx stores that target in the span's remote_end).
+                let flow = flows.get(&(s.pe, s.remote_end));
+                let len = cursor - seg_begin;
+                match flow {
+                    Some(f) => {
+                        // Segments accumulate newest-first; push the later
+                        // (wire) slice before the earlier (queue) slice.
+                        let nic = f.queue_ns.min(len);
+                        push(
+                            &mut segments,
+                            pe,
+                            PathCategory::Wire,
+                            seg_begin + nic,
+                            cursor,
+                            "quiet",
+                        );
+                        push(
+                            &mut segments,
+                            pe,
+                            PathCategory::NicContention,
+                            seg_begin,
+                            seg_begin + nic,
+                            "quiet",
+                        );
+                    }
+                    None => {
+                        let cat = if s.remote_end > seg_begin {
+                            PathCategory::Wire
+                        } else {
+                            PathCategory::Synchronization
+                        };
+                        push(&mut segments, pe, cat, seg_begin, cursor, "quiet");
+                    }
+                }
+                cursor = seg_begin;
+            }
+            SpanKind::WaitUntil => {
+                push(
+                    &mut segments,
+                    pe,
+                    PathCategory::Synchronization,
+                    seg_begin,
+                    cursor,
+                    s.kind.label(),
+                );
+                cursor = seg_begin;
+            }
+            SpanKind::Put | SpanKind::Get | SpanKind::Amo => {
+                let len = cursor - seg_begin;
+                let nic = s.queue_ns.min(len);
+                push(
+                    &mut segments,
+                    pe,
+                    PathCategory::Wire,
+                    seg_begin + nic,
+                    cursor,
+                    s.kind.label(),
+                );
+                push(
+                    &mut segments,
+                    pe,
+                    PathCategory::NicContention,
+                    seg_begin,
+                    seg_begin + nic,
+                    s.kind.label(),
+                );
+                cursor = seg_begin;
+            }
+            SpanKind::Retry | SpanKind::Fault => {
+                push(
+                    &mut segments,
+                    pe,
+                    PathCategory::FaultDelay,
+                    seg_begin,
+                    cursor,
+                    s.kind.label(),
+                );
+                cursor = seg_begin;
+            }
+            SpanKind::Compute => {
+                push(&mut segments, pe, PathCategory::Compute, seg_begin, cursor, s.kind.label());
+                cursor = seg_begin;
+            }
+            SpanKind::Collective => {
+                // Only reached for collective time not covered by a child
+                // span (flag polls, internal bookkeeping): synchronization.
+                push(
+                    &mut segments,
+                    pe,
+                    PathCategory::Synchronization,
+                    seg_begin,
+                    cursor,
+                    s.kind.label(),
+                );
+                cursor = seg_begin;
+            }
+        }
+    }
+    segments.reverse();
+    CriticalPathReport { makespan_ns: makespan, segments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(pe: usize, kind: SpanKind, begin: u64, end: u64) -> Span {
+        Span::op(pe, kind, begin, end, None, 0)
+    }
+
+    #[test]
+    fn empty_trace_is_all_compute() {
+        let report = critical_path(&[], &[500, 300]);
+        assert_eq!(report.makespan_ns, 500);
+        assert_eq!(report.total_ns(), 500);
+        assert_eq!(report.segments.len(), 1);
+        assert_eq!(report.segments[0].category, PathCategory::Compute);
+        assert_eq!(report.segments[0].pe, 0);
+    }
+
+    #[test]
+    fn zero_makespan_is_empty() {
+        let report = critical_path(&[], &[0, 0]);
+        assert_eq!(report.makespan_ns, 0);
+        assert!(report.segments.is_empty());
+    }
+
+    #[test]
+    fn barrier_hops_to_last_arriver() {
+        // PE 0 arrives at 10, PE 1 computes until 100 and arrives last;
+        // barrier completes at 110 for both.
+        let spans = vec![
+            span(0, SpanKind::Barrier, 10, 110),
+            span(1, SpanKind::Compute, 0, 100),
+            span(1, SpanKind::Barrier, 100, 110),
+        ];
+        let report = critical_path(&spans, &[110, 110]);
+        assert_eq!(report.total_ns(), 110);
+        let totals: BTreeMap<_, _> = report.totals_ns().into_iter().collect();
+        assert_eq!(totals[&PathCategory::Synchronization], 10);
+        assert_eq!(totals[&PathCategory::Compute], 100);
+        // The compute slice is attributed to the last arriver, PE 1.
+        let compute = report.segments.iter().find(|s| s.category == PathCategory::Compute);
+        assert_eq!(compute.unwrap().pe, 1);
+    }
+
+    #[test]
+    fn queue_time_splits_out_as_nic_contention() {
+        let mut put = span(0, SpanKind::Put, 0, 100);
+        put.queue_ns = 30;
+        put.service_ns = 50;
+        let report = critical_path(&[put], &[100]);
+        assert_eq!(report.total_ns(), 100);
+        let totals: BTreeMap<_, _> = report.totals_ns().into_iter().collect();
+        assert_eq!(totals[&PathCategory::NicContention], 30);
+        assert_eq!(totals[&PathCategory::Wire], 70);
+    }
+
+    #[test]
+    fn quiet_pairs_with_the_bounding_flow() {
+        // A non-blocking put whose flow completes remotely at 900; the
+        // quiet waits from 200 to 900 on it.
+        let mut put = span(0, SpanKind::Put, 100, 200);
+        put.queue_ns = 300;
+        put.remote_begin = 850;
+        put.remote_end = 900;
+        put.peer = Some(1);
+        let mut quiet = span(0, SpanKind::Quiet, 200, 900);
+        quiet.remote_end = 900;
+        let report = critical_path(&[put, quiet], &[900, 0]);
+        assert_eq!(report.total_ns(), 900);
+        let totals: BTreeMap<_, _> = report.totals_ns().into_iter().collect();
+        // 300 ns of the quiet wait was the flow queueing behind other
+        // traffic; the issue span itself contributes its own split.
+        assert!(totals[&PathCategory::NicContention] >= 300);
+        assert!(totals[&PathCategory::Wire] > 0);
+    }
+
+    #[test]
+    fn segments_tile_the_makespan_chronologically() {
+        let mut put = span(0, SpanKind::Put, 50, 150);
+        put.queue_ns = 20;
+        let spans = vec![
+            span(0, SpanKind::Compute, 0, 50),
+            put,
+            span(0, SpanKind::Barrier, 150, 200),
+            span(1, SpanKind::Barrier, 120, 200),
+        ];
+        let report = critical_path(&spans, &[200, 200]);
+        assert_eq!(report.total_ns(), report.makespan_ns);
+        let mut t = 0;
+        for seg in &report.segments {
+            assert_eq!(seg.begin, t, "segments are contiguous");
+            t = seg.end;
+        }
+        assert_eq!(t, report.makespan_ns);
+    }
+
+    #[test]
+    fn report_renders_and_exports_json() {
+        let report = critical_path(&[span(0, SpanKind::Compute, 0, 100)], &[100]);
+        let text = report.render();
+        assert!(text.contains("critical path: 100 ns"));
+        assert!(text.contains("compute"));
+        let json = report.to_json().pretty();
+        let parsed = crate::json::parse(&json).unwrap();
+        assert_eq!(parsed.get("makespan_ns").and_then(|v| v.as_i64()), Some(100));
+        assert!(parsed.get("totals_ns").is_some());
+    }
+
+    #[test]
+    fn retry_time_is_fault_delay() {
+        let spans = vec![span(0, SpanKind::Retry, 10, 60)];
+        let report = critical_path(&spans, &[60]);
+        let totals: BTreeMap<_, _> = report.totals_ns().into_iter().collect();
+        assert_eq!(totals[&PathCategory::FaultDelay], 50);
+        assert_eq!(totals[&PathCategory::Compute], 10);
+        assert_eq!(report.total_ns(), 60);
+    }
+}

@@ -2,7 +2,9 @@
 //! each, propagate panics without deadlocking the rest of the job.
 
 use crate::config::MachineConfig;
+use crate::critpath::CriticalPathReport;
 use crate::machine::{Machine, Pe};
+use crate::metrics::MetricsSnapshot;
 use crate::sanitizer::{HazardKind, HazardReport};
 use crate::stats::{FaultEvent, PlanDecision, StatsSnapshot};
 use std::panic::AssertUnwindSafe;
@@ -25,6 +27,10 @@ pub struct SimOutcome<R> {
     pub clocks: Vec<u64>,
     /// Machine-wide operation counters.
     pub stats: StatsSnapshot,
+    /// Per-op metrics (counters/gauges/histograms; empty unless metrics were
+    /// enabled) with the stats counters folded in — the one queryable record
+    /// of everything the run did.
+    pub metrics: MetricsSnapshot,
     /// Per-node NIC traffic, indexed by node.
     pub nics: Vec<NicSnapshot>,
     /// Execution trace (empty unless `MachineConfig::trace` was set).
@@ -48,6 +54,14 @@ impl<R> SimOutcome<R> {
     /// Virtual makespan of the job: the latest final clock, ns.
     pub fn makespan_ns(&self) -> u64 {
         self.clocks.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Extract the critical path from the recorded trace: the blocking chain
+    /// that determined the makespan, attributed to compute / wire / NIC
+    /// contention / synchronization / fault delay. Meaningful only when the
+    /// run was traced; with no spans the whole makespan reads as compute.
+    pub fn critical_path(&self) -> CriticalPathReport {
+        crate::critpath::critical_path(&self.trace, &self.clocks)
     }
 
     /// Assert the sanitizer found nothing; panics with every report
@@ -178,6 +192,7 @@ where
     Ok(SimOutcome {
         clocks: (0..n).map(|p| machine.clock(p)).collect(),
         stats: machine.stats().snapshot(),
+        metrics: machine.metrics().snapshot(machine.stats().snapshot()),
         nics: (0..machine.config().nodes)
             .map(|node| {
                 let nic = machine.nic(node);

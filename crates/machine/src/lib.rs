@@ -25,11 +25,13 @@
 //! semantics live in `pgas-conduit` and above.
 
 pub mod config;
+pub mod critpath;
 pub mod fault;
 pub mod heap;
 pub mod json;
 pub mod launch;
 pub mod machine;
+pub mod metrics;
 pub mod nic;
 pub mod platforms;
 pub mod sanitizer;
@@ -38,9 +40,12 @@ pub mod sync;
 pub mod trace;
 
 pub use config::{ComputeParams, LinkParams, MachineConfig, WireParams};
+pub use critpath::{critical_path, CriticalPathReport, PathCategory, PathSegment};
 pub use fault::{with_forced_plan, DegradedWindow, FaultKind, FaultPlan, PeFailure, RetryPolicy};
 pub use launch::{run, run_with_result, NicSnapshot, SimError, SimOutcome};
 pub use machine::{Machine, PeId};
+pub use metrics::{with_forced_metrics, MetricsRegistry, MetricsSnapshot};
 pub use platforms::{cray_xc30, generic_smp, stampede, titan, Platform};
 pub use sanitizer::{with_forced_mode, HazardKind, HazardReport, SanitizerMode};
 pub use stats::{FaultEvent, PlanDecision, StatsSnapshot};
+pub use trace::with_forced_tracing;

@@ -3,6 +3,7 @@
 use crate::config::MachineConfig;
 use crate::fault::{FaultKind, FaultPlan, FaultState};
 use crate::heap::Heap;
+use crate::metrics::MetricsRegistry;
 use crate::nic::Nic;
 use crate::sanitizer::{HazardReport, Sanitizer, SanitizerMode};
 use crate::stats::{FaultEvent, Stats};
@@ -34,6 +35,7 @@ pub struct Machine {
     nics: Vec<Nic>,
     stats: Stats,
     tracer: Tracer,
+    metrics: MetricsRegistry,
     sanitizer: Sanitizer,
     poison: Poison,
     global_barrier: ClockBarrier,
@@ -71,7 +73,16 @@ impl Machine {
             global_barrier: ClockBarrier::new(n),
             subset_barriers: Mutex::new(HashMap::new()),
             stats: Stats::default(),
-            tracer: Tracer::new(cfg.trace),
+            // Trace/metrics resolution mirrors the sanitizer and fault plan:
+            // thread-forced override beats config, which beats env default.
+            tracer: Tracer::new(
+                crate::trace::forced_tracing().unwrap_or_else(|| cfg.trace_enabled()),
+                n,
+            ),
+            metrics: MetricsRegistry::new(
+                crate::metrics::forced_metrics().unwrap_or_else(|| cfg.metrics_enabled()),
+                n,
+            ),
             sanitizer: Sanitizer::new(
                 crate::sanitizer::forced_mode().unwrap_or_else(|| cfg.sanitizer_mode()),
                 n,
@@ -127,6 +138,12 @@ impl Machine {
     #[inline]
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The per-op metrics registry (no-op unless enabled).
+    #[inline]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// The poison flag (set when any PE panics).
@@ -305,14 +322,7 @@ impl Machine {
             delay_ns: 0,
             at_ns: now,
         });
-        self.tracer.record(Span {
-            pe,
-            kind: SpanKind::Fault,
-            begin: now,
-            end: now,
-            peer: None,
-            bytes: 0,
-        });
+        self.tracer.record(Span::op(pe, SpanKind::Fault, now, now, None, 0));
         self.global_barrier.leave();
         for (group, b) in subsets.iter() {
             if group.binary_search(&pe).is_ok() {
@@ -449,12 +459,24 @@ impl Machine {
 
     /// Charge `flops` floating-point operations of local compute to `pe`.
     pub fn compute_flops(&self, pe: PeId, flops: f64) -> u64 {
-        self.advance(pe, flops / self.cfg.compute.core_gflops)
+        self.charge_compute(pe, flops / self.cfg.compute.core_gflops)
     }
 
     /// Charge `n` generic local operations (loop iterations, hash probes...).
     pub fn compute_ops(&self, pe: PeId, n: u64) -> u64 {
-        self.advance(pe, n as f64 * self.cfg.compute.local_op_ns)
+        self.charge_compute(pe, n as f64 * self.cfg.compute.local_op_ns)
+    }
+
+    fn charge_compute(&self, pe: PeId, ns: f64) -> u64 {
+        let begin = self.clock(pe);
+        let end = self.advance(pe, ns);
+        if self.tracer.enabled() && end > begin {
+            self.tracer.record(Span::op(pe, SpanKind::Compute, begin, end, None, 0));
+        }
+        if self.metrics.enabled() {
+            self.metrics.observe(pe, "compute_ns", None, end - begin);
+        }
+        end
     }
 }
 

@@ -1,0 +1,519 @@
+//! Metrics registry: counters, gauges and log-bucketed histograms keyed by
+//! PE × op-kind × peer-node.
+//!
+//! Every layer of the stack (conduit, openshmem, caf) feeds this registry on
+//! each operation when metrics are enabled. The registry is sharded per PE so
+//! the hot path never takes a contended lock: each PE writes only its own
+//! shard, and shards are merged into a deterministic [`MetricsSnapshot`] when
+//! the simulation finishes. The snapshot also absorbs the global
+//! [`StatsSnapshot`](crate::stats::StatsSnapshot) counters (faults, retries,
+//! lock repairs, plan decisions), so a run's entire quantitative story is one
+//! queryable value on `SimOutcome`, exportable as JSON or Prometheus text.
+//!
+//! Resolution order for enabling metrics mirrors the sanitizer and fault
+//! plan: a thread-forced override ([`with_forced_metrics`]) beats the
+//! explicit `MachineConfig::metrics` flag, which beats the `PGAS_METRICS`
+//! environment default.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+
+use crate::json::Json;
+use crate::stats::StatsSnapshot;
+
+/// Number of log2 histogram buckets: bucket `i` counts values `v` with
+/// `v <= 2^i` (bucket 0 holds zeros and ones). Values above `2^62` land in
+/// the final bucket.
+pub const HISTOGRAM_BUCKETS: usize = 63;
+
+/// A metric key: metric name, owning PE, and optional peer node.
+///
+/// Names are `&'static str` by design — the set of metric names is closed at
+/// compile time, which keeps the hot path allocation-free.
+pub type MetricKey = (&'static str, Option<usize>);
+
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    /// Sparse log2 buckets: `(bucket_index, count)`, sorted by index.
+    buckets: BTreeMap<u8, u64>,
+}
+
+impl Histogram {
+    fn observe(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        *self.buckets.entry(bucket_of(v)).or_insert(0) += 1;
+    }
+}
+
+/// Log2 bucket index for a value: the smallest `i` with `v <= 2^i`,
+/// clamped to [`HISTOGRAM_BUCKETS`]` - 1`.
+fn bucket_of(v: u64) -> u8 {
+    if v <= 1 {
+        return 0;
+    }
+    let i = 64 - (v - 1).leading_zeros();
+    (i as u8).min(HISTOGRAM_BUCKETS as u8 - 1)
+}
+
+/// Upper bound of bucket `i` (inclusive), as used for Prometheus `le` labels.
+fn bucket_bound(i: u8) -> u64 {
+    1u64 << i
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, u64>,
+    histograms: BTreeMap<MetricKey, Histogram>,
+}
+
+/// Per-PE sharded metrics registry. See the module docs for the big picture.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl MetricsRegistry {
+    pub fn new(enabled: bool, num_pes: usize) -> MetricsRegistry {
+        let shards = if enabled {
+            (0..num_pes.max(1)).map(|_| Mutex::new(Shard::default())).collect()
+        } else {
+            Vec::new()
+        };
+        MetricsRegistry { enabled, shards }
+    }
+
+    /// Whether the registry records anything. When false every recording
+    /// method is a single-branch no-op.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Add `n` to the counter `name` on `pe`'s shard, keyed by `peer_node`.
+    #[inline]
+    pub fn count(&self, pe: usize, name: &'static str, peer_node: Option<usize>, n: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut shard = self.shards[pe].lock();
+        *shard.counters.entry((name, peer_node)).or_insert(0) += n;
+    }
+
+    /// Set the gauge `name` on `pe`'s shard (last write wins).
+    #[inline]
+    pub fn gauge_set(&self, pe: usize, name: &'static str, peer_node: Option<usize>, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut shard = self.shards[pe].lock();
+        shard.gauges.insert((name, peer_node), v);
+    }
+
+    /// Record `v` into the log2-bucketed histogram `name` on `pe`'s shard.
+    #[inline]
+    pub fn observe(&self, pe: usize, name: &'static str, peer_node: Option<usize>, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut shard = self.shards[pe].lock();
+        shard.histograms.entry((name, peer_node)).or_default().observe(v);
+    }
+
+    /// Merge every shard into a deterministic snapshot, folding in the
+    /// global stats counters.
+    pub fn snapshot(&self, stats: StatsSnapshot) -> MetricsSnapshot {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (pe, shard) in self.shards.iter().enumerate() {
+            let shard = shard.lock();
+            for (&(name, peer_node), &value) in &shard.counters {
+                counters.push(MetricEntry { name, pe, peer_node, value });
+            }
+            for (&(name, peer_node), &value) in &shard.gauges {
+                gauges.push(MetricEntry { name, pe, peer_node, value });
+            }
+            for (&(name, peer_node), h) in &shard.histograms {
+                histograms.push(HistogramEntry {
+                    name,
+                    pe,
+                    peer_node,
+                    count: h.count,
+                    sum: h.sum,
+                    min: h.min,
+                    max: h.max,
+                    buckets: h.buckets.iter().map(|(&i, &c)| (i, c)).collect(),
+                });
+            }
+        }
+        MetricsSnapshot { enabled: self.enabled, stats, counters, gauges, histograms }
+    }
+}
+
+/// One counter or gauge sample in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricEntry {
+    pub name: &'static str,
+    pub pe: usize,
+    pub peer_node: Option<usize>,
+    pub value: u64,
+}
+
+/// One histogram in a snapshot, with sparse log2 buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramEntry {
+    pub name: &'static str,
+    pub pe: usize,
+    pub peer_node: Option<usize>,
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// `(bucket_index, count)` pairs, sorted by index. Bucket `i` covers
+    /// values `<= 2^i`.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+/// Immutable, deterministic view of a finished run's metrics.
+///
+/// Entries are sorted by `(pe, name, peer_node)`; two runs with identical
+/// virtual behaviour produce bit-identical snapshots.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Whether the registry was recording. A disabled run still carries the
+    /// stats block so `SimOutcome.metrics` is always meaningful.
+    pub enabled: bool,
+    /// The global stats counters, absorbed into the snapshot.
+    pub stats: StatsSnapshot,
+    pub counters: Vec<MetricEntry>,
+    pub gauges: Vec<MetricEntry>,
+    pub histograms: Vec<HistogramEntry>,
+}
+
+impl MetricsSnapshot {
+    /// Total of counter `name` summed across PEs and peers.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters.iter().filter(|e| e.name == name).map(|e| e.value).sum()
+    }
+
+    /// The histogram entries for `name`, across all PEs and peers.
+    pub fn histograms_named<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = &'a HistogramEntry> {
+        self.histograms.iter().filter(move |h| h.name == name)
+    }
+
+    /// Merge all histograms named `name` into one `(count, sum)` pair.
+    pub fn histogram_totals(&self, name: &str) -> (u64, u64) {
+        self.histograms_named(name).fold((0, 0), |(c, s), h| (c + h.count, s + h.sum))
+    }
+
+    /// JSON export (stable field order).
+    pub fn to_json(&self) -> Json {
+        let entry = |e: &MetricEntry| {
+            let mut fields =
+                vec![("name".to_string(), Json::str(e.name)), ("pe".to_string(), Json::uint(e.pe))];
+            if let Some(node) = e.peer_node {
+                fields.push(("peer_node".to_string(), Json::uint(node)));
+            }
+            fields.push(("value".to_string(), Json::uint(e.value as usize)));
+            Json::Object(fields)
+        };
+        let hist = |h: &HistogramEntry| {
+            let mut fields =
+                vec![("name".to_string(), Json::str(h.name)), ("pe".to_string(), Json::uint(h.pe))];
+            if let Some(node) = h.peer_node {
+                fields.push(("peer_node".to_string(), Json::uint(node)));
+            }
+            fields.push(("count".to_string(), Json::uint(h.count as usize)));
+            fields.push(("sum".to_string(), Json::uint(h.sum as usize)));
+            fields.push(("min".to_string(), Json::uint(h.min as usize)));
+            fields.push(("max".to_string(), Json::uint(h.max as usize)));
+            let buckets = h
+                .buckets
+                .iter()
+                .map(|&(i, c)| {
+                    Json::Object(vec![
+                        ("le".to_string(), Json::uint(bucket_bound(i) as usize)),
+                        ("count".to_string(), Json::uint(c as usize)),
+                    ])
+                })
+                .collect();
+            fields.push(("buckets".to_string(), Json::Array(buckets)));
+            Json::Object(fields)
+        };
+        Json::Object(vec![
+            ("enabled".to_string(), Json::Bool(self.enabled)),
+            ("stats".to_string(), stats_json(&self.stats)),
+            ("counters".to_string(), Json::Array(self.counters.iter().map(entry).collect())),
+            ("gauges".to_string(), Json::Array(self.gauges.iter().map(entry).collect())),
+            ("histograms".to_string(), Json::Array(self.histograms.iter().map(hist).collect())),
+        ])
+    }
+
+    /// Prometheus text exposition format. Counter names become
+    /// `pgas_<name>_total`, gauges `pgas_<name>`, histograms the standard
+    /// `_bucket`/`_sum`/`_count` triple with cumulative log2 `le` bounds.
+    /// Global stats counters are exported as `pgas_stats_<field>`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (field, value) in stats_fields(&self.stats) {
+            out.push_str(&format!("# TYPE pgas_stats_{field} counter\n"));
+            out.push_str(&format!("pgas_stats_{field} {value}\n"));
+        }
+        let mut last_name = "";
+        for e in &self.counters {
+            if e.name != last_name {
+                out.push_str(&format!("# TYPE pgas_{}_total counter\n", e.name));
+                last_name = e.name;
+            }
+            out.push_str(&format!(
+                "pgas_{}_total{{{}}} {}\n",
+                e.name,
+                labels(e.pe, e.peer_node),
+                e.value
+            ));
+        }
+        last_name = "";
+        for e in &self.gauges {
+            if e.name != last_name {
+                out.push_str(&format!("# TYPE pgas_{} gauge\n", e.name));
+                last_name = e.name;
+            }
+            out.push_str(&format!(
+                "pgas_{}{{{}}} {}\n",
+                e.name,
+                labels(e.pe, e.peer_node),
+                e.value
+            ));
+        }
+        last_name = "";
+        for h in &self.histograms {
+            if h.name != last_name {
+                out.push_str(&format!("# TYPE pgas_{} histogram\n", h.name));
+                last_name = h.name;
+            }
+            let base = labels(h.pe, h.peer_node);
+            let mut cumulative = 0u64;
+            for &(i, c) in &h.buckets {
+                cumulative += c;
+                out.push_str(&format!(
+                    "pgas_{}_bucket{{{},le=\"{}\"}} {}\n",
+                    h.name,
+                    base,
+                    bucket_bound(i),
+                    cumulative
+                ));
+            }
+            out.push_str(&format!("pgas_{}_bucket{{{},le=\"+Inf\"}} {}\n", h.name, base, h.count));
+            out.push_str(&format!("pgas_{}_sum{{{}}} {}\n", h.name, base, h.sum));
+            out.push_str(&format!("pgas_{}_count{{{}}} {}\n", h.name, base, h.count));
+        }
+        out
+    }
+}
+
+fn labels(pe: usize, peer_node: Option<usize>) -> String {
+    match peer_node {
+        Some(node) => format!("pe=\"{pe}\",peer_node=\"{node}\""),
+        None => format!("pe=\"{pe}\""),
+    }
+}
+
+fn stats_fields(s: &StatsSnapshot) -> Vec<(&'static str, u64)> {
+    vec![
+        ("puts", s.puts),
+        ("gets", s.gets),
+        ("amos", s.amos),
+        ("bytes_put", s.bytes_put),
+        ("bytes_get", s.bytes_get),
+        ("barriers", s.barriers),
+        ("quiets", s.quiets),
+        ("fences", s.fences),
+        ("collectives", s.collectives),
+        ("hazards", s.hazards),
+        ("races", s.races),
+        ("local_fastpath", s.local_fastpath),
+        ("plans", s.plans),
+        ("lock_leaks", s.lock_leaks),
+        ("faults_injected", s.faults_injected),
+        ("retries", s.retries),
+        ("retries_exhausted", s.retries_exhausted),
+        ("pe_failures", s.pe_failures),
+        ("lock_repairs", s.lock_repairs),
+    ]
+}
+
+fn stats_json(s: &StatsSnapshot) -> Json {
+    Json::Object(
+        stats_fields(s).into_iter().map(|(k, v)| (k.to_string(), Json::uint(v as usize))).collect(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Enable-flag resolution: forced (thread) > config > environment default.
+// ---------------------------------------------------------------------------
+
+/// Parse a boolean-ish env/config flag value.
+pub(crate) fn parse_flag(s: &str) -> Option<bool> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => Some(true),
+        "0" | "false" | "off" | "no" => Some(false),
+        _ => None,
+    }
+}
+
+/// Process-wide default from `PGAS_METRICS`, read once.
+pub(crate) fn env_default() -> Option<bool> {
+    static ENV_DEFAULT: OnceLock<Option<bool>> = OnceLock::new();
+    *ENV_DEFAULT.get_or_init(|| std::env::var("PGAS_METRICS").ok().and_then(|v| parse_flag(&v)))
+}
+
+thread_local! {
+    static FORCED_METRICS: Cell<Option<bool>> = const { Cell::new(None) };
+}
+
+pub(crate) fn forced_metrics() -> Option<bool> {
+    FORCED_METRICS.with(|c| c.get())
+}
+
+/// Run `f` with metrics recording forced on or off for machines constructed
+/// on this thread, overriding both config and environment. Restores the
+/// previous override on exit (including unwinds).
+pub fn with_forced_metrics<R>(on: bool, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<bool>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCED_METRICS.with(|c| c.set(self.0));
+        }
+    }
+    let prev = FORCED_METRICS.with(|c| c.replace(Some(on)));
+    let _restore = Restore(prev);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indices_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(5), 3);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(1025), 11);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS as u8 - 1);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = MetricsRegistry::new(false, 4);
+        reg.count(0, "put", Some(1), 3);
+        reg.observe(1, "put_ns", None, 42);
+        reg.gauge_set(2, "depth", None, 7);
+        let snap = reg.snapshot(StatsSnapshot::default());
+        assert!(!snap.enabled);
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let reg = MetricsRegistry::new(true, 2);
+        reg.count(1, "put", Some(0), 2);
+        reg.count(0, "put", Some(1), 5);
+        reg.count(0, "get", None, 1);
+        reg.observe(0, "put_ns", Some(1), 100);
+        reg.observe(0, "put_ns", Some(1), 3000);
+        let snap = reg.snapshot(StatsSnapshot::default());
+        assert_eq!(snap.counter_total("put"), 7);
+        assert_eq!(snap.counter_total("get"), 1);
+        // PE-major order, then name.
+        let names: Vec<(usize, &str)> = snap.counters.iter().map(|e| (e.pe, e.name)).collect();
+        assert_eq!(names, vec![(0, "get"), (0, "put"), (1, "put")]);
+        let (count, sum) = snap.histogram_totals("put_ns");
+        assert_eq!((count, sum), (2, 3100));
+        let h = snap.histograms_named("put_ns").next().unwrap();
+        assert_eq!(h.min, 100);
+        assert_eq!(h.max, 3000);
+        assert_eq!(h.buckets.len(), 2);
+    }
+
+    #[test]
+    fn prometheus_export_has_cumulative_buckets() {
+        let reg = MetricsRegistry::new(true, 1);
+        reg.observe(0, "put_ns", Some(1), 1);
+        reg.observe(0, "put_ns", Some(1), 2);
+        reg.observe(0, "put_ns", Some(1), 1000);
+        reg.count(0, "put", Some(1), 3);
+        let text = reg.snapshot(StatsSnapshot::default()).to_prometheus();
+        assert!(text.contains("pgas_put_total{pe=\"0\",peer_node=\"1\"} 3"));
+        assert!(text.contains("pgas_put_ns_bucket{pe=\"0\",peer_node=\"1\",le=\"1\"} 1"));
+        assert!(text.contains("pgas_put_ns_bucket{pe=\"0\",peer_node=\"1\",le=\"2\"} 2"));
+        assert!(text.contains("pgas_put_ns_bucket{pe=\"0\",peer_node=\"1\",le=\"1024\"} 3"));
+        assert!(text.contains("pgas_put_ns_bucket{pe=\"0\",peer_node=\"1\",le=\"+Inf\"} 3"));
+        assert!(text.contains("pgas_put_ns_sum{pe=\"0\",peer_node=\"1\"} 1003"));
+        assert!(text.contains("pgas_put_ns_count{pe=\"0\",peer_node=\"1\"} 3"));
+        assert!(text.contains("pgas_stats_puts 0"));
+    }
+
+    #[test]
+    fn json_export_parses() {
+        let reg = MetricsRegistry::new(true, 1);
+        reg.count(0, "put", Some(1), 3);
+        reg.observe(0, "put_ns", None, 10);
+        reg.gauge_set(0, "depth", None, 2);
+        let json = reg.snapshot(StatsSnapshot::default()).to_json().pretty();
+        let parsed = crate::json::parse(&json).expect("metrics JSON parses");
+        assert_eq!(parsed.get("counters").and_then(|c| c.as_array()).map(|a| a.len()), Some(1));
+        assert_eq!(parsed.get("histograms").and_then(|c| c.as_array()).map(|a| a.len()), Some(1));
+    }
+
+    #[test]
+    fn forced_override_restores_on_exit() {
+        assert_eq!(forced_metrics(), None);
+        with_forced_metrics(true, || {
+            assert_eq!(forced_metrics(), Some(true));
+            with_forced_metrics(false, || assert_eq!(forced_metrics(), Some(false)));
+            assert_eq!(forced_metrics(), Some(true));
+        });
+        assert_eq!(forced_metrics(), None);
+    }
+
+    #[test]
+    fn snapshots_are_bit_identical_for_identical_feeds() {
+        let feed = |reg: &MetricsRegistry| {
+            reg.count(0, "put", Some(1), 2);
+            reg.observe(1, "get_ns", Some(0), 77);
+            reg.gauge_set(1, "depth", None, 4);
+        };
+        let a = MetricsRegistry::new(true, 2);
+        let b = MetricsRegistry::new(true, 2);
+        feed(&a);
+        feed(&b);
+        assert_eq!(a.snapshot(StatsSnapshot::default()), b.snapshot(StatsSnapshot::default()));
+    }
+}

@@ -77,6 +77,7 @@ pub fn stampede(nodes: usize, cores_per_node: usize) -> MachineConfig {
         compute: ComputeParams { core_gflops: 2.0, local_op_ns: 1.0 },
         stack_bytes: DEFAULT_STACK,
         trace: false,
+        metrics: false,
         sanitizer: SanitizerMode::Off,
         faults: None,
     }
@@ -99,6 +100,7 @@ pub fn titan(nodes: usize, cores_per_node: usize) -> MachineConfig {
         compute: ComputeParams { core_gflops: 1.2, local_op_ns: 1.2 },
         stack_bytes: DEFAULT_STACK,
         trace: false,
+        metrics: false,
         sanitizer: SanitizerMode::Off,
         faults: None,
     }
@@ -121,6 +123,7 @@ pub fn cray_xc30(nodes: usize, cores_per_node: usize) -> MachineConfig {
         compute: ComputeParams { core_gflops: 2.0, local_op_ns: 1.0 },
         stack_bytes: DEFAULT_STACK,
         trace: false,
+        metrics: false,
         sanitizer: SanitizerMode::Off,
         faults: None,
     }
@@ -143,6 +146,7 @@ pub fn generic_smp(cores: usize) -> MachineConfig {
         compute: ComputeParams { core_gflops: 2.5, local_op_ns: 0.8 },
         stack_bytes: DEFAULT_STACK,
         trace: false,
+        metrics: false,
         sanitizer: SanitizerMode::Off,
         faults: None,
     }

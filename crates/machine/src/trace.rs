@@ -1,11 +1,30 @@
-//! Virtual-time execution tracing.
+//! Virtual-time execution tracing with causal flow links.
 //!
-//! When enabled in [`crate::MachineConfig`], the communication layers record
-//! a span for every operation (puts, gets, atomics, barriers, waits...) with
-//! begin/end in virtual nanoseconds. The result can be exported in the
-//! Chrome trace-event format (`chrome://tracing`, Perfetto) with one row per
-//! PE, grouped by node — a timeline of what the simulated job did and where
-//! its virtual time went.
+//! When enabled, the communication layers record a span for every operation
+//! (puts, gets, atomics, barriers, waits...) with begin/end in virtual
+//! nanoseconds. Spans live in **per-PE buffers** — the hot path locks only
+//! the issuing PE's own buffer, never a global one — and carry:
+//!
+//! - a deterministic id (`pe << 32 | seq`) and an optional parent id, so
+//!   nested operations (e.g. the puts inside a collective) form a tree;
+//! - a queue-wait vs. service-time breakdown from the NIC model
+//!   ([`Span::queue_ns`] / [`Span::service_ns`]);
+//! - the remote delivery window ([`Span::remote_begin`] / [`Span::remote_end`])
+//!   for operations that land on a peer, which links an origin op to its
+//!   remote completion — the raw material for chrome-trace *flow events* and
+//!   for the critical-path profiler ([`crate::critpath`]).
+//!
+//! The export ([`chrome_trace_json`]) produces Chrome trace-event JSON
+//! (`chrome://tracing`, Perfetto) with process/thread name metadata, one row
+//! per PE grouped by node, and flow arrows from each origin op to a
+//! synthesized delivery slice on the peer's row.
+//!
+//! Enabling resolves like the sanitizer and fault plan: a thread-forced
+//! override ([`with_forced_tracing`]) beats `MachineConfig::trace`, which
+//! beats the `PGAS_TRACE` environment default.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
 
 use crate::json::Json;
 use parking_lot::Mutex;
@@ -56,18 +75,82 @@ pub struct Span {
     pub peer: Option<usize>,
     /// Payload bytes, if any.
     pub bytes: usize,
+    /// Deterministic span id (`pe << 32 | seq`, seq starts at 1); assigned by
+    /// [`Tracer::record`]. 0 means "not yet recorded".
+    pub id: u64,
+    /// Id of the enclosing scope span (0 = top level). Assigned from the
+    /// per-PE scope stack by [`Tracer::record`] unless already set.
+    pub parent: u64,
+    /// Time spent waiting behind earlier traffic on the NICs this op crossed.
+    pub queue_ns: u64,
+    /// Time the op actually occupied NIC lanes (service time).
+    pub service_ns: u64,
+    /// Remote delivery window begin (0 when the op has no remote side).
+    pub remote_begin: u64,
+    /// Remote delivery window end — the virtual time the payload landed on
+    /// the peer. Quiet spans reuse this field for the completion target they
+    /// waited on, which is how the critical-path walker pairs a quiet with
+    /// the flow that bounded it.
+    pub remote_end: u64,
 }
 
-/// Trace sink shared by all PEs of a machine.
+impl Span {
+    /// A plain span with no flow detail (the common constructor).
+    pub fn op(
+        pe: usize,
+        kind: SpanKind,
+        begin: u64,
+        end: u64,
+        peer: Option<usize>,
+        bytes: usize,
+    ) -> Span {
+        Span {
+            pe,
+            kind,
+            begin,
+            end,
+            peer,
+            bytes,
+            id: 0,
+            parent: 0,
+            queue_ns: 0,
+            service_ns: 0,
+            remote_begin: 0,
+            remote_end: 0,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct PeBuf {
+    spans: Vec<Span>,
+    next_seq: u32,
+    scope_stack: Vec<u64>,
+}
+
+impl PeBuf {
+    fn next_id(&mut self, pe: usize) -> u64 {
+        self.next_seq += 1;
+        ((pe as u64) << 32) | self.next_seq as u64
+    }
+}
+
+/// Trace sink shared by all PEs of a machine; sharded per PE so recording
+/// never contends across PEs.
 #[derive(Debug, Default)]
 pub struct Tracer {
     enabled: bool,
-    spans: Mutex<Vec<Span>>,
+    pes: Vec<Mutex<PeBuf>>,
 }
 
 impl Tracer {
-    pub fn new(enabled: bool) -> Tracer {
-        Tracer { enabled, spans: Mutex::new(Vec::new()) }
+    pub fn new(enabled: bool, num_pes: usize) -> Tracer {
+        let pes = if enabled {
+            (0..num_pes.max(1)).map(|_| Mutex::new(PeBuf::default())).collect()
+        } else {
+            Vec::new()
+        };
+        Tracer { enabled, pes }
     }
 
     /// Is tracing active? (Callers may skip span construction otherwise.)
@@ -76,46 +159,196 @@ impl Tracer {
         self.enabled
     }
 
-    /// Record one span (no-op when disabled).
+    /// Record one span (no-op when disabled). Assigns the span's id and, if
+    /// `span.parent` is unset, its parent from the PE's open scope stack.
+    /// Returns the assigned id (0 when disabled).
     #[inline]
-    pub fn record(&self, span: Span) {
-        if self.enabled {
-            self.spans.lock().push(span);
+    pub fn record(&self, mut span: Span) -> u64 {
+        if !self.enabled {
+            return 0;
         }
+        let mut buf = self.pes[span.pe].lock();
+        span.id = buf.next_id(span.pe);
+        if span.parent == 0 {
+            span.parent = buf.scope_stack.last().copied().unwrap_or(0);
+        }
+        let id = span.id;
+        buf.spans.push(span);
+        id
     }
 
-    /// Take all recorded spans, sorted by begin time.
+    /// Open a nesting scope on `pe` (e.g. at collective entry): reserves and
+    /// returns the scope's span id; spans recorded on `pe` until the matching
+    /// [`Tracer::end_scope`] become its children. Returns 0 when disabled.
+    pub fn begin_scope(&self, pe: usize) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        let mut buf = self.pes[pe].lock();
+        let id = buf.next_id(pe);
+        buf.scope_stack.push(id);
+        id
+    }
+
+    /// Close the innermost scope on `pe`, recording `span` as the scope span
+    /// itself (it keeps the id reserved by [`Tracer::begin_scope`]).
+    pub fn end_scope(&self, pe: usize, mut span: Span) {
+        if !self.enabled {
+            return;
+        }
+        let mut buf = self.pes[pe].lock();
+        let id = buf.scope_stack.pop().expect("end_scope without begin_scope");
+        span.pe = pe;
+        span.id = id;
+        span.parent = buf.scope_stack.last().copied().unwrap_or(0);
+        buf.spans.push(span);
+    }
+
+    /// Take all recorded spans, merged across PEs and sorted by
+    /// `(begin, pe, id)` — a deterministic total order.
     pub fn drain(&self) -> Vec<Span> {
-        let mut spans = std::mem::take(&mut *self.spans.lock());
-        spans.sort_by_key(|s| (s.begin, s.pe));
+        let mut spans = Vec::new();
+        for buf in &self.pes {
+            spans.append(&mut buf.lock().spans);
+        }
+        spans.sort_by_key(|s| (s.begin, s.pe, s.id));
         spans
     }
 }
 
 /// Render spans in the Chrome trace-event JSON format: `pid` = node,
-/// `tid` = PE, timestamps in microseconds ("complete" events).
+/// `tid` = PE, timestamps in microseconds.
+///
+/// Emits, in order: `M` metadata events naming each node's process and each
+/// PE's thread; `X` complete events for the spans themselves (with queue/
+/// service breakdown in `args` when present); and for every span with a
+/// remote delivery window, a synthesized `deliver` slice on the peer's row
+/// plus an `s`/`f` flow-event pair drawing the causal arrow origin → peer.
 pub fn chrome_trace_json(spans: &[Span], cores_per_node: usize) -> String {
-    let events: Vec<Json> = spans
+    // cores_per_node = 0 means "node structure unknown": everything is one
+    // node (pid 0), rather than the old behaviour of pid = pe.
+    let node_of = |pe: usize| pe.checked_div(cores_per_node).unwrap_or(0);
+    let mut events: Vec<Json> = Vec::new();
+
+    let mut pes: Vec<usize> = spans
         .iter()
-        .map(|s| {
-            Json::Object(vec![
-                ("name".into(), Json::str(s.kind.label())),
+        .flat_map(|s| std::iter::once(s.pe).chain(s.peer.filter(|_| s.remote_end > 0)))
+        .collect();
+    pes.sort_unstable();
+    pes.dedup();
+    let mut nodes: Vec<usize> = pes.iter().map(|&pe| node_of(pe)).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    for node in nodes {
+        events.push(Json::Object(vec![
+            ("name".into(), Json::str("process_name")),
+            ("ph".into(), Json::str("M")),
+            ("pid".into(), Json::uint(node)),
+            ("args".into(), Json::Object(vec![("name".into(), Json::Str(format!("node {node}")))])),
+        ]));
+    }
+    for pe in pes {
+        events.push(Json::Object(vec![
+            ("name".into(), Json::str("thread_name")),
+            ("ph".into(), Json::str("M")),
+            ("pid".into(), Json::uint(node_of(pe))),
+            ("tid".into(), Json::uint(pe)),
+            ("args".into(), Json::Object(vec![("name".into(), Json::Str(format!("PE {pe}")))])),
+        ]));
+    }
+
+    let us = |ns: u64| Json::float(ns as f64 / 1000.0);
+    for s in spans {
+        let mut args =
+            vec![("peer".into(), Json::opt_uint(s.peer)), ("bytes".into(), Json::uint(s.bytes))];
+        if s.queue_ns > 0 || s.service_ns > 0 {
+            args.push(("queue_ns".into(), Json::uint(s.queue_ns as usize)));
+            args.push(("service_ns".into(), Json::uint(s.service_ns as usize)));
+        }
+        events.push(Json::Object(vec![
+            ("name".into(), Json::str(s.kind.label())),
+            ("ph".into(), Json::str("X")),
+            ("pid".into(), Json::uint(node_of(s.pe))),
+            ("tid".into(), Json::uint(s.pe)),
+            ("ts".into(), us(s.begin)),
+            ("dur".into(), Json::float(s.end.saturating_sub(s.begin) as f64 / 1000.0)),
+            ("args".into(), Json::Object(args)),
+        ]));
+        // Causal flow: origin op -> delivery slice on the peer's row.
+        if let (Some(peer), true) = (s.peer, s.remote_end > s.remote_begin && s.id != 0) {
+            events.push(Json::Object(vec![
+                ("name".into(), Json::Str(format!("deliver {}", s.kind.label()))),
                 ("ph".into(), Json::str("X")),
-                ("pid".into(), Json::uint(s.pe / cores_per_node.max(1))),
-                ("tid".into(), Json::uint(s.pe)),
-                ("ts".into(), Json::float(s.begin as f64 / 1000.0)),
-                ("dur".into(), Json::float(s.end.saturating_sub(s.begin) as f64 / 1000.0)),
+                ("pid".into(), Json::uint(node_of(peer))),
+                ("tid".into(), Json::uint(peer)),
+                ("ts".into(), us(s.remote_begin)),
+                (
+                    "dur".into(),
+                    Json::float(s.remote_end.saturating_sub(s.remote_begin) as f64 / 1000.0),
+                ),
                 (
                     "args".into(),
                     Json::Object(vec![
-                        ("peer".into(), Json::opt_uint(s.peer)),
+                        ("origin_pe".into(), Json::uint(s.pe)),
                         ("bytes".into(), Json::uint(s.bytes)),
                     ]),
                 ),
-            ])
-        })
-        .collect();
+            ]));
+            let flow = |ph: &str, pe: usize, ts: u64, bind_end: bool| {
+                let mut fields = vec![
+                    ("name".into(), Json::str("flow")),
+                    ("cat".into(), Json::str("flow")),
+                    ("ph".into(), Json::str(ph)),
+                    ("id".into(), Json::uint(s.id as usize)),
+                    ("pid".into(), Json::uint(node_of(pe))),
+                    ("tid".into(), Json::uint(pe)),
+                    ("ts".into(), us(ts)),
+                ];
+                if bind_end {
+                    fields.push(("bp".into(), Json::str("e")));
+                }
+                Json::Object(fields)
+            };
+            events.push(flow("s", s.pe, s.begin, false));
+            events.push(flow("f", peer, s.remote_end, true));
+        }
+    }
     Json::Array(events).pretty()
+}
+
+// ---------------------------------------------------------------------------
+// Enable-flag resolution: forced (thread) > config > environment default.
+// ---------------------------------------------------------------------------
+
+/// Process-wide default from `PGAS_TRACE`, read once.
+pub(crate) fn env_default() -> Option<bool> {
+    static ENV_DEFAULT: OnceLock<Option<bool>> = OnceLock::new();
+    *ENV_DEFAULT.get_or_init(|| {
+        std::env::var("PGAS_TRACE").ok().and_then(|v| crate::metrics::parse_flag(&v))
+    })
+}
+
+thread_local! {
+    static FORCED_TRACING: Cell<Option<bool>> = const { Cell::new(None) };
+}
+
+pub(crate) fn forced_tracing() -> Option<bool> {
+    FORCED_TRACING.with(|c| c.get())
+}
+
+/// Run `f` with tracing forced on or off for machines constructed on this
+/// thread, overriding both config and environment. Restores the previous
+/// override on exit (including unwinds).
+pub fn with_forced_tracing<R>(on: bool, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<bool>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCED_TRACING.with(|c| c.set(self.0));
+        }
+    }
+    let prev = FORCED_TRACING.with(|c| c.replace(Some(on)));
+    let _restore = Restore(prev);
+    f()
 }
 
 #[cfg(test)]
@@ -123,20 +356,20 @@ mod tests {
     use super::*;
 
     fn span(pe: usize, kind: SpanKind, begin: u64, end: u64) -> Span {
-        Span { pe, kind, begin, end, peer: Some(1), bytes: 64 }
+        Span::op(pe, kind, begin, end, Some(1), 64)
     }
 
     #[test]
     fn disabled_tracer_records_nothing() {
-        let t = Tracer::new(false);
+        let t = Tracer::new(false, 4);
         assert!(!t.enabled());
-        t.record(span(0, SpanKind::Put, 0, 10));
+        assert_eq!(t.record(span(0, SpanKind::Put, 0, 10)), 0);
         assert!(t.drain().is_empty());
     }
 
     #[test]
     fn drain_sorts_by_begin() {
-        let t = Tracer::new(true);
+        let t = Tracer::new(true, 4);
         t.record(span(1, SpanKind::Get, 50, 70));
         t.record(span(0, SpanKind::Put, 10, 30));
         t.record(span(2, SpanKind::Amo, 20, 25));
@@ -144,6 +377,34 @@ mod tests {
         assert_eq!(spans.len(), 3);
         assert!(spans.windows(2).all(|w| w[0].begin <= w[1].begin));
         assert!(t.drain().is_empty(), "drain empties the sink");
+    }
+
+    #[test]
+    fn span_ids_are_deterministic_and_per_pe() {
+        let t = Tracer::new(true, 4);
+        let a = t.record(span(2, SpanKind::Put, 0, 10));
+        let b = t.record(span(2, SpanKind::Put, 10, 20));
+        let c = t.record(span(3, SpanKind::Get, 0, 5));
+        assert_eq!(a, (2u64 << 32) | 1);
+        assert_eq!(b, (2u64 << 32) | 2);
+        assert_eq!(c, (3u64 << 32) | 1);
+    }
+
+    #[test]
+    fn scopes_nest_children_under_parent() {
+        let t = Tracer::new(true, 2);
+        let scope = t.begin_scope(0);
+        let child = t.record(span(0, SpanKind::Put, 5, 10));
+        t.end_scope(0, span(0, SpanKind::Collective, 0, 20));
+        let _top = t.record(span(0, SpanKind::Quiet, 20, 25));
+        let spans = t.drain();
+        let parent_span = spans.iter().find(|s| s.kind == SpanKind::Collective).unwrap();
+        let child_span = spans.iter().find(|s| s.id == child).unwrap();
+        let top_span = spans.iter().find(|s| s.kind == SpanKind::Quiet).unwrap();
+        assert_eq!(parent_span.id, scope);
+        assert_eq!(parent_span.parent, 0);
+        assert_eq!(child_span.parent, scope);
+        assert_eq!(top_span.parent, 0);
     }
 
     #[test]
@@ -158,7 +419,63 @@ mod tests {
         assert!(json.contains("\"pid\": 1"));
         // 1000 ns -> 1.0 us.
         assert!(json.contains("\"ts\": 1.0"));
+        // Metadata events label processes and threads.
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"node 1\""));
+        assert!(json.contains("\"PE 17\""));
         let parsed = crate::json::parse(&json).unwrap();
-        assert_eq!(parsed.as_array().unwrap().len(), 2);
+        let events = parsed.as_array().unwrap();
+        let x_events =
+            events.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")).count();
+        assert_eq!(x_events, 2);
+    }
+
+    #[test]
+    fn zero_cores_per_node_maps_everything_to_node_zero() {
+        let spans = vec![span(5, SpanKind::Put, 0, 10)];
+        let json = chrome_trace_json(&spans, 0);
+        // Previously pid was mislabelled as the PE index (5).
+        assert!(json.contains("\"pid\": 0"));
+        assert!(!json.contains("\"pid\": 5"));
+    }
+
+    #[test]
+    fn flow_events_link_origin_to_delivery() {
+        let t = Tracer::new(true, 4);
+        let mut s = span(0, SpanKind::Put, 1000, 2000);
+        s.peer = Some(2);
+        s.queue_ns = 100;
+        s.service_ns = 400;
+        s.remote_begin = 2500;
+        s.remote_end = 3000;
+        t.record(s);
+        let json = chrome_trace_json(&t.drain(), 2);
+        assert!(json.contains("\"deliver put\""));
+        assert!(json.contains("\"ph\": \"s\""));
+        assert!(json.contains("\"ph\": \"f\""));
+        assert!(json.contains("\"bp\": \"e\""));
+        assert!(json.contains("\"queue_ns\": 100"));
+        assert!(json.contains("\"service_ns\": 400"));
+        let parsed = crate::json::parse(&json).unwrap();
+        // Delivery slice lands on the peer's row (tid 2, node 1 of 2 cores).
+        let deliver = parsed
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("deliver put"))
+            .expect("deliver slice present");
+        assert_eq!(deliver.get("tid").and_then(|v| v.as_i64()), Some(2));
+        assert_eq!(deliver.get("pid").and_then(|v| v.as_i64()), Some(1));
+    }
+
+    #[test]
+    fn forced_tracing_restores_on_exit() {
+        assert_eq!(forced_tracing(), None);
+        with_forced_tracing(true, || {
+            assert_eq!(forced_tracing(), Some(true));
+            with_forced_tracing(false, || assert_eq!(forced_tracing(), Some(false)));
+            assert_eq!(forced_tracing(), Some(true));
+        });
+        assert_eq!(forced_tracing(), None);
     }
 }

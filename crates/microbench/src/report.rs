@@ -101,11 +101,21 @@ pub struct Figure {
     pub id: String,
     pub caption: String,
     pub panels: Vec<Panel>,
+    /// Optional critical-path attribution of a representative run of this
+    /// figure, written as a sidecar `results/<id>.critpath.json` so a
+    /// regression in the figure is explainable from the same artifact set.
+    pub critpath: Option<Json>,
 }
 
 impl Figure {
     pub fn new(id: impl Into<String>, caption: impl Into<String>) -> Figure {
-        Figure { id: id.into(), caption: caption.into(), panels: Vec::new() }
+        Figure { id: id.into(), caption: caption.into(), panels: Vec::new(), critpath: None }
+    }
+
+    /// Attach a critical-path report (as JSON) to be emitted as a sidecar.
+    pub fn with_critpath(mut self, report: Json) -> Figure {
+        self.critpath = Some(report);
+        self
     }
 
     pub fn render(&self) -> String {
@@ -166,6 +176,9 @@ impl Figure {
         let dir = std::path::Path::new(&dir);
         if std::fs::create_dir_all(dir).is_ok() {
             let _ = std::fs::write(dir.join(format!("{}.json", self.id)), self.to_json());
+            if let Some(cp) = &self.critpath {
+                let _ = std::fs::write(dir.join(format!("{}.critpath.json", self.id)), cp.pretty());
+            }
         }
     }
 }

@@ -17,6 +17,7 @@ use crate::active_set::ActiveSet;
 use crate::data::{from_bytes, to_bytes, Scalar, SymPtr};
 use crate::shmem::{Cmp, Shmem, BCAST_FLAG_BASE, COLLECT_FLAG_BASE, REDUCE_FLAG_BASE};
 use pgas_machine::stats::Stats;
+use pgas_machine::trace::{Span, SpanKind};
 
 fn ceil_log2(n: usize) -> usize {
     if n <= 1 {
@@ -27,6 +28,31 @@ fn ceil_log2(n: usize) -> usize {
 }
 
 impl<'m> Shmem<'m> {
+    /// Run one collective under an enclosing `Collective` trace scope (the
+    /// constituent puts/quiets/barriers nest as its children) and feed the
+    /// metrics registry. Pure pass-through when observability is off.
+    fn collective_op<R>(&self, f: impl FnOnce() -> R) -> R {
+        let m = self.machine();
+        Stats::bump(&m.stats().collectives);
+        let pe = self.my_pe();
+        let tracer = m.tracer();
+        let traced = tracer.enabled();
+        let begin = self.ctx().pe().now();
+        if traced {
+            tracer.begin_scope(pe);
+        }
+        let r = f();
+        let end = self.ctx().pe().now();
+        if traced {
+            tracer.end_scope(pe, Span::op(pe, SpanKind::Collective, begin, end, None, 0));
+        }
+        let metrics = m.metrics();
+        if metrics.enabled() {
+            metrics.count(pe, "collective", None, 1);
+            metrics.observe(pe, "collective_ns", None, end.saturating_sub(begin));
+        }
+        r
+    }
     fn wait_flag_at_least(&self, slot: usize, min: u64) {
         self.wait_until(self.psync().at(slot), Cmp::Ge, min);
     }
@@ -104,11 +130,12 @@ impl<'m> Shmem<'m> {
             "broadcast length overruns buffers"
         );
         assert!(pe_root < set.len(), "root rank {} outside active set of {}", pe_root, set.len());
-        Stats::bump(&self.machine().stats().collectives);
-        self.quiet();
-        self.bcast_region(set, pe_root, src.offset(), dest.offset(), nelems * T::BYTES, 1);
-        self.reset_bcast_flags(set.len());
-        self.barrier(set);
+        self.collective_op(|| {
+            self.quiet();
+            self.bcast_region(set, pe_root, src.offset(), dest.offset(), nelems * T::BYTES, 1);
+            self.reset_bcast_flags(set.len());
+            self.barrier(set);
+        })
     }
 
     /// Generic all-reduce: combine `nelems` elements of `src` across the set
@@ -125,7 +152,17 @@ impl<'m> Shmem<'m> {
         op: impl Fn(T, T) -> T + Copy,
     ) {
         assert!(nelems <= dest.count() && nelems <= src.count(), "reduction overruns buffers");
-        Stats::bump(&self.machine().stats().collectives);
+        self.collective_op(|| self.reduce_to_all_inner(dest, src, nelems, set, op))
+    }
+
+    fn reduce_to_all_inner<T: Scalar>(
+        &self,
+        dest: SymPtr<T>,
+        src: SymPtr<T>,
+        nelems: usize,
+        set: &ActiveSet,
+        op: impl Fn(T, T) -> T + Copy,
+    ) {
         self.quiet();
         let n = set.len();
         let rel = set.index_of(self.my_pe()).expect("caller must be in the active set");
@@ -279,20 +316,24 @@ impl<'m> Shmem<'m> {
             set.len() * src.len(),
             dest.count()
         );
-        Stats::bump(&self.machine().stats().collectives);
-        self.quiet();
-        let rel = set.index_of(self.my_pe()).expect("caller must be in the active set");
-        for k in 0..set.len() {
-            let tgt = set.member(k);
-            self.put(dest.slice(rel * src.len(), src.len()), src, tgt);
-        }
-        self.barrier(set);
+        self.collective_op(|| {
+            self.quiet();
+            let rel = set.index_of(self.my_pe()).expect("caller must be in the active set");
+            for k in 0..set.len() {
+                let tgt = set.member(k);
+                self.put(dest.slice(rel * src.len(), src.len()), src, tgt);
+            }
+            self.barrier(set);
+        })
     }
 
     /// `shmem_collect`: like [`Self::fcollect`] but with per-PE block sizes.
     /// Returns the total number of elements collected.
     pub fn collect<T: Scalar>(&self, dest: SymPtr<T>, src: &[T], set: &ActiveSet) -> usize {
-        Stats::bump(&self.machine().stats().collectives);
+        self.collective_op(|| self.collect_inner(dest, src, set))
+    }
+
+    fn collect_inner<T: Scalar>(&self, dest: SymPtr<T>, src: &[T], set: &ActiveSet) -> usize {
         self.quiet();
         let n = set.len();
         let rel = set.index_of(self.my_pe()).expect("caller must be in the active set");
@@ -333,14 +374,15 @@ impl<'m> Shmem<'m> {
         let n = set.len();
         assert_eq!(src.len(), n * nelems, "alltoall source must hold one block per member");
         assert!(n * nelems <= dest.count(), "alltoall destination too small");
-        Stats::bump(&self.machine().stats().collectives);
-        self.quiet();
-        let rel = set.index_of(self.my_pe()).expect("caller must be in the active set");
-        for j in 0..n {
-            let tgt = set.member(j);
-            self.put(dest.slice(rel * nelems, nelems), &src[j * nelems..(j + 1) * nelems], tgt);
-        }
-        self.barrier(set);
+        self.collective_op(|| {
+            self.quiet();
+            let rel = set.index_of(self.my_pe()).expect("caller must be in the active set");
+            for j in 0..n {
+                let tgt = set.member(j);
+                self.put(dest.slice(rel * nelems, nelems), &src[j * nelems..(j + 1) * nelems], tgt);
+            }
+            self.barrier(set);
+        })
     }
 
     /// Unused-slot accessor for tests that need a scratch flag word.

@@ -1,0 +1,117 @@
+//! Golden-snapshot validation of the observability exports.
+//!
+//! The simulator is deterministic in virtual time, so a race-free workload
+//! must reproduce its metrics byte-for-byte on every machine and every run.
+//! This test pins the Prometheus text export of one such workload to a
+//! committed fixture: any change to op accounting, metric naming, bucket
+//! boundaries or export formatting shows up as a diff against
+//! `tests/fixtures/observability_golden.prom` and has to be re-recorded
+//! deliberately (run with `UPDATE_GOLDEN=1` to regenerate).
+//!
+//! It also validates that the Perfetto/chrome-trace export is well-formed
+//! JSON with the expected metadata, that the critical-path report tiles the
+//! makespan exactly, and that turning the observability layer off does not
+//! change a single virtual clock.
+
+use caf::{run_caf, Backend, CafConfig};
+use pgas_machine::trace::chrome_trace_json;
+use pgas_machine::{generic_smp, with_forced_metrics, with_forced_tracing, Platform};
+
+const FIXTURE: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/observability_golden.prom");
+
+/// A deterministic, race-free workload touching every op kind the metrics
+/// registry accounts: puts, gets, locks (uncontended instances), sync_all
+/// and a reduction. Every remotely accessed word has a single accessing
+/// image and the layout is one PE per node, so virtual clocks — and
+/// therefore every latency histogram — are independent of host scheduling
+/// (multi-PE nodes arbitrate same-instant NIC reservations in host order,
+/// which would make a byte-exact golden impossible).
+fn workload() -> pgas_machine::SimOutcome<i64> {
+    run_caf(
+        generic_smp(4).with_heap_bytes(1 << 17),
+        CafConfig::new(Backend::Shmem, Platform::GenericSmp),
+        |img| {
+            let n = img.num_images();
+            let me = img.this_image();
+            let ring = img.coarray::<i64>(&[8]).unwrap();
+            let lck = img.lock_var();
+            img.sync_all();
+            let next = me % n + 1;
+            for round in 0..3 {
+                // `ring[next]` is written and read only by `me`.
+                ring.put_to(img, next, &[(me * 10 + round) as i64; 8]);
+                img.sync_all();
+                let back = ring.get_from(img, next);
+                assert_eq!(back[0], (me * 10 + round) as i64);
+                img.sync_all();
+            }
+            // Each image cycles its own (uncontended) lock instance.
+            img.lock(&lck, me);
+            img.unlock(&lck, me);
+            let mut v = [me as i64];
+            img.co_sum(&mut v, None);
+            v[0]
+        },
+    )
+}
+
+fn traced_workload() -> pgas_machine::SimOutcome<i64> {
+    with_forced_tracing(true, || with_forced_metrics(true, workload))
+}
+
+#[test]
+fn prometheus_export_matches_golden_fixture() {
+    let out = traced_workload();
+    let text = out.metrics.to_prometheus();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(FIXTURE, &text).expect("write golden fixture");
+        return;
+    }
+    let golden = std::fs::read_to_string(FIXTURE)
+        .expect("missing tests/fixtures/observability_golden.prom — run with UPDATE_GOLDEN=1");
+    assert_eq!(
+        text, golden,
+        "Prometheus export drifted from the committed fixture; if the change \
+         is intentional, re-record with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn chrome_trace_export_is_wellformed_and_critpath_tiles_makespan() {
+    let out = traced_workload();
+    assert!(!out.trace.is_empty(), "traced run must capture spans");
+
+    let json = chrome_trace_json(&out.trace, 1);
+    let parsed = pgas_machine::json::parse(&json).expect("chrome trace JSON parses");
+    let events = parsed.as_array().expect("chrome trace export is a JSON array of events");
+    assert!(events.len() > out.trace.len(), "metadata + flow events ride along with spans");
+    assert!(json.contains("\"process_name\""), "process naming metadata present");
+    assert!(json.contains("\"thread_name\""), "thread naming metadata present");
+
+    let report = out.critical_path();
+    assert_eq!(
+        report.total_ns(),
+        out.makespan_ns(),
+        "critical-path components must sum to the makespan"
+    );
+    let cp =
+        pgas_machine::json::parse(&report.to_json().pretty()).expect("critical-path JSON parses");
+    assert!(cp.get("makespan_ns").is_some());
+
+    let metrics_json = out.metrics.to_json().pretty();
+    pgas_machine::json::parse(&metrics_json).expect("metrics JSON parses");
+}
+
+#[test]
+fn observability_off_does_not_change_virtual_time() {
+    let on = traced_workload();
+    let off = with_forced_tracing(false, || with_forced_metrics(false, workload));
+    assert!(off.trace.is_empty(), "tracing off captures nothing");
+    assert!(off.metrics.counters.is_empty(), "metrics off records nothing");
+    assert_eq!(
+        on.clocks, off.clocks,
+        "enabling observability must not move a single virtual clock"
+    );
+    assert_eq!(on.makespan_ns(), off.makespan_ns());
+}
