@@ -1,11 +1,16 @@
 //! Regenerate every table and figure of the paper in one run and write a
-//! combined report to `results/`.
+//! combined report to `results/`, plus the per-platform benchmark baselines
+//! (`results/BENCH_<platform>.json`) that `bench regress` compares against.
 //!
 //! ```bash
 //! cargo run --release -p repro-bench --bin repro_all            # full
 //! REPRO_QUICK=1 cargo run --release -p repro-bench --bin repro_all  # smoke
 //! ```
+//!
+//! The baselines come from the figures' *probes*, which ignore quick mode —
+//! a `REPRO_QUICK=1` run emits the same BENCH files as a full run.
 
+use repro_bench::baseline::BenchRecord;
 use repro_bench::FigureJob;
 
 fn main() {
@@ -36,9 +41,25 @@ fn main() {
     // Generators run sharded across worker threads (REPRO_JOBS, default 3);
     // emission stays serial and in job order so results/ is deterministic.
     eprintln!("[repro_all] sharding {} figures across {workers} workers", jobs.len());
+    let mut records: Vec<BenchRecord> = Vec::new();
     for (name, fig) in repro_bench::run_figure_jobs(jobs, workers) {
         fig.emit();
+        if let Some(bench) = &fig.bench {
+            match BenchRecord::from_json(bench) {
+                Ok(r) => records.push(r),
+                Err(e) => eprintln!("[repro_all] {name}: bad bench record: {e}"),
+            }
+        }
         eprintln!("[repro_all] {name} done at {:?}", t0.elapsed());
+    }
+    let dir = repro_bench::baseline::results_dir();
+    match repro_bench::baseline::write_baselines(&dir, &records) {
+        Ok(paths) => {
+            for p in paths {
+                eprintln!("[repro_all] baseline written: {}", p.display());
+            }
+        }
+        Err(e) => eprintln!("[repro_all] baseline write failed: {e}"),
     }
     eprintln!("[repro_all] total wall time {:?}", t0.elapsed());
 }

@@ -7,106 +7,24 @@
 //! explainable from the archived artifacts alone.
 
 use caf::{Backend, StridedAlgorithm};
-use caf_apps::{run_dht, run_himeno, run_himeno_outcome, DhtConfig, HimenoConfig};
+use caf_apps::{run_dht, run_himeno, DhtConfig, HimenoConfig};
 use pgas_conduit::ConduitProfile;
-use pgas_machine::json::Json;
-use pgas_machine::{with_forced_tracing, Platform};
+use pgas_machine::Platform;
 use pgas_microbench::lock_bench::{image_sweep, naive_spinlock_ms, LockBench};
 use pgas_microbench::rma::{large_sizes, small_sizes};
 use pgas_microbench::{CafPairBench, Figure, PairBench, Panel, Series};
 
-/// Run `f` with tracing forced on and distill its outcome into a
-/// critical-path report (as JSON) for a figure sidecar.
-fn critpath_json<R: Send>(f: impl FnOnce() -> pgas_machine::SimOutcome<R>) -> Json {
-    let out = with_forced_tracing(true, f);
-    out.critical_path().to_json()
-}
+use crate::baseline::BenchRecord;
+use crate::probes;
 
-/// Probe for the put latency/bandwidth figures: `pairs` senders on node 0
-/// stream nbi puts to partners on node 1, then quiet — the 16-pair variant
-/// reproduces the NIC contention the paper's Figure 3 measures.
-fn put_pairs_probe(platform: Platform, pairs: usize, bytes: usize) -> Json {
-    use pgas_conduit::{Ctx, CtxOptions};
-    let profile = match platform {
-        Platform::Stampede => ConduitProfile::mvapich_shmem(),
-        _ => ConduitProfile::cray_shmem(platform),
-    };
-    let heap = (bytes * 2 + (1 << 14)).next_power_of_two();
-    let mcfg = platform.config(2, pairs).with_heap_bytes(heap);
-    critpath_json(|| {
-        pgas_machine::run(mcfg, move |pe| {
-            let ctx = Ctx::new(pe, profile, CtxOptions::default());
-            let n = pe.n();
-            ctx.barrier_all();
-            if pe.id() < n / 2 {
-                let dst = pe.id() + n / 2;
-                let data = vec![1u8; bytes];
-                for _ in 0..4 {
-                    ctx.put_nbi(dst, 0, &data);
-                }
-                ctx.quiet();
-            }
-            ctx.barrier_all();
-        })
-    })
-}
-
-/// Probe for the strided-section figures: a 2-D strided put between nodes.
-fn strided_probe(platform: Platform) -> Json {
-    use caf::{run_caf, CafConfig, DimRange, Section};
-    let mcfg = platform.config(2, 1).with_heap_bytes(1 << 17);
-    let ccfg = CafConfig::new(Backend::Shmem, platform).with_strided(StridedAlgorithm::TwoDim);
-    critpath_json(|| {
-        run_caf(mcfg, ccfg, |img| {
-            let shape = [32usize, 32];
-            let a = img.coarray::<i32>(&shape).unwrap();
-            let sec = Section::new(vec![
-                DimRange { start: 0, count: 16, step: 2 },
-                DimRange { start: 0, count: 16, step: 2 },
-            ]);
-            let data = vec![1i32; sec.total()];
-            img.sync_all();
-            if img.this_image() == 1 {
-                a.put_section(img, 2, &sec, &data);
-            }
-            img.sync_all();
-        })
-    })
-}
-
-/// Probe for the lock figures: every image acquires/releases a lock homed
-/// on image 1 (the Figure 8 access pattern).
-fn lock_probe(platform: Platform, images: usize) -> Json {
-    use caf::{run_caf, CafConfig};
-    let cores = 16.min(images);
-    let nodes = images.div_ceil(cores);
-    let mcfg = platform.config(nodes, cores).with_heap_bytes(1 << 16);
-    let ccfg = CafConfig::new(Backend::Shmem, platform).with_nonsym_bytes(4096);
-    critpath_json(|| {
-        run_caf(mcfg, ccfg, |img| {
-            let lck = img.lock_var();
-            img.sync_all();
-            for _ in 0..3 {
-                img.lock(&lck, 1);
-                img.unlock(&lck, 1);
-            }
-            img.sync_all();
-        })
-    })
-}
-
-/// Probe for the Himeno figure: a traced 8-image run of the real solver.
-fn himeno_probe() -> Json {
-    critpath_json(|| {
-        run_himeno_outcome(
-            Platform::Stampede,
-            Backend::Shmem,
-            Some(StridedAlgorithm::Naive),
-            8,
-            HimenoConfig::size_xs(),
-        )
-        .1
-    })
+/// Attach the figure's probe (from the [`probes`] registry, so figure
+/// artifacts and the `bench` CLI can never disagree about what anchors a
+/// figure) as both its critical-path sidecar and its bench-baseline record.
+fn with_probe(fig: Figure) -> Figure {
+    let probe = probes::probe_for(&fig.id)
+        .unwrap_or_else(|| panic!("no probe registered for figure `{}`", fig.id));
+    let record = BenchRecord::from_probe(&fig.id, &probe).to_json();
+    fig.with_critpath(probe.sidecar_json()).with_bench(record)
 }
 
 fn library_profiles(platform: Platform) -> Vec<(String, ConduitProfile)> {
@@ -163,7 +81,7 @@ pub fn fig2_put_latency(quick: bool) -> Figure {
             }
         }
     }
-    fig.with_critpath(put_pairs_probe(Platform::Stampede, 1, 4096))
+    with_probe(fig)
 }
 
 /// Figure 3: put bandwidth for the same configurations.
@@ -194,8 +112,9 @@ pub fn fig3_put_bandwidth(quick: bool) -> Figure {
             fig.panels.push(panel);
         }
     }
-    // The 16-pair contention point is the one EXPERIMENTS.md walks through.
-    fig.with_critpath(put_pairs_probe(Platform::Stampede, 16, 65536))
+    // The probe behind the sidecar is the 16-pair contention point — the one
+    // EXPERIMENTS.md walks through.
+    with_probe(fig)
 }
 
 fn caf_put_figure(fig_id: &str, platform: Platform, quick: bool) -> Figure {
@@ -265,7 +184,7 @@ fn caf_put_figure(fig_id: &str, platform: Platform, quick: bool) -> Figure {
         }
         fig.panels.push(panel);
     }
-    fig.with_critpath(strided_probe(platform))
+    with_probe(fig)
 }
 
 /// Figure 6: CAF put + strided put bandwidth on the Cray XC30.
@@ -297,7 +216,7 @@ pub fn fig8_locks(quick: bool, max_images: usize) -> Figure {
         panel.series.push(s);
     }
     fig.panels.push(panel);
-    fig.with_critpath(lock_probe(Platform::Titan, 8))
+    with_probe(fig)
 }
 
 /// Figure 9: the DHT benchmark on Titan.
@@ -318,7 +237,7 @@ pub fn fig9_dht(quick: bool, max_images: usize) -> Figure {
         panel.series.push(s);
     }
     fig.panels.push(panel);
-    fig.with_critpath(lock_probe(Platform::Titan, 8))
+    with_probe(fig)
 }
 
 /// Figure 10: CAF Himeno performance on Stampede.
@@ -344,7 +263,7 @@ pub fn fig10_himeno(quick: bool, max_images: usize) -> Figure {
         panel.series.push(s);
     }
     fig.panels.push(panel);
-    fig.with_critpath(himeno_probe())
+    with_probe(fig)
 }
 
 /// Supplementary (not a paper figure): the PGAS microbenchmark suite's
@@ -396,7 +315,7 @@ pub fn supp_pt2pt(quick: bool) -> Figure {
         fig.panels.push(gbw);
         fig.panels.push(bibw);
     }
-    fig.with_critpath(put_pairs_probe(Platform::Titan, 1, 65536))
+    with_probe(fig)
 }
 
 /// Ablation 1 (§IV-C design choice): base-dimension selection strategies
@@ -451,7 +370,7 @@ pub fn abl1_base_dim(quick: bool) -> Figure {
         panel.series.push(s);
     }
     fig.panels.push(panel);
-    fig.with_critpath(strided_probe(Platform::CrayXc30))
+    with_probe(fig)
 }
 
 /// Ablation 2 (§IV-D design choice): MCS vs naive spinlock vs the
@@ -480,7 +399,7 @@ pub fn abl2_lock_algorithms(quick: bool, max_images: usize) -> Figure {
     panel.series.push(naive);
     panel.series.push(global);
     fig.panels.push(panel);
-    fig.with_critpath(lock_probe(Platform::Titan, 8))
+    with_probe(fig)
 }
 
 /// Time the OpenSHMEM global lock under the Figure 8 access pattern.
@@ -539,7 +458,7 @@ pub fn ext1_shmem_ptr_fastpath(quick: bool) -> Figure {
         panel.series.push(s);
     }
     fig.panels.push(panel);
-    fig.with_critpath(put_pairs_probe(Platform::Stampede, 1, 4096))
+    with_probe(fig)
 }
 
 #[cfg(test)]

@@ -10,7 +10,9 @@
 //! Every generator takes `quick: bool`: quick mode (used by tests and smoke
 //! runs, or `REPRO_QUICK=1`) shrinks sweeps and iteration counts.
 
+pub mod baseline;
 pub mod figures;
+pub mod probes;
 pub mod tables;
 
 pub use figures::*;

@@ -1,0 +1,235 @@
+//! Figure probes: small traced + metered runs of each figure's dominant
+//! communication pattern.
+//!
+//! A probe is the *regression anchor* of a figure: it is deterministic in
+//! virtual time, independent of quick mode and of sweep sizes, and runs
+//! with tracing and metrics forced on (which, by the PR 4 observability
+//! contract, moves no virtual clock). Its critical-path report becomes the
+//! figure's `results/<id>.critpath.json` sidecar and its [`RunDigest`] the
+//! figure's record in the committed `BENCH_<platform>.json` baseline — so
+//! the `bench regress` CLI can re-run just the probes (seconds, not the
+//! full sweeps) and still compare bit-exactly against baselines captured by
+//! a full `repro_all`.
+
+use caf::{Backend, StridedAlgorithm};
+use caf_apps::{run_himeno_outcome, HimenoConfig};
+use pgas_conduit::ConduitProfile;
+use pgas_machine::critdiff::RunDigest;
+use pgas_machine::json::Json;
+use pgas_machine::{
+    with_forced_metrics, with_forced_tracing, CriticalPathReport, MetricsSnapshot, Platform,
+};
+
+/// The distilled outcome of one probe run.
+pub struct ProbeOutcome {
+    /// Platform name the probe ran on (`SimOutcome::machine`), which keys
+    /// the `BENCH_<platform>.json` file the record lands in.
+    pub platform: String,
+    pub report: CriticalPathReport,
+    pub metrics: MetricsSnapshot,
+}
+
+impl ProbeOutcome {
+    /// The comparable digest for baselines and diffing.
+    pub fn digest(&self) -> RunDigest {
+        RunDigest::from_run(&self.report, &self.metrics)
+    }
+
+    /// The figure sidecar JSON (aggregated segments).
+    pub fn sidecar_json(&self) -> Json {
+        self.report.to_sidecar_json()
+    }
+}
+
+/// Run `f` with tracing and metrics forced on and distill the outcome.
+fn probe<R: Send>(f: impl FnOnce() -> pgas_machine::SimOutcome<R>) -> ProbeOutcome {
+    let out = with_forced_tracing(true, || with_forced_metrics(true, f));
+    ProbeOutcome {
+        platform: out.machine.clone(),
+        report: out.critical_path(),
+        metrics: out.metrics.clone(),
+    }
+}
+
+/// Probe for the put latency/bandwidth figures: `pairs` senders on node 0
+/// stream nbi puts to partners on node 1, then quiet — the 16-pair variant
+/// reproduces the NIC contention the paper's Figure 3 measures.
+pub fn put_pairs_probe(platform: Platform, pairs: usize, bytes: usize) -> ProbeOutcome {
+    use pgas_conduit::{Ctx, CtxOptions};
+    let profile = match platform {
+        Platform::Stampede => ConduitProfile::mvapich_shmem(),
+        _ => ConduitProfile::cray_shmem(platform),
+    };
+    let heap = (bytes * 2 + (1 << 14)).next_power_of_two();
+    // The 16-pair variant contends hard for both nodes' NIC lanes; the
+    // virtual-time arbiter keeps the grant order (and so the digest)
+    // bit-identical run to run.
+    let mcfg = platform.config(2, pairs).with_heap_bytes(heap).with_deterministic_nic();
+    probe(|| {
+        pgas_machine::run(mcfg, move |pe| {
+            let ctx = Ctx::new(pe, profile, CtxOptions::default());
+            let n = pe.n();
+            ctx.barrier_all();
+            if pe.id() < n / 2 {
+                let dst = pe.id() + n / 2;
+                let data = vec![1u8; bytes];
+                for _ in 0..4 {
+                    ctx.put_nbi(dst, 0, &data);
+                }
+                ctx.quiet();
+            }
+            ctx.barrier_all();
+        })
+    })
+}
+
+/// Probe for the strided-section figures: a 2-D strided put between nodes.
+pub fn strided_probe(platform: Platform) -> ProbeOutcome {
+    use caf::{run_caf, CafConfig, DimRange, Section};
+    let mcfg = platform.config(2, 1).with_heap_bytes(1 << 17).with_deterministic_nic();
+    let ccfg = CafConfig::new(Backend::Shmem, platform).with_strided(StridedAlgorithm::TwoDim);
+    probe(|| {
+        run_caf(mcfg, ccfg, |img| {
+            let shape = [32usize, 32];
+            let a = img.coarray::<i32>(&shape).unwrap();
+            let sec = Section::new(vec![
+                DimRange { start: 0, count: 16, step: 2 },
+                DimRange { start: 0, count: 16, step: 2 },
+            ]);
+            let data = vec![1i32; sec.total()];
+            img.sync_all();
+            if img.this_image() == 1 {
+                a.put_section(img, 2, &sec, &data);
+            }
+            img.sync_all();
+        })
+    })
+}
+
+/// Probe for the lock figures: every image acquires/releases a lock homed
+/// on image 1 (the Figure 8 access pattern).
+pub fn lock_probe(platform: Platform, images: usize) -> ProbeOutcome {
+    use caf::{run_caf, CafConfig};
+    let cores = 16.min(images);
+    let nodes = images.div_ceil(cores);
+    let mcfg = platform.config(nodes, cores).with_heap_bytes(1 << 16).with_deterministic_nic();
+    let ccfg = CafConfig::new(Backend::Shmem, platform).with_nonsym_bytes(4096);
+    probe(|| {
+        run_caf(mcfg, ccfg, |img| {
+            let lck = img.lock_var();
+            img.sync_all();
+            for _ in 0..3 {
+                img.lock(&lck, 1);
+                img.unlock(&lck, 1);
+            }
+            img.sync_all();
+        })
+    })
+}
+
+/// Probe for the Himeno figure: a traced 8-image run of the real solver.
+pub fn himeno_probe() -> ProbeOutcome {
+    probe(|| {
+        run_himeno_outcome(
+            Platform::Stampede,
+            Backend::Shmem,
+            Some(StridedAlgorithm::Naive),
+            8,
+            HimenoConfig::size_xs(),
+        )
+        .1
+    })
+}
+
+/// Every figure id the harness knows, in emission order.
+pub const FIGURE_IDS: [&str; 11] = [
+    "fig2_put_latency",
+    "fig3_put_bandwidth",
+    "fig6_xc30_caf",
+    "fig7_stampede_caf",
+    "fig8_locks",
+    "fig9_dht",
+    "fig10_himeno",
+    "abl1_base_dim",
+    "abl2_lock_algorithms",
+    "ext1_shmem_ptr_fastpath",
+    "supp_pt2pt",
+];
+
+/// Run the probe anchoring `figure_id`. `None` for unknown ids.
+pub fn probe_for(figure_id: &str) -> Option<ProbeOutcome> {
+    Some(match figure_id {
+        "fig2_put_latency" | "ext1_shmem_ptr_fastpath" => {
+            put_pairs_probe(Platform::Stampede, 1, 4096)
+        }
+        "fig3_put_bandwidth" => put_pairs_probe(Platform::Stampede, 16, 65536),
+        "fig6_xc30_caf" | "abl1_base_dim" => strided_probe(Platform::CrayXc30),
+        "fig7_stampede_caf" => strided_probe(Platform::Stampede),
+        "fig8_locks" | "fig9_dht" | "abl2_lock_algorithms" => lock_probe(Platform::Titan, 8),
+        "fig10_himeno" => himeno_probe(),
+        "supp_pt2pt" => put_pairs_probe(Platform::Titan, 1, 65536),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_are_deterministic() {
+        let a = put_pairs_probe(Platform::Stampede, 1, 4096);
+        let b = put_pairs_probe(Platform::Stampede, 1, 4096);
+        assert_eq!(a.platform, "stampede");
+        assert_eq!(a.digest(), b.digest(), "same probe, same digest, bit for bit");
+        assert_eq!(a.report.total_ns(), a.report.makespan_ns, "probe report tiles the makespan");
+        assert!(!a.metrics.histograms.is_empty(), "probes run with metrics on");
+    }
+
+    #[test]
+    fn contended_probe_is_deterministic() {
+        // The Figure 3 anchor: 16 senders racing for two NIC lanes. Without
+        // the virtual-time arbiter, real thread scheduling decides the lane
+        // order and the per-PE attribution flips run to run.
+        let a = put_pairs_probe(Platform::Stampede, 16, 65536);
+        let b = put_pairs_probe(Platform::Stampede, 16, 65536);
+        assert_eq!(a.digest(), b.digest(), "contended digest must be bit-identical");
+    }
+
+    #[test]
+    fn lock_probe_is_deterministic() {
+        // The Figure 8/9 anchor: 8 images racing MCS tail swaps. The queue
+        // order is the value a tied `swap` fetches, so the digest is only
+        // stable because tied AMO applications serialize through the
+        // virtual-time arbiter instead of host scheduling.
+        let a = lock_probe(Platform::Titan, 8);
+        let b = lock_probe(Platform::Titan, 8);
+        assert_eq!(a.digest(), b.digest(), "lock digest must be bit-identical");
+    }
+
+    #[test]
+    fn every_figure_id_has_a_probe() {
+        // Cheap structural check: the registry covers all ids (actually
+        // running all 11 probes belongs to `bench record`, not unit tests).
+        for id in FIGURE_IDS {
+            assert!(
+                matches!(
+                    id,
+                    "fig2_put_latency"
+                        | "fig3_put_bandwidth"
+                        | "fig6_xc30_caf"
+                        | "fig7_stampede_caf"
+                        | "fig8_locks"
+                        | "fig9_dht"
+                        | "fig10_himeno"
+                        | "abl1_base_dim"
+                        | "abl2_lock_algorithms"
+                        | "ext1_shmem_ptr_fastpath"
+                        | "supp_pt2pt"
+                ),
+                "unknown id {id}"
+            );
+        }
+        assert!(probe_for("not_a_figure").is_none());
+    }
+}

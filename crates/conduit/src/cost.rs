@@ -185,17 +185,23 @@ impl<'m> CostModel<'m> {
         let occ = self.occupancy_ns(bytes).round() as u64;
         let src_node = self.machine.node_of(src);
         let dst_node = self.machine.node_of(dst);
-        let src_res = self.machine.nic(src_node).reserve_tx(
-            flow_start,
-            self.degraded_occ(src_node, flow_start, occ),
-            bytes,
-        );
+        // Both lane reservations are one arbiter turn: under a deterministic
+        // machine, contending flows are granted in (flow_start, pe) order.
+        let (src_res, dst_res) = self.machine.nic_turn(src, flow_start, || {
+            let src_res = self.machine.nic(src_node).reserve_tx(
+                flow_start,
+                self.degraded_occ(src_node, flow_start, occ),
+                bytes,
+            );
+            let rx_start = src_res.begin + self.latency();
+            let dst_res = self.machine.nic(dst_node).reserve_rx(
+                rx_start,
+                self.degraded_occ(dst_node, rx_start, occ),
+                bytes,
+            );
+            (src_res, dst_res)
+        });
         let rx_start = src_res.begin + self.latency();
-        let dst_res = self.machine.nic(dst_node).reserve_rx(
-            rx_start,
-            self.degraded_occ(dst_node, rx_start, occ),
-            bytes,
-        );
         let detail = FlowDetail {
             queue_ns: (src_res.begin - flow_start) + (dst_res.begin - rx_start),
             service_ns: (src_res.end - src_res.begin) + (dst_res.end - dst_res.begin),
@@ -236,22 +242,27 @@ impl<'m> CostModel<'m> {
         let dst_node = self.machine.node_of(dst);
         let req_occ = self.control_occupancy_ns().round() as u64;
         let data_occ = self.occupancy_ns(bytes).round() as u64;
-        // Request message out...
-        let req = self.machine.nic(src_node).reserve_tx(issue_done, req_occ, 8);
-        // ...target NIC streams the payload back...
+        let (req, data, recv) = self.machine.nic_turn(src, issue_done, || {
+            // Request message out...
+            let req = self.machine.nic(src_node).reserve_tx(issue_done, req_occ, 8);
+            // ...target NIC streams the payload back...
+            let data_start = req.end + self.latency();
+            let data = self.machine.nic(dst_node).reserve_tx(
+                data_start,
+                self.degraded_occ(dst_node, data_start, data_occ),
+                bytes,
+            );
+            // ...delivered through the source NIC.
+            let recv_start = data.begin + self.latency();
+            let recv = self.machine.nic(src_node).reserve_rx(
+                recv_start,
+                self.degraded_occ(src_node, recv_start, data_occ),
+                bytes,
+            );
+            (req, data, recv)
+        });
         let data_start = req.end + self.latency();
-        let data = self.machine.nic(dst_node).reserve_tx(
-            data_start,
-            self.degraded_occ(dst_node, data_start, data_occ),
-            bytes,
-        );
-        // ...delivered through the source NIC.
         let recv_start = data.begin + self.latency();
-        let recv = self.machine.nic(src_node).reserve_rx(
-            recv_start,
-            self.degraded_occ(src_node, recv_start, data_occ),
-            bytes,
-        );
         let detail = FlowDetail {
             queue_ns: (req.begin - issue_done)
                 + (data.begin - data_start)
@@ -292,11 +303,15 @@ impl<'m> CostModel<'m> {
                     );
                 }
                 let occ = (self.control_occupancy_ns() + extra_ns).round() as u64;
-                let out =
-                    self.machine.nic(self.machine.node_of(src)).reserve_tx(issue_done, occ, 8);
+                let (out, at_target) = self.machine.nic_turn(src, issue_done, || {
+                    let out =
+                        self.machine.nic(self.machine.node_of(src)).reserve_tx(issue_done, occ, 8);
+                    let rx_start = out.begin + self.latency();
+                    let at_target =
+                        self.machine.nic(self.machine.node_of(dst)).reserve_rx(rx_start, occ, 8);
+                    (out, at_target)
+                });
                 let rx_start = out.begin + self.latency();
-                let at_target =
-                    self.machine.nic(self.machine.node_of(dst)).reserve_rx(rx_start, occ, 8);
                 let executed = at_target.end + wire.amo_ns.round() as u64;
                 let local = if fetching {
                     // Result rides a small reply back.
@@ -326,15 +341,21 @@ impl<'m> CostModel<'m> {
                     );
                 }
                 let occ = self.control_occupancy_ns().round() as u64;
-                let out =
-                    self.machine.nic(self.machine.node_of(src)).reserve_tx(issue_done, occ, 8);
+                let (out, at_target, reply) = self.machine.nic_turn(src, issue_done, || {
+                    let out =
+                        self.machine.nic(self.machine.node_of(src)).reserve_tx(issue_done, occ, 8);
+                    let rx_start = out.begin + self.latency();
+                    let at_target =
+                        self.machine.nic(self.machine.node_of(dst)).reserve_rx(rx_start, occ, 8);
+                    let executed = at_target.end + handler_ns.round() as u64;
+                    let reply_start = executed + self.latency();
+                    let reply =
+                        self.machine.nic(self.machine.node_of(src)).reserve_rx(reply_start, occ, 8);
+                    (out, at_target, reply)
+                });
                 let rx_start = out.begin + self.latency();
-                let at_target =
-                    self.machine.nic(self.machine.node_of(dst)).reserve_rx(rx_start, occ, 8);
                 let executed = at_target.end + handler_ns.round() as u64;
                 let reply_start = executed + self.latency();
-                let reply =
-                    self.machine.nic(self.machine.node_of(src)).reserve_rx(reply_start, occ, 8);
                 let detail = FlowDetail {
                     queue_ns: (out.begin - issue_done)
                         + (at_target.begin - rx_start)
@@ -396,17 +417,21 @@ impl<'m> CostModel<'m> {
         let flow_start = issue_done.max(floor);
         let src_node = self.machine.node_of(src);
         let dst_node = self.machine.node_of(dst);
-        let src_res = self.machine.nic(src_node).reserve_tx(
-            flow_start,
-            self.degraded_occ(src_node, flow_start, occ),
-            bytes,
-        );
+        let (src_res, dst_res) = self.machine.nic_turn(src, flow_start, || {
+            let src_res = self.machine.nic(src_node).reserve_tx(
+                flow_start,
+                self.degraded_occ(src_node, flow_start, occ),
+                bytes,
+            );
+            let rx_start = src_res.begin + self.latency();
+            let dst_res = self.machine.nic(dst_node).reserve_rx(
+                rx_start,
+                self.degraded_occ(dst_node, rx_start, occ),
+                bytes,
+            );
+            (src_res, dst_res)
+        });
         let rx_start = src_res.begin + self.latency();
-        let dst_res = self.machine.nic(dst_node).reserve_rx(
-            rx_start,
-            self.degraded_occ(dst_node, rx_start, occ),
-            bytes,
-        );
         let detail = FlowDetail {
             queue_ns: (src_res.begin - flow_start) + (dst_res.begin - rx_start),
             service_ns: (src_res.end - src_res.begin) + (dst_res.end - dst_res.begin),

@@ -743,36 +743,61 @@ impl<'m> Ctx<'m> {
         }
         let (t, detail) =
             self.cost.amo_with_detail(self.pe.id(), dst, op.is_fetching(), self.pe.now());
-        // Causality: a fetched value cannot be observed before the write
-        // that produced it completed.
-        let prior_stamp = m.heap(dst).max_stamp(off, 8);
-        let word = m.heap(dst).atomic64(off);
-        let old = match op {
-            AmoOp::Swap(v) => word.swap(v, Ordering::AcqRel),
-            AmoOp::CompareSwap { cond, value } => {
-                match word.compare_exchange(cond, value, Ordering::AcqRel, Ordering::Acquire) {
-                    Ok(prev) => prev,
-                    Err(prev) => prev,
+        // Apply the atomic under the arbiter, keyed at the instant it takes
+        // effect on the target word. Tied RMWs — think MCS tail swaps from
+        // images released by the same barrier, which all compute the same
+        // `remote_complete` — would otherwise apply in host-scheduling
+        // order, and the fetched value (the queue position) is exactly what
+        // a lock probe's digest hangs on. Intra-node AMOs reserve no NIC
+        // lane, so this is their only arbiter turn. Causality: a fetched
+        // value cannot be observed before the write that produced it
+        // completed, hence the stamp read inside the same turn.
+        let (old, prior_stamp) = m.nic_turn(self.pe.id(), t.remote_complete, || {
+            // `apply_and_notify` makes the word update, its stamp, and the
+            // waiter wake-up one critical section — a `wait_on` waiter can
+            // only observe this AMO after its quiescence was withdrawn,
+            // keeping the arbiter's view of the waiter conclusive.
+            m.apply_and_notify(dst, || {
+                let prior_stamp = m.heap(dst).max_stamp(off, 8);
+                let word = m.heap(dst).atomic64(off);
+                let old = match op {
+                    AmoOp::Swap(v) => word.swap(v, Ordering::AcqRel),
+                    AmoOp::CompareSwap { cond, value } => {
+                        match word.compare_exchange(
+                            cond,
+                            value,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        ) {
+                            Ok(prev) => prev,
+                            Err(prev) => prev,
+                        }
+                    }
+                    AmoOp::FetchAdd(v) | AmoOp::Add(v) => word.fetch_add(v, Ordering::AcqRel),
+                    AmoOp::Fetch => word.load(Ordering::Acquire),
+                    AmoOp::Set(v) => word.swap(v, Ordering::AcqRel),
+                    AmoOp::And(v) | AmoOp::FetchAnd(v) => word.fetch_and(v, Ordering::AcqRel),
+                    AmoOp::Or(v) | AmoOp::FetchOr(v) => word.fetch_or(v, Ordering::AcqRel),
+                    AmoOp::Xor(v) | AmoOp::FetchXor(v) => word.fetch_xor(v, Ordering::AcqRel),
+                };
+                m.heap(dst).stamp_range(off, 8, t.remote_complete);
+                if !matches!(op, AmoOp::Fetch) {
+                    // Record before waking: a waiter released by this AMO
+                    // derives its happens-before edge from the sanitizer's
+                    // view of this write.
+                    m.san_record_write(dst, off, 8, self.pe.id(), t.remote_complete, true, "amo");
                 }
-            }
-            AmoOp::FetchAdd(v) | AmoOp::Add(v) => word.fetch_add(v, Ordering::AcqRel),
-            AmoOp::Fetch => word.load(Ordering::Acquire),
-            AmoOp::Set(v) => word.swap(v, Ordering::AcqRel),
-            AmoOp::And(v) | AmoOp::FetchAnd(v) => word.fetch_and(v, Ordering::AcqRel),
-            AmoOp::Or(v) | AmoOp::FetchOr(v) => word.fetch_or(v, Ordering::AcqRel),
-            AmoOp::Xor(v) | AmoOp::FetchXor(v) => word.fetch_xor(v, Ordering::AcqRel),
-        };
-        m.heap(dst).stamp_range(off, 8, t.remote_complete);
-        if !matches!(op, AmoOp::Fetch) {
-            m.san_record_write(dst, off, 8, self.pe.id(), t.remote_complete, true, "amo");
-        }
+                (old, prior_stamp)
+            })
+        });
         if op.is_fetching() {
             m.lift_clock(self.pe.id(), t.local_complete.max(prior_stamp));
         } else {
             m.lift_clock(self.pe.id(), t.local_complete);
             self.pending.borrow_mut().record_amo(dst, off, t.remote_complete);
         }
-        m.notify_pe(dst);
+        // No trailing notify: `apply_and_notify` above already woke waiters
+        // in the same critical section as the word update.
         self.record_op(SpanKind::Amo, t_begin, Some(dst), 8, detail);
         Ok(old)
     }
@@ -797,9 +822,11 @@ impl<'m> Ctx<'m> {
         let occ = self.cost.control_msg_occupancy_ns().round() as u64;
         let nic = m.nic(m.node_of(dst));
         let now = self.pe.now();
-        for _ in 0..polls {
-            nic.reserve_rx(now, occ, 8);
-        }
+        m.nic_turn(self.pe.id(), now, || {
+            for _ in 0..polls {
+                nic.reserve_rx(now, occ, 8);
+            }
+        });
     }
 
     // ---- waiting -----------------------------------------------------------

@@ -24,7 +24,9 @@ use crate::section::Section;
 use crate::strided::Plan;
 use openshmem::Shmem;
 use pgas_conduit::{AmoSupport, CostModel};
+use pgas_machine::config::MachineConfig;
 use pgas_machine::json::{self, Json};
+use pgas_machine::MetricsSnapshot;
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
@@ -350,8 +352,7 @@ pub struct Coefficients {
 impl Coefficients {
     /// The memo/disk key for a machine + profile pairing.
     pub fn cache_key(cost: &CostModel<'_>) -> String {
-        let cfg = cost.machine().config();
-        format!("{}-{}x{}-{}", cfg.name, cfg.nodes, cfg.cores_per_node, cost.profile().label())
+        cache_key_for(cost.machine().config(), cost.profile().label())
     }
 
     /// Calibrate against the live cost model by micro-probing its pure
@@ -407,9 +408,52 @@ impl Coefficients {
     }
 }
 
+/// Build the memo/disk cache key without a live machine — what the post-run
+/// recalibration check uses, having only the launch config and the profile
+/// label in hand.
+pub fn cache_key_for(cfg: &MachineConfig, profile_label: &str) -> String {
+    format!("{}-{}x{}-{}", cfg.name, cfg.nodes, cfg.cores_per_node, profile_label)
+}
+
 fn memo() -> &'static Mutex<HashMap<String, Coefficients>> {
     static MEMO: OnceLock<Mutex<HashMap<String, Coefficients>>> = OnceLock::new();
     MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Healthy band for the mean `plan_cost_ratio_pct` misprediction ratio
+/// (measured issue-side time over predicted cost, 100 = perfect). The low
+/// side allows the predictions' deliberate conservatism (tail latency is
+/// predicted but `quiet` often overlaps it); the high side allows NIC
+/// queueing the pure estimators cannot see.
+pub const RATIO_HEALTHY_MIN_PCT: u64 = 80;
+pub const RATIO_HEALTHY_MAX_PCT: u64 = 125;
+
+/// Post-run recalibration check: aggregate the run's `plan_cost_ratio_pct`
+/// misprediction histogram and, when the mean falls outside the healthy
+/// band, drop the cached [`Coefficients`] under `key` from both the
+/// process-wide memo and the `PGAS_PLANNER_CACHE` directory — so the *next*
+/// run re-probes the cost model instead of keep planning with a calibration
+/// the measurements just contradicted. Returns the skewed mean when the
+/// calibration was flagged stale, `None` when it is healthy (or the run
+/// recorded no ratios).
+pub fn invalidate_if_skewed(key: &str, metrics: &MetricsSnapshot) -> Option<u64> {
+    let (mut count, mut sum) = (0u64, 0u64);
+    for h in metrics.histograms_named("plan_cost_ratio_pct") {
+        count += h.count;
+        sum += h.sum;
+    }
+    if count == 0 {
+        return None;
+    }
+    let mean = (sum as f64 / count as f64).round() as u64;
+    if (RATIO_HEALTHY_MIN_PCT..=RATIO_HEALTHY_MAX_PCT).contains(&mean) {
+        return None;
+    }
+    memo().lock().unwrap().remove(key);
+    if let Ok(dir) = std::env::var("PGAS_PLANNER_CACHE") {
+        let _ = std::fs::remove_file(cache_file(&dir, key));
+    }
+    Some(mean)
 }
 
 /// File name for one calibration inside the `PGAS_PLANNER_CACHE` directory.
@@ -628,5 +672,50 @@ mod tests {
         let m = Machine::new(pgas_machine::generic_smp(4));
         let co = Coefficients::calibrate(&CostModel::new(&m, ConduitProfile::mvapich_shmem()));
         assert!(co.inter.is_none());
+    }
+
+    fn ratio_snapshot(ratios: &[u64]) -> pgas_machine::MetricsSnapshot {
+        let reg = pgas_machine::MetricsRegistry::new(true, 2);
+        for (i, &r) in ratios.iter().enumerate() {
+            reg.observe(i % 2, "plan_cost_ratio_pct", Some(1), r);
+        }
+        reg.snapshot(pgas_machine::StatsSnapshot::default())
+    }
+
+    #[test]
+    fn skewed_ratio_invalidates_the_memoised_calibration() {
+        // Seed the memo under a synthetic key no real run uses.
+        let key = "testonly-skew-2x4-fake-profile".to_string();
+        let m = Machine::new(pgas_machine::generic_smp(4));
+        let co = Coefficients::calibrate(&CostModel::new(&m, ConduitProfile::mvapich_shmem()));
+        memo().lock().unwrap().insert(key.clone(), co.clone());
+
+        // Healthy mean (100): the calibration stays cached.
+        assert_eq!(invalidate_if_skewed(&key, &ratio_snapshot(&[90, 100, 110])), None);
+        assert!(memo().lock().unwrap().contains_key(&key));
+
+        // No observations at all: nothing to judge, keep the cache.
+        assert_eq!(invalidate_if_skewed(&key, &ratio_snapshot(&[])), None);
+        assert!(memo().lock().unwrap().contains_key(&key));
+
+        // Mean 300: measurements contradict the fit — the entry is dropped.
+        assert_eq!(invalidate_if_skewed(&key, &ratio_snapshot(&[280, 320])), Some(300));
+        assert!(!memo().lock().unwrap().contains_key(&key));
+
+        // Underprediction skew (mean far below 100) is just as stale.
+        memo().lock().unwrap().insert(key.clone(), co);
+        assert_eq!(invalidate_if_skewed(&key, &ratio_snapshot(&[40, 60])), Some(50));
+        assert!(!memo().lock().unwrap().contains_key(&key));
+    }
+
+    #[test]
+    fn cache_key_for_matches_live_cache_key() {
+        let cfg = stampede(2, 16);
+        let m = Machine::new(cfg.clone());
+        let cost = CostModel::new(&m, ConduitProfile::mvapich_shmem());
+        assert_eq!(
+            Coefficients::cache_key(&cost),
+            cache_key_for(&cfg, ConduitProfile::mvapich_shmem().label())
+        );
     }
 }

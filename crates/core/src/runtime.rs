@@ -1,9 +1,31 @@
 //! SPMD entry points for CAF programs.
 
-use crate::config::CafConfig;
+use crate::config::{CafConfig, StridedAlgorithm};
 use crate::image::Image;
 use pgas_machine::config::MachineConfig;
 use pgas_machine::launch::{SimError, SimOutcome};
+
+/// The planner-cache key a Tuned run will calibrate under, or `None` when
+/// the run doesn't use the tuned planner at all.
+fn tuned_cache_key(machine: &MachineConfig, caf: &CafConfig) -> Option<String> {
+    (caf.strided_algorithm() == StridedAlgorithm::Tuned)
+        .then(|| crate::planner::cache_key_for(machine, caf.backend.profile(caf.platform).label()))
+}
+
+/// Post-run planner hygiene: feed the run's `plan_cost_ratio_pct`
+/// misprediction histogram back into the tuned planner's cache — a skewed
+/// mean flags the memoised/persisted calibration stale so the *next* run
+/// re-probes the cost model (see `planner::invalidate_if_skewed`).
+fn recalibrate_if_skewed<R>(key: Option<String>, out: &SimOutcome<R>) {
+    if let Some(key) = key {
+        if let Some(mean) = crate::planner::invalidate_if_skewed(&key, &out.metrics) {
+            eprintln!(
+                "[caf] tuned-planner calibration `{key}` flagged stale \
+                 (mean plan_cost_ratio_pct {mean}); next run re-probes"
+            );
+        }
+    }
+}
 
 /// Launch a CAF program: one image per simulated core, each running `f`.
 /// Panics if any image fails.
@@ -12,10 +34,13 @@ where
     F: Fn(&Image<'_>) -> R + Send + Sync,
     R: Send,
 {
-    pgas_machine::run(machine, move |pe| {
+    let recal = tuned_cache_key(&machine, &caf);
+    let out = pgas_machine::run(machine, move |pe| {
         let img = Image::new(pe, caf);
         f(&img)
-    })
+    });
+    recalibrate_if_skewed(recal, &out);
+    out
 }
 
 /// Like [`run_caf`] but reporting failures as values (used by tests that
@@ -29,10 +54,15 @@ where
     F: Fn(&Image<'_>) -> R + Send + Sync,
     R: Send,
 {
-    pgas_machine::run_with_result(machine, move |pe| {
+    let recal = tuned_cache_key(&machine, &caf);
+    let out = pgas_machine::run_with_result(machine, move |pe| {
         let img = Image::new(pe, caf);
         f(&img)
-    })
+    });
+    if let Ok(out) = &out {
+        recalibrate_if_skewed(recal, out);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -57,6 +87,44 @@ mod tests {
         assert_eq!(out.results, vec![1, 2, 3]);
         assert_eq!(out.stats.puts, 3);
         assert!(out.stats.barriers >= 2);
+    }
+
+    #[test]
+    fn tuned_run_records_healthy_misprediction_ratios() {
+        use crate::section::{DimRange, Section};
+        let mcfg = generic_smp(2).with_heap_bytes(1 << 17);
+        let ccfg = CafConfig::new(Backend::Shmem, Platform::GenericSmp)
+            .with_strided(crate::config::StridedAlgorithm::Tuned);
+        let out = pgas_machine::with_forced_metrics(true, || {
+            run_caf(mcfg, ccfg, |img| {
+                let a = img.coarray::<i32>(&[16, 16]).unwrap();
+                let sec = Section::new(vec![
+                    DimRange { start: 0, count: 8, step: 2 },
+                    DimRange { start: 0, count: 8, step: 2 },
+                ]);
+                let data = vec![7i32; sec.total()];
+                img.sync_all();
+                if img.this_image() == 1 {
+                    a.put_section(img, 2, &sec, &data);
+                }
+                img.sync_all();
+            })
+        });
+        // The post-run hook judged these same numbers: a calibrated planner
+        // on an unchanged machine must land inside the healthy band, i.e.
+        // its calibration survives for the next run.
+        let (mut count, mut sum) = (0u64, 0u64);
+        for h in out.metrics.histograms_named("plan_cost_ratio_pct") {
+            count += h.count;
+            sum += h.sum;
+        }
+        assert!(count > 0, "tuned run records misprediction ratios");
+        let mean = (sum as f64 / count as f64).round() as u64;
+        assert!(
+            (crate::planner::RATIO_HEALTHY_MIN_PCT..=crate::planner::RATIO_HEALTHY_MAX_PCT)
+                .contains(&mean),
+            "calibrated planner should predict its own cost model well, mean {mean}%"
+        );
     }
 
     #[test]

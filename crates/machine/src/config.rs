@@ -2,6 +2,7 @@
 
 use crate::fault::FaultPlan;
 use crate::sanitizer::SanitizerMode;
+use crate::stream::StreamConfig;
 
 /// Parameters of one class of link (inter-node wire or intra-node memory bus).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,6 +73,16 @@ pub struct MachineConfig {
     /// Deterministic fault schedule (see `crate::fault`). `None` by default;
     /// a zero plan behaves identically to `None`.
     pub faults: Option<FaultPlan>,
+    /// Live streaming snapshot channel (see `crate::stream`). `None` by
+    /// default; there is no environment default — a stream needs a consumer
+    /// holding its ring, so only code can usefully enable one.
+    pub stream: Option<StreamConfig>,
+    /// Grant NIC reservations in virtual-time order `(start, pe)` instead of
+    /// real-thread arrival order. Off by default: it serializes contended
+    /// reservations in *real* time, and it assumes a workload whose real
+    /// blocking waits are barriers/`wait_on` (true of the benchmark probes).
+    /// Regression probes enable it so contended runs digest bit-identically.
+    pub deterministic_nic: bool,
 }
 
 impl MachineConfig {
@@ -120,6 +131,20 @@ impl MachineConfig {
     /// [`FaultPlan::none`] — beats the `PGAS_FAULT_PLAN` environment default.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Attach a live streaming snapshot channel. A `with_forced_stream`
+    /// thread override beats this, mirroring trace/metrics resolution.
+    pub fn with_stream(mut self, stream: StreamConfig) -> Self {
+        self.stream = Some(stream);
+        self
+    }
+
+    /// Order contended NIC reservations by virtual time (see the
+    /// `deterministic_nic` field). Used by the benchmark probes.
+    pub fn with_deterministic_nic(mut self) -> Self {
+        self.deterministic_nic = true;
         self
     }
 

@@ -55,6 +55,11 @@ impl PathCategory {
             PathCategory::FaultDelay => "fault_delay",
         }
     }
+
+    /// Inverse of [`PathCategory::label`], for reading serialized reports.
+    pub fn parse(s: &str) -> Option<PathCategory> {
+        CATEGORIES.iter().copied().find(|c| c.label() == s)
+    }
 }
 
 /// One slice of the blocking chain. Segments are chronological and tile
@@ -143,6 +148,62 @@ impl CriticalPathReport {
         Json::Object(vec![
             ("makespan_ns".to_string(), Json::uint(self.makespan_ns as usize)),
             ("totals_ns".to_string(), Json::Object(totals)),
+            ("segments".to_string(), Json::Array(segments)),
+        ])
+    }
+
+    /// Runs of consecutive segments on the same PE with the same category,
+    /// merged into one segment each (the chain often bounces between a
+    /// handful of states, producing long same-category runs). Because raw
+    /// segments tile the makespan, merged ones do too; `count` records how
+    /// many raw segments each one absorbed.
+    pub fn merged_segments(&self) -> Vec<(PathSegment, u64)> {
+        let mut merged: Vec<(PathSegment, u64)> = Vec::new();
+        for seg in &self.segments {
+            match merged.last_mut() {
+                Some((last, count))
+                    if last.pe == seg.pe
+                        && last.category == seg.category
+                        && last.end == seg.begin =>
+                {
+                    last.end = seg.end;
+                    *count += 1;
+                }
+                _ => merged.push((seg.clone(), 1)),
+            }
+        }
+        merged
+    }
+
+    /// Compact JSON for the committed `results/*.critpath.json` sidecars:
+    /// same `makespan_ns`/`totals_ns` as [`CriticalPathReport::to_json`],
+    /// but with consecutive same-(PE, category) segments aggregated (each
+    /// carries the count of raw segments it merged, and the `what` of the
+    /// first). `raw_segments` preserves the pre-merge count.
+    pub fn to_sidecar_json(&self) -> Json {
+        let totals = self
+            .totals_ns()
+            .iter()
+            .map(|&(c, ns)| (c.label().to_string(), Json::uint(ns as usize)))
+            .collect();
+        let segments = self
+            .merged_segments()
+            .iter()
+            .map(|(s, count)| {
+                Json::Object(vec![
+                    ("pe".to_string(), Json::uint(s.pe)),
+                    ("category".to_string(), Json::str(s.category.label())),
+                    ("begin_ns".to_string(), Json::uint(s.begin as usize)),
+                    ("end_ns".to_string(), Json::uint(s.end as usize)),
+                    ("what".to_string(), Json::str(s.what)),
+                    ("count".to_string(), Json::uint(*count as usize)),
+                ])
+            })
+            .collect();
+        Json::Object(vec![
+            ("makespan_ns".to_string(), Json::uint(self.makespan_ns as usize)),
+            ("totals_ns".to_string(), Json::Object(totals)),
+            ("raw_segments".to_string(), Json::uint(self.segments.len())),
             ("segments".to_string(), Json::Array(segments)),
         ])
     }
@@ -481,6 +542,100 @@ mod tests {
         let parsed = crate::json::parse(&json).unwrap();
         assert_eq!(parsed.get("makespan_ns").and_then(|v| v.as_i64()), Some(100));
         assert!(parsed.get("totals_ns").is_some());
+    }
+
+    #[test]
+    fn category_labels_round_trip_through_parse() {
+        for c in CATEGORIES {
+            assert_eq!(PathCategory::parse(c.label()), Some(c));
+        }
+        assert_eq!(PathCategory::parse("warp_drive"), None);
+    }
+
+    #[test]
+    fn sidecar_merges_consecutive_same_category_runs() {
+        // Three consecutive compute slices on PE 0, then a wire slice, then
+        // compute again: 5 raw segments -> 3 merged.
+        let report = CriticalPathReport {
+            makespan_ns: 500,
+            segments: vec![
+                PathSegment {
+                    pe: 0,
+                    category: PathCategory::Compute,
+                    begin: 0,
+                    end: 100,
+                    what: "compute",
+                },
+                PathSegment {
+                    pe: 0,
+                    category: PathCategory::Compute,
+                    begin: 100,
+                    end: 150,
+                    what: "idle",
+                },
+                PathSegment {
+                    pe: 0,
+                    category: PathCategory::Compute,
+                    begin: 150,
+                    end: 200,
+                    what: "compute",
+                },
+                PathSegment {
+                    pe: 0,
+                    category: PathCategory::Wire,
+                    begin: 200,
+                    end: 400,
+                    what: "put",
+                },
+                PathSegment {
+                    pe: 0,
+                    category: PathCategory::Compute,
+                    begin: 400,
+                    end: 500,
+                    what: "idle",
+                },
+            ],
+        };
+        let merged = report.merged_segments();
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[0].0.end, 200);
+        assert_eq!(merged[0].1, 3, "first run absorbed three raw segments");
+        // Merged segments still tile the makespan.
+        let mut t = 0;
+        for (seg, _) in &merged {
+            assert_eq!(seg.begin, t);
+            t = seg.end;
+        }
+        assert_eq!(t, report.makespan_ns);
+        // And the merged total per category matches the raw totals.
+        let json = report.to_sidecar_json().pretty();
+        let parsed = crate::json::parse(&json).unwrap();
+        assert_eq!(parsed.get("raw_segments").and_then(|v| v.as_i64()), Some(5));
+        assert_eq!(parsed.get("segments").and_then(|v| v.as_array()).map(|a| a.len()), Some(3));
+    }
+
+    #[test]
+    fn sidecar_does_not_merge_across_pe_hops() {
+        let report = CriticalPathReport {
+            makespan_ns: 200,
+            segments: vec![
+                PathSegment {
+                    pe: 0,
+                    category: PathCategory::Compute,
+                    begin: 0,
+                    end: 100,
+                    what: "idle",
+                },
+                PathSegment {
+                    pe: 1,
+                    category: PathCategory::Compute,
+                    begin: 100,
+                    end: 200,
+                    what: "idle",
+                },
+            ],
+        };
+        assert_eq!(report.merged_segments().len(), 2);
     }
 
     #[test]

@@ -146,6 +146,9 @@ where
                 .spawn_scoped(scope, move || {
                     let pe = Pe::new(id, machine);
                     let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(pe)));
+                    // A finished PE is permanently quiescent for the NIC
+                    // arbiter — stragglers must not wait on its clock.
+                    machine.pe_finished(id);
                     if out.is_err() {
                         // Unblock everyone else before reporting.
                         machine.poison().poison();

@@ -25,6 +25,7 @@
 //! semantics live in `pgas-conduit` and above.
 
 pub mod config;
+pub mod critdiff;
 pub mod critpath;
 pub mod fault;
 pub mod heap;
@@ -36,10 +37,12 @@ pub mod nic;
 pub mod platforms;
 pub mod sanitizer;
 pub mod stats;
+pub mod stream;
 pub mod sync;
 pub mod trace;
 
 pub use config::{ComputeParams, LinkParams, MachineConfig, WireParams};
+pub use critdiff::{digest_metrics, CritDiff, MetricDigest, RunDigest};
 pub use critpath::{critical_path, CriticalPathReport, PathCategory, PathSegment};
 pub use fault::{with_forced_plan, DegradedWindow, FaultKind, FaultPlan, PeFailure, RetryPolicy};
 pub use launch::{run, run_with_result, NicSnapshot, SimError, SimOutcome};
@@ -48,4 +51,5 @@ pub use metrics::{with_forced_metrics, MetricsRegistry, MetricsSnapshot};
 pub use platforms::{cray_xc30, generic_smp, stampede, titan, Platform};
 pub use sanitizer::{with_forced_mode, HazardKind, HazardReport, SanitizerMode};
 pub use stats::{FaultEvent, PlanDecision, StatsSnapshot};
+pub use stream::{with_forced_stream, SnapshotRing, StreamConfig, StreamSample};
 pub use trace::with_forced_tracing;

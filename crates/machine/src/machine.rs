@@ -7,11 +7,12 @@ use crate::metrics::MetricsRegistry;
 use crate::nic::Nic;
 use crate::sanitizer::{HazardReport, Sanitizer, SanitizerMode};
 use crate::stats::{FaultEvent, Stats};
-use crate::sync::{ClockBarrier, NotifyCell, Poison};
+use crate::stream::{SnapshotRing, StreamConfig, StreamSample};
+use crate::sync::{ClockBarrier, NotifyCell, Poison, WAIT_TICK};
 use crate::trace::{Span, SpanKind, Tracer};
-use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Index of a processing element, `0..total_pes`.
@@ -26,6 +27,70 @@ struct PeState {
     heap: Heap,
     clock: AtomicU64,
     notify: NotifyCell,
+}
+
+/// Runtime state of the live streaming snapshot channel (see
+/// [`crate::stream`]): the configured cadence and ring, the next virtual
+/// time at which a sample is due, and the sample sequence counter.
+struct StreamState {
+    cadence_ns: u64,
+    ring: Arc<SnapshotRing>,
+    /// Next cadence boundary a sample is owed for; claimed by CAS so
+    /// exactly one PE thread produces each sample.
+    next_tick: AtomicU64,
+    seq: AtomicU64,
+}
+
+impl StreamState {
+    fn new(cfg: StreamConfig) -> StreamState {
+        StreamState {
+            cadence_ns: cfg.cadence_ns(),
+            ring: cfg.ring(),
+            next_tick: AtomicU64::new(cfg.cadence_ns()),
+            seq: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Virtual-time NIC arbiter (built only under
+/// [`MachineConfig::with_deterministic_nic`]).
+///
+/// [`Nic::reserve`] grants lane occupancy first-come-first-served in *real*
+/// time, so when several PEs contend with overlapping virtual windows the
+/// per-PE split of queueing delay depends on host scheduling (the makespan
+/// and lane totals stay invariant, but `bench regress` digests compare the
+/// split bit-for-bit). The arbiter restores determinism by granting whole
+/// reservation sequences in `(virtual start, pe)` order: a request parks,
+/// and is granted once it is the minimum parked key and every other PE
+/// provably cannot issue an earlier one — its clock is already past `start`
+/// (clocks are monotone), it is parked itself (comparable by key), or it is
+/// quiescent (blocked in a barrier/`wait_on`, or finished its program).
+///
+/// The quiescent rule is conservative for barrier waits — a PE blocked in a
+/// barrier cannot be released while the granted PE is still parked short of
+/// it — and airtight for `wait_on` waits: a write that may satisfy a
+/// waiter's predicate is published through [`Machine::apply_and_notify`],
+/// which withdraws the waiter's quiescence in the same critical section as
+/// the write, so no grant check can ever see "write landed, waiter still
+/// quiescent" (which would tie-break reservation order on wake latency).
+/// The residual caveat is predicates that turn true *without* a notifying
+/// write — e.g. `pe_failed` flips during a fault plan — where wake latency
+/// can still tie-break; fault-plan runs should not claim deterministic
+/// digests.
+struct ArbiterState {
+    /// Parked requests, at most one per PE, ordered by `(start, pe)`.
+    parked: Mutex<BTreeSet<(u64, PeId)>>,
+    cv: Condvar,
+    /// Fast-path gate for `arb_clock_moved`: number of parked requests.
+    parked_count: AtomicUsize,
+    /// PEs that cannot issue a NIC request until externally unblocked.
+    quiescent: Vec<AtomicBool>,
+    /// PEs whose quiescence comes from `wait_on` (as opposed to a barrier):
+    /// a write published through [`Machine::apply_and_notify`] may satisfy
+    /// their predicate, so it must withdraw their quiescence in the same
+    /// critical section — whereas a barrier waiter can only be released by
+    /// the barrier itself and must stay quiescent under incoming writes.
+    in_wait_on: Vec<AtomicBool>,
 }
 
 /// The simulated machine. Shared (via reference) by every PE thread.
@@ -43,6 +108,12 @@ pub struct Machine {
     /// Fault-injection state; `None` unless a non-zero plan was resolved, so
     /// the zero-fault path costs one branch per hook.
     faults: Option<FaultState>,
+    /// Live streaming snapshot channel; `None` unless configured, so the
+    /// common path costs one branch per clock movement.
+    stream: Option<StreamState>,
+    /// Virtual-time NIC arbiter; `None` unless `deterministic_nic` is set,
+    /// so the common path costs one branch per reservation and clock move.
+    arbiter: Option<ArbiterState>,
 }
 
 impl Machine {
@@ -60,8 +131,21 @@ impl Machine {
                 plan.validate(n, cfg.nodes).expect("invalid fault plan");
                 FaultState::new(plan, n)
             });
+        // Stream resolution: thread-forced channel beats config. There is no
+        // environment default — a stream needs a consumer holding its ring.
+        let stream =
+            crate::stream::forced_stream().or_else(|| cfg.stream.clone()).map(StreamState::new);
+        let arbiter = cfg.deterministic_nic.then(|| ArbiterState {
+            parked: Mutex::new(BTreeSet::new()),
+            cv: Condvar::new(),
+            parked_count: AtomicUsize::new(0),
+            quiescent: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            in_wait_on: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        });
         Arc::new(Machine {
             faults,
+            stream,
+            arbiter,
             pes: (0..n)
                 .map(|_| PeState {
                     heap: Heap::new(cfg.heap_bytes),
@@ -345,6 +429,162 @@ impl Machine {
         }
     }
 
+    // ---- live streaming snapshots ---------------------------------------
+
+    /// Is a streaming snapshot channel attached?
+    #[inline]
+    pub fn stream_active(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Hook called whenever a PE's clock moves: if the new time crossed the
+    /// next cadence boundary, produce one sample. The fast path (no stream,
+    /// or boundary not reached) is a branch and a relaxed load.
+    #[inline]
+    fn stream_tick(&self, now: u64) {
+        if let Some(st) = &self.stream {
+            if now >= st.next_tick.load(Ordering::Relaxed) {
+                self.stream_sample(st, now);
+            }
+        }
+    }
+
+    /// Claim the pending cadence boundary and sample the machine's state.
+    /// Sampling only *reads* (clocks, metric counters, last-span peeks, NIC
+    /// counters) — no virtual clock moves, which is the contract the
+    /// streaming test asserts. Which PE thread wins the claim (and thus the
+    /// exact set of samples) depends on host scheduling; the stream is a
+    /// live monitoring surface, not a deterministic artifact.
+    #[cold]
+    fn stream_sample(&self, st: &StreamState, now: u64) {
+        let due = st.next_tick.load(Ordering::Relaxed);
+        if now < due {
+            return;
+        }
+        // One sample per crossing: the winner moves the boundary past `now`.
+        let next = (now / st.cadence_ns + 1) * st.cadence_ns;
+        if st.next_tick.compare_exchange(due, next, Ordering::AcqRel, Ordering::Relaxed).is_err() {
+            return;
+        }
+        let sample = StreamSample {
+            seq: st.seq.fetch_add(1, Ordering::Relaxed),
+            t_ns: now,
+            clocks: (0..self.num_pes()).map(|p| self.clock(p)).collect(),
+            counters: self.metrics.live_counter_totals(),
+            inflight: self.tracer.latest_per_pe(),
+            nics: self
+                .nics
+                .iter()
+                .map(|nic| crate::launch::NicSnapshot {
+                    messages: nic.messages(),
+                    bytes: nic.bytes(),
+                    busy_ns: nic.busy_ns(),
+                })
+                .collect(),
+        };
+        st.ring.push(sample);
+    }
+
+    // ---- deterministic NIC arbitration ----------------------------------
+
+    /// Is the virtual-time NIC arbiter active?
+    #[inline]
+    pub fn deterministic_nic(&self) -> bool {
+        self.arbiter.is_some()
+    }
+
+    /// Run `f` (a NIC reservation sequence on behalf of `pe`, requesting no
+    /// earlier than virtual time `start`) under the arbiter's virtual-time
+    /// ordering. Without an arbiter this is exactly `f()`.
+    ///
+    /// The caller must be the thread running `pe`, and `f` must not block on
+    /// other PEs (it only touches NIC lane frontiers).
+    pub fn nic_turn<R>(&self, pe: PeId, start: u64, f: impl FnOnce() -> R) -> R {
+        let Some(arb) = &self.arbiter else { return f() };
+        let key = (start, pe);
+        let mut parked = arb.parked.lock();
+        let inserted = parked.insert(key);
+        debug_assert!(inserted, "a PE parks at most one NIC request at a time");
+        arb.parked_count.fetch_add(1, Ordering::Relaxed);
+        loop {
+            if self.poison.is_poisoned() {
+                parked.remove(&key);
+                arb.parked_count.fetch_sub(1, Ordering::Relaxed);
+                drop(parked);
+                arb.cv.notify_all();
+                self.poison.check(); // panics
+                unreachable!("poison.check() panics when poisoned");
+            }
+            let min = *parked.iter().next().expect("own key is parked");
+            if min == key && self.arb_grantable(arb, &parked, start, pe) {
+                break;
+            }
+            // Timed wait: a missed notification (or a PE advancing past
+            // `start` without ever touching the arbiter) can never hang us.
+            arb.cv.wait_for(&mut parked, WAIT_TICK);
+        }
+        // Keep the key parked while reserving: it blocks every later key, so
+        // grants are mutually exclusive without a separate lock.
+        drop(parked);
+        let out = f();
+        let mut parked = arb.parked.lock();
+        parked.remove(&key);
+        arb.parked_count.fetch_sub(1, Ordering::Relaxed);
+        drop(parked);
+        arb.cv.notify_all();
+        out
+    }
+
+    /// Grant condition for a parked minimum `(start, pe)`: every other PE is
+    /// quiescent, parked itself (its key is larger — ours is the minimum), or
+    /// already strictly past `start` (clocks are monotone, so it can never
+    /// issue an earlier request).
+    fn arb_grantable(
+        &self,
+        arb: &ArbiterState,
+        parked: &BTreeSet<(u64, PeId)>,
+        start: u64,
+        pe: PeId,
+    ) -> bool {
+        let parked_pes: Vec<PeId> = parked.iter().map(|&(_, p)| p).collect();
+        (0..self.num_pes()).all(|q| {
+            q == pe
+                || arb.quiescent[q].load(Ordering::Acquire)
+                || parked_pes.contains(&q)
+                || self.clock(q) > start
+        })
+    }
+
+    /// Mark `pe` unable to issue NIC requests until externally unblocked
+    /// (entering a barrier or `wait_on`, or finishing its program closure).
+    /// No-op without an arbiter.
+    #[inline]
+    pub(crate) fn arb_set_quiescent(&self, pe: PeId, quiescent: bool) {
+        if let Some(arb) = &self.arbiter {
+            arb.quiescent[pe].store(quiescent, Ordering::Release);
+            if quiescent && arb.parked_count.load(Ordering::Relaxed) > 0 {
+                arb.cv.notify_all();
+            }
+        }
+    }
+
+    /// Wake arbiter waiters after a clock movement (their quiescence checks
+    /// read other PEs' clocks). One branch when no arbiter or nothing parked.
+    #[inline]
+    fn arb_clock_moved(&self) {
+        if let Some(arb) = &self.arbiter {
+            if arb.parked_count.load(Ordering::Relaxed) > 0 {
+                arb.cv.notify_all();
+            }
+        }
+    }
+
+    /// Mark `pe`'s program closure finished (launcher hook): permanently
+    /// quiescent for NIC arbitration.
+    pub(crate) fn pe_finished(&self, pe: PeId) {
+        self.arb_set_quiescent(pe, true);
+    }
+
     // ---- virtual clocks ------------------------------------------------
 
     /// Current virtual time of `pe`, ns.
@@ -362,6 +602,8 @@ impl Machine {
         let next = prev + ns.round() as u64;
         self.pes[pe].clock.store(next, Ordering::Release);
         self.poll_failure(pe, next);
+        self.stream_tick(next);
+        self.arb_clock_moved();
         next
     }
 
@@ -372,6 +614,8 @@ impl Machine {
         let next = prev.max(t);
         self.pes[pe].clock.store(next, Ordering::Release);
         self.poll_failure(pe, next);
+        self.stream_tick(next);
+        self.arb_clock_moved();
         next
     }
 
@@ -384,10 +628,54 @@ impl Machine {
         self.pes[pe].notify.notify();
     }
 
+    /// Apply `f` — a write to `pe`'s heap that `wait_on` predicates may
+    /// observe — and wake `pe`'s waiters, as one critical section.
+    ///
+    /// Under the deterministic NIC arbiter this additionally withdraws
+    /// `pe`'s `wait_on` quiescence in the same section: the moment the write
+    /// is observable, `pe` no longer counts as "provably unable to issue a
+    /// NIC request", closing the wake-latency window in which an arbiter
+    /// grant could order reservations by host scheduling. Without an arbiter
+    /// this is just `f` followed by [`Self::notify_pe`] under the notify
+    /// lock.
+    pub fn apply_and_notify<R>(&self, pe: PeId, f: impl FnOnce() -> R) -> R {
+        self.pes[pe].notify.notify_applying(|| {
+            let out = f();
+            if let Some(arb) = &self.arbiter {
+                if arb.in_wait_on[pe].load(Ordering::Acquire) {
+                    arb.quiescent[pe].store(false, Ordering::Release);
+                }
+            }
+            out
+        })
+    }
+
     /// Block the calling thread (which must be running `pe`) until `pred()`
     /// holds. Poison-aware; periodically re-checks.
     pub fn wait_on(&self, pe: PeId, pred: impl FnMut() -> bool) {
-        self.pes[pe].notify.wait_until(&self.poison, pred);
+        let Some(arb) = &self.arbiter else {
+            self.pes[pe].notify.wait_until(&self.poison, pred);
+            return;
+        };
+        // Quiescence is asserted under the notify lock right before every
+        // sleep and withdrawn there on exit, pairing with writers publishing
+        // through `apply_and_notify`: a waiter is flagged quiescent only
+        // while no satisfying write has been observed.
+        self.pes[pe].notify.wait_until_guarded(
+            &self.poison,
+            pred,
+            || {
+                arb.in_wait_on[pe].store(true, Ordering::Release);
+                arb.quiescent[pe].store(true, Ordering::Release);
+                if arb.parked_count.load(Ordering::Relaxed) > 0 {
+                    arb.cv.notify_all();
+                }
+            },
+            || {
+                arb.quiescent[pe].store(false, Ordering::Release);
+                arb.in_wait_on[pe].store(false, Ordering::Release);
+            },
+        );
     }
 
     /// Interrupt all waiting threads so they observe poison.
@@ -398,6 +686,9 @@ impl Machine {
         }
         for (_, b) in self.subset_barriers.lock().iter() {
             b.interrupt();
+        }
+        if let Some(arb) = &self.arbiter {
+            arb.cv.notify_all();
         }
     }
 
@@ -414,10 +705,22 @@ impl Machine {
             return self.clock(pe);
         }
         Stats::bump(&self.stats.barriers);
-        let max = self.global_barrier.arrive(self.clock(pe), &self.poison);
+        self.arb_set_quiescent(pe, true);
+        // The completing arrival clears every participant's quiescent flag
+        // *before* the waiters wake: a released-but-unscheduled PE must not
+        // look quiescent to the NIC arbiter, or reservations could be granted
+        // out of virtual-time order.
+        let max = self.global_barrier.arrive_with(self.clock(pe), &self.poison, || {
+            for q in 0..self.num_pes() {
+                self.arb_set_quiescent(q, false);
+            }
+        });
         let t = max + extra_ns.round() as u64;
         self.pes[pe].clock.store(t, Ordering::Release);
+        self.arb_set_quiescent(pe, false);
         self.sanitizer.barrier_join(pe, 0..self.num_pes(), t);
+        self.stream_tick(t);
+        self.arb_clock_moved();
         t
     }
 
@@ -448,10 +751,19 @@ impl Machine {
                 })
                 .clone()
         };
-        let max = barrier.arrive(self.clock(pe), &self.poison);
+        self.arb_set_quiescent(pe, true);
+        // See barrier_all: release clears the group's quiescent flags.
+        let max = barrier.arrive_with(self.clock(pe), &self.poison, || {
+            for &q in group {
+                self.arb_set_quiescent(q, false);
+            }
+        });
         let t = max + extra_ns.round() as u64;
         self.pes[pe].clock.store(t, Ordering::Release);
+        self.arb_set_quiescent(pe, false);
         self.sanitizer.barrier_join(pe, group.iter().copied(), t);
+        self.stream_tick(t);
+        self.arb_clock_moved();
         t
     }
 
@@ -555,6 +867,37 @@ mod tests {
     use crate::platforms::generic_smp;
 
     #[test]
+    fn nic_turn_is_a_passthrough_without_the_arbiter() {
+        let m = Machine::new(generic_smp(2));
+        assert!(!m.deterministic_nic());
+        assert_eq!(m.nic_turn(0, 50, || 7), 7);
+    }
+
+    #[test]
+    fn nic_arbiter_grants_tied_reservations_in_pe_order() {
+        // Four PEs race for the same lane with identical virtual start
+        // times: real-thread arrival order must not matter — slots go out
+        // strictly by PE id.
+        let out = crate::launch::run(generic_smp(4).with_deterministic_nic(), |pe| {
+            let m = pe.machine();
+            m.nic_turn(pe.id(), 100, || m.nic(0).reserve_tx(100, 10, 1).begin)
+        });
+        assert_eq!(out.results, vec![100, 110, 120, 130]);
+    }
+
+    #[test]
+    fn nic_arbiter_grants_by_virtual_start_before_pe_id() {
+        // PE 0 asks for the lane at t=200, PE 1 at t=100: the later virtual
+        // request loses even if its thread gets there first.
+        let out = crate::launch::run(generic_smp(2).with_deterministic_nic(), |pe| {
+            let m = pe.machine();
+            let start = if pe.id() == 0 { 200 } else { 100 };
+            m.nic_turn(pe.id(), start, || m.nic(0).reserve_tx(start, 10, 1).begin)
+        });
+        assert_eq!(out.results, vec![200, 100]);
+    }
+
+    #[test]
     fn node_layout_is_blockwise() {
         let m = Machine::new(crate::platforms::stampede(4, 16));
         assert_eq!(m.node_of(0), 0);
@@ -626,6 +969,32 @@ mod tests {
         assert_eq!(m.barrier_all(0, 5.0), m.clock(0));
         let dead_clock = m.clock(1);
         assert_eq!(m.barrier_all(1, 5.0), dead_clock, "dead PE does not rendezvous");
+    }
+
+    #[test]
+    fn stream_samples_at_cadence_boundaries_without_moving_clocks() {
+        use crate::stream::StreamConfig;
+        let sc = StreamConfig::new(100, 16);
+        let ring = sc.ring();
+        let m = Machine::new(generic_smp(2).with_stream(sc));
+        assert!(m.stream_active());
+        // 7 × 30 ns: the 100 ns boundary is crossed at t=120 (sample, next
+        // due tick 200) and the 200 ns boundary at t=210 (second sample).
+        for _ in 0..7 {
+            m.advance(0, 30.0);
+        }
+        assert_eq!(m.clock(0), 210, "sampling moved no clock");
+        assert_eq!(m.clock(1), 0);
+        let samples = ring.drain();
+        assert_eq!(samples.len(), 2, "one sample per crossed cadence boundary");
+        assert_eq!(samples[0].seq, 0);
+        assert_eq!(samples[0].t_ns, 120);
+        assert_eq!(samples[0].clocks, vec![120, 0]);
+        assert_eq!(samples[1].t_ns, 210);
+        // Untraced, metric-less machine: samples carry clocks + NICs only.
+        assert!(samples[0].counters.is_empty());
+        assert!(samples[0].inflight.is_empty());
+        assert_eq!(samples[0].nics.len(), 1);
     }
 
     #[test]

@@ -136,6 +136,22 @@ impl MetricsRegistry {
         shard.histograms.entry((name, peer_node)).or_default().observe(v);
     }
 
+    /// Live counter totals summed over PEs and peers, sorted by name — the
+    /// cheap mid-run view the streaming snapshot channel samples. Unlike
+    /// [`MetricsRegistry::snapshot`] this allocates no per-entry structure
+    /// and takes each shard lock only briefly; like it, it only *reads*, so
+    /// sampling mid-run perturbs nothing.
+    pub fn live_counter_totals(&self) -> Vec<(&'static str, u64)> {
+        let mut totals: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for (&(name, _), &value) in &shard.counters {
+                *totals.entry(name).or_insert(0) += value;
+            }
+        }
+        totals.into_iter().collect()
+    }
+
     /// Merge every shard into a deterministic snapshot, folding in the
     /// global stats counters.
     pub fn snapshot(&self, stats: StatsSnapshot) -> MetricsSnapshot {
@@ -460,6 +476,18 @@ mod tests {
         assert_eq!(h.min, 100);
         assert_eq!(h.max, 3000);
         assert_eq!(h.buckets.len(), 2);
+    }
+
+    #[test]
+    fn live_counter_totals_aggregate_across_shards() {
+        let reg = MetricsRegistry::new(true, 2);
+        reg.count(0, "put", Some(1), 2);
+        reg.count(1, "put", Some(0), 3);
+        reg.count(1, "get", None, 1);
+        assert_eq!(reg.live_counter_totals(), vec![("get", 1), ("put", 5)]);
+        let snap = reg.snapshot(StatsSnapshot::default());
+        assert_eq!(snap.counter_total("put"), 5, "live view consumed nothing");
+        assert!(MetricsRegistry::new(false, 2).live_counter_totals().is_empty());
     }
 
     #[test]

@@ -80,6 +80,8 @@ pub fn stampede(nodes: usize, cores_per_node: usize) -> MachineConfig {
         metrics: false,
         sanitizer: SanitizerMode::Off,
         faults: None,
+        stream: None,
+        deterministic_nic: false,
     }
 }
 
@@ -103,6 +105,8 @@ pub fn titan(nodes: usize, cores_per_node: usize) -> MachineConfig {
         metrics: false,
         sanitizer: SanitizerMode::Off,
         faults: None,
+        stream: None,
+        deterministic_nic: false,
     }
 }
 
@@ -126,6 +130,8 @@ pub fn cray_xc30(nodes: usize, cores_per_node: usize) -> MachineConfig {
         metrics: false,
         sanitizer: SanitizerMode::Off,
         faults: None,
+        stream: None,
+        deterministic_nic: false,
     }
 }
 
@@ -149,6 +155,8 @@ pub fn generic_smp(cores: usize) -> MachineConfig {
         metrics: false,
         sanitizer: SanitizerMode::Off,
         faults: None,
+        stream: None,
+        deterministic_nic: false,
     }
 }
 

@@ -1,0 +1,235 @@
+//! Live streaming snapshots: a bounded ring-buffer channel that samples the
+//! machine's observable state at a virtual-time cadence *while the
+//! simulation runs*, without moving a single virtual clock.
+//!
+//! The channel exists for tools like `examples/pgas_top.rs`: a consumer
+//! thread drains [`StreamSample`]s out of a [`SnapshotRing`] and renders a
+//! refreshing view of per-PE clocks, live metric counters, each PE's most
+//! recent span and per-NIC traffic. Because PEs advance their clocks
+//! concurrently and samples are taken by whichever PE thread first crosses a
+//! cadence boundary, the *set* of samples depends on host scheduling — the
+//! stream is a monitoring surface, not a deterministic artifact. What *is*
+//! guaranteed (and asserted in the test suite, with the same contract as the
+//! observability-off check) is that attaching a stream changes no virtual
+//! clock: sampling only ever reads.
+//!
+//! Enabling resolves like tracing and metrics, minus the environment
+//! default — a stream without a consumer holding the ring is useless, so
+//! there is nothing sensible an env var could do. A thread-forced override
+//! ([`with_forced_stream`]) beats `MachineConfig::stream`.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::launch::NicSnapshot;
+use crate::trace::Span;
+
+/// One sample of the machine's observable state at (or just past) a cadence
+/// boundary in virtual time.
+#[derive(Debug, Clone)]
+pub struct StreamSample {
+    /// Monotone sample index, starting at 0.
+    pub seq: u64,
+    /// Virtual time of the sampling PE when the sample was taken, ns.
+    pub t_ns: u64,
+    /// Every PE's virtual clock at sampling time, ns.
+    pub clocks: Vec<u64>,
+    /// Live counter totals (summed over PEs and peers), sorted by name.
+    /// Empty when the machine runs without metrics.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Each PE's most recently recorded span, if any. Empty when the
+    /// machine runs without tracing.
+    pub inflight: Vec<Option<Span>>,
+    /// Per-node NIC traffic so far.
+    pub nics: Vec<NicSnapshot>,
+}
+
+#[derive(Debug, Default)]
+struct RingInner {
+    samples: VecDeque<StreamSample>,
+    /// Samples evicted because the consumer fell behind.
+    dropped: u64,
+    /// Samples pushed over the ring's lifetime.
+    total: u64,
+}
+
+/// Bounded MPSC ring carrying [`StreamSample`]s from the simulation to a
+/// consumer. When full, the oldest sample is evicted (and counted), so a
+/// slow consumer degrades to "recent view only" instead of stalling PEs.
+#[derive(Debug)]
+pub struct SnapshotRing {
+    capacity: usize,
+    inner: Mutex<RingInner>,
+}
+
+impl SnapshotRing {
+    pub fn new(capacity: usize) -> SnapshotRing {
+        assert!(capacity > 0, "snapshot ring needs a non-zero capacity");
+        SnapshotRing { capacity, inner: Mutex::new(RingInner::default()) }
+    }
+
+    /// Append a sample, evicting the oldest if the ring is full.
+    pub fn push(&self, sample: StreamSample) {
+        let mut inner = self.inner.lock();
+        if inner.samples.len() == self.capacity {
+            inner.samples.pop_front();
+            inner.dropped += 1;
+        }
+        inner.samples.push_back(sample);
+        inner.total += 1;
+    }
+
+    /// Take every buffered sample, oldest first.
+    pub fn drain(&self) -> Vec<StreamSample> {
+        self.inner.lock().samples.drain(..).collect()
+    }
+
+    /// Clone the most recent sample without consuming anything.
+    pub fn latest(&self) -> Option<StreamSample> {
+        self.inner.lock().samples.back().cloned()
+    }
+
+    /// Buffered (unconsumed) sample count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Samples lost to ring overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Samples produced over the ring's lifetime (buffered + consumed +
+    /// dropped).
+    pub fn total(&self) -> u64 {
+        self.inner.lock().total
+    }
+}
+
+/// Configuration of the streaming snapshot channel: how often to sample (in
+/// virtual nanoseconds) and the ring the samples land in. Clone-cheap — all
+/// clones share the same ring, which is how the consumer sees the samples.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    cadence_ns: u64,
+    ring: Arc<SnapshotRing>,
+}
+
+impl StreamConfig {
+    /// A channel sampling every `cadence_ns` virtual nanoseconds into a
+    /// fresh ring holding at most `capacity` samples.
+    pub fn new(cadence_ns: u64, capacity: usize) -> StreamConfig {
+        assert!(cadence_ns > 0, "stream cadence must be positive");
+        StreamConfig { cadence_ns, ring: Arc::new(SnapshotRing::new(capacity)) }
+    }
+
+    /// Sampling cadence in virtual nanoseconds.
+    pub fn cadence_ns(&self) -> u64 {
+        self.cadence_ns
+    }
+
+    /// The shared ring; hold a clone of this on the consumer side.
+    pub fn ring(&self) -> Arc<SnapshotRing> {
+        Arc::clone(&self.ring)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Enable resolution: forced (thread) > config. No environment default — a
+// stream is only meaningful with a consumer holding the ring.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static FORCED_STREAM: RefCell<Option<StreamConfig>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn forced_stream() -> Option<StreamConfig> {
+    FORCED_STREAM.with(|c| c.borrow().clone())
+}
+
+/// Run `f` with the streaming channel `cfg` forced onto machines constructed
+/// on this thread, overriding `MachineConfig::stream`. Restores the previous
+/// override on exit (including unwinds).
+pub fn with_forced_stream<R>(cfg: StreamConfig, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<StreamConfig>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCED_STREAM.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let prev = FORCED_STREAM.with(|c| c.borrow_mut().replace(cfg));
+    let _restore = Restore(prev);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seq: u64) -> StreamSample {
+        StreamSample {
+            seq,
+            t_ns: seq * 100,
+            clocks: vec![seq * 100],
+            counters: Vec::new(),
+            inflight: Vec::new(),
+            nics: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_when_full() {
+        let ring = SnapshotRing::new(3);
+        for i in 0..5 {
+            ring.push(sample(i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.total(), 5);
+        let got = ring.drain();
+        assert_eq!(got.iter().map(|s| s.seq).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert!(ring.is_empty());
+        assert_eq!(ring.total(), 5, "drain does not reset the lifetime count");
+    }
+
+    #[test]
+    fn latest_peeks_without_consuming() {
+        let ring = SnapshotRing::new(4);
+        ring.push(sample(0));
+        ring.push(sample(1));
+        assert_eq!(ring.latest().unwrap().seq, 1);
+        assert_eq!(ring.len(), 2, "latest() is a peek");
+    }
+
+    #[test]
+    fn forced_stream_restores_on_exit() {
+        assert!(forced_stream().is_none());
+        let cfg = StreamConfig::new(1000, 8);
+        with_forced_stream(cfg.clone(), || {
+            assert_eq!(forced_stream().unwrap().cadence_ns(), 1000);
+            let inner = StreamConfig::new(500, 8);
+            with_forced_stream(inner, || {
+                assert_eq!(forced_stream().unwrap().cadence_ns(), 500);
+            });
+            assert_eq!(forced_stream().unwrap().cadence_ns(), 1000);
+        });
+        assert!(forced_stream().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "cadence")]
+    fn zero_cadence_is_rejected() {
+        StreamConfig::new(0, 8);
+    }
+}

@@ -103,11 +103,24 @@ impl ClockBarrier {
     /// Arrive with the caller's current virtual clock; returns the maximum
     /// clock across the group for this round.
     pub fn arrive(&self, my_clock: u64, poison: &Poison) -> u64 {
+        self.arrive_with(my_clock, poison, || {})
+    }
+
+    /// Like [`Self::arrive`], but the arrival that completes the round runs
+    /// `on_release` *while still holding the barrier lock, before waking the
+    /// waiters*. The NIC arbiter uses this to clear every participant's
+    /// quiescent flag atomically with the release: if each waiter cleared its
+    /// own flag after waking, a still-unscheduled waiter would look quiescent
+    /// to the arbiter while logically already released, and an out-of-order
+    /// reservation could be granted. (Rounds completed by [`Self::leave`]
+    /// skip the hook — PE failure already forfeits strict ordering.)
+    pub fn arrive_with(&self, my_clock: u64, poison: &Poison, on_release: impl FnOnce()) -> u64 {
         let mut inner = self.inner.lock();
         inner.max_clock = inner.max_clock.max(my_clock);
         inner.count += 1;
         debug_assert!(inner.count <= inner.expected, "more arrivals than live members");
         if inner.count == inner.expected {
+            on_release();
             self.finish_round(&mut inner)
         } else {
             let gen = inner.generation;
@@ -174,6 +187,55 @@ impl NotifyCell {
             if *g == seen {
                 self.cv.wait_for(&mut g, WAIT_TICK);
             }
+        }
+    }
+
+    /// Run `f` (a write that this cell's waiters observe through their
+    /// predicates) under the generation lock, then wake the waiters.
+    ///
+    /// With [`Self::wait_until_guarded`] on the waiting side, this makes the
+    /// write and its visibility one critical section: a waiter can only see
+    /// the write's effects *after* everything `f` did — including, for the
+    /// NIC arbiter, clearing the waiter's quiescent flag — and conversely a
+    /// waiter that declared itself asleep before `f` ran is woken. Without
+    /// this pairing a deterministic machine has a wake-latency hole: the
+    /// write lands, the waiter is still flagged quiescent, and an arbiter
+    /// grant check in that window orders reservations differently than a run
+    /// where the waiter woke first.
+    pub fn notify_applying<R>(&self, f: impl FnOnce() -> R) -> R {
+        let mut g = self.gen.lock();
+        let out = f();
+        *g = g.wrapping_add(1);
+        self.cv.notify_all();
+        out
+    }
+
+    /// [`Self::wait_until`] with hooks run under the generation lock:
+    /// `on_sleep` immediately before every sleep (assert quiescence) and
+    /// `on_exit` before returning (withdraw it). Predicates are only checked
+    /// under the lock, so a [`Self::notify_applying`] writer's effects and
+    /// its hook are observed atomically.
+    pub fn wait_until_guarded(
+        &self,
+        poison: &Poison,
+        mut pred: impl FnMut() -> bool,
+        mut on_sleep: impl FnMut(),
+        on_exit: impl FnOnce(),
+    ) {
+        let mut g = self.gen.lock();
+        loop {
+            if pred() {
+                on_exit();
+                return;
+            }
+            if poison.is_poisoned() {
+                on_exit();
+                drop(g);
+                poison.check();
+                unreachable!("poison.check() panics when poisoned");
+            }
+            on_sleep();
+            self.cv.wait_for(&mut g, WAIT_TICK);
         }
     }
 

@@ -204,6 +204,15 @@ impl Tracer {
         buf.spans.push(span);
     }
 
+    /// Peek each PE's most recently recorded span without consuming
+    /// anything — the live-streaming view of "what is PE p doing right
+    /// now". Returns an empty vec when tracing is disabled. Unlike
+    /// [`Tracer::drain`] this leaves the buffers intact, so a stream
+    /// sampling mid-run does not rob the end-of-run trace.
+    pub fn latest_per_pe(&self) -> Vec<Option<Span>> {
+        self.pes.iter().map(|buf| buf.lock().spans.last().copied()).collect()
+    }
+
     /// Take all recorded spans, merged across PEs and sorted by
     /// `(begin, pe, id)` — a deterministic total order.
     pub fn drain(&self) -> Vec<Span> {
@@ -377,6 +386,19 @@ mod tests {
         assert_eq!(spans.len(), 3);
         assert!(spans.windows(2).all(|w| w[0].begin <= w[1].begin));
         assert!(t.drain().is_empty(), "drain empties the sink");
+    }
+
+    #[test]
+    fn latest_per_pe_peeks_without_consuming() {
+        let t = Tracer::new(true, 2);
+        t.record(span(0, SpanKind::Put, 0, 10));
+        t.record(span(0, SpanKind::Get, 10, 20));
+        let latest = t.latest_per_pe();
+        assert_eq!(latest.len(), 2);
+        assert_eq!(latest[0].unwrap().kind, SpanKind::Get);
+        assert!(latest[1].is_none());
+        assert_eq!(t.drain().len(), 2, "peek left the buffers intact");
+        assert!(Tracer::new(false, 2).latest_per_pe().is_empty());
     }
 
     #[test]

@@ -105,16 +105,33 @@ pub struct Figure {
     /// figure, written as a sidecar `results/<id>.critpath.json` so a
     /// regression in the figure is explainable from the same artifact set.
     pub critpath: Option<Json>,
+    /// Optional benchmark-baseline digest of the figure's probe run,
+    /// aggregated by `repro_all` into `results/BENCH_<platform>.json`. Not
+    /// written per-figure; the collector groups records by platform.
+    pub bench: Option<Json>,
 }
 
 impl Figure {
     pub fn new(id: impl Into<String>, caption: impl Into<String>) -> Figure {
-        Figure { id: id.into(), caption: caption.into(), panels: Vec::new(), critpath: None }
+        Figure {
+            id: id.into(),
+            caption: caption.into(),
+            panels: Vec::new(),
+            critpath: None,
+            bench: None,
+        }
     }
 
     /// Attach a critical-path report (as JSON) to be emitted as a sidecar.
     pub fn with_critpath(mut self, report: Json) -> Figure {
         self.critpath = Some(report);
+        self
+    }
+
+    /// Attach a bench-baseline record (`{figure, platform, digest}`) for the
+    /// `repro_all` baseline collector.
+    pub fn with_bench(mut self, record: Json) -> Figure {
+        self.bench = Some(record);
         self
     }
 

@@ -1,33 +1,142 @@
-//! Critical-path profiler walkthrough: run the CAF Himeno benchmark with
-//! tracing and metrics forced on, then explain where the virtual time went.
+//! `pgas_top`: a live, `top`-style view of a running simulation.
 //!
-//! The profiler walks the completed span/flow graph backwards from the PE
-//! that finished last and attributes every nanosecond of the makespan to
-//! compute, wire time, NIC queueing, synchronization, or fault delay — the
-//! component sum equals the run's total virtual time exactly, so a
-//! regression in any later PR shows up as a shifted breakdown, not just a
-//! bigger number.
+//! A consumer thread (this `main`) watches the CAF Himeno benchmark run on
+//! the simulator through the bounded snapshot ring of
+//! [`pgas_machine::StreamConfig`]: PE threads publish a [`StreamSample`]
+//! (every PE's virtual clock, live op counters, each PE's most recent span,
+//! per-NIC traffic) whenever one of them first crosses a virtual-time
+//! cadence boundary. Sampling only ever *reads* machine state — attaching
+//! the stream moves no virtual clock, a contract asserted in
+//! `tests/observability_golden.rs` — so the view below is free.
+//!
+//! On a terminal the view refreshes in place; when piped, each frame prints
+//! as one summary line instead. After the run, the critical-path breakdown
+//! is printed, and its sidecar JSON is written only if it differs from the
+//! committed `results/fig10_himeno.critpath.json` (this example runs the
+//! Figure 10 workload, so byte-identical output would just duplicate the
+//! committed artifact).
 //!
 //! Run with: `cargo run --release --example pgas_top`
 
+use std::io::IsTerminal;
+use std::time::Duration;
+
 use caf::{Backend, StridedAlgorithm};
 use caf_apps::himeno::{run_himeno_outcome, HimenoConfig};
-use pgas_machine::{with_forced_metrics, with_forced_tracing, Platform};
+use pgas_machine::{
+    with_forced_metrics, with_forced_stream, with_forced_tracing, Platform, StreamConfig,
+    StreamSample,
+};
+
+/// Virtual-time sampling cadence: the xs Himeno run spans ~1 ms of virtual
+/// time, so 20 µs gives on the order of fifty frames.
+const CADENCE_NS: u64 = 20_000;
+
+fn bar(frac: f64, width: usize) -> String {
+    let filled = ((frac.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
+}
+
+fn render_frame(s: &StreamSample, live: bool) {
+    if !live {
+        let max = s.clocks.iter().copied().max().unwrap_or(0);
+        println!(
+            "sample {:>4}  t={:>9} ns  clocks {:>9}..{:<9} ns",
+            s.seq,
+            s.t_ns,
+            s.clocks.iter().copied().min().unwrap_or(0),
+            max,
+        );
+        return;
+    }
+    // Clear screen, cursor home.
+    print!("\x1b[2J\x1b[H");
+    println!("pgas_top — himeno on {} PEs   sample {}   t = {} ns", s.clocks.len(), s.seq, s.t_ns);
+    println!();
+    let max = s.clocks.iter().copied().max().unwrap_or(1).max(1);
+    for (pe, &clk) in s.clocks.iter().enumerate() {
+        let last = s
+            .inflight
+            .get(pe)
+            .and_then(|o| o.as_ref())
+            .map(|sp| format!("{:?}", sp.kind))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "  PE {pe:>2} [{}] {clk:>9} ns  last op: {last}",
+            bar(clk as f64 / max as f64, 30)
+        );
+    }
+    if !s.counters.is_empty() {
+        println!();
+        let line = s
+            .counters
+            .iter()
+            .filter(|(_, v)| *v > 0)
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!("  ops: {line}");
+    }
+    if !s.nics.is_empty() {
+        let msgs: u64 = s.nics.iter().map(|n| n.messages).sum();
+        let bytes: u64 = s.nics.iter().map(|n| n.bytes).sum();
+        println!("  nic: {msgs} messages, {bytes} bytes across {} node(s)", s.nics.len());
+    }
+}
 
 fn main() {
     let images = 8;
     let cfg = HimenoConfig::size_xs();
-    let (result, out) = with_forced_tracing(true, || {
-        with_forced_metrics(true, || {
-            run_himeno_outcome(
-                Platform::Stampede,
-                Backend::Shmem,
-                Some(StridedAlgorithm::Naive),
-                images,
-                cfg,
-            )
+    let stream = StreamConfig::new(CADENCE_NS, 256);
+    let ring = stream.ring();
+
+    // The simulation runs on its own thread; `main` stays the consumer so a
+    // slow terminal can never stall a PE (the ring just evicts old frames).
+    let sim = std::thread::spawn(move || {
+        with_forced_stream(stream, || {
+            with_forced_tracing(true, || {
+                with_forced_metrics(true, || {
+                    run_himeno_outcome(
+                        Platform::Stampede,
+                        Backend::Shmem,
+                        Some(StridedAlgorithm::Naive),
+                        images,
+                        cfg,
+                    )
+                })
+            })
         })
     });
+
+    let live = std::io::stdout().is_terminal();
+    let mut last_seen: Option<u64> = None;
+    while !sim.is_finished() {
+        if let Some(s) = ring.latest() {
+            if last_seen != Some(s.seq) {
+                last_seen = Some(s.seq);
+                render_frame(&s, live);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let (result, out) = sim.join().expect("simulation thread panicked");
+
+    // Show what the consumer missed plus the stream's lifetime accounting.
+    let leftover = ring.drain();
+    if let Some(s) = leftover.last() {
+        if last_seen != Some(s.seq) {
+            render_frame(s, live);
+        }
+    }
+    if live {
+        println!();
+    }
+    println!(
+        "stream: {} samples produced ({} dropped to ring overflow), cadence {} ns virtual",
+        ring.total(),
+        ring.dropped(),
+        CADENCE_NS,
+    );
 
     println!(
         "himeno {}x{}x{} on {images} images: {:.0} MFLOPS, {:.2} ms virtual",
@@ -37,29 +146,26 @@ fn main() {
 
     let report = out.critical_path();
     println!("{}", report.render());
-
-    // The acceptance invariant of the profiler: the per-category breakdown
-    // tiles the makespan with no gaps and no double counting.
     assert_eq!(
         report.total_ns(),
         out.makespan_ns(),
         "critical-path components must sum to the run's total virtual time"
     );
 
-    println!("\nop counts (all PEs):");
-    for name in ["put", "get", "amo", "quiet", "barrier", "collective"] {
-        let n = out.metrics.counter_total(name);
-        if n > 0 {
-            println!("  {name:<12} {n}");
-        }
-    }
-    let (count, sum) = out.metrics.histogram_totals("nic_queue_ns");
-    if count > 0 {
-        println!("\nNIC queueing: {count} delayed transfers, {sum} ns total queue wait");
-    }
-
-    std::fs::create_dir_all("results").ok();
+    // This example runs the Figure 10 workload, and the stream moves no
+    // clocks — so the sidecar normally matches the committed fig10 one byte
+    // for byte. Only write ours when it actually differs.
+    let sidecar = report.to_sidecar_json().pretty();
+    let fig10 = std::fs::read_to_string("results/fig10_himeno.critpath.json").unwrap_or_default();
     let path = "results/pgas_top.critpath.json";
-    std::fs::write(path, report.to_json().pretty()).expect("write critical-path report");
-    println!("\nwrote {path}");
+    if sidecar == fig10 {
+        println!("\ncritical path matches results/fig10_himeno.critpath.json — no sidecar written");
+        if std::fs::remove_file(path).is_ok() {
+            println!("removed stale {path}");
+        }
+    } else {
+        std::fs::create_dir_all("results").ok();
+        std::fs::write(path, &sidecar).expect("write critical-path sidecar");
+        println!("\nwrote {path}");
+    }
 }

@@ -15,7 +15,10 @@
 
 use caf::{run_caf, Backend, CafConfig};
 use pgas_machine::trace::chrome_trace_json;
-use pgas_machine::{generic_smp, with_forced_metrics, with_forced_tracing, Platform};
+use pgas_machine::{
+    generic_smp, with_forced_metrics, with_forced_stream, with_forced_tracing, Platform,
+    StreamConfig,
+};
 
 const FIXTURE: &str =
     concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/observability_golden.prom");
@@ -101,6 +104,36 @@ fn chrome_trace_export_is_wellformed_and_critpath_tiles_makespan() {
 
     let metrics_json = out.metrics.to_json().pretty();
     pgas_machine::json::parse(&metrics_json).expect("metrics JSON parses");
+}
+
+#[test]
+fn streaming_channel_does_not_change_virtual_time() {
+    // The live `pgas_top` contract: attaching a snapshot stream (sampling at
+    // a virtual-time cadence into a bounded ring) only ever *reads* machine
+    // state — no virtual clock moves, same as tracing and metrics.
+    let stream = StreamConfig::new(500, 64);
+    let ring = stream.ring();
+    let streamed = with_forced_stream(stream, traced_workload);
+    let plain = traced_workload();
+    assert_eq!(
+        streamed.clocks, plain.clocks,
+        "attaching the snapshot stream must not move a single virtual clock"
+    );
+
+    let samples = ring.drain();
+    assert!(!samples.is_empty(), "a multi-microsecond run at 500 ns cadence produces samples");
+    assert!(samples.windows(2).all(|w| w[0].seq < w[1].seq), "sample seq is strictly monotone");
+    assert!(samples.windows(2).all(|w| w[0].t_ns <= w[1].t_ns), "sample time never goes back");
+    let n = streamed.clocks.len();
+    for s in &samples {
+        assert_eq!(s.clocks.len(), n, "every sample covers every PE");
+        assert!(s.t_ns <= streamed.makespan_ns(), "samples live inside the run");
+    }
+    assert_eq!(
+        ring.total(),
+        samples.len() as u64 + ring.dropped(),
+        "lifetime accounting: buffered + dropped tiles everything produced"
+    );
 }
 
 #[test]
