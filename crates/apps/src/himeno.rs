@@ -28,6 +28,13 @@ impl HimenoConfig {
         HimenoConfig { imax: 65, jmax: 65, kmax: 129, iters: 8 }
     }
 
+    /// Himeno size M (129×129×257). The j-decomposition caps images at
+    /// `jmax - 2 = 127`, so this is the smallest canonical grid that
+    /// reaches Figure 10's full 128-image x axis.
+    pub fn size_m() -> HimenoConfig {
+        HimenoConfig { imax: 129, jmax: 129, kmax: 257, iters: 4 }
+    }
+
     /// Himeno size XS (33×33×65) for quick runs and tests.
     pub fn size_xs() -> HimenoConfig {
         HimenoConfig { imax: 33, jmax: 33, kmax: 65, iters: 6 }

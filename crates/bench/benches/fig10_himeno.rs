@@ -2,6 +2,8 @@
 
 fn main() {
     let quick = repro_bench::quick_from_env();
+    // Full mode runs the size-M grid, whose j decomposition admits the
+    // figure's entire 4..127 image axis (size S capped it at 63).
     let max = repro_bench::max_images_from_env(if quick { 16 } else { 127 });
     repro_bench::fig10_himeno(quick, max).emit();
 }

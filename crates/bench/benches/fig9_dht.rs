@@ -2,6 +2,6 @@
 
 fn main() {
     let quick = repro_bench::quick_from_env();
-    let max = repro_bench::max_images_from_env(if quick { 32 } else { 256 });
+    let max = repro_bench::max_images_from_env(if quick { 32 } else { 2048 });
     repro_bench::fig9_dht(quick, max).emit();
 }

@@ -244,7 +244,7 @@ pub fn fig9_dht(quick: bool, max_images: usize) -> Figure {
 pub fn fig10_himeno(quick: bool, max_images: usize) -> Figure {
     let mut fig = Figure::new("fig10_himeno", "CAF Himeno benchmark performance on Stampede");
     let mut panel = Panel::new("Himeno Jacobi solver", "images", "MFLOPS");
-    let cfg = if quick { HimenoConfig::size_xs() } else { HimenoConfig::size_s() };
+    let cfg = if quick { HimenoConfig::size_xs() } else { HimenoConfig::size_m() };
     let sweep: Vec<usize> = [4usize, 8, 16, 32, 63, 127]
         .into_iter()
         .filter(|&n| n <= max_images.min(cfg.jmax - 2))

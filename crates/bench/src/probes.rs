@@ -165,7 +165,11 @@ pub fn probe_for(figure_id: &str) -> Option<ProbeOutcome> {
         "fig3_put_bandwidth" => put_pairs_probe(Platform::Stampede, 16, 65536),
         "fig6_xc30_caf" | "abl1_base_dim" => strided_probe(Platform::CrayXc30),
         "fig7_stampede_caf" => strided_probe(Platform::Stampede),
-        "fig8_locks" | "fig9_dht" | "abl2_lock_algorithms" => lock_probe(Platform::Titan, 8),
+        // Paper scale: Figure 8/9 sweep to 1024+ images, so their anchor
+        // races the full thousand-image MCS queue (the ablation keeps the
+        // small anchor — its sweep caps at 64).
+        "fig8_locks" | "fig9_dht" => lock_probe(Platform::Titan, 1024),
+        "abl2_lock_algorithms" => lock_probe(Platform::Titan, 8),
         "fig10_himeno" => himeno_probe(),
         "supp_pt2pt" => put_pairs_probe(Platform::Titan, 1, 65536),
         _ => return None,

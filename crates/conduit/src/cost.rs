@@ -556,6 +556,40 @@ impl<'m> CostModel<'m> {
         issue_done + req_occ + 2 * self.latency() + data_occ
     }
 
+    /// Pure estimate of an uncontended NIC-native 1-D strided get, mirroring
+    /// [`Self::strided_get_native`] at `start = 0` on idle NICs (`None` on
+    /// software-loop profiles).
+    pub fn strided_get_estimate_ns(
+        &self,
+        src: PeId,
+        dst: PeId,
+        nelems: usize,
+        elem_bytes: usize,
+    ) -> Option<u64> {
+        let StridedSupport::Native { per_elem_ns } = self.profile.strided else {
+            return None;
+        };
+        Some(
+            self.get_estimate_ns(src, dst, nelems * elem_bytes)
+                + (per_elem_ns * nelems as f64).round() as u64,
+        )
+    }
+
+    /// Pure estimate of an uncontended AM-packed gather-get, mirroring
+    /// [`Self::am_packed_get`] at `start = 0` on idle NICs.
+    pub fn am_packed_get_estimate_ns(
+        &self,
+        src: PeId,
+        dst: PeId,
+        nelems: usize,
+        elem_bytes: usize,
+    ) -> u64 {
+        let pack = (self.profile.am_handler_ns
+            + nelems as f64 * self.machine.config().compute.local_op_ns * 2.0)
+            .round() as u64;
+        pack + self.get_estimate_ns(src, dst, nelems * elem_bytes)
+    }
+
     /// Pure estimate of an uncontended NIC-native 1-D strided put, mirroring
     /// [`Self::strided_put_native`] (`None` on software-loop profiles).
     pub fn strided_put_estimate(
@@ -836,6 +870,19 @@ mod tests {
                     let m4 = Machine::new(cfg());
                     let areal = CostModel::new(&m4, p).am_packed_put(src, dst, nelems, 8, 0, 0);
                     assert_eq!(aest, areal, "am n={nelems} {src}->{dst} on {}", p.label());
+
+                    let m5 = Machine::new(cfg());
+                    let igest = CostModel::new(&m5, p).strided_get_estimate_ns(src, dst, nelems, 8);
+                    let m6 = Machine::new(cfg());
+                    let igreal = CostModel::new(&m6, p).strided_get_native(src, dst, nelems, 8, 0);
+                    assert_eq!(igest, igreal, "iget n={nelems} {src}->{dst} on {}", p.label());
+
+                    let m7 = Machine::new(cfg());
+                    let agest =
+                        CostModel::new(&m7, p).am_packed_get_estimate_ns(src, dst, nelems, 8);
+                    let m8 = Machine::new(cfg());
+                    let agreal = CostModel::new(&m8, p).am_packed_get(src, dst, nelems, 8, 0);
+                    assert_eq!(agest, agreal, "am get n={nelems} {src}->{dst} on {}", p.label());
                 }
             }
         }
@@ -880,6 +927,8 @@ mod tests {
             let _ = cm.get_estimate_ns(0, 16, bytes);
             let _ = cm.strided_put_estimate(0, 16, bytes / 8, 8);
             let _ = cm.am_packed_put_estimate(0, 16, bytes / 8, 8);
+            let _ = cm.strided_get_estimate_ns(0, 16, bytes / 8, 8);
+            let _ = cm.am_packed_get_estimate_ns(0, 16, bytes / 8, 8);
         }
         let after_probes = cm.put(0, 16, 1 << 20, 0, 0);
         let m2 = Machine::new(stampede(2, 16));

@@ -355,11 +355,20 @@ impl<'m> Ctx<'m> {
         if self.fastpath(dst) {
             Stats::bump(&m.stats().local_fastpath);
             let t = self.cost.local_copy(src.len(), self.pe.now());
-            m.heap(dst).write_bytes(dst_off, src);
-            m.heap(dst).stamp_range(dst_off, src.len(), t);
-            m.san_record_write(dst, dst_off, src.len(), self.pe.id(), t, false, "put");
+            // Publish through the same critical section AMOs use: the word
+            // update, its stamp, the sanitizer record and the waiter wake-up
+            // are one atomic step, and under the NIC arbiter the target's
+            // `wait_on` quiescence is withdrawn in the same section. A bare
+            // `notify_pe` after an unguarded write would let the arbiter
+            // observe the waiter as quiescent *after* its release condition
+            // became true — granting or withholding tied turns depending on
+            // host scheduling.
+            m.apply_and_notify(dst, || {
+                m.heap(dst).write_bytes(dst_off, src);
+                m.heap(dst).stamp_range(dst_off, src.len(), t);
+                m.san_record_write(dst, dst_off, src.len(), self.pe.id(), t, false, "put");
+            });
             m.lift_clock(self.pe.id(), t);
-            m.notify_pe(dst);
             self.trace(SpanKind::Put, t_begin, Some(dst), src.len());
             return Ok(());
         }
@@ -369,12 +378,24 @@ impl<'m> Ctx<'m> {
         let floor = self.pending.borrow().floor_for(dst);
         let (t, detail) =
             self.cost.put_with_detail(self.pe.id(), dst, src.len(), self.pe.now(), floor);
-        m.heap(dst).write_bytes(dst_off, src);
-        m.heap(dst).stamp_range(dst_off, src.len(), t.remote_complete);
-        m.san_record_write(dst, dst_off, src.len(), self.pe.id(), t.remote_complete, false, "put");
+        // Write + stamp + wake as one critical section (see the fastpath
+        // comment above): keeps put-released `wait_on` wakes deterministic
+        // under the arbiter.
+        m.apply_and_notify(dst, || {
+            m.heap(dst).write_bytes(dst_off, src);
+            m.heap(dst).stamp_range(dst_off, src.len(), t.remote_complete);
+            m.san_record_write(
+                dst,
+                dst_off,
+                src.len(),
+                self.pe.id(),
+                t.remote_complete,
+                false,
+                "put",
+            );
+        });
         m.lift_clock(self.pe.id(), t.local_complete);
         self.pending.borrow_mut().record_put(dst, dst_off, src.len(), t.remote_complete);
-        m.notify_pe(dst);
         self.record_op(SpanKind::Put, t_begin, Some(dst), src.len(), detail);
         Ok(())
     }
@@ -442,14 +463,23 @@ impl<'m> Ctx<'m> {
         let floor = self.pending.borrow().floor_for(dst);
         let start = self.pe.now();
         let (t, detail) = self.cost.put_with_detail(self.pe.id(), dst, src.len(), start, floor);
-        m.heap(dst).write_bytes(dst_off, src);
-        m.heap(dst).stamp_range(dst_off, src.len(), t.remote_complete);
-        m.san_record_write(dst, dst_off, src.len(), self.pe.id(), t.remote_complete, false, "put");
+        m.apply_and_notify(dst, || {
+            m.heap(dst).write_bytes(dst_off, src);
+            m.heap(dst).stamp_range(dst_off, src.len(), t.remote_complete);
+            m.san_record_write(
+                dst,
+                dst_off,
+                src.len(),
+                self.pe.id(),
+                t.remote_complete,
+                false,
+                "put",
+            );
+        });
         // Only the issue cost lands on the clock; completion waits in the
         // pending set. (The NIC reservations above still model contention.)
         self.pe.advance(self.cost.profile().put_issue_ns);
         self.pending.borrow_mut().record_put(dst, dst_off, src.len(), t.remote_complete);
-        m.notify_pe(dst);
         self.record_op(SpanKind::Put, start, Some(dst), src.len(), detail);
     }
 
@@ -528,13 +558,15 @@ impl<'m> Ctx<'m> {
             .cost
             .strided_put_native_with_detail(self.pe.id(), dst, nelems, elem, t_begin, floor)
             .expect("checked native above");
-        for i in 0..nelems {
-            let s = i * src_stride * elem;
-            let d = dst_off + i * dst_stride * elem;
-            m.heap(dst).write_bytes(d, &src[s..s + elem]);
-            m.heap(dst).stamp_range(d, elem, t.remote_complete);
-            m.san_record_write(dst, d, elem, self.pe.id(), t.remote_complete, false, "iput");
-        }
+        m.apply_and_notify(dst, || {
+            for i in 0..nelems {
+                let s = i * src_stride * elem;
+                let d = dst_off + i * dst_stride * elem;
+                m.heap(dst).write_bytes(d, &src[s..s + elem]);
+                m.heap(dst).stamp_range(d, elem, t.remote_complete);
+                m.san_record_write(dst, d, elem, self.pe.id(), t.remote_complete, false, "iput");
+            }
+        });
         m.lift_clock(self.pe.id(), t.local_complete);
         self.record_op(SpanKind::Put, t_begin, Some(dst), nelems * elem, detail);
         // Conservative span for ordering tracking: covers the gaps too. The
@@ -542,7 +574,6 @@ impl<'m> Ctx<'m> {
         // the gaps cannot accumulate.
         let span = (nelems - 1) * dst_stride * elem + elem;
         self.pending.borrow_mut().record_put(dst, dst_off, span, t.remote_complete);
-        m.notify_pe(dst);
     }
 
     /// Strided read (`shmem_iget`): the mirror of [`Self::iput`]. Element `i`
@@ -631,17 +662,18 @@ impl<'m> Ctx<'m> {
         let t_begin = self.pe.now();
         let (t, detail) =
             self.cost.am_packed_put_with_detail(self.pe.id(), dst, nelems, elem, t_begin, floor);
-        for i in 0..nelems {
-            let s = i * src_stride * elem;
-            let d = dst_off + i * dst_stride * elem;
-            m.heap(dst).write_bytes(d, &src[s..s + elem]);
-            m.heap(dst).stamp_range(d, elem, t.remote_complete);
-            m.san_record_write(dst, d, elem, self.pe.id(), t.remote_complete, false, "am put");
-        }
+        m.apply_and_notify(dst, || {
+            for i in 0..nelems {
+                let s = i * src_stride * elem;
+                let d = dst_off + i * dst_stride * elem;
+                m.heap(dst).write_bytes(d, &src[s..s + elem]);
+                m.heap(dst).stamp_range(d, elem, t.remote_complete);
+                m.san_record_write(dst, d, elem, self.pe.id(), t.remote_complete, false, "am put");
+            }
+        });
         m.lift_clock(self.pe.id(), t.local_complete);
         let span = (nelems - 1) * dst_stride * elem + elem;
         self.pending.borrow_mut().record_put(dst, dst_off, span, t.remote_complete);
-        m.notify_pe(dst);
         self.record_op(SpanKind::Put, t_begin, Some(dst), nelems * elem, detail);
     }
 
@@ -672,16 +704,17 @@ impl<'m> Ctx<'m> {
             t_begin,
             floor,
         );
-        let mut cursor = 0;
-        for &(off, len) in regions {
-            m.heap(dst).write_bytes(off, &payload[cursor..cursor + len]);
-            m.heap(dst).stamp_range(off, len, t.remote_complete);
-            m.san_record_write(dst, off, len, self.pe.id(), t.remote_complete, false, "am put");
-            cursor += len;
-        }
+        m.apply_and_notify(dst, || {
+            let mut cursor = 0;
+            for &(off, len) in regions {
+                m.heap(dst).write_bytes(off, &payload[cursor..cursor + len]);
+                m.heap(dst).stamp_range(off, len, t.remote_complete);
+                m.san_record_write(dst, off, len, self.pe.id(), t.remote_complete, false, "am put");
+                cursor += len;
+            }
+        });
         m.lift_clock(self.pe.id(), t.local_complete);
         self.pending.borrow_mut().record_put(dst, lo, hi - lo, t.remote_complete);
-        m.notify_pe(dst);
         self.record_op(SpanKind::Put, t_begin, Some(dst), total, detail);
     }
 

@@ -78,7 +78,7 @@ pub use nonsym::NonSymArray;
 pub use pgas_machine::sanitizer::{HazardKind, HazardReport, SanitizerMode};
 pub use pgas_machine::stats::PlanDecision;
 pub use planner::{
-    Coefficients, HeuristicPlanner, LinkFit, PlanChoice, StridedPlanner, TunedPlanner,
+    Coefficients, HeuristicPlanner, LinkFit, PlanChoice, StridedPlanner, TransferDir, TunedPlanner,
 };
 pub use remote_ptr::RemotePtr;
 pub use runtime::{run_caf, run_caf_result};

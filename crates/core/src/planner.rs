@@ -33,6 +33,18 @@ use std::sync::{Mutex, OnceLock};
 /// Cache-line size assumed by the locality term of the heuristic planner.
 const CACHE_LINE: f64 = 64.0;
 
+/// Which way a section transfer moves data. Plan costs are not symmetric:
+/// a get pays the request round trip (`get_issue + control message + 2
+/// latencies`) on *every* call, so call-heavy plans hurt roughly twice as
+/// much as on the put side, and no conduit in the matrix has a get-side
+/// rendezvous cliff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransferDir {
+    #[default]
+    Put,
+    Get,
+}
+
 /// A planner's verdict on one section transfer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanChoice {
@@ -54,7 +66,9 @@ pub trait StridedPlanner {
     fn name(&self) -> &'static str;
 
     /// Choose a plan for transferring `sec` of an array of `shape` (elements
-    /// of `elem` bytes) between the calling PE and `target_pe`.
+    /// of `elem` bytes) between the calling PE and `target_pe`, in direction
+    /// `dir` (a put writes the section, a get reads it back).
+    #[allow(clippy::too_many_arguments)]
     fn plan(
         &self,
         shmem: &Shmem<'_>,
@@ -62,6 +76,7 @@ pub trait StridedPlanner {
         sec: &Section,
         shape: &[usize],
         elem: usize,
+        dir: TransferDir,
     ) -> PlanChoice;
 }
 
@@ -81,8 +96,9 @@ fn pick_best(candidates: Vec<(Plan, f64)>) -> PlanChoice {
 /// payload bandwidth, the conduit's `iput` capability, and target-side
 /// locality (elements whose stride spans many cache lines are charged a
 /// penalty). Ignores `target_pe` — the heuristic prices every target as a
-/// remote inter-node peer, which is exactly the drift the tuned planner
-/// exists to fix.
+/// remote inter-node peer — and ignores `dir`, pricing gets with the same
+/// put coefficients; both are exactly the drift the tuned planner exists
+/// to fix.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct HeuristicPlanner;
 
@@ -98,6 +114,7 @@ impl StridedPlanner for HeuristicPlanner {
         sec: &Section,
         shape: &[usize],
         elem: usize,
+        _dir: TransferDir,
     ) -> PlanChoice {
         use pgas_conduit::StridedSupport;
         let profile = shmem.profile();
@@ -180,6 +197,19 @@ pub struct LinkFit {
     /// AM-packed unpack cost as (per-message handler, per-element) ns;
     /// `None` where no active-message layer exists.
     pub am: Option<(f64, f64)>,
+    /// Fixed cost of one blocking get, ns. Carries the request round trip
+    /// (issue + control message + two wire latencies), so it is much larger
+    /// than `put_call_ns` on every inter-node link — the reason a
+    /// direction-blind planner underprices call-heavy get plans.
+    pub get_call_ns: f64,
+    /// Marginal cost per fetched byte, ns. No conduit in the matrix has a
+    /// get-side rendezvous cliff, so the fit is a clean line.
+    pub get_byte_ns: f64,
+    /// Native 1-D `iget` cost as (per-call, per-byte, per-element) ns;
+    /// `None` when the conduit loops over contiguous gets in software.
+    pub iget: Option<(f64, f64, f64)>,
+    /// AM-packed gather cost as (per-message handler, per-element) ns.
+    pub am_get: Option<(f64, f64)>,
 }
 
 /// Residual above which a probe is considered to have crossed the
@@ -254,7 +284,46 @@ impl LinkFit {
             (handler, elem)
         });
 
-        LinkFit { put_call_ns, put_byte_ns: slope, tail_ns, rendezvous, iput, am }
+        // Get direction: same probe discipline against `get_estimate_ns`.
+        // No rendezvous scan — the get path of every profile is linear in
+        // the payload (the request/reply handshake is part of every call).
+        let get = |bytes: usize| cost.get_estimate_ns(src, dst, bytes) as f64;
+        let get_byte_ns = (get(2 * big) - get(big)) / big as f64;
+        let get_call_ns = get(8) - 8.0 * get_byte_ns;
+
+        let iget = cost.strided_get_estimate_ns(src, dst, 8, 8).map(|c1| {
+            let c1 = c1 as f64;
+            let c2 = cost.strided_get_estimate_ns(src, dst, 256, 8).unwrap() as f64;
+            let c3 = cost.strided_get_estimate_ns(src, dst, 8, 64).unwrap() as f64;
+            // Same three-probe solve as iput: c(n, e) = call + n*e*byte + n*elem.
+            let byte = (c3 - c1) / 448.0;
+            let elem = ((c2 - c1) - 1984.0 * byte) / 248.0;
+            let call = c1 - 64.0 * byte - 8.0 * elem;
+            (call, byte, elem)
+        });
+
+        let am_get = matches!(cost.profile().amo, AmoSupport::AmEmulated { .. }).then(|| {
+            let pack = |n: usize| {
+                (cost.am_packed_get_estimate_ns(src, dst, n, 8)
+                    - cost.get_estimate_ns(src, dst, n * 8)) as f64
+            };
+            let elem = (pack(256) - pack(8)) / 248.0;
+            let handler = pack(8) - 8.0 * elem;
+            (handler, elem)
+        });
+
+        LinkFit {
+            put_call_ns,
+            put_byte_ns: slope,
+            tail_ns,
+            rendezvous,
+            iput,
+            am,
+            get_call_ns,
+            get_byte_ns,
+            iget,
+            am_get,
+        }
     }
 
     /// Predicted local-completion cost of one contiguous put of `bytes`.
@@ -264,6 +333,11 @@ impl LinkFit {
             _ => 0.0,
         };
         self.put_call_ns + bytes as f64 * self.put_byte_ns + rdv
+    }
+
+    /// Predicted completion cost of one blocking get of `bytes`.
+    fn get_ns(&self, bytes: usize) -> f64 {
+        self.get_call_ns + bytes as f64 * self.get_byte_ns
     }
 
     fn to_json(&self) -> Json {
@@ -291,6 +365,24 @@ impl LinkFit {
             (
                 "am".into(),
                 match self.am {
+                    Some((h, e)) => pair(h, e),
+                    None => Json::Null,
+                },
+            ),
+            ("get_call_ns".into(), Json::float(self.get_call_ns)),
+            ("get_byte_ns".into(), Json::float(self.get_byte_ns)),
+            (
+                "iget".into(),
+                match self.iget {
+                    Some((c, b, e)) => {
+                        Json::Array(vec![Json::float(c), Json::float(b), Json::float(e)])
+                    }
+                    None => Json::Null,
+                },
+            ),
+            (
+                "am_get".into(),
+                match self.am_get {
                     Some((h, e)) => pair(h, e),
                     None => Json::Null,
                 },
@@ -325,6 +417,9 @@ impl LinkFit {
                 }
             }
         };
+        // Strict fields on purpose: a cache file from before the get-side
+        // calibration existed fails to parse, `Coefficients::load` errors,
+        // and the caller falls through to a fresh (full) calibration.
         Ok(LinkFit {
             put_call_ns: f("put_call_ns")?,
             put_byte_ns: f("put_byte_ns")?,
@@ -332,6 +427,10 @@ impl LinkFit {
             rendezvous: arr("rendezvous", 2)?.map(|p| (p[0] as usize, p[1])),
             iput: arr("iput", 3)?.map(|p| (p[0], p[1], p[2])),
             am: arr("am", 2)?.map(|p| (p[0], p[1])),
+            get_call_ns: f("get_call_ns")?,
+            get_byte_ns: f("get_byte_ns")?,
+            iget: arr("iget", 3)?.map(|p| (p[0], p[1], p[2])),
+            am_get: arr("am_get", 2)?.map(|p| (p[0], p[1])),
         })
     }
 }
@@ -525,6 +624,7 @@ impl StridedPlanner for TunedPlanner {
         sec: &Section,
         shape: &[usize],
         elem: usize,
+        dir: TransferDir,
     ) -> PlanChoice {
         // Unlike the heuristic, price the actual link to the target.
         let fit = if shmem.machine().same_node(shmem.my_pe(), target_pe) {
@@ -535,6 +635,19 @@ impl StridedPlanner for TunedPlanner {
         let _ = shape; // locality is in the measured iput per-element term
         let total = sec.total();
 
+        // Direction-aware pricing: one contiguous call, the strided-native
+        // fit, the AM fit, and the completion tail (gets are blocking — the
+        // caller has the data at local completion, there is no pending tail
+        // for `quiet` to collect).
+        let call_ns: &dyn Fn(usize) -> f64 = match dir {
+            TransferDir::Put => &|bytes| fit.put_ns(bytes),
+            TransferDir::Get => &|bytes| fit.get_ns(bytes),
+        };
+        let (strided_fit, am_fit, tail_ns) = match dir {
+            TransferDir::Put => (fit.iput, fit.am, fit.tail_ns),
+            TransferDir::Get => (fit.iget, fit.am_get, 0.0),
+        };
+
         // Plan A: contiguous runs.
         let contiguous = sec.dims()[0].step == 1;
         let (n_runs, run_bytes) = if contiguous {
@@ -542,8 +655,7 @@ impl StridedPlanner for TunedPlanner {
         } else {
             (total, elem)
         };
-        let mut candidates =
-            vec![(Plan::Runs, n_runs as f64 * fit.put_ns(run_bytes) + fit.tail_ns)];
+        let mut candidates = vec![(Plan::Runs, n_runs as f64 * call_ns(run_bytes) + tail_ns)];
 
         // Plan B: pencils along each dimension. Same candidate order and
         // strict-`<` replacement as the heuristic, so exact-cost ties (e.g.
@@ -552,19 +664,19 @@ impl StridedPlanner for TunedPlanner {
         for d in 0..sec.rank() {
             let count = sec.dims()[d].count;
             let pencils = (total / count) as f64;
-            let cost = match fit.iput {
+            let cost = match strided_fit {
                 Some((call, byte, elem_ns)) => {
                     pencils * (call + (count * elem) as f64 * byte + count as f64 * elem_ns)
-                        + fit.tail_ns
+                        + tail_ns
                 }
-                None => total as f64 * fit.put_ns(elem) + fit.tail_ns,
+                None => total as f64 * call_ns(elem) + tail_ns,
             };
             candidates.push((Plan::BaseDim(d), cost));
         }
 
         // Plan C: AM packing, where a handler exists.
-        if let Some((handler, elem_ns)) = fit.am {
-            let cost = fit.put_ns(total * elem) + fit.tail_ns + handler + total as f64 * elem_ns;
+        if let Some((handler, elem_ns)) = am_fit {
+            let cost = call_ns(total * elem) + tail_ns + handler + total as f64 * elem_ns;
             candidates.push((Plan::Packed, cost));
         }
         pick_best(candidates)
@@ -593,6 +705,56 @@ mod tests {
             let fitted = co.intra.put_ns(bytes);
             assert!((real - fitted).abs() <= 2.0, "intra {bytes} B: model {real} vs fit {fitted}");
         }
+    }
+
+    #[test]
+    fn fit_reproduces_cost_model_get_times() {
+        let m = Machine::new(stampede(2, 16));
+        let cost = CostModel::new(&m, ConduitProfile::mvapich_shmem());
+        let co = Coefficients::calibrate(&cost);
+        let inter = co.inter.as_ref().expect("two nodes => inter fit");
+        for bytes in [8usize, 256, 4096, 60_000, 1 << 20] {
+            let real = cost.get_estimate_ns(0, 16, bytes) as f64;
+            let fitted = inter.get_ns(bytes);
+            assert!((real - fitted).abs() <= 2.0, "{bytes} B: model {real} vs fit {fitted}");
+        }
+        for bytes in [8usize, 4096, 1 << 20] {
+            let real = cost.get_estimate_ns(0, 1, bytes) as f64;
+            let fitted = co.intra.get_ns(bytes);
+            assert!((real - fitted).abs() <= 2.0, "intra {bytes} B: model {real} vs fit {fitted}");
+        }
+        // The get call constant must carry the request round trip: on an
+        // inter-node link it dwarfs the put-side call constant.
+        assert!(
+            inter.get_call_ns > inter.put_call_ns,
+            "get {} <= put {}",
+            inter.get_call_ns,
+            inter.put_call_ns
+        );
+    }
+
+    #[test]
+    fn iget_fit_reproduces_strided_get_estimates() {
+        let m = Machine::new(cray_xc30(2, 16));
+        let cost = CostModel::new(&m, ConduitProfile::cray_shmem(Platform::CrayXc30));
+        let co = Coefficients::calibrate(&cost);
+        let (call, byte, elem) = co.inter.as_ref().unwrap().iget.unwrap();
+        for (n, e) in [(16usize, 4usize), (100, 8), (500, 16)] {
+            let real = cost.strided_get_estimate_ns(0, 16, n, e).unwrap() as f64;
+            let fitted = call + (n * e) as f64 * byte + n as f64 * elem;
+            assert!((real - fitted).abs() <= 2.0, "iget n={n} e={e}: {real} vs {fitted}");
+        }
+        // Same capability surface as the put side: native iget on cray,
+        // AM gather only where an AM layer exists.
+        assert!(co.inter.as_ref().unwrap().am_get.is_none());
+        let m = Machine::new(stampede(2, 16));
+        let gasnet = Coefficients::calibrate(&CostModel::new(
+            &m,
+            ConduitProfile::gasnet(Platform::Stampede),
+        ));
+        assert!(gasnet.inter.as_ref().unwrap().iget.is_none(), "gasnet loops iget");
+        let (handler, elem) = gasnet.inter.unwrap().am_get.expect("gasnet has AM gather");
+        assert!(handler > 0.0 && elem > 0.0);
     }
 
     #[test]

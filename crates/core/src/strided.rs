@@ -17,7 +17,7 @@
 //! * **AmPacked** — pack everything into one active message (GASNet VIS).
 
 use crate::config::StridedAlgorithm;
-use crate::planner::{HeuristicPlanner, StridedPlanner, TunedPlanner};
+use crate::planner::{HeuristicPlanner, StridedPlanner, TransferDir, TunedPlanner};
 use crate::section::Section;
 use openshmem::data::{from_bytes, to_bytes, Scalar, SymPtr};
 use openshmem::Shmem;
@@ -45,6 +45,7 @@ pub fn plan_label(plan: Plan) -> String {
 /// Run a [`StridedPlanner`] and record its decision (chosen plan, predicted
 /// cost, every candidate cost) in the machine's stats, so figures can
 /// contrast predictions against measured virtual time.
+#[allow(clippy::too_many_arguments)]
 fn plan_and_record(
     planner: &dyn StridedPlanner,
     shmem: &Shmem<'_>,
@@ -52,8 +53,9 @@ fn plan_and_record(
     sec: &Section,
     shape: &[usize],
     elem: usize,
+    dir: TransferDir,
 ) -> (Plan, Option<f64>) {
-    let choice = planner.plan(shmem, target_pe, sec, shape, elem);
+    let choice = planner.plan(shmem, target_pe, sec, shape, elem, dir);
     shmem.machine().stats().record_plan(pgas_machine::stats::PlanDecision {
         pe: shmem.my_pe(),
         planner: planner.name(),
@@ -66,6 +68,7 @@ fn plan_and_record(
 
 /// Choose a plan; for planner-backed algorithms also return the predicted
 /// cost so callers can compare it against measured virtual time.
+#[allow(clippy::too_many_arguments)]
 fn plan_of(
     shmem: &Shmem<'_>,
     algo: StridedAlgorithm,
@@ -73,6 +76,7 @@ fn plan_of(
     sec: &Section,
     shape: &[usize],
     elem: usize,
+    dir: TransferDir,
 ) -> (Plan, Option<f64>) {
     match algo {
         StridedAlgorithm::Naive => (Plan::Runs, None),
@@ -81,11 +85,11 @@ fn plan_of(
         StridedAlgorithm::BestOfAll => (Plan::BaseDim(sec.best_dim(usize::MAX)), None),
         StridedAlgorithm::AmPacked => (Plan::Packed, None),
         StridedAlgorithm::Adaptive => {
-            plan_and_record(&HeuristicPlanner, shmem, target_pe, sec, shape, elem)
+            plan_and_record(&HeuristicPlanner, shmem, target_pe, sec, shape, elem, dir)
         }
         StridedAlgorithm::Tuned => {
             let planner = TunedPlanner::for_shmem(shmem);
-            plan_and_record(&planner, shmem, target_pe, sec, shape, elem)
+            plan_and_record(&planner, shmem, target_pe, sec, shape, elem, dir)
         }
     }
 }
@@ -118,7 +122,7 @@ fn record_misprediction(shmem: &Shmem<'_>, target_pe: usize, predicted_ns: Optio
 /// the plan; new code should use the [`crate::planner::StridedPlanner`]
 /// trait, which also reports predicted and candidate costs.
 pub fn adaptive_plan(shmem: &Shmem<'_>, sec: &Section, shape: &[usize], elem: usize) -> Plan {
-    HeuristicPlanner.plan(shmem, 0, sec, shape, elem).plan
+    HeuristicPlanner.plan(shmem, 0, sec, shape, elem, TransferDir::Put).plan
 }
 
 /// Byte regions (offset, len) of the section's stride-1 runs, in packed
@@ -157,7 +161,7 @@ pub fn put_section<T: Scalar>(
         shmem.put(ptr, data, target_pe);
         return;
     }
-    let (plan, predicted) = plan_of(shmem, algo, target_pe, sec, shape, T::BYTES);
+    let (plan, predicted) = plan_of(shmem, algo, target_pe, sec, shape, T::BYTES, TransferDir::Put);
     let t0 = shmem.ctx().pe().now();
     match plan {
         Plan::Runs => {
@@ -206,7 +210,7 @@ pub fn get_section<T: Scalar>(
         shmem.get(ptr, &mut out, target_pe);
         return out;
     }
-    let (plan, predicted) = plan_of(shmem, algo, target_pe, sec, shape, T::BYTES);
+    let (plan, predicted) = plan_of(shmem, algo, target_pe, sec, shape, T::BYTES, TransferDir::Get);
     let t0 = shmem.ctx().pe().now();
     match plan {
         Plan::Runs => {

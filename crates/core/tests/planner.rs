@@ -4,7 +4,7 @@
 //! strictly beat the heuristic where the heuristic's hard-coded locality
 //! penalty mispredicts.
 
-use caf::planner::{Coefficients, StridedPlanner, TunedPlanner};
+use caf::planner::{Coefficients, StridedPlanner, TransferDir, TunedPlanner};
 use caf::{Backend, CafConfig, DimRange, Section, StridedAlgorithm};
 use pgas_conduit::CostModel;
 use pgas_machine::{generic_smp, Machine, Platform};
@@ -33,6 +33,43 @@ fn time_with(
                 let t0 = img.shmem().ctx().pe().now();
                 for _ in 0..3 {
                     a.put_section(img, 2, &sec, &data);
+                }
+                img.shmem().ctx().pe().now() - t0
+            } else {
+                0
+            }
+        },
+    );
+    out.results[0]
+}
+
+/// Virtual time of three repetitions of `get_section` under `algo` — the
+/// get-heavy mirror of [`time_with`]. Gets are blocking, so the elapsed
+/// clock is the full transfer cost with no tail hidden behind `quiet`.
+fn time_with_get(
+    platform: Platform,
+    backend: Backend,
+    algo: StridedAlgorithm,
+    dims: &[DimRange],
+    shape: &[usize],
+) -> u64 {
+    let sec = Section::new(dims.to_vec());
+    let shape = shape.to_vec();
+    let cfg = match platform {
+        Platform::GenericSmp => generic_smp(2),
+        _ => platform.config(2, 1),
+    };
+    let out = caf::run_caf(
+        cfg.with_heap_bytes(1 << 20),
+        CafConfig::new(backend, platform).with_strided(algo),
+        move |img| {
+            let a = img.coarray::<i32>(&shape).unwrap();
+            img.sync_all();
+            if img.this_image() == 1 {
+                let t0 = img.shmem().ctx().pe().now();
+                for _ in 0..3 {
+                    let back = a.get_section(img, 2, &sec);
+                    assert_eq!(back.len(), sec.total());
                 }
                 img.shmem().ctx().pe().now() - t0
             } else {
@@ -109,6 +146,29 @@ fn tuned_never_worse_than_heuristic_naive_or_twodim() {
 }
 
 #[test]
+fn tuned_never_worse_than_rivals_on_get_heavy_sections() {
+    // The get-side drift satellite: the heuristic prices gets with put
+    // coefficients (it has no `dir` awareness), underpricing call-heavy
+    // plans by the request round trip each call pays. The tuned planner's
+    // measured get fits must never lose to the heuristic or to the fixed
+    // algorithms on any profile-matrix combo.
+    for (dims, shape) in sections() {
+        for (platform, backend) in COMBOS {
+            let tuned = time_with_get(platform, backend, StridedAlgorithm::Tuned, &dims, &shape);
+            for rival in
+                [StridedAlgorithm::Adaptive, StridedAlgorithm::Naive, StridedAlgorithm::TwoDim]
+            {
+                let other = time_with_get(platform, backend, rival, &dims, &shape);
+                assert!(
+                    tuned <= other,
+                    "{platform:?}/{backend:?} {dims:?}: tuned get {tuned} > {rival:?} {other}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn tuned_strictly_beats_heuristic_on_deep_strides() {
     let (dims, shape) = sections().into_iter().nth(2).unwrap();
     let tuned =
@@ -149,10 +209,12 @@ fn calibration_cache_round_trips_with_identical_plans() {
                     if target == img.this_image() {
                         continue;
                     }
-                    let a = fresh.plan(img.shmem(), target - 1, &sec, &shape, 4);
-                    let b = disk.plan(img.shmem(), target - 1, &sec, &shape, 4);
-                    assert_eq!(a, b, "saved and reloaded fits diverged");
-                    plans.push(a.plan);
+                    for dir in [TransferDir::Put, TransferDir::Get] {
+                        let a = fresh.plan(img.shmem(), target - 1, &sec, &shape, 4, dir);
+                        let b = disk.plan(img.shmem(), target - 1, &sec, &shape, 4, dir);
+                        assert_eq!(a, b, "saved and reloaded fits diverged ({dir:?})");
+                        plans.push(a.plan);
+                    }
                 }
             }
             plans

@@ -98,6 +98,65 @@ fn syncless_producer_consumer_is_flagged_missing_sync() {
 }
 
 #[test]
+fn second_reader_cannot_hide_the_first_readers_race() {
+    // Three-PE regression for the adaptive read vector: the scalar
+    // last-read-per-word shadow provably misses this race, because image 3's
+    // read *replaces* image 2's record and image 1 is synchronized with
+    // image 3 alone when it writes.
+    //
+    //   image 2 (PE 1): reads the word, signals image 3 through a raw
+    //                   machine flag the sanitizer cannot see;
+    //   image 3 (PE 2): reads the same word, then sets a visible atomic flag;
+    //   image 1 (PE 0): waits on that flag (happens-before edge from image 3
+    //                   only) and overwrites the word.
+    //
+    // Image 1's write races image 2's read — there is no sanitizer-visible
+    // edge between them — and must be flagged even though the most recent
+    // reader (image 3) is fully synchronized.
+    use std::sync::atomic::Ordering;
+    let out = run_caf(
+        titan(3, 1).with_heap_bytes(1 << 18).with_sanitizer(SanitizerMode::Record),
+        caf_cfg(),
+        |img| {
+            let data = img.shmem().shmalloc::<u64>(1).unwrap();
+            let raw = img.shmem().shmalloc::<u64>(1).unwrap();
+            let flag = img.shmem().shmalloc::<u64>(1).unwrap();
+            img.sync_all();
+            let m = img.shmem().ctx().pe().machine();
+            let mut v = [0u64; 1];
+            match img.this_image() {
+                2 => {
+                    // Local work first: the read must be *strictly after*
+                    // the setup barrier, or its record carries the barrier
+                    // instant and every PE counts as synchronized with it.
+                    m.advance(1, 50.0);
+                    img.shmem().get(data, &mut v, 0);
+                    // BUG: "synchronizes" through a raw flag on image 3's
+                    // heap that the PGAS model knows nothing about.
+                    m.heap(2).atomic64(raw.offset()).store(1, Ordering::Release);
+                    m.notify_pe(2);
+                }
+                3 => {
+                    m.wait_on(2, || m.heap(2).atomic64(raw.offset()).load(Ordering::Acquire) == 1);
+                    img.shmem().get(data, &mut v, 0);
+                    img.shmem().atomic_set(flag, 1, 0);
+                }
+                _ => {
+                    img.shmem().wait_until(flag, openshmem::shmem::Cmp::Eq, 1);
+                    // Synchronized with image 3's read — but not image 2's.
+                    img.shmem().put(data, &[42], 0);
+                }
+            }
+            img.sync_all();
+        },
+    );
+    let r = out.expect_hazard(HazardKind::MissingSync);
+    assert_eq!(r.accessor, 0, "image 1 (PE 0) wrote over an unsynchronized read");
+    assert_eq!(r.conflict_pe, 1, "the hidden racing reader is image 2 (PE 1)");
+    assert_eq!(r.op, "put");
+}
+
+#[test]
 fn synchronized_producer_consumer_is_clean() {
     // The same producer/consumer with the race fixed by `sync all` must
     // produce zero reports.

@@ -83,6 +83,14 @@ pub struct MachineConfig {
     /// blocking waits are barriers/`wait_on` (true of the benchmark probes).
     /// Regression probes enable it so contended runs digest bit-identically.
     pub deterministic_nic: bool,
+    /// Worker-pool limit: at most this many PE threads are *runnable* at
+    /// once, admitted in `(virtual clock, pe)` order (see `crate::sched`).
+    /// `None` defers to the `PGAS_WORKERS` environment default; `Some(0)`
+    /// (or any value `>= total_pes`) pins legacy one-thread-per-PE mode,
+    /// beating the environment. Simulation outcomes are bit-identical for
+    /// every setting; the limit only bounds host-side concurrency so
+    /// paper-scale (1024/2048-image) and larger jobs fit the host.
+    pub workers: Option<usize>,
 }
 
 impl MachineConfig {
@@ -148,6 +156,21 @@ impl MachineConfig {
         self
     }
 
+    /// Bound runnable PE threads to `n` worker slots (see the `workers`
+    /// field). An explicit choice — including `0`, meaning unbounded legacy
+    /// mode — beats the `PGAS_WORKERS` environment default.
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = Some(n);
+        self
+    }
+
+    /// Override the PE thread stack size (large jobs shrink it so thousands
+    /// of PE threads fit the host's address-space and memory budget).
+    pub fn with_stack_bytes(mut self, bytes: usize) -> Self {
+        self.stack_bytes = bytes;
+        self
+    }
+
     /// The sanitizer mode a machine built from this config will run with.
     ///
     /// An explicit [`Self::with_sanitizer`] choice always stands; when the
@@ -179,6 +202,21 @@ impl MachineConfig {
     /// environment variable and the `with_forced_metrics` thread override.
     pub fn metrics_enabled(&self) -> bool {
         self.metrics || crate::metrics::env_default().unwrap_or(false)
+    }
+
+    /// The worker-pool limit a machine built from this config will run with
+    /// (`None` = legacy one-thread-per-PE).
+    ///
+    /// An explicit [`Self::with_workers`] choice always stands (including an
+    /// explicit `0`, which pins legacy mode); when the config carries no
+    /// limit, the process-wide `PGAS_WORKERS` environment variable (read
+    /// once, at first use) supplies the default. A `with_forced_workers`
+    /// thread override beats both, but that is applied by `Machine::new`,
+    /// not here. `0` and anything `>= total_pes` resolve to `None`: a pool
+    /// that admits every PE at once is exactly legacy mode, so no scheduler
+    /// state is built and the legacy path is untouched.
+    pub fn worker_limit(&self) -> Option<usize> {
+        self.workers.or_else(crate::sched::env_default).filter(|&w| w > 0 && w < self.total_pes())
     }
 
     /// The fault plan a machine built from this config will run with.

@@ -1,5 +1,12 @@
 //! SPMD launcher: spawn one OS thread per PE, run the program closure on
 //! each, propagate panics without deadlocking the rest of the job.
+//!
+//! Under a worker limit (`MachineConfig::with_workers` / `PGAS_WORKERS`,
+//! see `crate::sched`) the threads still all spawn, but at most `W` are
+//! runnable at once: each thread is admitted in `(virtual clock, pe)` order
+//! and yields its slot at every blocking point. Outcomes are bit-identical
+//! for every worker count; the limit only bounds host-side concurrency so
+//! paper-scale jobs (thousands of PEs) fit the host.
 
 use crate::config::MachineConfig;
 use crate::critpath::CriticalPathReport;
@@ -144,10 +151,14 @@ where
             let builder = std::thread::Builder::new().name(format!("pe-{id}")).stack_size(stack);
             let handle = builder
                 .spawn_scoped(scope, move || {
+                    // Under a worker limit a fresh PE thread first waits for
+                    // a slot (ready at clock 0); legacy mode starts at once.
+                    machine.sched_acquire(id);
                     let pe = Pe::new(id, machine);
                     let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(pe)));
                     // A finished PE is permanently quiescent for the NIC
-                    // arbiter — stragglers must not wait on its clock.
+                    // arbiter — stragglers must not wait on its clock — and
+                    // gives up its worker slot.
                     machine.pe_finished(id);
                     if out.is_err() {
                         // Unblock everyone else before reporting.

@@ -36,6 +36,7 @@ pub mod metrics;
 pub mod nic;
 pub mod platforms;
 pub mod sanitizer;
+pub mod sched;
 pub mod stats;
 pub mod stream;
 pub mod sync;
@@ -50,6 +51,7 @@ pub use machine::{Machine, PeId};
 pub use metrics::{with_forced_metrics, MetricsRegistry, MetricsSnapshot};
 pub use platforms::{cray_xc30, generic_smp, stampede, titan, Platform};
 pub use sanitizer::{with_forced_mode, HazardKind, HazardReport, SanitizerMode};
+pub use sched::with_forced_workers;
 pub use stats::{FaultEvent, PlanDecision, StatsSnapshot};
 pub use stream::{with_forced_stream, SnapshotRing, StreamConfig, StreamSample};
 pub use trace::with_forced_tracing;

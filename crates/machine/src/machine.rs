@@ -6,9 +6,10 @@ use crate::heap::Heap;
 use crate::metrics::MetricsRegistry;
 use crate::nic::Nic;
 use crate::sanitizer::{HazardReport, Sanitizer, SanitizerMode};
+use crate::sched::SchedState;
 use crate::stats::{FaultEvent, Stats};
 use crate::stream::{SnapshotRing, StreamConfig, StreamSample};
-use crate::sync::{ClockBarrier, NotifyCell, Poison, WAIT_TICK};
+use crate::sync::{ClockBarrier, NotifyCell, Poison};
 use crate::trace::{Span, SpanKind, Tracer};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeSet, HashMap};
@@ -80,9 +81,19 @@ impl StreamState {
 struct ArbiterState {
     /// Parked requests, at most one per PE, ordered by `(start, pe)`.
     parked: Mutex<BTreeSet<(u64, PeId)>>,
-    cv: Condvar,
-    /// Fast-path gate for `arb_clock_moved`: number of parked requests.
-    parked_count: AtomicUsize,
+    /// One condvar per PE (all guarded by the `parked` mutex): only the
+    /// holder of the *minimum* parked key can ever be granted, so wakes
+    /// target exactly that thread instead of broadcasting to every parked
+    /// PE — at 1024+ images a shared-condvar broadcast per clock movement
+    /// is a thundering herd that dominates wall time.
+    cvs: Vec<Condvar>,
+    /// PE holding the minimum parked key (`usize::MAX` when none), cached
+    /// under the `parked` mutex on every insert/remove so clock movements
+    /// can find their wake target with one atomic load, no locking.
+    min_pe: AtomicUsize,
+    /// Mirror of "is this PE parked", updated under the `parked` mutex:
+    /// lets the grant check ask in O(1) instead of scanning the set.
+    parked_flags: Vec<AtomicBool>,
     /// PEs that cannot issue a NIC request until externally unblocked.
     quiescent: Vec<AtomicBool>,
     /// PEs whose quiescence comes from `wait_on` (as opposed to a barrier):
@@ -114,6 +125,10 @@ pub struct Machine {
     /// Virtual-time NIC arbiter; `None` unless `deterministic_nic` is set,
     /// so the common path costs one branch per reservation and clock move.
     arbiter: Option<ArbiterState>,
+    /// Bounded worker-pool scheduler; `None` in legacy one-thread-per-PE
+    /// mode (no worker limit resolved, or the limit covers every PE), so
+    /// the legacy path costs one branch per blocking region.
+    sched: Option<SchedState>,
 }
 
 impl Machine {
@@ -135,10 +150,19 @@ impl Machine {
         // environment default — a stream needs a consumer holding its ring.
         let stream =
             crate::stream::forced_stream().or_else(|| cfg.stream.clone()).map(StreamState::new);
+        // Worker-limit resolution mirrors the others: thread-forced limit
+        // beats explicit config, which beats the PGAS_WORKERS environment
+        // default. Zero or a limit covering every PE is exactly legacy mode,
+        // so no scheduler state is built at all.
+        let sched = crate::sched::forced_workers()
+            .or_else(|| cfg.worker_limit())
+            .filter(|&w| w > 0 && w < n)
+            .map(|w| SchedState::new(w, n));
         let arbiter = cfg.deterministic_nic.then(|| ArbiterState {
             parked: Mutex::new(BTreeSet::new()),
-            cv: Condvar::new(),
-            parked_count: AtomicUsize::new(0),
+            cvs: (0..n).map(|_| Condvar::new()).collect(),
+            min_pe: AtomicUsize::new(usize::MAX),
+            parked_flags: (0..n).map(|_| AtomicBool::new(false)).collect(),
             quiescent: (0..n).map(|_| AtomicBool::new(false)).collect(),
             in_wait_on: (0..n).map(|_| AtomicBool::new(false)).collect(),
         });
@@ -146,6 +170,7 @@ impl Machine {
             faults,
             stream,
             arbiter,
+            sched,
             pes: (0..n)
                 .map(|_| PeState {
                     heap: Heap::new(cfg.heap_bytes),
@@ -485,6 +510,49 @@ impl Machine {
         st.ring.push(sample);
     }
 
+    // ---- worker-pool scheduling -----------------------------------------
+
+    /// The resolved worker-pool limit, or `None` in legacy one-thread-per-PE
+    /// mode.
+    #[inline]
+    pub fn worker_limit(&self) -> Option<usize> {
+        self.sched.as_ref().map(|s| s.workers())
+    }
+
+    /// Launcher hook: block until `pe`'s thread is admitted to a worker
+    /// slot (no-op in legacy mode). Keys the ready queue by `pe`'s current
+    /// virtual clock.
+    #[inline]
+    pub(crate) fn sched_acquire(&self, pe: PeId) {
+        if let Some(s) = &self.sched {
+            s.acquire(pe, self.clock(pe), &self.poison);
+        }
+    }
+
+    /// Give up `pe`'s worker slot (idempotent; no-op in legacy mode).
+    #[inline]
+    pub(crate) fn sched_release(&self, pe: PeId) {
+        if let Some(s) = &self.sched {
+            s.release(pe);
+        }
+    }
+
+    /// Run `f` — a blocking region on behalf of `pe` (a rendezvous, a
+    /// `wait_on`, a parked NIC-arbiter turn) — without holding a worker
+    /// slot: the slot is released first and re-acquired afterwards, keyed
+    /// by `pe`'s post-wake virtual clock. Without a worker limit this is
+    /// exactly `f()`. If `f` unwinds (poison propagation) the slot stays
+    /// released; the launcher's finish hook tolerates that via idempotent
+    /// release.
+    #[inline]
+    pub(crate) fn sched_block<R>(&self, pe: PeId, f: impl FnOnce() -> R) -> R {
+        let Some(s) = &self.sched else { return f() };
+        s.release(pe);
+        let out = f();
+        s.acquire(pe, self.clock(pe), &self.poison);
+        out
+    }
+
     // ---- deterministic NIC arbitration ----------------------------------
 
     /// Is the virtual-time NIC arbiter active?
@@ -501,27 +569,56 @@ impl Machine {
     /// other PEs (it only touches NIC lane frontiers).
     pub fn nic_turn<R>(&self, pe: PeId, start: u64, f: impl FnOnce() -> R) -> R {
         let Some(arb) = &self.arbiter else { return f() };
+        // A parked turn is a blocking region for the worker pool: while
+        // waiting for the grant the PE must not hold a slot — the grant
+        // condition polls other PEs' clocks, and those PEs may need a slot
+        // to advance them. (The reservation itself only touches NIC lane
+        // frontiers, so running it slotless is harmless.)
+        self.sched_block(pe, || self.nic_turn_parked(arb, pe, start, f))
+    }
+
+    fn nic_turn_parked<R>(
+        &self,
+        arb: &ArbiterState,
+        pe: PeId,
+        start: u64,
+        f: impl FnOnce() -> R,
+    ) -> R {
         let key = (start, pe);
         let mut parked = arb.parked.lock();
         let inserted = parked.insert(key);
         debug_assert!(inserted, "a PE parks at most one NIC request at a time");
-        arb.parked_count.fetch_add(1, Ordering::Relaxed);
+        arb.parked_flags[pe].store(true, Ordering::Release);
+        Self::arb_cache_min(arb, &parked);
+        // Parking makes this PE "comparable by key", which can complete the
+        // current minimum's grant condition — wake it (if it isn't us).
+        let min = *parked.iter().next().expect("own key is parked");
+        if min != key {
+            arb.cvs[min.1].notify_all();
+        }
         loop {
             if self.poison.is_poisoned() {
                 parked.remove(&key);
-                arb.parked_count.fetch_sub(1, Ordering::Relaxed);
+                arb.parked_flags[pe].store(false, Ordering::Release);
+                Self::arb_cache_min(arb, &parked);
                 drop(parked);
-                arb.cv.notify_all();
+                self.arb_wake_min(arb);
                 self.poison.check(); // panics
                 unreachable!("poison.check() panics when poisoned");
             }
             let min = *parked.iter().next().expect("own key is parked");
-            if min == key && self.arb_grantable(arb, &parked, start, pe) {
+            if min == key && self.arb_grantable(arb, start, pe) {
                 break;
             }
-            // Timed wait: a missed notification (or a PE advancing past
-            // `start` without ever touching the arbiter) can never hang us.
-            arb.cv.wait_for(&mut parked, WAIT_TICK);
+            // Timed wait on this PE's own condvar: a missed notification
+            // (or a PE advancing past `start` without ever touching the
+            // arbiter) can never hang us. Only the minimum key polls
+            // eagerly — its grant condition reads other PEs' clocks, which
+            // can move without an arbiter touch; everyone else is woken by
+            // name on becoming the minimum and polls only as a backstop.
+            let tick =
+                if min == key { crate::sync::WAIT_TICK_MIN } else { crate::sync::WAIT_TICK_IDLE };
+            arb.cvs[pe].wait_for(&mut parked, tick);
         }
         // Keep the key parked while reserving: it blocks every later key, so
         // grants are mutually exclusive without a separate lock.
@@ -529,28 +626,42 @@ impl Machine {
         let out = f();
         let mut parked = arb.parked.lock();
         parked.remove(&key);
-        arb.parked_count.fetch_sub(1, Ordering::Relaxed);
+        arb.parked_flags[pe].store(false, Ordering::Release);
+        Self::arb_cache_min(arb, &parked);
         drop(parked);
-        arb.cv.notify_all();
+        self.arb_wake_min(arb);
         out
+    }
+
+    /// Refresh the cached minimum-key holder. Call with the `parked` mutex
+    /// held, after every insert/remove.
+    fn arb_cache_min(arb: &ArbiterState, parked: &BTreeSet<(u64, PeId)>) {
+        let min = parked.iter().next().map(|&(_, p)| p).unwrap_or(usize::MAX);
+        arb.min_pe.store(min, Ordering::Release);
+    }
+
+    /// Wake the holder of the minimum parked key, if any. Lock-free — the
+    /// target is the cached `min_pe` — and sufficient: only the minimum can
+    /// be granted, every other parked PE sleeps until it becomes the
+    /// minimum (a stale read is repaired by the next wake or, worst case,
+    /// the target's own backstop-tick re-check).
+    #[inline]
+    fn arb_wake_min(&self, arb: &ArbiterState) {
+        let min = arb.min_pe.load(Ordering::Acquire);
+        if min != usize::MAX {
+            arb.cvs[min].notify_all();
+        }
     }
 
     /// Grant condition for a parked minimum `(start, pe)`: every other PE is
     /// quiescent, parked itself (its key is larger — ours is the minimum), or
     /// already strictly past `start` (clocks are monotone, so it can never
     /// issue an earlier request).
-    fn arb_grantable(
-        &self,
-        arb: &ArbiterState,
-        parked: &BTreeSet<(u64, PeId)>,
-        start: u64,
-        pe: PeId,
-    ) -> bool {
-        let parked_pes: Vec<PeId> = parked.iter().map(|&(_, p)| p).collect();
+    fn arb_grantable(&self, arb: &ArbiterState, start: u64, pe: PeId) -> bool {
         (0..self.num_pes()).all(|q| {
             q == pe
                 || arb.quiescent[q].load(Ordering::Acquire)
-                || parked_pes.contains(&q)
+                || arb.parked_flags[q].load(Ordering::Acquire)
                 || self.clock(q) > start
         })
     }
@@ -562,27 +673,28 @@ impl Machine {
     pub(crate) fn arb_set_quiescent(&self, pe: PeId, quiescent: bool) {
         if let Some(arb) = &self.arbiter {
             arb.quiescent[pe].store(quiescent, Ordering::Release);
-            if quiescent && arb.parked_count.load(Ordering::Relaxed) > 0 {
-                arb.cv.notify_all();
+            if quiescent {
+                self.arb_wake_min(arb);
             }
         }
     }
 
-    /// Wake arbiter waiters after a clock movement (their quiescence checks
-    /// read other PEs' clocks). One branch when no arbiter or nothing parked.
+    /// Wake the arbiter's minimum-key holder after a clock movement (its
+    /// grant check reads other PEs' clocks). One branch when no arbiter,
+    /// one atomic load when nothing is parked.
     #[inline]
     fn arb_clock_moved(&self) {
         if let Some(arb) = &self.arbiter {
-            if arb.parked_count.load(Ordering::Relaxed) > 0 {
-                arb.cv.notify_all();
-            }
+            self.arb_wake_min(arb);
         }
     }
 
     /// Mark `pe`'s program closure finished (launcher hook): permanently
-    /// quiescent for NIC arbitration.
+    /// quiescent for NIC arbitration, and its worker slot (if still held —
+    /// a panic may have unwound out of a slotless blocking region) freed.
     pub(crate) fn pe_finished(&self, pe: PeId) {
         self.arb_set_quiescent(pe, true);
+        self.sched_release(pe);
     }
 
     // ---- virtual clocks ------------------------------------------------
@@ -651,8 +763,14 @@ impl Machine {
     }
 
     /// Block the calling thread (which must be running `pe`) until `pred()`
-    /// holds. Poison-aware; periodically re-checks.
+    /// holds. Poison-aware; periodically re-checks. A blocking region for
+    /// the worker pool: the slot is yielded for the duration of the wait
+    /// and re-acquired at the post-wake clock.
     pub fn wait_on(&self, pe: PeId, pred: impl FnMut() -> bool) {
+        self.sched_block(pe, move || self.wait_on_slotless(pe, pred));
+    }
+
+    fn wait_on_slotless(&self, pe: PeId, pred: impl FnMut() -> bool) {
         let Some(arb) = &self.arbiter else {
             self.pes[pe].notify.wait_until(&self.poison, pred);
             return;
@@ -667,9 +785,7 @@ impl Machine {
             || {
                 arb.in_wait_on[pe].store(true, Ordering::Release);
                 arb.quiescent[pe].store(true, Ordering::Release);
-                if arb.parked_count.load(Ordering::Relaxed) > 0 {
-                    arb.cv.notify_all();
-                }
+                self.arb_wake_min(arb);
             },
             || {
                 arb.quiescent[pe].store(false, Ordering::Release);
@@ -688,7 +804,14 @@ impl Machine {
             b.interrupt();
         }
         if let Some(arb) = &self.arbiter {
-            arb.cv.notify_all();
+            // Poison propagation must reach every parked PE, not just the
+            // minimum-key holder.
+            for cv in &arb.cvs {
+                cv.notify_all();
+            }
+        }
+        if let Some(s) = &self.sched {
+            s.interrupt();
         }
     }
 
@@ -710,10 +833,12 @@ impl Machine {
         // *before* the waiters wake: a released-but-unscheduled PE must not
         // look quiescent to the NIC arbiter, or reservations could be granted
         // out of virtual-time order.
-        let max = self.global_barrier.arrive_with(self.clock(pe), &self.poison, || {
-            for q in 0..self.num_pes() {
-                self.arb_set_quiescent(q, false);
-            }
+        let max = self.sched_block(pe, || {
+            self.global_barrier.arrive_with(self.clock(pe), &self.poison, || {
+                for q in 0..self.num_pes() {
+                    self.arb_set_quiescent(q, false);
+                }
+            })
         });
         let t = max + extra_ns.round() as u64;
         self.pes[pe].clock.store(t, Ordering::Release);
@@ -753,10 +878,12 @@ impl Machine {
         };
         self.arb_set_quiescent(pe, true);
         // See barrier_all: release clears the group's quiescent flags.
-        let max = barrier.arrive_with(self.clock(pe), &self.poison, || {
-            for &q in group {
-                self.arb_set_quiescent(q, false);
-            }
+        let max = self.sched_block(pe, || {
+            barrier.arrive_with(self.clock(pe), &self.poison, || {
+                for &q in group {
+                    self.arb_set_quiescent(q, false);
+                }
+            })
         });
         let t = max + extra_ns.round() as u64;
         self.pes[pe].clock.store(t, Ordering::Release);
@@ -895,6 +1022,67 @@ mod tests {
             m.nic_turn(pe.id(), start, || m.nic(0).reserve_tx(start, 10, 1).begin)
         });
         assert_eq!(out.results, vec![200, 100]);
+    }
+
+    #[test]
+    fn worker_limit_resolution() {
+        // Explicit choices are env-independent: with_workers beats the
+        // PGAS_WORKERS default (the test-pooled CI job) in every case.
+        let m = Machine::new(generic_smp(4).with_workers(2));
+        assert_eq!(m.worker_limit(), Some(2));
+        let m = Machine::new(generic_smp(4).with_workers(0));
+        assert_eq!(m.worker_limit(), None, "explicit 0 pins legacy mode");
+        let m = Machine::new(generic_smp(4).with_workers(4));
+        assert_eq!(m.worker_limit(), None, "a pool covering every PE is legacy mode");
+        crate::sched::with_forced_workers(2, || {
+            let m = Machine::new(generic_smp(4).with_workers(0));
+            assert_eq!(m.worker_limit(), Some(2), "forced override beats explicit config");
+        });
+        crate::sched::with_forced_workers(0, || {
+            let m = Machine::new(generic_smp(4).with_workers(2));
+            assert_eq!(m.worker_limit(), None, "forced 0 pins legacy over config");
+        });
+    }
+
+    #[test]
+    fn pooled_scheduler_outcomes_match_legacy() {
+        // A contended arbiter workload (tied NIC reservations, barriers,
+        // wait_on handoffs) must produce bit-identical outcomes for every
+        // worker count — the tentpole invariant.
+        let run_with = |w: usize| {
+            crate::launch::run(generic_smp(4).with_deterministic_nic().with_workers(w), |pe| {
+                let m = pe.machine();
+                let me = pe.id();
+                let r = m.nic_turn(me, 100, || m.nic(0).reserve_tx(100, 10, 1).end);
+                m.lift_clock(me, r);
+                // Ring handoff through wait_on: PE k waits for word k, then
+                // releases PE k+1.
+                if me == 0 {
+                    m.apply_and_notify(1, || {
+                        m.heap(1).atomic64(0).store(1, std::sync::atomic::Ordering::Release)
+                    });
+                } else {
+                    m.wait_on(me, || {
+                        m.heap(me).atomic64(0).load(std::sync::atomic::Ordering::Acquire) == 1
+                    });
+                    if me + 1 < pe.n() {
+                        m.apply_and_notify(me + 1, || {
+                            m.heap(me + 1)
+                                .atomic64(0)
+                                .store(1, std::sync::atomic::Ordering::Release)
+                        });
+                    }
+                }
+                m.barrier_all(me, 5.0)
+            })
+        };
+        let legacy = run_with(0);
+        for w in [1, 2, 3] {
+            let pooled = run_with(w);
+            assert_eq!(pooled.results, legacy.results, "worker limit {w}");
+            assert_eq!(pooled.clocks, legacy.clocks, "worker limit {w}");
+            assert_eq!(pooled.nics, legacy.nics, "worker limit {w}");
+        }
     }
 
     #[test]

@@ -82,6 +82,7 @@ pub fn stampede(nodes: usize, cores_per_node: usize) -> MachineConfig {
         faults: None,
         stream: None,
         deterministic_nic: false,
+        workers: None,
     }
 }
 
@@ -107,6 +108,7 @@ pub fn titan(nodes: usize, cores_per_node: usize) -> MachineConfig {
         faults: None,
         stream: None,
         deterministic_nic: false,
+        workers: None,
     }
 }
 
@@ -132,6 +134,7 @@ pub fn cray_xc30(nodes: usize, cores_per_node: usize) -> MachineConfig {
         faults: None,
         stream: None,
         deterministic_nic: false,
+        workers: None,
     }
 }
 
@@ -157,6 +160,7 @@ pub fn generic_smp(cores: usize) -> MachineConfig {
         faults: None,
         stream: None,
         deterministic_nic: false,
+        workers: None,
     }
 }
 

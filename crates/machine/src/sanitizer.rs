@@ -24,8 +24,13 @@
 //! * Shadow granularity is one record per 8-byte word; the byte mask makes
 //!   sub-word *disjoint* writes (e.g. two PEs filling adjacent `i32` slots of
 //!   one word) conflict-free, but the shadow only remembers the most recent
-//!   writer per word, so a third access can miss a conflict with the
-//!   overwritten record. Under-detection only — never a false positive.
+//!   *writer* per word, so a third access can miss a conflict with the
+//!   overwritten write record. Under-detection only — never a false positive.
+//! * Reads use FastTrack's adaptive representation: a word keeps one scalar
+//!   last-read epoch until two *concurrent* (unordered) readers touch it,
+//!   then inflates to a per-PE read vector. A later write is checked against
+//!   every recorded reader, so a racing read can no longer hide behind a
+//!   subsequent synchronized read of the same word replacing its record.
 //! * The `wait_until`/fetching-atomic edge joins with the writer's *live*
 //!   clock row, which may be slightly ahead of the moment the flag was set.
 //!   Again: can only suppress reports, never invent them.
@@ -35,6 +40,7 @@
 
 use crate::machine::PeId;
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How the sanitizer behaves, set in [`crate::MachineConfig`].
@@ -193,10 +199,13 @@ impl std::fmt::Display for HazardReport {
 }
 
 // Shadow-word packing. Writer: `(pe + 1) << 9 | atomic << 8 | byte_mask`;
-// reader: `(pe + 1) << 9 | byte_mask`. Zero = no record.
+// reader: `(pe + 1) << 9 | byte_mask`. Zero = no record. A reader word with
+// `VECTOR_FLAG` set holds no scalar record: the word has been *inflated* and
+// its full per-PE read history lives in [`HeapShadow::read_vecs`].
 const MASK_BITS: u64 = 0xFF;
 const ATOMIC_BIT: u64 = 1 << 8;
 const PE_SHIFT: u32 = 9;
+const VECTOR_FLAG: u64 = 1 << 63;
 
 #[derive(Debug, Clone, Copy)]
 struct ShadowRec {
@@ -237,6 +246,14 @@ struct HeapShadow {
     wtimes: Box<[AtomicU64]>,
     readers: Box<[AtomicU64]>,
     rtimes: Box<[AtomicU64]>,
+    /// FastTrack-style adaptive read representation: a word tracks its last
+    /// read as a scalar epoch in `readers`/`rtimes` until two *concurrent*
+    /// (unordered) readers touch it, at which point it inflates to a full
+    /// per-PE read vector here (`read_vecs[w][pe] = (byte mask, last read
+    /// time)`, mask 0 = no read) and `readers[w]` carries `VECTOR_FLAG`.
+    /// Most words only ever see one reader between writes, so the common
+    /// case stays two atomic loads with no locking.
+    read_vecs: Mutex<HashMap<usize, Vec<(u8, u64)>>>,
 }
 
 /// The sanitizer proper: shadow memory + vector clocks + report sink.
@@ -270,6 +287,7 @@ impl Sanitizer {
                         wtimes: zeroed(words),
                         readers: zeroed(words),
                         rtimes: zeroed(words),
+                        read_vecs: Mutex::new(HashMap::new()),
                     })
                     .collect(),
                 (0..n_pes).map(|_| zeroed(n_pes)).collect(),
@@ -340,9 +358,34 @@ impl Sanitizer {
                         });
                     }
                 }
-                // Write over an unsynchronized non-atomic read.
+                // Write over an unsynchronized non-atomic read. An inflated
+                // word checks *every* reader in its vector — the scalar
+                // representation only remembers the most recent one, which
+                // is exactly the record a racing read can hide behind.
                 if conflict.is_none() {
-                    if let Some(prev) = unpack(sh.readers[w].load(Ordering::Acquire)) {
+                    let packed = sh.readers[w].load(Ordering::Acquire);
+                    if packed & VECTOR_FLAG != 0 {
+                        let vecs = sh.read_vecs.lock();
+                        if let Some(v) = vecs.get(&w) {
+                            for (p, &(rmask, rtime)) in v.iter().enumerate() {
+                                if rmask & mask != 0 && p != writer && rtime > self.known(writer, p)
+                                {
+                                    conflict = Some(HazardReport {
+                                        kind: HazardKind::MissingSync,
+                                        op,
+                                        accessor: writer,
+                                        target: owner,
+                                        conflict_pe: p,
+                                        offset: off,
+                                        len,
+                                        t_conflict: rtime,
+                                        t_known: self.known(writer, p),
+                                    });
+                                    break;
+                                }
+                            }
+                        }
+                    } else if let Some(prev) = unpack(packed) {
                         let t_prev = sh.rtimes[w].load(Ordering::Acquire);
                         if prev.pe != writer
                             && prev.mask & mask != 0
@@ -423,13 +466,47 @@ impl Sanitizer {
                     }
                 }
             }
+            // Install the read, FastTrack-style: one scalar epoch while the
+            // word's reads stay totally ordered, a per-PE vector once two
+            // concurrent readers are seen. A read that happens-after the
+            // recorded one may safely *replace* it (any write racing the old
+            // read also races the new one); an unordered read may not — the
+            // scalar would silently forget a read a later write races with.
             let prev = sh.readers[w].load(Ordering::Acquire);
-            let merged = match unpack(prev) {
-                Some(p) if p.pe == reader => pack(reader, false, p.mask | mask),
-                _ => pack(reader, false, mask),
-            };
-            sh.readers[w].store(merged, Ordering::Release);
-            sh.rtimes[w].fetch_max(now, Ordering::AcqRel);
+            if prev & VECTOR_FLAG != 0 {
+                let mut vecs = sh.read_vecs.lock();
+                let v = vecs.entry(w).or_insert_with(|| vec![(0, 0); self.n_pes]);
+                v[reader].0 |= mask;
+                v[reader].1 = v[reader].1.max(now);
+            } else {
+                match unpack(prev) {
+                    Some(p) if p.pe == reader => {
+                        sh.readers[w].store(pack(reader, false, p.mask | mask), Ordering::Release);
+                        sh.rtimes[w].fetch_max(now, Ordering::AcqRel);
+                    }
+                    Some(p) => {
+                        let t_prev = sh.rtimes[w].load(Ordering::Acquire);
+                        if t_prev <= self.known(reader, p.pe) {
+                            // Ordered before this read: keep the scalar.
+                            sh.readers[w].store(pack(reader, false, mask), Ordering::Release);
+                            sh.rtimes[w].fetch_max(now, Ordering::AcqRel);
+                        } else {
+                            // Second concurrent reader: inflate.
+                            let mut vecs = sh.read_vecs.lock();
+                            let v = vecs.entry(w).or_insert_with(|| vec![(0, 0); self.n_pes]);
+                            v[p.pe].0 |= p.mask;
+                            v[p.pe].1 = v[p.pe].1.max(t_prev);
+                            v[reader].0 |= mask;
+                            v[reader].1 = v[reader].1.max(now);
+                            sh.readers[w].store(VECTOR_FLAG, Ordering::Release);
+                        }
+                    }
+                    None => {
+                        sh.readers[w].store(pack(reader, false, mask), Ordering::Release);
+                        sh.rtimes[w].fetch_max(now, Ordering::AcqRel);
+                    }
+                }
+            }
         }
         conflict
     }
@@ -571,6 +648,66 @@ mod tests {
         assert_eq!(r.kind, HazardKind::MissingSync);
         assert_eq!(r.conflict_pe, 2);
         assert_eq!(r.t_conflict, 300);
+    }
+
+    #[test]
+    fn concurrent_reader_vector_catches_overwritten_read() {
+        // Three-PE regression the scalar last-read record provably misses:
+        // PE 2 and PE 3 read word 0 with no ordering between them, then PE 1
+        // synchronizes with PE 3 only and writes. A single-record detector
+        // forgot PE 2's read the moment PE 3's replaced it and reported the
+        // write clean; the inflated vector still holds PE 2's read.
+        let s = Sanitizer::new(SanitizerMode::Record, 4, 4096);
+        assert!(s.check_read(0, 0, 8, 2, 300, "get").is_none());
+        assert!(s.check_read(0, 0, 8, 3, 350, "get").is_none());
+        assert_ne!(
+            s.shadows[0].readers[0].load(Ordering::Acquire) & VECTOR_FLAG,
+            0,
+            "two unordered readers must inflate the word"
+        );
+        s.raise(1, 3, 360); // PE 1 knows PE 3 past its read — but not PE 2.
+        let r = s.record_write(0, 0, 8, 1, 500, false, "put").expect("race with PE 2's read");
+        assert_eq!(r.kind, HazardKind::MissingSync);
+        assert_eq!(r.conflict_pe, 2);
+        assert_eq!(r.t_conflict, 300);
+        assert_eq!(r.t_known, 0);
+    }
+
+    #[test]
+    fn ordered_readers_keep_the_scalar_representation() {
+        // PE 3's read happens-after PE 2's (it synchronized past t=300), so
+        // replacing the scalar record is sound and no vector is allocated.
+        let s = Sanitizer::new(SanitizerMode::Record, 4, 4096);
+        assert!(s.check_read(0, 0, 8, 2, 300, "get").is_none());
+        s.raise(3, 2, 310);
+        assert!(s.check_read(0, 0, 8, 3, 350, "get").is_none());
+        assert_eq!(
+            s.shadows[0].readers[0].load(Ordering::Acquire) & VECTOR_FLAG,
+            0,
+            "ordered readers stay on the scalar fast path"
+        );
+        assert!(s.shadows[0].read_vecs.lock().is_empty());
+        // The surviving scalar record is PE 3's read, and it is checked.
+        let r = s.record_write(0, 0, 8, 1, 500, false, "put").expect("race with PE 3's read");
+        assert_eq!(r.conflict_pe, 3);
+    }
+
+    #[test]
+    fn inflated_word_keeps_accumulating_readers() {
+        let s = Sanitizer::new(SanitizerMode::Record, 4, 4096);
+        assert!(s.check_read(0, 0, 4, 1, 100, "get").is_none());
+        assert!(s.check_read(0, 4, 4, 2, 110, "get").is_none()); // inflates
+        assert!(s.check_read(0, 0, 2, 3, 120, "get").is_none()); // joins the vector
+                                                                 // A writer synchronized with nobody conflicts with the *first*
+                                                                 // still-racing reader in PE order; disjoint bytes are exempt.
+        let r = s.record_write(0, 0, 4, 0, 200, false, "local write").expect("race");
+        assert_eq!(r.conflict_pe, 1, "byte-overlap check applies per vector entry");
+        s.raise(0, 1, 150);
+        s.raise(0, 3, 150);
+        assert!(
+            s.record_write(0, 0, 4, 0, 210, false, "local write").is_none(),
+            "PE 2's bytes [4,8) are disjoint from this write"
+        );
     }
 
     #[test]

@@ -15,10 +15,24 @@ use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-/// Polling period for condvar waits. Waits re-check their predicate and the
-/// poison flag at least this often, so a missed notification can never hang
-/// the simulation.
-pub(crate) const WAIT_TICK: Duration = Duration::from_millis(20);
+/// Relaxed polling period for waiters that are *target-notified* when they
+/// become actionable — non-minimum keys in the NIC arbiter's parking lot and
+/// in the worker pool's ready queue. Those threads are woken by name exactly
+/// when they become the minimum (notification happens under the same mutex
+/// their wait holds, so it cannot be lost); the timeout is a pure
+/// missed-wake backstop and can be lazy without adding latency to the
+/// handoff path. At thousands of parked PEs this is what keeps the
+/// wall-clock poll storm (waiters/tick) sublinear in simulation size.
+pub(crate) const WAIT_TICK_IDLE: Duration = Duration::from_millis(200);
+
+/// Eager polling period for the *designated minimum* waiter in the NIC
+/// arbiter and the worker-pool ready queue. Wakes toward the minimum are
+/// sent lock-free from hot paths (every clock advance), so one can land in
+/// the window between the minimum's predicate check and its re-park and be
+/// lost; the minimum's own poll is what repairs that, and it bounds the
+/// whole grant/admission chain's per-step stall. Exactly one thread per
+/// queue polls at this rate, so the eager tick adds no storm.
+pub(crate) const WAIT_TICK_MIN: Duration = Duration::from_millis(1);
 
 /// Shared poison flag: set when any PE panics.
 #[derive(Debug, Default)]
@@ -126,7 +140,7 @@ impl ClockBarrier {
             let gen = inner.generation;
             while inner.generation == gen {
                 poison.check();
-                self.cv.wait_for(&mut inner, WAIT_TICK);
+                self.cv.wait_for(&mut inner, WAIT_TICK_IDLE);
             }
             inner.result
         }
@@ -185,7 +199,7 @@ impl NotifyCell {
                 return;
             }
             if *g == seen {
-                self.cv.wait_for(&mut g, WAIT_TICK);
+                self.cv.wait_for(&mut g, WAIT_TICK_IDLE);
             }
         }
     }
@@ -235,7 +249,7 @@ impl NotifyCell {
                 unreachable!("poison.check() panics when poisoned");
             }
             on_sleep();
-            self.cv.wait_for(&mut g, WAIT_TICK);
+            self.cv.wait_for(&mut g, WAIT_TICK_IDLE);
         }
     }
 

@@ -88,9 +88,14 @@ pub fn naive_spinlock_ms(
     out.results.iter().copied().fold(0.0, f64::max)
 }
 
-/// Image counts of Figure 8's x axis, capped for test-time sanity.
+/// Image counts of Figure 8's x axis, capped for test-time sanity. Runs to
+/// the paper's 1024 headline point and one doubling beyond (2048) now that
+/// the pooled PE scheduler makes thousand-image jobs routine.
 pub fn image_sweep(max: usize) -> Vec<usize> {
-    [2usize, 4, 8, 16, 32, 64, 128, 256, 512, 1024].into_iter().filter(|&n| n <= max).collect()
+    [2usize, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048]
+        .into_iter()
+        .filter(|&n| n <= max)
+        .collect()
 }
 
 #[cfg(test)]

@@ -616,11 +616,23 @@ impl<'m, T: Scalar> LocalView<'m, T> {
         let off = self.ptr.offset() + i * T::BYTES;
         let mut buf = vec![0u8; T::BYTES];
         v.store(&mut buf);
-        self.machine.heap(self.pe).write_bytes(off, &buf);
         let t = self.machine.advance(self.me, self.machine.config().wire.intra.latency_ns * 0.1);
-        self.machine.heap(self.pe).stamp_range(off, T::BYTES, t);
-        self.machine.san_record_write(self.pe, off, T::BYTES, self.me, t, false, "shmem_ptr write");
-        self.machine.notify_pe(self.pe);
+        // Same critical section AMOs publish through: write + stamp + wake
+        // atomically, so a `wait_on` watching this word wakes
+        // deterministically under the NIC arbiter.
+        self.machine.apply_and_notify(self.pe, || {
+            self.machine.heap(self.pe).write_bytes(off, &buf);
+            self.machine.heap(self.pe).stamp_range(off, T::BYTES, t);
+            self.machine.san_record_write(
+                self.pe,
+                off,
+                T::BYTES,
+                self.me,
+                t,
+                false,
+                "shmem_ptr write",
+            );
+        });
     }
 }
 

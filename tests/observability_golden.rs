@@ -16,7 +16,7 @@
 use caf::{run_caf, Backend, CafConfig};
 use pgas_machine::trace::chrome_trace_json;
 use pgas_machine::{
-    generic_smp, with_forced_metrics, with_forced_stream, with_forced_tracing, Platform,
+    generic_smp, with_forced_metrics, with_forced_stream, with_forced_tracing, FaultPlan, Platform,
     StreamConfig,
 };
 
@@ -32,7 +32,11 @@ const FIXTURE: &str =
 /// which would make a byte-exact golden impossible).
 fn workload() -> pgas_machine::SimOutcome<i64> {
     run_caf(
-        generic_smp(4).with_heap_bytes(1 << 17),
+        // Byte-exact goldens need a clean interconnect: the explicit zero
+        // plan opts out of the PGAS_FAULT_PLAN environment default (the CI
+        // test-faulted job), whose injected retries would add AMOs and
+        // quiets to the counters.
+        generic_smp(4).with_heap_bytes(1 << 17).with_faults(FaultPlan::none()),
         CafConfig::new(Backend::Shmem, Platform::GenericSmp),
         |img| {
             let n = img.num_images();

@@ -1,0 +1,65 @@
+//! Paper-scale smoke runs: the pooled scheduler and the targeted-wake
+//! parking discipline exist so sweeps at 1024/2048 images (and beyond) are
+//! routine. This file guards that an order of magnitude past the figures.
+//!
+//! The runs are *smoke* tests — they assert liveness (no deadlock, no slot
+//! leak at thousands of PE threads), delivery (every put arrives), and the
+//! per-PE results — not timing. Stacks are trimmed well below the 512 KiB
+//! platform default so the virtual-memory footprint stays modest
+//! (10k × 128 KiB ≈ 1.2 GiB reserved, mostly never touched).
+//!
+//! `SMOKE_NODES` / `SMOKE_WORKERS` override the scale for ad-hoc probing.
+
+use pgas_machine::{run, stampede, with_forced_workers};
+
+/// Ring exchange at `nodes × 16` PEs under a forced worker limit: PE i puts
+/// its id+1 into PE (i+1) % n, waits on its own cell, and barriers — every
+/// PE is both source and sink, and every PE transits every yield point
+/// (ready queue, NIC arbiter parking, `wait_until`, barrier).
+fn ring_smoke(default_nodes: usize, default_workers: usize) {
+    let nodes: usize =
+        std::env::var("SMOKE_NODES").ok().and_then(|v| v.parse().ok()).unwrap_or(default_nodes);
+    let workers: usize =
+        std::env::var("SMOKE_WORKERS").ok().and_then(|v| v.parse().ok()).unwrap_or(default_workers);
+    const CORES: usize = 16;
+    let n = nodes * CORES;
+
+    let mcfg = stampede(nodes, CORES)
+        .with_heap_bytes(1 << 12)
+        .with_stack_bytes(1 << 17)
+        .with_deterministic_nic();
+    let out = with_forced_workers(workers, || {
+        run(mcfg, |pe| {
+            use pgas_conduit::{ConduitProfile, Ctx, CtxOptions};
+            let ctx = Ctx::new(pe, ConduitProfile::mvapich_shmem(), CtxOptions::default());
+            let n = pe.n();
+            ctx.barrier_all();
+            let next = (pe.id() + 1) % n;
+            ctx.put(next, 0, &(pe.id() as u64 + 1).to_le_bytes());
+            let got = ctx.wait_until(0, |v| v != 0);
+            assert_eq!(got, ((pe.id() + n - 1) % n) as u64 + 1, "wrong neighbor value");
+            ctx.barrier_all();
+            got
+        })
+    });
+    assert_eq!(out.results.len(), n);
+    for (pe, &got) in out.results.iter().enumerate() {
+        assert_eq!(got, ((pe + n - 1) % n) as u64 + 1);
+    }
+}
+
+/// Tier-1 guard: 2496 PEs on 8 workers — past the largest figure sweep
+/// point, quick enough for every test run.
+#[test]
+fn pooled_smoke_past_figure_scale() {
+    ring_smoke(156, 8);
+}
+
+/// The 10k-PE smoke run (625 nodes × 16 cores on 8 workers). ~40 s in
+/// release on a throttled single-core host; run explicitly:
+/// `cargo test --release --test scale_smoke -- --ignored`.
+#[test]
+#[ignore = "minutes-scale; run explicitly with --ignored"]
+fn ten_thousand_pes_smoke() {
+    ring_smoke(625, 8);
+}
