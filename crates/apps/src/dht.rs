@@ -11,10 +11,26 @@
 //! (sum of keys is order-independent), which the tests exploit.
 
 use caf::{run_caf, Backend, CafConfig};
+use openshmem::{AmHandler, AmTarget};
 use pgas_machine::stats::StatsSnapshot;
 use pgas_machine::Platform;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+
+/// How each image applies its updates to remote slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DhtUpdateMode {
+    /// The paper's §V-C pattern: take the coarray lock on the home image,
+    /// remote get–modify–put under it, unlock — four round trips per
+    /// update.
+    #[default]
+    Locked,
+    /// One active message per update: a registered handler performs the
+    /// read-modify-write *at the home image*, atomic under the machine's
+    /// apply section — one request wire transfer, no lock traffic.
+    Am,
+}
 
 /// Workload parameters.
 #[derive(Debug, Clone, Copy)]
@@ -25,11 +41,37 @@ pub struct DhtConfig {
     /// Locks per image: 1 = a single lock guarding the whole image's
     /// partition (the paper's pattern); more reduces false contention.
     pub locks_per_image: usize,
+    /// Locked get–modify–put vs. one active message per update. The final
+    /// table is identical either way (the slot update is a commutative
+    /// wrapping add), so the checksum oracle covers both.
+    pub update: DhtUpdateMode,
 }
 
 impl Default for DhtConfig {
     fn default() -> Self {
-        DhtConfig { slots_per_image: 256, updates_per_image: 64, seed: 0xD47, locks_per_image: 1 }
+        DhtConfig {
+            slots_per_image: 256,
+            updates_per_image: 64,
+            seed: 0xD47,
+            locks_per_image: 1,
+            update: DhtUpdateMode::Locked,
+        }
+    }
+}
+
+/// The AM-mode update handler: `arg` is `[slot offset, key]` as two
+/// little-endian u64s; the slot gets `wrapping_add(key)` applied in place
+/// at the home image. Target-side compute models the same hashing +
+/// bookkeeping the locked path charges on the initiator.
+struct DhtUpdateAm;
+
+impl AmHandler for DhtUpdateAm {
+    fn execute(&self, t: &mut AmTarget<'_>, arg: &[u8]) -> Option<Vec<u8>> {
+        let off = u64::from_le_bytes(arg[0..8].try_into().expect("dht am arg")) as usize;
+        let key = u64::from_le_bytes(arg[8..16].try_into().expect("dht am arg"));
+        let v = t.read_u64(off);
+        t.write_u64(off, v.wrapping_add(key));
+        None
     }
 }
 
@@ -60,15 +102,34 @@ pub fn expected_checksum(images: usize, cfg: &DhtConfig) -> u64 {
 
 /// Run the DHT benchmark on `images` images.
 pub fn run_dht(platform: Platform, backend: Backend, images: usize, cfg: DhtConfig) -> DhtResult {
+    run_dht_outcome(platform, backend, images, cfg, false).0
+}
+
+/// [`run_dht`] exposing the raw simulation outcome, for traced probes.
+/// `deterministic_nic` pins the NIC grant order so a probe digest is
+/// bit-identical run to run.
+pub fn run_dht_outcome(
+    platform: Platform,
+    backend: Backend,
+    images: usize,
+    cfg: DhtConfig,
+    deterministic_nic: bool,
+) -> (DhtResult, pgas_machine::SimOutcome<(u64, u64)>) {
     let cores = 16.min(images);
     let nodes = images.div_ceil(cores);
     let heap = (cfg.slots_per_image * 8 + (1 << 16)).next_power_of_two();
-    let mcfg = platform.config(nodes, cores).with_heap_bytes(heap);
+    let mut mcfg = platform.config(nodes, cores).with_heap_bytes(heap);
+    if deterministic_nic {
+        mcfg = mcfg.with_deterministic_nic();
+    }
     let caf_cfg = CafConfig::new(backend, platform).with_nonsym_bytes(4096);
     let out = run_caf(mcfg, caf_cfg, move |img| {
         let n = img.num_images();
         let table = img.coarray::<u64>(&[cfg.slots_per_image]).unwrap();
         let locks = img.lock_vars(cfg.locks_per_image);
+        // Registered unconditionally (SPMD-symmetric) even in locked mode,
+        // so both modes run over an identical context.
+        let update_am = img.shmem().register_am(Rc::new(DhtUpdateAm));
         img.sync_all();
         let me = img.this_image();
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (me as u64).wrapping_mul(0x9E37_79B9));
@@ -77,14 +138,28 @@ pub fn run_dht(platform: Platform, backend: Backend, images: usize, cfg: DhtConf
             let key: u64 = rng.gen();
             let home = (key % n as u64) as usize + 1;
             let slot = ((key / n as u64) % cfg.slots_per_image as u64) as usize;
-            let lock = &locks[slot % cfg.locks_per_image];
-            img.lock(lock, home);
-            // The stat-bearing accessors: on a healthy run they are the plain
-            // ops; under an injected fault plan they surface exhausted
-            // retries or a dead home image instead of panicking.
-            let v = table.get_elem_stat(img, home, &[slot]).expect("dht get");
-            table.put_elem_stat(img, home, &[slot], v.wrapping_add(key)).expect("dht put");
-            img.unlock(lock, home);
+            match cfg.update {
+                DhtUpdateMode::Locked => {
+                    let lock = &locks[slot % cfg.locks_per_image];
+                    img.lock(lock, home);
+                    // The stat-bearing accessors: on a healthy run they are
+                    // the plain ops; under an injected fault plan they
+                    // surface exhausted retries or a dead home image instead
+                    // of panicking.
+                    let v = table.get_elem_stat(img, home, &[slot]).expect("dht get");
+                    table.put_elem_stat(img, home, &[slot], v.wrapping_add(key)).expect("dht put");
+                    img.unlock(lock, home);
+                }
+                DhtUpdateMode::Am => {
+                    let mut arg = [0u8; 16];
+                    let off = table.ptr().at(slot).offset() as u64;
+                    arg[0..8].copy_from_slice(&off.to_le_bytes());
+                    arg[8..16].copy_from_slice(&key.to_le_bytes());
+                    img.shmem()
+                        .try_am_send(img.pe_of(home), update_am, &arg)
+                        .expect("dht am update");
+                }
+            }
             img.shmem().ctx().pe().compute_ops(20); // hashing + bookkeeping
         }
         img.sync_all();
@@ -104,12 +179,13 @@ pub fn run_dht(platform: Platform, backend: Backend, images: usize, cfg: DhtConf
         img.sync_all();
         (elapsed, checksum)
     });
-    DhtResult {
+    let result = DhtResult {
         time_ms: out.results.iter().map(|r| r.0).max().unwrap_or(0) as f64 / 1e6,
         checksum: out.results[0].1,
         updates_total: images * cfg.updates_per_image,
         stats: out.stats,
-    }
+    };
+    (result, out)
 }
 
 #[cfg(test)]
@@ -117,7 +193,7 @@ mod tests {
     use super::*;
 
     fn small() -> DhtConfig {
-        DhtConfig { slots_per_image: 32, updates_per_image: 25, seed: 7, locks_per_image: 1 }
+        DhtConfig { slots_per_image: 32, updates_per_image: 25, seed: 7, ..Default::default() }
     }
 
     #[test]
@@ -158,6 +234,31 @@ mod tests {
         let coarse = total(small());
         let fine = total(DhtConfig { locks_per_image: 8, ..small() });
         assert!(fine < coarse, "fine {fine:.2}ms vs coarse {coarse:.2}ms");
+    }
+
+    #[test]
+    fn am_updates_match_the_oracle_and_the_locked_mode() {
+        let am = DhtConfig { update: DhtUpdateMode::Am, ..small() };
+        for images in [1, 2, 5, 8] {
+            let r = run_dht(Platform::Titan, Backend::Shmem, images, am);
+            assert_eq!(r.checksum, expected_checksum(images, &am), "images={images}");
+            let locked = run_dht(Platform::Titan, Backend::Shmem, images, small());
+            assert_eq!(r.checksum, locked.checksum, "modes agree, images={images}");
+        }
+    }
+
+    #[test]
+    fn am_updates_skip_the_lock_protocol_entirely() {
+        let am = DhtConfig { update: DhtUpdateMode::Am, ..small() };
+        let r = run_dht(Platform::Titan, Backend::Shmem, 8, am);
+        assert_eq!(r.stats.ams, 8 * 25, "one active message per update");
+        let locked = run_dht(Platform::Titan, Backend::Shmem, 8, small());
+        assert!(
+            r.time_ms < locked.time_ms,
+            "am {:.3}ms vs locked {:.3}ms",
+            r.time_ms,
+            locked.time_ms
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@ pub mod histogram;
 pub mod stencil2d;
 pub mod transpose;
 
-pub use dht::{run_dht, DhtConfig, DhtResult};
+pub use dht::{run_dht, run_dht_outcome, DhtConfig, DhtResult, DhtUpdateMode};
 pub use heat::{parallel_heat, serial_heat, HeatConfig};
 pub use himeno::{run_himeno, run_himeno_outcome, serial_gosa, HimenoConfig, HimenoResult};
 pub use histogram::{run_histogram, serial_histogram, HistogramConfig, HistogramMethod};

@@ -240,6 +240,55 @@ pub fn fig9_dht(quick: bool, max_images: usize) -> Figure {
     with_probe(fig)
 }
 
+/// New figure (not in the paper): DHT update *throughput*, the paper's
+/// locked get–modify–put pattern vs this repo's active-message updates
+/// with small-op aggregation. The point of the figure is the winner flip:
+/// panel (a) reproduces Figure 9's conclusion — UHCAF-Cray-SHMEM with
+/// coarray locks is the best way to run the DHT — and panel (b) shows that
+/// with the AM + aggregation machinery enabled, every backend's AM series
+/// beats panel (a)'s winner outright: the best DHT configuration is no
+/// longer a lock protocol at all.
+pub fn dht_throughput(quick: bool, max_images: usize) -> Figure {
+    use caf_apps::DhtUpdateMode;
+    use pgas_machine::with_forced_aggregation;
+    let mut fig = Figure::new(
+        "dht_throughput",
+        "DHT update throughput: locked get-modify-put vs active-message updates with small-op aggregation (Titan)",
+    );
+    let cfg = DhtConfig {
+        updates_per_image: if quick { 16 } else { 48 },
+        slots_per_image: 128,
+        ..Default::default()
+    };
+    let sweep = image_sweep(max_images);
+    let backends = [Backend::CrayCaf, Backend::Gasnet, Backend::Shmem];
+    let throughput = |r: caf_apps::DhtResult| r.updates_total as f64 / r.time_ms;
+    let mut locked = Panel::new("(a) locked updates, no aggregation", "images", "updates/ms");
+    for backend in backends {
+        let mut s = Series::new(format!("{} locked", backend.label(Platform::Titan)));
+        for &images in &sweep {
+            let r =
+                with_forced_aggregation(false, || run_dht(Platform::Titan, backend, images, cfg));
+            s.push(images as f64, throughput(r));
+        }
+        locked.series.push(s);
+    }
+    fig.panels.push(locked);
+    let am_cfg = DhtConfig { update: DhtUpdateMode::Am, ..cfg };
+    let mut am = Panel::new("(b) AM updates + aggregation", "images", "updates/ms");
+    for backend in backends {
+        let mut s = Series::new(format!("{} AM", backend.label(Platform::Titan)));
+        for &images in &sweep {
+            let r =
+                with_forced_aggregation(true, || run_dht(Platform::Titan, backend, images, am_cfg));
+            s.push(images as f64, throughput(r));
+        }
+        am.series.push(s);
+    }
+    fig.panels.push(am);
+    with_probe(fig)
+}
+
 /// Figure 10: CAF Himeno performance on Stampede.
 pub fn fig10_himeno(quick: bool, max_images: usize) -> Figure {
     let mut fig = Figure::new("fig10_himeno", "CAF Himeno benchmark performance on Stampede");
@@ -493,6 +542,32 @@ mod tests {
         let cray = p.series("Cray-CAF").unwrap();
         assert!(shmem.geomean_ratio_over(gasnet) < 1.0, "SHMEM locks faster than GASNet");
         assert!(shmem.geomean_ratio_over(cray) < 1.0, "SHMEM locks faster than Cray CAF");
+    }
+
+    #[test]
+    fn dht_throughput_winner_flips_with_aggregation() {
+        let fig = dht_throughput(true, 8);
+        let locked = &fig.panels[0];
+        let am = &fig.panels[1];
+        // Panel (a) reproduces Figure 9: SHMEM is the best locked backend
+        // (throughput: higher is better, so the winner's ratio is > 1).
+        let shmem_locked = locked.series("UHCAF-Cray-SHMEM locked").unwrap();
+        for other in ["Cray-CAF locked", "UHCAF-GASNet locked"] {
+            assert!(
+                shmem_locked.geomean_ratio_over(locked.series(other).unwrap()) > 1.0,
+                "locked SHMEM beats {other}"
+            );
+        }
+        // Panel (b): every AM series beats panel (a)'s winner — enabling
+        // the aggregation machinery changes the figure's winner from the
+        // paper's locked pattern to active-message updates.
+        for s in &am.series {
+            assert!(
+                s.geomean_ratio_over(shmem_locked) > 1.0,
+                "{} should out-throughput the locked winner",
+                s.label
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Active messages: registered handlers executed at the target PE.
+//!
+//! A Lamellar-style alternative to the get–compute–put round trip: the
+//! initiator ships one request message (argument payload plus a small
+//! header) and the registered handler runs *at the target*, reading and
+//! writing the target's heap directly. Cost model: one wire transfer plus
+//! handler dispatch and target-side compute (`CostModel::am_request`) —
+//! no reply leg unless the caller uses `am_call`, which adds one
+//! (`CostModel::am_reply`).
+//!
+//! Handlers are registered SPMD-symmetrically: every PE registers the same
+//! handlers in the same order (exactly like symmetric heap allocation), so
+//! an [`AmHandlerId`] minted on one PE names the same logic on every PE,
+//! and the simulator can run the handler on the *initiator's* thread while
+//! the machine's `apply_and_notify` critical section makes its effects
+//! atomic at the target — the same execution discipline remote atomics
+//! use.
+//!
+//! Handlers observe the target heap only through [`AmTarget`], which
+//! records every range touched so `Ctx` can stamp, sanitize, and register
+//! completion obligations for exactly what the handler did.
+
+use pgas_machine::machine::{Machine, PeId};
+use std::sync::atomic::Ordering;
+
+/// Index of a registered handler (stable across PEs by symmetric
+/// registration order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AmHandlerId(pub(crate) usize);
+
+/// User-defined logic executed at the target PE of an active message.
+pub trait AmHandler {
+    /// Target-side compute charged to the virtual clock *beyond* the
+    /// profile's dispatch cost, ns. Defaults to free (pure data movement).
+    fn compute_ns(&self, _arg: &[u8]) -> f64 {
+        0.0
+    }
+
+    /// Run at the target. Return `Some(reply)` to answer an
+    /// `am_call`; `am_send` discards any reply.
+    fn execute(&self, target: &mut AmTarget<'_>, arg: &[u8]) -> Option<Vec<u8>>;
+}
+
+/// The target-side view a handler gets: direct heap access on the target
+/// PE, with every touched range recorded.
+pub struct AmTarget<'m> {
+    m: &'m Machine,
+    pe: PeId,
+    pub(crate) writes: Vec<(usize, usize)>,
+    pub(crate) reads: Vec<(usize, usize)>,
+}
+
+impl<'m> AmTarget<'m> {
+    pub(crate) fn new(m: &'m Machine, pe: PeId) -> Self {
+        AmTarget { m, pe, writes: Vec::new(), reads: Vec::new() }
+    }
+
+    /// The PE this handler is executing on.
+    pub fn pe(&self) -> PeId {
+        self.pe
+    }
+
+    /// Read the 8-byte word at `off` of the target heap.
+    pub fn read_u64(&mut self, off: usize) -> u64 {
+        self.reads.push((off, 8));
+        self.m.heap(self.pe).atomic64(off).load(Ordering::Acquire)
+    }
+
+    /// Write the 8-byte word at `off` of the target heap. Atomic, so
+    /// `wait_until` watchers of the word observe it safely.
+    pub fn write_u64(&mut self, off: usize, v: u64) {
+        self.writes.push((off, 8));
+        self.m.heap(self.pe).atomic64(off).store(v, Ordering::Release);
+    }
+
+    /// Read `out.len()` bytes at `off` of the target heap.
+    pub fn read_bytes(&mut self, off: usize, out: &mut [u8]) {
+        self.reads.push((off, out.len()));
+        self.m.heap(self.pe).read_bytes(off, out);
+    }
+
+    /// Write `data` at `off` of the target heap.
+    pub fn write_bytes(&mut self, off: usize, data: &[u8]) {
+        self.writes.push((off, data.len()));
+        self.m.heap(self.pe).write_bytes(off, data);
+    }
+}

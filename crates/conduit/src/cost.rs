@@ -30,15 +30,30 @@ pub struct AmoTiming {
     pub remote_complete: u64,
 }
 
+/// Completion times of an active-message request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AmTiming {
+    /// When the request has left the source NIC (the caller may proceed;
+    /// like a put's local completion).
+    pub local_complete: u64,
+    /// When the handler's effects are visible at the target (what `quiet`
+    /// waits for).
+    pub executed: u64,
+}
+
+/// Wire framing charged per active message and per coalesced op: handler id
+/// / opcode, target offset, and length fields.
+pub const AM_HEADER_BYTES: usize = 16;
+
 /// Observability breakdown of one transfer, computed from the same NIC
 /// reservations the timing comes from.
 ///
 /// This rides alongside [`PutTiming`]/[`AmoTiming`] (never inside them — the
 /// timing structs are compared bit-for-bit against the pure estimators) and
 /// costs nothing to produce: every field is arithmetic on reservation values
-/// the cost model already holds. The `*_with_detail` methods return it; the
-/// plain methods delegate to them and drop it, so traced and untraced runs
-/// perform the identical reservation sequence.
+/// the cost model already holds. Every reserving method takes an
+/// `Option<&mut FlowDetail>` out-slot; passing `None` changes nothing about
+/// the reservation sequence, so traced and untraced runs are bit-identical.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FlowDetail {
     /// Total time the transfer waited in NIC queues behind earlier traffic
@@ -51,6 +66,15 @@ pub struct FlowDetail {
     /// happened.
     pub remote_begin: u64,
     pub remote_end: u64,
+}
+
+/// Write `d` into the caller's out-slot, if one was given. A free function
+/// (not a `FlowDetail` method) so call sites read as plain data flow.
+#[inline]
+fn emit(detail: Option<&mut FlowDetail>, d: FlowDetail) {
+    if let Some(slot) = detail {
+        *slot = d;
+    }
 }
 
 /// Cost model for one (machine, profile) pair.
@@ -158,28 +182,26 @@ impl<'m> CostModel<'m> {
 
     /// Timing of a contiguous put of `bytes` from `src` to `dst`, issued at
     /// virtual time `start` but with data flow not beginning before `floor`
-    /// (used by `fence` to order deliveries).
-    pub fn put(&self, src: PeId, dst: PeId, bytes: usize, start: u64, floor: u64) -> PutTiming {
-        self.put_with_detail(src, dst, bytes, start, floor).0
-    }
-
-    /// Like [`Self::put`], also reporting the queue/service/delivery
-    /// breakdown. Performs the identical NIC reservation sequence.
-    pub fn put_with_detail(
+    /// (used by `fence` to order deliveries). Fills `detail` (when given)
+    /// with the queue/service/delivery breakdown of the same reservations.
+    pub fn put(
         &self,
         src: PeId,
         dst: PeId,
         bytes: usize,
         start: u64,
         floor: u64,
-    ) -> (PutTiming, FlowDetail) {
+        detail: Option<&mut FlowDetail>,
+    ) -> PutTiming {
         let issue_done = start + self.profile.put_issue_ns.round() as u64;
         if self.machine.same_node(src, dst) {
             let occ = self.wire().intra.occupancy_ns(bytes).round() as u64;
             let t = issue_done.max(floor) + self.wire().intra.latency_ns.round() as u64 + occ;
-            let detail =
-                FlowDetail { queue_ns: 0, service_ns: occ, remote_begin: t - occ, remote_end: t };
-            return (PutTiming { local_complete: t, remote_complete: t }, detail);
+            emit(
+                detail,
+                FlowDetail { queue_ns: 0, service_ns: occ, remote_begin: t - occ, remote_end: t },
+            );
+            return PutTiming { local_complete: t, remote_complete: t };
         }
         let flow_start = (issue_done + self.rendezvous_ns(bytes)).max(floor);
         let occ = self.occupancy_ns(bytes).round() as u64;
@@ -202,41 +224,39 @@ impl<'m> CostModel<'m> {
             (src_res, dst_res)
         });
         let rx_start = src_res.begin + self.latency();
-        let detail = FlowDetail {
-            queue_ns: (src_res.begin - flow_start) + (dst_res.begin - rx_start),
-            service_ns: (src_res.end - src_res.begin) + (dst_res.end - dst_res.begin),
-            remote_begin: dst_res.begin,
-            remote_end: dst_res.end,
-        };
-        (
-            PutTiming { local_complete: src_res.end.max(issue_done), remote_complete: dst_res.end },
+        emit(
             detail,
-        )
+            FlowDetail {
+                queue_ns: (src_res.begin - flow_start) + (dst_res.begin - rx_start),
+                service_ns: (src_res.end - src_res.begin) + (dst_res.end - dst_res.begin),
+                remote_begin: dst_res.begin,
+                remote_end: dst_res.end,
+            },
+        );
+        PutTiming { local_complete: src_res.end.max(issue_done), remote_complete: dst_res.end }
     }
 
     /// Completion time of a blocking get of `bytes` of `dst`'s memory into
-    /// `src` (the caller), issued at `start`.
-    pub fn get(&self, src: PeId, dst: PeId, bytes: usize, start: u64) -> u64 {
-        self.get_with_detail(src, dst, bytes, start).0
-    }
-
-    /// Like [`Self::get`], also reporting the queue/service breakdown.
-    /// The delivery window is the target NIC streaming the payload back.
-    pub fn get_with_detail(
+    /// `src` (the caller), issued at `start`. Fills `detail` (when given)
+    /// with the queue/service breakdown; the delivery window is the target
+    /// NIC streaming the payload back.
+    pub fn get(
         &self,
         src: PeId,
         dst: PeId,
         bytes: usize,
         start: u64,
-    ) -> (u64, FlowDetail) {
+        detail: Option<&mut FlowDetail>,
+    ) -> u64 {
         let issue_done = start + self.profile.get_issue_ns.round() as u64;
         if self.machine.same_node(src, dst) {
             let occ = self.wire().intra.occupancy_ns(bytes).round() as u64;
             let t = issue_done + self.wire().intra.latency_ns.round() as u64 + occ;
-            return (
-                t,
+            emit(
+                detail,
                 FlowDetail { queue_ns: 0, service_ns: occ, remote_begin: t - occ, remote_end: t },
             );
+            return t;
         }
         let src_node = self.machine.node_of(src);
         let dst_node = self.machine.node_of(dst);
@@ -263,32 +283,34 @@ impl<'m> CostModel<'m> {
         });
         let data_start = req.end + self.latency();
         let recv_start = data.begin + self.latency();
-        let detail = FlowDetail {
-            queue_ns: (req.begin - issue_done)
-                + (data.begin - data_start)
-                + (recv.begin - recv_start),
-            service_ns: (req.end - req.begin) + (data.end - data.begin) + (recv.end - recv.begin),
-            remote_begin: data.begin,
-            remote_end: data.end,
-        };
-        (recv.end, detail)
+        emit(
+            detail,
+            FlowDetail {
+                queue_ns: (req.begin - issue_done)
+                    + (data.begin - data_start)
+                    + (recv.begin - recv_start),
+                service_ns: (req.end - req.begin)
+                    + (data.end - data.begin)
+                    + (recv.end - recv.begin),
+                remote_begin: data.begin,
+                remote_end: data.end,
+            },
+        );
+        recv.end
     }
 
     /// Timing of a remote atomic on an 8-byte word of `dst`'s memory.
     /// `fetching` operations block for the result; non-fetching ones return
-    /// after local completion like a small put.
-    pub fn amo(&self, src: PeId, dst: PeId, fetching: bool, start: u64) -> AmoTiming {
-        self.amo_with_detail(src, dst, fetching, start).0
-    }
-
-    /// Like [`Self::amo`], also reporting the queue/service breakdown.
-    pub fn amo_with_detail(
+    /// after local completion like a small put. Fills `detail` (when given)
+    /// with the queue/service breakdown.
+    pub fn amo(
         &self,
         src: PeId,
         dst: PeId,
         fetching: bool,
         start: u64,
-    ) -> (AmoTiming, FlowDetail) {
+        detail: Option<&mut FlowDetail>,
+    ) -> AmoTiming {
         let wire = *self.wire();
         match self.profile.amo {
             AmoSupport::Native { extra_ns } => {
@@ -296,11 +318,11 @@ impl<'m> CostModel<'m> {
                 if self.machine.same_node(src, dst) {
                     let t = issue_done
                         + (wire.intra.latency_ns + wire.amo_ns + extra_ns).round() as u64;
-                    let timing = AmoTiming { local_complete: t, remote_complete: t };
-                    return (
-                        timing,
+                    emit(
+                        detail,
                         FlowDetail { remote_begin: t, remote_end: t, ..Default::default() },
                     );
+                    return AmoTiming { local_complete: t, remote_complete: t };
                 }
                 let occ = (self.control_occupancy_ns() + extra_ns).round() as u64;
                 let (out, at_target) = self.machine.nic_turn(src, issue_done, || {
@@ -319,13 +341,16 @@ impl<'m> CostModel<'m> {
                 } else {
                     out.end
                 };
-                let detail = FlowDetail {
-                    queue_ns: (out.begin - issue_done) + (at_target.begin - rx_start),
-                    service_ns: (out.end - out.begin) + (at_target.end - at_target.begin),
-                    remote_begin: at_target.begin,
-                    remote_end: executed,
-                };
-                (AmoTiming { local_complete: local, remote_complete: executed }, detail)
+                emit(
+                    detail,
+                    FlowDetail {
+                        queue_ns: (out.begin - issue_done) + (at_target.begin - rx_start),
+                        service_ns: (out.end - out.begin) + (at_target.end - at_target.begin),
+                        remote_begin: at_target.begin,
+                        remote_end: executed,
+                    },
+                );
+                AmoTiming { local_complete: local, remote_complete: executed }
             }
             AmoSupport::AmEmulated { handler_ns } => {
                 // Request AM -> software handler at target -> reply AM.
@@ -334,11 +359,11 @@ impl<'m> CostModel<'m> {
                 let issue_done = start + self.profile.put_issue_ns.round() as u64;
                 if self.machine.same_node(src, dst) {
                     let t = issue_done + (2.0 * wire.intra.latency_ns + handler_ns).round() as u64;
-                    let timing = AmoTiming { local_complete: t, remote_complete: t };
-                    return (
-                        timing,
+                    emit(
+                        detail,
                         FlowDetail { remote_begin: t, remote_end: t, ..Default::default() },
                     );
+                    return AmoTiming { local_complete: t, remote_complete: t };
                 }
                 let occ = self.control_occupancy_ns().round() as u64;
                 let (out, at_target, reply) = self.machine.nic_turn(src, issue_done, || {
@@ -356,17 +381,20 @@ impl<'m> CostModel<'m> {
                 let rx_start = out.begin + self.latency();
                 let executed = at_target.end + handler_ns.round() as u64;
                 let reply_start = executed + self.latency();
-                let detail = FlowDetail {
-                    queue_ns: (out.begin - issue_done)
-                        + (at_target.begin - rx_start)
-                        + (reply.begin - reply_start),
-                    service_ns: (out.end - out.begin)
-                        + (at_target.end - at_target.begin)
-                        + (reply.end - reply.begin),
-                    remote_begin: at_target.begin,
-                    remote_end: executed,
-                };
-                (AmoTiming { local_complete: reply.end, remote_complete: executed }, detail)
+                emit(
+                    detail,
+                    FlowDetail {
+                        queue_ns: (out.begin - issue_done)
+                            + (at_target.begin - rx_start)
+                            + (reply.begin - reply_start),
+                        service_ns: (out.end - out.begin)
+                            + (at_target.end - at_target.begin)
+                            + (reply.end - reply.begin),
+                        remote_begin: at_target.begin,
+                        remote_end: executed,
+                    },
+                );
+                AmoTiming { local_complete: reply.end, remote_complete: executed }
             }
         }
     }
@@ -377,6 +405,7 @@ impl<'m> CostModel<'m> {
     /// Returns `None` when the profile implements strided transfers as a
     /// software loop — the caller must loop over contiguous puts itself
     /// (that is the observable behaviour the paper reports for MVAPICH2-X).
+    #[allow(clippy::too_many_arguments)] // mirrors the C shmem_iput signature
     pub fn strided_put_native(
         &self,
         src: PeId,
@@ -385,21 +414,8 @@ impl<'m> CostModel<'m> {
         elem_bytes: usize,
         start: u64,
         floor: u64,
+        detail: Option<&mut FlowDetail>,
     ) -> Option<PutTiming> {
-        self.strided_put_native_with_detail(src, dst, nelems, elem_bytes, start, floor)
-            .map(|(t, _)| t)
-    }
-
-    /// Like [`Self::strided_put_native`], also reporting the breakdown.
-    pub fn strided_put_native_with_detail(
-        &self,
-        src: PeId,
-        dst: PeId,
-        nelems: usize,
-        elem_bytes: usize,
-        start: u64,
-        floor: u64,
-    ) -> Option<(PutTiming, FlowDetail)> {
         let StridedSupport::Native { per_elem_ns } = self.profile.strided else {
             return None;
         };
@@ -409,9 +425,11 @@ impl<'m> CostModel<'m> {
         if self.machine.same_node(src, dst) {
             let occ = self.wire().intra.occupancy_ns(bytes).round() as u64 + scatter;
             let t = issue_done.max(floor) + self.wire().intra.latency_ns.round() as u64 + occ;
-            let detail =
-                FlowDetail { queue_ns: 0, service_ns: occ, remote_begin: t - occ, remote_end: t };
-            return Some((PutTiming { local_complete: t, remote_complete: t }, detail));
+            emit(
+                detail,
+                FlowDetail { queue_ns: 0, service_ns: occ, remote_begin: t - occ, remote_end: t },
+            );
+            return Some(PutTiming { local_complete: t, remote_complete: t });
         }
         let occ = (self.occupancy_ns(bytes) + per_elem_ns * nelems as f64).round() as u64;
         let flow_start = issue_done.max(floor);
@@ -432,13 +450,16 @@ impl<'m> CostModel<'m> {
             (src_res, dst_res)
         });
         let rx_start = src_res.begin + self.latency();
-        let detail = FlowDetail {
-            queue_ns: (src_res.begin - flow_start) + (dst_res.begin - rx_start),
-            service_ns: (src_res.end - src_res.begin) + (dst_res.end - dst_res.begin),
-            remote_begin: dst_res.begin,
-            remote_end: dst_res.end,
-        };
-        Some((PutTiming { local_complete: src_res.end, remote_complete: dst_res.end }, detail))
+        emit(
+            detail,
+            FlowDetail {
+                queue_ns: (src_res.begin - flow_start) + (dst_res.begin - rx_start),
+                service_ns: (src_res.end - src_res.begin) + (dst_res.end - dst_res.begin),
+                remote_begin: dst_res.begin,
+                remote_end: dst_res.end,
+            },
+        );
+        Some(PutTiming { local_complete: src_res.end, remote_complete: dst_res.end })
     }
 
     /// Like [`Self::strided_put_native`] but for gets.
@@ -449,17 +470,28 @@ impl<'m> CostModel<'m> {
         nelems: usize,
         elem_bytes: usize,
         start: u64,
+        detail: Option<&mut FlowDetail>,
     ) -> Option<u64> {
         let StridedSupport::Native { per_elem_ns } = self.profile.strided else {
             return None;
         };
-        let base = self.get(src, dst, nelems * elem_bytes, start);
+        let base = self.get(src, dst, nelems * elem_bytes, start, detail);
         Some(base + (per_elem_ns * nelems as f64).round() as u64)
+    }
+
+    /// Software unpack/pack cost of an AM handler touching `n` pieces at
+    /// the target: one dispatch plus two local ops per piece.
+    #[inline]
+    fn unpack_ns(&self, n: usize) -> u64 {
+        (self.profile.am_handler_ns + n as f64 * self.machine.config().compute.local_op_ns * 2.0)
+            .round() as u64
     }
 
     /// Cost of an AM-packed transfer: the payload travels as one contiguous
     /// message and a software handler unpacks `nelems` pieces at the target.
-    /// This models GASNet's VIS / "with-AM" strided path.
+    /// This models GASNet's VIS / "with-AM" strided path. The unpack handler
+    /// extends the delivery window at the target.
+    #[allow(clippy::too_many_arguments)] // src/dst + shape + clocks + detail
     pub fn am_packed_put(
         &self,
         src: PeId,
@@ -468,33 +500,14 @@ impl<'m> CostModel<'m> {
         elem_bytes: usize,
         start: u64,
         floor: u64,
+        mut detail: Option<&mut FlowDetail>,
     ) -> PutTiming {
-        self.am_packed_put_with_detail(src, dst, nelems, elem_bytes, start, floor).0
-    }
-
-    /// Like [`Self::am_packed_put`], also reporting the breakdown (the
-    /// unpack handler extends the delivery window at the target).
-    pub fn am_packed_put_with_detail(
-        &self,
-        src: PeId,
-        dst: PeId,
-        nelems: usize,
-        elem_bytes: usize,
-        start: u64,
-        floor: u64,
-    ) -> (PutTiming, FlowDetail) {
-        let (t, mut detail) = self.put_with_detail(src, dst, nelems * elem_bytes, start, floor);
-        let unpack = (self.profile.am_handler_ns
-            + nelems as f64 * self.machine.config().compute.local_op_ns * 2.0)
-            .round() as u64;
-        detail.remote_end = t.remote_complete + unpack;
-        (
-            PutTiming {
-                local_complete: t.local_complete,
-                remote_complete: t.remote_complete + unpack,
-            },
-            detail,
-        )
+        let t = self.put(src, dst, nelems * elem_bytes, start, floor, detail.as_deref_mut());
+        let unpack = self.unpack_ns(nelems);
+        if let Some(d) = detail {
+            d.remote_end = t.remote_complete + unpack;
+        }
+        PutTiming { local_complete: t.local_complete, remote_complete: t.remote_complete + unpack }
     }
 
     /// Cost of an AM-packed gather-get: one small request, the target's
@@ -506,11 +519,149 @@ impl<'m> CostModel<'m> {
         nelems: usize,
         elem_bytes: usize,
         start: u64,
+        detail: Option<&mut FlowDetail>,
     ) -> u64 {
-        let pack = (self.profile.am_handler_ns
-            + nelems as f64 * self.machine.config().compute.local_op_ns * 2.0)
-            .round() as u64;
-        self.get(src, dst, nelems * elem_bytes, start + pack)
+        let pack = self.unpack_ns(nelems);
+        self.get(src, dst, nelems * elem_bytes, start + pack, detail)
+    }
+
+    /// Cost of flushing one coalescing buffer: `nops` staged small ops to
+    /// the same destination node travel as one wire transfer of `bytes`
+    /// (payload plus per-op headers) and a software handler applies each op
+    /// at the target — the same shape as [`Self::am_packed_put`], keyed on
+    /// the op count instead of an element count.
+    #[allow(clippy::too_many_arguments)] // src/dst + buffer shape + clocks + detail
+    pub fn coalesced_flush(
+        &self,
+        src: PeId,
+        dst: PeId,
+        bytes: usize,
+        nops: usize,
+        start: u64,
+        floor: u64,
+        mut detail: Option<&mut FlowDetail>,
+    ) -> PutTiming {
+        let t = self.put(src, dst, bytes, start, floor, detail.as_deref_mut());
+        let unpack = self.unpack_ns(nops);
+        if let Some(d) = detail {
+            d.remote_end = t.remote_complete + unpack;
+        }
+        PutTiming { local_complete: t.local_complete, remote_complete: t.remote_complete + unpack }
+    }
+
+    /// Timing of an active-message request: one wire transfer of the
+    /// argument payload, then the registered handler (profile dispatch cost
+    /// plus `handler_extra_ns` of target-side compute) executes at the
+    /// target. No round trip — that is the whole point: a get–compute–put
+    /// sequence collapses into a single request message. `executed` is when
+    /// the handler's effects are visible at the target (what `quiet` waits
+    /// for); `local_complete` is when the request left the source NIC.
+    #[allow(clippy::too_many_arguments)] // src/dst + payload + clocks + detail
+    pub fn am_request(
+        &self,
+        src: PeId,
+        dst: PeId,
+        arg_bytes: usize,
+        handler_extra_ns: f64,
+        start: u64,
+        floor: u64,
+        detail: Option<&mut FlowDetail>,
+    ) -> AmTiming {
+        let handler_ns = (self.profile.am_handler_ns + handler_extra_ns).round() as u64;
+        let bytes = AM_HEADER_BYTES + arg_bytes;
+        let issue_done = start + self.profile.put_issue_ns.round() as u64;
+        if self.machine.same_node(src, dst) {
+            let occ = self.wire().intra.occupancy_ns(bytes).round() as u64;
+            let t = issue_done.max(floor) + self.wire().intra.latency_ns.round() as u64 + occ;
+            let executed = t + handler_ns;
+            emit(
+                detail,
+                FlowDetail {
+                    queue_ns: 0,
+                    service_ns: occ,
+                    remote_begin: t - occ,
+                    remote_end: executed,
+                },
+            );
+            return AmTiming { local_complete: t, executed };
+        }
+        let flow_start = issue_done.max(floor);
+        let occ = self.occupancy_ns(bytes).round() as u64;
+        let src_node = self.machine.node_of(src);
+        let dst_node = self.machine.node_of(dst);
+        let (out, at_target) = self.machine.nic_turn(src, flow_start, || {
+            let out = self.machine.nic(src_node).reserve_tx(
+                flow_start,
+                self.degraded_occ(src_node, flow_start, occ),
+                bytes,
+            );
+            let rx_start = out.begin + self.latency();
+            let at_target = self.machine.nic(dst_node).reserve_rx(
+                rx_start,
+                self.degraded_occ(dst_node, rx_start, occ),
+                bytes,
+            );
+            (out, at_target)
+        });
+        let rx_start = out.begin + self.latency();
+        let executed = at_target.end + handler_ns;
+        emit(
+            detail,
+            FlowDetail {
+                queue_ns: (out.begin - flow_start) + (at_target.begin - rx_start),
+                service_ns: (out.end - out.begin) + (at_target.end - at_target.begin),
+                remote_begin: at_target.begin,
+                remote_end: executed,
+            },
+        );
+        AmTiming { local_complete: out.end.max(issue_done), executed }
+    }
+
+    /// Timing of an active-message reply: the target streams `reply_bytes`
+    /// back to the caller once the handler finished at `executed`. Returns
+    /// when the reply is delivered at the caller. Queue/service time is
+    /// *added* into `detail` so a request's breakdown can accumulate its
+    /// reply leg.
+    pub fn am_reply(
+        &self,
+        src: PeId,
+        dst: PeId,
+        reply_bytes: usize,
+        executed: u64,
+        detail: Option<&mut FlowDetail>,
+    ) -> u64 {
+        let bytes = AM_HEADER_BYTES + reply_bytes;
+        if self.machine.same_node(src, dst) {
+            let occ = self.wire().intra.occupancy_ns(bytes).round() as u64;
+            let t = executed + self.wire().intra.latency_ns.round() as u64 + occ;
+            if let Some(d) = detail {
+                d.service_ns += occ;
+            }
+            return t;
+        }
+        let occ = self.occupancy_ns(bytes).round() as u64;
+        let src_node = self.machine.node_of(src);
+        let dst_node = self.machine.node_of(dst);
+        let (rep_out, rep_in) = self.machine.nic_turn(src, executed, || {
+            let rep_out = self.machine.nic(dst_node).reserve_tx(
+                executed,
+                self.degraded_occ(dst_node, executed, occ),
+                bytes,
+            );
+            let rx_start = rep_out.begin + self.latency();
+            let rep_in = self.machine.nic(src_node).reserve_rx(
+                rx_start,
+                self.degraded_occ(src_node, rx_start, occ),
+                bytes,
+            );
+            (rep_out, rep_in)
+        });
+        let rx_start = rep_out.begin + self.latency();
+        if let Some(d) = detail {
+            d.queue_ns += (rep_out.begin - executed) + (rep_in.begin - rx_start);
+            d.service_ns += (rep_out.end - rep_out.begin) + (rep_in.end - rep_in.begin);
+        }
+        rep_in.end
     }
 
     // ---- pure probe estimators (no NIC reservations) ------------------------
@@ -665,8 +816,8 @@ mod tests {
     fn put_latency_grows_with_size() {
         let (m, p) = shmem_on_stampede(2);
         let cm = CostModel::new(&m, p);
-        let small = cm.put(0, 16, 8, 0, 0);
-        let large = cm.put(0, 16, 1 << 20, small.remote_complete, 0);
+        let small = cm.put(0, 16, 8, 0, 0, None);
+        let large = cm.put(0, 16, 1 << 20, small.remote_complete, 0, None);
         let small_dur = small.remote_complete;
         let large_dur = large.remote_complete - small.remote_complete;
         assert!(large_dur > 10 * small_dur, "1 MiB ({large_dur}) vs 8 B ({small_dur})");
@@ -677,7 +828,7 @@ mod tests {
         let (m, p) = shmem_on_stampede(2);
         let cm = CostModel::new(&m, p);
         let bytes = 8 << 20;
-        let t = cm.put(0, 16, bytes, 0, 0);
+        let t = cm.put(0, 16, bytes, 0, 0, None);
         let gb_per_s = bytes as f64 / t.remote_complete as f64; // bytes/ns
         let wire_bw = m.config().wire.inter.bytes_per_ns;
         assert!(gb_per_s > 0.8 * wire_bw, "sustained {gb_per_s:.2} of wire {wire_bw}");
@@ -688,8 +839,8 @@ mod tests {
     fn intra_node_put_is_much_faster() {
         let (m, p) = shmem_on_stampede(2);
         let cm = CostModel::new(&m, p);
-        let local = cm.put(0, 1, 1024, 0, 0).remote_complete;
-        let remote = cm.put(2, 17, 1024, 0, 0).remote_complete;
+        let local = cm.put(0, 1, 1024, 0, 0, None).remote_complete;
+        let remote = cm.put(2, 17, 1024, 0, 0, None).remote_complete;
         assert!(local * 3 < remote, "local {local} remote {remote}");
     }
 
@@ -697,7 +848,7 @@ mod tests {
     fn put_local_completion_precedes_remote() {
         let (m, p) = shmem_on_stampede(2);
         let cm = CostModel::new(&m, p);
-        let t = cm.put(0, 16, 4096, 100, 0);
+        let t = cm.put(0, 16, 4096, 100, 0, None);
         assert!(t.local_complete < t.remote_complete);
         assert!(t.local_complete > 100);
     }
@@ -706,11 +857,11 @@ mod tests {
     fn fence_floor_delays_data_flow() {
         let (m, p) = shmem_on_stampede(2);
         let cm = CostModel::new(&m, p);
-        let unfenced = cm.put(0, 16, 64, 0, 0);
+        let unfenced = cm.put(0, 16, 64, 0, 0, None);
         // Fresh machine so NIC state doesn't carry over.
         let (m2, p2) = shmem_on_stampede(2);
         let cm2 = CostModel::new(&m2, p2);
-        let fenced = cm2.put(0, 16, 64, 0, 50_000);
+        let fenced = cm2.put(0, 16, 64, 0, 50_000, None);
         assert!(fenced.remote_complete >= 50_000);
         assert!(fenced.remote_complete > unfenced.remote_complete);
     }
@@ -719,10 +870,10 @@ mod tests {
     fn get_costs_a_round_trip() {
         let (m, p) = shmem_on_stampede(2);
         let cm = CostModel::new(&m, p);
-        let put = cm.put(0, 16, 8, 0, 0).remote_complete;
+        let put = cm.put(0, 16, 8, 0, 0, None).remote_complete;
         let (m2, p2) = shmem_on_stampede(2);
         let cm2 = CostModel::new(&m2, p2);
-        let get = cm2.get(0, 16, 8, 0);
+        let get = cm2.get(0, 16, 8, 0, None);
         assert!(get > put + m.config().wire.inter.latency_ns as u64, "get {get} put {put}");
     }
 
@@ -734,10 +885,10 @@ mod tests {
         let bytes = 1 << 20;
         let mut last = 0;
         for src in 0..16 {
-            last = last.max(cm.put(src, 16 + src, bytes, 0, 0).remote_complete);
+            last = last.max(cm.put(src, 16 + src, bytes, 0, 0, None).remote_complete);
         }
         let (m1, p1) = shmem_on_stampede(2);
-        let alone = CostModel::new(&m1, p1).put(0, 16, bytes, 0, 0).remote_complete;
+        let alone = CostModel::new(&m1, p1).put(0, 16, bytes, 0, 0, None).remote_complete;
         let ratio = last as f64 / alone as f64;
         assert!(ratio > 10.0 && ratio < 20.0, "16-way contention ratio {ratio:.1}");
     }
@@ -746,10 +897,10 @@ mod tests {
     fn native_amo_beats_am_emulated() {
         let m = Machine::new(titan(2, 16));
         let native = CostModel::new(&m, ConduitProfile::cray_shmem(Platform::Titan));
-        let t_native = native.amo(0, 16, true, 0).local_complete;
+        let t_native = native.amo(0, 16, true, 0, None).local_complete;
         let m2 = Machine::new(titan(2, 16));
         let emulated = CostModel::new(&m2, ConduitProfile::gasnet(Platform::Titan));
-        let t_am = emulated.amo(0, 16, true, 0).local_complete;
+        let t_am = emulated.amo(0, 16, true, 0, None).local_complete;
         assert!(
             t_am as f64 > 1.2 * t_native as f64,
             "AM-emulated {t_am} should clearly exceed native {t_native}"
@@ -760,11 +911,11 @@ mod tests {
     fn nonfetching_amo_returns_early_on_native() {
         let m = Machine::new(titan(2, 16));
         let cm = CostModel::new(&m, ConduitProfile::cray_shmem(Platform::Titan));
-        let t = cm.amo(0, 16, false, 0);
+        let t = cm.amo(0, 16, false, 0, None);
         assert!(t.local_complete < t.remote_complete);
         let m2 = Machine::new(titan(2, 16));
         let cm2 = CostModel::new(&m2, ConduitProfile::cray_shmem(Platform::Titan));
-        let tf = cm2.amo(0, 16, true, 0);
+        let tf = cm2.amo(0, 16, true, 0, None);
         assert!(tf.local_complete > tf.remote_complete, "fetch waits for the reply");
     }
 
@@ -772,10 +923,10 @@ mod tests {
     fn strided_native_only_on_capable_profiles() {
         let m = Machine::new(titan(2, 16));
         let cray = CostModel::new(&m, ConduitProfile::cray_shmem(Platform::Titan));
-        assert!(cray.strided_put_native(0, 16, 100, 8, 0, 0).is_some());
+        assert!(cray.strided_put_native(0, 16, 100, 8, 0, 0, None).is_some());
         let mv = CostModel::new(&m, ConduitProfile::mvapich_shmem());
-        assert!(mv.strided_put_native(0, 16, 100, 8, 0, 0).is_none());
-        assert!(mv.strided_get_native(0, 16, 100, 8, 0).is_none());
+        assert!(mv.strided_put_native(0, 16, 100, 8, 0, 0, None).is_none());
+        assert!(mv.strided_get_native(0, 16, 100, 8, 0, None).is_none());
     }
 
     #[test]
@@ -783,13 +934,13 @@ mod tests {
         let m = Machine::new(titan(2, 16));
         let cm = CostModel::new(&m, ConduitProfile::cray_shmem(Platform::Titan));
         let n = 64;
-        let strided = cm.strided_put_native(0, 16, n, 8, 0, 0).unwrap().remote_complete;
+        let strided = cm.strided_put_native(0, 16, n, 8, 0, 0, None).unwrap().remote_complete;
         let m2 = Machine::new(titan(2, 16));
         let cm2 = CostModel::new(&m2, ConduitProfile::cray_shmem(Platform::Titan));
         let mut t = 0;
         let mut clock = 0;
         for _ in 0..n {
-            let pt = cm2.put(0, 16, 8, clock, 0);
+            let pt = cm2.put(0, 16, 8, clock, 0, None);
             clock = pt.local_complete;
             t = pt.remote_complete;
         }
@@ -801,10 +952,10 @@ mod tests {
         let m = Machine::new(stampede(2, 16));
         let p = ConduitProfile::mpi3(Platform::Stampede); // 8 KiB threshold
         let cm = CostModel::new(&m, p);
-        let below = cm.put(0, 16, 8 * 1024, 0, 0).remote_complete;
+        let below = cm.put(0, 16, 8 * 1024, 0, 0, None).remote_complete;
         let m2 = Machine::new(stampede(2, 16));
         let cm2 = CostModel::new(&m2, p);
-        let above = cm2.put(0, 16, 8 * 1024 + 1, 0, 0).remote_complete;
+        let above = cm2.put(0, 16, 8 * 1024 + 1, 0, 0, None).remote_complete;
         let delta = above as i64 - below as i64;
         assert!(delta as f64 > 1.5 * m.config().wire.inter.latency_ns, "delta {delta}");
     }
@@ -823,10 +974,10 @@ mod tests {
     fn am_packed_put_charges_unpack_at_target() {
         let m = Machine::new(stampede(2, 16));
         let cm = CostModel::new(&m, ConduitProfile::gasnet(Platform::Stampede));
-        let plain = cm.put(0, 16, 800, 0, 0);
+        let plain = cm.put(0, 16, 800, 0, 0, None);
         let m2 = Machine::new(stampede(2, 16));
         let cm2 = CostModel::new(&m2, ConduitProfile::gasnet(Platform::Stampede));
-        let packed = cm2.am_packed_put(0, 16, 100, 8, 0, 0);
+        let packed = cm2.am_packed_put(0, 16, 100, 8, 0, 0, None);
         assert!(packed.remote_complete > plain.remote_complete);
         assert_eq!(packed.local_complete, plain.local_complete);
     }
@@ -849,39 +1000,42 @@ mod tests {
                     let m = Machine::new(cfg());
                     let est = CostModel::new(&m, p).put_estimate(src, dst, bytes);
                     let m2 = Machine::new(cfg());
-                    let real = CostModel::new(&m2, p).put(src, dst, bytes, 0, 0);
+                    let real = CostModel::new(&m2, p).put(src, dst, bytes, 0, 0, None);
                     assert_eq!(est, real, "put {bytes}B {src}->{dst} on {}", p.label());
 
                     let m3 = Machine::new(cfg());
                     let gest = CostModel::new(&m3, p).get_estimate_ns(src, dst, bytes);
                     let m4 = Machine::new(cfg());
-                    let greal = CostModel::new(&m4, p).get(src, dst, bytes, 0);
+                    let greal = CostModel::new(&m4, p).get(src, dst, bytes, 0, None);
                     assert_eq!(gest, greal, "get {bytes}B {src}->{dst} on {}", p.label());
                 }
                 for nelems in [8usize, 100, 1024] {
                     let m = Machine::new(cfg());
                     let est = CostModel::new(&m, p).strided_put_estimate(src, dst, nelems, 8);
                     let m2 = Machine::new(cfg());
-                    let real = CostModel::new(&m2, p).strided_put_native(src, dst, nelems, 8, 0, 0);
+                    let real =
+                        CostModel::new(&m2, p).strided_put_native(src, dst, nelems, 8, 0, 0, None);
                     assert_eq!(est, real, "iput n={nelems} {src}->{dst} on {}", p.label());
 
                     let m3 = Machine::new(cfg());
                     let aest = CostModel::new(&m3, p).am_packed_put_estimate(src, dst, nelems, 8);
                     let m4 = Machine::new(cfg());
-                    let areal = CostModel::new(&m4, p).am_packed_put(src, dst, nelems, 8, 0, 0);
+                    let areal =
+                        CostModel::new(&m4, p).am_packed_put(src, dst, nelems, 8, 0, 0, None);
                     assert_eq!(aest, areal, "am n={nelems} {src}->{dst} on {}", p.label());
 
                     let m5 = Machine::new(cfg());
                     let igest = CostModel::new(&m5, p).strided_get_estimate_ns(src, dst, nelems, 8);
                     let m6 = Machine::new(cfg());
-                    let igreal = CostModel::new(&m6, p).strided_get_native(src, dst, nelems, 8, 0);
+                    let igreal =
+                        CostModel::new(&m6, p).strided_get_native(src, dst, nelems, 8, 0, None);
                     assert_eq!(igest, igreal, "iget n={nelems} {src}->{dst} on {}", p.label());
 
                     let m7 = Machine::new(cfg());
                     let agest =
                         CostModel::new(&m7, p).am_packed_get_estimate_ns(src, dst, nelems, 8);
                     let m8 = Machine::new(cfg());
-                    let agreal = CostModel::new(&m8, p).am_packed_get(src, dst, nelems, 8, 0);
+                    let agreal = CostModel::new(&m8, p).am_packed_get(src, dst, nelems, 8, 0, None);
                     assert_eq!(agest, agreal, "am get n={nelems} {src}->{dst} on {}", p.label());
                 }
             }
@@ -899,10 +1053,10 @@ mod tests {
         });
         let m = Machine::new(stampede(2, 16).with_faults(plan));
         let cm = CostModel::new(&m, ConduitProfile::mvapich_shmem());
-        let slow = cm.put(0, 16, 1 << 20, 0, 0).remote_complete;
+        let slow = cm.put(0, 16, 1 << 20, 0, 0, None).remote_complete;
         let m2 = Machine::new(stampede(2, 16).with_faults(FaultPlan::none()));
         let fast = CostModel::new(&m2, ConduitProfile::mvapich_shmem())
-            .put(0, 16, 1 << 20, 0, 0)
+            .put(0, 16, 1 << 20, 0, 0, None)
             .remote_complete;
         assert!(slow > 2 * fast, "degraded rx {slow} vs nominal {fast}");
 
@@ -911,7 +1065,7 @@ mod tests {
             DegradedWindow { node: 0, begin_ns: 1 << 60, end_ns: 1 << 61, bandwidth_factor: 0.25 },
         )));
         let unaffected = CostModel::new(&m3, ConduitProfile::mvapich_shmem())
-            .put(0, 16, 1 << 20, 0, 0)
+            .put(0, 16, 1 << 20, 0, 0, None)
             .remote_complete;
         assert_eq!(unaffected, fast);
     }
@@ -930,9 +1084,10 @@ mod tests {
             let _ = cm.strided_get_estimate_ns(0, 16, bytes / 8, 8);
             let _ = cm.am_packed_get_estimate_ns(0, 16, bytes / 8, 8);
         }
-        let after_probes = cm.put(0, 16, 1 << 20, 0, 0);
+        let after_probes = cm.put(0, 16, 1 << 20, 0, 0, None);
         let m2 = Machine::new(stampede(2, 16));
-        let fresh = CostModel::new(&m2, ConduitProfile::mvapich_shmem()).put(0, 16, 1 << 20, 0, 0);
+        let fresh =
+            CostModel::new(&m2, ConduitProfile::mvapich_shmem()).put(0, 16, 1 << 20, 0, 0, None);
         assert_eq!(after_probes, fresh);
     }
 }

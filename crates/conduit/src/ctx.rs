@@ -1,7 +1,18 @@
 //! The per-PE communication context: issue one-sided operations with real
 //! data movement and virtual-time accounting.
+//!
+//! Every operation is described by an [`OpDesc`] and executed by
+//! [`Ctx::submit`] — the single fallible choke point where the sanitizer,
+//! metrics, flow tracing, fault-retry, coalescing, and active-message
+//! paths hook. The named public methods (`put`, `try_put`, `put_nbi`,
+//! `iput`, `amo`, `am_send`, ...) are thin shims over `submit`.
 
-use crate::cost::{CostModel, FlowDetail};
+use crate::am::{AmHandler, AmHandlerId, AmTarget};
+use crate::coalesce::{
+    CoalescePolicy, Coalescer, CoalescingConfig, NodeBuf, StagedOp, StagedPayload,
+};
+use crate::cost::{CostModel, FlowDetail, AM_HEADER_BYTES};
+use crate::op::{Completion, OpDesc, OpKind, OpReceipt};
 use crate::pending::{Hazard, HazardKind, PendingSet};
 use crate::profile::ConduitProfile;
 use pgas_machine::machine::{Machine, Pe, PeId};
@@ -9,7 +20,8 @@ use pgas_machine::sanitizer::{HazardKind as SanKind, HazardReport};
 use pgas_machine::stats::{FaultEvent, Stats};
 use pgas_machine::trace::{Span, SpanKind};
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::Ordering;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Histogram name for an op kind's end-to-end latency (metrics registry
 /// keys are `&'static str`, so the mapping is a static table).
@@ -37,6 +49,12 @@ pub struct CtxOptions {
     /// Convert same-node transfers into direct load/store copies
     /// (`shmem_ptr`), bypassing the message path. §VII future work.
     pub shmem_ptr_fastpath: bool,
+    /// Whether this context coalesces small puts and non-fetching AMOs
+    /// into per-destination-node staging buffers (see
+    /// [`crate::coalesce`]). `Auto` (the default) defers to the machine's
+    /// aggregation default, so existing call sites keep their exact
+    /// pre-coalescing behaviour unless the environment opts in.
+    pub coalesce: CoalescePolicy,
 }
 
 /// Remote atomic operations on an 8-byte symmetric word.
@@ -85,6 +103,27 @@ impl AmoOp {
     }
 }
 
+/// Apply `op` to an atomic heap word, returning the previous value. Shared
+/// by the direct AMO path and the coalesced-flush replay so both apply
+/// identical semantics.
+fn amo_word(word: &AtomicU64, op: AmoOp) -> u64 {
+    match op {
+        AmoOp::Swap(v) => word.swap(v, Ordering::AcqRel),
+        AmoOp::CompareSwap { cond, value } => {
+            match word.compare_exchange(cond, value, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(prev) => prev,
+                Err(prev) => prev,
+            }
+        }
+        AmoOp::FetchAdd(v) | AmoOp::Add(v) => word.fetch_add(v, Ordering::AcqRel),
+        AmoOp::Fetch => word.load(Ordering::Acquire),
+        AmoOp::Set(v) => word.swap(v, Ordering::AcqRel),
+        AmoOp::And(v) | AmoOp::FetchAnd(v) => word.fetch_and(v, Ordering::AcqRel),
+        AmoOp::Or(v) | AmoOp::FetchOr(v) => word.fetch_or(v, Ordering::AcqRel),
+        AmoOp::Xor(v) | AmoOp::FetchXor(v) => word.fetch_xor(v, Ordering::AcqRel),
+    }
+}
+
 /// Why a fallible one-sided operation could not be delivered.
 ///
 /// Only produced when the machine runs under a [fault
@@ -115,6 +154,17 @@ impl std::fmt::Display for ConduitError {
 
 impl std::error::Error for ConduitError {}
 
+/// The single conversion the infallible entry points use: a fault that a
+/// fallible caller would handle becomes a hard panic here.
+fn unwrap_infallible<T>(r: Result<T, ConduitError>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            panic!("{e}; use the fallible conduit/CAF interfaces to handle injected faults")
+        }
+    }
+}
+
 /// Per-PE one-sided communication engine. Not `Sync`: each PE thread owns
 /// exactly one.
 pub struct Ctx<'m> {
@@ -123,16 +173,35 @@ pub struct Ctx<'m> {
     pending: RefCell<PendingSet>,
     opts: CtxOptions,
     hazards: Cell<u64>,
+    /// `Some` iff this context coalesces (resolved once at construction
+    /// from the thread override, the options, and the machine default).
+    coalescer: Option<RefCell<Coalescer>>,
+    /// SPMD-symmetric active-message handler table (see [`crate::am`]).
+    am_handlers: RefCell<Vec<Rc<dyn AmHandler>>>,
 }
 
 impl<'m> Ctx<'m> {
     pub fn new(pe: Pe<'m>, profile: ConduitProfile, opts: CtxOptions) -> Self {
+        let m = pe.machine();
+        // Resolution precedence mirrors the tracing/metrics switches: a
+        // `with_forced_aggregation` thread override beats the explicit
+        // per-context policy, which beats the machine/environment default.
+        let cfg = match (m.aggregation_forced(), opts.coalesce) {
+            (Some(false), _) => None,
+            (Some(true), CoalescePolicy::On(c)) => Some(c),
+            (Some(true), _) => Some(CoalescingConfig::default()),
+            (None, CoalescePolicy::Off) => None,
+            (None, CoalescePolicy::On(c)) => Some(c),
+            (None, CoalescePolicy::Auto) => m.aggregation_default().then(CoalescingConfig::default),
+        };
         Ctx {
             pe,
             cost: CostModel::new(pe.machine(), profile),
             pending: RefCell::new(PendingSet::default()),
             opts,
             hazards: Cell::new(0),
+            coalescer: cfg.map(|c| RefCell::new(Coalescer::new(c))),
+            am_handlers: RefCell::new(Vec::new()),
         }
     }
 
@@ -159,6 +228,14 @@ impl<'m> Ctx<'m> {
     #[inline]
     pub fn options(&self) -> CtxOptions {
         self.opts
+    }
+
+    /// Is small-op coalescing active on this context? (Layers above use
+    /// this to pick aggregation-friendly algorithms, e.g. the DHT's
+    /// active-message update path.)
+    #[inline]
+    pub fn coalescing(&self) -> bool {
+        self.coalescer.is_some()
     }
 
     /// Hazards detected on this PE so far.
@@ -265,6 +342,11 @@ impl<'m> Ctx<'m> {
     /// state. Attempts are capped by the plan's [`RetryPolicy`]; exhaustion
     /// and dead targets surface as [`ConduitError`] instead of hanging.
     ///
+    /// Staged (coalesced) ops pass the gate at *stage* time, like nbi ops
+    /// detect their faults at issue time: the flush itself is then
+    /// fault-free, so `quiet` stays infallible and errors surface at the
+    /// operation that caused them.
+    ///
     /// [`RetryPolicy`]: pgas_machine::RetryPolicy
     fn fault_gate(&self, op: &'static str, target: PeId) -> Result<(), ConduitError> {
         let m = self.machine();
@@ -318,31 +400,235 @@ impl<'m> Ctx<'m> {
         Ok(())
     }
 
-    /// Like [`Self::fault_gate`] for the infallible entry points: retry
-    /// exhaustion is a hard failure there (callers that need to survive it
-    /// use the `try_` variants, as the CAF stat-bearing interfaces do).
-    #[inline]
-    fn fault_gate_or_panic(&self, op: &'static str, target: PeId) {
-        if let Err(e) = self.fault_gate(op, target) {
-            panic!("{e}; use the fallible conduit/CAF interfaces to handle injected faults");
+    // ---- the submit choke point ------------------------------------------
+
+    /// Execute one descriptor: the single path every operation takes.
+    ///
+    /// Dispatch order: if coalescing is active, stage-eligible ops (small
+    /// puts off the fastpath, non-fetching AMOs) are absorbed into their
+    /// destination node's buffer and return a `staged` receipt; any other
+    /// kind first flushes that node's buffer (program order per node, and
+    /// read-your-writes, are preserved exactly) and then runs directly.
+    pub fn submit(&self, op: OpDesc<'_>) -> Result<OpReceipt, ConduitError> {
+        let OpDesc { peer, completion, kind } = op;
+        if let Some(c) = &self.coalescer {
+            match &kind {
+                OpKind::Put { dst_off, src }
+                    if !self.fastpath(peer) && c.borrow().put_eligible(src.len()) =>
+                {
+                    return self.stage_put(peer, *dst_off, src);
+                }
+                OpKind::Amo { off, op } if !op.is_fetching() => {
+                    return self.stage_amo(peer, *off, *op);
+                }
+                _ => self.flush_node(peer),
+            }
+        }
+        match kind {
+            OpKind::Put { dst_off, src } => self
+                .do_put(peer, dst_off, src, completion)
+                .map(|bytes| OpReceipt { bytes, ..Default::default() }),
+            OpKind::Get { src_off, out } => self
+                .do_get(peer, src_off, out, completion)
+                .map(|bytes| OpReceipt { bytes, ..Default::default() }),
+            OpKind::Amo { off, op } => {
+                self.do_amo(peer, off, op).map(|value| OpReceipt { value, bytes: 8, staged: false })
+            }
+            OpKind::StridedPut { dst_off, dst_stride, src, elem, src_stride, nelems } => self
+                .do_strided_put(peer, dst_off, dst_stride, src, elem, src_stride, nelems)
+                .map(|bytes| OpReceipt { bytes, ..Default::default() }),
+            OpKind::StridedGet { src_off, src_stride, out, elem, out_stride, nelems } => self
+                .do_strided_get(peer, src_off, src_stride, out, elem, out_stride, nelems)
+                .map(|bytes| OpReceipt { bytes, ..Default::default() }),
+            OpKind::AmStridedPut { dst_off, dst_stride, src, elem, src_stride, nelems } => self
+                .do_am_strided_put(peer, dst_off, dst_stride, src, elem, src_stride, nelems)
+                .map(|bytes| OpReceipt { bytes, ..Default::default() }),
+            OpKind::AmPutRegions { regions, payload } => self
+                .do_am_put_regions(peer, regions, payload)
+                .map(|bytes| OpReceipt { bytes, ..Default::default() }),
+            OpKind::AmGetRegions { regions, out } => self
+                .do_am_get_regions(peer, regions, out)
+                .map(|bytes| OpReceipt { bytes, ..Default::default() }),
+            OpKind::AmSend { handler, arg } => self
+                .do_am(peer, handler, arg, None)
+                .map(|bytes| OpReceipt { bytes, ..Default::default() }),
+            OpKind::AmCall { handler, arg, reply } => self
+                .do_am(peer, handler, arg, Some(reply))
+                .map(|bytes| OpReceipt { bytes, ..Default::default() }),
         }
     }
 
-    // ---- contiguous RMA --------------------------------------------------
+    // ---- coalescing ------------------------------------------------------
 
-    /// One-sided write of `src` into `dst`'s heap at `dst_off`
-    /// (`shmem_putmem`). Returns after local completion. Panics if a fault
-    /// plan kills the delivery; use [`Self::try_put`] to handle that.
-    pub fn put(&self, dst: PeId, dst_off: usize, src: &[u8]) {
-        if let Err(e) = self.try_put(dst, dst_off, src) {
-            panic!("{e}; use the fallible conduit/CAF interfaces to handle injected faults");
+    /// Stage a small put into its destination node's buffer.
+    fn stage_put(&self, dst: PeId, dst_off: usize, src: &[u8]) -> Result<OpReceipt, ConduitError> {
+        let m = self.machine();
+        // Faults are drawn at stage time (see `fault_gate`).
+        self.fault_gate("put", dst)?;
+        let node = m.node_of(dst);
+        let c = self.coalescer.as_ref().expect("stage_put called without a coalescer");
+        // A same-range rewrite merges in place (write combining), growing
+        // neither the op count nor the byte total — it skips the capacity
+        // check and only an over-age buffer still flushes first.
+        let will_merge = c.borrow().can_merge_put(node, dst, dst_off, src.len());
+        let (new_ops, new_bytes) = if will_merge { (0, 0) } else { (1, src.len()) };
+        if c.borrow().needs_flush_before(node, new_ops, new_bytes, self.pe.now()) {
+            let buf = c.borrow_mut().take_node(node);
+            if let Some(buf) = buf {
+                self.flush_buf(buf);
+            }
+        }
+        Stats::bump(&m.stats().puts);
+        Stats::add(&m.stats().bytes_put, src.len() as u64);
+        // Staged-vs-staged never hazards (the buffer applies FIFO); only
+        // already-flushed in-flight transfers can conflict.
+        if let Some(h) = self.pending.borrow().check_put(dst, dst_off, src.len()) {
+            self.flag_hazard(h);
+        }
+        let merged = c.borrow_mut().try_merge_put(node, dst, dst_off, src);
+        if !merged {
+            c.borrow_mut().push(
+                node,
+                StagedOp { dst, off: dst_off, payload: StagedPayload::Put(src.to_vec()) },
+                self.pe.now(),
+            );
+        }
+        // Only the issue cost lands on the clock now; the wire transfer is
+        // charged when the buffer flushes.
+        self.pe.advance(self.cost.profile().put_issue_ns);
+        Ok(OpReceipt { value: 0, bytes: src.len(), staged: true })
+    }
+
+    /// Stage a non-fetching AMO into its destination node's buffer. The
+    /// receipt's `value` is 0 — OpenSHMEM gives non-fetching atomics no
+    /// result, so nothing is lost.
+    fn stage_amo(&self, dst: PeId, off: usize, op: AmoOp) -> Result<OpReceipt, ConduitError> {
+        let m = self.machine();
+        self.fault_gate("amo", dst)?;
+        let node = m.node_of(dst);
+        let c = self.coalescer.as_ref().expect("stage_amo called without a coalescer");
+        if c.borrow().needs_flush_before(node, 1, 8, self.pe.now()) {
+            let buf = c.borrow_mut().take_node(node);
+            if let Some(buf) = buf {
+                self.flush_buf(buf);
+            }
+        }
+        Stats::bump(&m.stats().amos);
+        if let Some(h) = self.pending.borrow().check_amo(dst, off) {
+            self.flag_hazard(h);
+        }
+        c.borrow_mut().push(
+            node,
+            StagedOp { dst, off, payload: StagedPayload::Amo(op) },
+            self.pe.now(),
+        );
+        self.pe.advance(self.cost.profile().put_issue_ns);
+        Ok(OpReceipt { value: 0, bytes: 8, staged: true })
+    }
+
+    /// Flush the staged buffer (if any) for `peer`'s node. Called before
+    /// every non-stageable op to that node.
+    fn flush_node(&self, peer: PeId) {
+        let Some(c) = &self.coalescer else { return };
+        let node = self.machine().node_of(peer);
+        let buf = c.borrow_mut().take_node(node);
+        if let Some(buf) = buf {
+            self.flush_buf(buf);
         }
     }
 
-    /// Fallible [`Self::put`]: surfaces dead targets and retry exhaustion
-    /// instead of panicking. `Ok` means the data landed (possibly after
-    /// fault-injected retries charged to this PE's virtual clock).
-    pub fn try_put(&self, dst: PeId, dst_off: usize, src: &[u8]) -> Result<(), ConduitError> {
+    /// Flush every staged buffer, ordered by `(first_enqueue_ns, node)` —
+    /// the key the NIC arbiter parks on, so flush order is deterministic.
+    /// Called by `quiet`, `fence`, barriers and `wait_until`.
+    fn flush_staged(&self) {
+        let Some(c) = &self.coalescer else { return };
+        let all = c.borrow_mut().take_all();
+        for (_node, buf) in all {
+            self.flush_buf(buf);
+        }
+    }
+
+    /// Send one staged buffer as a single wire transfer (payload plus one
+    /// AM header per op) and apply its ops FIFO at the target under the
+    /// NIC arbiter, exactly at the transfer's remote completion.
+    fn flush_buf(&self, buf: NodeBuf) {
+        let m = self.machine();
+        let me = self.pe.id();
+        let nops = buf.ops.len();
+        let wire_bytes = buf.total_bytes + AM_HEADER_BYTES * nops;
+        let rep_dst = buf.ops[0].dst;
+        // Deliveries to every PE in the buffer must stay ordered after
+        // earlier in-flight transfers to them.
+        let floor = {
+            let p = self.pending.borrow();
+            buf.ops.iter().map(|o| p.floor_for(o.dst)).max().unwrap_or(0)
+        };
+        let t_begin = self.pe.now();
+        let mut detail = FlowDetail::default();
+        let t = self.cost.coalesced_flush(
+            me,
+            rep_dst,
+            wire_bytes,
+            nops,
+            t_begin,
+            floor,
+            Some(&mut detail),
+        );
+        // Apply under the arbiter, keyed at the instant the batch lands:
+        // tied flushes from different PEs (released by the same barrier)
+        // apply in deterministic order, like tied AMOs.
+        m.nic_turn(me, t.remote_complete, || {
+            for op in &buf.ops {
+                m.apply_and_notify(op.dst, || match &op.payload {
+                    StagedPayload::Put(data) => {
+                        m.heap(op.dst).write_bytes(op.off, data);
+                        m.heap(op.dst).stamp_range(op.off, data.len(), t.remote_complete);
+                        m.san_record_write(
+                            op.dst,
+                            op.off,
+                            data.len(),
+                            me,
+                            t.remote_complete,
+                            false,
+                            "put",
+                        );
+                    }
+                    StagedPayload::Amo(a) => {
+                        amo_word(m.heap(op.dst).atomic64(op.off), *a);
+                        m.heap(op.dst).stamp_range(op.off, 8, t.remote_complete);
+                        m.san_record_write(op.dst, op.off, 8, me, t.remote_complete, true, "amo");
+                    }
+                });
+            }
+        });
+        m.lift_clock(me, t.local_complete);
+        {
+            let mut p = self.pending.borrow_mut();
+            for op in &buf.ops {
+                let (off, len) = op.write_range();
+                match &op.payload {
+                    StagedPayload::Put(_) => p.record_put(op.dst, off, len, t.remote_complete),
+                    StagedPayload::Amo(_) => p.record_amo(op.dst, off, t.remote_complete),
+                }
+            }
+        }
+        // One span for the whole batch; the staged ops recorded none.
+        self.record_op(SpanKind::Put, t_begin, Some(rep_dst), wire_bytes, detail);
+    }
+
+    // ---- operation bodies (one per OpKind; shims below build OpDescs) ----
+
+    /// Contiguous put. `Completion` picks what lands on the clock at the
+    /// end: blocking lifts to local completion, nbi charges only the issue
+    /// cost. Everything before that point is completion-independent, so
+    /// `put` and `put_nbi` share one body.
+    fn do_put(
+        &self,
+        dst: PeId,
+        dst_off: usize,
+        src: &[u8],
+        completion: Completion,
+    ) -> Result<usize, ConduitError> {
         let m = self.machine();
         if !self.fastpath(dst) {
             // Direct loads/stores cannot be dropped; only the message path
@@ -370,14 +656,15 @@ impl<'m> Ctx<'m> {
             });
             m.lift_clock(self.pe.id(), t);
             self.trace(SpanKind::Put, t_begin, Some(dst), src.len());
-            return Ok(());
+            return Ok(src.len());
         }
         if let Some(h) = self.pending.borrow().check_put(dst, dst_off, src.len()) {
             self.flag_hazard(h);
         }
         let floor = self.pending.borrow().floor_for(dst);
-        let (t, detail) =
-            self.cost.put_with_detail(self.pe.id(), dst, src.len(), self.pe.now(), floor);
+        let mut detail = FlowDetail::default();
+        let t =
+            self.cost.put(self.pe.id(), dst, src.len(), self.pe.now(), floor, Some(&mut detail));
         // Write + stamp + wake as one critical section (see the fastpath
         // comment above): keeps put-released `wait_on` wakes deterministic
         // under the arbiter.
@@ -394,24 +681,32 @@ impl<'m> Ctx<'m> {
                 "put",
             );
         });
-        m.lift_clock(self.pe.id(), t.local_complete);
+        match completion {
+            Completion::Blocking => {
+                m.lift_clock(self.pe.id(), t.local_complete);
+            }
+            // Only the issue cost lands on the clock; completion waits in
+            // the pending set. (The NIC reservations above still model
+            // contention.) An nbi op's injected faults were detected and
+            // retried at issue time above — same total cost, deterministic.
+            Completion::Nbi => {
+                self.pe.advance(self.cost.profile().put_issue_ns);
+            }
+        }
         self.pending.borrow_mut().record_put(dst, dst_off, src.len(), t.remote_complete);
         self.record_op(SpanKind::Put, t_begin, Some(dst), src.len(), detail);
-        Ok(())
+        Ok(src.len())
     }
 
-    /// One-sided read of `dst`'s heap at `src_off` into `out`
-    /// (`shmem_getmem`). Blocking. Panics if a fault plan kills the
-    /// delivery; use [`Self::try_get`] to handle that.
-    pub fn get(&self, dst: PeId, src_off: usize, out: &mut [u8]) {
-        if let Err(e) = self.try_get(dst, src_off, out) {
-            panic!("{e}; use the fallible conduit/CAF interfaces to handle injected faults");
-        }
-    }
-
-    /// Fallible [`Self::get`]: surfaces dead targets and retry exhaustion
-    /// instead of panicking. On `Err`, `out` is untouched.
-    pub fn try_get(&self, dst: PeId, src_off: usize, out: &mut [u8]) -> Result<(), ConduitError> {
+    /// Contiguous get: blocking lifts past the data's stamp, nbi defers
+    /// validity to `quiet` via the pending set.
+    fn do_get(
+        &self,
+        dst: PeId,
+        src_off: usize,
+        out: &mut [u8],
+        completion: Completion,
+    ) -> Result<usize, ConduitError> {
         let m = self.machine();
         if !self.fastpath(dst) {
             self.fault_gate("get", dst)?;
@@ -427,18 +722,483 @@ impl<'m> Ctx<'m> {
             m.san_check_read(dst, src_off, out.len(), self.pe.id(), "get");
             m.lift_clock(self.pe.id(), t.max(stamp));
             self.trace(SpanKind::Get, t_begin, Some(dst), out.len());
-            return Ok(());
+            return Ok(out.len());
         }
         if let Some(h) = self.pending.borrow().check_get(dst, src_off, out.len()) {
             self.flag_hazard(h);
         }
-        let (done, detail) = self.cost.get_with_detail(self.pe.id(), dst, out.len(), self.pe.now());
+        let mut detail = FlowDetail::default();
+        let done = self.cost.get(self.pe.id(), dst, out.len(), self.pe.now(), Some(&mut detail));
         m.heap(dst).read_bytes(src_off, out);
         let stamp = m.heap(dst).max_stamp(src_off, out.len());
         m.san_check_read(dst, src_off, out.len(), self.pe.id(), "get");
-        m.lift_clock(self.pe.id(), done.max(stamp));
+        match completion {
+            Completion::Blocking => {
+                m.lift_clock(self.pe.id(), done.max(stamp));
+            }
+            Completion::Nbi => {
+                self.pe.advance(self.cost.profile().get_issue_ns);
+                self.pending.borrow_mut().record_nbi_get(done.max(stamp));
+            }
+        }
         self.record_op(SpanKind::Get, t_begin, Some(dst), out.len(), detail);
-        Ok(())
+        Ok(out.len())
+    }
+
+    /// Remote atomic on an 8-byte word; returns the previous value.
+    fn do_amo(&self, dst: PeId, off: usize, op: AmoOp) -> Result<u64, ConduitError> {
+        let m = self.machine();
+        self.fault_gate("amo", dst)?;
+        let t_begin = self.pe.now();
+        Stats::bump(&m.stats().amos);
+        if let Some(h) = self.pending.borrow().check_amo(dst, off) {
+            self.flag_hazard(h);
+        }
+        // A fetching atomic observes the last writer of the word — that is
+        // the happens-before edge lock handoffs are built on.
+        if op.is_fetching() {
+            m.san_sync_edge(self.pe.id(), dst, off);
+        }
+        let mut detail = FlowDetail::default();
+        let t =
+            self.cost.amo(self.pe.id(), dst, op.is_fetching(), self.pe.now(), Some(&mut detail));
+        // Apply the atomic under the arbiter, keyed at the instant it takes
+        // effect on the target word. Tied RMWs — think MCS tail swaps from
+        // images released by the same barrier, which all compute the same
+        // `remote_complete` — would otherwise apply in host-scheduling
+        // order, and the fetched value (the queue position) is exactly what
+        // a lock probe's digest hangs on. Intra-node AMOs reserve no NIC
+        // lane, so this is their only arbiter turn. Causality: a fetched
+        // value cannot be observed before the write that produced it
+        // completed, hence the stamp read inside the same turn.
+        let (old, prior_stamp) = m.nic_turn(self.pe.id(), t.remote_complete, || {
+            // `apply_and_notify` makes the word update, its stamp, and the
+            // waiter wake-up one critical section — a `wait_on` waiter can
+            // only observe this AMO after its quiescence was withdrawn,
+            // keeping the arbiter's view of the waiter conclusive.
+            m.apply_and_notify(dst, || {
+                let prior_stamp = m.heap(dst).max_stamp(off, 8);
+                let old = amo_word(m.heap(dst).atomic64(off), op);
+                m.heap(dst).stamp_range(off, 8, t.remote_complete);
+                if !matches!(op, AmoOp::Fetch) {
+                    // Record before waking: a waiter released by this AMO
+                    // derives its happens-before edge from the sanitizer's
+                    // view of this write.
+                    m.san_record_write(dst, off, 8, self.pe.id(), t.remote_complete, true, "amo");
+                }
+                (old, prior_stamp)
+            })
+        });
+        if op.is_fetching() {
+            m.lift_clock(self.pe.id(), t.local_complete.max(prior_stamp));
+        } else {
+            m.lift_clock(self.pe.id(), t.local_complete);
+            self.pending.borrow_mut().record_amo(dst, off, t.remote_complete);
+        }
+        // No trailing notify: `apply_and_notify` above already woke waiters
+        // in the same critical section as the word update.
+        self.record_op(SpanKind::Amo, t_begin, Some(dst), 8, detail);
+        Ok(old)
+    }
+
+    /// Strided put: one native wire descriptor on NIC-native profiles, a
+    /// per-element loop of `submit`ted puts otherwise (where each element
+    /// coalesces like any other small put).
+    #[allow(clippy::too_many_arguments)] // mirrors the C shmem_iput signature
+    fn do_strided_put(
+        &self,
+        dst: PeId,
+        dst_off: usize,
+        dst_stride: usize,
+        src: &[u8],
+        elem: usize,
+        src_stride: usize,
+        nelems: usize,
+    ) -> Result<usize, ConduitError> {
+        if nelems == 0 {
+            return Ok(0);
+        }
+        if !self.profile().has_native_strided() || self.fastpath(dst) {
+            for i in 0..nelems {
+                let s = i * src_stride * elem;
+                self.submit(OpDesc::new(
+                    dst,
+                    OpKind::Put {
+                        dst_off: dst_off + i * dst_stride * elem,
+                        src: &src[s..s + elem],
+                    },
+                ))?;
+            }
+            return Ok(nelems * elem);
+        }
+        let m = self.machine();
+        self.fault_gate("iput", dst)?;
+        Stats::bump(&m.stats().puts);
+        Stats::add(&m.stats().bytes_put, (nelems * elem) as u64);
+        let floor = self.pending.borrow().floor_for(dst);
+        let t_begin = self.pe.now();
+        let mut detail = FlowDetail::default();
+        let t = self
+            .cost
+            .strided_put_native(self.pe.id(), dst, nelems, elem, t_begin, floor, Some(&mut detail))
+            .expect("checked native above");
+        m.apply_and_notify(dst, || {
+            for i in 0..nelems {
+                let s = i * src_stride * elem;
+                let d = dst_off + i * dst_stride * elem;
+                m.heap(dst).write_bytes(d, &src[s..s + elem]);
+                m.heap(dst).stamp_range(d, elem, t.remote_complete);
+                m.san_record_write(dst, d, elem, self.pe.id(), t.remote_complete, false, "iput");
+            }
+        });
+        m.lift_clock(self.pe.id(), t.local_complete);
+        self.record_op(SpanKind::Put, t_begin, Some(dst), nelems * elem, detail);
+        // Conservative span for ordering tracking: covers the gaps too. The
+        // CAF runtime quiets after every statement, so false positives from
+        // the gaps cannot accumulate.
+        let span = (nelems - 1) * dst_stride * elem + elem;
+        self.pending.borrow_mut().record_put(dst, dst_off, span, t.remote_complete);
+        Ok(nelems * elem)
+    }
+
+    /// Strided get: the mirror of [`Self::do_strided_put`].
+    #[allow(clippy::too_many_arguments)] // mirrors the C shmem_iget signature
+    fn do_strided_get(
+        &self,
+        dst: PeId,
+        src_off: usize,
+        src_stride: usize,
+        out: &mut [u8],
+        elem: usize,
+        out_stride: usize,
+        nelems: usize,
+    ) -> Result<usize, ConduitError> {
+        if nelems == 0 {
+            return Ok(0);
+        }
+        if !self.profile().has_native_strided() || self.fastpath(dst) {
+            for i in 0..nelems {
+                let d = i * out_stride * elem;
+                self.submit(OpDesc::new(
+                    dst,
+                    OpKind::Get {
+                        src_off: src_off + i * src_stride * elem,
+                        out: &mut out[d..d + elem],
+                    },
+                ))?;
+            }
+            return Ok(nelems * elem);
+        }
+        let m = self.machine();
+        self.fault_gate("iget", dst)?;
+        Stats::bump(&m.stats().gets);
+        Stats::add(&m.stats().bytes_get, (nelems * elem) as u64);
+        let t_begin = self.pe.now();
+        let done = self
+            .cost
+            .strided_get_native(self.pe.id(), dst, nelems, elem, t_begin, None)
+            .expect("checked native above");
+        let mut stamp = 0;
+        for i in 0..nelems {
+            let s = src_off + i * src_stride * elem;
+            let d = i * out_stride * elem;
+            m.heap(dst).read_bytes(s, &mut out[d..d + elem]);
+            stamp = stamp.max(m.heap(dst).max_stamp(s, elem));
+            m.san_check_read(dst, s, elem, self.pe.id(), "iget");
+        }
+        m.lift_clock(self.pe.id(), done.max(stamp));
+        self.trace(SpanKind::Get, t_begin, Some(dst), nelems * elem);
+        Ok(nelems * elem)
+    }
+
+    /// AM-packed strided put (one contiguous message, unpacked by a
+    /// software handler at the target — GASNet's VIS path).
+    #[allow(clippy::too_many_arguments)] // mirrors the C shmem_iput signature
+    fn do_am_strided_put(
+        &self,
+        dst: PeId,
+        dst_off: usize,
+        dst_stride: usize,
+        src: &[u8],
+        elem: usize,
+        src_stride: usize,
+        nelems: usize,
+    ) -> Result<usize, ConduitError> {
+        if nelems == 0 {
+            return Ok(0);
+        }
+        let m = self.machine();
+        self.fault_gate("am put", dst)?;
+        Stats::bump(&m.stats().puts);
+        Stats::add(&m.stats().bytes_put, (nelems * elem) as u64);
+        let floor = self.pending.borrow().floor_for(dst);
+        let t_begin = self.pe.now();
+        let mut detail = FlowDetail::default();
+        let t = self.cost.am_packed_put(
+            self.pe.id(),
+            dst,
+            nelems,
+            elem,
+            t_begin,
+            floor,
+            Some(&mut detail),
+        );
+        m.apply_and_notify(dst, || {
+            for i in 0..nelems {
+                let s = i * src_stride * elem;
+                let d = dst_off + i * dst_stride * elem;
+                m.heap(dst).write_bytes(d, &src[s..s + elem]);
+                m.heap(dst).stamp_range(d, elem, t.remote_complete);
+                m.san_record_write(dst, d, elem, self.pe.id(), t.remote_complete, false, "am put");
+            }
+        });
+        m.lift_clock(self.pe.id(), t.local_complete);
+        let span = (nelems - 1) * dst_stride * elem + elem;
+        self.pending.borrow_mut().record_put(dst, dst_off, span, t.remote_complete);
+        self.record_op(SpanKind::Put, t_begin, Some(dst), nelems * elem, detail);
+        Ok(nelems * elem)
+    }
+
+    /// AM-packed scatter-put of arbitrary regions.
+    fn do_am_put_regions(
+        &self,
+        dst: PeId,
+        regions: &[(usize, usize)],
+        payload: &[u8],
+    ) -> Result<usize, ConduitError> {
+        if regions.is_empty() {
+            return Ok(0);
+        }
+        let total: usize = regions.iter().map(|r| r.1).sum();
+        let m = self.machine();
+        self.fault_gate("am put", dst)?;
+        Stats::bump(&m.stats().puts);
+        Stats::add(&m.stats().bytes_put, total as u64);
+        let lo = regions.iter().map(|r| r.0).min().unwrap_or(0);
+        let hi = regions.iter().map(|r| r.0 + r.1).max().unwrap_or(0);
+        let floor = self.pending.borrow().floor_for(dst);
+        let avg = (total / regions.len()).max(1);
+        let t_begin = self.pe.now();
+        let mut detail = FlowDetail::default();
+        let t = self.cost.am_packed_put(
+            self.pe.id(),
+            dst,
+            regions.len(),
+            avg,
+            t_begin,
+            floor,
+            Some(&mut detail),
+        );
+        m.apply_and_notify(dst, || {
+            let mut cursor = 0;
+            for &(off, len) in regions {
+                m.heap(dst).write_bytes(off, &payload[cursor..cursor + len]);
+                m.heap(dst).stamp_range(off, len, t.remote_complete);
+                m.san_record_write(dst, off, len, self.pe.id(), t.remote_complete, false, "am put");
+                cursor += len;
+            }
+        });
+        m.lift_clock(self.pe.id(), t.local_complete);
+        self.pending.borrow_mut().record_put(dst, lo, hi - lo, t.remote_complete);
+        self.record_op(SpanKind::Put, t_begin, Some(dst), total, detail);
+        Ok(total)
+    }
+
+    /// AM-packed gather-get of arbitrary regions.
+    fn do_am_get_regions(
+        &self,
+        dst: PeId,
+        regions: &[(usize, usize)],
+        out: &mut [u8],
+    ) -> Result<usize, ConduitError> {
+        if regions.is_empty() {
+            return Ok(0);
+        }
+        let total: usize = regions.iter().map(|r| r.1).sum();
+        let m = self.machine();
+        self.fault_gate("am get", dst)?;
+        Stats::bump(&m.stats().gets);
+        Stats::add(&m.stats().bytes_get, total as u64);
+        let avg = (total / regions.len()).max(1);
+        let t_begin = self.pe.now();
+        let done = self.cost.am_packed_get(self.pe.id(), dst, regions.len(), avg, t_begin, None);
+        let mut cursor = 0;
+        let mut stamp = 0;
+        for &(off, len) in regions {
+            m.heap(dst).read_bytes(off, &mut out[cursor..cursor + len]);
+            stamp = stamp.max(m.heap(dst).max_stamp(off, len));
+            m.san_check_read(dst, off, len, self.pe.id(), "am get");
+            cursor += len;
+        }
+        m.lift_clock(self.pe.id(), done.max(stamp));
+        self.trace(SpanKind::Get, t_begin, Some(dst), total);
+        Ok(total)
+    }
+
+    /// Active-message request: one wire transfer carries `arg` to `dst`,
+    /// where the registered handler runs under the target's critical
+    /// section (on this thread — see [`crate::am`] for why that is sound).
+    /// With `reply_out`, blocks for the handler's reply (one more wire
+    /// leg); without it, the handler's writes complete at `quiet` like a
+    /// put's.
+    fn do_am(
+        &self,
+        dst: PeId,
+        handler: AmHandlerId,
+        arg: &[u8],
+        reply_out: Option<&mut Vec<u8>>,
+    ) -> Result<usize, ConduitError> {
+        let m = self.machine();
+        let h = self
+            .am_handlers
+            .borrow()
+            .get(handler.0)
+            .cloned()
+            .expect("active-message handler not registered on this context");
+        self.fault_gate("am", dst)?;
+        let t_begin = self.pe.now();
+        Stats::bump(&m.stats().ams);
+        let floor = self.pending.borrow().floor_for(dst);
+        let mut detail = FlowDetail::default();
+        let t = self.cost.am_request(
+            self.pe.id(),
+            dst,
+            arg.len(),
+            h.compute_ns(arg),
+            t_begin,
+            floor,
+            Some(&mut detail),
+        );
+        let mut target = AmTarget::new(m, dst);
+        let mut reply = None;
+        // Execute under the arbiter at the instant the handler's effects
+        // land, inside the target's critical section: tied AMs apply in
+        // deterministic order and waiters wake in the same atomic step —
+        // the discipline remote atomics use.
+        m.nic_turn(self.pe.id(), t.executed, || {
+            m.apply_and_notify(dst, || {
+                reply = h.execute(&mut target, arg);
+                for &(off, len) in &target.writes {
+                    m.heap(dst).stamp_range(off, len, t.executed);
+                    m.san_record_write(dst, off, len, self.pe.id(), t.executed, true, "am");
+                }
+            });
+        });
+        // A handler write over this PE's own un-quieted *plain* put is the
+        // same WAW hazard a direct put would be; pending atomics (AMOs and
+        // other handlers' writes) may legally race it — the target's apply
+        // section serializes them. (Checked after execution — only the
+        // handler knows what it writes.)
+        for &(off, len) in &target.writes {
+            if let Some(haz) = self.pending.borrow().check_atomic_range(dst, off, len) {
+                self.flag_hazard(haz);
+            }
+        }
+        match reply_out {
+            Some(out) => {
+                // am_call: block for the reply; reading the target's state
+                // through the handler is a happens-before edge, like a
+                // fetching AMO's.
+                let r = reply.unwrap_or_default();
+                let done =
+                    self.cost.am_reply(self.pe.id(), dst, r.len(), t.executed, Some(&mut detail));
+                for &(off, _len) in &target.reads {
+                    m.san_sync_edge(self.pe.id(), dst, off);
+                }
+                m.lift_clock(self.pe.id(), done);
+                *out = r;
+            }
+            None => {
+                // am_send: fire-and-forget; the handler's writes become
+                // *atomic* completion obligations — quiet still waits for
+                // them, but later handlers/AMOs may legally overlap them.
+                m.lift_clock(self.pe.id(), t.local_complete);
+                let mut p = self.pending.borrow_mut();
+                for &(off, len) in &target.writes {
+                    p.record_am_write(dst, off, len, t.executed);
+                }
+            }
+        }
+        self.record_op(SpanKind::Amo, t_begin, Some(dst), AM_HEADER_BYTES + arg.len(), detail);
+        Ok(arg.len())
+    }
+
+    // ---- active-message registration & entry points ----------------------
+
+    /// Register an active-message handler. Registration must be
+    /// SPMD-symmetric (every PE registers the same handlers in the same
+    /// order), exactly like symmetric heap allocation — the returned id
+    /// then names the same logic on every PE.
+    pub fn register_am(&self, handler: Rc<dyn AmHandler>) -> AmHandlerId {
+        let mut hs = self.am_handlers.borrow_mut();
+        hs.push(handler);
+        AmHandlerId(hs.len() - 1)
+    }
+
+    /// One-way active message: run `handler` at `dst` with `arg`; any reply
+    /// is discarded. Completes remotely at `quiet`. Panics if a fault plan
+    /// kills the delivery; use [`Self::try_am_send`] to handle that.
+    pub fn am_send(&self, dst: PeId, handler: AmHandlerId, arg: &[u8]) {
+        unwrap_infallible(self.submit(OpDesc::new(dst, OpKind::AmSend { handler, arg })));
+    }
+
+    /// Fallible [`Self::am_send`].
+    pub fn try_am_send(
+        &self,
+        dst: PeId,
+        handler: AmHandlerId,
+        arg: &[u8],
+    ) -> Result<(), ConduitError> {
+        self.submit(OpDesc::new(dst, OpKind::AmSend { handler, arg })).map(|_| ())
+    }
+
+    /// Round-trip active message: run `handler` at `dst` and block for its
+    /// reply. Panics if a fault plan kills the delivery; use
+    /// [`Self::try_am_call`] to handle that.
+    pub fn am_call(&self, dst: PeId, handler: AmHandlerId, arg: &[u8]) -> Vec<u8> {
+        unwrap_infallible(self.try_am_call(dst, handler, arg))
+    }
+
+    /// Fallible [`Self::am_call`].
+    pub fn try_am_call(
+        &self,
+        dst: PeId,
+        handler: AmHandlerId,
+        arg: &[u8],
+    ) -> Result<Vec<u8>, ConduitError> {
+        let mut reply = Vec::new();
+        self.submit(OpDesc::new(dst, OpKind::AmCall { handler, arg, reply: &mut reply }))?;
+        Ok(reply)
+    }
+
+    // ---- contiguous RMA --------------------------------------------------
+
+    /// One-sided write of `src` into `dst`'s heap at `dst_off`
+    /// (`shmem_putmem`). Returns after local completion. Panics if a fault
+    /// plan kills the delivery; use [`Self::try_put`] to handle that.
+    pub fn put(&self, dst: PeId, dst_off: usize, src: &[u8]) {
+        unwrap_infallible(self.try_put(dst, dst_off, src));
+    }
+
+    /// Fallible [`Self::put`]: surfaces dead targets and retry exhaustion
+    /// instead of panicking. `Ok` means the data landed (possibly after
+    /// fault-injected retries charged to this PE's virtual clock) or was
+    /// staged for a coalesced flush.
+    pub fn try_put(&self, dst: PeId, dst_off: usize, src: &[u8]) -> Result<(), ConduitError> {
+        self.submit(OpDesc::new(dst, OpKind::Put { dst_off, src })).map(|_| ())
+    }
+
+    /// One-sided read of `dst`'s heap at `src_off` into `out`
+    /// (`shmem_getmem`). Blocking. Panics if a fault plan kills the
+    /// delivery; use [`Self::try_get`] to handle that.
+    pub fn get(&self, dst: PeId, src_off: usize, out: &mut [u8]) {
+        unwrap_infallible(self.try_get(dst, src_off, out));
+    }
+
+    /// Fallible [`Self::get`]: surfaces dead targets and retry exhaustion
+    /// instead of panicking. On `Err`, `out` is untouched.
+    pub fn try_get(&self, dst: PeId, src_off: usize, out: &mut [u8]) -> Result<(), ConduitError> {
+        self.submit(OpDesc::new(dst, OpKind::Get { src_off, out })).map(|_| ())
     }
 
     /// Non-blocking put (`shmem_putmem_nbi`): returns after issue; even
@@ -446,65 +1206,13 @@ impl<'m> Ctx<'m> {
     /// `quiet`. (We copy eagerly, so buffer reuse is physically safe here —
     /// the semantics difference shows up purely in the virtual clock.)
     pub fn put_nbi(&self, dst: PeId, dst_off: usize, src: &[u8]) {
-        let m = self.machine();
-        if self.fastpath(dst) {
-            self.put(dst, dst_off, src);
-            return;
-        }
-        // Simplification: an nbi operation's injected faults are detected
-        // and retried at issue time (synchronously, in virtual time) rather
-        // than at the closing `quiet` — same total cost, deterministic.
-        self.fault_gate_or_panic("put", dst);
-        Stats::bump(&m.stats().puts);
-        Stats::add(&m.stats().bytes_put, src.len() as u64);
-        if let Some(h) = self.pending.borrow().check_put(dst, dst_off, src.len()) {
-            self.flag_hazard(h);
-        }
-        let floor = self.pending.borrow().floor_for(dst);
-        let start = self.pe.now();
-        let (t, detail) = self.cost.put_with_detail(self.pe.id(), dst, src.len(), start, floor);
-        m.apply_and_notify(dst, || {
-            m.heap(dst).write_bytes(dst_off, src);
-            m.heap(dst).stamp_range(dst_off, src.len(), t.remote_complete);
-            m.san_record_write(
-                dst,
-                dst_off,
-                src.len(),
-                self.pe.id(),
-                t.remote_complete,
-                false,
-                "put",
-            );
-        });
-        // Only the issue cost lands on the clock; completion waits in the
-        // pending set. (The NIC reservations above still model contention.)
-        self.pe.advance(self.cost.profile().put_issue_ns);
-        self.pending.borrow_mut().record_put(dst, dst_off, src.len(), t.remote_complete);
-        self.record_op(SpanKind::Put, start, Some(dst), src.len(), detail);
+        unwrap_infallible(self.submit(OpDesc::new(dst, OpKind::Put { dst_off, src }).nbi()));
     }
 
     /// Non-blocking get (`shmem_getmem_nbi`): the data in `out` is only
     /// guaranteed valid after `quiet`.
     pub fn get_nbi(&self, dst: PeId, src_off: usize, out: &mut [u8]) {
-        let m = self.machine();
-        if self.fastpath(dst) {
-            self.get(dst, src_off, out);
-            return;
-        }
-        self.fault_gate_or_panic("get", dst);
-        Stats::bump(&m.stats().gets);
-        Stats::add(&m.stats().bytes_get, out.len() as u64);
-        if let Some(h) = self.pending.borrow().check_get(dst, src_off, out.len()) {
-            self.flag_hazard(h);
-        }
-        let start = self.pe.now();
-        let (done, detail) = self.cost.get_with_detail(self.pe.id(), dst, out.len(), start);
-        m.heap(dst).read_bytes(src_off, out);
-        let stamp = m.heap(dst).max_stamp(src_off, out.len());
-        m.san_check_read(dst, src_off, out.len(), self.pe.id(), "get");
-        self.pe.advance(self.cost.profile().get_issue_ns);
-        self.pending.borrow_mut().record_nbi_get(done.max(stamp));
-        self.record_op(SpanKind::Get, start, Some(dst), out.len(), detail);
+        unwrap_infallible(self.submit(OpDesc::new(dst, OpKind::Get { src_off, out }).nbi()));
     }
 
     // ---- 1-D strided RMA (`shmem_iput` / `shmem_iget`) -------------------
@@ -541,39 +1249,10 @@ impl<'m> Ctx<'m> {
             ((nelems - 1) * src_stride + 1) * elem,
             src.len()
         );
-        if !self.profile().has_native_strided() || self.fastpath(dst) {
-            for i in 0..nelems {
-                let s = i * src_stride * elem;
-                self.put(dst, dst_off + i * dst_stride * elem, &src[s..s + elem]);
-            }
-            return;
-        }
-        let m = self.machine();
-        self.fault_gate_or_panic("iput", dst);
-        Stats::bump(&m.stats().puts);
-        Stats::add(&m.stats().bytes_put, (nelems * elem) as u64);
-        let floor = self.pending.borrow().floor_for(dst);
-        let t_begin = self.pe.now();
-        let (t, detail) = self
-            .cost
-            .strided_put_native_with_detail(self.pe.id(), dst, nelems, elem, t_begin, floor)
-            .expect("checked native above");
-        m.apply_and_notify(dst, || {
-            for i in 0..nelems {
-                let s = i * src_stride * elem;
-                let d = dst_off + i * dst_stride * elem;
-                m.heap(dst).write_bytes(d, &src[s..s + elem]);
-                m.heap(dst).stamp_range(d, elem, t.remote_complete);
-                m.san_record_write(dst, d, elem, self.pe.id(), t.remote_complete, false, "iput");
-            }
-        });
-        m.lift_clock(self.pe.id(), t.local_complete);
-        self.record_op(SpanKind::Put, t_begin, Some(dst), nelems * elem, detail);
-        // Conservative span for ordering tracking: covers the gaps too. The
-        // CAF runtime quiets after every statement, so false positives from
-        // the gaps cannot accumulate.
-        let span = (nelems - 1) * dst_stride * elem + elem;
-        self.pending.borrow_mut().record_put(dst, dst_off, span, t.remote_complete);
+        unwrap_infallible(self.submit(OpDesc::new(
+            dst,
+            OpKind::StridedPut { dst_off, dst_stride, src, elem, src_stride, nelems },
+        )));
     }
 
     /// Strided read (`shmem_iget`): the mirror of [`Self::iput`]. Element `i`
@@ -601,32 +1280,10 @@ impl<'m> Ctx<'m> {
             out.len() >= ((nelems - 1) * out_stride + 1) * elem,
             "output slice too short for iget"
         );
-        if !self.profile().has_native_strided() || self.fastpath(dst) {
-            for i in 0..nelems {
-                let d = i * out_stride * elem;
-                self.get(dst, src_off + i * src_stride * elem, &mut out[d..d + elem]);
-            }
-            return;
-        }
-        let m = self.machine();
-        self.fault_gate_or_panic("iget", dst);
-        Stats::bump(&m.stats().gets);
-        Stats::add(&m.stats().bytes_get, (nelems * elem) as u64);
-        let t_begin = self.pe.now();
-        let done = self
-            .cost
-            .strided_get_native(self.pe.id(), dst, nelems, elem, t_begin)
-            .expect("checked native above");
-        let mut stamp = 0;
-        for i in 0..nelems {
-            let s = src_off + i * src_stride * elem;
-            let d = i * out_stride * elem;
-            m.heap(dst).read_bytes(s, &mut out[d..d + elem]);
-            stamp = stamp.max(m.heap(dst).max_stamp(s, elem));
-            m.san_check_read(dst, s, elem, self.pe.id(), "iget");
-        }
-        m.lift_clock(self.pe.id(), done.max(stamp));
-        self.trace(SpanKind::Get, t_begin, Some(dst), nelems * elem);
+        unwrap_infallible(self.submit(OpDesc::new(
+            dst,
+            OpKind::StridedGet { src_off, src_stride, out, elem, out_stride, nelems },
+        )));
     }
 
     /// AM-packed strided put: pack the elements into one contiguous message,
@@ -654,27 +1311,10 @@ impl<'m> Ctx<'m> {
             src.len() >= ((nelems - 1) * src_stride + 1) * elem,
             "source slice too short for am_strided_put"
         );
-        let m = self.machine();
-        self.fault_gate_or_panic("am put", dst);
-        Stats::bump(&m.stats().puts);
-        Stats::add(&m.stats().bytes_put, (nelems * elem) as u64);
-        let floor = self.pending.borrow().floor_for(dst);
-        let t_begin = self.pe.now();
-        let (t, detail) =
-            self.cost.am_packed_put_with_detail(self.pe.id(), dst, nelems, elem, t_begin, floor);
-        m.apply_and_notify(dst, || {
-            for i in 0..nelems {
-                let s = i * src_stride * elem;
-                let d = dst_off + i * dst_stride * elem;
-                m.heap(dst).write_bytes(d, &src[s..s + elem]);
-                m.heap(dst).stamp_range(d, elem, t.remote_complete);
-                m.san_record_write(dst, d, elem, self.pe.id(), t.remote_complete, false, "am put");
-            }
-        });
-        m.lift_clock(self.pe.id(), t.local_complete);
-        let span = (nelems - 1) * dst_stride * elem + elem;
-        self.pending.borrow_mut().record_put(dst, dst_off, span, t.remote_complete);
-        self.record_op(SpanKind::Put, t_begin, Some(dst), nelems * elem, detail);
+        unwrap_infallible(self.submit(OpDesc::new(
+            dst,
+            OpKind::AmStridedPut { dst_off, dst_stride, src, elem, src_stride, nelems },
+        )));
     }
 
     /// AM-packed scatter-put of arbitrary regions: `payload` travels as one
@@ -687,35 +1327,7 @@ impl<'m> Ctx<'m> {
         if regions.is_empty() {
             return;
         }
-        let m = self.machine();
-        self.fault_gate_or_panic("am put", dst);
-        Stats::bump(&m.stats().puts);
-        Stats::add(&m.stats().bytes_put, total as u64);
-        let lo = regions.iter().map(|r| r.0).min().unwrap_or(0);
-        let hi = regions.iter().map(|r| r.0 + r.1).max().unwrap_or(0);
-        let floor = self.pending.borrow().floor_for(dst);
-        let avg = (total / regions.len()).max(1);
-        let t_begin = self.pe.now();
-        let (t, detail) = self.cost.am_packed_put_with_detail(
-            self.pe.id(),
-            dst,
-            regions.len(),
-            avg,
-            t_begin,
-            floor,
-        );
-        m.apply_and_notify(dst, || {
-            let mut cursor = 0;
-            for &(off, len) in regions {
-                m.heap(dst).write_bytes(off, &payload[cursor..cursor + len]);
-                m.heap(dst).stamp_range(off, len, t.remote_complete);
-                m.san_record_write(dst, off, len, self.pe.id(), t.remote_complete, false, "am put");
-                cursor += len;
-            }
-        });
-        m.lift_clock(self.pe.id(), t.local_complete);
-        self.pending.borrow_mut().record_put(dst, lo, hi - lo, t.remote_complete);
-        self.record_op(SpanKind::Put, t_begin, Some(dst), total, detail);
+        unwrap_infallible(self.submit(OpDesc::new(dst, OpKind::AmPutRegions { regions, payload })));
     }
 
     /// AM-packed gather-get of arbitrary regions into `out` (front to back).
@@ -725,23 +1337,7 @@ impl<'m> Ctx<'m> {
         if regions.is_empty() {
             return;
         }
-        let m = self.machine();
-        self.fault_gate_or_panic("am get", dst);
-        Stats::bump(&m.stats().gets);
-        Stats::add(&m.stats().bytes_get, total as u64);
-        let avg = (total / regions.len()).max(1);
-        let t_begin = self.pe.now();
-        let done = self.cost.am_packed_get(self.pe.id(), dst, regions.len(), avg, t_begin);
-        let mut cursor = 0;
-        let mut stamp = 0;
-        for &(off, len) in regions {
-            m.heap(dst).read_bytes(off, &mut out[cursor..cursor + len]);
-            stamp = stamp.max(m.heap(dst).max_stamp(off, len));
-            m.san_check_read(dst, off, len, self.pe.id(), "am get");
-            cursor += len;
-        }
-        m.lift_clock(self.pe.id(), done.max(stamp));
-        self.trace(SpanKind::Get, t_begin, Some(dst), total);
+        unwrap_infallible(self.submit(OpDesc::new(dst, OpKind::AmGetRegions { regions, out })));
     }
 
     // ---- remote atomics ----------------------------------------------------
@@ -751,88 +1347,16 @@ impl<'m> Ctx<'m> {
     /// a fault plan kills the delivery; use [`Self::try_amo`] to handle
     /// that.
     pub fn amo(&self, dst: PeId, off: usize, op: AmoOp) -> u64 {
-        match self.try_amo(dst, off, op) {
-            Ok(v) => v,
-            Err(e) => {
-                panic!("{e}; use the fallible conduit/CAF interfaces to handle injected faults")
-            }
-        }
+        unwrap_infallible(self.try_amo(dst, off, op))
     }
 
     /// Fallible [`Self::amo`]: surfaces dead targets and retry exhaustion
-    /// instead of panicking. On `Err` the word was not touched.
+    /// instead of panicking. On `Err` the word was not touched. Under
+    /// coalescing, a staged non-fetching AMO returns `Ok(0)` — OpenSHMEM
+    /// defines no result for non-fetching atomics, so callers never read
+    /// it.
     pub fn try_amo(&self, dst: PeId, off: usize, op: AmoOp) -> Result<u64, ConduitError> {
-        let m = self.machine();
-        self.fault_gate("amo", dst)?;
-        let t_begin = self.pe.now();
-        Stats::bump(&m.stats().amos);
-        if let Some(h) = self.pending.borrow().check_amo(dst, off) {
-            self.flag_hazard(h);
-        }
-        // A fetching atomic observes the last writer of the word — that is
-        // the happens-before edge lock handoffs are built on.
-        if op.is_fetching() {
-            m.san_sync_edge(self.pe.id(), dst, off);
-        }
-        let (t, detail) =
-            self.cost.amo_with_detail(self.pe.id(), dst, op.is_fetching(), self.pe.now());
-        // Apply the atomic under the arbiter, keyed at the instant it takes
-        // effect on the target word. Tied RMWs — think MCS tail swaps from
-        // images released by the same barrier, which all compute the same
-        // `remote_complete` — would otherwise apply in host-scheduling
-        // order, and the fetched value (the queue position) is exactly what
-        // a lock probe's digest hangs on. Intra-node AMOs reserve no NIC
-        // lane, so this is their only arbiter turn. Causality: a fetched
-        // value cannot be observed before the write that produced it
-        // completed, hence the stamp read inside the same turn.
-        let (old, prior_stamp) = m.nic_turn(self.pe.id(), t.remote_complete, || {
-            // `apply_and_notify` makes the word update, its stamp, and the
-            // waiter wake-up one critical section — a `wait_on` waiter can
-            // only observe this AMO after its quiescence was withdrawn,
-            // keeping the arbiter's view of the waiter conclusive.
-            m.apply_and_notify(dst, || {
-                let prior_stamp = m.heap(dst).max_stamp(off, 8);
-                let word = m.heap(dst).atomic64(off);
-                let old = match op {
-                    AmoOp::Swap(v) => word.swap(v, Ordering::AcqRel),
-                    AmoOp::CompareSwap { cond, value } => {
-                        match word.compare_exchange(
-                            cond,
-                            value,
-                            Ordering::AcqRel,
-                            Ordering::Acquire,
-                        ) {
-                            Ok(prev) => prev,
-                            Err(prev) => prev,
-                        }
-                    }
-                    AmoOp::FetchAdd(v) | AmoOp::Add(v) => word.fetch_add(v, Ordering::AcqRel),
-                    AmoOp::Fetch => word.load(Ordering::Acquire),
-                    AmoOp::Set(v) => word.swap(v, Ordering::AcqRel),
-                    AmoOp::And(v) | AmoOp::FetchAnd(v) => word.fetch_and(v, Ordering::AcqRel),
-                    AmoOp::Or(v) | AmoOp::FetchOr(v) => word.fetch_or(v, Ordering::AcqRel),
-                    AmoOp::Xor(v) | AmoOp::FetchXor(v) => word.fetch_xor(v, Ordering::AcqRel),
-                };
-                m.heap(dst).stamp_range(off, 8, t.remote_complete);
-                if !matches!(op, AmoOp::Fetch) {
-                    // Record before waking: a waiter released by this AMO
-                    // derives its happens-before edge from the sanitizer's
-                    // view of this write.
-                    m.san_record_write(dst, off, 8, self.pe.id(), t.remote_complete, true, "amo");
-                }
-                (old, prior_stamp)
-            })
-        });
-        if op.is_fetching() {
-            m.lift_clock(self.pe.id(), t.local_complete.max(prior_stamp));
-        } else {
-            m.lift_clock(self.pe.id(), t.local_complete);
-            self.pending.borrow_mut().record_amo(dst, off, t.remote_complete);
-        }
-        // No trailing notify: `apply_and_notify` above already woke waiters
-        // in the same critical section as the word update.
-        self.record_op(SpanKind::Amo, t_begin, Some(dst), 8, detail);
-        Ok(old)
+        self.submit(OpDesc::new(dst, OpKind::Amo { off, op })).map(|r| r.value)
     }
 
     /// Account for `polls` remote polling messages against `dst`'s NIC
@@ -868,6 +1392,10 @@ impl<'m> Ctx<'m> {
     /// until `pred(value)` holds. The clock is lifted past the satisfying
     /// writer's completion time.
     pub fn wait_until(&self, off: usize, mut pred: impl FnMut(u64) -> bool) -> u64 {
+        // Blocking with ops still staged would deadlock in *real* time: a
+        // peer may be spinning on data sitting in one of our buffers (the
+        // MCS chain write is exactly this shape). Flush everything first.
+        self.flush_staged();
         let m = self.machine();
         let me = self.pe.id();
         // Waiting on a word this PE has an un-quieted loopback put to is a
@@ -895,8 +1423,10 @@ impl<'m> Ctx<'m> {
     // ---- completion ------------------------------------------------------
 
     /// `shmem_quiet`: block until all outstanding remote writes by this PE
-    /// are globally visible.
+    /// are globally visible. Flushes every coalescing buffer first — staged
+    /// ops are outstanding writes too.
     pub fn quiet(&self) {
+        self.flush_staged();
         let m = self.machine();
         let t_begin = self.pe.now();
         Stats::bump(&m.stats().quiets);
@@ -915,17 +1445,22 @@ impl<'m> Ctx<'m> {
         );
     }
 
-    /// `shmem_fence`: order deliveries per target without waiting.
+    /// `shmem_fence`: order deliveries per target without waiting. Staged
+    /// ops flush first — fencing them while buffered would order nothing.
     pub fn fence(&self) {
+        self.flush_staged();
         let m = self.machine();
         Stats::bump(&m.stats().fences);
         self.pending.borrow_mut().fence();
         self.pe.advance(self.cost.profile().put_issue_ns * 0.25);
     }
 
-    /// Outstanding un-quieted puts (diagnostics).
+    /// Outstanding un-quieted puts (diagnostics). Counts coalesced ops
+    /// still sitting in staging buffers too: staged is even less complete
+    /// than in-flight.
     pub fn outstanding_puts(&self) -> usize {
-        self.pending.borrow().outstanding()
+        let staged = self.coalescer.as_ref().map_or(0, |c| c.borrow().staged_ops());
+        self.pending.borrow().outstanding() + staged
     }
 
     // ---- barriers ---------------------------------------------------------
@@ -946,6 +1481,19 @@ impl<'m> Ctx<'m> {
         let cost = self.cost.barrier_ns(group.len());
         self.machine().barrier_group(self.pe.id(), group, cost);
         self.trace(SpanKind::Barrier, t_begin, None, 0);
+    }
+}
+
+impl Drop for Ctx<'_> {
+    /// `shmem_finalize` semantics: a PE's program ending completes its
+    /// pending communication. Without this, an op staged after the last
+    /// explicit sync point would silently never reach the wire — and a
+    /// peer blocked in `wait_until` on it would hang the job.
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            return; // the job is already coming down; don't double-panic
+        }
+        self.flush_staged();
     }
 }
 
@@ -1038,10 +1586,17 @@ mod tests {
     #[test]
     fn strict_mode_panics_on_hazard() {
         let err = pgas_machine::run_with_result(two_node_cfg(), |pe| {
+            // Coalescing is pinned off: staged overlapping puts apply FIFO
+            // at flush and are legitimately ordered, so the WAW hazard this
+            // test relies on only exists on the direct path.
             let ctx = Ctx::new(
                 pe,
                 ConduitProfile::mvapich_shmem(),
-                CtxOptions { strict_ordering: true, ..Default::default() },
+                CtxOptions {
+                    strict_ordering: true,
+                    coalesce: CoalescePolicy::Off,
+                    ..Default::default()
+                },
             );
             if pe.id() == 0 {
                 ctx.put(2, 0, &[7u8; 8]);
@@ -1428,5 +1983,264 @@ mod tests {
         });
         assert_eq!(out.results[0], out.results[1]);
         assert!(out.results[0] >= 2000);
+    }
+
+    // ---- coalescing & active messages ------------------------------------
+
+    fn coalescing_ctx(pe: Pe<'_>) -> Ctx<'_> {
+        Ctx::new(
+            pe,
+            ConduitProfile::mvapich_shmem(),
+            CtxOptions {
+                coalesce: CoalescePolicy::On(CoalescingConfig::default()),
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn coalescing_merges_rewrites_into_one_wire_message() {
+        let out = run(two_node_cfg().with_trace(true), |pe| {
+            let ctx = coalescing_ctx(pe);
+            assert!(ctx.coalescing());
+            if pe.id() == 0 {
+                // Four rewrites of one location: exact-range write combining
+                // keeps one staged op carrying the last payload.
+                for round in 1..=4u8 {
+                    ctx.put_nbi(2, 0, &[round; 64]);
+                }
+                let staged = ctx.outstanding_puts();
+                ctx.quiet();
+                staged
+            } else {
+                0
+            }
+        });
+        assert_eq!(out.results[0], 1, "rewrites merge into one staged op");
+        assert_eq!(out.stats.puts, 4, "every put still counts");
+        let wire_puts = out.trace.iter().filter(|s| s.pe == 0 && s.kind == SpanKind::Put).count();
+        assert_eq!(wire_puts, 1, "one flush span for the merged batch");
+        // The last write wins on the target.
+        let data = run(two_node_cfg(), |pe| {
+            let ctx = coalescing_ctx(pe);
+            if pe.id() == 0 {
+                for round in 1..=4u8 {
+                    ctx.put_nbi(2, 0, &[round; 64]);
+                }
+                ctx.quiet();
+            }
+            ctx.barrier_all();
+            let mut buf = [0u8; 64];
+            ctx.get(2, 0, &mut buf);
+            buf
+        });
+        for r in data.results {
+            assert_eq!(r, [4u8; 64], "last staged payload lands");
+        }
+    }
+
+    #[test]
+    fn quiet_flushes_staged_ops() {
+        let out = run(two_node_cfg(), |pe| {
+            let ctx = coalescing_ctx(pe);
+            if pe.id() == 0 {
+                ctx.put(2, 0, &[1u8; 8]);
+                ctx.put(2, 16, &[2u8; 8]);
+                let before = ctx.outstanding_puts();
+                ctx.quiet();
+                let after = ctx.outstanding_puts();
+                (before, after)
+            } else {
+                (9, 9)
+            }
+        });
+        assert_eq!(out.results[0], (2, 0), "staged ops count as outstanding until quiet");
+    }
+
+    #[test]
+    fn staged_put_then_get_still_flags_missing_quiet() {
+        let out = run(two_node_cfg(), |pe| {
+            let ctx = coalescing_ctx(pe);
+            if pe.id() == 0 {
+                ctx.put(2, 0, &[7u8; 8]);
+                let mut buf = [0u8; 8];
+                // The get flushes the buffer first (read-your-writes), and
+                // the freshly flushed put is in flight: hazard, exactly as
+                // without coalescing.
+                ctx.get(2, 0, &mut buf);
+                (ctx.hazard_count(), buf)
+            } else {
+                (0, [0u8; 8])
+            }
+        });
+        let (hazards, buf) = out.results[0];
+        assert_eq!(hazards, 1, "skipping quiet is still flagged under coalescing");
+        assert_eq!(buf, [7u8; 8], "the flush landed the data before the read");
+        assert_eq!(out.stats.hazards, 1);
+    }
+
+    #[test]
+    fn forced_aggregation_off_beats_explicit_on() {
+        // The suite-wide kill switch must win over per-context `On`: with
+        // it, overlapping puts take the direct path and the WAW hazard
+        // reappears.
+        let out = pgas_machine::with_forced_aggregation(false, || {
+            run(two_node_cfg(), |pe| {
+                let ctx = coalescing_ctx(pe);
+                assert!(!ctx.coalescing());
+                if pe.id() == 0 {
+                    ctx.put(2, 0, &[1u8; 8]);
+                    ctx.put(2, 0, &[2u8; 8]);
+                    (ctx.outstanding_puts(), ctx.hazard_count())
+                } else {
+                    (0, 0)
+                }
+            })
+        });
+        assert_eq!(out.results[0], (2, 1), "direct path: two obligations, one WAW hazard");
+    }
+
+    #[test]
+    fn staged_amos_flush_before_a_fetching_amo() {
+        let out = run(two_node_cfg(), |pe| {
+            let ctx = coalescing_ctx(pe);
+            if pe.id() == 0 {
+                for _ in 0..3 {
+                    ctx.amo(2, 8, AmoOp::Add(5));
+                }
+                let staged = ctx.outstanding_puts();
+                // Fetching AMO flushes the node buffer first, so it observes
+                // all three adds.
+                let v = ctx.amo(2, 8, AmoOp::FetchAdd(0));
+                (staged, v)
+            } else {
+                (0, 0)
+            }
+        });
+        assert_eq!(out.results[0], (3, 15));
+        assert_eq!(out.stats.amos, 4);
+    }
+
+    #[test]
+    fn capacity_overflow_flushes_mid_stream() {
+        let out = run(two_node_cfg().with_trace(true), |pe| {
+            let cfg = CoalescingConfig { max_bytes: 64, max_ops: 4, max_age_ns: u64::MAX };
+            let ctx = Ctx::new(
+                pe,
+                ConduitProfile::mvapich_shmem(),
+                CtxOptions { coalesce: CoalescePolicy::On(cfg), ..Default::default() },
+            );
+            if pe.id() == 0 {
+                for i in 0..6usize {
+                    ctx.put(2, i * 16, &[i as u8; 16]);
+                }
+                ctx.quiet();
+            }
+            ctx.barrier_all();
+            let mut buf = [0u8; 96];
+            ctx.get(2, 0, &mut buf);
+            buf
+        });
+        // 16-byte puts, 64-byte buffer: flushes after every 4 ops → 2 wire
+        // messages for 6 puts (one forced, one at quiet).
+        let wire_puts = out.trace.iter().filter(|s| s.pe == 0 && s.kind == SpanKind::Put).count();
+        assert_eq!(wire_puts, 2, "capacity forces a mid-stream flush");
+        for r in out.results {
+            for i in 0..6usize {
+                assert_eq!(&r[i * 16..(i + 1) * 16], &[i as u8; 16], "payload {i}");
+            }
+        }
+    }
+
+    struct AddAm;
+    impl AmHandler for AddAm {
+        fn compute_ns(&self, _arg: &[u8]) -> f64 {
+            25.0
+        }
+        fn execute(&self, t: &mut AmTarget<'_>, arg: &[u8]) -> Option<Vec<u8>> {
+            let delta = u64::from_le_bytes(arg.try_into().unwrap());
+            let v = t.read_u64(0);
+            t.write_u64(0, v.wrapping_add(delta));
+            Some(v.to_le_bytes().to_vec())
+        }
+    }
+
+    #[test]
+    fn am_send_runs_handler_at_target() {
+        let out = run(two_node_cfg(), |pe| {
+            let ctx = shmem_ctx(pe);
+            let add = ctx.register_am(Rc::new(AddAm));
+            ctx.barrier_all();
+            if pe.id() == 0 {
+                for _ in 0..3 {
+                    ctx.am_send(2, add, &5u64.to_le_bytes());
+                }
+                let outstanding = ctx.outstanding_puts();
+                ctx.quiet();
+                outstanding
+            } else {
+                0
+            }
+        });
+        assert_eq!(out.results[0], 3, "each handler write is a completion obligation");
+        assert_eq!(out.stats.ams, 3);
+        let check = run(two_node_cfg(), |pe| {
+            let ctx = shmem_ctx(pe);
+            let add = ctx.register_am(Rc::new(AddAm));
+            ctx.barrier_all();
+            if pe.id() == 0 {
+                ctx.am_send(2, add, &5u64.to_le_bytes());
+                ctx.am_send(2, add, &7u64.to_le_bytes());
+                ctx.quiet();
+            }
+            ctx.barrier_all();
+            ctx.amo(2, 0, AmoOp::Fetch)
+        });
+        for r in check.results {
+            assert_eq!(r, 12, "both handler updates applied atomically");
+        }
+    }
+
+    #[test]
+    fn am_call_round_trips_a_reply() {
+        let out = run(two_node_cfg(), |pe| {
+            let ctx = shmem_ctx(pe);
+            let add = ctx.register_am(Rc::new(AddAm));
+            ctx.barrier_all();
+            if pe.id() == 0 {
+                ctx.amo(2, 0, AmoOp::Set(40));
+                ctx.quiet();
+                let before = pe.now();
+                let reply = ctx.am_call(2, add, &2u64.to_le_bytes());
+                let after = pe.now();
+                let old = u64::from_le_bytes(reply.try_into().unwrap());
+                let now = ctx.amo(2, 0, AmoOp::Fetch);
+                (old, now, after > before)
+            } else {
+                (0, 0, true)
+            }
+        });
+        let (old, now, advanced) = out.results[0];
+        assert_eq!(old, 40, "reply carries the pre-update value");
+        assert_eq!(now, 42, "the handler's write landed");
+        assert!(advanced, "the round trip costs virtual time");
+    }
+
+    #[test]
+    fn am_faults_surface_like_put_faults() {
+        use pgas_machine::{FaultPlan, RetryPolicy};
+        let plan = FaultPlan::transient_drops(3, 0.9)
+            .with_retry(RetryPolicy { max_attempts: 2, ..Default::default() });
+        let out = run(two_node_cfg().with_faults(plan), |pe| {
+            let ctx = shmem_ctx(pe);
+            let add = ctx.register_am(Rc::new(AddAm));
+            if pe.id() == 0 {
+                (0..50).find_map(|_| ctx.try_am_send(2, add, &1u64.to_le_bytes()).err())
+            } else {
+                None
+            }
+        });
+        let err = out.results[0].expect("90% drops with 2 attempts must exhaust");
+        assert_eq!(err, ConduitError::RetriesExhausted { op: "am", target: 2, attempts: 2 });
     }
 }

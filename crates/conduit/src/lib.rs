@@ -21,12 +21,25 @@
 //! hazard detector used as failure injection: a CAF runtime that forgets to
 //! insert `shmem_quiet` between dependent transfers trips it.
 
+//! Two contention killers ride on top of the shared mechanics, both hooked
+//! into the single [`Ctx::submit`] choke point (see [`op`]): an
+//! active-message layer ([`am`]) that ships compute to the target instead
+//! of a get–compute–put round trip, and per-destination-node coalescing
+//! buffers ([`coalesce`]) that batch small puts and non-fetching AMOs into
+//! single wire transfers.
+
+pub mod am;
+pub mod coalesce;
 pub mod cost;
 pub mod ctx;
+pub mod op;
 pub mod pending;
 pub mod profile;
 
-pub use cost::CostModel;
+pub use am::{AmHandler, AmHandlerId, AmTarget};
+pub use coalesce::{CoalescePolicy, CoalescingConfig};
+pub use cost::{CostModel, AM_HEADER_BYTES};
 pub use ctx::{ConduitError, Ctx, CtxOptions};
+pub use op::{Completion, OpDesc, OpKind, OpReceipt};
 pub use pending::{Hazard, HazardKind};
 pub use profile::{AmoSupport, ConduitKind, ConduitProfile, StridedSupport};

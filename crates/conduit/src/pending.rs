@@ -106,6 +106,14 @@ impl PendingSet {
         self.puts.push(PendingPut { dst, offset, len: 8, remote_complete, amo: true });
     }
 
+    /// Record an active-message handler's write: an atomic completion
+    /// obligation of arbitrary length. The handler runs inside the
+    /// target's apply section, so other atomics (and other handlers) may
+    /// legally race it — only plain puts conflict.
+    pub fn record_am_write(&mut self, dst: PeId, offset: usize, len: usize, remote_complete: u64) {
+        self.puts.push(PendingPut { dst, offset, len, remote_complete, amo: true });
+    }
+
     /// Record an issued non-blocking get completing at `complete_at`.
     pub fn record_nbi_get(&mut self, complete_at: u64) {
         self.nbi_gets.push(complete_at);
@@ -192,6 +200,13 @@ impl PendingSet {
     /// *non-atomic* put? (Atomics racing pending atomics are legal — the
     /// target serializes them.) Fence floors apply as for puts.
     pub fn check_amo(&self, dst: PeId, offset: usize) -> Option<Hazard> {
+        self.check_atomic_range(dst, offset, 8)
+    }
+
+    /// Range-valued sibling of [`PendingSet::check_amo`], for active-message
+    /// handler writes: would an *atomic* write of `[offset, offset+len)` of
+    /// `dst` race an outstanding non-atomic put?
+    pub fn check_atomic_range(&self, dst: PeId, offset: usize, len: usize) -> Option<Hazard> {
         let floor = self.floor_for(dst);
         self.puts
             .iter()
@@ -199,9 +214,9 @@ impl PendingSet {
                 p.dst == dst
                     && !p.amo
                     && p.remote_complete > floor
-                    && overlaps(p.offset, p.len, offset, 8)
+                    && overlaps(p.offset, p.len, offset, len)
             })
-            .map(|p| Self::hazard(HazardKind::AmoOverUnquietedWrite, p, offset, 8))
+            .map(|p| Self::hazard(HazardKind::AmoOverUnquietedWrite, p, offset, len))
     }
 }
 

@@ -44,13 +44,20 @@ fn data_and_ordering_hold_on_every_profile() {
 #[test]
 fn virtual_time_ordering_invariants_per_profile() {
     // For every profile: put < get (RTT), small put < large put,
-    // intra-node < inter-node.
+    // intra-node < inter-node. These are *direct-path* wire physics, so
+    // pin coalescing off: staged, every small op pays the same
+    // issue+flush pattern and the intra/inter contrast this test encodes
+    // is deliberately flattened.
     for (platform, profile) in all_configs() {
         let out = run(platform.config(2, 2).with_heap_bytes(1 << 18), move |pe| {
             if pe.id() != 0 {
                 return (0, 0, 0, 0, 0);
             }
-            let ctx = Ctx::new(pe, profile, CtxOptions::default());
+            let ctx = Ctx::new(
+                pe,
+                profile,
+                CtxOptions { coalesce: pgas_conduit::CoalescePolicy::Off, ..CtxOptions::default() },
+            );
             let time_of = |f: &dyn Fn(&Ctx<'_>)| {
                 let t0 = ctx.pe().now();
                 f(&ctx);

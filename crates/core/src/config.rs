@@ -1,7 +1,7 @@
 //! Runtime configuration: which communication backend UHCAF runs over and
 //! which strided-transfer algorithm it uses.
 
-use pgas_conduit::{ConduitProfile, CtxOptions};
+use pgas_conduit::{CoalescePolicy, ConduitProfile, CtxOptions};
 use pgas_machine::Platform;
 
 /// The communication substrate beneath the CAF runtime — the axis the paper
@@ -137,6 +137,11 @@ pub struct CafConfig {
     pub strict_ordering: bool,
     /// Use direct load/store for same-node transfers (`shmem_ptr`, §VII).
     pub fastpath: bool,
+    /// Small-op aggregation policy handed to the conduit: coalesce small
+    /// puts and non-fetching AMOs into per-destination-node buffers.
+    /// `Auto` (the default) defers to the machine/environment
+    /// (`PGAS_COALESCE`).
+    pub aggregation: CoalescePolicy,
 }
 
 impl CafConfig {
@@ -149,6 +154,7 @@ impl CafConfig {
             insert_quiet: true,
             strict_ordering: false,
             fastpath: false,
+            aggregation: CoalescePolicy::Auto,
         }
     }
 
@@ -182,8 +188,17 @@ impl CafConfig {
         self
     }
 
+    pub fn with_aggregation(mut self, policy: CoalescePolicy) -> Self {
+        self.aggregation = policy;
+        self
+    }
+
     pub(crate) fn ctx_options(&self) -> CtxOptions {
-        CtxOptions { strict_ordering: self.strict_ordering, shmem_ptr_fastpath: self.fastpath }
+        CtxOptions {
+            strict_ordering: self.strict_ordering,
+            shmem_ptr_fastpath: self.fastpath,
+            coalesce: self.aggregation,
+        }
     }
 }
 

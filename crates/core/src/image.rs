@@ -6,9 +6,11 @@ use crate::config::CafConfig;
 use openshmem::alloc::{AllocError, SymAlloc};
 use openshmem::data::{Scalar, SymPtr};
 use openshmem::shmem::{Cmp, Shmem, ShmemConfig};
+use openshmem::AmHandlerId;
 use pgas_machine::machine::{Machine, Pe};
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// 1-based image index, as in Fortran.
 pub type ImageId = usize;
@@ -56,6 +58,10 @@ pub struct Image<'m> {
     /// The hidden lock variable backing `critical` sections (a 2-word
     /// [tail, holder] block, like every lock variable).
     critical_lock: SymPtr<u64>,
+    /// The MCS protocol's remote-word-set active message (chain link,
+    /// handoff, holder publication), registered symmetrically at
+    /// construction; used when the conduit aggregates small ops.
+    qnode_set_am: AmHandlerId,
 }
 
 impl<'m> Image<'m> {
@@ -78,6 +84,7 @@ impl<'m> Image<'m> {
             shmem.shmalloc::<u64>(n).expect("symmetric heap too small for sync-images counters");
         let critical_lock =
             shmem.shmalloc::<u64>(2).expect("symmetric heap too small for the critical lock");
+        let qnode_set_am = shmem.register_am(Rc::new(crate::locks::QnodeSetAm));
         Image {
             nonsym_alloc: RefCell::new(SymAlloc::new(cfg.nonsym_bytes)),
             nonsym_base,
@@ -87,9 +94,17 @@ impl<'m> Image<'m> {
             lock_gen: std::cell::Cell::new(0),
             lock_offsets: RefCell::new(HashMap::new()),
             critical_lock,
+            qnode_set_am,
             shmem,
             cfg,
         }
+    }
+
+    /// The MCS remote-word-set active-message handler id (see
+    /// [`crate::locks::QnodeSetAm`]).
+    #[inline]
+    pub(crate) fn qnode_set_am(&self) -> AmHandlerId {
+        self.qnode_set_am
     }
 
     /// `this_image()`: 1-based, as in Fortran.
@@ -123,8 +138,10 @@ impl<'m> Image<'m> {
     }
 
     /// Convert a 1-based image index to a PE index, with bounds checking.
+    /// Public so applications can address lower layers (e.g. active
+    /// messages through [`Shmem`]) in image terms.
     #[inline]
-    pub(crate) fn pe_of(&self, image: ImageId) -> usize {
+    pub fn pe_of(&self, image: ImageId) -> usize {
         assert!(
             (1..=self.num_images()).contains(&image),
             "image {image} out of range 1..={}",

@@ -75,6 +75,7 @@ pub use grid::ImageGrid;
 pub use image::{Image, ImageId, NonSymHandle};
 pub use locks::{CafLock, LockStat};
 pub use nonsym::NonSymArray;
+pub use pgas_conduit::CoalescePolicy;
 pub use pgas_machine::sanitizer::{HazardKind, HazardReport, SanitizerMode};
 pub use pgas_machine::stats::PlanDecision;
 pub use planner::{

@@ -30,6 +30,7 @@ use crate::image::{Image, ImageId};
 use crate::remote_ptr::{RemotePtr, NIL};
 use openshmem::data::SymPtr;
 use openshmem::shmem::Cmp;
+use openshmem::{AmHandler, AmTarget};
 use pgas_conduit::ctx::AmoOp;
 use pgas_conduit::ConduitError;
 use std::sync::atomic::Ordering;
@@ -37,10 +38,44 @@ use std::sync::atomic::Ordering;
 /// Size of a queue node in the non-symmetric buffer: `locked` + `next`.
 pub(crate) const QNODE_BYTES: usize = 16;
 
+/// Active-message handler behind the MCS protocol's remote word writes
+/// (chain link, handoff, holder publication): `arg` is `[offset, value]`
+/// as two little-endian u64s, stored into the target heap word. Registered
+/// once per image at construction (SPMD-symmetric, like the symmetric
+/// allocations the protocol lives in).
+pub(crate) struct QnodeSetAm;
+
+impl AmHandler for QnodeSetAm {
+    fn execute(&self, t: &mut AmTarget<'_>, arg: &[u8]) -> Option<Vec<u8>> {
+        let off = u64::from_le_bytes(arg[0..8].try_into().expect("qnode-set arg")) as usize;
+        let val = u64::from_le_bytes(arg[8..16].try_into().expect("qnode-set arg"));
+        t.write_u64(off, val);
+        None
+    }
+}
+
 /// Virtual time charged per re-poll while a waiter sits behind a dead
 /// queued (non-holder) image, waiting for the handoff chain upstream of it
 /// to drain.
 const REPAIR_POLL_NS: f64 = 200.0;
+
+/// Pack a [`QnodeSetAm`] argument: target heap word offset + value.
+fn qnode_set_arg(word: SymPtr<u64>, val: u64) -> [u8; 16] {
+    let mut arg = [0u8; 16];
+    arg[0..8].copy_from_slice(&(word.offset() as u64).to_le_bytes());
+    arg[8..16].copy_from_slice(&val.to_le_bytes());
+    arg
+}
+
+/// Ignore a dead target on a fault-aware protocol write (the holder word
+/// and the repair path cover it); any other conduit failure is a runtime
+/// bug. The one tolerance rule both the chain-write and handoff sites use.
+fn tolerate_dead_target(r: Result<(), ConduitError>, what: &str, pe: usize) {
+    match r {
+        Ok(()) | Err(ConduitError::TargetFailed { .. }) => {}
+        Err(e) => panic!("{what} to image {}: {e}", pe + 1),
+    }
+}
 
 /// A CAF lock variable: one lockable instance per image.
 #[derive(Debug, Clone, Copy)]
@@ -125,6 +160,37 @@ impl<'m> Image<'m> {
         (SymPtr::from_raw_parts(abs, 1), SymPtr::from_raw_parts(abs + 8, 1))
     }
 
+    /// The MCS protocol's remote word write (chain link, handoff, holder
+    /// publication). With aggregation on, a remote `atomic_set` would be
+    /// *staged* in a coalescing buffer — correct for data, but the lock
+    /// protocol needs these control words visible promptly (a waiter spins
+    /// on the handoff; the repair path reads the holder word) — so it ships
+    /// as one active message instead, executed at the target immediately
+    /// and remote-complete at `quiet` like any put. With aggregation off
+    /// this is exactly the pre-AM remote atomic.
+    fn remote_word_set(&self, pe: usize, word: SymPtr<u64>, val: u64) {
+        if self.shmem().ctx().coalescing() {
+            self.shmem().am_send(pe, self.qnode_set_am(), &qnode_set_arg(word, val));
+        } else {
+            self.shmem().atomic_set(word, val, pe);
+        }
+    }
+
+    /// Fallible [`Self::remote_word_set`], for the fault-aware paths that
+    /// tolerate a dead target.
+    fn try_remote_word_set(
+        &self,
+        pe: usize,
+        word: SymPtr<u64>,
+        val: u64,
+    ) -> Result<(), ConduitError> {
+        if self.shmem().ctx().coalescing() {
+            self.shmem().try_am_send(pe, self.qnode_set_am(), &qnode_set_arg(word, val))
+        } else {
+            self.shmem().try_amo::<u64>(pe, word, AmoOp::Set(val)).map(|_| ())
+        }
+    }
+
     /// The Cray CAF runtime's lock path performs a remote state check
     /// (an extra fetch of the lock word) before mutating it — one reason the
     /// paper measures UHCAF-over-SHMEM locks ~22% faster than Cray CAF's.
@@ -163,14 +229,15 @@ impl<'m> Image<'m> {
                     // still be the lock holder): the link write is then
                     // undeliverable and unneeded — the repair path observes
                     // ownership through the holder word instead.
-                    match self.shmem().try_amo::<u64>(pred.image, pred_next, AmoOp::Set(me)) {
-                        Ok(_) | Err(ConduitError::TargetFailed { .. }) => {}
-                        Err(e) => panic!("lock chain write to image {}: {e}", pred.image + 1),
-                    }
+                    tolerate_dead_target(
+                        self.try_remote_word_set(pred.image, pred_next, me),
+                        "lock chain write",
+                        pred.image,
+                    );
                     self.shmem().quiet();
                     self.wait_or_repair(lck, home, locked, pred);
                 } else {
-                    self.shmem().atomic_set(pred_next, me, pred.image);
+                    self.remote_word_set(pred.image, pred_next, me);
                     self.shmem().quiet();
                     self.shmem().wait_until(locked, Cmp::Eq, 0);
                 }
@@ -180,7 +247,7 @@ impl<'m> Image<'m> {
                 // only) so a successor can tell a dead holder from a dead
                 // queued waiter.
                 if self.machine().faults_active() {
-                    self.shmem().atomic_set(lck.holder, self.this_image() as u64, home);
+                    self.remote_word_set(home, lck.holder, self.this_image() as u64);
                 }
             }
         }
@@ -217,7 +284,7 @@ impl<'m> Image<'m> {
             let holder = self.shmem().atomic_fetch(lck.holder, home);
             if holder == pred.image as u64 + 1 {
                 // The dead predecessor owns the lock: evict it.
-                self.shmem().atomic_set(lck.holder, me0 as u64 + 1, home);
+                self.remote_word_set(home, lck.holder, me0 as u64 + 1);
                 self.shmem().quiet();
                 let stats = m.stats();
                 pgas_machine::stats::Stats::bump(&stats.lock_repairs);
@@ -259,7 +326,7 @@ impl<'m> Image<'m> {
         let me = RemotePtr::new(self.this_image() - 1, q.offset).pack();
         if self.shmem().cswap(lck.tail, NIL, me, home) == NIL {
             if self.machine().faults_active() {
-                self.shmem().atomic_set(lck.holder, self.this_image() as u64, home);
+                self.remote_word_set(home, lck.holder, self.this_image() as u64);
             }
             self.lock_table.borrow_mut().insert(key, q.offset);
             true
@@ -289,7 +356,7 @@ impl<'m> Image<'m> {
             // clear and the next owner's claim the holder word reads 0,
             // which the repair path treats as "no eviction" — safe on both
             // sides of the window.
-            self.shmem().atomic_set(lck.holder, 0u64, home);
+            self.remote_word_set(home, lck.holder, 0);
             self.shmem().quiet();
         }
         let old = self.shmem().cswap(lck.tail, me, NIL, home);
@@ -301,19 +368,20 @@ impl<'m> Image<'m> {
             if faults {
                 // Transfer ownership before waking the successor so the
                 // holder word never lags the actual owner.
-                self.shmem().atomic_set(lck.holder, succ.image as u64 + 1, home);
+                self.remote_word_set(home, lck.holder, succ.image as u64 + 1);
             }
             let succ_locked = SymPtr::from_raw_parts(self.nonsym_abs(succ.offset), 1);
             if faults {
                 // A successor that died while queued cannot be woken; the
                 // holder word (set to it above) already publishes the
                 // transfer, so a live waiter behind it can repair.
-                match self.shmem().try_amo::<u64>(succ.image, succ_locked, AmoOp::Set(0)) {
-                    Ok(_) | Err(ConduitError::TargetFailed { .. }) => {}
-                    Err(e) => panic!("lock handoff to image {}: {e}", succ.image + 1),
-                }
+                tolerate_dead_target(
+                    self.try_remote_word_set(succ.image, succ_locked, 0),
+                    "lock handoff",
+                    succ.image,
+                );
             } else {
-                self.shmem().atomic_set(succ_locked, 0u64, succ.image);
+                self.remote_word_set(succ.image, succ_locked, 0);
             }
             self.shmem().quiet();
         }
@@ -381,6 +449,25 @@ impl std::fmt::Display for LockStat {
 }
 
 impl std::error::Error for LockStat {}
+
+impl From<crate::failure::CafStat> for LockStat {
+    fn from(s: crate::failure::CafStat) -> LockStat {
+        match s {
+            crate::failure::CafStat::FailedImage { .. }
+            | crate::failure::CafStat::CommFailure { .. } => LockStat::StatFailedImage,
+        }
+    }
+}
+
+impl From<ConduitError> for LockStat {
+    /// One conversion chain for every layer: `ConduitError` (from the
+    /// conduit's `submit` path) → [`crate::failure::CafStat`] → `LockStat`,
+    /// so `RetriesExhausted`/`TargetFailed`/STAT_FAILED_IMAGE never get
+    /// re-interpreted by per-method match arms.
+    fn from(e: ConduitError) -> LockStat {
+        crate::failure::CafStat::from(e).into()
+    }
+}
 
 #[cfg(test)]
 mod tests {

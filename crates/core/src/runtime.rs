@@ -93,8 +93,13 @@ mod tests {
     fn tuned_run_records_healthy_misprediction_ratios() {
         use crate::section::{DimRange, Section};
         let mcfg = generic_smp(2).with_heap_bytes(1 << 17);
+        // The planner's calibration predicts *direct* wire costs; pin
+        // coalescing off so an ambient PGAS_COALESCE=on (the
+        // test-aggregated CI job) cannot re-time the strided puts it
+        // calibrated against.
         let ccfg = CafConfig::new(Backend::Shmem, Platform::GenericSmp)
-            .with_strided(crate::config::StridedAlgorithm::Tuned);
+            .with_strided(crate::config::StridedAlgorithm::Tuned)
+            .with_aggregation(pgas_conduit::CoalescePolicy::Off);
         let out = pgas_machine::with_forced_metrics(true, || {
             run_caf(mcfg, ccfg, |img| {
                 let a = img.coarray::<i32>(&[16, 16]).unwrap();

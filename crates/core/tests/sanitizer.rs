@@ -46,17 +46,22 @@ fn quietless_strided_put_is_flagged_missing_quiet() {
 fn partially_overlapping_quietless_puts_are_flagged_torn() {
     // Two puts that strictly partially overlap with no quiet in between:
     // the overlap region may end up with a mix of bytes from both
-    // transfers — a torn transfer, worse than merely stale data.
-    let out = run_caf(mcfg(), caf_cfg(), |img| {
-        let p = img.shmem().shmalloc::<u64>(8).unwrap();
-        img.sync_all();
-        if img.this_image() == 1 {
-            img.shmem().put(p, &[1, 1, 1, 1], 1); // words [0, 4)
-                                                  // BUG: overlaps words [2, 6) while [0, 4) is outstanding.
-            img.shmem().put(p.slice(2, 4), &[2, 2, 2, 2], 1);
-            img.shmem().quiet();
-        }
-        img.sync_all();
+    // transfers — a torn transfer, worse than merely stale data. A
+    // *direct-path* property: staged puts ride one coalescing buffer and
+    // apply FIFO, so pin aggregation off against an ambient
+    // PGAS_COALESCE=on.
+    let out = pgas_machine::with_forced_aggregation(false, || {
+        run_caf(mcfg(), caf_cfg(), |img| {
+            let p = img.shmem().shmalloc::<u64>(8).unwrap();
+            img.sync_all();
+            if img.this_image() == 1 {
+                img.shmem().put(p, &[1, 1, 1, 1], 1); // words [0, 4)
+                                                      // BUG: overlaps words [2, 6) while [0, 4) is outstanding.
+                img.shmem().put(p.slice(2, 4), &[2, 2, 2, 2], 1);
+                img.shmem().quiet();
+            }
+            img.sync_all();
+        })
     });
     let r = out.expect_hazard(HazardKind::TornTransfer);
     assert_eq!(r.op, "put");

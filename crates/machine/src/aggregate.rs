@@ -1,0 +1,82 @@
+//! Small-op aggregation default: process-wide and per-thread resolution of
+//! whether conduits built on a machine should coalesce small ops.
+//!
+//! The machine itself never aggregates anything — coalescing lives in the
+//! conduit layer (`pgas-conduit`'s per-destination-node buffers and
+//! active-message paths). What lives here is the *resolution* of the
+//! default, because it must mirror how every other machine-wide switch
+//! (sanitizer, fault plan, trace, metrics, workers) resolves: a
+//! `with_forced_aggregation` thread override beats an explicit
+//! `MachineConfig::with_aggregation` choice, which beats the process-wide
+//! `PGAS_COALESCE` environment default. Thread-locals do not propagate to
+//! PE threads, so `Machine::new` captures the resolution on the launching
+//! thread and conduits read it back through
+//! [`crate::machine::Machine::aggregation_forced`] /
+//! [`crate::machine::Machine::aggregation_default`].
+
+/// The process-wide default from `PGAS_COALESCE`, read exactly once
+/// (mirroring `PGAS_SANITIZER` / `PGAS_WORKERS` resolution). Unset or
+/// unparsable yields `None`: conduits fall back to their own default (off).
+pub(crate) fn env_default() -> Option<bool> {
+    static ENV_DEFAULT: std::sync::OnceLock<Option<bool>> = std::sync::OnceLock::new();
+    *ENV_DEFAULT.get_or_init(|| {
+        std::env::var("PGAS_COALESCE").ok().and_then(|v| {
+            match v.trim().to_ascii_lowercase().as_str() {
+                "1" | "true" | "on" | "yes" => Some(true),
+                "0" | "false" | "off" | "no" => Some(false),
+                _ => None,
+            }
+        })
+    })
+}
+
+thread_local! {
+    static FORCED_AGGREGATION: std::cell::Cell<Option<bool>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Run `f` with every machine built *on this thread* forced to aggregation
+/// `on`, beating both the config and the `PGAS_COALESCE` environment
+/// default — the same precedence the sanitizer, fault-plan, trace, metrics,
+/// and worker overrides use. Restored on exit, including on unwind.
+pub fn with_forced_aggregation<R>(on: bool, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<bool>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCED_AGGREGATION.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(FORCED_AGGREGATION.with(|c| c.replace(Some(on))));
+    f()
+}
+
+/// The setting forced by [`with_forced_aggregation`] on the current thread,
+/// if any.
+pub(crate) fn forced_aggregation() -> Option<bool> {
+    FORCED_AGGREGATION.with(|c| c.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forced_aggregation_scopes_and_restores() {
+        assert_eq!(forced_aggregation(), None);
+        with_forced_aggregation(true, || {
+            assert_eq!(forced_aggregation(), Some(true));
+            with_forced_aggregation(false, || assert_eq!(forced_aggregation(), Some(false)));
+            assert_eq!(forced_aggregation(), Some(true));
+        });
+        assert_eq!(forced_aggregation(), None);
+    }
+
+    #[test]
+    fn forced_aggregation_restores_on_unwind() {
+        let r = std::panic::catch_unwind(|| {
+            with_forced_aggregation(true, || panic!("boom"));
+        });
+        assert!(r.is_err());
+        assert_eq!(forced_aggregation(), None);
+    }
+}

@@ -91,6 +91,14 @@ pub struct MachineConfig {
     /// every setting; the limit only bounds host-side concurrency so
     /// paper-scale (1024/2048-image) and larger jobs fit the host.
     pub workers: Option<usize>,
+    /// Default for conduit small-op aggregation (per-destination coalescing
+    /// and active-message fast paths, see `pgas-conduit`). `None` defers to
+    /// the `PGAS_COALESCE` environment default (which itself defaults to
+    /// off); an explicit choice — either way — beats the environment. A
+    /// `with_forced_aggregation` thread override beats both, applied by
+    /// `Machine::new`. The machine itself aggregates nothing; conduits read
+    /// the resolved default back from the machine they attach to.
+    pub aggregation: Option<bool>,
 }
 
 impl MachineConfig {
@@ -171,6 +179,14 @@ impl MachineConfig {
         self
     }
 
+    /// Set the conduit small-op aggregation default (see the `aggregation`
+    /// field). An explicit choice — either way — beats the `PGAS_COALESCE`
+    /// environment default.
+    pub fn with_aggregation(mut self, on: bool) -> Self {
+        self.aggregation = Some(on);
+        self
+    }
+
     /// The sanitizer mode a machine built from this config will run with.
     ///
     /// An explicit [`Self::with_sanitizer`] choice always stands; when the
@@ -217,6 +233,19 @@ impl MachineConfig {
     /// state is built and the legacy path is untouched.
     pub fn worker_limit(&self) -> Option<usize> {
         self.workers.or_else(crate::sched::env_default).filter(|&w| w > 0 && w < self.total_pes())
+    }
+
+    /// The conduit aggregation default a machine built from this config will
+    /// advertise (`false` = conduits do not coalesce unless explicitly asked
+    /// to).
+    ///
+    /// An explicit [`Self::with_aggregation`] choice always stands; when the
+    /// config carries no choice, the process-wide `PGAS_COALESCE`
+    /// environment variable (read once, at first use) supplies the default.
+    /// A `with_forced_aggregation` thread override beats both, but that is
+    /// applied by `Machine::new`, not here.
+    pub fn aggregation_default(&self) -> bool {
+        self.aggregation.or_else(crate::aggregate::env_default).unwrap_or(false)
     }
 
     /// The fault plan a machine built from this config will run with.
@@ -401,6 +430,29 @@ mod tests {
         // An explicit true always stands.
         assert!(platforms::generic_smp(2).with_trace(true).trace_enabled());
         assert!(platforms::generic_smp(2).with_metrics(true).metrics_enabled());
+    }
+
+    #[test]
+    fn env_aggregation_applies_when_config_has_none() {
+        // Race-free env proof, mirroring the trace/metrics tests: read the
+        // variable (never write it) and assert the config resolves to
+        // exactly what it says. Locally the variable is normally unset ->
+        // false; in the PGAS_COALESCE=on CI job this asserts the env-driven
+        // default reaches the config with no code changes.
+        let expected = std::env::var("PGAS_COALESCE")
+            .ok()
+            .and_then(|v| match v.trim().to_ascii_lowercase().as_str() {
+                "1" | "true" | "on" | "yes" => Some(true),
+                "0" | "false" | "off" | "no" => Some(false),
+                _ => None,
+            })
+            .unwrap_or(false);
+        let cfg = platforms::generic_smp(2);
+        assert!(cfg.aggregation.is_none(), "presets default to no choice");
+        assert_eq!(cfg.aggregation_default(), expected);
+        // An explicit choice always stands, either way.
+        assert!(platforms::generic_smp(2).with_aggregation(true).aggregation_default());
+        assert!(!platforms::generic_smp(2).with_aggregation(false).aggregation_default());
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! heaps, clocks, NICs, barriers and a SPMD launcher. Communication-library
 //! semantics live in `pgas-conduit` and above.
 
+pub mod aggregate;
 pub mod config;
 pub mod critdiff;
 pub mod critpath;
@@ -42,6 +43,7 @@ pub mod stream;
 pub mod sync;
 pub mod trace;
 
+pub use aggregate::with_forced_aggregation;
 pub use config::{ComputeParams, LinkParams, MachineConfig, WireParams};
 pub use critdiff::{digest_metrics, CritDiff, MetricDigest, RunDigest};
 pub use critpath::{critical_path, CriticalPathReport, PathCategory, PathSegment};

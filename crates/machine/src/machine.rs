@@ -129,6 +129,11 @@ pub struct Machine {
     /// mode (no worker limit resolved, or the limit covers every PE), so
     /// the legacy path costs one branch per blocking region.
     sched: Option<SchedState>,
+    /// Conduit aggregation override captured on the launching thread at
+    /// build time (thread-locals do not propagate to PE threads, so
+    /// conduits built on PE threads read it back from here). `Some` beats
+    /// both the config choice and the `PGAS_COALESCE` environment default.
+    aggregation_forced: Option<bool>,
 }
 
 impl Machine {
@@ -171,6 +176,10 @@ impl Machine {
             stream,
             arbiter,
             sched,
+            // Aggregation resolution mirrors the others: capture the thread
+            // override here, on the launching thread; conduits combine it
+            // with the config/env default via the getters below.
+            aggregation_forced: crate::aggregate::forced_aggregation(),
             pes: (0..n)
                 .map(|_| PeState {
                     heap: Heap::new(cfg.heap_bytes),
@@ -205,6 +214,22 @@ impl Machine {
     /// The configuration this machine was built from.
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    /// The `with_forced_aggregation` override active on the thread that
+    /// built this machine, if any. Beats both the config choice and the
+    /// `PGAS_COALESCE` environment default (see `pgas-conduit`, which
+    /// performs the final resolution against its own per-context options).
+    #[inline]
+    pub fn aggregation_forced(&self) -> Option<bool> {
+        self.aggregation_forced
+    }
+
+    /// The config/environment aggregation default for conduits attached to
+    /// this machine ([`MachineConfig::aggregation_default`]).
+    #[inline]
+    pub fn aggregation_default(&self) -> bool {
+        self.cfg.aggregation_default()
     }
 
     /// Total number of PEs.

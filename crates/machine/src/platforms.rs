@@ -83,6 +83,7 @@ pub fn stampede(nodes: usize, cores_per_node: usize) -> MachineConfig {
         stream: None,
         deterministic_nic: false,
         workers: None,
+        aggregation: None,
     }
 }
 
@@ -109,6 +110,7 @@ pub fn titan(nodes: usize, cores_per_node: usize) -> MachineConfig {
         stream: None,
         deterministic_nic: false,
         workers: None,
+        aggregation: None,
     }
 }
 
@@ -135,6 +137,7 @@ pub fn cray_xc30(nodes: usize, cores_per_node: usize) -> MachineConfig {
         stream: None,
         deterministic_nic: false,
         workers: None,
+        aggregation: None,
     }
 }
 
@@ -161,6 +164,7 @@ pub fn generic_smp(cores: usize) -> MachineConfig {
         stream: None,
         deterministic_nic: false,
         workers: None,
+        aggregation: None,
     }
 }
 

@@ -52,6 +52,8 @@ pub struct Stats {
     pub puts: AtomicU64,
     pub gets: AtomicU64,
     pub amos: AtomicU64,
+    /// Active messages executed at a target (see `pgas-conduit`'s AM layer).
+    pub ams: AtomicU64,
     pub bytes_put: AtomicU64,
     pub bytes_get: AtomicU64,
     pub barriers: AtomicU64,
@@ -89,6 +91,7 @@ impl Stats {
             puts: self.puts.load(Ordering::Relaxed),
             gets: self.gets.load(Ordering::Relaxed),
             amos: self.amos.load(Ordering::Relaxed),
+            ams: self.ams.load(Ordering::Relaxed),
             bytes_put: self.bytes_put.load(Ordering::Relaxed),
             bytes_get: self.bytes_get.load(Ordering::Relaxed),
             barriers: self.barriers.load(Ordering::Relaxed),
@@ -149,6 +152,8 @@ pub struct StatsSnapshot {
     pub puts: u64,
     pub gets: u64,
     pub amos: u64,
+    /// Active messages executed at a target.
+    pub ams: u64,
     pub bytes_put: u64,
     pub bytes_get: u64,
     pub barriers: u64,

@@ -147,7 +147,14 @@ mod tests {
 
     #[test]
     fn two_dim_beats_naive_and_cray_on_xc30() {
-        // §V-B2: ~3x over Cray CAF, ~9x over naive, on Cray SHMEM.
+        // §V-B2: ~3x over Cray CAF, ~9x over naive, on Cray SHMEM. The
+        // claim is about the *direct* wire path (the paper's UHCAF did not
+        // aggregate): coalescing batches exactly naive's per-element puts
+        // and collapses the 9x gap, so pin it off.
+        pgas_machine::with_forced_aggregation(false, two_dim_beats_naive_and_cray_on_xc30_inner)
+    }
+
+    fn two_dim_beats_naive_and_cray_on_xc30_inner() {
         let mk = |backend, strided: Option<StridedAlgorithm>| {
             let mut b = CafPairBench::new(Platform::CrayXc30, backend, 1);
             b.iters = 3;

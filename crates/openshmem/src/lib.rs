@@ -17,6 +17,7 @@
 //! | Reductions              | `shmem_*_to_all`           | [`Shmem::sum_to_all`] etc. |
 //! | Collect                 | `shmem_(f)collect`         | [`Shmem::fcollect`] / [`Shmem::collect`] |
 //! | Global locks            | `shmem_set/test/clear_lock`| [`Shmem::set_lock`] etc. |
+//! | Active messages (ext.)  | —                          | [`Shmem::am_send`] / [`Shmem::am_call`] |
 //!
 //! The library runs over `pgas-conduit`, so the same program can be executed
 //! on any of the modeled communication substrates (Cray SHMEM, MVAPICH2-X
@@ -32,4 +33,5 @@ pub mod shmem;
 pub use active_set::ActiveSet;
 pub use alloc::{AllocError, SymAlloc};
 pub use data::{Scalar, SymPtr};
+pub use pgas_conduit::{AmHandler, AmHandlerId, AmTarget};
 pub use shmem::{AtomicWord, Cmp, LocalView, Shmem, ShmemConfig};

@@ -62,13 +62,18 @@ fn applications_are_hazard_free() {
         Platform::Titan,
         Backend::Shmem,
         8,
-        DhtConfig { slots_per_image: 32, updates_per_image: 20, seed: 3, locks_per_image: 1 },
+        DhtConfig { slots_per_image: 32, updates_per_image: 20, seed: 3, ..Default::default() },
     );
     assert_eq!(
         dht.checksum,
         expected_checksum(
             8,
-            &DhtConfig { slots_per_image: 32, updates_per_image: 20, seed: 3, locks_per_image: 1 }
+            &DhtConfig {
+                slots_per_image: 32,
+                updates_per_image: 20,
+                seed: 3,
+                ..Default::default()
+            }
         )
     );
     let cfg = HimenoConfig::tiny();

@@ -31,36 +31,42 @@ const FIXTURE: &str =
 /// (multi-PE nodes arbitrate same-instant NIC reservations in host order,
 /// which would make a byte-exact golden impossible).
 fn workload() -> pgas_machine::SimOutcome<i64> {
-    run_caf(
-        // Byte-exact goldens need a clean interconnect: the explicit zero
-        // plan opts out of the PGAS_FAULT_PLAN environment default (the CI
-        // test-faulted job), whose injected retries would add AMOs and
-        // quiets to the counters.
-        generic_smp(4).with_heap_bytes(1 << 17).with_faults(FaultPlan::none()),
-        CafConfig::new(Backend::Shmem, Platform::GenericSmp),
-        |img| {
-            let n = img.num_images();
-            let me = img.this_image();
-            let ring = img.coarray::<i64>(&[8]).unwrap();
-            let lck = img.lock_var();
-            img.sync_all();
-            let next = me % n + 1;
-            for round in 0..3 {
-                // `ring[next]` is written and read only by `me`.
-                ring.put_to(img, next, &[(me * 10 + round) as i64; 8]);
+    // Pin coalescing off for the same reason as the zero fault plan: the
+    // golden fixture records the *direct* op path's metrics, and an ambient
+    // PGAS_COALESCE=on (the test-aggregated CI job) would re-route small
+    // puts through staging buffers and change the byte-exact counters.
+    pgas_machine::with_forced_aggregation(false, || {
+        run_caf(
+            // Byte-exact goldens need a clean interconnect: the explicit zero
+            // plan opts out of the PGAS_FAULT_PLAN environment default (the CI
+            // test-faulted job), whose injected retries would add AMOs and
+            // quiets to the counters.
+            generic_smp(4).with_heap_bytes(1 << 17).with_faults(FaultPlan::none()),
+            CafConfig::new(Backend::Shmem, Platform::GenericSmp),
+            |img| {
+                let n = img.num_images();
+                let me = img.this_image();
+                let ring = img.coarray::<i64>(&[8]).unwrap();
+                let lck = img.lock_var();
                 img.sync_all();
-                let back = ring.get_from(img, next);
-                assert_eq!(back[0], (me * 10 + round) as i64);
-                img.sync_all();
-            }
-            // Each image cycles its own (uncontended) lock instance.
-            img.lock(&lck, me);
-            img.unlock(&lck, me);
-            let mut v = [me as i64];
-            img.co_sum(&mut v, None);
-            v[0]
-        },
-    )
+                let next = me % n + 1;
+                for round in 0..3 {
+                    // `ring[next]` is written and read only by `me`.
+                    ring.put_to(img, next, &[(me * 10 + round) as i64; 8]);
+                    img.sync_all();
+                    let back = ring.get_from(img, next);
+                    assert_eq!(back[0], (me * 10 + round) as i64);
+                    img.sync_all();
+                }
+                // Each image cycles its own (uncontended) lock instance.
+                img.lock(&lck, me);
+                img.unlock(&lck, me);
+                let mut v = [me as i64];
+                img.co_sum(&mut v, None);
+                v[0]
+            },
+        )
+    })
 }
 
 fn traced_workload() -> pgas_machine::SimOutcome<i64> {

@@ -65,7 +65,11 @@ fn disabling_quiet_without_strict_mode_counts_hazards() {
 
 #[test]
 fn overlapping_puts_also_hazard_without_quiet() {
-    let out = run_caf(machine(), base_cfg().with_insert_quiet(false), |img| {
+    // Pin coalescing off: this WAW is a *direct-path* hazard. Staged, the
+    // second put write-combines over the first in the coalescing buffer
+    // (FIFO, last writer wins) and there is legitimately nothing to flag.
+    let cfg = base_cfg().with_insert_quiet(false).with_aggregation(caf::CoalescePolicy::Off);
+    let out = run_caf(machine(), cfg, |img| {
         let a = img.coarray::<i64>(&[4]).unwrap();
         if img.this_image() == 1 {
             a.put_to(img, 2, &[1, 1, 1, 1]);

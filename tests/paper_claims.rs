@@ -41,6 +41,15 @@ fn claim_contiguous_put_improvement() {
 /// naive implementation".
 #[test]
 fn claim_strided_speedups_on_cray() {
+    // The paper's UHCAF did not aggregate: its naive algorithm pays one
+    // wire transfer per element row. Pin coalescing off so an ambient
+    // PGAS_COALESCE=on (which batches exactly those small puts and
+    // collapses the 9x gap this claim encodes) keeps the comparison in
+    // the paper's measurement conditions.
+    pgas_machine::with_forced_aggregation(false, claim_strided_speedups_on_cray_inner)
+}
+
+fn claim_strided_speedups_on_cray_inner() {
     let mk = |backend, algo: Option<StridedAlgorithm>| {
         let mut b = CafPairBench::new(Platform::CrayXc30, backend, 1);
         b.iters = 3;
@@ -93,7 +102,8 @@ fn claim_lock_ordering() {
 /// UHCAF over GASNet implementation".
 #[test]
 fn claim_dht_ordering() {
-    let cfg = DhtConfig { slots_per_image: 64, updates_per_image: 30, seed: 9, locks_per_image: 1 };
+    let cfg =
+        DhtConfig { slots_per_image: 64, updates_per_image: 30, seed: 9, ..Default::default() };
     let run = |backend| run_dht(Platform::Titan, backend, 16, cfg).time_ms;
     let shmem = run(Backend::Shmem);
     let gasnet = run(Backend::Gasnet);
