@@ -11,7 +11,7 @@
 //! (sum of keys is order-independent), which the tests exploit.
 
 use caf::{run_caf, Backend, CafConfig};
-use openshmem::{AmHandler, AmTarget};
+use openshmem::{AmHandler, AmTarget, ConduitError};
 use pgas_machine::stats::StatsSnapshot;
 use pgas_machine::Platform;
 use rand::rngs::SmallRng;
@@ -80,9 +80,18 @@ impl AmHandler for DhtUpdateAm {
 pub struct DhtResult {
     /// Virtual makespan in milliseconds (the paper's y axis).
     pub time_ms: f64,
-    /// Wrapping sum of all table slots (consistency check).
+    /// Wrapping sum of all table slots on *live* images (consistency
+    /// check; equals the full-table sum on healthy runs).
     pub checksum: u64,
     pub updates_total: usize,
+    /// Wrapping sum of the keys of every *acknowledged* update whose home
+    /// image is still alive at the end of the run, across all images. On a
+    /// healthy run this equals the oracle; under a PE-failure plan the
+    /// zero-lost-acknowledged-writes invariant is `checksum == acked_sum`.
+    pub acked_sum: u64,
+    /// Updates abandoned because the home image was dead (the send
+    /// surfaced `TargetFailed` / STAT_FAILED_IMAGE).
+    pub skipped: usize,
     /// Machine counters for the whole job (fault/retry totals, lock leaks).
     pub stats: StatsSnapshot,
 }
@@ -114,7 +123,7 @@ pub fn run_dht_outcome(
     images: usize,
     cfg: DhtConfig,
     deterministic_nic: bool,
-) -> (DhtResult, pgas_machine::SimOutcome<(u64, u64)>) {
+) -> (DhtResult, pgas_machine::SimOutcome<(u64, u64, u64, u64)>) {
     let cores = 16.min(images);
     let nodes = images.div_ceil(cores);
     let heap = (cfg.slots_per_image * 8 + (1 << 16)).next_power_of_two();
@@ -134,10 +143,30 @@ pub fn run_dht_outcome(
         let me = img.this_image();
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (me as u64).wrapping_mul(0x9E37_79B9));
         let t0 = img.shmem().ctx().pe().now();
+        // Keys this image has successfully pushed, with their home image.
+        // On a healthy run every key lands here; under a PE-failure plan an
+        // update is *acknowledged* only once the send completed without a
+        // failed-image stat.
+        let mut sent: Vec<(usize, u64)> = Vec::with_capacity(cfg.updates_per_image);
+        let mut skipped = 0usize;
         for _ in 0..cfg.updates_per_image {
+            // Cooperative failure model: a scheduled failure kills the
+            // simulated image, not the OS thread; resilient kernels poll at
+            // update boundaries like Fortran code polls `stat=`.
+            if img.this_image_failed() {
+                break;
+            }
             let key: u64 = rng.gen();
             let home = (key % n as u64) as usize + 1;
             let slot = ((key / n as u64) % cfg.slots_per_image as u64) as usize;
+            // Clock-deterministic liveness probe (not the racy failure
+            // flag), so which updates get skipped — and every clock the
+            // skip saves — reproduces bit-identically under any worker
+            // count.
+            if img.image_dead_by_now(home) {
+                skipped += 1;
+                continue;
+            }
             match cfg.update {
                 DhtUpdateMode::Locked => {
                     let lock = &locks[slot % cfg.locks_per_image];
@@ -149,27 +178,49 @@ pub fn run_dht_outcome(
                     let v = table.get_elem_stat(img, home, &[slot]).expect("dht get");
                     table.put_elem_stat(img, home, &[slot], v.wrapping_add(key)).expect("dht put");
                     img.unlock(lock, home);
+                    sent.push((home, key));
                 }
                 DhtUpdateMode::Am => {
                     let mut arg = [0u8; 16];
                     let off = table.ptr().at(slot).offset() as u64;
                     arg[0..8].copy_from_slice(&off.to_le_bytes());
                     arg[8..16].copy_from_slice(&key.to_le_bytes());
-                    img.shmem()
-                        .try_am_send(img.pe_of(home), update_am, &arg)
-                        .expect("dht am update");
+                    match img.shmem().try_am_send(img.pe_of(home), update_am, &arg) {
+                        Ok(()) => sent.push((home, key)),
+                        // The home died between the liveness probe and
+                        // delivery: the update never applied, so it is not
+                        // acknowledged — drop it instead of crashing.
+                        Err(ConduitError::TargetFailed { .. }) => skipped += 1,
+                        Err(e) => panic!("dht am update: {e:?}"),
+                    }
                 }
             }
             img.shmem().ctx().pe().compute_ops(20); // hashing + bookkeeping
         }
         img.sync_all();
         let elapsed = img.shmem().ctx().pe().now() - t0;
-        // Deterministic checksum: image 1 folds the whole table.
-        let checksum = if me == 1 {
+        // An acknowledged write counts only while its shard is reachable:
+        // keys whose home image later died leave the live table with it.
+        // Both guards are deterministic here — the failure flag is ordered
+        // before the barrier exit, and the deadline probe is a pure
+        // function of this image's (barrier-aligned) clock.
+        let dead = |image: usize| img.image_failed(image) || img.image_dead_by_now(image);
+        let acked: u64 =
+            sent.iter().filter(|(home, _)| !dead(*home)).fold(0u64, |a, (_, k)| a.wrapping_add(*k));
+        // Deterministic checksum: image 1 folds the live part of the table.
+        let checksum = if me == 1 && !img.this_image_failed() {
             let mut sum = 0u64;
             for image in 1..=n {
-                for v in table.get_from(img, image) {
-                    sum = sum.wrapping_add(v);
+                if dead(image) {
+                    continue;
+                }
+                // The fold itself moves the clock, so a shard can cross its
+                // scheduled deadline between the probe and the read — skip
+                // it, exactly as the probe would have.
+                if let Ok(vs) = table.get_from_stat(img, image) {
+                    for v in vs {
+                        sum = sum.wrapping_add(v);
+                    }
                 }
             }
             sum
@@ -177,12 +228,14 @@ pub fn run_dht_outcome(
             0
         };
         img.sync_all();
-        (elapsed, checksum)
+        (elapsed, checksum, acked, skipped as u64)
     });
     let result = DhtResult {
         time_ms: out.results.iter().map(|r| r.0).max().unwrap_or(0) as f64 / 1e6,
         checksum: out.results[0].1,
         updates_total: images * cfg.updates_per_image,
+        acked_sum: out.results.iter().fold(0u64, |a, r| a.wrapping_add(r.2)),
+        skipped: out.results.iter().map(|r| r.3 as usize).sum(),
         stats: out.stats,
     };
     (result, out)

@@ -10,6 +10,7 @@
 //! * [`heat`] — a 1-D heat-diffusion mini-app exercising `sync images`
 //!   with neighbour lists and section-based gather.
 
+pub mod churn;
 pub mod dht;
 pub mod heat;
 pub mod himeno;
@@ -17,6 +18,7 @@ pub mod histogram;
 pub mod stencil2d;
 pub mod transpose;
 
+pub use churn::{run_churn, run_churn_outcome, ChurnConfig, ChurnResult, RoundStat};
 pub use dht::{run_dht, run_dht_outcome, DhtConfig, DhtResult, DhtUpdateMode};
 pub use heat::{parallel_heat, serial_heat, HeatConfig};
 pub use himeno::{run_himeno, run_himeno_outcome, serial_gosa, HimenoConfig, HimenoResult};

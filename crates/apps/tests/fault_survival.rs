@@ -72,6 +72,83 @@ fn himeno_strided_algorithms_survive_drops() {
     });
 }
 
+/// A scheduled PE failure mid-run: the surviving images keep serving
+/// active-message updates, every update whose send was *acknowledged* to a
+/// still-live home is in the final table, and updates to the dead home are
+/// skipped instead of crashing the run. "Zero lost acknowledged writes":
+/// the live-table checksum equals the wrapping sum of acknowledged keys.
+#[test]
+fn dht_am_updates_survive_a_pe_failure() {
+    let cfg = DhtConfig {
+        slots_per_image: 32,
+        updates_per_image: 25,
+        update: DhtUpdateMode::Am,
+        ..Default::default()
+    };
+    // Image 6 (PE 5) dies at 3µs — about halfway through the healthy-run
+    // makespan, so plenty of updates are still in flight on both sides of
+    // the cut.
+    let plan = FaultPlan::new(0xFA11).with_pe_failure(5, 3_000);
+    with_forced_plan(plan, || {
+        let r = run_dht(Platform::Titan, Backend::Shmem, 8, cfg);
+        assert_eq!(r.stats.pe_failures, 1, "the scheduled failure fired: {:?}", r.stats);
+        assert_eq!(
+            r.checksum, r.acked_sum,
+            "zero lost acknowledged writes: live table must hold exactly the acked keys"
+        );
+        assert!(r.skipped > 0, "updates homed on the dead image were skipped, not crashed");
+        assert_ne!(
+            r.checksum,
+            dht::expected_checksum(8, &cfg),
+            "the dead image's shard (and its skipped updates) really left the table"
+        );
+        assert_eq!(r.stats.lock_leaks, 0);
+    });
+}
+
+/// Satellite regression for small-op coalescing under failure: a put to a
+/// target that dies before the flush *stages* successfully, so the loss can
+/// only surface at the statement's completing quiet. It must come back
+/// through the `stat=` chain as STAT_FAILED_IMAGE — not panic the image.
+#[test]
+fn coalesced_puts_to_a_failed_image_surface_in_the_stat_chain() {
+    use caf::{run_caf, CafConfig, CafStat};
+    let plan = drop1(0x0F01).with_pe_failure(3, 5_000);
+    pgas_machine::with_forced_aggregation(true, || {
+        with_forced_plan(plan, || {
+            let mcfg = Platform::Titan.config(2, 2).with_heap_bytes(1 << 16);
+            let caf_cfg = CafConfig::new(Backend::Shmem, Platform::Titan).with_nonsym_bytes(4096);
+            let out = run_caf(mcfg, caf_cfg, |img| {
+                let a = img.coarray::<u64>(&[64]).unwrap();
+                img.sync_all();
+                if img.this_image() == 4 {
+                    // Cross the scheduled deadline, then bow out.
+                    img.machine().advance(3, 10_000.0);
+                    return None;
+                }
+                if img.this_image() == 1 {
+                    // Keep staging single-element puts at image 4. Early
+                    // statements land; once image 1's clock passes the
+                    // victim's deadline the staged op is dropped at flush
+                    // and the statement's stat reports the dead image.
+                    for i in 0..400usize {
+                        if let Err(stat) = a.put_elem_stat(img, 4, &[i % 64], i as u64) {
+                            return Some(stat);
+                        }
+                    }
+                }
+                None
+            });
+            assert_eq!(
+                out.results[0],
+                Some(CafStat::FailedImage { image: 4 }),
+                "the staged-put loss must surface as STAT_FAILED_IMAGE"
+            );
+            assert_eq!(out.stats.pe_failures, 1);
+        });
+    });
+}
+
 /// Faults and the sanitizer compose: a lossy-but-correct run stays
 /// hazard-free, so retries do not manufacture phantom races.
 #[test]

@@ -147,6 +147,35 @@ pub fn dht_throughput_probe(images: usize) -> ProbeOutcome {
     })
 }
 
+/// Probe for the availability-under-churn figure: nine images (eight
+/// workers plus a spare) running the full recovery cycle — a scheduled
+/// worker death mid-run, team re-formation that admits the spare, shard
+/// redistribution and journal replay — under the deterministic NIC.
+/// Aggregation *and* payload checksums are forced on internally, so the
+/// digest is independent of both the `PGAS_COALESCE` and `PGAS_CHECKSUM`
+/// environments: the plain, `test-aggregated` and `test-recovery` CI jobs
+/// all compare against the same committed baseline.
+pub fn availability_churn_probe() -> ProbeOutcome {
+    use caf_apps::{run_churn_outcome, ChurnConfig};
+    use pgas_machine::{
+        with_forced_aggregation, with_forced_checksums, with_forced_plan, FaultPlan,
+    };
+    let cfg = ChurnConfig::default();
+    // The calibrated scenario the churn tests pin down: worker image 5
+    // (PE 4) dies at 25 µs, mid round 2 of the default config's ~61 µs
+    // healthy makespan.
+    let plan = FaultPlan::new(cfg.seed).with_pe_failure(4, 25_000);
+    probe(move || {
+        with_forced_aggregation(true, || {
+            with_forced_checksums(true, || {
+                with_forced_plan(plan, || {
+                    run_churn_outcome(Platform::Titan, Backend::Shmem, 9, cfg, true).1
+                })
+            })
+        })
+    })
+}
+
 /// Probe for the Himeno figure: a traced 8-image run of the real solver.
 pub fn himeno_probe() -> ProbeOutcome {
     probe(|| {
@@ -162,7 +191,7 @@ pub fn himeno_probe() -> ProbeOutcome {
 }
 
 /// Every figure id the harness knows, in emission order.
-pub const FIGURE_IDS: [&str; 12] = [
+pub const FIGURE_IDS: [&str; 13] = [
     "fig2_put_latency",
     "fig3_put_bandwidth",
     "fig6_xc30_caf",
@@ -171,6 +200,7 @@ pub const FIGURE_IDS: [&str; 12] = [
     "fig9_dht",
     "dht_throughput",
     "fig10_himeno",
+    "availability_churn",
     "abl1_base_dim",
     "abl2_lock_algorithms",
     "ext1_shmem_ptr_fastpath",
@@ -204,6 +234,9 @@ pub fn probe_for(figure_id: &str) -> Option<ProbeOutcome> {
         // small anchor — its sweep caps at 64).
         "fig8_locks" | "fig9_dht" => lock_probe(Platform::Titan, 1024),
         "dht_throughput" => dht_throughput_probe(16),
+        // Forces its whole environment (aggregation, checksums, fault plan)
+        // internally — see the probe's own docs.
+        "availability_churn" => availability_churn_probe(),
         "abl2_lock_algorithms" => direct(&|| lock_probe(Platform::Titan, 8)),
         "fig10_himeno" => direct(&himeno_probe),
         "supp_pt2pt" => put_pairs_probe(Platform::Titan, 1, 65536),
@@ -249,7 +282,7 @@ mod tests {
     #[test]
     fn every_figure_id_has_a_probe() {
         // Cheap structural check: the registry covers all ids (actually
-        // running all 12 probes belongs to `bench record`, not unit tests).
+        // running all 13 probes belongs to `bench record`, not unit tests).
         for id in FIGURE_IDS {
             assert!(
                 matches!(
@@ -262,6 +295,7 @@ mod tests {
                         | "fig9_dht"
                         | "dht_throughput"
                         | "fig10_himeno"
+                        | "availability_churn"
                         | "abl1_base_dim"
                         | "abl2_lock_algorithms"
                         | "ext1_shmem_ptr_fastpath"
@@ -271,6 +305,21 @@ mod tests {
             );
         }
         assert!(probe_for("not_a_figure").is_none());
+    }
+
+    #[test]
+    fn availability_churn_probe_is_deterministic_and_env_independent() {
+        // The recovery anchor forces aggregation, checksums and its fault
+        // plan internally: the digest must not move under the ambient
+        // `PGAS_COALESCE`/`PGAS_CHECKSUM` the CI matrix varies, and the
+        // scheduled death must actually fire inside the probe.
+        let a = availability_churn_probe();
+        let b = pgas_machine::with_forced_checksums(false, || {
+            pgas_machine::with_forced_aggregation(false, availability_churn_probe)
+        });
+        assert_eq!(a.digest(), b.digest(), "churn probe digest must be bit-identical");
+        assert_eq!(a.platform, "titan");
+        assert_eq!(a.metrics.stats.pe_failures, 1, "the scheduled failure is in the anchor");
     }
 
     #[test]

@@ -137,6 +137,12 @@ pub enum ConduitError {
     /// The operation kept hitting transient faults and ran out of retry
     /// attempts (see [`pgas_machine::RetryPolicy`]).
     RetriesExhausted { op: &'static str, target: PeId, attempts: u32 },
+    /// Every delivery attempt arrived with a payload whose end-to-end CRC32
+    /// failed verification (injected `FaultKind::Corrupt` under
+    /// `PGAS_CHECKSUM`). Without checksums the same draws surface as
+    /// [`ConduitError::RetriesExhausted`] — the typed variant is exactly
+    /// what end-to-end verification buys.
+    PayloadCorrupt { op: &'static str, target: PeId, attempts: u32 },
 }
 
 impl std::fmt::Display for ConduitError {
@@ -147,6 +153,12 @@ impl std::fmt::Display for ConduitError {
             }
             ConduitError::RetriesExhausted { op, target, attempts } => {
                 write!(f, "{op} to PE {target} gave up after {attempts} attempts")
+            }
+            ConduitError::PayloadCorrupt { op, target, attempts } => {
+                write!(
+                    f,
+                    "{op} to PE {target} failed CRC32 verification on all {attempts} attempts"
+                )
             }
         }
     }
@@ -166,7 +178,8 @@ fn unwrap_infallible<T>(r: Result<T, ConduitError>) -> T {
 }
 
 /// Per-PE one-sided communication engine. Not `Sync`: each PE thread owns
-/// exactly one.
+/// exactly one (plus any sibling contexts it creates — see
+/// [`Ctx::create_ctx`]).
 pub struct Ctx<'m> {
     pe: Pe<'m>,
     cost: CostModel<'m>,
@@ -177,11 +190,43 @@ pub struct Ctx<'m> {
     /// from the thread override, the options, and the machine default).
     coalescer: Option<RefCell<Coalescer>>,
     /// SPMD-symmetric active-message handler table (see [`crate::am`]).
-    am_handlers: RefCell<Vec<Rc<dyn AmHandler>>>,
+    /// Shared across sibling contexts so a handler registered on the
+    /// primary context is callable from any `shmem_ctx_create`d one.
+    am_handlers: Rc<RefCell<Vec<Rc<dyn AmHandler>>>>,
+    /// This context's NIC channel id (0 = the primary/default context).
+    /// Carried into every arbiter turn so tied turns from *different
+    /// contexts of the same PE* stay distinguishable and deterministic.
+    ctx_id: u32,
+    /// Next sibling id, shared across all contexts of this PE.
+    next_ctx: Rc<Cell<u32>>,
+    /// Team scope ops are attributed to (0 = world); set by `change team`.
+    team_scope: Cell<u32>,
+    /// Effective team of the op currently inside `submit` (attribution for
+    /// `record_op`/`flag_hazard`, which sit below the descriptor).
+    active_team: Cell<u32>,
+    /// Errors detected after their op already returned a staged receipt —
+    /// a coalesced put whose target died before the flush lands here and
+    /// surfaces at the next [`Ctx::try_quiet`].
+    deferred: RefCell<Vec<ConduitError>>,
+    /// End-to-end payload checksums (resolved once from the machine).
+    checksums: bool,
+    /// CRC32 the op currently inside `submit` carried (verified at apply).
+    inflight_crc: Cell<Option<u32>>,
 }
 
 impl<'m> Ctx<'m> {
     pub fn new(pe: Pe<'m>, profile: ConduitProfile, opts: CtxOptions) -> Self {
+        Self::build(pe, profile, opts, 0, Rc::new(Cell::new(1)), Rc::new(RefCell::new(Vec::new())))
+    }
+
+    fn build(
+        pe: Pe<'m>,
+        profile: ConduitProfile,
+        opts: CtxOptions,
+        ctx_id: u32,
+        next_ctx: Rc<Cell<u32>>,
+        am_handlers: Rc<RefCell<Vec<Rc<dyn AmHandler>>>>,
+    ) -> Self {
         let m = pe.machine();
         // Resolution precedence mirrors the tracing/metrics switches: a
         // `with_forced_aggregation` thread override beats the explicit
@@ -201,8 +246,61 @@ impl<'m> Ctx<'m> {
             opts,
             hazards: Cell::new(0),
             coalescer: cfg.map(|c| RefCell::new(Coalescer::new(c))),
-            am_handlers: RefCell::new(Vec::new()),
+            am_handlers,
+            ctx_id,
+            next_ctx,
+            team_scope: Cell::new(0),
+            active_team: Cell::new(0),
+            deferred: RefCell::new(Vec::new()),
+            checksums: m.checksums_enabled(),
+            inflight_crc: Cell::new(None),
         }
+    }
+
+    /// `shmem_ctx_create`: a sibling context on this PE with its own NIC
+    /// channel. The sibling keeps its own completion state (pending set,
+    /// coalescing buffers), so its `quiet`/`fence` scope only the ops
+    /// issued *on it* — the OpenSHMEM contexts contract — while sharing
+    /// the PE's AM handler table and clock. Its arbiter turns park under
+    /// its own channel id, keeping tied turns from different channels of
+    /// one PE deterministic.
+    pub fn create_ctx(&self) -> Ctx<'m> {
+        let id = self.next_ctx.get();
+        self.next_ctx.set(id + 1);
+        let ctx = Self::build(
+            self.pe,
+            *self.cost.profile(),
+            self.opts,
+            id,
+            Rc::clone(&self.next_ctx),
+            Rc::clone(&self.am_handlers),
+        );
+        ctx.team_scope.set(self.team_scope.get());
+        ctx
+    }
+
+    /// This context's NIC channel id (0 = primary).
+    #[inline]
+    pub fn ctx_id(&self) -> u32 {
+        self.ctx_id
+    }
+
+    /// Team ops on this context are attributed to (0 = world).
+    #[inline]
+    pub fn team_scope(&self) -> u32 {
+        self.team_scope.get()
+    }
+
+    /// Scope subsequent ops to `team` for attribution (`change team`);
+    /// returns the previous scope so callers can restore it (`end team`).
+    pub fn set_team_scope(&self, team: u32) -> u32 {
+        self.team_scope.replace(team)
+    }
+
+    /// Errors deferred from staged (coalesced) ops whose target died
+    /// before the flush; drained by [`Ctx::try_quiet`].
+    pub fn deferred_errors(&self) -> usize {
+        self.deferred.borrow().len()
     }
 
     #[inline]
@@ -249,6 +347,10 @@ impl<'m> Ctx<'m> {
         Stats::bump(&m.stats().hazards);
         if m.metrics().enabled() {
             m.metrics().count(self.pe.id(), "hazard", Some(m.node_of(h.dst)), 1);
+            let team = self.active_team.get();
+            if team != 0 {
+                m.metrics().count(self.pe.id(), "team_hazard", Some(team as usize), 1);
+            }
         }
         if m.san_on() {
             // Mirror the hazard into the sanitizer's structured report sink,
@@ -290,6 +392,7 @@ impl<'m> Ctx<'m> {
     ) {
         let m = self.machine();
         let end = self.pe.now();
+        let team = self.active_team.get();
         let tracer = m.tracer();
         if tracer.enabled() {
             let mut s = Span::op(self.pe.id(), kind, begin, end, peer, bytes);
@@ -297,6 +400,7 @@ impl<'m> Ctx<'m> {
             s.service_ns = detail.service_ns;
             s.remote_begin = detail.remote_begin;
             s.remote_end = detail.remote_end;
+            s.team = team;
             tracer.record(s);
         }
         let metrics = m.metrics();
@@ -310,6 +414,13 @@ impl<'m> Ctx<'m> {
             metrics.observe(me, latency_metric(kind), peer_node, end.saturating_sub(begin));
             if detail.queue_ns > 0 {
                 metrics.observe(me, "nic_queue_ns", peer_node, detail.queue_ns);
+            }
+            // Per-team breakdown rides in the counter's second dimension
+            // (team id instead of peer node). Absent entirely when no team
+            // scope is active, so team-free runs keep their exact metric
+            // snapshots.
+            if team != 0 {
+                metrics.count(me, "team_op", Some(team as usize), 1);
             }
         }
     }
@@ -349,6 +460,23 @@ impl<'m> Ctx<'m> {
     ///
     /// [`RetryPolicy`]: pgas_machine::RetryPolicy
     fn fault_gate(&self, op: &'static str, target: PeId) -> Result<(), ConduitError> {
+        self.fault_gate_payload(op, target, None)
+    }
+
+    /// [`Self::fault_gate`] for payload-carrying ops. With end-to-end
+    /// checksums enabled, a `Corrupt` draw is *verified*: the receiver-side
+    /// CRC32 of a deterministically mangled copy of `payload` is checked
+    /// against the sender-side digest, the mismatch is counted as
+    /// `payload_corrupt`, and exhaustion surfaces as the typed
+    /// [`ConduitError::PayloadCorrupt`]. The draw sequence, backoff charges
+    /// and clock movement are bit-identical with checksums off — detection
+    /// changes *what the failure is called*, never what it costs.
+    fn fault_gate_payload(
+        &self,
+        op: &'static str,
+        target: PeId,
+        payload: Option<&[u8]>,
+    ) -> Result<(), ConduitError> {
         let m = self.machine();
         if !m.faults_active() {
             return Ok(());
@@ -364,13 +492,35 @@ impl<'m> Ctx<'m> {
                 return Ok(());
             };
             Stats::bump(&stats.faults_injected);
+            // A corruption draw on a checksummed payload is *detected* by
+            // verification rather than assumed from link-level feedback:
+            // mangle a copy the way the wire would and catch the CRC
+            // mismatch. Charges nothing — CRC time is below the simulator's
+            // resolution — and draws nothing, so digests don't move.
+            let mut verified_corrupt = false;
+            let mut label = kind.label();
+            if kind == pgas_machine::FaultKind::Corrupt && self.checksums {
+                if let Some(data) = payload.filter(|d| !d.is_empty()) {
+                    let expect =
+                        self.inflight_crc.get().unwrap_or_else(|| crate::integrity::crc32(data));
+                    let mut wire = data.to_vec();
+                    let flip = (attempt as usize - 1) % wire.len();
+                    wire[flip] ^= 0xFF;
+                    debug_assert_ne!(crate::integrity::crc32(&wire), expect);
+                    if crate::integrity::crc32(&wire) != expect {
+                        Stats::bump(&stats.payload_corrupt);
+                        verified_corrupt = true;
+                        label = "payload-corrupt";
+                    }
+                }
+            }
             let begin = self.pe.now();
             let delay = m.fault_backoff_ns(me, attempt);
             stats.record_fault(FaultEvent {
                 pe: me,
                 op,
                 target,
-                kind: kind.label(),
+                kind: label,
                 attempt,
                 delay_ns: delay,
                 at_ns: begin,
@@ -390,7 +540,11 @@ impl<'m> Ctx<'m> {
                     delay_ns: 0,
                     at_ns: self.pe.now(),
                 });
-                return Err(ConduitError::RetriesExhausted { op, target, attempts: max });
+                return Err(if verified_corrupt {
+                    ConduitError::PayloadCorrupt { op, target, attempts: max }
+                } else {
+                    ConduitError::RetriesExhausted { op, target, attempts: max }
+                });
             }
             Stats::bump(&stats.retries);
             if m.pe_failed(target) {
@@ -398,6 +552,27 @@ impl<'m> Ctx<'m> {
             }
         }
         Ok(())
+    }
+
+    /// Receive-side half of end-to-end verification: with checksums on,
+    /// read the just-applied range back from the target heap and check its
+    /// CRC32 against the payload's. Runs inside the target's apply section
+    /// (no concurrent applies can interleave) and charges no virtual time.
+    /// A mismatch here would mean the *simulator* corrupted data in flight
+    /// — injected corruption never reaches this point, the gate catches
+    /// and retries it — so it is a hard failure, not a typed error.
+    fn verify_applied(&self, dst: PeId, off: usize, data: &[u8]) {
+        if !self.checksums || data.is_empty() {
+            return;
+        }
+        let mut back = vec![0u8; data.len()];
+        self.machine().heap(dst).read_bytes(off, &mut back);
+        assert_eq!(
+            crate::integrity::crc32(&back),
+            crate::integrity::crc32(data),
+            "end-to-end CRC32 mismatch applying {} bytes at PE {dst} offset {off}",
+            data.len()
+        );
     }
 
     // ---- the submit choke point ------------------------------------------
@@ -410,7 +585,20 @@ impl<'m> Ctx<'m> {
     /// kind first flushes that node's buffer (program order per node, and
     /// read-your-writes, are preserved exactly) and then runs directly.
     pub fn submit(&self, op: OpDesc<'_>) -> Result<OpReceipt, ConduitError> {
-        let OpDesc { peer, completion, kind } = op;
+        let OpDesc { peer, completion, kind, team, checksum } = op;
+        // Attribution context for everything below the descriptor: an
+        // explicit per-op team beats the context's scope. Nested submits
+        // (strided loops) re-enter with team 0 and inherit the scope, so
+        // the attribution stays stable across decomposition.
+        self.active_team.set(if team != 0 { team } else { self.team_scope.get() });
+        // End-to-end checksum over the outbound payload, computed (or
+        // carried in) at submit and verified where the bytes are applied.
+        // Charges no virtual time, so enabling checksums moves no digest.
+        self.inflight_crc.set(if self.checksums {
+            checksum.or_else(|| kind.payload().map(crate::integrity::crc32))
+        } else {
+            None
+        });
         if let Some(c) = &self.coalescer {
             match &kind {
                 OpKind::Put { dst_off, src }
@@ -464,7 +652,7 @@ impl<'m> Ctx<'m> {
     fn stage_put(&self, dst: PeId, dst_off: usize, src: &[u8]) -> Result<OpReceipt, ConduitError> {
         let m = self.machine();
         // Faults are drawn at stage time (see `fault_gate`).
-        self.fault_gate("put", dst)?;
+        self.fault_gate_payload("put", dst, Some(src))?;
         let node = m.node_of(dst);
         let c = self.coalescer.as_ref().expect("stage_put called without a coalescer");
         // A same-range rewrite merges in place (write combining), growing
@@ -551,9 +739,39 @@ impl<'m> Ctx<'m> {
     /// Send one staged buffer as a single wire transfer (payload plus one
     /// AM header per op) and apply its ops FIFO at the target under the
     /// NIC arbiter, exactly at the transfer's remote completion.
+    ///
+    /// Staged ops whose target PE died after they were staged never reach
+    /// the wire: they are dropped from the batch here and surface as
+    /// [`ConduitError::TargetFailed`] at the next [`Ctx::try_quiet`] —
+    /// staging returned success, so the error has to ride the completion
+    /// path, exactly like an nbi put's would. The liveness test is the
+    /// *scheduled deadline* against this PE's clock, not the racy failure
+    /// flag, so which ops die is a pure function of the plan and the
+    /// issuing PE's virtual time.
     fn flush_buf(&self, buf: NodeBuf) {
         let m = self.machine();
         let me = self.pe.id();
+        let mut buf = buf;
+        if m.faults_active() {
+            let now = self.pe.now();
+            let mut deferred = self.deferred.borrow_mut();
+            buf.ops.retain(|o| {
+                if m.pe_dead_at(o.dst, now) {
+                    let op = match &o.payload {
+                        StagedPayload::Put(_) => "put",
+                        StagedPayload::Amo(_) => "amo",
+                    };
+                    deferred.push(ConduitError::TargetFailed { op, target: o.dst });
+                    false
+                } else {
+                    true
+                }
+            });
+            if buf.ops.is_empty() {
+                return; // the whole batch targeted dead PEs
+            }
+            buf.total_bytes = buf.ops.iter().map(|o| o.write_range().1).sum();
+        }
         let nops = buf.ops.len();
         let wire_bytes = buf.total_bytes + AM_HEADER_BYTES * nops;
         let rep_dst = buf.ops[0].dst;
@@ -577,11 +795,12 @@ impl<'m> Ctx<'m> {
         // Apply under the arbiter, keyed at the instant the batch lands:
         // tied flushes from different PEs (released by the same barrier)
         // apply in deterministic order, like tied AMOs.
-        m.nic_turn(me, t.remote_complete, || {
+        m.nic_turn_ctx(me, self.ctx_id, t.remote_complete, || {
             for op in &buf.ops {
                 m.apply_and_notify(op.dst, || match &op.payload {
                     StagedPayload::Put(data) => {
                         m.heap(op.dst).write_bytes(op.off, data);
+                        self.verify_applied(op.dst, op.off, data);
                         m.heap(op.dst).stamp_range(op.off, data.len(), t.remote_complete);
                         m.san_record_write(
                             op.dst,
@@ -633,7 +852,7 @@ impl<'m> Ctx<'m> {
         if !self.fastpath(dst) {
             // Direct loads/stores cannot be dropped; only the message path
             // passes the gate.
-            self.fault_gate("put", dst)?;
+            self.fault_gate_payload("put", dst, Some(src))?;
         }
         let t_begin = self.pe.now();
         Stats::bump(&m.stats().puts);
@@ -670,6 +889,7 @@ impl<'m> Ctx<'m> {
         // under the arbiter.
         m.apply_and_notify(dst, || {
             m.heap(dst).write_bytes(dst_off, src);
+            self.verify_applied(dst, dst_off, src);
             m.heap(dst).stamp_range(dst_off, src.len(), t.remote_complete);
             m.san_record_write(
                 dst,
@@ -771,24 +991,33 @@ impl<'m> Ctx<'m> {
         // lane, so this is their only arbiter turn. Causality: a fetched
         // value cannot be observed before the write that produced it
         // completed, hence the stamp read inside the same turn.
-        let (old, prior_stamp) = m.nic_turn(self.pe.id(), t.remote_complete, || {
-            // `apply_and_notify` makes the word update, its stamp, and the
-            // waiter wake-up one critical section — a `wait_on` waiter can
-            // only observe this AMO after its quiescence was withdrawn,
-            // keeping the arbiter's view of the waiter conclusive.
-            m.apply_and_notify(dst, || {
-                let prior_stamp = m.heap(dst).max_stamp(off, 8);
-                let old = amo_word(m.heap(dst).atomic64(off), op);
-                m.heap(dst).stamp_range(off, 8, t.remote_complete);
-                if !matches!(op, AmoOp::Fetch) {
-                    // Record before waking: a waiter released by this AMO
-                    // derives its happens-before edge from the sanitizer's
-                    // view of this write.
-                    m.san_record_write(dst, off, 8, self.pe.id(), t.remote_complete, true, "amo");
-                }
-                (old, prior_stamp)
-            })
-        });
+        let (old, prior_stamp) =
+            m.nic_turn_ctx(self.pe.id(), self.ctx_id, t.remote_complete, || {
+                // `apply_and_notify` makes the word update, its stamp, and the
+                // waiter wake-up one critical section — a `wait_on` waiter can
+                // only observe this AMO after its quiescence was withdrawn,
+                // keeping the arbiter's view of the waiter conclusive.
+                m.apply_and_notify(dst, || {
+                    let prior_stamp = m.heap(dst).max_stamp(off, 8);
+                    let old = amo_word(m.heap(dst).atomic64(off), op);
+                    m.heap(dst).stamp_range(off, 8, t.remote_complete);
+                    if !matches!(op, AmoOp::Fetch) {
+                        // Record before waking: a waiter released by this AMO
+                        // derives its happens-before edge from the sanitizer's
+                        // view of this write.
+                        m.san_record_write(
+                            dst,
+                            off,
+                            8,
+                            self.pe.id(),
+                            t.remote_complete,
+                            true,
+                            "amo",
+                        );
+                    }
+                    (old, prior_stamp)
+                })
+            });
         if op.is_fetching() {
             m.lift_clock(self.pe.id(), t.local_complete.max(prior_stamp));
         } else {
@@ -832,7 +1061,7 @@ impl<'m> Ctx<'m> {
             return Ok(nelems * elem);
         }
         let m = self.machine();
-        self.fault_gate("iput", dst)?;
+        self.fault_gate_payload("iput", dst, Some(src))?;
         Stats::bump(&m.stats().puts);
         Stats::add(&m.stats().bytes_put, (nelems * elem) as u64);
         let floor = self.pending.borrow().floor_for(dst);
@@ -928,7 +1157,7 @@ impl<'m> Ctx<'m> {
             return Ok(0);
         }
         let m = self.machine();
-        self.fault_gate("am put", dst)?;
+        self.fault_gate_payload("am put", dst, Some(src))?;
         Stats::bump(&m.stats().puts);
         Stats::add(&m.stats().bytes_put, (nelems * elem) as u64);
         let floor = self.pending.borrow().floor_for(dst);
@@ -971,7 +1200,7 @@ impl<'m> Ctx<'m> {
         }
         let total: usize = regions.iter().map(|r| r.1).sum();
         let m = self.machine();
-        self.fault_gate("am put", dst)?;
+        self.fault_gate_payload("am put", dst, Some(payload))?;
         Stats::bump(&m.stats().puts);
         Stats::add(&m.stats().bytes_put, total as u64);
         let lo = regions.iter().map(|r| r.0).min().unwrap_or(0);
@@ -1055,7 +1284,7 @@ impl<'m> Ctx<'m> {
             .get(handler.0)
             .cloned()
             .expect("active-message handler not registered on this context");
-        self.fault_gate("am", dst)?;
+        self.fault_gate_payload("am", dst, Some(arg))?;
         let t_begin = self.pe.now();
         Stats::bump(&m.stats().ams);
         let floor = self.pending.borrow().floor_for(dst);
@@ -1069,13 +1298,23 @@ impl<'m> Ctx<'m> {
             floor,
             Some(&mut detail),
         );
+        // A target that dies before the handler would run can never execute
+        // it, ack it, or reply — without a timeout an `am_call` would block
+        // forever. The test is the scheduled deadline against the virtual
+        // instant the handler *would* execute, a pure function of the plan
+        // and this PE's clock, so detection is deterministic under any
+        // worker count. The sender pays the full retry chain of reply
+        // timeouts before concluding the target is gone.
+        if m.pe_dead_at(dst, t.executed) {
+            return Err(self.am_reply_timeout(dst));
+        }
         let mut target = AmTarget::new(m, dst);
         let mut reply = None;
         // Execute under the arbiter at the instant the handler's effects
         // land, inside the target's critical section: tied AMs apply in
         // deterministic order and waiters wake in the same atomic step —
         // the discipline remote atomics use.
-        m.nic_turn(self.pe.id(), t.executed, || {
+        m.nic_turn_ctx(self.pe.id(), self.ctx_id, t.executed, || {
             m.apply_and_notify(dst, || {
                 reply = h.execute(&mut target, arg);
                 for &(off, len) in &target.writes {
@@ -1121,6 +1360,39 @@ impl<'m> Ctx<'m> {
         }
         self.record_op(SpanKind::Amo, t_begin, Some(dst), AM_HEADER_BYTES + arg.len(), detail);
         Ok(arg.len())
+    }
+
+    /// Charge the retry chain of reply timeouts for an active message whose
+    /// target died before execution, then surface the loss. Each attempt
+    /// costs the same detection timeout + backoff a dropped message would;
+    /// exhaustion is what finally lets the sender conclude `TargetFailed`
+    /// instead of blocking forever on a reply that cannot come.
+    fn am_reply_timeout(&self, dst: PeId) -> ConduitError {
+        let m = self.machine();
+        let me = self.pe.id();
+        let stats = m.stats();
+        let max = m.fault_plan().map_or(1, |p| p.retry.max_attempts);
+        for attempt in 1..=max {
+            let begin = self.pe.now();
+            let delay = m.fault_backoff_ns(me, attempt);
+            stats.record_fault(FaultEvent {
+                pe: me,
+                op: "am",
+                target: dst,
+                kind: "reply-timeout",
+                attempt,
+                delay_ns: delay,
+                at_ns: begin,
+            });
+            self.pe.advance(delay as f64);
+            self.trace(SpanKind::Retry, begin, Some(dst), 0);
+            if attempt == max {
+                Stats::bump(&stats.retries_exhausted);
+            } else {
+                Stats::bump(&stats.retries);
+            }
+        }
+        ConduitError::TargetFailed { op: "am", target: dst }
     }
 
     // ---- active-message registration & entry points ----------------------
@@ -1379,7 +1651,7 @@ impl<'m> Ctx<'m> {
         let occ = self.cost.control_msg_occupancy_ns().round() as u64;
         let nic = m.nic(m.node_of(dst));
         let now = self.pe.now();
-        m.nic_turn(self.pe.id(), now, || {
+        m.nic_turn_ctx(self.pe.id(), self.ctx_id, now, || {
             for _ in 0..polls {
                 nic.reserve_rx(now, occ, 8);
             }
@@ -1424,8 +1696,19 @@ impl<'m> Ctx<'m> {
 
     /// `shmem_quiet`: block until all outstanding remote writes by this PE
     /// are globally visible. Flushes every coalescing buffer first — staged
-    /// ops are outstanding writes too.
+    /// ops are outstanding writes too. Panics if the flush discovered a
+    /// staged op whose target died; use [`Self::try_quiet`] to handle that.
     pub fn quiet(&self) {
+        unwrap_infallible(self.try_quiet());
+    }
+
+    /// Fallible [`Self::quiet`]: completes everything completable, then
+    /// surfaces the first error deferred by a coalesced flush — a staged
+    /// put or AMO whose target PE died between staging and the flush.
+    /// Staging reported success, so the loss must ride the completion path
+    /// (this is how `STAT_FAILED_IMAGE` reaches a CAF `sync` statement for
+    /// writes the runtime had already buffered).
+    pub fn try_quiet(&self) -> Result<(), ConduitError> {
         self.flush_staged();
         let m = self.machine();
         let t_begin = self.pe.now();
@@ -1443,6 +1726,19 @@ impl<'m> Ctx<'m> {
             0,
             FlowDetail { remote_end: t, ..FlowDetail::default() },
         );
+        self.take_deferred()
+    }
+
+    /// Drain the deferred-error queue: first error wins, the rest (all
+    /// symptoms of the same failure epoch) are dropped with it.
+    fn take_deferred(&self) -> Result<(), ConduitError> {
+        let mut d = self.deferred.borrow_mut();
+        if d.is_empty() {
+            return Ok(());
+        }
+        let first = d[0];
+        d.clear();
+        Err(first)
     }
 
     /// `shmem_fence`: order deliveries per target without waiting. Staged
@@ -1465,22 +1761,42 @@ impl<'m> Ctx<'m> {
 
     // ---- barriers ---------------------------------------------------------
 
-    /// Full-job barrier (`shmem_barrier_all`): implies quiet.
+    /// Full-job barrier (`shmem_barrier_all`): implies quiet. Panics on a
+    /// deferred staged-op error; use [`Self::try_barrier_all`] under fault
+    /// plans with PE failures.
     pub fn barrier_all(&self) {
-        self.quiet();
+        unwrap_infallible(self.try_barrier_all());
+    }
+
+    /// Fallible [`Self::barrier_all`]. The barrier itself always happens —
+    /// peers must not hang because *this* PE had a dead-target write — and
+    /// any deferred error surfaces after it.
+    pub fn try_barrier_all(&self) -> Result<(), ConduitError> {
+        let quiet = self.try_quiet();
         let t_begin = self.pe.now();
         let cost = self.cost.barrier_ns(self.pe.n());
         self.machine().barrier_all(self.pe.id(), cost);
         self.trace(SpanKind::Barrier, t_begin, None, 0);
+        quiet
     }
 
-    /// Barrier over a sorted subset of PEs containing this PE. Implies quiet.
+    /// Barrier over a sorted subset of PEs containing this PE. Implies
+    /// quiet. Panics on a deferred staged-op error; use
+    /// [`Self::try_barrier_group`] under fault plans with PE failures.
     pub fn barrier_group(&self, group: &[PeId]) {
-        self.quiet();
+        unwrap_infallible(self.try_barrier_group(group));
+    }
+
+    /// Fallible [`Self::barrier_group`] — the synchronization a re-formed
+    /// team runs on (survivors barrier among themselves while deferred
+    /// errors about the dead PE surface without being lost).
+    pub fn try_barrier_group(&self, group: &[PeId]) -> Result<(), ConduitError> {
+        let quiet = self.try_quiet();
         let t_begin = self.pe.now();
         let cost = self.cost.barrier_ns(group.len());
         self.machine().barrier_group(self.pe.id(), group, cost);
         self.trace(SpanKind::Barrier, t_begin, None, 0);
+        quiet
     }
 }
 
@@ -1967,6 +2283,120 @@ mod tests {
         assert_eq!(amo, Some(ConduitError::TargetFailed { op: "amo", target: 2 }));
         assert_eq!(out.failed_pes, vec![2]);
         assert_eq!(out.stats.pe_failures, 1);
+    }
+
+    #[test]
+    fn coalesced_staged_ops_to_a_dying_target_surface_at_quiet() {
+        use pgas_machine::FaultPlan;
+        let plan = FaultPlan::new(3).with_pe_failure(2, 1_000);
+        let out = run(two_node_cfg().with_faults(plan), |pe| {
+            let ctx = coalescing_ctx(pe);
+            if pe.id() == 2 {
+                pe.advance(2_000.0); // crosses the scheduled deadline
+                (Ok(()), 0, 0)
+            } else if pe.id() == 0 {
+                // Staging succeeds while the target is still alive...
+                ctx.put(2, 0, &[1u8; 8]);
+                ctx.put(2, 64, &[2u8; 8]);
+                let staged = ctx.outstanding_puts();
+                assert_eq!(staged, 2, "both puts staged without error");
+                // ...but the deadline passes before the flush, so the batch
+                // never reaches the wire and the loss surfaces at quiet.
+                pe.advance(2_000.0);
+                (ctx.try_quiet(), staged, ctx.deferred_errors())
+            } else {
+                (Ok(()), 0, 0)
+            }
+        });
+        let (quiet, _, left) = out.results[0];
+        assert_eq!(quiet, Err(ConduitError::TargetFailed { op: "put", target: 2 }));
+        assert_eq!(left, 0, "try_quiet drains every deferred error");
+        assert_eq!(out.stats.pe_failures, 1);
+    }
+
+    #[test]
+    fn injected_corruption_is_detected_and_retried_end_to_end() {
+        use pgas_machine::FaultPlan;
+        // Generous retry budget: every corrupted delivery is caught by the
+        // end-to-end CRC and resent until a clean copy lands.
+        let plan = FaultPlan::new(9).with_corrupt_prob(0.3);
+        let out = pgas_machine::with_forced_checksums(true, || {
+            run(two_node_cfg().with_faults(plan), |pe| {
+                let ctx = shmem_ctx(pe);
+                if pe.id() == 0 {
+                    for i in 0..64usize {
+                        ctx.put(2, i * 8, &(i as u64).to_le_bytes());
+                    }
+                    ctx.quiet();
+                }
+                ctx.barrier_all();
+                let mut buf = [0u8; 8];
+                ctx.get(2, 63 * 8, &mut buf);
+                u64::from_le_bytes(buf)
+            })
+        });
+        for r in &out.results {
+            assert_eq!(*r, 63, "corrupted deliveries retried to a clean copy");
+        }
+        assert!(out.stats.payload_corrupt > 0, "the CRC caught corruption: {:?}", out.stats);
+        assert_eq!(out.stats.retries_exhausted, 0);
+    }
+
+    #[test]
+    fn corruption_with_an_exhausted_budget_is_the_typed_error() {
+        use pgas_machine::{FaultPlan, RetryPolicy};
+        let plan = FaultPlan::new(9)
+            .with_corrupt_prob(0.9)
+            .with_retry(RetryPolicy { max_attempts: 1, ..Default::default() });
+        let out = pgas_machine::with_forced_checksums(true, || {
+            run(two_node_cfg().with_faults(plan), |pe| {
+                let ctx = shmem_ctx(pe);
+                if pe.id() == 0 {
+                    (0..50).find_map(|_| ctx.try_put(2, 0, &[1u8; 8]).err())
+                } else {
+                    None
+                }
+            })
+        });
+        let err = out.results[0].expect("90% corruption with 1 attempt must exhaust");
+        assert_eq!(err, ConduitError::PayloadCorrupt { op: "put", target: 2, attempts: 1 });
+    }
+
+    #[test]
+    fn am_call_to_a_dying_target_times_out_instead_of_blocking() {
+        use pgas_machine::{FaultPlan, RetryPolicy};
+        let plan = FaultPlan::new(5)
+            .with_pe_failure(2, 1_000)
+            .with_retry(RetryPolicy { max_attempts: 3, ..Default::default() });
+        let out = run(two_node_cfg().with_faults(plan), |pe| {
+            let ctx = shmem_ctx(pe);
+            let add = ctx.register_am(Rc::new(AddAm));
+            ctx.barrier_all();
+            if pe.id() == 2 {
+                pe.advance(2_000.0); // crosses the scheduled deadline
+                None
+            } else if pe.id() == 0 {
+                // Issue just before the target's deadline: the request is
+                // accepted, but the handler's virtual execution instant
+                // falls after the death, so no reply can ever come. The
+                // sender must pay the reply-timeout retry chain and then
+                // surface the loss — not block forever.
+                pe.advance(990.0);
+                let t0 = pe.now();
+                let err = ctx.try_am_call(2, add, &5u64.to_le_bytes()).err();
+                Some((err, pe.now() - t0))
+            } else {
+                None
+            }
+        });
+        let (err, waited) = out.results[0].unwrap();
+        assert_eq!(err, Some(ConduitError::TargetFailed { op: "am", target: 2 }));
+        assert!(waited > 0, "the sender paid the reply-timeout retry chain");
+        assert!(
+            out.fault_events.iter().any(|e| e.kind == "reply-timeout"),
+            "timeouts are recorded fault events: {:?}",
+            out.fault_events
+        );
     }
 
     #[test]

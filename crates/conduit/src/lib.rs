@@ -32,6 +32,7 @@ pub mod am;
 pub mod coalesce;
 pub mod cost;
 pub mod ctx;
+pub mod integrity;
 pub mod op;
 pub mod pending;
 pub mod profile;
@@ -40,6 +41,7 @@ pub use am::{AmHandler, AmHandlerId, AmTarget};
 pub use coalesce::{CoalescePolicy, CoalescingConfig};
 pub use cost::{CostModel, AM_HEADER_BYTES};
 pub use ctx::{ConduitError, Ctx, CtxOptions};
+pub use integrity::{crc32, Crc32};
 pub use op::{Completion, OpDesc, OpKind, OpReceipt};
 pub use pending::{Hazard, HazardKind};
 pub use profile::{AmoSupport, ConduitKind, ConduitProfile, StridedSupport};

@@ -93,6 +93,21 @@ impl OpKind<'_> {
             OpKind::AmSend { .. } | OpKind::AmCall { .. } => "am",
         }
     }
+
+    /// The contiguous outbound payload this op carries, if any — the bytes
+    /// an end-to-end checksum covers. Gets carry no outbound payload;
+    /// strided puts cover their (packed) source slice.
+    pub fn payload(&self) -> Option<&[u8]> {
+        match self {
+            OpKind::Put { src, .. }
+            | OpKind::StridedPut { src, .. }
+            | OpKind::AmStridedPut { src, .. } => Some(src),
+            OpKind::AmPutRegions { payload, .. } => Some(payload),
+            OpKind::AmSend { arg, .. } | OpKind::AmCall { arg, .. } => Some(arg),
+            OpKind::Get { .. } | OpKind::StridedGet { .. } | OpKind::AmGetRegions { .. } => None,
+            OpKind::Amo { .. } => None,
+        }
+    }
 }
 
 /// One operation: what, to whom, and with which completion semantics.
@@ -100,17 +115,39 @@ pub struct OpDesc<'a> {
     pub peer: PeId,
     pub completion: Completion,
     pub kind: OpKind<'a>,
+    /// Team the operation is attributed to (0 = world / no team). Defaults
+    /// to the issuing context's team scope; an explicit value here wins.
+    /// Carried so the sanitizer, metrics, and flow tracing can break ops
+    /// down per team without threading a team handle through every shim.
+    pub team: u32,
+    /// End-to-end CRC32 over the payload, verified when the bytes are
+    /// applied at the target. `None` means "compute at submit when the
+    /// machine runs with checksums enabled"; ops without a payload keep
+    /// `None` throughout.
+    pub checksum: Option<u32>,
 }
 
 impl<'a> OpDesc<'a> {
     /// Blocking-completion descriptor (the common case).
     pub fn new(peer: PeId, kind: OpKind<'a>) -> Self {
-        OpDesc { peer, completion: Completion::Blocking, kind }
+        OpDesc { peer, completion: Completion::Blocking, kind, team: 0, checksum: None }
     }
 
     /// Issue-only completion (`shmem_*_nbi`).
     pub fn nbi(mut self) -> Self {
         self.completion = Completion::Nbi;
+        self
+    }
+
+    /// Attribute this operation to `team` (overriding the context's scope).
+    pub fn on_team(mut self, team: u32) -> Self {
+        self.team = team;
+        self
+    }
+
+    /// Carry a precomputed payload CRC32 instead of computing at submit.
+    pub fn with_checksum(mut self, crc: u32) -> Self {
+        self.checksum = Some(crc);
         self
     }
 }

@@ -115,14 +115,14 @@ impl<T: Scalar> Coarray<T> {
     pub fn put_to_stat(&self, img: &Image<'_>, image: ImageId, data: &[T]) -> Result<(), CafStat> {
         assert!(data.len() <= self.len());
         img.shmem().try_put(self.ptr, data, img.pe_of(image))?;
-        img.statement_quiet();
+        img.try_statement_quiet()?;
         Ok(())
     }
 
     /// `data = a(:)[image] (stat=s)`: fallible contiguous get.
     pub fn get_from_stat(&self, img: &Image<'_>, image: ImageId) -> Result<Vec<T>, CafStat> {
         let mut out = vec![zero::<T>(); self.len()];
-        img.statement_quiet();
+        img.try_statement_quiet()?;
         img.shmem().try_get(self.ptr, &mut out, img.pe_of(image))?;
         Ok(out)
     }
@@ -136,7 +136,7 @@ impl<T: Scalar> Coarray<T> {
         v: T,
     ) -> Result<(), CafStat> {
         img.shmem().try_put(self.ptr.at(self.linear(idx)), &[v], img.pe_of(image))?;
-        img.statement_quiet();
+        img.try_statement_quiet()?;
         Ok(())
     }
 
@@ -148,7 +148,7 @@ impl<T: Scalar> Coarray<T> {
         idx: &[usize],
     ) -> Result<T, CafStat> {
         let mut out = [zero::<T>()];
-        img.statement_quiet();
+        img.try_statement_quiet()?;
         img.shmem().try_get(self.ptr.at(self.linear(idx)), &mut out, img.pe_of(image))?;
         Ok(out[0])
     }

@@ -84,6 +84,12 @@ impl From<ConduitError> for CafStat {
             ConduitError::RetriesExhausted { target, attempts, .. } => {
                 CafStat::CommFailure { image: target + 1, attempts }
             }
+            // End-to-end checksum verification failed on every attempt: the
+            // link is delivering garbage, which Fortran has no finer stat
+            // for than "communication with that image keeps failing".
+            ConduitError::PayloadCorrupt { target, attempts, .. } => {
+                CafStat::CommFailure { image: target + 1, attempts }
+            }
         }
     }
 }
@@ -107,6 +113,17 @@ impl<'m> Image<'m> {
     /// half of the failure model.
     pub fn this_image_failed(&self) -> bool {
         self.machine().pe_failed(self.this_image() - 1)
+    }
+
+    /// Deterministic liveness probe: has `image`'s *scheduled* failure
+    /// deadline passed by this image's own virtual clock? Unlike
+    /// [`Self::image_failed`] — which reads a flag another OS thread flips
+    /// and therefore races real time — this is a pure function of the fault
+    /// plan and the caller's clock, the same predicate the conduit's
+    /// dead-target gates use. Resilient kernels that branch on it make
+    /// bit-identical decisions under any worker count.
+    pub fn image_dead_by_now(&self, image: ImageId) -> bool {
+        self.machine().pe_dead_at(self.pe_of(image), self.shmem().ctx().pe().now())
     }
 
     /// STAT_FAILED_IMAGE for the lowest-numbered failed image, if any.

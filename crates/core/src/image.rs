@@ -3,6 +3,7 @@
 //! sync-images counters, the held-locks table).
 
 use crate::config::CafConfig;
+use crate::failure::CafStat;
 use openshmem::alloc::{AllocError, SymAlloc};
 use openshmem::data::{Scalar, SymPtr};
 use openshmem::shmem::{Cmp, Shmem, ShmemConfig};
@@ -157,6 +158,18 @@ impl<'m> Image<'m> {
         if self.cfg.insert_quiet {
             self.shmem.quiet();
         }
+    }
+
+    /// [`Self::statement_quiet`] for the stat-bearing accessors: with
+    /// small-op coalescing a put *stages* successfully and its target may
+    /// die before the flush, so the failure can only surface at the
+    /// statement's completing quiet — as a `stat=`, not a panic.
+    #[inline]
+    pub(crate) fn try_statement_quiet(&self) -> Result<(), CafStat> {
+        if self.cfg.insert_quiet {
+            self.shmem.try_quiet()?;
+        }
+        Ok(())
     }
 
     // ---- image control ------------------------------------------------------

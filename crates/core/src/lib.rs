@@ -65,6 +65,7 @@ pub mod remote_ptr;
 pub mod runtime;
 pub mod section;
 pub mod strided;
+pub mod team;
 
 pub use atomics::AtomicVar;
 pub use coarray::{CoDims, Coarray};
@@ -85,3 +86,4 @@ pub use remote_ptr::RemotePtr;
 pub use runtime::{run_caf, run_caf_result};
 pub use section::{DimRange, Section};
 pub use strided::{adaptive_plan, plan_call_count, Plan};
+pub use team::CafTeam;

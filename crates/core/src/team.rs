@@ -1,0 +1,449 @@
+//! Fortran 2018 teams: `form team`, `change team`, `sync team`, and
+//! team-scoped collectives.
+//!
+//! A [`CafTeam`] is the runtime object behind a `team_type` variable:
+//! the set of images that passed the same team number to [`Image::form_team`],
+//! plus a machine-wide attribution id drawn from the OpenSHMEM layer's team
+//! id space ([`openshmem::Shmem::reserve_team_ids`]). Operations issued
+//! inside [`Image::change_team`] carry that id through every `OpDesc`, so
+//! the sanitizer, metrics, and flow traces break traffic down per team.
+//!
+//! **Failure & re-formation.** Teams are the recovery unit of this runtime:
+//! after a scheduled image failure, the survivors observe the death at an
+//! image-control point (`sync_all_stat` & co.), then call `form_team` again
+//! — dead images are excluded from the member exchange, a spare image can
+//! pass the workers' team number to rejoin in a dead image's place, and the
+//! new team's barriers and collectives run entirely among its live members.
+//! With a fixed plan and seed, membership, team ids, and every team
+//! collective are deterministic.
+
+use crate::failure::CafStat;
+use crate::image::{Image, ImageId};
+use openshmem::data::Scalar;
+
+/// A formed team: the images that supplied the same team number, ascending.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CafTeam {
+    number: i64,
+    id: u32,
+    members: Vec<ImageId>,
+}
+
+impl CafTeam {
+    /// The team number this team was formed with.
+    #[inline]
+    pub fn number(&self) -> i64 {
+        self.number
+    }
+
+    /// The machine-wide attribution id carried by operations issued under
+    /// this team's scope.
+    #[inline]
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Member images (1-based, ascending) as of formation time.
+    #[inline]
+    pub fn members(&self) -> &[ImageId] {
+        &self.members
+    }
+
+    /// `num_images(team)`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Membership test (1-based image index).
+    pub fn contains(&self, image: ImageId) -> bool {
+        self.members.binary_search(&image).is_ok()
+    }
+
+    /// `this_image(team)`: 1-based rank of `image` within the team.
+    pub fn rank_of(&self, image: ImageId) -> Option<usize> {
+        self.members.binary_search(&image).ok().map(|k| k + 1)
+    }
+}
+
+impl<'m> Image<'m> {
+    /// `form team(number, team)`: images passing the same (positive) number
+    /// form a team together. Collective over the *live* images — every
+    /// image that has not failed must call, in the same statement order
+    /// (the member exchange and the id reservation are both symmetric).
+    /// Failed images are excluded from membership; calling again after a
+    /// failure re-forms the team among the survivors, and a previously
+    /// idle image may pass the same number to join in a dead one's place.
+    pub fn form_team(&self, number: i64) -> CafTeam {
+        assert!(number > 0, "team numbers must be positive, got {number}");
+        let m = self.machine();
+        let shmem = self.shmem();
+        let n = self.num_images();
+        let me0 = self.this_image() - 1;
+        // Exchange team numbers through a symmetric slot table: everyone
+        // publishes locally, then reads each live image's slot.
+        let slots = shmem.shmalloc::<i64>(n).expect("form team: scratch allocation failed");
+        shmem.write_local(slots.at(me0), &[number]);
+        self.sync_all();
+        let mut numbers: Vec<Option<i64>> = vec![None; n];
+        numbers[me0] = Some(number);
+        for p in (0..n).filter(|&p| p != me0) {
+            if m.pe_failed(p) {
+                continue;
+            }
+            let mut got = [0i64];
+            // A death racing the exchange surfaces here; the image is
+            // simply not a member (the survivors re-form again if needed).
+            if shmem.try_get(slots.at(p), &mut got, p).is_ok() && !m.pe_failed(p) {
+                numbers[p] = Some(got[0]);
+            }
+        }
+        // Sibling teams minted by this statement share one deterministic id
+        // block: sorted distinct numbers index into it, so every live image
+        // computes the same id for the same number.
+        let mut distinct: Vec<i64> = numbers.iter().flatten().copied().collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let base = shmem.reserve_team_ids(distinct.len() as u32);
+        let idx = distinct.binary_search(&number).expect("own team number present");
+        let members: Vec<ImageId> =
+            (0..n).filter(|&p| numbers[p] == Some(number)).map(|p| p + 1).collect();
+        self.sync_all(); // all reads done before the scratch is recycled
+        shmem.shfree(slots).expect("form team: scratch free");
+        CafTeam { number, id: base + idx as u32, members }
+    }
+
+    /// `change team(team) ... end team`: run `f` scoped to `team`. Entry
+    /// and exit synchronize the team's live members (as the construct's
+    /// implicit `sync team` pair), and every operation `f` issues is
+    /// attributed to the team.
+    pub fn change_team<R>(&self, team: &CafTeam, f: impl FnOnce() -> R) -> R {
+        debug_assert!(
+            team.contains(self.this_image()),
+            "change team on image {} outside the team",
+            self.this_image()
+        );
+        self.sync_team(team);
+        let prev = self.shmem().ctx().set_team_scope(team.id());
+        let r = f();
+        self.shmem().ctx().set_team_scope(prev);
+        self.sync_team(team);
+        r
+    }
+
+    /// `sync team(team)`: barrier over the team's live members, with memory
+    /// completion. Dead members are detached automatically; use
+    /// [`Self::sync_team_stat`] to observe them.
+    pub fn sync_team(&self, team: &CafTeam) {
+        let prev = self.shmem().ctx().set_team_scope(team.id());
+        self.shmem().ctx().barrier_group(&Self::member_pes(team));
+        self.shmem().ctx().set_team_scope(prev);
+    }
+
+    /// `sync team(team, stat=s)`: like [`Self::sync_team`], but deferred
+    /// communication errors (a coalesced put whose target died before the
+    /// flush) and failed members surface as a [`CafStat`] instead of
+    /// hanging or panicking. The barrier itself always completes among the
+    /// survivors, so live members stay in step even on the error path.
+    pub fn sync_team_stat(&self, team: &CafTeam) -> Result<(), CafStat> {
+        if self.this_image_failed() {
+            return Err(CafStat::FailedImage { image: self.this_image() });
+        }
+        let prev = self.shmem().ctx().set_team_scope(team.id());
+        let r = self.shmem().ctx().try_barrier_group(&Self::member_pes(team));
+        self.shmem().ctx().set_team_scope(prev);
+        r.map_err(CafStat::from)?;
+        match team.members().iter().find(|&&img| self.image_failed(img)) {
+            Some(&img) => Err(CafStat::FailedImage { image: img }),
+            None => Ok(()),
+        }
+    }
+
+    /// `co_reduce` scoped to a team: combine `data` element-wise across the
+    /// team's live members; every live member receives the result. Linear
+    /// over the team's lowest live member (teams name arbitrary image
+    /// subsets, which the tree collectives' active sets cannot), with the
+    /// same deterministic combine order on every image. Reports the first
+    /// failed member or communication fault as its stat; the data exchange
+    /// still completes among the survivors.
+    pub fn team_reduce<T: Scalar>(
+        &self,
+        team: &CafTeam,
+        data: &mut [T],
+        op: impl Fn(T, T) -> T + Copy,
+    ) -> Result<(), CafStat> {
+        let m = self.machine();
+        let me0 = self.this_image() - 1;
+        if m.pe_failed(me0) {
+            return Err(CafStat::FailedImage { image: me0 + 1 });
+        }
+        let prev = self.shmem().ctx().set_team_scope(team.id());
+        let r = self.team_reduce_inner(team, data, op);
+        self.shmem().ctx().set_team_scope(prev);
+        r
+    }
+
+    fn team_reduce_inner<T: Scalar>(
+        &self,
+        team: &CafTeam,
+        data: &mut [T],
+        op: impl Fn(T, T) -> T + Copy,
+    ) -> Result<(), CafStat> {
+        let m = self.machine();
+        let shmem = self.shmem();
+        let me0 = self.this_image() - 1;
+        let len = data.len();
+        let n = self.num_images();
+        let live: Vec<usize> =
+            team.members().iter().map(|&img| img - 1).filter(|&p| !m.pe_failed(p)).collect();
+        let root = live[0];
+        let mut stat: Option<CafStat> = None;
+        // One slot per image (global indexing keeps the layout independent
+        // of the survivor set); slot 0 doubles as the result slot.
+        let slots =
+            shmem.shmalloc::<T>((n * len).max(1)).expect("team collective: scratch allocation");
+        let barrier = |live: &[usize]| -> Option<CafStat> {
+            self.shmem().ctx().try_barrier_group(live).err().map(CafStat::from)
+        };
+        stat = stat.or_else(|| barrier(&live));
+        if len > 0 && me0 != root {
+            if let Err(e) = shmem.try_put(slots.slice(me0 * len, len), data, root) {
+                stat.get_or_insert(e.into());
+            }
+            shmem.quiet();
+        }
+        stat = stat.or_else(|| barrier(&live)); // contributions landed
+        if me0 == root && len > 0 {
+            let mut acc = data.to_vec();
+            let mut part = data.to_vec();
+            for &p in live.iter().filter(|&&p| p != root) {
+                shmem.read_local(slots.slice(p * len, len), &mut part);
+                for (a, &b) in acc.iter_mut().zip(part.iter()) {
+                    *a = op(*a, b);
+                }
+            }
+            for &p in live.iter().filter(|&&p| p != root) {
+                if let Err(e) = shmem.try_put(slots.slice(0, len), &acc, p) {
+                    stat.get_or_insert(e.into());
+                }
+            }
+            shmem.quiet();
+            data.copy_from_slice(&acc);
+        }
+        stat = stat.or_else(|| barrier(&live)); // result delivered
+        if len > 0 && me0 != root {
+            shmem.read_local(slots.slice(0, len), data);
+        }
+        stat = stat.or_else(|| barrier(&live)); // reads done before recycling
+        shmem.shfree(slots).expect("team collective: scratch free");
+        match stat.or_else(|| {
+            team.members()
+                .iter()
+                .find(|&&img| self.image_failed(img))
+                .map(|&img| CafStat::FailedImage { image: img })
+        }) {
+            Some(s) => Err(s),
+            None => Ok(()),
+        }
+    }
+
+    /// `co_sum` scoped to a team.
+    pub fn team_sum<T: Scalar + std::ops::Add<Output = T>>(
+        &self,
+        team: &CafTeam,
+        data: &mut [T],
+    ) -> Result<(), CafStat> {
+        self.team_reduce(team, data, |a, b| a + b)
+    }
+
+    /// `co_broadcast` scoped to a team: replicate `data` from the member
+    /// with team rank `source_rank` (1-based, counting dead members — ranks
+    /// are stable across failures) to every live member.
+    pub fn team_broadcast<T: Scalar>(
+        &self,
+        team: &CafTeam,
+        data: &mut [T],
+        source_rank: usize,
+    ) -> Result<(), CafStat> {
+        let m = self.machine();
+        let me0 = self.this_image() - 1;
+        if m.pe_failed(me0) {
+            return Err(CafStat::FailedImage { image: me0 + 1 });
+        }
+        assert!(
+            (1..=team.size()).contains(&source_rank),
+            "source rank {source_rank} outside team of {}",
+            team.size()
+        );
+        let source = team.members()[source_rank - 1];
+        let root = self.pe_of(source);
+        if m.pe_failed(root) {
+            return Err(CafStat::FailedImage { image: source });
+        }
+        let prev = self.shmem().ctx().set_team_scope(team.id());
+        let r = self.team_broadcast_inner(team, data, root);
+        self.shmem().ctx().set_team_scope(prev);
+        r
+    }
+
+    fn team_broadcast_inner<T: Scalar>(
+        &self,
+        team: &CafTeam,
+        data: &mut [T],
+        root: usize,
+    ) -> Result<(), CafStat> {
+        let m = self.machine();
+        let shmem = self.shmem();
+        let me0 = self.this_image() - 1;
+        let len = data.len();
+        let live: Vec<usize> =
+            team.members().iter().map(|&img| img - 1).filter(|&p| !m.pe_failed(p)).collect();
+        let mut stat: Option<CafStat> = None;
+        let slots = shmem.shmalloc::<T>(len.max(1)).expect("team collective: scratch allocation");
+        let barrier = |live: &[usize]| -> Option<CafStat> {
+            self.shmem().ctx().try_barrier_group(live).err().map(CafStat::from)
+        };
+        stat = stat.or_else(|| barrier(&live));
+        if len > 0 && me0 == root {
+            for &p in live.iter().filter(|&&p| p != root) {
+                if let Err(e) = shmem.try_put(slots, data, p) {
+                    stat.get_or_insert(e.into());
+                }
+            }
+            shmem.quiet();
+        }
+        stat = stat.or_else(|| barrier(&live)); // payload delivered
+        if len > 0 && me0 != root {
+            shmem.read_local(slots, data);
+        }
+        stat = stat.or_else(|| barrier(&live));
+        shmem.shfree(slots).expect("team collective: scratch free");
+        match stat.or_else(|| {
+            team.members()
+                .iter()
+                .find(|&&img| self.image_failed(img))
+                .map(|&img| CafStat::FailedImage { image: img })
+        }) {
+            Some(s) => Err(s),
+            None => Ok(()),
+        }
+    }
+
+    /// Member images as sorted 0-based PEs, for the machine's group
+    /// barriers.
+    fn member_pes(team: &CafTeam) -> Vec<usize> {
+        team.members().iter().map(|&img| img - 1).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Backend, CafConfig};
+    use crate::runtime::run_caf;
+    use pgas_machine::fault::{with_forced_plan, FaultPlan};
+    use pgas_machine::{generic_smp, Platform};
+
+    fn cfg() -> CafConfig {
+        CafConfig::new(Backend::Shmem, Platform::GenericSmp)
+    }
+
+    fn mcfg(n: usize) -> pgas_machine::MachineConfig {
+        generic_smp(n).with_heap_bytes(1 << 18)
+    }
+
+    #[test]
+    fn form_team_partitions_by_number() {
+        let out = run_caf(mcfg(6), cfg(), |img| {
+            let color = if img.this_image() <= 2 { 7 } else { 9 };
+            let team = img.form_team(color);
+            (team.number(), team.id(), team.members().to_vec(), team.rank_of(img.this_image()))
+        });
+        let (n0, id0, m0, r0) = &out.results[0];
+        assert_eq!((*n0, m0.clone()), (7, vec![1, 2]));
+        let (n5, id5, m5, r5) = &out.results[5];
+        assert_eq!((*n5, m5.clone()), (9, vec![3, 4, 5, 6]));
+        assert_ne!(id0, id5, "sibling teams get distinct ids");
+        assert_eq!(*r0, Some(1));
+        assert_eq!(*r5, Some(4));
+        // Every member of a team agrees on its id.
+        assert_eq!(out.results[0].1, out.results[1].1);
+        assert_eq!(out.results[2].1, out.results[5].1);
+    }
+
+    #[test]
+    fn change_team_scopes_and_synchronizes() {
+        let out = run_caf(mcfg(4), cfg(), |img| {
+            let a = img.coarray::<i64>(&[1]).unwrap();
+            img.sync_all();
+            let team = img.form_team(if img.this_image() <= 2 { 1 } else { 2 });
+            img.change_team(&team, || {
+                // Ring put within the team: rank k writes to rank k+1.
+                let rank = team.rank_of(img.this_image()).unwrap();
+                let next = team.members()[rank % team.size()];
+                a.put_to(img, next, &[img.this_image() as i64 * 10]);
+                img.sync_team(&team);
+            });
+            a.read_local(img)[0]
+        });
+        // Teams {1,2} and {3,4}: 1<->2 and 3<->4 exchanged.
+        assert_eq!(out.results, vec![20, 10, 40, 30]);
+    }
+
+    #[test]
+    fn team_sum_and_broadcast_stay_inside_the_team() {
+        let out = run_caf(mcfg(5), cfg(), |img| {
+            let color = if img.this_image() % 2 == 1 { 11 } else { 22 };
+            let team = img.form_team(color);
+            let mut v = [img.this_image() as i64];
+            img.team_sum(&team, &mut v).unwrap();
+            let mut b = [img.this_image() as i64 * 100];
+            img.team_broadcast(&team, &mut b, 1).unwrap();
+            (v[0], b[0])
+        });
+        // Odd team {1,3,5}: sum 9, broadcast from image 1. Even {2,4}:
+        // sum 6, broadcast from image 2.
+        assert_eq!(out.results[0], (9, 100));
+        assert_eq!(out.results[2], (9, 100));
+        assert_eq!(out.results[4], (9, 100));
+        assert_eq!(out.results[1], (6, 200));
+        assert_eq!(out.results[3], (6, 200));
+    }
+
+    #[test]
+    fn reformation_excludes_a_dead_image_and_admits_a_spare() {
+        // Images 1..4 work, image 5 idles as a spare. Image 3 dies; the
+        // survivors re-form and the spare joins under the same number.
+        let plan = FaultPlan::new(42).with_pe_failure(2, 50_000);
+        let out = with_forced_plan(plan, || {
+            run_caf(mcfg(5), cfg(), |img| {
+                let me = img.this_image();
+                let first = img.form_team(if me <= 4 { 3 } else { 4 });
+                // Everyone (spare included) advances past the death
+                // instant, then observes it at an image-control point.
+                img.machine().advance(me - 1, 60_000.0);
+                if me == 3 {
+                    // Dead image: cooperative exit.
+                    return (first.members().to_vec(), Vec::new(), 0);
+                }
+                let err = img.sync_all_stat().unwrap_err();
+                assert_eq!(err, CafStat::FailedImage { image: 3 });
+                // Re-form: survivors and the spare all pass number 3 now.
+                // The reformed team contains no dead member, so its
+                // collectives succeed again.
+                let second = img.form_team(3);
+                let mut v = [1i64];
+                img.team_sum(&second, &mut v).unwrap();
+                (first.members().to_vec(), second.members().to_vec(), v[0])
+            })
+        });
+        let (first, second, sum) = &out.results[0];
+        assert_eq!(*first, vec![1, 2, 3, 4]);
+        assert_eq!(*second, vec![1, 2, 4, 5], "dead image out, spare in");
+        assert_eq!(*sum, 4, "reduction ran over the four live members");
+        // All live images agree on the reformed membership.
+        for pe in [1usize, 3, 4] {
+            assert_eq!(out.results[pe].1, *second);
+        }
+    }
+}

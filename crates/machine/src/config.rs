@@ -99,6 +99,15 @@ pub struct MachineConfig {
     /// `Machine::new`. The machine itself aggregates nothing; conduits read
     /// the resolved default back from the machine they attach to.
     pub aggregation: Option<bool>,
+    /// Default for conduit end-to-end payload checksums (CRC32 computed at
+    /// submit, verified at apply — see `pgas-conduit::integrity`). `None`
+    /// defers to the `PGAS_CHECKSUM` environment default (which itself
+    /// defaults to off); an explicit choice — either way — beats the
+    /// environment. A `with_forced_checksums` thread override beats both,
+    /// applied by `Machine::new`. Checksums charge no virtual time, so
+    /// enabling them changes no digest; they turn injected corruption into
+    /// typed `PayloadCorrupt` retries instead of generic link rejects.
+    pub checksums: Option<bool>,
 }
 
 impl MachineConfig {
@@ -233,6 +242,26 @@ impl MachineConfig {
     /// state is built and the legacy path is untouched.
     pub fn worker_limit(&self) -> Option<usize> {
         self.workers.or_else(crate::sched::env_default).filter(|&w| w > 0 && w < self.total_pes())
+    }
+
+    /// Set the conduit payload-checksum default (see the `checksums` field).
+    /// An explicit choice — either way — beats the `PGAS_CHECKSUM`
+    /// environment default.
+    pub fn with_checksums(mut self, on: bool) -> Self {
+        self.checksums = Some(on);
+        self
+    }
+
+    /// The conduit payload-checksum default a machine built from this config
+    /// will advertise (`false` = conduits neither compute nor verify CRCs).
+    ///
+    /// An explicit [`Self::with_checksums`] choice always stands; when the
+    /// config carries no choice, the process-wide `PGAS_CHECKSUM`
+    /// environment variable (read once, at first use) supplies the default.
+    /// A `with_forced_checksums` thread override beats both, but that is
+    /// applied by `Machine::new`, not here.
+    pub fn checksums_default(&self) -> bool {
+        self.checksums.or_else(crate::integrity::env_default).unwrap_or(false)
     }
 
     /// The conduit aggregation default a machine built from this config will

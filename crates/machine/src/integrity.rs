@@ -1,0 +1,89 @@
+//! End-to-end checksum default: process-wide and per-thread resolution of
+//! whether conduits built on a machine should checksum wire payloads.
+//!
+//! The machine itself checksums nothing — CRC32 computation and verification
+//! live in the conduit layer (`pgas-conduit`'s `integrity` module), applied
+//! when an op is submitted and re-checked when its payload is applied at the
+//! target. What lives here is the *resolution* of the default, mirroring how
+//! every other machine-wide switch (sanitizer, fault plan, trace, metrics,
+//! workers, aggregation) resolves: a `with_forced_checksums` thread override
+//! beats an explicit `MachineConfig::with_checksums` choice, which beats the
+//! process-wide `PGAS_CHECKSUM` environment default. Thread-locals do not
+//! propagate to PE threads, so `Machine::new` captures the resolution on the
+//! launching thread and conduits read it back through
+//! [`crate::machine::Machine::checksums_enabled`].
+//!
+//! Checksums are free in virtual time: a verified transfer charges exactly
+//! what an unverified one does, so enabling them changes no digest. What
+//! they add is *detection*: an injected `FaultKind::Corrupt` that would
+//! otherwise be a generic link-level reject becomes a typed
+//! `PayloadCorrupt` retry, counted separately and surfaced on the stat
+//! chain when the retry budget runs out.
+
+/// The process-wide default from `PGAS_CHECKSUM`, read exactly once
+/// (mirroring `PGAS_COALESCE` resolution). Unset or unparsable yields
+/// `None`: conduits fall back to their own default (off).
+pub(crate) fn env_default() -> Option<bool> {
+    static ENV_DEFAULT: std::sync::OnceLock<Option<bool>> = std::sync::OnceLock::new();
+    *ENV_DEFAULT.get_or_init(|| {
+        std::env::var("PGAS_CHECKSUM").ok().and_then(|v| {
+            match v.trim().to_ascii_lowercase().as_str() {
+                "1" | "true" | "on" | "yes" => Some(true),
+                "0" | "false" | "off" | "no" => Some(false),
+                _ => None,
+            }
+        })
+    })
+}
+
+thread_local! {
+    static FORCED_CHECKSUMS: std::cell::Cell<Option<bool>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Run `f` with every machine built *on this thread* forced to payload
+/// checksums `on`, beating both the config and the `PGAS_CHECKSUM`
+/// environment default — the same precedence the sanitizer, fault-plan,
+/// trace, metrics, worker, and aggregation overrides use. Restored on exit,
+/// including on unwind.
+pub fn with_forced_checksums<R>(on: bool, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<bool>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCED_CHECKSUMS.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(FORCED_CHECKSUMS.with(|c| c.replace(Some(on))));
+    f()
+}
+
+/// The setting forced by [`with_forced_checksums`] on the current thread,
+/// if any.
+pub(crate) fn forced_checksums() -> Option<bool> {
+    FORCED_CHECKSUMS.with(|c| c.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forced_checksums_scope_and_restore() {
+        assert_eq!(forced_checksums(), None);
+        with_forced_checksums(true, || {
+            assert_eq!(forced_checksums(), Some(true));
+            with_forced_checksums(false, || assert_eq!(forced_checksums(), Some(false)));
+            assert_eq!(forced_checksums(), Some(true));
+        });
+        assert_eq!(forced_checksums(), None);
+    }
+
+    #[test]
+    fn forced_checksums_restore_on_unwind() {
+        let r = std::panic::catch_unwind(|| {
+            with_forced_checksums(true, || panic!("boom"));
+        });
+        assert!(r.is_err());
+        assert_eq!(forced_checksums(), None);
+    }
+}

@@ -30,6 +30,7 @@ pub mod critdiff;
 pub mod critpath;
 pub mod fault;
 pub mod heap;
+pub mod integrity;
 pub mod json;
 pub mod launch;
 pub mod machine;
@@ -48,6 +49,7 @@ pub use config::{ComputeParams, LinkParams, MachineConfig, WireParams};
 pub use critdiff::{digest_metrics, CritDiff, MetricDigest, RunDigest};
 pub use critpath::{critical_path, CriticalPathReport, PathCategory, PathSegment};
 pub use fault::{with_forced_plan, DegradedWindow, FaultKind, FaultPlan, PeFailure, RetryPolicy};
+pub use integrity::with_forced_checksums;
 pub use launch::{run, run_with_result, NicSnapshot, SimError, SimOutcome};
 pub use machine::{Machine, PeId};
 pub use metrics::{with_forced_metrics, MetricsRegistry, MetricsSnapshot};
@@ -55,5 +57,5 @@ pub use platforms::{cray_xc30, generic_smp, stampede, titan, Platform};
 pub use sanitizer::{with_forced_mode, HazardKind, HazardReport, SanitizerMode};
 pub use sched::with_forced_workers;
 pub use stats::{FaultEvent, PlanDecision, StatsSnapshot};
-pub use stream::{with_forced_stream, SnapshotRing, StreamConfig, StreamSample};
+pub use stream::{with_forced_stream, SnapshotRing, StreamConfig, StreamConsumer, StreamSample};
 pub use trace::with_forced_tracing;

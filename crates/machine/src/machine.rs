@@ -40,6 +40,9 @@ struct StreamState {
     /// exactly one PE thread produces each sample.
     next_tick: AtomicU64,
     seq: AtomicU64,
+    /// The originating config, kept so push consumers registered on it —
+    /// even after the machine was built — see every sample.
+    cfg: StreamConfig,
 }
 
 impl StreamState {
@@ -49,6 +52,7 @@ impl StreamState {
             ring: cfg.ring(),
             next_tick: AtomicU64::new(cfg.cadence_ns()),
             seq: AtomicU64::new(0),
+            cfg,
         }
     }
 }
@@ -79,8 +83,13 @@ impl StreamState {
 /// can still tie-break; fault-plan runs should not claim deterministic
 /// digests.
 struct ArbiterState {
-    /// Parked requests, at most one per PE, ordered by `(start, pe)`.
-    parked: Mutex<BTreeSet<(u64, PeId)>>,
+    /// Parked requests, at most one per PE, ordered by `(start, pe, ctx)`:
+    /// the context channel id is part of the key, so ops issued on
+    /// different per-context NIC channels park as distinct requests (a PE
+    /// still parks at most one at a time — its thread is sequential — so
+    /// the cross-PE grant order is decided by `(start, pe)` exactly as
+    /// before; the ctx component is attribution, not tie-breaking).
+    parked: Mutex<BTreeSet<(u64, PeId, u32)>>,
     /// One condvar per PE (all guarded by the `parked` mutex): only the
     /// holder of the *minimum* parked key can ever be granted, so wakes
     /// target exactly that thread instead of broadcasting to every parked
@@ -102,6 +111,13 @@ struct ArbiterState {
     /// critical section — whereas a barrier waiter can only be released by
     /// the barrier itself and must stay quiescent under incoming writes.
     in_wait_on: Vec<AtomicBool>,
+    /// PEs whose program closure has returned — permanently unable to issue
+    /// NIC requests. A separate flag (rather than `quiescent`) because a
+    /// later barrier round's completing arrival clears every `quiescent`
+    /// flag, including one belonging to a PE that died early and already
+    /// exited; survivors' parked turns would then wait forever on a thread
+    /// that no longer exists.
+    finished: Vec<AtomicBool>,
 }
 
 /// The simulated machine. Shared (via reference) by every PE thread.
@@ -134,6 +150,11 @@ pub struct Machine {
     /// conduits built on PE threads read it back from here). `Some` beats
     /// both the config choice and the `PGAS_COALESCE` environment default.
     aggregation_forced: Option<bool>,
+    /// Resolved payload-checksum switch, captured at build time on the
+    /// launching thread (forced > config > `PGAS_CHECKSUM` env). Unlike
+    /// aggregation there is no per-context refinement, so the machine
+    /// stores the final answer.
+    checksums: bool,
 }
 
 impl Machine {
@@ -170,6 +191,7 @@ impl Machine {
             parked_flags: (0..n).map(|_| AtomicBool::new(false)).collect(),
             quiescent: (0..n).map(|_| AtomicBool::new(false)).collect(),
             in_wait_on: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            finished: (0..n).map(|_| AtomicBool::new(false)).collect(),
         });
         Arc::new(Machine {
             faults,
@@ -180,6 +202,9 @@ impl Machine {
             // override here, on the launching thread; conduits combine it
             // with the config/env default via the getters below.
             aggregation_forced: crate::aggregate::forced_aggregation(),
+            // Checksum resolution mirrors aggregation, fully resolved here.
+            checksums: crate::integrity::forced_checksums()
+                .unwrap_or_else(|| cfg.checksums_default()),
             pes: (0..n)
                 .map(|_| PeState {
                     heap: Heap::new(cfg.heap_bytes),
@@ -230,6 +255,15 @@ impl Machine {
     #[inline]
     pub fn aggregation_default(&self) -> bool {
         self.cfg.aggregation_default()
+    }
+
+    /// Should conduits attached to this machine checksum wire payloads?
+    /// Resolved at build time: `with_forced_checksums` beats
+    /// [`MachineConfig::with_checksums`], which beats the `PGAS_CHECKSUM`
+    /// environment default.
+    #[inline]
+    pub fn checksums_enabled(&self) -> bool {
+        self.checksums
     }
 
     /// Total number of PEs.
@@ -423,6 +457,27 @@ impl Machine {
         self.faults.as_ref().is_some_and(|f| f.is_failed(pe))
     }
 
+    /// The virtual instant at which the active plan schedules `pe` to die,
+    /// if any. Unlike [`Self::pe_failed`] — which flips only once the dying
+    /// PE's own clock crosses the deadline, i.e. at a real-time point that
+    /// depends on host scheduling — this is a pure function of the plan, so
+    /// issuers can make *deterministic* dead-target decisions by comparing
+    /// it against their own virtual clock.
+    #[inline]
+    pub fn pe_deadline(&self, pe: PeId) -> Option<u64> {
+        self.faults.as_ref().map(|f| f.deadline(pe)).filter(|&d| d != u64::MAX)
+    }
+
+    /// Deterministic dead-target predicate: is `pe` scheduled to be dead by
+    /// virtual time `t_ns`? True as soon as the issuer's clock passes the
+    /// scheduled deadline, whether or not the dying PE's thread has crossed
+    /// it yet — the answer depends only on the plan and `t_ns`, never on
+    /// host scheduling.
+    #[inline]
+    pub fn pe_dead_at(&self, pe: PeId, t_ns: u64) -> bool {
+        self.pe_deadline(pe).is_some_and(|d| t_ns >= d)
+    }
+
     /// Every PE marked dead so far, ascending.
     pub fn failed_pes(&self) -> Vec<PeId> {
         self.faults.as_ref().map_or_else(Vec::new, |f| f.failed_list())
@@ -532,6 +587,10 @@ impl Machine {
                 })
                 .collect(),
         };
+        // Fan out to push consumers (dashboards, pgas_top's live series)
+        // before the ring can evict anything: a slow puller never costs a
+        // subscriber a sample.
+        st.cfg.notify_consumers(&sample);
         st.ring.push(sample);
     }
 
@@ -593,23 +652,32 @@ impl Machine {
     /// The caller must be the thread running `pe`, and `f` must not block on
     /// other PEs (it only touches NIC lane frontiers).
     pub fn nic_turn<R>(&self, pe: PeId, start: u64, f: impl FnOnce() -> R) -> R {
+        self.nic_turn_ctx(pe, 0, start, f)
+    }
+
+    /// [`Self::nic_turn`] on a specific per-context NIC channel: `ctx` is
+    /// the conduit context id the request belongs to (0 = the default
+    /// context). The channel id rides in the parked key, so grants —
+    /// and the spans they order — attribute to the issuing context.
+    pub fn nic_turn_ctx<R>(&self, pe: PeId, ctx: u32, start: u64, f: impl FnOnce() -> R) -> R {
         let Some(arb) = &self.arbiter else { return f() };
         // A parked turn is a blocking region for the worker pool: while
         // waiting for the grant the PE must not hold a slot — the grant
         // condition polls other PEs' clocks, and those PEs may need a slot
         // to advance them. (The reservation itself only touches NIC lane
         // frontiers, so running it slotless is harmless.)
-        self.sched_block(pe, || self.nic_turn_parked(arb, pe, start, f))
+        self.sched_block(pe, || self.nic_turn_parked(arb, pe, ctx, start, f))
     }
 
     fn nic_turn_parked<R>(
         &self,
         arb: &ArbiterState,
         pe: PeId,
+        ctx: u32,
         start: u64,
         f: impl FnOnce() -> R,
     ) -> R {
-        let key = (start, pe);
+        let key = (start, pe, ctx);
         let mut parked = arb.parked.lock();
         let inserted = parked.insert(key);
         debug_assert!(inserted, "a PE parks at most one NIC request at a time");
@@ -660,8 +728,8 @@ impl Machine {
 
     /// Refresh the cached minimum-key holder. Call with the `parked` mutex
     /// held, after every insert/remove.
-    fn arb_cache_min(arb: &ArbiterState, parked: &BTreeSet<(u64, PeId)>) {
-        let min = parked.iter().next().map(|&(_, p)| p).unwrap_or(usize::MAX);
+    fn arb_cache_min(arb: &ArbiterState, parked: &BTreeSet<(u64, PeId, u32)>) {
+        let min = parked.iter().next().map(|&(_, p, _)| p).unwrap_or(usize::MAX);
         arb.min_pe.store(min, Ordering::Release);
     }
 
@@ -685,6 +753,7 @@ impl Machine {
     fn arb_grantable(&self, arb: &ArbiterState, start: u64, pe: PeId) -> bool {
         (0..self.num_pes()).all(|q| {
             q == pe
+                || arb.finished[q].load(Ordering::Acquire)
                 || arb.quiescent[q].load(Ordering::Acquire)
                 || arb.parked_flags[q].load(Ordering::Acquire)
                 || self.clock(q) > start
@@ -718,6 +787,9 @@ impl Machine {
     /// quiescent for NIC arbitration, and its worker slot (if still held —
     /// a panic may have unwound out of a slotless blocking region) freed.
     pub(crate) fn pe_finished(&self, pe: PeId) {
+        if let Some(arb) = &self.arbiter {
+            arb.finished[pe].store(true, Ordering::Release);
+        }
         self.arb_set_quiescent(pe, true);
         self.sched_release(pe);
     }

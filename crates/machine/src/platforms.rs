@@ -84,6 +84,7 @@ pub fn stampede(nodes: usize, cores_per_node: usize) -> MachineConfig {
         deterministic_nic: false,
         workers: None,
         aggregation: None,
+        checksums: None,
     }
 }
 
@@ -111,6 +112,7 @@ pub fn titan(nodes: usize, cores_per_node: usize) -> MachineConfig {
         deterministic_nic: false,
         workers: None,
         aggregation: None,
+        checksums: None,
     }
 }
 
@@ -138,6 +140,7 @@ pub fn cray_xc30(nodes: usize, cores_per_node: usize) -> MachineConfig {
         deterministic_nic: false,
         workers: None,
         aggregation: None,
+        checksums: None,
     }
 }
 
@@ -165,6 +168,7 @@ pub fn generic_smp(cores: usize) -> MachineConfig {
         deterministic_nic: false,
         workers: None,
         aggregation: None,
+        checksums: None,
     }
 }
 

@@ -81,6 +81,9 @@ pub struct Stats {
     pub pe_failures: AtomicU64,
     /// MCS locks whose dead holder was evicted by a waiting PE.
     pub lock_repairs: AtomicU64,
+    /// Corrupted payloads detected by end-to-end CRC verification (each one
+    /// is also an injected fault and, on retry, a retry).
+    pub payload_corrupt: AtomicU64,
     plan_log: Mutex<Vec<PlanDecision>>,
     fault_log: Mutex<Vec<FaultEvent>>,
 }
@@ -108,6 +111,7 @@ impl Stats {
             retries_exhausted: self.retries_exhausted.load(Ordering::Relaxed),
             pe_failures: self.pe_failures.load(Ordering::Relaxed),
             lock_repairs: self.lock_repairs.load(Ordering::Relaxed),
+            payload_corrupt: self.payload_corrupt.load(Ordering::Relaxed),
         }
     }
 
@@ -170,6 +174,8 @@ pub struct StatsSnapshot {
     pub retries_exhausted: u64,
     pub pe_failures: u64,
     pub lock_repairs: u64,
+    /// Corrupted payloads detected by end-to-end CRC verification.
+    pub payload_corrupt: u64,
 }
 
 impl StatsSnapshot {

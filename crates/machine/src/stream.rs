@@ -117,13 +117,30 @@ impl SnapshotRing {
     }
 }
 
+/// A registered push consumer: called with every sample as it is taken, on
+/// the sampling PE's thread, right after the sample lands in the ring. Must
+/// be cheap and non-blocking — it runs inside the simulation.
+pub type StreamConsumer = Arc<dyn Fn(&StreamSample) + Send + Sync>;
+
 /// Configuration of the streaming snapshot channel: how often to sample (in
 /// virtual nanoseconds) and the ring the samples land in. Clone-cheap — all
-/// clones share the same ring, which is how the consumer sees the samples.
-#[derive(Debug, Clone)]
+/// clones share the same ring (and consumer list), which is how the consumer
+/// sees the samples.
+#[derive(Clone)]
 pub struct StreamConfig {
     cadence_ns: u64,
     ring: Arc<SnapshotRing>,
+    consumers: Arc<Mutex<Vec<StreamConsumer>>>,
+}
+
+impl std::fmt::Debug for StreamConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamConfig")
+            .field("cadence_ns", &self.cadence_ns)
+            .field("ring", &self.ring)
+            .field("consumers", &self.consumers.lock().len())
+            .finish()
+    }
 }
 
 impl StreamConfig {
@@ -131,7 +148,11 @@ impl StreamConfig {
     /// fresh ring holding at most `capacity` samples.
     pub fn new(cadence_ns: u64, capacity: usize) -> StreamConfig {
         assert!(cadence_ns > 0, "stream cadence must be positive");
-        StreamConfig { cadence_ns, ring: Arc::new(SnapshotRing::new(capacity)) }
+        StreamConfig {
+            cadence_ns,
+            ring: Arc::new(SnapshotRing::new(capacity)),
+            consumers: Arc::new(Mutex::new(Vec::new())),
+        }
     }
 
     /// Sampling cadence in virtual nanoseconds.
@@ -142,6 +163,33 @@ impl StreamConfig {
     /// The shared ring; hold a clone of this on the consumer side.
     pub fn ring(&self) -> Arc<SnapshotRing> {
         Arc::clone(&self.ring)
+    }
+
+    /// Register a push consumer that sees every sample as it is taken —
+    /// the subscription point external dashboards (and `pgas_top`'s live
+    /// availability series) hang off. Consumers registered after the
+    /// machine is built still see subsequent samples: the machine shares
+    /// this list, it does not copy it.
+    pub fn subscribe(&self, consumer: StreamConsumer) {
+        self.consumers.lock().push(consumer);
+    }
+
+    /// Builder form of [`Self::subscribe`].
+    pub fn with_consumer(self, consumer: StreamConsumer) -> Self {
+        self.subscribe(consumer);
+        self
+    }
+
+    /// Fan a freshly pushed sample out to every registered consumer.
+    pub(crate) fn notify_consumers(&self, sample: &StreamSample) {
+        for c in self.consumers.lock().iter() {
+            c(sample);
+        }
+    }
+
+    /// Number of registered push consumers.
+    pub fn consumer_count(&self) -> usize {
+        self.consumers.lock().len()
     }
 }
 
@@ -231,5 +279,23 @@ mod tests {
     #[should_panic(expected = "cadence")]
     fn zero_cadence_is_rejected() {
         StreamConfig::new(0, 8);
+    }
+
+    #[test]
+    fn consumers_see_every_notified_sample_and_are_shared_across_clones() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let cfg = StreamConfig::new(100, 8);
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = Arc::clone(&seen);
+        // Subscribe through a *clone* — the machine holds its own clone of
+        // the config, so late subscriptions must still reach it.
+        let clone = cfg.clone();
+        clone.subscribe(Arc::new(move |s: &StreamSample| {
+            seen2.fetch_add(s.seq + 1, Ordering::Relaxed);
+        }));
+        assert_eq!(cfg.consumer_count(), 1);
+        cfg.notify_consumers(&sample(0));
+        cfg.notify_consumers(&sample(2));
+        assert_eq!(seen.load(Ordering::Relaxed), 1 + 3);
     }
 }

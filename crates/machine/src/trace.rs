@@ -92,6 +92,10 @@ pub struct Span {
     /// waited on, which is how the critical-path walker pairs a quiet with
     /// the flow that bounded it.
     pub remote_end: u64,
+    /// Team the issuing context was scoped to when the op ran (0 = the
+    /// world team / no team scope). Lets flow analysis attribute traffic to
+    /// a `form team`/`change team` region.
+    pub team: u32,
 }
 
 impl Span {
@@ -117,6 +121,7 @@ impl Span {
             service_ns: 0,
             remote_begin: 0,
             remote_end: 0,
+            team: 0,
         }
     }
 }

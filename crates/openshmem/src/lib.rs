@@ -29,9 +29,11 @@ pub mod collectives;
 pub mod data;
 pub mod lock;
 pub mod shmem;
+pub mod team;
 
 pub use active_set::ActiveSet;
 pub use alloc::{AllocError, SymAlloc};
 pub use data::{Scalar, SymPtr};
-pub use pgas_conduit::{AmHandler, AmHandlerId, AmTarget};
+pub use pgas_conduit::{AmHandler, AmHandlerId, AmTarget, ConduitError};
 pub use shmem::{AtomicWord, Cmp, LocalView, Shmem, ShmemConfig};
+pub use team::Team;

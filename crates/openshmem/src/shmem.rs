@@ -7,7 +7,7 @@ use crate::data::{from_bytes, to_bytes, Scalar, SymPtr};
 use pgas_conduit::ctx::AmoOp;
 use pgas_conduit::{AmHandler, AmHandlerId, ConduitError, ConduitProfile, Ctx, CtxOptions};
 use pgas_machine::machine::{Machine, Pe, PeId};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 /// Flag words reserved for collective protocols (enough for jobs up to
@@ -117,6 +117,11 @@ pub struct Shmem<'m> {
     alloc: RefCell<SymAlloc>,
     psync: SymPtr<u64>,
     pwrk: SymPtr<u8>,
+    /// Next team id to hand out (0 is the world team); see `crate::team`.
+    /// Team creation follows the symmetric discipline of `shmalloc`: every
+    /// PE performs the same creations in the same order, so the ids agree
+    /// machine-wide without communication.
+    pub(crate) next_team: Cell<u32>,
 }
 
 impl<'m> Shmem<'m> {
@@ -134,6 +139,7 @@ impl<'m> Shmem<'m> {
             alloc: RefCell::new(alloc),
             psync: SymPtr::new(psync_off, PSYNC_WORDS),
             pwrk: SymPtr::new(pwrk_off, pwrk_bytes),
+            next_team: Cell::new(1),
         }
     }
 
@@ -598,6 +604,13 @@ impl<'m> Shmem<'m> {
     // ---- ordering -------------------------------------------------------------
 
     /// `shmem_quiet`: wait for remote completion of all outstanding puts.
+    /// Fallible [`Self::quiet`]: surfaces errors deferred by coalesced
+    /// staged ops whose target died before the flush (see
+    /// [`pgas_conduit::Ctx::try_quiet`]).
+    pub fn try_quiet(&self) -> Result<(), ConduitError> {
+        self.ctx.try_quiet()
+    }
+
     pub fn quiet(&self) {
         self.ctx.quiet();
     }

@@ -17,6 +17,14 @@
 //! committed artifact).
 //!
 //! Run with: `cargo run --release --example pgas_top`
+//!
+//! `cargo run --release --example pgas_top -- churn` instead watches the
+//! availability-under-churn workload (`availability_churn`): a push
+//! consumer registered with [`StreamConfig::with_consumer`] turns every
+//! snapshot into a point of a live availability series — images up at that
+//! virtual instant — so the scheduled worker death and the post-recovery
+//! return to full strength are visible while the run executes, without
+//! moving a single virtual clock.
 
 use std::io::IsTerminal;
 use std::time::Duration;
@@ -84,7 +92,87 @@ fn render_frame(s: &StreamSample, live: bool) {
     }
 }
 
+/// The `churn` mode: watch the availability-under-churn run through the
+/// stream's push-consumer hook. The consumer derives the availability
+/// series — a PE whose clock crossed the scheduled death instant is down —
+/// from each snapshot as it is published, the pattern an external
+/// dashboard would use.
+fn churn_top() {
+    use caf_apps::{run_churn_outcome, ChurnConfig};
+    use pgas_machine::{with_forced_aggregation, with_forced_plan, FaultPlan};
+    use std::sync::{Arc, Mutex};
+
+    let cfg = ChurnConfig::default();
+    let (victim_pe, deadline) = (4usize, 25_000u64);
+    let images = 9;
+    let series: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&series);
+    // The churn run spans ~70 µs of virtual time; a 2 µs cadence gives a
+    // few dozen availability points.
+    let stream = StreamConfig::new(2_000, 512).with_consumer(Arc::new(move |s: &StreamSample| {
+        let live = s
+            .clocks
+            .iter()
+            .enumerate()
+            .filter(|&(pe, &clk)| !(pe == victim_pe && clk >= deadline))
+            .count();
+        sink.lock().unwrap().push((s.t_ns, live));
+    }));
+    let ring = stream.ring();
+    let sim = std::thread::spawn(move || {
+        with_forced_stream(stream, || {
+            with_forced_aggregation(true, || {
+                with_forced_plan(
+                    FaultPlan::new(cfg.seed).with_pe_failure(victim_pe, deadline),
+                    || run_churn_outcome(Platform::Titan, Backend::Shmem, images, cfg, true),
+                )
+            })
+        })
+    });
+
+    let live_tty = std::io::stdout().is_terminal();
+    let mut last_seen: Option<u64> = None;
+    while !sim.is_finished() {
+        if let Some(s) = ring.latest() {
+            if last_seen != Some(s.seq) {
+                last_seen = Some(s.seq);
+                render_frame(&s, live_tty);
+                if let Some(&(t, up)) = series.lock().unwrap().last() {
+                    println!("  availability: {up}/{images} images up at t={t} ns");
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let (result, _out) = sim.join().expect("simulation thread panicked");
+
+    let pts = series.lock().unwrap().clone();
+    println!("\navailability series ({} samples from the stream consumer):", pts.len());
+    let mut prev = None;
+    for (t, up) in &pts {
+        if prev != Some(*up) {
+            println!("  t={t:>7} ns  {up}/{images} up  [{}]", bar(*up as f64 / images as f64, 18));
+            prev = Some(*up);
+        }
+    }
+    println!(
+        "\nchurn: detect round {:?}, {} replayed + {} retried, recovery ratio {:.3}",
+        result.detect_round, result.replayed, result.retried, result.recovery_ratio
+    );
+    println!(
+        "zero lost acknowledged writes: checksum {:#018x} {} acked sum {:#018x}",
+        result.checksum,
+        if result.checksum == result.acked_sum { "==" } else { "!=" },
+        result.acked_sum
+    );
+    println!("final worker team: {:?}", result.members_after);
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("churn") {
+        churn_top();
+        return;
+    }
     let images = 8;
     let cfg = HimenoConfig::size_xs();
     let stream = StreamConfig::new(CADENCE_NS, 256);
