@@ -430,10 +430,11 @@ mod tests {
 
     /// The calibrated failure scenario used by the tests and the
     /// `availability_churn` probe: 8 workers + 1 spare, worker image 5
-    /// (PE 4) dies at 25 µs — mid round 2 of the default config's ~61 µs
-    /// healthy makespan.
+    /// (PE 4) dies at 30 µs — mid round 3's generation of the default
+    /// config's ~61 µs healthy makespan, so the dip is visible in the
+    /// round stats and some of its traffic is caught in flight.
     fn failure_plan(cfg: &ChurnConfig) -> FaultPlan {
-        FaultPlan::new(cfg.seed).with_pe_failure(4, 25_000)
+        FaultPlan::new(cfg.seed).with_pe_failure(4, 30_000)
     }
 
     fn run(plan: FaultPlan, cfg: ChurnConfig) -> ChurnResult {
@@ -524,7 +525,7 @@ mod tests {
         use std::sync::atomic::{AtomicUsize, Ordering};
         use std::sync::Arc;
         let cfg = ChurnConfig::default();
-        let deadline = 25_000u64;
+        let deadline = 30_000u64;
         let victim_pe = 4usize;
         let samples = Arc::new(AtomicUsize::new(0));
         let min_live = Arc::new(AtomicUsize::new(usize::MAX));

@@ -1,0 +1,105 @@
+//! Property: the open-loop serving pipeline is deterministic end to end.
+//! The arrival schedule is fixed before the run starts, every admission
+//! decision branches on the virtual clock, and completions land in
+//! virtual-time windows — so for any drawn seed the same config must
+//! produce a bit-identical per-request log ([`RequestLog`]), windowed
+//! metrics snapshot and SLO report run to run AND across scheduler worker
+//! counts {1, 8} under the deterministic NIC. The property must also hold
+//! under a transient-drop fault plan (`drop1`): retries stretch latencies,
+//! but they stretch them identically for every worker count.
+
+use caf::{Backend, SanitizerMode};
+use caf_apps::serve::{run_serve_outcome, ServeConfig, ServeResult};
+use caf_apps::DhtUpdateMode;
+use pgas_machine::metrics::MetricsSnapshot;
+use pgas_machine::{
+    with_forced_metrics, with_forced_mode, with_forced_plan, with_forced_tracing,
+    with_forced_workers, FaultPlan, Platform, RequestLog,
+};
+use proptest::prelude::*;
+
+/// One traced open-loop run: eight workers + a spare, deterministic NIC,
+/// tracing and metrics pinned on, sanitizer pinned off.
+fn serving_run(
+    workers: usize,
+    cfg: ServeConfig,
+    plan: FaultPlan,
+) -> (ServeResult, Vec<RequestLog>, MetricsSnapshot, String) {
+    with_forced_tracing(true, || {
+        with_forced_metrics(true, || {
+            with_forced_mode(SanitizerMode::Off, || {
+                with_forced_workers(workers, || {
+                    with_forced_plan(plan, || {
+                        let (r, out) =
+                            run_serve_outcome(Platform::Titan, Backend::Shmem, 9, cfg, true);
+                        let log = out.request_log();
+                        let slo_json = r.slo.to_json().pretty();
+                        (r, log, out.metrics, slo_json)
+                    })
+                })
+            })
+        })
+    })
+}
+
+fn small(seed: u64, mode: DhtUpdateMode) -> ServeConfig {
+    ServeConfig {
+        keyspace: 5_000,
+        requests_per_image: 16,
+        epochs: 2,
+        slots_per_shard: 32,
+        mean_gap_ns: 1_200.0,
+        mode,
+        seed,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn open_loop_serving_reproduces_bit_identically(seed in any::<u64>()) {
+        // AM mode only, like every determinism suite in this repo: locked
+        // mode's lock-queue order is whoever swaps first on the host, which
+        // is exactly the nondeterminism the MCS lock models on purpose.
+        let cfg = small(seed, DhtUpdateMode::Am);
+        let plan = FaultPlan::new(cfg.seed);
+        let (r1, l1, m1, s1) = serving_run(1, cfg, plan.clone());
+        let (r8, l8, m8, s8) = serving_run(8, cfg, plan.clone());
+        prop_assert_eq!(&l1, &l8, "worker count must be invisible in the request log");
+        prop_assert_eq!(&m1, &m8, "worker count must be invisible in the windowed metrics");
+        prop_assert_eq!(&s1, &s8, "worker count must be invisible in the SLO report");
+        prop_assert_eq!(r1.slo.windows, r8.slo.windows);
+        prop_assert_eq!(r1.slo.alerts, r8.slo.alerts);
+        prop_assert_eq!(r1.checksum, r8.checksum);
+        prop_assert_eq!(r1.completed, r8.completed);
+        let (_, l1b, m1b, s1b) = serving_run(1, cfg, plan);
+        prop_assert_eq!(&l1, &l1b, "same seed must reproduce bit-identically");
+        prop_assert_eq!(&m1, &m1b);
+        prop_assert_eq!(&s1, &s1b);
+        // The log is complete: one entry per completed request, and the
+        // decomposition always sums back to the end-to-end latency.
+        prop_assert_eq!(l1.len() as u64, r1.completed + r1.drained);
+        for req in &l1 {
+            prop_assert_eq!(
+                req.queue_wait_ns + req.wire_ns + req.nic_contention_ns
+                    + req.fault_delay_ns + req.service_ns,
+                req.total_ns()
+            );
+        }
+    }
+
+    #[test]
+    fn serving_determinism_survives_transient_drops(seed in any::<u64>()) {
+        let cfg = small(seed, DhtUpdateMode::Am);
+        let plan = FaultPlan::transient_drops(0xFA01, 0.01);
+        let (r1, l1, m1, s1) = serving_run(1, cfg, plan.clone());
+        let (r8, l8, m8, s8) = serving_run(8, cfg, plan);
+        prop_assert_eq!(&l1, &l8, "drop retries must replay identically per worker count");
+        prop_assert_eq!(&m1, &m8);
+        prop_assert_eq!(&s1, &s8);
+        prop_assert_eq!(r1.checksum, r8.checksum);
+        prop_assert_eq!(r1.acked_sum, r8.acked_sum);
+    }
+}

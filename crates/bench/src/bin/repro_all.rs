@@ -43,6 +43,7 @@ fn main() {
         ("dht_tput", Box::new(move || repro_bench::dht_throughput(quick, max.min(64)))),
         ("fig10", Box::new(move || repro_bench::fig10_himeno(quick, himeno_max))),
         ("churn", Box::new(move || repro_bench::availability_churn(quick))),
+        ("serving_slo", Box::new(move || repro_bench::serving_slo(quick))),
         ("abl1", Box::new(move || repro_bench::abl1_base_dim(quick))),
         ("abl2", Box::new(move || repro_bench::abl2_lock_algorithms(quick, max.min(64)))),
         ("ext1", Box::new(move || repro_bench::ext1_shmem_ptr_fastpath(quick))),

@@ -340,8 +340,8 @@ pub fn availability_churn(_quick: bool) -> Figure {
         })
     };
     let healthy = run(FaultPlan::new(cfg.seed));
-    // The probe's calibrated scenario: worker image 5 (PE 4) dies at 25 µs.
-    let churned = run(FaultPlan::new(cfg.seed).with_pe_failure(4, 25_000));
+    // The probe's calibrated scenario: worker image 5 (PE 4) dies at 30 µs.
+    let churned = run(FaultPlan::new(cfg.seed).with_pe_failure(4, 30_000));
     let mut fig = Figure::new(
         "availability_churn",
         "Availability under churn: DHT-style serving through a worker failure, \
@@ -371,6 +371,134 @@ pub fn availability_churn(_quick: bool) -> Figure {
         avail.series.push(s);
     }
     fig.panels.push(avail);
+    with_probe(fig)
+}
+
+/// New figure (not in the paper): open-loop serving telemetry through a
+/// worker death. The serving workload (Poisson arrivals from one shared
+/// global stream, Zipfian keys, AM writes over the sharded table) runs at
+/// 80 images on Titan — 79 workers + 1 spare, ≥1M scheduled requests —
+/// and worker PE 32 dies mid-run. Panel (a) is the windowed latency
+/// series (p50/p99/p999 per 10 ms virtual window, failure run, with the
+/// healthy p99 as reference): flat microsecond-scale percentiles, one
+/// spike in the detection window where the parked requests drain with
+/// their original arrival times, then flat again — the dip-and-recover
+/// signature. Panel (b) is the SLO error-budget burn-rate series (fast
+/// and slow windows) that an alerting pipeline would page on: the fast
+/// burn fires in the outage window and clears after recovery. Panel (c)
+/// is completed requests per window: the victim's generation share
+/// vanishes at the death and the drain backfills the detection window.
+/// Both runs are pinned (deterministic NIC, forced plan + aggregation,
+/// fixed seed), so the figure JSON is bit-stable. Quick mode runs the
+/// probe-sized 9-image scenario instead.
+pub fn serving_slo(quick: bool) -> Figure {
+    use caf_apps::serve::{run_serve_outcome, ServeConfig, ServeResult};
+    use caf_apps::DhtUpdateMode;
+    use pgas_machine::{with_forced_aggregation, with_forced_plan, FaultPlan};
+    let (images, cfg, victim, deadline) = if quick {
+        // The probe's scenario with a longer post-recovery tail (the fast
+        // burn series is a trailing 3-window rate, so the quick run needs
+        // a few clean windows after the drain spike to show it clearing).
+        let cfg = ServeConfig {
+            keyspace: 10_000,
+            requests_per_image: 80,
+            epochs: 4,
+            slots_per_shard: 64,
+            mean_gap_ns: 1_500.0,
+            ..Default::default()
+        };
+        (9usize, cfg, 4usize, 12_000u64)
+    } else {
+        let cfg = ServeConfig {
+            keyspace: 2_000_000,
+            zipf_exponent: 1.1,
+            read_fraction: 0.5,
+            mean_gap_ns: 40_000.0,
+            requests_per_image: 13_000,
+            epochs: 16,
+            slots_per_shard: 2_048,
+            seed: 0x510,
+            mode: DhtUpdateMode::Am,
+            window_ns: 10_000_000,
+            slo_threshold_ns: 150_000,
+            slo_objective: 0.999,
+        };
+        // PE 32 (worker image 33, node 2) dies at 240 ms — mid epoch 7 of
+        // the ~520 ms run, so detection waits most of an epoch and the
+        // drain burst carries outage-length latencies.
+        (80usize, cfg, 32usize, 240_000_000u64)
+    };
+    let run = |plan: FaultPlan| -> ServeResult {
+        with_forced_aggregation(true, || {
+            with_forced_plan(plan, || {
+                run_serve_outcome(Platform::Titan, Backend::Shmem, images, cfg, true).0
+            })
+        })
+    };
+    let healthy = run(FaultPlan::new(cfg.seed));
+    let failed = run(FaultPlan::new(cfg.seed).with_pe_failure(victim, deadline));
+    let mut fig = Figure::new(
+        "serving_slo",
+        format!(
+            "Open-loop serving SLO through a worker death: {} workers + 1 spare on Titan, \
+             {} requests scheduled, SLO p{} < {} us",
+            images - 1,
+            (images - 1) * cfg.requests_per_image,
+            cfg.slo_objective * 100.0,
+            cfg.slo_threshold_ns / 1000,
+        ),
+    );
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let us = |ns: u64| ns as f64 / 1e3;
+    let mut lat = Panel::new(
+        "(a) latency percentiles per window",
+        "window start (ms virtual)",
+        "latency (us)",
+    );
+    for (label, pick) in
+        [("p50 failure run", 0usize), ("p99 failure run", 1), ("p999 failure run", 2)]
+    {
+        let mut s = Series::new(label);
+        for w in &failed.slo.windows {
+            s.push(ms(w.start_ns), us([w.p50, w.p99, w.p999][pick]));
+        }
+        lat.series.push(s);
+    }
+    let mut s = Series::new("p99 healthy baseline");
+    for w in &healthy.slo.windows {
+        s.push(ms(w.start_ns), us(w.p99));
+    }
+    lat.series.push(s);
+    fig.panels.push(lat);
+    let mut burn = Panel::new(
+        "(b) error-budget burn rate per window",
+        "window start (ms virtual)",
+        "x budget rate",
+    );
+    for (label, fast) in [("fast burn (failure run)", true), ("slow burn (failure run)", false)] {
+        let mut s = Series::new(label);
+        for w in &failed.slo.windows {
+            let x1000 = if fast { w.fast_burn_x1000 } else { w.slow_burn_x1000 };
+            s.push(ms(w.start_ns), x1000 as f64 / 1000.0);
+        }
+        burn.series.push(s);
+    }
+    let mut s = Series::new("fast burn (healthy baseline)");
+    for w in &healthy.slo.windows {
+        s.push(ms(w.start_ns), w.fast_burn_x1000 as f64 / 1000.0);
+    }
+    burn.series.push(s);
+    fig.panels.push(burn);
+    let mut tput =
+        Panel::new("(c) completed requests per window", "window start (ms virtual)", "requests/ms");
+    for (label, r) in [("healthy baseline", &healthy), ("worker failure + recovery", &failed)] {
+        let mut s = Series::new(label);
+        for w in &r.slo.windows {
+            s.push(ms(w.start_ns), w.count as f64 / (cfg.window_ns as f64 / 1e6));
+        }
+        tput.series.push(s);
+    }
+    fig.panels.push(tput);
     with_probe(fig)
 }
 
@@ -654,6 +782,33 @@ mod tests {
             c.points[last].1,
             h.points[last].1
         );
+    }
+
+    #[test]
+    fn serving_slo_dips_and_recovers() {
+        let fig = serving_slo(true);
+        let lat = &fig.panels[0];
+        let p999 = lat.series("p999 failure run").unwrap();
+        let healthy_p99 = lat.series("p99 healthy baseline").unwrap();
+        let peak = p999.points.iter().map(|p| p.1).fold(0.0f64, f64::max);
+        let healthy_peak = healthy_p99.points.iter().map(|p| p.1).fold(0.0f64, f64::max);
+        assert!(
+            peak > 2.0 * healthy_peak,
+            "the drain burst is a visible latency spike: {peak} vs healthy {healthy_peak}"
+        );
+        assert!(
+            p999.points.last().unwrap().1 <= healthy_peak * 1.5,
+            "the tail returns to baseline after recovery"
+        );
+        // Panel (b): the outage burns budget in at least one window of the
+        // failure run, the healthy baseline burns none, and the burn
+        // clears by the end of the run.
+        let burn = &fig.panels[1];
+        let fast = burn.series("fast burn (failure run)").unwrap();
+        assert!(fast.points.iter().any(|p| p.1 > 0.0), "the outage lights the fast burn");
+        assert_eq!(fast.points.last().unwrap().1, 0.0, "the burn clears after recovery");
+        let base = burn.series("fast burn (healthy baseline)").unwrap();
+        assert!(base.points.iter().all(|p| p.1 == 0.0), "the healthy run burns no budget");
     }
 
     #[test]

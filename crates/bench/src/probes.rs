@@ -162,14 +162,49 @@ pub fn availability_churn_probe() -> ProbeOutcome {
     };
     let cfg = ChurnConfig::default();
     // The calibrated scenario the churn tests pin down: worker image 5
-    // (PE 4) dies at 25 µs, mid round 2 of the default config's ~61 µs
-    // healthy makespan.
-    let plan = FaultPlan::new(cfg.seed).with_pe_failure(4, 25_000);
+    // (PE 4) dies at 30 µs, mid round 3's generation of the default
+    // config's ~61 µs healthy makespan.
+    let plan = FaultPlan::new(cfg.seed).with_pe_failure(4, 30_000);
     probe(move || {
         with_forced_aggregation(true, || {
             with_forced_checksums(true, || {
                 with_forced_plan(plan, || {
                     run_churn_outcome(Platform::Titan, Backend::Shmem, 9, cfg, true).1
+                })
+            })
+        })
+    })
+}
+
+/// Probe for the serving-SLO figure: nine images (eight open-loop workers
+/// plus a spare) running the calibrated mini serving scenario — Poisson
+/// arrivals from the shared global stream, Zipfian keys, AM writes, and a
+/// scheduled worker death early in the first epoch so detection waits a
+/// near-full epoch and the parked requests drain with outage-length
+/// latencies. Aggregation, payload checksums and the fault plan are all
+/// forced internally, so the digest is independent of the
+/// `PGAS_COALESCE`/`PGAS_CHECKSUM` environments, like the churn anchor.
+pub fn serving_slo_probe() -> ProbeOutcome {
+    use caf_apps::serve::{run_serve_outcome, ServeConfig};
+    use pgas_machine::{
+        with_forced_aggregation, with_forced_checksums, with_forced_plan, FaultPlan,
+    };
+    let cfg = ServeConfig {
+        keyspace: 10_000,
+        requests_per_image: 40,
+        epochs: 2,
+        slots_per_shard: 64,
+        mean_gap_ns: 1_500.0,
+        ..Default::default()
+    };
+    // The serve tests' calibrated scenario: worker image 5 (PE 4) dies at
+    // 12 µs, early in the first epoch of the ~80 µs run.
+    let plan = FaultPlan::new(cfg.seed).with_pe_failure(4, 12_000);
+    probe(move || {
+        with_forced_aggregation(true, || {
+            with_forced_checksums(true, || {
+                with_forced_plan(plan, || {
+                    run_serve_outcome(Platform::Titan, Backend::Shmem, 9, cfg, true).1
                 })
             })
         })
@@ -191,7 +226,7 @@ pub fn himeno_probe() -> ProbeOutcome {
 }
 
 /// Every figure id the harness knows, in emission order.
-pub const FIGURE_IDS: [&str; 13] = [
+pub const FIGURE_IDS: [&str; 14] = [
     "fig2_put_latency",
     "fig3_put_bandwidth",
     "fig6_xc30_caf",
@@ -201,6 +236,7 @@ pub const FIGURE_IDS: [&str; 13] = [
     "dht_throughput",
     "fig10_himeno",
     "availability_churn",
+    "serving_slo",
     "abl1_base_dim",
     "abl2_lock_algorithms",
     "ext1_shmem_ptr_fastpath",
@@ -234,9 +270,10 @@ pub fn probe_for(figure_id: &str) -> Option<ProbeOutcome> {
         // small anchor — its sweep caps at 64).
         "fig8_locks" | "fig9_dht" => lock_probe(Platform::Titan, 1024),
         "dht_throughput" => dht_throughput_probe(16),
-        // Forces its whole environment (aggregation, checksums, fault plan)
-        // internally — see the probe's own docs.
+        // Both recovery anchors force their whole environment (aggregation,
+        // checksums, fault plan) internally — see the probes' own docs.
         "availability_churn" => availability_churn_probe(),
+        "serving_slo" => serving_slo_probe(),
         "abl2_lock_algorithms" => direct(&|| lock_probe(Platform::Titan, 8)),
         "fig10_himeno" => direct(&himeno_probe),
         "supp_pt2pt" => put_pairs_probe(Platform::Titan, 1, 65536),
@@ -282,7 +319,7 @@ mod tests {
     #[test]
     fn every_figure_id_has_a_probe() {
         // Cheap structural check: the registry covers all ids (actually
-        // running all 13 probes belongs to `bench record`, not unit tests).
+        // running all 14 probes belongs to `bench record`, not unit tests).
         for id in FIGURE_IDS {
             assert!(
                 matches!(
@@ -296,6 +333,7 @@ mod tests {
                         | "dht_throughput"
                         | "fig10_himeno"
                         | "availability_churn"
+                        | "serving_slo"
                         | "abl1_base_dim"
                         | "abl2_lock_algorithms"
                         | "ext1_shmem_ptr_fastpath"
@@ -320,6 +358,25 @@ mod tests {
         assert_eq!(a.digest(), b.digest(), "churn probe digest must be bit-identical");
         assert_eq!(a.platform, "titan");
         assert_eq!(a.metrics.stats.pe_failures, 1, "the scheduled failure is in the anchor");
+    }
+
+    #[test]
+    fn serving_slo_probe_is_deterministic_and_env_independent() {
+        // The serving anchor forces aggregation, checksums and its fault
+        // plan internally, so the digest must not move under the ambient
+        // `PGAS_COALESCE`/`PGAS_CHECKSUM` the CI matrix varies, and the
+        // scheduled death must actually fire inside the probe.
+        let a = serving_slo_probe();
+        let b = pgas_machine::with_forced_checksums(false, || {
+            pgas_machine::with_forced_aggregation(false, serving_slo_probe)
+        });
+        assert_eq!(a.digest(), b.digest(), "serving probe digest must be bit-identical");
+        assert_eq!(a.platform, "titan");
+        assert_eq!(a.metrics.stats.pe_failures, 1, "the scheduled failure is in the anchor");
+        assert!(
+            a.metrics.windows.iter().any(|w| w.name == "serve_latency_ns"),
+            "the windowed latency series is in the anchor's metrics"
+        );
     }
 
     #[test]

@@ -80,23 +80,35 @@ impl<'m> Image<'m> {
         let shmem = self.shmem();
         let n = self.num_images();
         let me0 = self.this_image() - 1;
-        // Exchange team numbers through a symmetric slot table: everyone
-        // publishes locally, then reads each live image's slot.
+        // Exchange team numbers by *pushing*: every image writes its number
+        // into its own slot of every peer's table before the barrier, then
+        // reads only locally afterwards. Membership is then decided by the
+        // deadline probe at the barrier-aligned clock — a pure function of
+        // the fault plan and a clock every live image shares — never by the
+        // host-racy failure flag. A death racing the exchange is excluded
+        // (or included) identically on every image; split membership would
+        // put survivors behind *different* team barriers, which deadlocks.
         let slots = shmem.shmalloc::<i64>(n).expect("form team: scratch allocation failed");
         shmem.write_local(slots.at(me0), &[number]);
+        for q in (0..n).filter(|&q| q != me0) {
+            // A push to a dying image just vanishes with it; nobody reads
+            // a dead image's table.
+            let _ = shmem.try_put(slots.at(me0), &[number], q);
+        }
+        // Drain deferred dead-target errors from the pushes so the barrier
+        // (whose implicit quiet panics on them) stays clean.
+        let _ = shmem.ctx().try_quiet();
         self.sync_all();
+        let t_form = shmem.ctx().pe().now();
         let mut numbers: Vec<Option<i64>> = vec![None; n];
         numbers[me0] = Some(number);
         for p in (0..n).filter(|&p| p != me0) {
-            if m.pe_failed(p) {
+            if m.pe_dead_at(p, t_form) {
                 continue;
             }
             let mut got = [0i64];
-            // A death racing the exchange surfaces here; the image is
-            // simply not a member (the survivors re-form again if needed).
-            if shmem.try_get(slots.at(p), &mut got, p).is_ok() && !m.pe_failed(p) {
-                numbers[p] = Some(got[0]);
-            }
+            shmem.read_local(slots.at(p), &mut got);
+            numbers[p] = Some(got[0]);
         }
         // Sibling teams minted by this statement share one deterministic id
         // block: sorted distinct numbers index into it, so every live image

@@ -68,6 +68,12 @@ pub struct MachineConfig {
     pub trace: bool,
     /// Record per-op metrics (see `crate::metrics`). Off by default.
     pub metrics: bool,
+    /// Width of the metrics registry's virtual-time windows, ns. `0` (the
+    /// default) records no windowed series; non-zero additionally buckets
+    /// `observe_windowed`/`count_windowed` feeds into fixed windows for
+    /// deterministic percentile-over-time / throughput-over-time series.
+    /// Only meaningful when metrics are enabled.
+    pub metrics_window_ns: u64,
     /// Race & sync sanitizer mode (see `crate::sanitizer`). Off by default.
     pub sanitizer: SanitizerMode,
     /// Deterministic fault schedule (see `crate::fault`). `None` by default;
@@ -143,6 +149,14 @@ impl MachineConfig {
     /// Enable the per-op metrics registry.
     pub fn with_metrics(mut self, on: bool) -> Self {
         self.metrics = on;
+        self
+    }
+
+    /// Bucket windowed metric feeds into fixed `window_ns`-wide virtual-time
+    /// windows (see the `metrics_window_ns` field). Implies nothing about
+    /// the enable flag — combine with [`MachineConfig::with_metrics`].
+    pub fn with_metrics_window(mut self, window_ns: u64) -> Self {
+        self.metrics_window_ns = window_ns;
         self
     }
 

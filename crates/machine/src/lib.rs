@@ -39,6 +39,7 @@ pub mod nic;
 pub mod platforms;
 pub mod sanitizer;
 pub mod sched;
+pub mod slo;
 pub mod stats;
 pub mod stream;
 pub mod sync;
@@ -50,12 +51,16 @@ pub use critdiff::{digest_metrics, CritDiff, MetricDigest, RunDigest};
 pub use critpath::{critical_path, CriticalPathReport, PathCategory, PathSegment};
 pub use fault::{with_forced_plan, DegradedWindow, FaultKind, FaultPlan, PeFailure, RetryPolicy};
 pub use integrity::with_forced_checksums;
-pub use launch::{run, run_with_result, NicSnapshot, SimError, SimOutcome};
+pub use launch::{run, run_with_result, NicSnapshot, RequestLog, SimError, SimOutcome};
 pub use machine::{Machine, PeId};
-pub use metrics::{with_forced_metrics, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    with_forced_metrics, HistogramEntry, MetricsRegistry, MetricsSnapshot, WindowCounterEntry,
+    WindowEntry,
+};
 pub use platforms::{cray_xc30, generic_smp, stampede, titan, Platform};
 pub use sanitizer::{with_forced_mode, HazardKind, HazardReport, SanitizerMode};
 pub use sched::with_forced_workers;
+pub use slo::{BurnWindow, SloAlert, SloReport, SloSpec, SloWindow};
 pub use stats::{FaultEvent, PlanDecision, StatsSnapshot};
 pub use stream::{with_forced_stream, SnapshotRing, StreamConfig, StreamConsumer, StreamSample};
 pub use trace::with_forced_tracing;

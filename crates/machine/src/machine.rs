@@ -222,9 +222,10 @@ impl Machine {
                 crate::trace::forced_tracing().unwrap_or_else(|| cfg.trace_enabled()),
                 n,
             ),
-            metrics: MetricsRegistry::new(
+            metrics: MetricsRegistry::new_windowed(
                 crate::metrics::forced_metrics().unwrap_or_else(|| cfg.metrics_enabled()),
                 n,
+                cfg.metrics_window_ns,
             ),
             sanitizer: Sanitizer::new(
                 crate::sanitizer::forced_mode().unwrap_or_else(|| cfg.sanitizer_mode()),
@@ -586,6 +587,10 @@ impl Machine {
                     busy_ns: nic.busy_ns(),
                 })
                 .collect(),
+            windows: match st.cfg.window_metric() {
+                Some(name) => self.metrics.live_window_series(name),
+                None => Vec::new(),
+            },
         };
         // Fan out to push consumers (dashboards, pgas_top's live series)
         // before the ring can evict anything: a slow puller never costs a

@@ -41,8 +41,12 @@ struct Histogram {
     sum: u64,
     min: u64,
     max: u64,
-    /// Sparse log2 buckets: `(bucket_index, count)`, sorted by index.
-    buckets: BTreeMap<u8, u64>,
+    /// Sparse log2 buckets: `bucket_index -> (count, exact value sum)`,
+    /// sorted by index. Carrying the exact per-bucket sum alongside the
+    /// count bounds the error of interpolated percentile estimates: the
+    /// bucket's true mean anchors the interpolation, instead of reading
+    /// values off the bucket edge.
+    buckets: BTreeMap<u8, (u64, u64)>,
 }
 
 impl Histogram {
@@ -56,8 +60,72 @@ impl Histogram {
         }
         self.count += 1;
         self.sum = self.sum.saturating_add(v);
-        *self.buckets.entry(bucket_of(v)).or_insert(0) += 1;
+        let slot = self.buckets.entry(bucket_of(v)).or_insert((0, 0));
+        slot.0 += 1;
+        slot.1 = slot.1.saturating_add(v);
     }
+
+    /// Fold `other` into `self` (used when merging per-PE window shards).
+    fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (&i, &(c, s)) in &other.buckets {
+            let slot = self.buckets.entry(i).or_insert((0, 0));
+            slot.0 += c;
+            slot.1 = slot.1.saturating_add(s);
+        }
+    }
+}
+
+/// Interpolated percentile over sparse log2 buckets carrying exact per-bucket
+/// `(count, sum)`. The estimate is linear interpolation across the containing
+/// bucket's `[lo, hi]` range, shifted so the bucket's centre of mass sits at
+/// the bucket's *exact* mean (`sum / count`) rather than its midpoint, then
+/// clamped back into the bucket — so the error is bounded by the containing
+/// bucket's width, and is exactly zero when the bucket holds one value or
+/// many copies of the same value.
+fn percentile_impl<'a>(
+    count: u64,
+    min: u64,
+    max: u64,
+    q: f64,
+    buckets: impl Iterator<Item = &'a (u8, u64, u64)>,
+) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for &(i, c, s) in buckets {
+        if c == 0 {
+            continue;
+        }
+        if seen + c >= rank {
+            let lo = if i == 0 { 0 } else { bucket_bound(i - 1) + 1 }.max(min);
+            let hi = bucket_bound(i).min(max).max(lo);
+            let mean = (s / c).clamp(lo, hi);
+            if c == 1 {
+                return mean;
+            }
+            let frac = (rank - seen - 1) as f64 / (c - 1) as f64;
+            let est = lo as f64 + frac * (hi - lo) as f64;
+            let mid = (lo as f64 + hi as f64) / 2.0;
+            let shifted = est + (mean as f64 - mid);
+            return shifted.round().clamp(lo as f64, hi as f64) as u64;
+        }
+        seen += c;
+    }
+    max
 }
 
 /// Log2 bucket index for a value: the smallest `i` with `v <= 2^i`,
@@ -71,7 +139,7 @@ fn bucket_of(v: u64) -> u8 {
 }
 
 /// Upper bound of bucket `i` (inclusive), as used for Prometheus `le` labels.
-fn bucket_bound(i: u8) -> u64 {
+pub(crate) fn bucket_bound(i: u8) -> u64 {
     1u64 << i
 }
 
@@ -80,23 +148,47 @@ struct Shard {
     counters: BTreeMap<MetricKey, u64>,
     gauges: BTreeMap<MetricKey, u64>,
     histograms: BTreeMap<MetricKey, Histogram>,
+    /// Windowed histogram series: `(name, virtual-time window index)` →
+    /// histogram of the values whose timestamps fell in that window. The
+    /// peer dimension is dropped — a window series is a time series of the
+    /// whole machine, not a per-link view.
+    windows: BTreeMap<(&'static str, u64), Histogram>,
+    /// Windowed counter series (throughput-over-time).
+    window_counters: BTreeMap<(&'static str, u64), u64>,
 }
 
 /// Per-PE sharded metrics registry. See the module docs for the big picture.
 #[derive(Debug)]
 pub struct MetricsRegistry {
     enabled: bool,
+    /// Width of one virtual-time window in ns; `0` disables the windowed
+    /// series entirely (the default), keeping snapshots bit-identical with
+    /// pre-windowing builds.
+    window_ns: u64,
     shards: Vec<Mutex<Shard>>,
 }
 
 impl MetricsRegistry {
     pub fn new(enabled: bool, num_pes: usize) -> MetricsRegistry {
+        MetricsRegistry::new_windowed(enabled, num_pes, 0)
+    }
+
+    /// A registry that additionally buckets [`MetricsRegistry::observe_windowed`]
+    /// / [`MetricsRegistry::count_windowed`] feeds into fixed `window_ns`-wide
+    /// virtual-time windows.
+    pub fn new_windowed(enabled: bool, num_pes: usize, window_ns: u64) -> MetricsRegistry {
         let shards = if enabled {
             (0..num_pes.max(1)).map(|_| Mutex::new(Shard::default())).collect()
         } else {
             Vec::new()
         };
-        MetricsRegistry { enabled, shards }
+        MetricsRegistry { enabled, window_ns, shards }
+    }
+
+    /// Width of the virtual-time metric windows (0 = windowing off).
+    #[inline]
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
     }
 
     /// Whether the registry records anything. When false every recording
@@ -136,6 +228,50 @@ impl MetricsRegistry {
         shard.histograms.entry((name, peer_node)).or_default().observe(v);
     }
 
+    /// Record `v` into the histogram `name` *and*, when windowing is
+    /// configured, into the virtual-time window containing `t_ns` (normally
+    /// the completion instant). With `window_ns == 0` this is exactly
+    /// [`MetricsRegistry::observe`].
+    #[inline]
+    pub fn observe_windowed(
+        &self,
+        pe: usize,
+        name: &'static str,
+        peer_node: Option<usize>,
+        t_ns: u64,
+        v: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let mut shard = self.shards[pe].lock();
+        shard.histograms.entry((name, peer_node)).or_default().observe(v);
+        if let Some(w) = t_ns.checked_div(self.window_ns) {
+            shard.windows.entry((name, w)).or_default().observe(v);
+        }
+    }
+
+    /// Add `n` to counter `name` *and*, when windowing is configured, to the
+    /// windowed counter series at `t_ns` (throughput-over-time).
+    #[inline]
+    pub fn count_windowed(
+        &self,
+        pe: usize,
+        name: &'static str,
+        peer_node: Option<usize>,
+        t_ns: u64,
+        n: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let mut shard = self.shards[pe].lock();
+        *shard.counters.entry((name, peer_node)).or_insert(0) += n;
+        if let Some(w) = t_ns.checked_div(self.window_ns) {
+            *shard.window_counters.entry((name, w)).or_insert(0) += n;
+        }
+    }
+
     /// Live counter totals summed over PEs and peers, sorted by name — the
     /// cheap mid-run view the streaming snapshot channel samples. Unlike
     /// [`MetricsRegistry::snapshot`] this allocates no per-entry structure
@@ -152,12 +288,37 @@ impl MetricsRegistry {
         totals.into_iter().collect()
     }
 
+    /// The live windowed series for histogram `name`, merged across PE
+    /// shards — the mid-run view the streaming snapshot channel samples for
+    /// `pgas_top -- serve`. Read-only: sampling mid-run perturbs nothing and
+    /// moves no virtual clock.
+    pub fn live_window_series(&self, name: &'static str) -> Vec<WindowEntry> {
+        if !self.enabled || self.window_ns == 0 {
+            return Vec::new();
+        }
+        let mut merged: BTreeMap<u64, Histogram> = BTreeMap::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for (&(n, w), h) in &shard.windows {
+                if n == name {
+                    merged.entry(w).or_default().merge(h);
+                }
+            }
+        }
+        merged
+            .into_iter()
+            .map(|(w, h)| WindowEntry::from_histogram(name, w, self.window_ns, &h))
+            .collect()
+    }
+
     /// Merge every shard into a deterministic snapshot, folding in the
     /// global stats counters.
     pub fn snapshot(&self, stats: StatsSnapshot) -> MetricsSnapshot {
         let mut counters = Vec::new();
         let mut gauges = Vec::new();
         let mut histograms = Vec::new();
+        let mut wmap: BTreeMap<(&'static str, u64), Histogram> = BTreeMap::new();
+        let mut wcounters: BTreeMap<(&'static str, u64), u64> = BTreeMap::new();
         for (pe, shard) in self.shards.iter().enumerate() {
             let shard = shard.lock();
             for (&(name, peer_node), &value) in &shard.counters {
@@ -175,11 +336,39 @@ impl MetricsRegistry {
                     sum: h.sum,
                     min: h.min,
                     max: h.max,
-                    buckets: h.buckets.iter().map(|(&i, &c)| (i, c)).collect(),
+                    buckets: h.buckets.iter().map(|(&i, &(c, s))| (i, c, s)).collect(),
                 });
             }
+            for (&key, h) in &shard.windows {
+                wmap.entry(key).or_default().merge(h);
+            }
+            for (&key, &v) in &shard.window_counters {
+                *wcounters.entry(key).or_insert(0) += v;
+            }
         }
-        MetricsSnapshot { enabled: self.enabled, stats, counters, gauges, histograms }
+        let windows = wmap
+            .into_iter()
+            .map(|((name, w), h)| WindowEntry::from_histogram(name, w, self.window_ns, &h))
+            .collect();
+        let window_counters = wcounters
+            .into_iter()
+            .map(|((name, window), value)| WindowCounterEntry {
+                name,
+                window,
+                start_ns: window * self.window_ns,
+                value,
+            })
+            .collect();
+        MetricsSnapshot {
+            enabled: self.enabled,
+            window_ns: self.window_ns,
+            stats,
+            counters,
+            gauges,
+            histograms,
+            windows,
+            window_counters,
+        }
     }
 }
 
@@ -202,9 +391,66 @@ pub struct HistogramEntry {
     pub sum: u64,
     pub min: u64,
     pub max: u64,
-    /// `(bucket_index, count)` pairs, sorted by index. Bucket `i` covers
-    /// values `<= 2^i`.
-    pub buckets: Vec<(u8, u64)>,
+    /// `(bucket_index, count, exact value sum)` triples, sorted by index.
+    /// Bucket `i` covers values `<= 2^i`.
+    pub buckets: Vec<(u8, u64, u64)>,
+}
+
+impl HistogramEntry {
+    /// Interpolated percentile estimate (`q` in `[0, 1]`) with error bounded
+    /// by the containing bucket's width — see [`percentile_impl`].
+    pub fn percentile(&self, q: f64) -> u64 {
+        percentile_impl(self.count, self.min, self.max, q, self.buckets.iter())
+    }
+}
+
+/// One virtual-time window of a windowed histogram series, merged over PEs
+/// and peers: the machine-wide latency distribution of the values whose
+/// timestamps fell in `[start_ns, start_ns + window_ns)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowEntry {
+    pub name: &'static str,
+    /// Window index (`timestamp / window_ns`).
+    pub window: u64,
+    /// Window start in virtual ns (`window * window_ns`).
+    pub start_ns: u64,
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// `(bucket_index, count, exact value sum)` triples, sorted by index.
+    pub buckets: Vec<(u8, u64, u64)>,
+}
+
+impl WindowEntry {
+    fn from_histogram(name: &'static str, window: u64, window_ns: u64, h: &Histogram) -> Self {
+        WindowEntry {
+            name,
+            window,
+            start_ns: window * window_ns,
+            count: h.count,
+            sum: h.sum,
+            min: h.min,
+            max: h.max,
+            buckets: h.buckets.iter().map(|(&i, &(c, s))| (i, c, s)).collect(),
+        }
+    }
+
+    /// Interpolated percentile estimate (`q` in `[0, 1]`) with error bounded
+    /// by the containing bucket's width — see [`percentile_impl`].
+    pub fn percentile(&self, q: f64) -> u64 {
+        percentile_impl(self.count, self.min, self.max, q, self.buckets.iter())
+    }
+}
+
+/// One virtual-time window of a windowed counter series (merged over PEs and
+/// peers): how many events `name` counted in `[start_ns, start_ns + window_ns)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowCounterEntry {
+    pub name: &'static str,
+    pub window: u64,
+    pub start_ns: u64,
+    pub value: u64,
 }
 
 /// Immutable, deterministic view of a finished run's metrics.
@@ -216,17 +462,38 @@ pub struct MetricsSnapshot {
     /// Whether the registry was recording. A disabled run still carries the
     /// stats block so `SimOutcome.metrics` is always meaningful.
     pub enabled: bool,
+    /// Virtual-time window width of the windowed series (0 = none recorded).
+    pub window_ns: u64,
     /// The global stats counters, absorbed into the snapshot.
     pub stats: StatsSnapshot,
     pub counters: Vec<MetricEntry>,
     pub gauges: Vec<MetricEntry>,
     pub histograms: Vec<HistogramEntry>,
+    /// Windowed histogram series, sorted by `(name, window)`.
+    pub windows: Vec<WindowEntry>,
+    /// Windowed counter series, sorted by `(name, window)`.
+    pub window_counters: Vec<WindowCounterEntry>,
 }
 
 impl MetricsSnapshot {
     /// Total of counter `name` summed across PEs and peers.
     pub fn counter_total(&self, name: &str) -> u64 {
         self.counters.iter().filter(|e| e.name == name).map(|e| e.value).sum()
+    }
+
+    /// The windowed histogram series for `name`, in window order — the
+    /// deterministic p50/p99/p999-over-time view.
+    pub fn window_series<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a WindowEntry> {
+        self.windows.iter().filter(move |w| w.name == name)
+    }
+
+    /// The windowed counter series for `name`, in window order — the
+    /// throughput-over-time view.
+    pub fn window_counter_series<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = &'a WindowCounterEntry> {
+        self.window_counters.iter().filter(move |w| w.name == name)
     }
 
     /// The histogram entries for `name`, across all PEs and peers.
@@ -253,6 +520,20 @@ impl MetricsSnapshot {
             fields.push(("value".to_string(), Json::uint(e.value as usize)));
             Json::Object(fields)
         };
+        let buckets_json = |buckets: &[(u8, u64, u64)]| {
+            Json::Array(
+                buckets
+                    .iter()
+                    .map(|&(i, c, s)| {
+                        Json::Object(vec![
+                            ("le".to_string(), Json::uint(bucket_bound(i) as usize)),
+                            ("count".to_string(), Json::uint(c as usize)),
+                            ("sum".to_string(), Json::uint(s as usize)),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
         let hist = |h: &HistogramEntry| {
             let mut fields =
                 vec![("name".to_string(), Json::str(h.name)), ("pe".to_string(), Json::uint(h.pe))];
@@ -263,25 +544,44 @@ impl MetricsSnapshot {
             fields.push(("sum".to_string(), Json::uint(h.sum as usize)));
             fields.push(("min".to_string(), Json::uint(h.min as usize)));
             fields.push(("max".to_string(), Json::uint(h.max as usize)));
-            let buckets = h
-                .buckets
-                .iter()
-                .map(|&(i, c)| {
-                    Json::Object(vec![
-                        ("le".to_string(), Json::uint(bucket_bound(i) as usize)),
-                        ("count".to_string(), Json::uint(c as usize)),
-                    ])
-                })
-                .collect();
-            fields.push(("buckets".to_string(), Json::Array(buckets)));
+            fields.push(("buckets".to_string(), buckets_json(&h.buckets)));
             Json::Object(fields)
+        };
+        let window = |w: &WindowEntry| {
+            Json::Object(vec![
+                ("name".to_string(), Json::str(w.name)),
+                ("window".to_string(), Json::uint(w.window as usize)),
+                ("start_ns".to_string(), Json::uint(w.start_ns as usize)),
+                ("count".to_string(), Json::uint(w.count as usize)),
+                ("sum".to_string(), Json::uint(w.sum as usize)),
+                ("min".to_string(), Json::uint(w.min as usize)),
+                ("max".to_string(), Json::uint(w.max as usize)),
+                ("p50".to_string(), Json::uint(w.percentile(0.50) as usize)),
+                ("p99".to_string(), Json::uint(w.percentile(0.99) as usize)),
+                ("p999".to_string(), Json::uint(w.percentile(0.999) as usize)),
+                ("buckets".to_string(), buckets_json(&w.buckets)),
+            ])
+        };
+        let wcounter = |w: &WindowCounterEntry| {
+            Json::Object(vec![
+                ("name".to_string(), Json::str(w.name)),
+                ("window".to_string(), Json::uint(w.window as usize)),
+                ("start_ns".to_string(), Json::uint(w.start_ns as usize)),
+                ("value".to_string(), Json::uint(w.value as usize)),
+            ])
         };
         Json::Object(vec![
             ("enabled".to_string(), Json::Bool(self.enabled)),
+            ("window_ns".to_string(), Json::uint(self.window_ns as usize)),
             ("stats".to_string(), stats_json(&self.stats)),
             ("counters".to_string(), Json::Array(self.counters.iter().map(entry).collect())),
             ("gauges".to_string(), Json::Array(self.gauges.iter().map(entry).collect())),
             ("histograms".to_string(), Json::Array(self.histograms.iter().map(hist).collect())),
+            ("windows".to_string(), Json::Array(self.windows.iter().map(window).collect())),
+            (
+                "window_counters".to_string(),
+                Json::Array(self.window_counters.iter().map(wcounter).collect()),
+            ),
         ])
     }
 
@@ -329,7 +629,7 @@ impl MetricsSnapshot {
             }
             let base = labels(h.pe, h.peer_node);
             let mut cumulative = 0u64;
-            for &(i, c) in &h.buckets {
+            for &(i, c, _) in &h.buckets {
                 cumulative += c;
                 out.push_str(&format!(
                     "pgas_{}_bucket{{{},le=\"{}\"}} {}\n",
@@ -342,6 +642,39 @@ impl MetricsSnapshot {
             out.push_str(&format!("pgas_{}_bucket{{{},le=\"+Inf\"}} {}\n", h.name, base, h.count));
             out.push_str(&format!("pgas_{}_sum{{{}}} {}\n", h.name, base, h.sum));
             out.push_str(&format!("pgas_{}_count{{{}}} {}\n", h.name, base, h.count));
+        }
+        // Windowed series: each histogram window becomes one summary block
+        // labelled by its virtual-time window start, each counter window one
+        // sample of a `_window_total` counter series.
+        last_name = "";
+        for w in &self.windows {
+            if w.name != last_name {
+                out.push_str(&format!("# TYPE pgas_{}_window summary\n", w.name));
+                last_name = w.name;
+            }
+            let base = format!("window_start_ns=\"{}\"", w.start_ns);
+            for (label, q) in [("0.5", 0.50), ("0.99", 0.99), ("0.999", 0.999)] {
+                out.push_str(&format!(
+                    "pgas_{}_window{{{},quantile=\"{}\"}} {}\n",
+                    w.name,
+                    base,
+                    label,
+                    w.percentile(q)
+                ));
+            }
+            out.push_str(&format!("pgas_{}_window_sum{{{}}} {}\n", w.name, base, w.sum));
+            out.push_str(&format!("pgas_{}_window_count{{{}}} {}\n", w.name, base, w.count));
+        }
+        last_name = "";
+        for w in &self.window_counters {
+            if w.name != last_name {
+                out.push_str(&format!("# TYPE pgas_{}_window_total counter\n", w.name));
+                last_name = w.name;
+            }
+            out.push_str(&format!(
+                "pgas_{}_window_total{{window_start_ns=\"{}\"}} {}\n",
+                w.name, w.start_ns, w.value
+            ));
         }
         out
     }
@@ -529,6 +862,89 @@ mod tests {
             assert_eq!(forced_metrics(), Some(true));
         });
         assert_eq!(forced_metrics(), None);
+    }
+
+    #[test]
+    fn percentiles_interpolate_with_bounded_error() {
+        let reg = MetricsRegistry::new(true, 1);
+        // 100 copies of the same value: every percentile is exact, because
+        // the bucket's exact mean pins the estimate.
+        for _ in 0..100 {
+            reg.observe(0, "put_ns", None, 700);
+        }
+        let snap = reg.snapshot(StatsSnapshot::default());
+        let h = snap.histograms_named("put_ns").next().unwrap();
+        assert_eq!(h.percentile(0.50), 700);
+        assert_eq!(h.percentile(0.99), 700);
+        assert_eq!(h.percentile(0.999), 700);
+
+        // Spread values: estimates stay within the containing log2 bucket.
+        let reg = MetricsRegistry::new(true, 1);
+        for v in 1..=1000u64 {
+            reg.observe(0, "get_ns", None, v);
+        }
+        let snap = reg.snapshot(StatsSnapshot::default());
+        let h = snap.histograms_named("get_ns").next().unwrap();
+        let p50 = h.percentile(0.50);
+        // True p50 = 500, containing bucket covers (256, 512].
+        assert!((257..=512).contains(&p50), "p50 estimate {p50} outside its bucket");
+        let p999 = h.percentile(0.999);
+        // True p999 = 1000, containing bucket covers (512, 1024] but is
+        // clamped to the observed max.
+        assert!((513..=1000).contains(&p999), "p999 estimate {p999} outside its bucket");
+        assert_eq!(h.percentile(1.0), 1000, "p100 is the exact max");
+    }
+
+    #[test]
+    fn windowed_observations_build_time_series() {
+        let reg = MetricsRegistry::new_windowed(true, 2, 1000);
+        assert_eq!(reg.window_ns(), 1000);
+        // Two PEs feed the same metric; windows merge across shards.
+        reg.observe_windowed(0, "serve_latency_ns", None, 100, 10);
+        reg.observe_windowed(1, "serve_latency_ns", None, 900, 30);
+        reg.observe_windowed(0, "serve_latency_ns", None, 2500, 80);
+        reg.count_windowed(0, "serve_requests", None, 100, 1);
+        reg.count_windowed(1, "serve_requests", None, 2600, 2);
+        let snap = reg.snapshot(StatsSnapshot::default());
+        assert_eq!(snap.window_ns, 1000);
+        let wins: Vec<_> = snap.window_series("serve_latency_ns").collect();
+        assert_eq!(wins.len(), 2);
+        assert_eq!((wins[0].window, wins[0].start_ns, wins[0].count), (0, 0, 2));
+        assert_eq!(wins[0].sum, 40);
+        assert_eq!((wins[1].window, wins[1].start_ns, wins[1].count), (2, 2000, 1));
+        assert_eq!(wins[1].percentile(0.99), 80);
+        let counts: Vec<_> =
+            snap.window_counter_series("serve_requests").map(|w| (w.start_ns, w.value)).collect();
+        assert_eq!(counts, vec![(0, 1), (2000, 2)]);
+        // The plain (unwindowed) histogram still carries the total.
+        assert_eq!(snap.histogram_totals("serve_latency_ns"), (3, 120));
+        // Live view matches the snapshot's merged series.
+        let live = reg.live_window_series("serve_latency_ns");
+        assert_eq!(live.len(), 2);
+        assert_eq!(&live[0], wins[0]);
+        assert_eq!(&live[1], wins[1]);
+        // Prometheus export carries the windowed series.
+        let text = snap.to_prometheus();
+        assert!(
+            text.contains("pgas_serve_latency_ns_window{window_start_ns=\"0\",quantile=\"0.5\"}")
+        );
+        assert!(text.contains("pgas_serve_latency_ns_window_count{window_start_ns=\"2000\"} 1"));
+        assert!(text.contains("pgas_serve_requests_window_total{window_start_ns=\"2000\"} 2"));
+    }
+
+    #[test]
+    fn windowing_off_records_no_window_series() {
+        let reg = MetricsRegistry::new(true, 1);
+        reg.observe_windowed(0, "serve_latency_ns", None, 500, 42);
+        reg.count_windowed(0, "serve_requests", None, 500, 1);
+        let snap = reg.snapshot(StatsSnapshot::default());
+        assert_eq!(snap.window_ns, 0);
+        assert!(snap.windows.is_empty());
+        assert!(snap.window_counters.is_empty());
+        assert!(reg.live_window_series("serve_latency_ns").is_empty());
+        // The unwindowed feeds still landed.
+        assert_eq!(snap.histogram_totals("serve_latency_ns"), (1, 42));
+        assert_eq!(snap.counter_total("serve_requests"), 1);
     }
 
     #[test]

@@ -78,6 +78,7 @@ pub fn stampede(nodes: usize, cores_per_node: usize) -> MachineConfig {
         stack_bytes: DEFAULT_STACK,
         trace: false,
         metrics: false,
+        metrics_window_ns: 0,
         sanitizer: SanitizerMode::Off,
         faults: None,
         stream: None,
@@ -106,6 +107,7 @@ pub fn titan(nodes: usize, cores_per_node: usize) -> MachineConfig {
         stack_bytes: DEFAULT_STACK,
         trace: false,
         metrics: false,
+        metrics_window_ns: 0,
         sanitizer: SanitizerMode::Off,
         faults: None,
         stream: None,
@@ -134,6 +136,7 @@ pub fn cray_xc30(nodes: usize, cores_per_node: usize) -> MachineConfig {
         stack_bytes: DEFAULT_STACK,
         trace: false,
         metrics: false,
+        metrics_window_ns: 0,
         sanitizer: SanitizerMode::Off,
         faults: None,
         stream: None,
@@ -162,6 +165,7 @@ pub fn generic_smp(cores: usize) -> MachineConfig {
         stack_bytes: DEFAULT_STACK,
         trace: false,
         metrics: false,
+        metrics_window_ns: 0,
         sanitizer: SanitizerMode::Off,
         faults: None,
         stream: None,

@@ -25,6 +25,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::launch::NicSnapshot;
+use crate::metrics::WindowEntry;
 use crate::trace::Span;
 
 /// One sample of the machine's observable state at (or just past) a cadence
@@ -45,6 +46,11 @@ pub struct StreamSample {
     pub inflight: Vec<Option<Span>>,
     /// Per-node NIC traffic so far.
     pub nics: Vec<NicSnapshot>,
+    /// The live windowed series of the metric named by
+    /// [`StreamConfig::with_window_metric`], merged across PEs — what
+    /// `pgas_top -- serve` renders p50/p99/p999 and burn rates from. Empty
+    /// unless the machine records windowed metrics and a metric was named.
+    pub windows: Vec<WindowEntry>,
 }
 
 #[derive(Debug, Default)]
@@ -131,6 +137,8 @@ pub struct StreamConfig {
     cadence_ns: u64,
     ring: Arc<SnapshotRing>,
     consumers: Arc<Mutex<Vec<StreamConsumer>>>,
+    /// Windowed metric to sample into [`StreamSample::windows`], if any.
+    window_metric: Option<&'static str>,
 }
 
 impl std::fmt::Debug for StreamConfig {
@@ -152,7 +160,22 @@ impl StreamConfig {
             cadence_ns,
             ring: Arc::new(SnapshotRing::new(capacity)),
             consumers: Arc::new(Mutex::new(Vec::new())),
+            window_metric: None,
         }
+    }
+
+    /// Sample the live windowed series of histogram `name` into every
+    /// [`StreamSample`] (requires the machine to record windowed metrics —
+    /// see `MachineConfig::with_metrics_window`). Like every stream read,
+    /// this moves no virtual clock.
+    pub fn with_window_metric(mut self, name: &'static str) -> Self {
+        self.window_metric = Some(name);
+        self
+    }
+
+    /// The windowed metric this stream samples, if any.
+    pub fn window_metric(&self) -> Option<&'static str> {
+        self.window_metric
     }
 
     /// Sampling cadence in virtual nanoseconds.
@@ -233,6 +256,7 @@ mod tests {
             counters: Vec::new(),
             inflight: Vec::new(),
             nics: Vec::new(),
+            windows: Vec::new(),
         }
     }
 

@@ -96,6 +96,12 @@ pub struct Span {
     /// world team / no team scope). Lets flow analysis attribute traffic to
     /// a `form team`/`change team` region.
     pub team: u32,
+    /// Serving-request id this span belongs to (0 = none). Stamped by
+    /// [`Tracer::record`] from the PE's open request (see
+    /// [`Tracer::begin_request`]), so every op a request caused — including
+    /// its retries under a fault plan — can be folded back into that
+    /// request's latency decomposition.
+    pub req: u64,
 }
 
 impl Span {
@@ -122,8 +128,29 @@ impl Span {
             remote_begin: 0,
             remote_end: 0,
             team: 0,
+            req: 0,
         }
     }
+}
+
+/// One served request's lifecycle markers, recorded by
+/// [`Tracer::begin_request`] / [`Tracer::end_request`]: when it *arrived*
+/// (was admitted by the open-loop virtual clock), when the PE actually
+/// started serving it, and when it completed. The gap between arrival and
+/// begin is real queueing delay — the generator admits by the virtual clock,
+/// not by completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReqRecord {
+    /// Request id, `pe << 32 | seq` by convention (seq starts at 1).
+    pub id: u64,
+    /// PE that served the request.
+    pub pe: usize,
+    /// Open-loop arrival instant (virtual ns).
+    pub arrival_ns: u64,
+    /// Instant the PE began serving.
+    pub begin_ns: u64,
+    /// Completion instant.
+    pub end_ns: u64,
 }
 
 #[derive(Debug, Default)]
@@ -131,6 +158,12 @@ struct PeBuf {
     spans: Vec<Span>,
     next_seq: u32,
     scope_stack: Vec<u64>,
+    /// Open serving request on this PE (0 = none); stamped onto every span
+    /// recorded while set.
+    current_req: u64,
+    /// Arrival/begin of the open request, carried until `end_request`.
+    open_req: (u64, u64),
+    requests: Vec<ReqRecord>,
 }
 
 impl PeBuf {
@@ -177,9 +210,53 @@ impl Tracer {
         if span.parent == 0 {
             span.parent = buf.scope_stack.last().copied().unwrap_or(0);
         }
+        if span.req == 0 {
+            span.req = buf.current_req;
+        }
         let id = span.id;
         buf.spans.push(span);
         id
+    }
+
+    /// Mark `pe` as serving request `req_id` (admitted at `arrival_ns`,
+    /// service beginning at `begin_ns`): every span recorded on `pe` until
+    /// the matching [`Tracer::end_request`] is stamped with the id. No-op
+    /// when disabled — request decomposition is part of the tracing layer.
+    pub fn begin_request(&self, pe: usize, req_id: u64, arrival_ns: u64, begin_ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut buf = self.pes[pe].lock();
+        buf.current_req = req_id;
+        buf.open_req = (arrival_ns, begin_ns);
+    }
+
+    /// Close the open request on `pe`, recording its [`ReqRecord`] with
+    /// completion instant `end_ns`. No-op when disabled or no request open.
+    pub fn end_request(&self, pe: usize, end_ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut buf = self.pes[pe].lock();
+        if buf.current_req == 0 {
+            return;
+        }
+        let (arrival_ns, begin_ns) = buf.open_req;
+        let id = buf.current_req;
+        buf.requests.push(ReqRecord { id, pe, arrival_ns, begin_ns, end_ns });
+        buf.current_req = 0;
+        buf.open_req = (0, 0);
+    }
+
+    /// Take all recorded request records, merged across PEs and sorted by
+    /// `(pe, id)` — a deterministic total order.
+    pub fn drain_requests(&self) -> Vec<ReqRecord> {
+        let mut reqs = Vec::new();
+        for buf in &self.pes {
+            reqs.append(&mut buf.lock().requests);
+        }
+        reqs.sort_by_key(|r| (r.pe, r.id));
+        reqs
     }
 
     /// Open a nesting scope on `pe` (e.g. at collective entry): reserves and
@@ -278,6 +355,9 @@ pub fn chrome_trace_json(spans: &[Span], cores_per_node: usize) -> String {
         if s.queue_ns > 0 || s.service_ns > 0 {
             args.push(("queue_ns".into(), Json::uint(s.queue_ns as usize)));
             args.push(("service_ns".into(), Json::uint(s.service_ns as usize)));
+        }
+        if s.req != 0 {
+            args.push(("req".into(), Json::uint(s.req as usize)));
         }
         events.push(Json::Object(vec![
             ("name".into(), Json::str(s.kind.label())),
@@ -493,6 +573,33 @@ mod tests {
             .expect("deliver slice present");
         assert_eq!(deliver.get("tid").and_then(|v| v.as_i64()), Some(2));
         assert_eq!(deliver.get("pid").and_then(|v| v.as_i64()), Some(1));
+    }
+
+    #[test]
+    fn request_markers_stamp_spans_and_record_lifecycle() {
+        let t = Tracer::new(true, 2);
+        let req = (2u64 << 32) | 1; // PE 2's request #1 id shape
+        t.begin_request(0, req, 100, 150);
+        t.record(span(0, SpanKind::Put, 150, 300));
+        t.record(span(0, SpanKind::Get, 300, 500));
+        t.end_request(0, 500);
+        t.record(span(0, SpanKind::Compute, 500, 600));
+        t.record(span(1, SpanKind::Put, 200, 250));
+        let reqs = t.drain_requests();
+        assert_eq!(
+            reqs,
+            vec![ReqRecord { id: req, pe: 0, arrival_ns: 100, begin_ns: 150, end_ns: 500 }]
+        );
+        let spans = t.drain();
+        let tagged: Vec<_> = spans.iter().filter(|s| s.req == req).collect();
+        assert_eq!(tagged.len(), 2, "only spans inside the request window are tagged");
+        assert!(spans.iter().any(|s| s.kind == SpanKind::Compute && s.req == 0));
+        assert!(spans.iter().any(|s| s.pe == 1 && s.req == 0), "other PEs unaffected");
+        // Disabled tracer: markers are no-ops.
+        let off = Tracer::new(false, 2);
+        off.begin_request(0, req, 0, 0);
+        off.end_request(0, 10);
+        assert!(off.drain_requests().is_empty());
     }
 
     #[test]

@@ -103,7 +103,7 @@ fn churn_top() {
     use std::sync::{Arc, Mutex};
 
     let cfg = ChurnConfig::default();
-    let (victim_pe, deadline) = (4usize, 25_000u64);
+    let (victim_pe, deadline) = (4usize, 30_000u64);
     let images = 9;
     let series: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
     let sink = Arc::clone(&series);
@@ -168,9 +168,118 @@ fn churn_top() {
     println!("final worker team: {:?}", result.members_after);
 }
 
+/// The `serve` mode: watch the open-loop serving workload's windowed
+/// latency telemetry live. The stream samples the `serve_latency_ns`
+/// windowed series ([`StreamConfig::with_window_metric`]) into every
+/// snapshot, and the push consumer evaluates the serving SLO over whatever
+/// windows exist *so far* — current p50/p99/p999 and the fast/slow
+/// burn rates — exactly the way an external dashboard would, moving no
+/// virtual clock.
+fn serve_top() {
+    use caf_apps::serve::{run_serve_outcome, ServeConfig};
+    use pgas_machine::metrics::WindowEntry;
+    use pgas_machine::{with_forced_aggregation, with_forced_plan, FaultPlan};
+    use std::sync::{Arc, Mutex};
+
+    let cfg = ServeConfig {
+        keyspace: 100_000,
+        requests_per_image: 400,
+        epochs: 8,
+        mean_gap_ns: 2_000.0,
+        window_ns: 50_000,
+        slo_threshold_ns: 25_000,
+        ..Default::default()
+    };
+    let (victim_pe, deadline) = (4usize, 300_000u64);
+    let images = 9;
+    let spec = cfg.slo_spec();
+    let window_ns = cfg.window_ns;
+    // One live SLO row per sample: (t, p50, p99, p999, fast burn ×1000).
+    type Row = (u64, u64, u64, u64, u64);
+    let series: Arc<Mutex<Vec<Row>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&series);
+    let stream = StreamConfig::new(20_000, 512)
+        .with_window_metric("serve_latency_ns")
+        .with_consumer(Arc::new(move |s: &StreamSample| {
+            if s.windows.is_empty() {
+                return;
+            }
+            let refs: Vec<&WindowEntry> = s.windows.iter().collect();
+            let report = spec.evaluate_series(window_ns, &refs);
+            if let Some(w) = report.windows.last() {
+                sink.lock().unwrap().push((s.t_ns, w.p50, w.p99, w.p999, w.fast_burn_x1000));
+            }
+        }));
+    let ring = stream.ring();
+    let sim = std::thread::spawn(move || {
+        with_forced_stream(stream, || {
+            with_forced_aggregation(true, || {
+                with_forced_plan(
+                    FaultPlan::new(cfg.seed).with_pe_failure(victim_pe, deadline),
+                    || run_serve_outcome(Platform::Titan, Backend::Shmem, images, cfg, true),
+                )
+            })
+        })
+    });
+
+    let live_tty = std::io::stdout().is_terminal();
+    let mut last_seen: Option<u64> = None;
+    while !sim.is_finished() {
+        if let Some(s) = ring.latest() {
+            if last_seen != Some(s.seq) {
+                last_seen = Some(s.seq);
+                render_frame(&s, live_tty);
+                if let Some(&(t, p50, p99, p999, burn)) = series.lock().unwrap().last() {
+                    println!(
+                        "  slo: p50 {p50} ns  p99 {p99} ns  p999 {p999} ns  \
+                         fast burn {:.1}x at t={t} ns",
+                        burn as f64 / 1000.0
+                    );
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let (result, _out) = sim.join().expect("simulation thread panicked");
+
+    let rows = series.lock().unwrap().clone();
+    println!("\nlive SLO series ({} samples from the stream consumer):", rows.len());
+    let peak_p999 = rows.iter().map(|r| r.3).max().unwrap_or(1).max(1);
+    let mut last_window = None;
+    for &(t, _p50, p99, p999, burn) in &rows {
+        // One line per virtual-time window (samples inside a window repeat).
+        let w = t / window_ns;
+        if last_window == Some(w) {
+            continue;
+        }
+        last_window = Some(w);
+        println!(
+            "  t={t:>8} ns  p99 {p99:>8} ns  p999 {p999:>8} ns [{}] burn {:>6.1}x",
+            bar(p999 as f64 / peak_p999 as f64, 18),
+            burn as f64 / 1000.0
+        );
+    }
+    println!(
+        "\nserve: {} completed + {} drained ({} dropped with the victim), detect epoch {:?}",
+        result.completed, result.drained, result.dropped, result.detect_epoch
+    );
+    println!(
+        "zero lost acknowledged writes: checksum {:#018x} {} acked sum {:#018x}",
+        result.checksum,
+        if result.checksum == result.acked_sum { "==" } else { "!=" },
+        result.acked_sum
+    );
+    println!("final worker team: {:?}\n", result.members_after);
+    println!("{}", result.slo.render());
+}
+
 fn main() {
     if std::env::args().nth(1).as_deref() == Some("churn") {
         churn_top();
+        return;
+    }
+    if std::env::args().nth(1).as_deref() == Some("serve") {
+        serve_top();
         return;
     }
     let images = 8;

@@ -22,6 +22,8 @@ use pgas_machine::{
 
 const FIXTURE: &str =
     concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/observability_golden.prom");
+const SERVING_FIXTURE: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/serving_windows.prom");
 
 /// A deterministic, race-free workload touching every op kind the metrics
 /// registry accounts: puts, gets, locks (uncontended instances), sync_all
@@ -87,6 +89,61 @@ fn prometheus_export_matches_golden_fixture() {
         text, golden,
         "Prometheus export drifted from the committed fixture; if the change \
          is intentional, re-record with UPDATE_GOLDEN=1"
+    );
+}
+
+/// The open-loop serving scenario behind the `serving_slo` figure's probe:
+/// 9 images on one Titan node, Am-mode writes, worker PE 4 dying at 12 µs.
+/// Every env-sensitive layer is forced (aggregation, checksums, fault plan,
+/// metrics) and the NIC arbiter is deterministic, so the export — including
+/// the virtual-time *windowed* series the SLO report is computed from — is
+/// byte-stable on any machine and under any CI job's ambient knobs.
+fn serving_workload() -> pgas_machine::SimOutcome<caf_apps::serve::ServeImageOut> {
+    use caf_apps::serve::{run_serve_outcome, ServeConfig};
+    let cfg = ServeConfig {
+        keyspace: 10_000,
+        requests_per_image: 40,
+        epochs: 2,
+        slots_per_shard: 64,
+        mean_gap_ns: 1_500.0,
+        ..Default::default()
+    };
+    let plan = FaultPlan::new(cfg.seed).with_pe_failure(4, 12_000);
+    pgas_machine::with_forced_aggregation(true, || {
+        pgas_machine::with_forced_checksums(true, || {
+            pgas_machine::with_forced_plan(plan, || {
+                with_forced_metrics(true, || {
+                    run_serve_outcome(Platform::Titan, Backend::Shmem, 9, cfg, true).1
+                })
+            })
+        })
+    })
+}
+
+/// Pins the windowed-series half of the Prometheus surface: histogram
+/// windows render as per-window `summary` blocks labelled by virtual start
+/// time, counter windows as `_window_total` series. Any change to window
+/// bucketing, merge order, quantile extraction or label formatting lands
+/// here as a diff against `tests/fixtures/serving_windows.prom`.
+#[test]
+fn serving_windowed_export_matches_golden_fixture() {
+    let out = serving_workload();
+    let text = out.metrics.to_prometheus();
+    for needle in
+        ["pgas_serve_latency_ns_window", "pgas_serve_queue_ns_window", "pgas_serve_requests_window"]
+    {
+        assert!(text.contains(needle), "windowed series `{needle}` missing from the export");
+    }
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(SERVING_FIXTURE, &text).expect("write serving golden fixture");
+        return;
+    }
+    let golden = std::fs::read_to_string(SERVING_FIXTURE)
+        .expect("missing tests/fixtures/serving_windows.prom — run with UPDATE_GOLDEN=1");
+    assert_eq!(
+        text, golden,
+        "windowed Prometheus export drifted from the committed fixture; if the \
+         change is intentional, re-record with UPDATE_GOLDEN=1"
     );
 }
 
