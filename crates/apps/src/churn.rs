@@ -220,6 +220,11 @@ pub fn run_churn_outcome(
         let mut pending: Vec<(usize, u64)> = Vec::new();
         let mut rounds_log: Vec<(u64, u64, bool)> = Vec::with_capacity(cfg.rounds);
         let (mut replayed, mut retried) = (0u64, 0u64);
+        // Request-id sequence for tail attribution: each direct update is a
+        // tracked request (arrival == begin: churn updates are closed-loop,
+        // they never queue behind an open-loop schedule).
+        let my_pe = img.pe_of(me);
+        let mut seq = 0u64;
         let mut detect_round = u64::MAX;
         let mut reformed = false;
         img.sync_all();
@@ -252,6 +257,15 @@ pub fn run_churn_outcome(
                             pending.push((shard, key));
                             continue;
                         }
+                        seq += 1;
+                        let pe = img.shmem().ctx().pe();
+                        let begin = pe.now();
+                        pe.machine().tracer().begin_request(
+                            my_pe,
+                            ((me as u64) << 32) | seq,
+                            begin,
+                            begin,
+                        );
                         match send(home, key) {
                             Ok(()) => {
                                 recs.push(Rec { shard, key, owner: home });
@@ -262,7 +276,8 @@ pub fn run_churn_outcome(
                             Err(ConduitError::TargetFailed { .. }) => pending.push((shard, key)),
                             Err(e) => panic!("churn update: {e:?}"),
                         }
-                        img.shmem().ctx().pe().compute_ops(20); // hashing
+                        pe.compute_ops(20); // hashing
+                        pe.machine().tracer().end_request(my_pe, pe.now());
                     }
                 });
             }
@@ -551,5 +566,31 @@ mod tests {
         assert_eq!(max_live.load(Ordering::Relaxed), 9, "all images up before the failure");
         assert_eq!(min_live.load(Ordering::Relaxed), 8, "the drop is visible in the stream");
         assert_eq!(stream.consumer_count(), 1);
+    }
+
+    #[test]
+    fn traced_updates_tile_into_request_paths() {
+        use pgas_machine::tailprof::ReqPhase;
+        use pgas_machine::with_forced_tracing;
+        let cfg = ChurnConfig::default();
+        let (r, out) = with_forced_tracing(true, || {
+            with_forced_aggregation(true, || {
+                with_forced_plan(failure_plan(&cfg), || {
+                    run_churn_outcome(Platform::Titan, Backend::Shmem, 9, cfg, true)
+                })
+            })
+        });
+        assert_eq!(r.stats.pe_failures, 1);
+        let paths = out.req_paths();
+        assert!(!paths.is_empty(), "every direct update is a tracked request");
+        for p in &paths {
+            // Closed-loop updates: arrival == begin, so queue-wait is zero
+            // and the phase tiling covers the whole service time exactly.
+            assert_eq!(p.phase_ns[ReqPhase::QueueWait as usize], 0, "{p:?}");
+            assert_eq!(p.phase_ns.iter().sum::<u64>(), p.total_ns(), "tiling is exact: {p:?}");
+        }
+        // Request ids encode (image, seq): every surviving worker shows up.
+        let images: std::collections::BTreeSet<u64> = paths.iter().map(|p| p.id >> 32).collect();
+        assert!(images.len() >= 7, "surviving workers all issued updates: {images:?}");
     }
 }

@@ -36,6 +36,7 @@ use caf::{run_caf, Backend, CafConfig, CafTeam};
 use openshmem::{AmHandler, AmTarget, ConduitError};
 use pgas_machine::slo::{SloReport, SloSpec};
 use pgas_machine::stats::StatsSnapshot;
+use pgas_machine::tailprof::{TailAttribution, DEFAULT_EXEMPLARS};
 use pgas_machine::Platform;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -372,8 +373,13 @@ pub struct ServeResult {
     pub members_after: Vec<usize>,
     /// Per-epoch aggregates, in order.
     pub epochs: Vec<EpochStat>,
-    /// The SLO report over the run's windowed latency series.
+    /// The SLO report over the run's windowed latency series. When the run
+    /// was traced, violated windows carry their `dominant_cause` and raised
+    /// burn alerts their exemplar requests.
     pub slo: SloReport,
+    /// Per-window tail attribution (`None` when the run was untraced — the
+    /// SLO report is then unannotated but otherwise identical).
+    pub tail: Option<TailAttribution>,
     /// Virtual makespan in milliseconds.
     pub time_ms: f64,
     pub stats: StatsSnapshot,
@@ -741,6 +747,15 @@ fn aggregate(cfg: &ServeConfig, out: &pgas_machine::SimOutcome<ServeImageOut>) -
         });
     }
     let detect = out.results.iter().map(|r| r.detect_epoch).filter(|&d| d != u64::MAX).min();
+    let mut slo = cfg.slo_spec().evaluate(&out.metrics);
+    // Traced runs close the loop from SLO windows back to request causes:
+    // walk each request's span graph, profile the per-window tails, and
+    // annotate the report with dominant causes + exemplars.
+    let tail = (!out.requests.is_empty()).then(|| {
+        let t = out.tail_attribution(cfg.slo_threshold_ns, DEFAULT_EXEMPLARS, cfg.seed);
+        t.annotate(&mut slo);
+        t
+    });
     ServeResult {
         completed: out.results.iter().map(|r| r.completed).sum(),
         drained: out.results.iter().map(|r| r.drained).sum(),
@@ -752,7 +767,8 @@ fn aggregate(cfg: &ServeConfig, out: &pgas_machine::SimOutcome<ServeImageOut>) -
         checksum: out.results[0].checksum,
         acked_sum: out.results.iter().fold(0u64, |a, r| a.wrapping_add(r.acked)),
         members_after: out.results[0].members.clone(),
-        slo: cfg.slo_spec().evaluate(&out.metrics),
+        slo,
+        tail,
         time_ms: epochs.last().map(|e| e.end_ns).unwrap_or(0) as f64 / 1e6,
         epochs,
         stats: out.stats,
@@ -902,5 +918,40 @@ mod tests {
             );
             assert!(r.slo.budget_spent_x1000 > 0, "the outage spends error budget");
         }
+    }
+
+    #[test]
+    fn traced_failure_run_attributes_its_tail() {
+        let cfg = ServeConfig { slo_threshold_ns: 30_000, ..small() };
+        let plan = failure_plan(&cfg);
+        let r = pgas_machine::with_forced_tracing(true, || run(plan, cfg));
+        let tail = r.tail.as_ref().expect("a traced run carries a tail attribution");
+        assert!(!tail.profiles.is_empty(), "per-window tail profiles are populated");
+        // Every violated window names a dominant cause, and the annotation
+        // is consistent with the profile the attribution holds for it.
+        let mut violated = 0usize;
+        for w in r.slo.windows.iter().filter(|w| w.violations > 0) {
+            violated += 1;
+            let cause = w.dominant_cause.expect("violated window names a dominant cause");
+            let prof = tail.profile_at(w.window).expect("violated window has a profile");
+            assert_eq!(prof.dominant_cause(), Some(cause));
+            assert!(prof.slow > 0, "the profile saw the slow requests");
+        }
+        assert!(violated > 0, "the outage violates at least one window");
+        // Raised alerts carry exemplars: the k worst request ids in the
+        // trailing burn span, each over threshold with a named cause.
+        for a in r.slo.alerts.iter().filter(|a| a.raised) {
+            assert!(!a.exemplars.is_empty(), "raised alert carries exemplars: {a:?}");
+            for e in &a.exemplars {
+                assert!(e.latency_ns > 30_000, "exemplars are tail requests: {e:?}");
+            }
+        }
+        // The run-wide ranking blames the outage machinery, not handler
+        // compute: drained requests spend their lives parked behind the
+        // dead home image.
+        let top = tail.top_causes();
+        assert!(!top.is_empty(), "slow requests exist so causes rank");
+        use pgas_machine::tailprof::ReqPhase;
+        assert_ne!(top[0].0, ReqPhase::HandlerCompute, "tail is not compute-bound: {top:?}");
     }
 }

@@ -74,6 +74,18 @@ proptest! {
         prop_assert_eq!(r1.slo.alerts, r8.slo.alerts);
         prop_assert_eq!(r1.checksum, r8.checksum);
         prop_assert_eq!(r1.completed, r8.completed);
+        // Tail attribution rides the same guarantee: per-window profiles,
+        // dominant causes and the seeded exemplar reservoirs (ids included)
+        // must be bit-identical across worker counts — the sampler's keyed
+        // order is offer-order independent by construction.
+        let (t1, t8) = (r1.tail.as_ref().unwrap(), r8.tail.as_ref().unwrap());
+        prop_assert_eq!(t1, t8, "tail attribution must be bit-identical across worker counts");
+        for (p1, p8) in t1.profiles.iter().zip(&t8.profiles) {
+            prop_assert_eq!(p1.dominant_cause(), p8.dominant_cause());
+            let ids1: Vec<u64> = p1.exemplars.iter().map(|e| e.id).collect();
+            let ids8: Vec<u64> = p8.exemplars.iter().map(|e| e.id).collect();
+            prop_assert_eq!(ids1, ids8, "exemplar ids must not see the worker count");
+        }
         let (_, l1b, m1b, s1b) = serving_run(1, cfg, plan);
         prop_assert_eq!(&l1, &l1b, "same seed must reproduce bit-identically");
         prop_assert_eq!(&m1, &m1b);
@@ -88,6 +100,49 @@ proptest! {
                 req.total_ns()
             );
         }
+    }
+
+    #[test]
+    fn tracing_moves_no_virtual_clock(seed in any::<u64>()) {
+        // The tail attributor only exists when tracing is on; the PR 4
+        // observability contract says turning it on must not move a single
+        // virtual clock — so the windowed metrics, latency percentiles and
+        // completion counts of a traced and an untraced run are identical,
+        // and only the annotations (dominant causes, exemplars, `tail`)
+        // differ.
+        let cfg = small(seed, DhtUpdateMode::Am);
+        let plan = FaultPlan::new(cfg.seed);
+        let (rt, _, mt, _) = serving_run(1, cfg, plan.clone());
+        let (ru, mu) = with_forced_tracing(false, || {
+            with_forced_metrics(true, || {
+                with_forced_mode(SanitizerMode::Off, || {
+                    with_forced_workers(1, || {
+                        with_forced_plan(plan, || {
+                            let (r, out) =
+                                run_serve_outcome(Platform::Titan, Backend::Shmem, 9, cfg, true);
+                            let m = out.metrics;
+                            (r, m)
+                        })
+                    })
+                })
+            })
+        });
+        prop_assert_eq!(&mt, &mu, "tracing must move no virtual clock");
+        prop_assert_eq!(rt.checksum, ru.checksum);
+        prop_assert_eq!(rt.completed, ru.completed);
+        prop_assert_eq!(rt.slo.windows.len(), ru.slo.windows.len());
+        for (tw, uw) in rt.slo.windows.iter().zip(&ru.slo.windows) {
+            prop_assert_eq!(
+                (tw.start_ns, tw.count, tw.violations, tw.p50, tw.p99, tw.p999),
+                (uw.start_ns, uw.count, uw.violations, uw.p50, uw.p99, uw.p999)
+            );
+            prop_assert_eq!(
+                (tw.fast_burn_x1000, tw.slow_burn_x1000),
+                (uw.fast_burn_x1000, uw.slow_burn_x1000)
+            );
+        }
+        prop_assert!(rt.tail.is_some(), "the traced run attributes its tail");
+        prop_assert!(ru.tail.is_none(), "the untraced run has no requests to attribute");
     }
 
     #[test]

@@ -156,6 +156,8 @@ mod tests {
                     count: 4,
                     sum: 640,
                 }],
+                req_count: 0,
+                req_phase_ns: [0; 6],
             },
         }
     }

@@ -436,7 +436,13 @@ pub fn serving_slo(quick: bool) -> Figure {
         })
     };
     let healthy = run(FaultPlan::new(cfg.seed));
-    let failed = run(FaultPlan::new(cfg.seed).with_pe_failure(victim, deadline));
+    // The failure run is traced so every request's critical path is walked
+    // and panel (d) can attribute the death-window tail; by the PR 4
+    // observability contract tracing moves no virtual clock, so panels
+    // (a)-(c) are bit-identical to an untraced run.
+    let failed = pgas_machine::with_forced_tracing(true, || {
+        run(FaultPlan::new(cfg.seed).with_pe_failure(victim, deadline))
+    });
     let mut fig = Figure::new(
         "serving_slo",
         format!(
@@ -499,6 +505,31 @@ pub fn serving_slo(quick: bool) -> Figure {
         tput.series.push(s);
     }
     fig.panels.push(tput);
+    // Panel (d): where the tail's time actually went. For each window with
+    // SLO-violating requests, the share of their total latency charged to
+    // each critical-path phase — the death window reads as fault-delay plus
+    // drain queueing, not handler compute.
+    if let Some(tail) = &failed.tail {
+        let mut attr = Panel::new(
+            "(d) tail attribution: slow-request time by cause (failure run)",
+            "window start (ms virtual)",
+            "share of slow-request time (%)",
+        );
+        for (k, phase) in pgas_machine::tailprof::REQ_PHASES.iter().enumerate() {
+            let mut s = Series::new(phase.label());
+            for p in &tail.profiles {
+                let total: u64 = p.slow_phase_ns.iter().sum();
+                if total == 0 {
+                    continue; // no violating requests in this window
+                }
+                s.push(ms(p.start_ns), p.slow_phase_ns[k] as f64 / total as f64 * 100.0);
+            }
+            if !s.points.is_empty() {
+                attr.series.push(s);
+            }
+        }
+        fig.panels.push(attr);
+    }
     with_probe(fig)
 }
 
@@ -809,6 +840,33 @@ mod tests {
         assert_eq!(fast.points.last().unwrap().1, 0.0, "the burn clears after recovery");
         let base = burn.series("fast burn (healthy baseline)").unwrap();
         assert!(base.points.iter().all(|p| p.1 == 0.0), "the healthy run burns no budget");
+        // Panel (d): the traced failure run attributes its tail, and the
+        // worst window's slow-request time is dominated by the outage
+        // machinery — drain queueing plus fault delay, not handler compute.
+        let attr = fig
+            .panels
+            .iter()
+            .find(|p| p.title.starts_with("(d) tail attribution"))
+            .expect("the traced failure run yields the attribution panel");
+        let qw = attr.series("queue_wait").unwrap();
+        let fd = attr.series("fault_delay").unwrap();
+        let hc = attr.series("handler_compute").unwrap();
+        assert!(!qw.points.is_empty(), "violating windows were attributed");
+        let outage_peak = qw
+            .points
+            .iter()
+            .zip(&fd.points)
+            .map(|(q, f)| q.1 + f.1)
+            .fold(0.0f64, f64::max);
+        assert!(
+            outage_peak > 50.0,
+            "the death window's tail is mostly queueing + fault delay: {outage_peak:.1}%"
+        );
+        assert!(
+            hc.points.iter().all(|p| p.1 < 50.0),
+            "no violating window is compute-bound: {:?}",
+            hc.points
+        );
     }
 
     #[test]

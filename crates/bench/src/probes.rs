@@ -16,6 +16,7 @@ use caf_apps::{run_himeno_outcome, HimenoConfig};
 use pgas_conduit::ConduitProfile;
 use pgas_machine::critdiff::RunDigest;
 use pgas_machine::json::Json;
+use pgas_machine::tailprof::{ReqPathReport, REQ_PHASES};
 use pgas_machine::{
     with_forced_metrics, with_forced_tracing, CriticalPathReport, MetricsSnapshot, Platform,
 };
@@ -27,17 +28,48 @@ pub struct ProbeOutcome {
     pub platform: String,
     pub report: CriticalPathReport,
     pub metrics: MetricsSnapshot,
+    /// Per-request critical paths (empty for figures without request
+    /// markers): the serving/churn anchors' digests gain the request-phase
+    /// table from these, so `bench regress` attributes a tail regression
+    /// to queue-wait vs wire vs fault-delay instead of just "slower".
+    pub req_paths: Vec<ReqPathReport>,
 }
 
 impl ProbeOutcome {
     /// The comparable digest for baselines and diffing.
     pub fn digest(&self) -> RunDigest {
-        RunDigest::from_run(&self.report, &self.metrics)
+        RunDigest::from_run_with_requests(&self.report, &self.metrics, &self.req_paths)
     }
 
-    /// The figure sidecar JSON (aggregated segments).
+    /// The figure sidecar JSON (aggregated segments, plus the request-phase
+    /// tail evidence when the probe's app marks requests).
     pub fn sidecar_json(&self) -> Json {
-        self.report.to_sidecar_json()
+        let mut j = self.report.to_sidecar_json();
+        if !self.req_paths.is_empty() {
+            let mut phase_ns = [0u64; 6];
+            for p in &self.req_paths {
+                for (acc, ns) in phase_ns.iter_mut().zip(p.phase_ns) {
+                    *acc += ns;
+                }
+            }
+            let requests = Json::Object(vec![
+                ("count".to_string(), Json::uint(self.req_paths.len())),
+                (
+                    "phase_ns".to_string(),
+                    Json::Object(
+                        REQ_PHASES
+                            .iter()
+                            .zip(phase_ns)
+                            .map(|(ph, ns)| (ph.label().to_string(), Json::uint(ns as usize)))
+                            .collect(),
+                    ),
+                ),
+            ]);
+            if let Json::Object(fields) = &mut j {
+                fields.push(("requests".to_string(), requests));
+            }
+        }
+        j
     }
 }
 
@@ -48,6 +80,7 @@ fn probe<R: Send>(f: impl FnOnce() -> pgas_machine::SimOutcome<R>) -> ProbeOutco
         platform: out.machine.clone(),
         report: out.critical_path(),
         metrics: out.metrics.clone(),
+        req_paths: out.req_paths(),
     }
 }
 
@@ -377,6 +410,10 @@ mod tests {
             a.metrics.windows.iter().any(|w| w.name == "serve_latency_ns"),
             "the windowed latency series is in the anchor's metrics"
         );
+        assert!(!a.req_paths.is_empty(), "the serving anchor marks its requests");
+        let d = a.digest();
+        assert_eq!(d.req_count, a.req_paths.len() as u64, "digest carries the request table");
+        assert!(d.req_phase_ns.iter().sum::<u64>() > 0, "request phases attribute real time");
     }
 
     #[test]

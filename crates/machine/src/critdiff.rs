@@ -20,6 +20,7 @@ use std::collections::BTreeMap;
 use crate::critpath::{CriticalPathReport, PathCategory, CATEGORIES};
 use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
+use crate::tailprof::{ReqPathReport, ReqPhase, REQ_PHASES};
 
 /// Histogram series worth baselining: every op-kind latency series the
 /// conduit records, plus queue wait, payload sizes and the planner's
@@ -84,11 +85,30 @@ pub struct RunDigest {
     pub by_pe: Vec<(usize, PathCategory, u64)>,
     /// Aggregated key metric series (see [`digest_metrics`]).
     pub metrics: Vec<MetricDigest>,
+    /// Number of served requests folded into [`RunDigest::req_phase_ns`]
+    /// (0 for workloads without request markers — the pre-request baseline
+    /// format, which parses and serializes unchanged).
+    pub req_count: u64,
+    /// Request-phase latency totals over all served requests, in
+    /// [`REQ_PHASES`] order (see `tailprof::req_paths`).
+    pub req_phase_ns: [u64; 6],
 }
 
 impl RunDigest {
     /// Digest a finished run from its critical-path report and metrics.
     pub fn from_run(report: &CriticalPathReport, metrics: &MetricsSnapshot) -> RunDigest {
+        RunDigest::from_run_with_requests(report, metrics, &[])
+    }
+
+    /// [`RunDigest::from_run`] plus per-request path reports: serving runs
+    /// additionally baseline their request-phase latency totals, so a diff
+    /// between two serving span graphs attributes the makespan delta per
+    /// request-phase category.
+    pub fn from_run_with_requests(
+        report: &CriticalPathReport,
+        metrics: &MetricsSnapshot,
+        requests: &[ReqPathReport],
+    ) -> RunDigest {
         let mut category_ns = [0u64; 5];
         let mut by_pe: BTreeMap<(usize, PathCategory), u64> = BTreeMap::new();
         for seg in &report.segments {
@@ -96,11 +116,19 @@ impl RunDigest {
             category_ns[idx] += seg.duration_ns();
             *by_pe.entry((seg.pe, seg.category)).or_insert(0) += seg.duration_ns();
         }
+        let mut req_phase_ns = [0u64; 6];
+        for r in requests {
+            for (slot, v) in req_phase_ns.iter_mut().zip(r.phase_ns) {
+                *slot += v;
+            }
+        }
         RunDigest {
             makespan_ns: report.makespan_ns,
             category_ns,
             by_pe: by_pe.into_iter().map(|((pe, c), ns)| (pe, c, ns)).collect(),
             metrics: digest_metrics(metrics),
+            req_count: requests.len() as u64,
+            req_phase_ns,
         }
     }
 
@@ -135,12 +163,29 @@ impl RunDigest {
                 Json::Object(fields)
             })
             .collect();
-        Json::Object(vec![
+        let mut fields = vec![
             ("makespan_ns".to_string(), Json::uint(self.makespan_ns as usize)),
             ("totals_ns".to_string(), Json::Object(totals)),
             ("by_pe".to_string(), Json::Array(by_pe)),
             ("metrics".to_string(), Json::Array(metrics)),
-        ])
+        ];
+        // Only serving runs carry the request block, so baselines of
+        // request-free figures stay byte-identical with the old format.
+        if self.req_count > 0 {
+            let phases = REQ_PHASES
+                .iter()
+                .zip(self.req_phase_ns)
+                .map(|(p, ns)| (p.label().to_string(), Json::uint(ns as usize)))
+                .collect();
+            fields.push((
+                "requests".to_string(),
+                Json::Object(vec![
+                    ("count".to_string(), Json::uint(self.req_count as usize)),
+                    ("phase_ns".to_string(), Json::Object(phases)),
+                ]),
+            ));
+        }
+        Json::Object(fields)
     }
 
     /// Parse a digest previously written by [`RunDigest::to_json`].
@@ -175,7 +220,17 @@ impl RunDigest {
                 sum: uint(e, "sum")?,
             });
         }
-        Ok(RunDigest { makespan_ns, category_ns, by_pe, metrics })
+        // Optional request block (absent in pre-request baselines).
+        let mut req_count = 0u64;
+        let mut req_phase_ns = [0u64; 6];
+        if let Some(req) = j.get("requests") {
+            req_count = uint(req, "count")?;
+            let phases = req.get("phase_ns").ok_or("request block missing `phase_ns`")?;
+            for (i, p) in REQ_PHASES.iter().enumerate() {
+                req_phase_ns[i] = uint(phases, p.label())?;
+            }
+        }
+        Ok(RunDigest { makespan_ns, category_ns, by_pe, metrics, req_count, req_phase_ns })
     }
 }
 
@@ -203,6 +258,20 @@ pub struct PeDelta {
 }
 
 impl PeDelta {
+    pub fn delta_ns(&self) -> i64 {
+        self.cand_ns as i64 - self.base_ns as i64
+    }
+}
+
+/// Delta of one request-phase latency total between two serving runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReqPhaseDelta {
+    pub phase: ReqPhase,
+    pub base_ns: u64,
+    pub cand_ns: u64,
+}
+
+impl ReqPhaseDelta {
     pub fn delta_ns(&self) -> i64 {
         self.cand_ns as i64 - self.base_ns as i64
     }
@@ -241,6 +310,12 @@ pub struct CritDiff {
     pub by_pe: Vec<PeDelta>,
     /// Changed metric series only, sorted by (name, peer_node).
     pub metrics: Vec<MetricDelta>,
+    /// Served request counts (0 = that side had no request markers).
+    pub base_req_count: u64,
+    pub cand_req_count: u64,
+    /// One entry per request phase, in [`REQ_PHASES`] order (complete table,
+    /// like `categories`); all-zero when neither run served requests.
+    pub req_phases: Vec<ReqPhaseDelta>,
 }
 
 impl CritDiff {
@@ -291,12 +366,25 @@ impl CritDiff {
                 })
                 .collect();
 
+        let req_phases = REQ_PHASES
+            .iter()
+            .enumerate()
+            .map(|(i, &phase)| ReqPhaseDelta {
+                phase,
+                base_ns: base.req_phase_ns[i],
+                cand_ns: cand.req_phase_ns[i],
+            })
+            .collect();
+
         CritDiff {
             base_makespan_ns: base.makespan_ns,
             cand_makespan_ns: cand.makespan_ns,
             categories,
             by_pe,
             metrics,
+            base_req_count: base.req_count,
+            cand_req_count: cand.req_count,
+            req_phases,
         }
     }
 
@@ -310,6 +398,8 @@ impl CritDiff {
             && self.categories.iter().all(|c| c.delta_ns() == 0)
             && self.by_pe.is_empty()
             && self.metrics.is_empty()
+            && self.base_req_count == self.cand_req_count
+            && self.req_phases.iter().all(|p| p.delta_ns() == 0)
     }
 
     /// Regression verdicts at relative tolerance `tol` (e.g. 0.02 = 2%).
@@ -353,6 +443,26 @@ impl CritDiff {
                 ));
             }
         }
+        // Request-phase growth is judged only when the baseline actually
+        // carries request data — a pre-request baseline diffed against a
+        // request-marking candidate must not flag phantom regressions.
+        if self.base_req_count > 0 {
+            let req_base: u64 = self.req_phases.iter().map(|p| p.base_ns).sum();
+            for p in &self.req_phases {
+                let grow = p.delta_ns();
+                if grow > 0 && grow as f64 > tol * (req_base as f64).max(1.0) {
+                    out.push(format!(
+                        "request phase {} grew {:+} ns ({} -> {} ns, {:.2}% of baseline \
+                         request time)",
+                        p.phase.label(),
+                        grow,
+                        p.base_ns,
+                        p.cand_ns,
+                        100.0 * grow as f64 / (req_base as f64).max(1.0),
+                    ));
+                }
+            }
+        }
         out
     }
 
@@ -385,6 +495,21 @@ impl CritDiff {
                     "    PE {:<4} {:<16} {} -> {} ns ({:+} ns)\n",
                     p.pe,
                     p.category.label(),
+                    p.base_ns,
+                    p.cand_ns,
+                    p.delta_ns()
+                ));
+            }
+        }
+        if self.base_req_count > 0 || self.cand_req_count > 0 {
+            out.push_str(&format!(
+                "  requests: {} -> {} served\n",
+                self.base_req_count, self.cand_req_count
+            ));
+            for p in &self.req_phases {
+                out.push_str(&format!(
+                    "  {:<16} {:>14} {:>14} {:>+12}\n",
+                    p.phase.label(),
                     p.base_ns,
                     p.cand_ns,
                     p.delta_ns()
@@ -459,14 +584,32 @@ impl CritDiff {
                 Json::Object(fields)
             })
             .collect();
-        Json::Object(vec![
+        let mut fields = vec![
             ("base_makespan_ns".to_string(), Json::uint(self.base_makespan_ns as usize)),
             ("cand_makespan_ns".to_string(), Json::uint(self.cand_makespan_ns as usize)),
             ("makespan_delta_ns".to_string(), Json::int(self.makespan_delta_ns())),
             ("categories".to_string(), Json::Array(categories)),
             ("by_pe".to_string(), Json::Array(by_pe)),
             ("metrics".to_string(), Json::Array(metrics)),
-        ])
+        ];
+        if self.base_req_count > 0 || self.cand_req_count > 0 {
+            let req_phases = self
+                .req_phases
+                .iter()
+                .map(|p| {
+                    Json::Object(vec![
+                        ("phase".to_string(), Json::str(p.phase.label())),
+                        ("base_ns".to_string(), Json::uint(p.base_ns as usize)),
+                        ("cand_ns".to_string(), Json::uint(p.cand_ns as usize)),
+                        ("delta_ns".to_string(), Json::int(p.delta_ns())),
+                    ])
+                })
+                .collect();
+            fields.push(("base_req_count".to_string(), Json::uint(self.base_req_count as usize)));
+            fields.push(("cand_req_count".to_string(), Json::uint(self.cand_req_count as usize)));
+            fields.push(("req_phases".to_string(), Json::Array(req_phases)));
+        }
+        Json::Object(fields)
     }
 }
 
@@ -573,6 +716,46 @@ mod tests {
         assert_eq!(m.count_delta(), 1);
         assert_eq!(m.sum_delta(), 60);
         assert!(!diff.is_zero());
+    }
+
+    #[test]
+    fn request_phase_deltas_attribute_serving_regressions() {
+        let r = report(&[(0, PathCategory::Compute, 0, 1000)]);
+        let m = snap(&[]);
+        let req = |phase_ns: [u64; 6]| ReqPathReport {
+            id: (1 << 32) | 1,
+            pe: 0,
+            arrival_ns: 0,
+            begin_ns: 0,
+            end_ns: phase_ns.iter().sum(),
+            phase_ns,
+        };
+        let base =
+            RunDigest::from_run_with_requests(&r, &m, &[req([10, 100, 20, 5, 0, 300])]);
+        let cand =
+            RunDigest::from_run_with_requests(&r, &m, &[req([10, 100, 20, 5, 400, 300])]);
+        // Self-diff of a serving digest is exactly zero.
+        assert!(CritDiff::between(&base, &base).is_zero());
+        // The fault-delay growth is attributed to its phase.
+        let diff = CritDiff::between(&base, &cand);
+        assert!(!diff.is_zero());
+        let regs = diff.regressions(0.02);
+        assert!(regs.iter().any(|s| s.contains("request phase fault_delay")), "{regs:?}");
+        assert!(diff.render().contains("fault_delay"));
+        // A pre-request baseline never flags phantom request regressions.
+        let old = RunDigest::from_run(&r, &m);
+        assert_eq!(old.req_count, 0);
+        assert!(CritDiff::between(&old, &cand).regressions(0.0).is_empty());
+        // JSON: request block roundtrips, and is omitted for request-free
+        // digests (old baselines stay byte-identical).
+        let text = cand.to_json().pretty();
+        assert!(text.contains("\"requests\""));
+        let back = RunDigest::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(cand, back);
+        assert!(!old.to_json().pretty().contains("\"requests\""));
+        let old_back = RunDigest::from_json(&crate::json::parse(&old.to_json().pretty()).unwrap())
+            .unwrap();
+        assert_eq!(old, old_back);
     }
 
     #[test]

@@ -154,6 +154,31 @@ impl<R> SimOutcome<R> {
         crate::critpath::critical_path(&self.trace, &self.clocks)
     }
 
+    /// Walk the span graph per request id: one exact latency tiling per
+    /// served request (see `tailprof::req_paths`). Empty unless the run was
+    /// traced and the workload marked requests.
+    pub fn req_paths(&self) -> Vec<crate::tailprof::ReqPathReport> {
+        crate::tailprof::req_paths(&self.trace, &self.requests)
+    }
+
+    /// Aggregate the per-request paths into per-SLO-window tail profiles
+    /// with deterministic exemplar retention. `window_ns` comes from the
+    /// run's metrics config so profiles line up with `SloReport` windows.
+    pub fn tail_attribution(
+        &self,
+        threshold_ns: u64,
+        k: usize,
+        seed: u64,
+    ) -> crate::tailprof::TailAttribution {
+        crate::tailprof::attribute(
+            &self.req_paths(),
+            threshold_ns,
+            self.metrics.window_ns,
+            k,
+            seed,
+        )
+    }
+
     /// Assert the sanitizer found nothing; panics with every report
     /// otherwise. (Only meaningful when the job ran with the sanitizer in
     /// `Record` mode.)

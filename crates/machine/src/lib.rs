@@ -43,6 +43,7 @@ pub mod slo;
 pub mod stats;
 pub mod stream;
 pub mod sync;
+pub mod tailprof;
 pub mod trace;
 
 pub use aggregate::with_forced_aggregation;
@@ -63,4 +64,8 @@ pub use sched::with_forced_workers;
 pub use slo::{BurnWindow, SloAlert, SloReport, SloSpec, SloWindow};
 pub use stats::{FaultEvent, PlanDecision, StatsSnapshot};
 pub use stream::{with_forced_stream, SnapshotRing, StreamConfig, StreamConsumer, StreamSample};
+pub use tailprof::{
+    attribute, req_paths, Exemplar, ReqPathReport, ReqPhase, TailAttribution, TailProfile,
+    TailSampler, REQ_PHASES,
+};
 pub use trace::with_forced_tracing;

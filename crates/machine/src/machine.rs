@@ -591,6 +591,11 @@ impl Machine {
                 Some(name) => self.metrics.live_window_series(name),
                 None => Vec::new(),
             },
+            requests: if st.cfg.requests_enabled() {
+                self.tracer.live_requests()
+            } else {
+                Vec::new()
+            },
         };
         // Fan out to push consumers (dashboards, pgas_top's live series)
         // before the ring can evict anything: a slow puller never costs a

@@ -24,10 +24,17 @@ use parking_lot::Mutex;
 use crate::json::Json;
 use crate::stats::StatsSnapshot;
 
-/// Number of log2 histogram buckets: bucket `i` counts values `v` with
-/// `v <= 2^i` (bucket 0 holds zeros and ones). Values above `2^62` land in
-/// the final bucket.
-pub const HISTOGRAM_BUCKETS: usize = 63;
+/// Sub-buckets per octave, as a power of two: each power-of-two range is
+/// split into `2^SUB_BUCKET_BITS` log-linear (HDR-style) sub-buckets, so the
+/// relative quantization error at the tail is bounded by `2^-SUB_BUCKET_BITS`
+/// instead of a full octave. Raising this widens `.prom` exports but changes
+/// no digests — `RunDigest` folds only exact counts and sums.
+pub const SUB_BUCKET_BITS: u32 = 2;
+
+/// Number of histogram buckets. The first four buckets hold the exact values
+/// 1..=4 (and zeros in bucket 0); past that, bucket bounds advance
+/// log-linearly: four equal-width sub-buckets per octave up to `2^63`.
+pub const HISTOGRAM_BUCKETS: usize = 4 + 61 * (1 << SUB_BUCKET_BITS) as usize;
 
 /// A metric key: metric name, owning PE, and optional peer node.
 ///
@@ -128,19 +135,30 @@ fn percentile_impl<'a>(
     max
 }
 
-/// Log2 bucket index for a value: the smallest `i` with `v <= 2^i`,
-/// clamped to [`HISTOGRAM_BUCKETS`]` - 1`.
+/// Log-linear bucket index for a value: the smallest `i` with
+/// `v <= bucket_bound(i)`, clamped to [`HISTOGRAM_BUCKETS`]` - 1`.
 fn bucket_of(v: u64) -> u8 {
-    if v <= 1 {
-        return 0;
+    if v <= 4 {
+        // Exact unit buckets: 0|1 -> 0, 2 -> 1, 3 -> 2, 4 -> 3.
+        return v.saturating_sub(1) as u8;
     }
-    let i = 64 - (v - 1).leading_zeros();
-    (i as u8).min(HISTOGRAM_BUCKETS as u8 - 1)
+    // Octave of v-1 (>= 2 here), then which of the four equal-width
+    // sub-buckets of that octave v-1 falls in.
+    let o = 63 - (v - 1).leading_zeros();
+    let m = (v - 1 - (1u64 << o)) >> (o - SUB_BUCKET_BITS);
+    let i = 4 + (o - SUB_BUCKET_BITS) as usize * (1 << SUB_BUCKET_BITS) + m as usize;
+    i.min(HISTOGRAM_BUCKETS - 1) as u8
 }
 
 /// Upper bound of bucket `i` (inclusive), as used for Prometheus `le` labels.
 pub(crate) fn bucket_bound(i: u8) -> u64 {
-    1u64 << i
+    if (i as usize) < 4 {
+        return i as u64 + 1;
+    }
+    let sub = 1u64 << SUB_BUCKET_BITS;
+    let k = SUB_BUCKET_BITS + (i as u32 - 4) / sub as u32;
+    let m = (i as u64 - 4) % sub;
+    (1u64 << k) + ((m + 1) << (k - SUB_BUCKET_BITS))
 }
 
 #[derive(Debug, Default)]
@@ -587,9 +605,23 @@ impl MetricsSnapshot {
 
     /// Prometheus text exposition format. Counter names become
     /// `pgas_<name>_total`, gauges `pgas_<name>`, histograms the standard
-    /// `_bucket`/`_sum`/`_count` triple with cumulative log2 `le` bounds.
-    /// Global stats counters are exported as `pgas_stats_<field>`.
+    /// `_bucket`/`_sum`/`_count` triple with cumulative log-linear `le`
+    /// bounds. Global stats counters are exported as `pgas_stats_<field>`.
     pub fn to_prometheus(&self) -> String {
+        self.prometheus_impl(None)
+    }
+
+    /// [`MetricsSnapshot::to_prometheus`] plus tail-attribution exemplars:
+    /// every windowed `quantile="0.999"` sample whose window has retained
+    /// exemplars gains an OpenMetrics-style exemplar trailer
+    /// (`# {req="...",pe="...",cause="..."} latency`), and a dedicated
+    /// `pgas_tail_exemplar` gauge series lists each window's k worst
+    /// requests with their dominant cause.
+    pub fn to_prometheus_with_tail(&self, tail: &crate::tailprof::TailAttribution) -> String {
+        self.prometheus_impl(Some(tail))
+    }
+
+    fn prometheus_impl(&self, tail: Option<&crate::tailprof::TailAttribution>) -> String {
         let mut out = String::new();
         for (field, value) in stats_fields(&self.stats) {
             out.push_str(&format!("# TYPE pgas_stats_{field} counter\n"));
@@ -653,14 +685,31 @@ impl MetricsSnapshot {
                 last_name = w.name;
             }
             let base = format!("window_start_ns=\"{}\"", w.start_ns);
+            let profile = tail.and_then(|t| {
+                t.profile_at(w.start_ns.checked_div(t.window_ns).unwrap_or(0))
+            });
             for (label, q) in [("0.5", 0.50), ("0.99", 0.99), ("0.999", 0.999)] {
                 out.push_str(&format!(
-                    "pgas_{}_window{{{},quantile=\"{}\"}} {}\n",
+                    "pgas_{}_window{{{},quantile=\"{}\"}} {}",
                     w.name,
                     base,
                     label,
                     w.percentile(q)
                 ));
+                // The tail quantile carries the window's worst request as an
+                // OpenMetrics exemplar annotation.
+                if label == "0.999" {
+                    if let Some(e) = profile.and_then(|p| p.exemplars.first()) {
+                        out.push_str(&format!(
+                            " # {{req=\"{:#x}\",pe=\"{}\",cause=\"{}\"}} {}",
+                            e.id,
+                            e.pe,
+                            e.dominant.label(),
+                            e.latency_ns
+                        ));
+                    }
+                }
+                out.push('\n');
             }
             out.push_str(&format!("pgas_{}_window_sum{{{}}} {}\n", w.name, base, w.sum));
             out.push_str(&format!("pgas_{}_window_count{{{}}} {}\n", w.name, base, w.count));
@@ -764,16 +813,37 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bucket_indices_are_log2() {
+    fn bucket_indices_are_log_linear() {
+        // Exact unit buckets up front...
         assert_eq!(bucket_of(0), 0);
         assert_eq!(bucket_of(1), 0);
         assert_eq!(bucket_of(2), 1);
         assert_eq!(bucket_of(3), 2);
-        assert_eq!(bucket_of(4), 2);
-        assert_eq!(bucket_of(5), 3);
-        assert_eq!(bucket_of(1024), 10);
-        assert_eq!(bucket_of(1025), 11);
+        assert_eq!(bucket_of(4), 3);
+        // ...then four sub-buckets per octave: (4,5], (5,6], (6,7], (7,8]...
+        assert_eq!(bucket_of(5), 4);
+        assert_eq!(bucket_of(8), 7);
+        assert_eq!(bucket_of(9), 8);
+        // An octave boundary stays a bucket boundary (le="1024" survives).
+        assert_eq!(bucket_of(1024), 35);
+        assert_eq!(bucket_bound(35), 1024);
+        assert_eq!(bucket_of(1025), 36);
+        assert_eq!(bucket_bound(36), 1280);
         assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS as u8 - 1);
+        // Bounds are strictly increasing and invert bucket_of everywhere.
+        for i in 0..HISTOGRAM_BUCKETS as u8 {
+            if i > 0 {
+                assert!(bucket_bound(i) > bucket_bound(i - 1), "bounds increase at {i}");
+            }
+            assert_eq!(bucket_of(bucket_bound(i)), i, "bound of {i} maps back");
+            assert_eq!(bucket_of(bucket_bound(i) + 1).max(i), bucket_of(bucket_bound(i) + 1));
+        }
+        assert_eq!(bucket_bound(HISTOGRAM_BUCKETS as u8 - 1), 1u64 << 63);
+        // Tail quantization error is bounded by a quarter octave.
+        let v = 150_000u64;
+        let b = bucket_of(v);
+        let width = bucket_bound(b) - bucket_bound(b - 1);
+        assert!(width * 4 <= bucket_bound(b), "sub-bucket width is <= bound/4");
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use crate::json::Json;
 use crate::metrics::{bucket_bound, MetricsSnapshot, WindowEntry};
+use crate::tailprof::{Exemplar, ReqPhase};
 
 /// Which burn-rate window an alert fired on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,6 +134,7 @@ impl SloSpec {
                     p999,
                     fast_burn_x1000: 0,
                     slow_burn_x1000: 0,
+                    dominant_cause: None,
                 });
             }
         }
@@ -169,7 +171,13 @@ impl SloSpec {
                 let over = burn_x1000 as f64 >= threshold * 1000.0;
                 if over != active[slot] {
                     active[slot] = over;
-                    alerts.push(SloAlert { kind, raised: over, t_ns: end_ns, burn_x1000 });
+                    alerts.push(SloAlert {
+                        kind,
+                        raised: over,
+                        t_ns: end_ns,
+                        burn_x1000,
+                        exemplars: Vec::new(),
+                    });
                 }
             }
         }
@@ -233,10 +241,15 @@ pub struct SloWindow {
     pub fast_burn_x1000: u64,
     /// Slow burn rate ×1000.
     pub slow_burn_x1000: u64,
+    /// The request phase dominating this window's slow requests, filled in
+    /// by [`crate::tailprof::TailAttribution::annotate`] when a traced run's
+    /// tail attribution is available. `None` for clean windows (or when the
+    /// run was not traced).
+    pub dominant_cause: Option<ReqPhase>,
 }
 
 /// A burn-rate threshold crossing, stamped in virtual time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SloAlert {
     pub kind: BurnWindow,
     /// `true` when the burn rate crossed above the alert threshold, `false`
@@ -246,6 +259,11 @@ pub struct SloAlert {
     pub t_ns: u64,
     /// The burn rate at the crossing, ×1000.
     pub burn_x1000: u64,
+    /// Prometheus-style exemplars: the k worst requests of the trailing burn
+    /// span that fired this alert, worst first. Filled in by
+    /// [`crate::tailprof::TailAttribution::annotate`] for raised alerts;
+    /// empty on clears and untraced runs.
+    pub exemplars: Vec<Exemplar>,
 }
 
 /// The evaluated SLO: windows, alerts and error-budget accounting.
@@ -286,6 +304,13 @@ impl SloReport {
                     ("p999".to_string(), Json::uint(w.p999 as usize)),
                     ("fast_burn_x1000".to_string(), Json::uint(w.fast_burn_x1000 as usize)),
                     ("slow_burn_x1000".to_string(), Json::uint(w.slow_burn_x1000 as usize)),
+                    (
+                        "dominant_cause".to_string(),
+                        match w.dominant_cause {
+                            Some(c) => Json::str(c.label()),
+                            None => Json::Null,
+                        },
+                    ),
                 ])
             })
             .collect();
@@ -293,11 +318,24 @@ impl SloReport {
             .alerts
             .iter()
             .map(|a| {
+                let exemplars = a
+                    .exemplars
+                    .iter()
+                    .map(|e| {
+                        Json::Object(vec![
+                            ("id".to_string(), Json::uint(e.id as usize)),
+                            ("pe".to_string(), Json::uint(e.pe)),
+                            ("latency_ns".to_string(), Json::uint(e.latency_ns as usize)),
+                            ("dominant".to_string(), Json::str(e.dominant.label())),
+                        ])
+                    })
+                    .collect();
                 Json::Object(vec![
                     ("kind".to_string(), Json::str(a.kind.label())),
                     ("raised".to_string(), Json::Bool(a.raised)),
                     ("t_ns".to_string(), Json::uint(a.t_ns as usize)),
                     ("burn_x1000".to_string(), Json::uint(a.burn_x1000 as usize)),
+                    ("exemplars".to_string(), Json::Array(exemplars)),
                 ])
             })
             .collect();
@@ -344,6 +382,30 @@ impl SloReport {
                 a.t_ns,
                 a.burn_x1000 as f64 / 1000.0,
             ));
+            for e in &a.exemplars {
+                out.push_str(&format!(
+                    "          exemplar req {:#x} pe {}: {} ns, {}\n",
+                    e.id,
+                    e.pe,
+                    e.latency_ns,
+                    e.dominant.label(),
+                ));
+            }
+        }
+        let attributed: Vec<&SloWindow> =
+            self.windows.iter().filter(|w| w.dominant_cause.is_some()).collect();
+        if !attributed.is_empty() {
+            out.push_str("  violated windows by dominant cause:\n");
+            for w in attributed {
+                out.push_str(&format!(
+                    "    window {:>4} @{:>12} ns: {}/{} violations, {}\n",
+                    w.window,
+                    w.start_ns,
+                    w.violations,
+                    w.count,
+                    w.dominant_cause.map(|c| c.label()).unwrap_or("-"),
+                ));
+            }
         }
         out
     }

@@ -26,7 +26,7 @@ use parking_lot::Mutex;
 
 use crate::launch::NicSnapshot;
 use crate::metrics::WindowEntry;
-use crate::trace::Span;
+use crate::trace::{ReqRecord, Span};
 
 /// One sample of the machine's observable state at (or just past) a cadence
 /// boundary in virtual time.
@@ -51,6 +51,11 @@ pub struct StreamSample {
     /// `pgas_top -- serve` renders p50/p99/p999 and burn rates from. Empty
     /// unless the machine records windowed metrics and a metric was named.
     pub windows: Vec<WindowEntry>,
+    /// Every request completed so far, sorted `(pe, id)` — the live feed of
+    /// `pgas_top -- serve`'s "top tail causes" panel. Empty unless the
+    /// machine is traced, the workload marks requests, and the stream opted
+    /// in via [`StreamConfig::with_requests`].
+    pub requests: Vec<ReqRecord>,
 }
 
 #[derive(Debug, Default)]
@@ -139,6 +144,8 @@ pub struct StreamConfig {
     consumers: Arc<Mutex<Vec<StreamConsumer>>>,
     /// Windowed metric to sample into [`StreamSample::windows`], if any.
     window_metric: Option<&'static str>,
+    /// Sample completed request records into [`StreamSample::requests`].
+    requests: bool,
 }
 
 impl std::fmt::Debug for StreamConfig {
@@ -161,6 +168,7 @@ impl StreamConfig {
             ring: Arc::new(SnapshotRing::new(capacity)),
             consumers: Arc::new(Mutex::new(Vec::new())),
             window_metric: None,
+            requests: false,
         }
     }
 
@@ -176,6 +184,20 @@ impl StreamConfig {
     /// The windowed metric this stream samples, if any.
     pub fn window_metric(&self) -> Option<&'static str> {
         self.window_metric
+    }
+
+    /// Sample completed request records into every [`StreamSample`] (needs
+    /// tracing and request markers to produce anything). Off by default —
+    /// cloning every completed request per sample is only worth it for
+    /// consumers that attribute tails live.
+    pub fn with_requests(mut self) -> Self {
+        self.requests = true;
+        self
+    }
+
+    /// Does this stream sample request records?
+    pub fn requests_enabled(&self) -> bool {
+        self.requests
     }
 
     /// Sampling cadence in virtual nanoseconds.
@@ -257,6 +279,7 @@ mod tests {
             inflight: Vec::new(),
             nics: Vec::new(),
             windows: Vec::new(),
+            requests: Vec::new(),
         }
     }
 

@@ -151,6 +151,16 @@ pub struct ReqRecord {
     pub begin_ns: u64,
     /// Completion instant.
     pub end_ns: u64,
+    /// NIC queue-wait accumulated by the request's spans (live running sum;
+    /// the authoritative per-request decomposition is
+    /// `tailprof::req_paths`, which also resolves overlap).
+    pub nic_ns: u64,
+    /// NIC service time accumulated by the request's spans.
+    pub wire_ns: u64,
+    /// Synchronization stall accumulated (barriers, waits, unpaired quiets).
+    pub sync_ns: u64,
+    /// Fault detection/retry delay accumulated.
+    pub fault_ns: u64,
 }
 
 #[derive(Debug, Default)]
@@ -163,6 +173,8 @@ struct PeBuf {
     current_req: u64,
     /// Arrival/begin of the open request, carried until `end_request`.
     open_req: (u64, u64),
+    /// Live phase sums of the open request: nic, wire, sync, fault.
+    open_phase: [u64; 4],
     requests: Vec<ReqRecord>,
 }
 
@@ -213,6 +225,29 @@ impl Tracer {
         if span.req == 0 {
             span.req = buf.current_req;
         }
+        if span.req != 0 && span.req == buf.current_req {
+            // Keep the open request's live phase sums current so streaming
+            // consumers can attribute tails without walking the span graph.
+            let len = span.end.saturating_sub(span.begin);
+            match span.kind {
+                SpanKind::Put | SpanKind::Get | SpanKind::Amo => {
+                    buf.open_phase[0] += span.queue_ns;
+                    buf.open_phase[1] += span.service_ns;
+                }
+                SpanKind::Quiet => {
+                    let nic = span.queue_ns.min(len);
+                    buf.open_phase[0] += nic;
+                    buf.open_phase[2] += len - nic;
+                }
+                SpanKind::Barrier | SpanKind::WaitUntil | SpanKind::Collective => {
+                    buf.open_phase[2] += len;
+                }
+                SpanKind::Retry | SpanKind::Fault => {
+                    buf.open_phase[3] += len;
+                }
+                SpanKind::Compute => {}
+            }
+        }
         let id = span.id;
         buf.spans.push(span);
         id
@@ -229,6 +264,7 @@ impl Tracer {
         let mut buf = self.pes[pe].lock();
         buf.current_req = req_id;
         buf.open_req = (arrival_ns, begin_ns);
+        buf.open_phase = [0; 4];
     }
 
     /// Close the open request on `pe`, recording its [`ReqRecord`] with
@@ -243,9 +279,21 @@ impl Tracer {
         }
         let (arrival_ns, begin_ns) = buf.open_req;
         let id = buf.current_req;
-        buf.requests.push(ReqRecord { id, pe, arrival_ns, begin_ns, end_ns });
+        let [nic_ns, wire_ns, sync_ns, fault_ns] = buf.open_phase;
+        buf.requests.push(ReqRecord {
+            id,
+            pe,
+            arrival_ns,
+            begin_ns,
+            end_ns,
+            nic_ns,
+            wire_ns,
+            sync_ns,
+            fault_ns,
+        });
         buf.current_req = 0;
         buf.open_req = (0, 0);
+        buf.open_phase = [0; 4];
     }
 
     /// Take all recorded request records, merged across PEs and sorted by
@@ -254,6 +302,19 @@ impl Tracer {
         let mut reqs = Vec::new();
         for buf in &self.pes {
             reqs.append(&mut buf.lock().requests);
+        }
+        reqs.sort_by_key(|r| (r.pe, r.id));
+        reqs
+    }
+
+    /// Peek all completed request records without consuming them, sorted by
+    /// `(pe, id)` — the live-streaming counterpart of
+    /// [`Tracer::drain_requests`]. Like [`Tracer::latest_per_pe`], this
+    /// leaves the buffers intact for the end-of-run drain.
+    pub fn live_requests(&self) -> Vec<ReqRecord> {
+        let mut reqs = Vec::new();
+        for buf in &self.pes {
+            reqs.extend_from_slice(&buf.lock().requests);
         }
         reqs.sort_by_key(|r| (r.pe, r.id));
         reqs
@@ -316,6 +377,21 @@ impl Tracer {
 /// remote delivery window, a synthesized `deliver` slice on the peer's row
 /// plus an `s`/`f` flow-event pair drawing the causal arrow origin → peer.
 pub fn chrome_trace_json(spans: &[Span], cores_per_node: usize) -> String {
+    chrome_trace_json_with_requests(spans, &[], cores_per_node)
+}
+
+/// [`chrome_trace_json`] plus a per-request view: every [`ReqRecord`] becomes
+/// an async `b`/`e` slice pair (cat `request`, id = request id) spanning
+/// arrival → completion on the serving PE's row, and every span stamped with
+/// a request id gets an id-keyed flow arrow (cat `req`) from the request's
+/// service begin to the span it caused — so a single slow request can be
+/// eyeballed in Perfetto: its queueing delay, then arrows fanning out to the
+/// ops (and retries) it triggered.
+pub fn chrome_trace_json_with_requests(
+    spans: &[Span],
+    requests: &[ReqRecord],
+    cores_per_node: usize,
+) -> String {
     // cores_per_node = 0 means "node structure unknown": everything is one
     // node (pid 0), rather than the old behaviour of pid = pe.
     let node_of = |pe: usize| pe.checked_div(cores_per_node).unwrap_or(0);
@@ -324,6 +400,7 @@ pub fn chrome_trace_json(spans: &[Span], cores_per_node: usize) -> String {
     let mut pes: Vec<usize> = spans
         .iter()
         .flat_map(|s| std::iter::once(s.pe).chain(s.peer.filter(|_| s.remote_end > 0)))
+        .chain(requests.iter().map(|r| r.pe))
         .collect();
     pes.sort_unstable();
     pes.dedup();
@@ -349,6 +426,42 @@ pub fn chrome_trace_json(spans: &[Span], cores_per_node: usize) -> String {
     }
 
     let us = |ns: u64| Json::float(ns as f64 / 1000.0);
+
+    // Per-request async track: one b/e pair per request, keyed by request
+    // id, spanning arrival -> completion on the serving PE's row.
+    let mut req_begin: std::collections::BTreeMap<u64, (usize, u64)> = Default::default();
+    for r in requests {
+        req_begin.insert(r.id, (r.pe, r.begin_ns));
+        events.push(Json::Object(vec![
+            ("name".into(), Json::str("request")),
+            ("cat".into(), Json::str("request")),
+            ("ph".into(), Json::str("b")),
+            ("id".into(), Json::uint(r.id as usize)),
+            ("pid".into(), Json::uint(node_of(r.pe))),
+            ("tid".into(), Json::uint(r.pe)),
+            ("ts".into(), us(r.arrival_ns)),
+            (
+                "args".into(),
+                Json::Object(vec![
+                    ("queue_ns".into(), Json::uint(r.begin_ns.saturating_sub(r.arrival_ns) as usize)),
+                    (
+                        "latency_ns".into(),
+                        Json::uint(r.end_ns.saturating_sub(r.arrival_ns) as usize),
+                    ),
+                ]),
+            ),
+        ]));
+        events.push(Json::Object(vec![
+            ("name".into(), Json::str("request")),
+            ("cat".into(), Json::str("request")),
+            ("ph".into(), Json::str("e")),
+            ("id".into(), Json::uint(r.id as usize)),
+            ("pid".into(), Json::uint(node_of(r.pe))),
+            ("tid".into(), Json::uint(r.pe)),
+            ("ts".into(), us(r.end_ns)),
+        ]));
+    }
+
     for s in spans {
         let mut args =
             vec![("peer".into(), Json::opt_uint(s.peer)), ("bytes".into(), Json::uint(s.bytes))];
@@ -405,6 +518,31 @@ pub fn chrome_trace_json(spans: &[Span], cores_per_node: usize) -> String {
             };
             events.push(flow("s", s.pe, s.begin, false));
             events.push(flow("f", peer, s.remote_end, true));
+        }
+        // Request causality: an arrow from the request's service begin to
+        // each span it caused. Keyed by the span id under its own category
+        // so request arrows never collide with the delivery flows above
+        // (Chrome matches flow s/f pairs by (cat, id)).
+        if s.req != 0 && s.id != 0 {
+            if let Some(&(req_pe, req_begin_ns)) = req_begin.get(&s.req) {
+                let req_flow = |ph: &str, pe: usize, ts: u64, bind_end: bool| {
+                    let mut fields = vec![
+                        ("name".into(), Json::str("req_flow")),
+                        ("cat".into(), Json::str("req")),
+                        ("ph".into(), Json::str(ph)),
+                        ("id".into(), Json::uint(s.id as usize)),
+                        ("pid".into(), Json::uint(node_of(pe))),
+                        ("tid".into(), Json::uint(pe)),
+                        ("ts".into(), us(ts)),
+                    ];
+                    if bind_end {
+                        fields.push(("bp".into(), Json::str("e")));
+                    }
+                    Json::Object(fields)
+                };
+                events.push(req_flow("s", req_pe, req_begin_ns.min(s.begin), false));
+                events.push(req_flow("f", s.pe, s.begin, true));
+            }
         }
     }
     Json::Array(events).pretty()
@@ -588,7 +726,17 @@ mod tests {
         let reqs = t.drain_requests();
         assert_eq!(
             reqs,
-            vec![ReqRecord { id: req, pe: 0, arrival_ns: 100, begin_ns: 150, end_ns: 500 }]
+            vec![ReqRecord {
+                id: req,
+                pe: 0,
+                arrival_ns: 100,
+                begin_ns: 150,
+                end_ns: 500,
+                nic_ns: 0,
+                wire_ns: 0,
+                sync_ns: 0,
+                fault_ns: 0,
+            }]
         );
         let spans = t.drain();
         let tagged: Vec<_> = spans.iter().filter(|s| s.req == req).collect();
@@ -600,6 +748,72 @@ mod tests {
         off.begin_request(0, req, 0, 0);
         off.end_request(0, 10);
         assert!(off.drain_requests().is_empty());
+    }
+
+    #[test]
+    fn request_records_accumulate_live_phase_sums() {
+        let t = Tracer::new(true, 1);
+        t.begin_request(0, 1, 0, 10);
+        let mut put = span(0, SpanKind::Put, 10, 100);
+        put.queue_ns = 30;
+        put.service_ns = 50;
+        t.record(put);
+        t.record(span(0, SpanKind::Barrier, 100, 160));
+        t.record(span(0, SpanKind::Retry, 160, 300));
+        t.record(span(0, SpanKind::Compute, 300, 350));
+        // Peek mid-run: the request is still open, nothing visible yet.
+        assert!(t.live_requests().is_empty());
+        t.end_request(0, 350);
+        let live = t.live_requests();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].nic_ns, 30);
+        assert_eq!(live[0].wire_ns, 50);
+        assert_eq!(live[0].sync_ns, 60);
+        assert_eq!(live[0].fault_ns, 140);
+        // Peeking left the record for the end-of-run drain.
+        assert_eq!(t.drain_requests(), live);
+        // A following request starts from zero.
+        t.begin_request(0, 2, 400, 400);
+        t.end_request(0, 450);
+        let next = t.drain_requests();
+        assert_eq!((next[0].nic_ns, next[0].fault_ns), (0, 0));
+    }
+
+    #[test]
+    fn chrome_request_view_emits_async_slices_and_arrows() {
+        let t = Tracer::new(true, 2);
+        let req = (1u64 << 32) | 7;
+        t.begin_request(0, req, 100, 150);
+        t.record(span(0, SpanKind::Put, 150, 300));
+        t.end_request(0, 500);
+        let spans = t.drain();
+        let reqs = t.drain_requests();
+        let json = chrome_trace_json_with_requests(&spans, &reqs, 2);
+        let parsed = crate::json::parse(&json).unwrap();
+        let events = parsed.as_array().unwrap();
+        let phase = |ph: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some(ph))
+                .collect::<Vec<_>>()
+        };
+        // One async b/e pair for the request, spanning arrival -> completion.
+        let (b, e) = (phase("b"), phase("e"));
+        assert_eq!((b.len(), e.len()), (1, 1));
+        assert_eq!(b[0].get("cat").and_then(|v| v.as_str()), Some("request"));
+        assert_eq!(b[0].get("id").and_then(|v| v.as_i64()), Some(req as i64));
+        assert_eq!(b[0].get("ts").and_then(|v| v.as_f64()), Some(0.1));
+        assert_eq!(e[0].get("ts").and_then(|v| v.as_f64()), Some(0.5));
+        // One id-keyed arrow from the request to the span it caused.
+        let req_flows: Vec<_> = events
+            .iter()
+            .filter(|ev| ev.get("cat").and_then(|v| v.as_str()) == Some("req"))
+            .collect();
+        assert_eq!(req_flows.len(), 2, "one s/f pair");
+        assert!(json.contains("\"queue_ns\": 50"), "request args carry queueing delay");
+        assert!(json.contains("\"latency_ns\": 400"));
+        // Without requests the export is unchanged (golden compatibility).
+        assert_eq!(chrome_trace_json(&spans, 2), chrome_trace_json_with_requests(&spans, &[], 2));
     }
 
     #[test]

@@ -178,7 +178,8 @@ fn churn_top() {
 fn serve_top() {
     use caf_apps::serve::{run_serve_outcome, ServeConfig};
     use pgas_machine::metrics::WindowEntry;
-    use pgas_machine::{with_forced_aggregation, with_forced_plan, FaultPlan};
+    use pgas_machine::tailprof::REQ_PHASES;
+    use pgas_machine::{with_forced_aggregation, with_forced_plan, with_forced_tracing, FaultPlan};
     use std::sync::{Arc, Mutex};
 
     let cfg = ServeConfig {
@@ -194,12 +195,14 @@ fn serve_top() {
     let images = 9;
     let spec = cfg.slo_spec();
     let window_ns = cfg.window_ns;
+    let threshold_ns = cfg.slo_threshold_ns;
     // One live SLO row per sample: (t, p50, p99, p999, fast burn ×1000).
     type Row = (u64, u64, u64, u64, u64);
     let series: Arc<Mutex<Vec<Row>>> = Arc::new(Mutex::new(Vec::new()));
     let sink = Arc::clone(&series);
     let stream = StreamConfig::new(20_000, 512)
         .with_window_metric("serve_latency_ns")
+        .with_requests()
         .with_consumer(Arc::new(move |s: &StreamSample| {
             if s.windows.is_empty() {
                 return;
@@ -212,12 +215,16 @@ fn serve_top() {
         }));
     let ring = stream.ring();
     let sim = std::thread::spawn(move || {
-        with_forced_stream(stream, || {
-            with_forced_aggregation(true, || {
-                with_forced_plan(
-                    FaultPlan::new(cfg.seed).with_pe_failure(victim_pe, deadline),
-                    || run_serve_outcome(Platform::Titan, Backend::Shmem, images, cfg, true),
-                )
+        // Tracing on: the request records feed the live tail-cause panel
+        // and the final run-level tail attribution (no virtual clock moves).
+        with_forced_tracing(true, || {
+            with_forced_stream(stream, || {
+                with_forced_aggregation(true, || {
+                    with_forced_plan(
+                        FaultPlan::new(cfg.seed).with_pe_failure(victim_pe, deadline),
+                        || run_serve_outcome(Platform::Titan, Backend::Shmem, images, cfg, true),
+                    )
+                })
             })
         })
     });
@@ -235,6 +242,41 @@ fn serve_top() {
                          fast burn {:.1}x at t={t} ns",
                         burn as f64 / 1000.0
                     );
+                }
+                // Live "top tail causes": decompose the completed slow
+                // requests in the snapshot into their critical-path phases
+                // (queue wait from the open-loop schedule, the tracer's
+                // running nic/wire/sync/fault sums, handler compute as the
+                // busy remainder) and rank where tail time is going so far.
+                let mut phase = [0u64; 6];
+                let mut slow = 0u64;
+                for r in &s.requests {
+                    if r.end_ns.saturating_sub(r.arrival_ns) <= threshold_ns {
+                        continue;
+                    }
+                    slow += 1;
+                    let attributed = r.nic_ns + r.wire_ns + r.sync_ns + r.fault_ns;
+                    phase[0] += r.begin_ns.saturating_sub(r.arrival_ns);
+                    phase[1] += r.wire_ns;
+                    phase[2] += r.nic_ns;
+                    phase[3] += r.sync_ns;
+                    phase[4] += r.fault_ns;
+                    phase[5] +=
+                        r.end_ns.saturating_sub(r.begin_ns).saturating_sub(attributed);
+                }
+                let total: u64 = phase.iter().sum();
+                if slow > 0 && total > 0 {
+                    let mut ranked: Vec<(usize, u64)> =
+                        phase.iter().copied().enumerate().filter(|&(_, ns)| ns > 0).collect();
+                    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                    println!("  top tail causes ({slow} slow requests so far):");
+                    for &(k, ns) in ranked.iter().take(3) {
+                        println!(
+                            "    {:>15} {ns:>10} ns [{}]",
+                            REQ_PHASES[k].label(),
+                            bar(ns as f64 / total as f64, 18)
+                        );
+                    }
                 }
             }
         }
@@ -271,6 +313,9 @@ fn serve_top() {
     );
     println!("final worker team: {:?}\n", result.members_after);
     println!("{}", result.slo.render());
+    if let Some(tail) = &result.tail {
+        println!("{}", tail.render());
+    }
 }
 
 fn main() {

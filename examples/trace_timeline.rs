@@ -42,4 +42,37 @@ fn main() {
     std::fs::write("results/trace_timeline.json", &json).expect("write trace");
     println!("\nwrote results/trace_timeline.json — load it in chrome://tracing or Perfetto");
     assert!(by_kind.contains_key("put") && by_kind.contains_key("barrier"));
+
+    // The request view: a traced run of the open-loop serving scenario,
+    // exported with one async slice per request and `req_flow` arrows from
+    // each request to the spans it caused — Perfetto renders the causal
+    // fan-out of exactly the requests the tail attributor walks.
+    use caf_apps::serve::{run_serve_outcome, ServeConfig};
+    use pgas_machine::trace::chrome_trace_json_with_requests;
+    use pgas_machine::{with_forced_aggregation, with_forced_plan, with_forced_tracing, FaultPlan};
+    let cfg = ServeConfig {
+        keyspace: 10_000,
+        requests_per_image: 40,
+        epochs: 2,
+        slots_per_shard: 64,
+        mean_gap_ns: 1_500.0,
+        ..Default::default()
+    };
+    let plan = FaultPlan::new(cfg.seed).with_pe_failure(4, 12_000);
+    let (_, sout) = with_forced_tracing(true, || {
+        with_forced_aggregation(true, || {
+            with_forced_plan(plan, || {
+                run_serve_outcome(Platform::Titan, Backend::Shmem, 9, cfg, true)
+            })
+        })
+    });
+    println!(
+        "\nserving request view: {} requests, {} spans over {} ns",
+        sout.requests.len(),
+        sout.trace.len(),
+        sout.makespan_ns()
+    );
+    let req_json = chrome_trace_json_with_requests(&sout.trace, &sout.requests, 16);
+    std::fs::write("results/trace_requests.json", &req_json).expect("write request trace");
+    println!("wrote results/trace_requests.json — open the async track per request id");
 }

@@ -105,6 +105,76 @@ fn nic_degradation_window_is_attributed_to_nic_contention() {
     assert!(diff.regressions(100.0).is_empty());
 }
 
+/// The serving anchor's shape (the serve tests' calibrated failure
+/// scenario), digested *with* its per-request critical paths: the digest
+/// gains a request-phase table that the differ judges alongside the
+/// machine-level categories.
+fn serving_digest() -> RunDigest {
+    use caf::Backend;
+    use caf_apps::serve::{run_serve_outcome, ServeConfig};
+    use pgas_machine::{with_forced_aggregation, with_forced_plan, Platform};
+    let cfg = ServeConfig {
+        keyspace: 10_000,
+        requests_per_image: 40,
+        epochs: 2,
+        slots_per_shard: 64,
+        mean_gap_ns: 1_500.0,
+        ..Default::default()
+    };
+    let plan = FaultPlan::new(cfg.seed).with_pe_failure(4, 12_000);
+    let out = with_forced_tracing(true, || {
+        with_forced_metrics(true, || {
+            with_forced_aggregation(true, || {
+                with_forced_plan(plan, || {
+                    run_serve_outcome(Platform::Titan, Backend::Shmem, 9, cfg, true).1
+                })
+            })
+        })
+    });
+    RunDigest::from_run_with_requests(&out.critical_path(), &out.metrics, &out.req_paths())
+}
+
+#[test]
+fn serving_self_diff_is_zero_including_request_phases() {
+    let a = serving_digest();
+    let b = serving_digest();
+    assert_eq!(a, b, "deterministic serving => bit-identical digests");
+    assert!(a.req_count > 0, "the serving run marks requests");
+    assert!(a.req_phase_ns.iter().sum::<u64>() > 0, "request phases attribute real time");
+    let diff = CritDiff::between(&a, &b);
+    assert!(diff.is_zero(), "self-diff must be exactly zero:\n{}", diff.render());
+    assert!(diff.regressions(0.0).is_empty(), "zero tolerance, zero regressions");
+    // The request-phase table survives the baseline JSON roundtrip.
+    let back = RunDigest::from_json(&a.to_json()).expect("digest roundtrips");
+    assert_eq!(a, back);
+}
+
+#[test]
+fn request_phase_growth_is_attributed_by_name() {
+    let base = serving_digest();
+    // A synthetic candidate whose fault-delay share of request time grew by
+    // half the total request-phase budget: the differ must name the phase.
+    let mut cand = base.clone();
+    let total: u64 = base.req_phase_ns.iter().sum();
+    cand.req_phase_ns[4] += total / 2 + 1; // ReqPhase::FaultDelay
+    let diff = CritDiff::between(&base, &cand);
+    assert!(!diff.is_zero());
+    let regs = diff.regressions(0.02);
+    assert!(
+        regs.iter().any(|r| r.contains("fault_delay")),
+        "the grown request phase is called out by name: {regs:?}"
+    );
+    // A pre-request baseline (old BENCH files) never flags phantom request
+    // regressions, whatever the candidate carries.
+    let mut old = base.clone();
+    old.req_count = 0;
+    old.req_phase_ns = [0; 6];
+    assert!(
+        CritDiff::between(&old, &cand).regressions(0.0).iter().all(|r| !r.contains("request")),
+        "request phases are only judged against request-carrying baselines"
+    );
+}
+
 #[test]
 fn slowed_conduit_profile_is_caught_and_attributed_to_wire() {
     let base = digest_with(ConduitProfile::mvapich_shmem(), FaultPlan::none());

@@ -122,18 +122,30 @@ fn serving_workload() -> pgas_machine::SimOutcome<caf_apps::serve::ServeImageOut
 
 /// Pins the windowed-series half of the Prometheus surface: histogram
 /// windows render as per-window `summary` blocks labelled by virtual start
-/// time, counter windows as `_window_total` series. Any change to window
-/// bucketing, merge order, quantile extraction or label formatting lands
-/// here as a diff against `tests/fixtures/serving_windows.prom`.
+/// time, counter windows as `_window_total` series — and, since the tail
+/// attributor landed, the p999 quantile of a window with SLO-violating
+/// requests carries an OpenMetrics-style exemplar annotation naming the
+/// worst request id and its dominant cause. Any change to window bucketing,
+/// merge order, quantile extraction, label formatting or the exemplar
+/// trailer lands here as a diff against `tests/fixtures/serving_windows.prom`.
 #[test]
 fn serving_windowed_export_matches_golden_fixture() {
-    let out = serving_workload();
-    let text = out.metrics.to_prometheus();
+    let out = with_forced_tracing(true, serving_workload);
+    let tail = out.tail_attribution(
+        20_000, // the serve default SLO threshold
+        pgas_machine::tailprof::DEFAULT_EXEMPLARS,
+        0x5E21, // the serve default seed
+    );
+    let text = out.metrics.to_prometheus_with_tail(&tail);
     for needle in
         ["pgas_serve_latency_ns_window", "pgas_serve_queue_ns_window", "pgas_serve_requests_window"]
     {
         assert!(text.contains(needle), "windowed series `{needle}` missing from the export");
     }
+    assert!(
+        text.contains("# {req="),
+        "the outage window's p999 carries an exemplar annotation"
+    );
     if std::env::var("UPDATE_GOLDEN").is_ok() {
         std::fs::write(SERVING_FIXTURE, &text).expect("write serving golden fixture");
         return;
